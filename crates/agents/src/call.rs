@@ -1,0 +1,215 @@
+//! Per-call state kept by a [`crate::ua::UserAgent`].
+
+use vids_netsim::packet::Address;
+use vids_netsim::time::SimTime;
+use vids_sdp::Codec;
+use vids_sip::dialog::DialogId;
+use vids_sip::message::Request;
+use vids_sip::SipUri;
+
+/// Which side of the call this UA is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallRole {
+    /// We sent the INVITE.
+    Caller,
+    /// We received the INVITE.
+    Callee,
+}
+
+/// Coarse call progress, as seen by the UA core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallState {
+    /// Caller: INVITE in flight, nothing heard yet.
+    Inviting,
+    /// A provisional response has been seen / sent.
+    Ringing,
+    /// 200/ACK exchanged; media may flow.
+    Established,
+    /// BYE sent, awaiting its 200.
+    Terminating,
+    /// Call over (normally or not); kept briefly for late packets.
+    Done,
+}
+
+/// One call scheduled by the workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedCall {
+    /// When to send the INVITE.
+    pub at: SimTime,
+    /// Whom to call.
+    pub callee: SipUri,
+    /// Conversation length once established.
+    pub duration: SimTime,
+}
+
+/// An active RTP session bound to the SDP-negotiated addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaSession {
+    /// Where to send RTP (peer ip from SDP, peer's media port).
+    pub peer: Address,
+    /// Our receiving port.
+    pub local_port: u16,
+    /// Our stream's synchronization source id.
+    pub ssrc: u32,
+    /// Next sequence number to send.
+    pub seq: u16,
+    /// Next RTP timestamp to send.
+    pub timestamp: u32,
+    /// Negotiated codec.
+    pub codec: Codec,
+    /// Whether we are currently sending.
+    pub sending: bool,
+}
+
+impl MediaSession {
+    /// Creates a session ready to send.
+    pub fn new(peer: Address, local_port: u16, ssrc: u32, codec: Codec) -> Self {
+        MediaSession {
+            peer,
+            local_port,
+            ssrc,
+            seq: 1,
+            timestamp: 0,
+            codec,
+            sending: false,
+        }
+    }
+
+    /// Produces the next outgoing RTP packet's header fields, advancing
+    /// sequence number and timestamp.
+    pub fn next_packet(&mut self) -> (u16, u32) {
+        let out = (self.seq, self.timestamp);
+        self.seq = self.seq.wrapping_add(1);
+        self.timestamp = self.timestamp.wrapping_add(self.codec.timestamp_increment());
+        out
+    }
+}
+
+/// Everything a UA remembers about one call.
+#[derive(Debug, Clone)]
+pub struct CallCtx {
+    /// Caller or callee.
+    pub role: CallRole,
+    /// Current progress.
+    pub state: CallState,
+    /// Dialog identification (from our point of view).
+    pub dialog: DialogId,
+    /// The INVITE that formed (or will form) this dialog; template for
+    /// in-dialog requests and for matching responses.
+    pub invite: Request,
+    /// Where in-dialog requests go (peer contact, IP-literal URI).
+    pub peer_contact: Option<SipUri>,
+    /// The media session, once negotiated.
+    pub media: Option<MediaSession>,
+    /// When we sent/received the INVITE.
+    pub started_at: SimTime,
+    /// Caller: whether the Fig. 9 setup-delay sample was already recorded.
+    pub setup_recorded: bool,
+    /// Caller: planned conversation duration.
+    pub planned_duration: SimTime,
+    /// Next CSeq for in-dialog requests we originate.
+    pub local_cseq: u32,
+    /// Callee: the 200 OK we retransmit until the ACK arrives.
+    pub pending_ok: Option<(vids_sip::message::Response, u32)>,
+    /// Slot index inside the UA (stable small id for timer tokens).
+    pub slot: usize,
+    /// Whether a 401-challenged BYE was already retried with credentials.
+    pub bye_auth_retried: bool,
+}
+
+impl CallCtx {
+    /// Creates call context for a caller about to send `invite`.
+    pub fn caller(invite: Request, now: SimTime, duration: SimTime, slot: usize) -> Self {
+        CallCtx {
+            role: CallRole::Caller,
+            state: CallState::Inviting,
+            dialog: DialogId::from_message(&invite.clone().into()),
+            invite,
+            peer_contact: None,
+            media: None,
+            started_at: now,
+            setup_recorded: false,
+            planned_duration: duration,
+            local_cseq: 1,
+            pending_ok: None,
+            slot,
+            bye_auth_retried: false,
+        }
+    }
+
+    /// Creates call context for a callee that received `invite`.
+    pub fn callee(invite: Request, now: SimTime, slot: usize) -> Self {
+        CallCtx {
+            role: CallRole::Callee,
+            state: CallState::Ringing,
+            dialog: DialogId::from_message(&invite.clone().into()).reversed(),
+            invite,
+            peer_contact: None,
+            media: None,
+            started_at: now,
+            setup_recorded: false,
+            planned_duration: SimTime::ZERO,
+            local_cseq: 1,
+            pending_ok: None,
+            slot,
+            bye_auth_retried: false,
+        }
+    }
+
+    /// Allocates the next CSeq for an in-dialog request.
+    pub fn next_cseq(&mut self) -> u32 {
+        self.local_cseq += 1;
+        self.local_cseq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_sip::message::Request;
+
+    fn invite() -> Request {
+        Request::invite(
+            &SipUri::new("ua1", "a.example.com"),
+            &SipUri::new("ua2", "b.example.com"),
+            "call-1",
+        )
+    }
+
+    #[test]
+    fn media_session_advances_seq_and_timestamp() {
+        let mut m = MediaSession::new(Address::new(10, 2, 0, 10, 30000), 20000, 7, Codec::G729);
+        assert_eq!(m.next_packet(), (1, 0));
+        assert_eq!(m.next_packet(), (2, 80));
+        assert_eq!(m.next_packet(), (3, 160));
+    }
+
+    #[test]
+    fn media_session_wraps_sequence() {
+        let mut m = MediaSession::new(Address::new(10, 2, 0, 10, 30000), 20000, 7, Codec::G729);
+        m.seq = u16::MAX;
+        let (s1, _) = m.next_packet();
+        let (s2, _) = m.next_packet();
+        assert_eq!(s1, u16::MAX);
+        assert_eq!(s2, 0);
+    }
+
+    #[test]
+    fn caller_and_callee_dialogs_are_mirrored() {
+        let inv = invite();
+        let caller = CallCtx::caller(inv.clone(), SimTime::ZERO, SimTime::from_secs(60), 0);
+        let callee = CallCtx::callee(inv, SimTime::ZERO, 0);
+        assert_eq!(caller.role, CallRole::Caller);
+        assert_eq!(callee.role, CallRole::Callee);
+        assert!(caller.dialog.matches(&callee.dialog));
+        assert_eq!(caller.state, CallState::Inviting);
+        assert_eq!(callee.state, CallState::Ringing);
+    }
+
+    #[test]
+    fn cseq_allocation_increments() {
+        let mut c = CallCtx::caller(invite(), SimTime::ZERO, SimTime::ZERO, 0);
+        assert_eq!(c.next_cseq(), 2);
+        assert_eq!(c.next_cseq(), 3);
+    }
+}

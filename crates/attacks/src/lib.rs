@@ -1,0 +1,414 @@
+//! # vids-attacks — attack traffic injectors
+//!
+//! Scripted implementations of every threat in the paper's §3:
+//!
+//! | §3 threat | [`AttackKind`] variant |
+//! |---|---|
+//! | CANCEL DoS | [`AttackKind::SpoofedCancel`] |
+//! | BYE DoS | [`AttackKind::SpoofedBye`] |
+//! | INVITE request flooding | [`AttackKind::InviteFlood`] |
+//! | Call hijacking (re-INVITE) | [`AttackKind::ReinviteHijack`] |
+//! | Billing fraud (BYE + RTP) | `UaConfig::fraud_media_after_bye` in `vids-agents` |
+//! | DRDoS via reflectors | [`AttackKind::Drdos`] |
+//! | Media spamming | [`AttackKind::MediaSpam`] |
+//! | RTP flooding / codec change | [`AttackKind::RtpFlood`] |
+//!
+//! The [`Attacker`] application runs on an Internet host of the Fig. 7
+//! topology. Scenario code typically runs the simulation until a victim
+//! call reaches the state the attack needs, reads the dialog/media
+//! identifiers off the victim UA (standing in for an on-path sniffer), arms
+//! the attacker with [`Attacker::schedule`], and resumes the run.
+
+pub mod craft;
+
+use rand::Rng;
+
+use vids_netsim::node::{AppCtx, Application};
+use vids_netsim::packet::{Address, Packet, Payload};
+use vids_netsim::time::SimTime;
+use vids_rtp::packet::RtpPacket;
+use vids_sip::SipUri;
+
+pub use craft::{spoofed_bye, spoofed_cancel, spoofed_reinvite, DialogSnapshot};
+
+/// One attack behavior, with everything needed to launch it.
+#[derive(Debug, Clone)]
+pub enum AttackKind {
+    /// §3.1: overwhelm a terminal with INVITEs. Each carries a fresh
+    /// Call-ID and random caller identity, sent straight at the victim.
+    InviteFlood {
+        /// The victim's SIP URI (used in To / request-URI).
+        target_uri: SipUri,
+        /// Where to send the INVITEs (victim's host, or its proxy).
+        target_addr: Address,
+        /// Packets per second.
+        rate_pps: f64,
+        /// Number of INVITEs.
+        count: u32,
+    },
+    /// §3.1: tear down an established call with a forged BYE.
+    SpoofedBye {
+        /// Where to deliver the BYE.
+        victim: Address,
+        /// Pre-crafted BYE text (see [`craft::spoofed_bye`]).
+        message: String,
+        /// Spoofed source address (the impersonated peer).
+        spoof_src: Address,
+    },
+    /// §3.1: kill a pending call attempt with a forged CANCEL.
+    SpoofedCancel {
+        /// Where to deliver the CANCEL.
+        victim: Address,
+        /// Pre-crafted CANCEL text (see [`craft::spoofed_cancel`]).
+        message: String,
+        /// Spoofed source address.
+        spoof_src: Address,
+    },
+    /// §3.1: hijack a call by injecting a re-INVITE that redirects media.
+    ReinviteHijack {
+        /// Where to deliver the re-INVITE.
+        victim: Address,
+        /// Pre-crafted re-INVITE (see [`craft::spoofed_reinvite`]).
+        message: String,
+        /// Spoofed source address.
+        spoof_src: Address,
+    },
+    /// §3.2: inject fabricated RTP into a session using the sniffed SSRC
+    /// with a jump in sequence number and timestamp.
+    MediaSpam {
+        /// The victim's media address (ip + negotiated RTP port).
+        victim: Address,
+        /// The legitimate stream's SSRC.
+        ssrc: u32,
+        /// Payload type to claim.
+        payload_type: u8,
+        /// First forged sequence number (legit seq + gap).
+        start_seq: u16,
+        /// First forged timestamp (legit ts + gap).
+        start_timestamp: u32,
+        /// Spoofed source (the impersonated sender's media address).
+        spoof_src: Address,
+        /// Packets per second.
+        rate_pps: f64,
+        /// Number of packets.
+        count: u32,
+    },
+    /// §3.2: flood the victim's media port with RTP (optionally with a
+    /// different encoding, deteriorating QoS).
+    RtpFlood {
+        /// The victim's media address.
+        victim: Address,
+        /// Payload type to claim (e.g. PCMU instead of the negotiated G729).
+        payload_type: u8,
+        /// Bytes of payload per packet.
+        payload_bytes: usize,
+        /// Packets per second.
+        rate_pps: f64,
+        /// Number of packets.
+        count: u32,
+    },
+    /// §3.1: distributed reflection DoS — spray requests at reflector
+    /// proxies with a Via naming the victim, so the responses converge on
+    /// the victim.
+    Drdos {
+        /// The reflector proxies.
+        reflectors: Vec<Address>,
+        /// The victim whose address goes into the spoofed Via.
+        victim: Address,
+        /// Requests sent to each reflector.
+        per_reflector: u32,
+        /// Packets per second (across the whole spray).
+        rate_pps: f64,
+    },
+}
+
+struct ActiveBurst {
+    kind: AttackKind,
+    sent: u32,
+    interval: SimTime,
+}
+
+/// Statistics an attacker exposes after the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttackerStats {
+    /// Attack packets transmitted.
+    pub packets_sent: u64,
+    /// Bursts launched.
+    pub attacks_launched: u64,
+    /// Packets that arrived at the attacker (hijacked media, reflected
+    /// responses, victim replies).
+    pub packets_received: u64,
+}
+
+const K_HEARTBEAT: u64 = 1;
+const K_BURST_BASE: u64 = 1000;
+
+/// The attacker application. Attach to the topology with
+/// [`vids_netsim::topology::Enterprise::add_internet_host`], then
+/// [`Attacker::schedule`] attacks (before the run, or between `run_until`
+/// phases once the victim state is known).
+pub struct Attacker {
+    scheduled: Vec<(SimTime, AttackKind)>,
+    active: Vec<ActiveBurst>,
+    stats: AttackerStats,
+    id_counter: u64,
+}
+
+impl Default for Attacker {
+    fn default() -> Self {
+        Attacker::new()
+    }
+}
+
+impl Attacker {
+    /// Creates an idle attacker.
+    pub fn new() -> Self {
+        Attacker {
+            scheduled: Vec::new(),
+            active: Vec::new(),
+            stats: AttackerStats::default(),
+            id_counter: 0,
+        }
+    }
+
+    /// Schedules an attack to launch at absolute simulation time `at`.
+    /// Safe to call between simulation phases; the attacker polls a
+    /// heartbeat to notice newly armed attacks.
+    pub fn schedule(&mut self, at: SimTime, kind: AttackKind) {
+        self.scheduled.push((at, kind));
+    }
+
+    /// Attack statistics.
+    pub fn stats(&self) -> AttackerStats {
+        self.stats
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.id_counter += 1;
+        self.id_counter
+    }
+
+    fn launch_due(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let now = ctx.now();
+        let due: Vec<AttackKind> = {
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut self.scheduled).into_iter().partition(|(at, _)| *at <= now);
+            self.scheduled = rest;
+            ready.into_iter().map(|(_, k)| k).collect()
+        };
+        for kind in due {
+            self.stats.attacks_launched += 1;
+            let rate = match &kind {
+                AttackKind::InviteFlood { rate_pps, .. }
+                | AttackKind::MediaSpam { rate_pps, .. }
+                | AttackKind::RtpFlood { rate_pps, .. }
+                | AttackKind::Drdos { rate_pps, .. } => *rate_pps,
+                AttackKind::SpoofedBye { .. }
+                | AttackKind::SpoofedCancel { .. }
+                | AttackKind::ReinviteHijack { .. } => 0.0,
+            };
+            let interval = if rate > 0.0 {
+                SimTime::from_secs_f64(1.0 / rate)
+            } else {
+                SimTime::ZERO
+            };
+            let idx = self.active.len();
+            self.active.push(ActiveBurst {
+                kind,
+                sent: 0,
+                interval,
+            });
+            // Fire the first shot immediately.
+            self.burst_tick(idx, ctx);
+        }
+    }
+
+    fn burst_total(kind: &AttackKind) -> u32 {
+        match kind {
+            AttackKind::InviteFlood { count, .. }
+            | AttackKind::MediaSpam { count, .. }
+            | AttackKind::RtpFlood { count, .. } => *count,
+            AttackKind::Drdos {
+                reflectors,
+                per_reflector,
+                ..
+            } => reflectors.len() as u32 * per_reflector,
+            AttackKind::SpoofedBye { .. }
+            | AttackKind::SpoofedCancel { .. }
+            | AttackKind::ReinviteHijack { .. } => 1,
+        }
+    }
+
+    fn burst_tick(&mut self, idx: usize, ctx: &mut AppCtx<'_, '_>) {
+        let total = Self::burst_total(&self.active[idx].kind);
+        if self.active[idx].sent >= total {
+            return;
+        }
+        let shot_no = self.active[idx].sent;
+        let kind = self.active[idx].kind.clone();
+        self.fire(&kind, shot_no, ctx);
+        self.active[idx].sent += 1;
+        if self.active[idx].sent < total {
+            let interval = self.active[idx].interval;
+            ctx.set_timer(interval, K_BURST_BASE + idx as u64);
+        }
+    }
+
+    fn fire(&mut self, kind: &AttackKind, shot_no: u32, ctx: &mut AppCtx<'_, '_>) {
+        match kind {
+            AttackKind::InviteFlood {
+                target_uri,
+                target_addr,
+                ..
+            } => {
+                let id = self.fresh_id();
+                let caller: u32 = ctx.rng().gen();
+                let invite = craft::flood_invite(
+                    target_uri,
+                    ctx.local_addr(),
+                    &format!("zombie{caller:08x}"),
+                    &format!("flood-{id}@{}", ctx.local_addr().ip_string()),
+                );
+                ctx.send_to(*target_addr, Payload::Sip(invite));
+                self.stats.packets_sent += 1;
+            }
+            AttackKind::SpoofedBye {
+                victim,
+                message,
+                spoof_src,
+            }
+            | AttackKind::SpoofedCancel {
+                victim,
+                message,
+                spoof_src,
+            }
+            | AttackKind::ReinviteHijack {
+                victim,
+                message,
+                spoof_src,
+            } => {
+                ctx.send_from(*spoof_src, *victim, Payload::Sip(message.clone()));
+                self.stats.packets_sent += 1;
+            }
+            AttackKind::MediaSpam {
+                victim,
+                ssrc,
+                payload_type,
+                start_seq,
+                start_timestamp,
+                spoof_src,
+                ..
+            } => {
+                let pkt = RtpPacket::new(
+                    *payload_type,
+                    start_seq.wrapping_add(shot_no as u16),
+                    start_timestamp.wrapping_add(shot_no * 80),
+                    *ssrc,
+                )
+                .with_payload(vec![0xAA; 10]);
+                ctx.send_from(*spoof_src, *victim, Payload::Rtp(pkt.to_bytes()));
+                self.stats.packets_sent += 1;
+            }
+            AttackKind::RtpFlood {
+                victim,
+                payload_type,
+                payload_bytes,
+                ..
+            } => {
+                let ssrc: u32 = ctx.rng().gen();
+                let pkt = RtpPacket::new(*payload_type, shot_no as u16, shot_no * 160, ssrc)
+                    .with_payload(vec![0x55; *payload_bytes]);
+                ctx.send_from_port(40_000, *victim, Payload::Rtp(pkt.to_bytes()));
+                self.stats.packets_sent += 1;
+            }
+            AttackKind::Drdos {
+                reflectors,
+                victim,
+                per_reflector,
+                ..
+            } => {
+                let n = reflectors.len() as u32;
+                if n == 0 || *per_reflector == 0 {
+                    return;
+                }
+                let reflector = reflectors[(shot_no % n) as usize];
+                let id = self.fresh_id();
+                let options = craft::reflector_options(reflector, *victim, &format!("drdos-{id}"));
+                ctx.send_to(reflector, Payload::Sip(options));
+                self.stats.packets_sent += 1;
+            }
+        }
+    }
+}
+
+impl Application for Attacker {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        ctx.set_timer(SimTime::from_millis(50), K_HEARTBEAT);
+    }
+
+    fn on_datagram(&mut self, _packet: &Packet, _ctx: &mut AppCtx<'_, '_>) {
+        self.stats.packets_received += 1;
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AppCtx<'_, '_>) {
+        if token == K_HEARTBEAT {
+            self.launch_due(ctx);
+            ctx.set_timer(SimTime::from_millis(50), K_HEARTBEAT);
+        } else if token >= K_BURST_BASE {
+            self.burst_tick((token - K_BURST_BASE) as usize, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_totals() {
+        let flood = AttackKind::RtpFlood {
+            victim: Address::default(),
+            payload_type: 0,
+            payload_bytes: 160,
+            rate_pps: 100.0,
+            count: 42,
+        };
+        assert_eq!(Attacker::burst_total(&flood), 42);
+        let drdos = AttackKind::Drdos {
+            reflectors: vec![Address::default(); 3],
+            victim: Address::default(),
+            per_reflector: 5,
+            rate_pps: 10.0,
+        };
+        assert_eq!(Attacker::burst_total(&drdos), 15);
+        let bye = AttackKind::SpoofedBye {
+            victim: Address::default(),
+            message: String::new(),
+            spoof_src: Address::default(),
+        };
+        assert_eq!(Attacker::burst_total(&bye), 1);
+    }
+
+    #[test]
+    fn schedule_accumulates() {
+        let mut a = Attacker::new();
+        a.schedule(
+            SimTime::from_secs(1),
+            AttackKind::SpoofedBye {
+                victim: Address::default(),
+                message: "x".into(),
+                spoof_src: Address::default(),
+            },
+        );
+        a.schedule(
+            SimTime::from_secs(2),
+            AttackKind::SpoofedCancel {
+                victim: Address::default(),
+                message: "y".into(),
+                spoof_src: Address::default(),
+            },
+        );
+        assert_eq!(a.scheduled.len(), 2);
+        assert_eq!(a.stats().attacks_launched, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! E3 / Fig. 10 — impact of vids on RTP streams: one-way delay and average
+//! delay variation (jitter), with vs. without the inline monitor.
+//!
+//! Paper result: +1.5 ms delay, jitter higher by ~2·10⁻⁴ s — negligible
+//! against the 150 ms one-way VoIP budget.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vids::rtp::JitterEstimator;
+use vids_bench::{header, print_once, qos_workload, row, run_qos};
+
+static PRINTED: Once = Once::new();
+
+fn print_figure() {
+    let with = run_qos(&qos_workload(10, 4));
+    let without = run_qos(&qos_workload(10, 4).without_vids());
+
+    println!("{}", header("E3 / Fig. 10: RTP QoS impact"));
+    println!(
+        "{}",
+        row(
+            "one-way RTP delay without vids (s)",
+            "~0.052",
+            format!("{:.5}", without.rtp_delay.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "one-way RTP delay with vids (s)",
+            "+0.0015",
+            format!("{:.5}", with.rtp_delay.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "delay added by vids (s)",
+            "~0.0015",
+            format!("{:.5}", with.rtp_delay.mean() - without.rtp_delay.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "avg delay variation without (s)",
+            "(baseline)",
+            format!("{:.6}", without.jitter.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "avg delay variation with (s)",
+            "+2e-4",
+            format!("{:.6}", with.jitter.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "RTP packets measured",
+            "-",
+            format!("{}", with.rtp_delay.count())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "one-way budget (§7.4)",
+            "< 0.150",
+            format!("max {:.4}", with.rtp_delay.max())
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINTED, print_figure);
+    // Kernel: the RFC 3550 jitter estimator at line rate.
+    c.bench_function("fig10/jitter_estimator_1000_packets", |b| {
+        b.iter(|| {
+            let mut j = JitterEstimator::new(8_000);
+            let mut ts = 0u32;
+            for i in 0..1_000u32 {
+                let wobble = (i % 7) as f64 * 1e-4;
+                j.on_packet(i as f64 * 0.010 + wobble, ts);
+                ts = ts.wrapping_add(80);
+            }
+            std::hint::black_box(j.jitter_secs())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

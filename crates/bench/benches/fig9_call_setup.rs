@@ -1,0 +1,82 @@
+//! E2 / Fig. 9 — call-setup delay (INVITE → 180 Ringing) with and without
+//! vids, including the paper's per-caller series for callers 3 and 4.
+//!
+//! Paper result: vids adds ≈100 ms to call setup on average.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vids_bench::{header, print_once, qos_workload, row, run_qos};
+
+static PRINTED: Once = Once::new();
+
+fn print_figure() {
+    let with = run_qos(&qos_workload(9, 4));
+    let without = run_qos(&qos_workload(9, 4).without_vids());
+
+    println!("{}", header("E2 / Fig. 9: call setup delay"));
+    println!(
+        "{}",
+        row(
+            "setup delay without vids (s)",
+            "(baseline)",
+            format!("{:.4}", without.setup.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "setup delay with vids (s)",
+            "+0.100",
+            format!("{:.4}", with.setup.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "delay added by vids (s)",
+            "~0.100",
+            format!("{:.4}", with.setup.mean() - without.setup.mean())
+        )
+    );
+    println!(
+        "{}",
+        row("calls measured", "-", format!("{}", with.setup.count()))
+    );
+
+    // Fig. 9 plots two representative callers (3 and 4): print both series.
+    for caller in [3usize, 4] {
+        println!("\ncaller {caller} setup-delay series (t s -> with vids s / without s):");
+        let w = &with.per_caller_setup[caller];
+        let wo = &without.per_caller_setup[caller];
+        for (i, ((t, d_with), (_, d_without))) in w.iter().zip(wo.iter()).enumerate() {
+            println!("  call {:>2} @ {:>6.1}s: {:.4} / {:.4}", i + 1, t, d_with, d_without);
+        }
+        if w.is_empty() {
+            println!("  (caller placed no calls in this horizon)");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINTED, print_figure);
+    // Kernel: one full call setup through a 1-UA testbed with vids inline.
+    c.bench_function("fig9/one_call_setup_with_vids", |b| {
+        b.iter(|| {
+            let mut config = vids::scenario::TestbedConfig::small(3);
+            config.uas_per_site = 1;
+            config.workload.callers = 1;
+            config.workload.callees = 1;
+            config.workload.mean_interarrival_secs = 4.0;
+            config.workload.mean_duration_secs = 2.0;
+            config.workload.horizon = vids::netsim::time::SimTime::from_secs(10);
+            let mut tb = vids::scenario::Testbed::build(&config);
+            tb.run_until(vids::netsim::time::SimTime::from_secs(20));
+            std::hint::black_box(tb.ua_a_stats(0).setup_delays.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E5 / §7.3 — per-call memory cost and scaling to thousands of calls.
+//!
+//! Paper: "All mandatory fields … consume about 450 bytes. Similarly, the
+//! RTP state information … requires only 40 bytes", growing linearly with
+//! the number of calls, so "vids can monitor thousands of calls at the
+//! same time".
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vids::core::{Config, Vids};
+use vids::netsim::packet::{Address, Packet, Payload};
+use vids::netsim::time::SimTime;
+use vids_bench::{header, print_once, row};
+
+static PRINTED: Once = Once::new();
+
+fn invite_packet(i: usize) -> Packet {
+    let sdp = vids::sdp::SessionDescription::audio_offer(
+        "alice",
+        "10.1.0.10",
+        20_000 + (i % 10_000) as u16 * 2,
+        &[vids::sdp::Codec::G729],
+    );
+    let req = vids::sip::Request::invite(
+        &vids::sip::SipUri::new("alice", "a.example.com"),
+        &vids::sip::SipUri::new("bob", "b.example.com"),
+        &format!("mem-call-{i}"),
+    )
+    .with_body(vids::sdp::MIME_TYPE, sdp.to_string());
+    Packet {
+        src: Address::new(10, 1, 0, 10, 5060),
+        dst: Address::new(10, 2, 0, 10, 5060),
+        payload: Payload::Sip(req.to_string()),
+        id: i as u64,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+fn monitor_with_calls(n: usize) -> Vids {
+    let mut vids = Vids::new(Config::default());
+    for i in 0..n {
+        vids.process(&invite_packet(i), SimTime::from_millis(i as u64));
+    }
+    vids
+}
+
+fn print_figure() {
+    println!("{}", header("E5 / §7.3: per-call memory cost"));
+    println!(
+        "{}",
+        row("paper per-call state", "~490 B", "(450 B SIP + 40 B RTP)".to_owned())
+    );
+    println!("\n{:>8} {:>14} {:>12}", "calls", "total bytes", "bytes/call");
+    let mut last = 0usize;
+    for n in [1usize, 10, 100, 1_000, 5_000] {
+        let vids = monitor_with_calls(n);
+        let bytes = vids.memory_bytes();
+        println!("{:>8} {:>14} {:>12}", n, bytes, bytes / n);
+        assert_eq!(vids.monitored_calls(), n);
+        last = bytes;
+    }
+    println!(
+        "\n5000 concurrent calls ≈ {:.1} MiB — thousands of calls fit easily (§7.3).",
+        last as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINTED, print_figure);
+
+    c.bench_function("memory/instantiate_one_call_machine_pair", |b| {
+        let mut vids = Vids::new(Config::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(vids.process(&invite_packet(i), SimTime::from_millis(i as u64)))
+        })
+    });
+
+    c.bench_function("memory/account_1000_call_factbase", |b| {
+        let vids = monitor_with_calls(1_000);
+        b.iter(|| std::hint::black_box(vids.memory_bytes()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Parser/codec throughput: the per-packet cost floors the monitor's §7.3
+//! CPU story, so each wire format gets a microbench. Not a paper figure —
+//! supporting data for E4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use vids::rtp::packet::RtpPacket;
+use vids::rtp::RtcpPacket;
+use vids::sdp::{Codec, SessionDescription};
+use vids::sip::md5::md5_hex;
+use vids::sip::parse::parse_message;
+use vids::sip::{Request, SipUri};
+
+fn bench(c: &mut Criterion) {
+    let sdp = SessionDescription::audio_offer("alice", "10.1.0.10", 20_000, &[Codec::G729]);
+    let invite = Request::invite(
+        &SipUri::new("alice", "a.example.com"),
+        &SipUri::new("bob", "b.example.com"),
+        "bench-call",
+    )
+    .with_body(vids::sdp::MIME_TYPE, sdp.to_string())
+    .to_string();
+
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(invite.len() as u64));
+    group.bench_function("sip_parse_invite_with_sdp", |b| {
+        b.iter(|| parse_message(std::hint::black_box(&invite)).unwrap())
+    });
+
+    let sdp_text = sdp.to_string();
+    group.throughput(Throughput::Bytes(sdp_text.len() as u64));
+    group.bench_function("sdp_parse_offer", |b| {
+        b.iter(|| std::hint::black_box(&sdp_text).parse::<SessionDescription>().unwrap())
+    });
+
+    let rtp = RtpPacket::new(18, 100, 8_000, 7)
+        .with_payload(vec![0; 10])
+        .to_bytes();
+    group.throughput(Throughput::Bytes(rtp.len() as u64));
+    group.bench_function("rtp_parse", |b| {
+        b.iter(|| RtpPacket::parse(std::hint::black_box(&rtp)).unwrap())
+    });
+
+    let rtcp = vids::rtp::RtcpPacket::SenderReport {
+        ssrc: 7,
+        ntp_timestamp: 1,
+        rtp_timestamp: 8_000,
+        packet_count: 100,
+        octet_count: 1_000,
+        reports: vec![Default::default()],
+    }
+    .to_bytes();
+    group.throughput(Throughput::Bytes(rtcp.len() as u64));
+    group.bench_function("rtcp_parse_sr", |b| {
+        b.iter(|| RtcpPacket::parse(std::hint::black_box(&rtcp)).unwrap())
+    });
+
+    let digest_input = b"ua3:b.example.com:s3cret";
+    group.throughput(Throughput::Bytes(digest_input.len() as u64));
+    group.bench_function("md5_digest", |b| {
+        b.iter(|| md5_hex(std::hint::black_box(digest_input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! # vids-bench — experiment harnesses
+//!
+//! One Criterion bench target per table/figure of the paper's §7 (see
+//! `DESIGN.md`'s experiment index E1–E8). Each bench prints its
+//! paper-vs-measured series once, then times a representative kernel.
+//!
+//! Run everything with `cargo bench --workspace`; a single experiment with
+//! e.g. `cargo bench -p vids-bench --bench fig9_call_setup`.
+
+use std::sync::Once;
+
+use vids::netsim::stats::Summary;
+use vids::netsim::time::SimTime;
+use vids::netsim::workload::WorkloadSpec;
+use vids::scenario::{Testbed, TestbedConfig};
+
+/// Prints a section banner exactly once per process (criterion calls bench
+/// functions repeatedly).
+pub fn print_once(once: &'static Once, f: impl FnOnce()) {
+    once.call_once(f);
+}
+
+/// The QoS evaluation workload: a scaled-down §7.1 testbed that runs in a
+/// few seconds yet carries enough calls for stable means.
+pub fn qos_workload(seed: u64, minutes: u64) -> TestbedConfig {
+    let mut config = TestbedConfig::small(seed);
+    config.uas_per_site = 5;
+    config.workload = WorkloadSpec {
+        callers: 5,
+        callees: 5,
+        mean_interarrival_secs: 40.0,
+        mean_duration_secs: 25.0,
+        horizon: SimTime::from_secs(minutes * 60),
+    };
+    config
+}
+
+/// Per-UA QoS aggregates from a finished testbed run.
+#[derive(Debug, Clone, Default)]
+pub struct QosAggregates {
+    /// Call-setup delay across all callers.
+    pub setup: Summary,
+    /// One-way RTP delay across all UAs.
+    pub rtp_delay: Summary,
+    /// Stream jitter across all UAs.
+    pub jitter: Summary,
+    /// Per-caller setup-delay series (Fig. 9 plots callers 3 and 4).
+    pub per_caller_setup: Vec<Vec<(f64, f64)>>,
+}
+
+/// Runs a testbed to `horizon + 60 s` and aggregates the QoS measurements.
+pub fn run_qos(config: &TestbedConfig) -> QosAggregates {
+    let mut tb = Testbed::build(config);
+    let end = config.workload.horizon + SimTime::from_secs(60);
+    tb.run_until(end);
+    let mut agg = QosAggregates::default();
+    for i in 0..config.uas_per_site {
+        let s = tb.ua_a_stats(i);
+        agg.setup.merge(&s.setup_delays.summary());
+        agg.rtp_delay.merge(&s.rtp_delay);
+        agg.jitter.merge(&s.rtp_jitter);
+        agg.per_caller_setup.push(s.setup_delays.iter().collect());
+        let sb = tb.ua_b(i).stats();
+        agg.rtp_delay.merge(&sb.rtp_delay);
+        agg.jitter.merge(&sb.rtp_jitter);
+    }
+    agg
+}
+
+/// Formats a paper-vs-measured row.
+pub fn row(metric: &str, paper: &str, measured: String) -> String {
+    format!("{metric:<38} {paper:>14} {measured:>16}")
+}
+
+/// Table header for paper-vs-measured prints.
+pub fn header(title: &str) -> String {
+    format!(
+        "\n=== {title} ===\n{:<38} {:>14} {:>16}\n{}",
+        "metric",
+        "paper",
+        "measured",
+        "-".repeat(72)
+    )
+}

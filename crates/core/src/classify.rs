@@ -1,0 +1,344 @@
+//! The Packet Classifier / Event Distributor (Fig. 3).
+//!
+//! "vids conducts the state transition analysis of packet streams on call by
+//! call basis. All the packets belonging to one particular call are assigned
+//! to one group. In the group, packets are further classified into subgroups
+//! based on the specific protocols." (§5)
+//!
+//! This module converts wire packets into EFSM events with the argument
+//! vector `x̄` the predicates inspect; the per-call grouping (Call-ID for
+//! SIP, negotiated media coordinates for RTP) happens in the engine against
+//! the fact base.
+
+use vids_efsm::event::Event;
+use vids_netsim::packet::{Packet, Payload};
+use vids_rtp::packet::RtpPacket;
+use vids_sdp::SessionDescription;
+use vids_sip::message::Message;
+use vids_sip::parse::parse_message;
+use vids_sip::Method;
+
+/// The result of classifying one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Classified {
+    /// A parsed SIP message, ready for the per-call SIP machine.
+    Sip {
+        /// The grouping key.
+        call_id: String,
+        /// The EFSM event (named `SIP.<METHOD>` / `SIP.<class>xx`).
+        event: Event,
+        /// Whether this is a dialog-forming INVITE (no To tag yet): it may
+        /// instantiate a new call in the fact base.
+        is_initial_invite: bool,
+        /// Whether the message is a request.
+        is_request: bool,
+        /// Destination ip (flood machines group by destination).
+        dst_ip: u32,
+    },
+    /// A parsed RTP packet, ready for a per-call RTP machine.
+    Rtp {
+        /// The EFSM event (named `RTP.Packet`).
+        event: Event,
+    },
+    /// Unparseable traffic claiming to be SIP or RTP.
+    Malformed {
+        /// `"SIP"` or `"RTP"`.
+        protocol: &'static str,
+        /// Parser diagnosis.
+        reason: String,
+    },
+    /// Traffic vids does not monitor (raw background payloads).
+    Ignored,
+}
+
+/// Classifies one packet into an EFSM event.
+pub fn classify(packet: &Packet) -> Classified {
+    match &packet.payload {
+        Payload::Sip(text) => match parse_message(text) {
+            Ok(msg) => sip_event(&msg, packet),
+            Err(e) => Classified::Malformed {
+                protocol: "SIP",
+                reason: e.to_string(),
+            },
+        },
+        Payload::Rtp(bytes) => match RtpPacket::parse(bytes) {
+            Ok(rtp) => Classified::Rtp {
+                event: rtp_event(&rtp, packet),
+            },
+            Err(e) => Classified::Malformed {
+                protocol: "RTP",
+                reason: e.to_string(),
+            },
+        },
+        Payload::Raw(_) => Classified::Ignored,
+    }
+}
+
+/// The EFSM event name for a SIP message: requests map to their method,
+/// responses to their class (`SIP.1xx`, `SIP.2xx`, `SIP.failure`).
+pub fn sip_event_name(msg: &Message) -> String {
+    match msg {
+        Message::Request(req) => format!("SIP.{}", req.method),
+        Message::Response(resp) => {
+            if resp.status.is_provisional() {
+                "SIP.1xx".to_owned()
+            } else if resp.status.is_success() {
+                "SIP.2xx".to_owned()
+            } else if resp.status.is_redirect() {
+                "SIP.3xx".to_owned()
+            } else {
+                "SIP.failure".to_owned()
+            }
+        }
+    }
+}
+
+fn sip_event(msg: &Message, packet: &Packet) -> Classified {
+    let headers = msg.headers();
+    let call_id = msg.call_id().to_owned();
+    let mut event = Event::data(sip_event_name(msg))
+        .with_str("src_ip", packet.src.ip_string())
+        .with_str("dst_ip", packet.dst.ip_string())
+        .with_str("call_id", call_id.clone())
+        .with_str(
+            "from_tag",
+            headers.from_header().and_then(|f| f.tag()).unwrap_or(""),
+        )
+        .with_str(
+            "to_tag",
+            headers.to_header().and_then(|t| t.tag()).unwrap_or(""),
+        )
+        .with_str(
+            "branch",
+            headers.top_via().and_then(|v| v.branch()).unwrap_or(""),
+        );
+    if let Some(cseq) = headers.cseq() {
+        event = event
+            .with_uint("cseq", cseq.seq as u64)
+            .with_str("cseq_method", cseq.method.as_str());
+    }
+    if let Some(status) = msg.status() {
+        event = event.with_uint("status", status.as_u16() as u64);
+    }
+
+    // REGISTER: arguments for the registration-monitoring machine.
+    if msg.method() == Some(Method::Register) {
+        if let Some(to) = headers.to_header() {
+            event = event.with_str(
+                "aor",
+                format!("{}@{}", to.uri().user().unwrap_or(""), to.uri().host()),
+            );
+        }
+        if let Some(contact) = headers.contact() {
+            event = event.with_str("contact_ip", contact.uri().host());
+        }
+        let expires = headers
+            .iter()
+            .find_map(|h| match h {
+                vids_sip::headers::Header::Expires(v) => Some(*v as u64),
+                _ => None,
+            })
+            .unwrap_or(3600);
+        event = event.with_uint("expires", expires);
+    }
+
+    // SDP bodies feed the RTP machine's media coordinates.
+    if headers.content_type() == Some(vids_sdp::MIME_TYPE) {
+        if let Ok(sdp) = msg.body().parse::<SessionDescription>() {
+            if let Some(audio) = sdp.first_audio() {
+                event = event
+                    .with_bool("has_sdp", true)
+                    .with_str("sdp_ip", sdp.media_addr())
+                    .with_uint("sdp_port", audio.port as u64);
+                if let Some(pt) = audio.formats.first() {
+                    event = event.with_uint("sdp_pt", pt.0 as u64);
+                }
+            }
+        }
+    }
+
+    let is_initial_invite = msg.method() == Some(Method::Invite)
+        && headers.to_header().and_then(|t| t.tag()).is_none();
+    Classified::Sip {
+        call_id,
+        event,
+        is_initial_invite,
+        is_request: msg.is_request(),
+        dst_ip: packet.dst.ip,
+    }
+}
+
+fn rtp_event(rtp: &RtpPacket, packet: &Packet) -> Event {
+    Event::data("RTP.Packet")
+        .with_str("src_ip", packet.src.ip_string())
+        .with_uint("src_port", packet.src.port as u64)
+        .with_str("dst_ip", packet.dst.ip_string())
+        .with_uint("dst_port", packet.dst.port as u64)
+        .with_uint("ssrc", rtp.ssrc as u64)
+        .with_uint("seq", rtp.sequence_number as u64)
+        .with_uint("ts", rtp.timestamp as u64)
+        .with_uint("pt", rtp.payload_type as u64)
+        .with_uint("size", packet.wire_bytes() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_netsim::packet::Address;
+    use vids_netsim::time::SimTime;
+    use vids_sdp::Codec;
+    use vids_sip::message::Request;
+    use vids_sip::{SipUri, StatusCode};
+
+    fn packet(payload: Payload) -> Packet {
+        Packet {
+            src: Address::new(10, 1, 0, 10, 5060),
+            dst: Address::new(10, 2, 0, 10, 5060),
+            payload,
+            id: 1,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    fn invite_with_sdp() -> Request {
+        let sdp = SessionDescription::audio_offer("alice", "10.1.0.10", 20_000, &[Codec::G729]);
+        Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            "cls-1",
+        )
+        .with_body(vids_sdp::MIME_TYPE, sdp.to_string())
+    }
+
+    #[test]
+    fn classifies_initial_invite_with_sdp() {
+        let pkt = packet(Payload::Sip(invite_with_sdp().to_string()));
+        let Classified::Sip {
+            call_id,
+            event,
+            is_initial_invite,
+            is_request,
+            dst_ip,
+        } = classify(&pkt)
+        else {
+            panic!("expected SIP");
+        };
+        assert_eq!(call_id, "cls-1");
+        assert!(is_initial_invite);
+        assert!(is_request);
+        assert_eq!(dst_ip, Address::new(10, 2, 0, 10, 0).ip);
+        assert_eq!(event.name, "SIP.INVITE");
+        assert_eq!(event.str_arg("src_ip"), Some("10.1.0.10"));
+        assert!(event.bool_arg("has_sdp"));
+        assert_eq!(event.str_arg("sdp_ip"), Some("10.1.0.10"));
+        assert_eq!(event.uint_arg("sdp_port"), Some(20_000));
+        assert_eq!(event.uint_arg("sdp_pt"), Some(18));
+        assert_eq!(event.uint_arg("cseq"), Some(1));
+    }
+
+    #[test]
+    fn response_classes_map_to_event_names() {
+        let inv = invite_with_sdp();
+        for (status, name) in [
+            (StatusCode::RINGING, "SIP.1xx"),
+            (StatusCode::OK, "SIP.2xx"),
+            (StatusCode::MOVED_TEMPORARILY, "SIP.3xx"),
+            (StatusCode::BUSY_HERE, "SIP.failure"),
+        ] {
+            let resp = inv.response(status);
+            let pkt = packet(Payload::Sip(resp.to_string()));
+            let Classified::Sip { event, .. } = classify(&pkt) else {
+                panic!("expected SIP");
+            };
+            assert_eq!(event.name, name);
+            assert_eq!(event.uint_arg("status"), Some(status.as_u16() as u64));
+        }
+    }
+
+    #[test]
+    fn reinvite_is_not_initial() {
+        let mut inv = invite_with_sdp();
+        inv.headers.to_header_mut().unwrap().set_tag("established");
+        let pkt = packet(Payload::Sip(inv.to_string()));
+        let Classified::Sip {
+            is_initial_invite, ..
+        } = classify(&pkt)
+        else {
+            panic!("expected SIP");
+        };
+        assert!(!is_initial_invite);
+    }
+
+    #[test]
+    fn classifies_rtp() {
+        let rtp = RtpPacket::new(18, 42, 3360, 0xABCD).with_payload(vec![0; 10]);
+        let mut pkt = packet(Payload::Rtp(rtp.to_bytes()));
+        pkt.src = Address::new(10, 1, 0, 10, 20_000);
+        pkt.dst = Address::new(10, 2, 0, 10, 30_000);
+        let Classified::Rtp { event } = classify(&pkt) else {
+            panic!("expected RTP");
+        };
+        assert_eq!(event.name, "RTP.Packet");
+        assert_eq!(event.uint_arg("ssrc"), Some(0xABCD));
+        assert_eq!(event.uint_arg("seq"), Some(42));
+        assert_eq!(event.uint_arg("ts"), Some(3360));
+        assert_eq!(event.uint_arg("pt"), Some(18));
+        assert_eq!(event.uint_arg("dst_port"), Some(30_000));
+    }
+
+    #[test]
+    fn malformed_traffic_is_flagged() {
+        let pkt = packet(Payload::Sip("NOT SIP AT ALL".to_owned()));
+        assert!(matches!(
+            classify(&pkt),
+            Classified::Malformed { protocol: "SIP", .. }
+        ));
+        let pkt = packet(Payload::Rtp(vec![0x00, 0x01]));
+        assert!(matches!(
+            classify(&pkt),
+            Classified::Malformed { protocol: "RTP", .. }
+        ));
+    }
+
+    #[test]
+    fn register_carries_registration_args() {
+        use vids_sip::headers::{CSeq, Header, NameAddr, Via};
+        let aor = SipUri::new("roamer", "b.example.com");
+        let mut req = Request::new(vids_sip::Method::Register, SipUri::host_only("b.example.com"));
+        req.headers.push(Header::Via(Via::udp("10.0.0.20", 5060, "z9hG4bK-r")));
+        req.headers.push(Header::From(NameAddr::new(aor.clone()).with_tag("t")));
+        req.headers.push(Header::To(NameAddr::new(aor)));
+        req.headers.push(Header::CallId("reg-1".to_owned()));
+        req.headers.push(Header::CSeq(CSeq::new(1, vids_sip::Method::Register)));
+        req.headers.push(Header::Contact(NameAddr::new(SipUri::new("roamer", "10.0.0.20"))));
+        req.headers.push(Header::Expires(600));
+        let pkt = packet(Payload::Sip(req.to_string()));
+        let Classified::Sip { event, .. } = classify(&pkt) else {
+            panic!("expected SIP");
+        };
+        assert_eq!(event.name, "SIP.REGISTER");
+        assert_eq!(event.str_arg("aor"), Some("roamer@b.example.com"));
+        assert_eq!(event.str_arg("contact_ip"), Some("10.0.0.20"));
+        assert_eq!(event.uint_arg("expires"), Some(600));
+    }
+
+    #[test]
+    fn register_without_expires_defaults_to_3600() {
+        use vids_sip::headers::{Header, NameAddr};
+        let aor = SipUri::new("u", "b.example.com");
+        let mut req = Request::new(vids_sip::Method::Register, SipUri::host_only("b.example.com"));
+        req.headers.push(Header::To(NameAddr::new(aor)));
+        req.headers.push(Header::CallId("reg-2".to_owned()));
+        let pkt = packet(Payload::Sip(req.to_string()));
+        let Classified::Sip { event, .. } = classify(&pkt) else {
+            panic!("expected SIP");
+        };
+        assert_eq!(event.uint_arg("expires"), Some(3_600));
+    }
+
+    #[test]
+    fn raw_traffic_is_ignored() {
+        let pkt = packet(Payload::Raw(vec![1, 2, 3]));
+        assert_eq!(classify(&pkt), Classified::Ignored);
+    }
+}

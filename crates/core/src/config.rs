@@ -1,0 +1,87 @@
+//! Detection thresholds and timers (§6 and §7.5).
+
+use vids_netsim::time::SimTime;
+
+/// Tunable parameters of the attack-detection patterns.
+///
+/// The paper leaves the concrete values operator-tunable and discusses the
+/// trade-offs in §7.5 ("the intrusion detection delay is mainly determined
+/// by the various timers in attack patterns"); the defaults here are the
+/// values used throughout the reproduction's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// INVITE flooding (Fig. 4): alert when more than `invite_flood_n`
+    /// INVITEs hit one destination within `invite_flood_t1`. "The setting of
+    /// threshold N depends upon the up-limit that a particular type of a
+    /// phone can handle."
+    pub invite_flood_n: u64,
+    /// The T1 window of Fig. 4.
+    pub invite_flood_t1: SimTime,
+    /// BYE DoS (Fig. 5): how long in-flight RTP may trail a BYE. "Setting
+    /// timer T to one round trip time should be long enough" (§7.5); the
+    /// testbed RTT is ≈110 ms.
+    pub bye_dos_t: SimTime,
+    /// Media spamming (Fig. 6): alert when the sequence number jumps by
+    /// more than `spam_seq_gap` between consecutive packets of a stream.
+    pub spam_seq_gap: i64,
+    /// Media spamming: alert when the RTP timestamp jumps by more than this
+    /// many codec clock ticks.
+    pub spam_ts_gap: i64,
+    /// RTP flooding: alert when one direction of a session carries more
+    /// than this many packets within `rtp_flood_window`. G.729 legitimately
+    /// produces 100 packets/s.
+    pub rtp_flood_max_packets: u64,
+    /// The RTP-flood counting window.
+    pub rtp_flood_window: SimTime,
+    /// DRDoS reflection: alert when a destination receives more than this
+    /// many responses that belong to no monitored call within
+    /// `response_flood_window`.
+    pub response_flood_n: u64,
+    /// The response-flood counting window.
+    pub response_flood_window: SimTime,
+    /// Teardown linger: a call whose BYE's 200 never appears is force-
+    /// terminated after this long so its machines can be evicted.
+    pub teardown_linger: SimTime,
+    /// How long a terminated call's machines stay in memory to absorb
+    /// retransmissions before eviction (§7.3: "once the calls have
+    /// successfully reached the final state, the corresponding protocol
+    /// state machines will be deleted from the memory").
+    pub eviction_delay: SimTime,
+    /// Ablation switch (experiment E8): disable the δ synchronization
+    /// channels between the SIP and RTP machines.
+    pub cross_protocol_sync: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            invite_flood_n: 10,
+            invite_flood_t1: SimTime::from_secs(1),
+            bye_dos_t: SimTime::from_millis(200),
+            spam_seq_gap: 50,
+            spam_ts_gap: 4_000,
+            rtp_flood_max_packets: 300,
+            rtp_flood_window: SimTime::from_secs(1),
+            response_flood_n: 10,
+            response_flood_window: SimTime::from_secs(1),
+            teardown_linger: SimTime::from_secs(8),
+            eviction_delay: SimTime::from_secs(5),
+            cross_protocol_sync: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.invite_flood_n > 1);
+        assert!(c.bye_dos_t < c.teardown_linger);
+        assert!(c.spam_seq_gap > 0 && c.spam_ts_gap > 0);
+        assert!(c.rtp_flood_max_packets > 100, "must exceed one G.729 second");
+        assert!(c.cross_protocol_sync);
+    }
+}

@@ -1,0 +1,711 @@
+//! The Analysis Engine (Fig. 3): feeds classified events to the right
+//! machines, collects attack-state entries and specification deviations,
+//! and raises [`Alert`]s.
+
+use std::collections::HashSet;
+
+use vids_efsm::network::NetworkOutcome;
+use vids_netsim::packet::Packet;
+use vids_netsim::time::SimTime;
+
+use crate::alert::{Alert, AlertKind};
+use crate::classify::{classify, Classified};
+use crate::config::Config;
+use crate::cost::{CostModel, CpuAccount};
+use crate::factbase::{FactBase, FactBaseStats};
+
+/// Traffic counters the engine maintains alongside the alert log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VidsCounters {
+    /// SIP messages processed.
+    pub sip_packets: u64,
+    /// RTP packets processed.
+    pub rtp_packets: u64,
+    /// Unparseable SIP/RTP datagrams.
+    pub malformed: u64,
+    /// Non-VoIP traffic passed through unmonitored.
+    pub ignored: u64,
+    /// RTP packets matching no monitored call's media coordinates.
+    pub unassociated_rtp: u64,
+    /// SIP requests for calls vids does not know.
+    pub unassociated_sip_requests: u64,
+    /// SIP responses matching no monitored call (DRDoS symptom).
+    pub unassociated_sip_responses: u64,
+}
+
+/// How often idle call networks are advanced and finished calls evicted.
+const SWEEP_INTERVAL_MS: u64 = 100;
+
+/// The vids intrusion detection system. Feed it every packet crossing the
+/// monitoring point via [`Vids::process`]; read alerts back with
+/// [`Vids::alerts`] or from the per-call return values.
+pub struct Vids {
+    config: Config,
+    cost: CostModel,
+    factbase: FactBase,
+    alerts: Vec<Alert>,
+    dedup: HashSet<(String, String)>,
+    counters: VidsCounters,
+    cpu: CpuAccount,
+    last_sweep_ms: u64,
+}
+
+impl Vids {
+    /// Creates a monitor with the default cost model.
+    pub fn new(config: Config) -> Self {
+        Vids::with_cost(config, CostModel::default())
+    }
+
+    /// Creates a monitor with an explicit cost model.
+    pub fn with_cost(config: Config, cost: CostModel) -> Self {
+        Vids {
+            factbase: FactBase::new(config),
+            config,
+            cost,
+            alerts: Vec::new(),
+            dedup: HashSet::new(),
+            counters: VidsCounters::default(),
+            cpu: CpuAccount::new(),
+            last_sweep_ms: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The cost model (the inline tap charges holds from it).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// All alerts raised so far, in order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Traffic counters.
+    pub fn counters(&self) -> VidsCounters {
+        self.counters
+    }
+
+    /// The number of calls currently monitored.
+    pub fn monitored_calls(&self) -> usize {
+        self.factbase.call_count()
+    }
+
+    /// Fact-base lifetime statistics.
+    pub fn factbase_stats(&self) -> FactBaseStats {
+        self.factbase.stats()
+    }
+
+    /// Current fact-base memory footprint (E5).
+    pub fn memory_bytes(&self) -> usize {
+        self.factbase.memory_bytes()
+    }
+
+    /// Direct fact-base access for introspection.
+    pub fn factbase(&self) -> &FactBase {
+        &self.factbase
+    }
+
+    /// CPU busy time accumulated by the cost model.
+    pub fn cpu_busy(&self) -> SimTime {
+        self.cpu.busy()
+    }
+
+    /// CPU overhead fraction over an elapsed monitoring interval (§7.3).
+    pub fn cpu_overhead(&self, elapsed: SimTime) -> f64 {
+        self.cpu.overhead_fraction(elapsed)
+    }
+
+    /// Processes one packet at monitor time `now`; returns the alerts this
+    /// packet raised (also appended to the persistent log).
+    pub fn process(&mut self, packet: &Packet, now: SimTime) -> Vec<Alert> {
+        let now_ms = now.as_millis();
+        self.cpu.charge(self.cost.cpu_for(packet));
+        let mut new_alerts = self.maintain(now_ms);
+
+        match classify(packet) {
+            Classified::Sip {
+                call_id,
+                event,
+                is_initial_invite,
+                is_request,
+                dst_ip,
+            } => {
+                self.counters.sip_packets += 1;
+
+                // REGISTER traffic crossing the perimeter is tracked per
+                // address-of-record by the registration machine (extension:
+                // the unregister / registration-hijack attack).
+                if event.name == "SIP.REGISTER" {
+                    let aor = event.str_arg("aor").unwrap_or("").to_owned();
+                    let net = self.factbase.registration_mut(&aor);
+                    net.advance_time(now_ms);
+                    let target = net.machine_by_name("register").unwrap();
+                    let outcome = net.deliver(target, event, now_ms);
+                    new_alerts.extend(self.absorb(outcome, &format!("aor:{aor}"), now_ms, None));
+                    return new_alerts;
+                }
+
+                // Fig. 4: every INVITE also feeds the per-destination
+                // flooding detector, attack or not.
+                if event.name == "SIP.INVITE" {
+                    let net = self.factbase.invite_flood_mut(dst_ip);
+                    net.advance_time(now_ms);
+                    let target = net.machine_by_name("flood").unwrap();
+                    let outcome = net.deliver(target, event.clone(), now_ms);
+                    new_alerts.extend(self.absorb(
+                        outcome,
+                        &format!("dst:{dst_ip}"),
+                        now_ms,
+                        None,
+                    ));
+                }
+
+                let known = self.factbase.call_mut(&call_id).is_some();
+                if known || is_initial_invite {
+                    if !known {
+                        self.factbase.create_call(&call_id, now_ms);
+                    }
+                    let record = self.factbase.call_mut(&call_id).unwrap();
+                    let mut outcome = record.network.advance_time(now_ms);
+                    let sip = record.network.machine_by_name("sip").unwrap();
+                    let delivered = record.network.deliver(sip, event, now_ms);
+                    outcome.alerts.extend(delivered.alerts);
+                    outcome.deviations.extend(delivered.deviations);
+                    outcome.nondeterministic |= delivered.nondeterministic;
+                    self.factbase.refresh_media_index(&call_id);
+                    new_alerts.extend(self.absorb(outcome, &call_id, now_ms, Some(&call_id)));
+                } else if is_request {
+                    // A non-dialog-forming request for an unknown call:
+                    // a specification anomaly worth an alert.
+                    self.counters.unassociated_sip_requests += 1;
+                    if let Some(alert) = self.raise(
+                        now_ms,
+                        AlertKind::Deviation,
+                        format!("unassociated-request:{}", event.name),
+                        Some(call_id.clone()),
+                        "engine",
+                        format!("request for unmonitored call {call_id}"),
+                    ) {
+                        new_alerts.push(alert);
+                    }
+                } else {
+                    // A response matching no monitored call: feed the DRDoS
+                    // reflection detector for its destination.
+                    self.counters.unassociated_sip_responses += 1;
+                    let net = self.factbase.response_flood_mut(dst_ip);
+                    net.advance_time(now_ms);
+                    let target = net.machine_by_name("response-flood").unwrap();
+                    let synthetic =
+                        vids_efsm::Event::data("SIP.response.unassociated").with_arg(
+                            "src_ip",
+                            event.str_arg("src_ip").unwrap_or("").to_owned(),
+                        );
+                    let outcome = net.deliver(target, synthetic, now_ms);
+                    new_alerts.extend(self.absorb(
+                        outcome,
+                        &format!("dst:{dst_ip}"),
+                        now_ms,
+                        None,
+                    ));
+                }
+            }
+            Classified::Rtp { event } => {
+                self.counters.rtp_packets += 1;
+                let dst_ip = event.str_arg("dst_ip").unwrap_or("").to_owned();
+                let dst_port = event.uint_arg("dst_port").unwrap_or(0);
+                let call_id = self
+                    .factbase
+                    .media_lookup(&dst_ip, dst_port)
+                    .map(str::to_owned);
+                match call_id {
+                    Some(call_id) => {
+                        let record = self.factbase.call_mut(&call_id).unwrap();
+                        let mut outcome = record.network.advance_time(now_ms);
+                        let rtp = record.network.machine_by_name("rtp").unwrap();
+                        let delivered = record.network.deliver(rtp, event, now_ms);
+                        outcome.alerts.extend(delivered.alerts);
+                        outcome.deviations.extend(delivered.deviations);
+                        outcome.nondeterministic |= delivered.nondeterministic;
+                        new_alerts.extend(self.absorb(outcome, &call_id, now_ms, Some(&call_id)));
+                    }
+                    None => {
+                        self.counters.unassociated_rtp += 1;
+                        if let Some(alert) = self.raise(
+                            now_ms,
+                            AlertKind::Deviation,
+                            "unassociated-rtp".to_owned(),
+                            None,
+                            "engine",
+                            format!("RTP to {dst_ip}:{dst_port} outside any session"),
+                        ) {
+                            new_alerts.push(alert);
+                        }
+                    }
+                }
+            }
+            Classified::Malformed { protocol, reason } => {
+                self.counters.malformed += 1;
+                if let Some(alert) = self.raise(
+                    now_ms,
+                    AlertKind::Deviation,
+                    format!("malformed-{}", protocol.to_ascii_lowercase()),
+                    None,
+                    "classifier",
+                    reason,
+                ) {
+                    new_alerts.push(alert);
+                }
+            }
+            Classified::Ignored => {
+                self.counters.ignored += 1;
+            }
+        }
+        new_alerts
+    }
+
+    /// Advances idle timers and evicts finished calls. Called automatically
+    /// from [`Vids::process`] every `SWEEP_INTERVAL_MS`; call explicitly to
+    /// flush at the end of a run.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Alert> {
+        let now_ms = now.as_millis();
+        self.last_sweep_ms = 0; // force
+        self.maintain(now_ms)
+    }
+
+    fn maintain(&mut self, now_ms: u64) -> Vec<Alert> {
+        if now_ms.saturating_sub(self.last_sweep_ms) < SWEEP_INTERVAL_MS {
+            return Vec::new();
+        }
+        self.last_sweep_ms = now_ms;
+        let mut alerts = Vec::new();
+        let ids: Vec<String> = self.factbase.call_ids().map(str::to_owned).collect();
+        for id in ids {
+            if let Some(record) = self.factbase.call_mut(&id) {
+                let outcome = record.network.advance_time(now_ms);
+                if outcome.transitions > 0 || outcome.is_suspicious() {
+                    alerts.extend(self.absorb(outcome, &id, now_ms, Some(&id)));
+                }
+            }
+        }
+        self.factbase.sweep(now_ms);
+        alerts
+    }
+
+    /// Converts a network outcome into deduplicated alerts.
+    fn absorb(
+        &mut self,
+        outcome: NetworkOutcome,
+        scope: &str,
+        now_ms: u64,
+        call_id: Option<&str>,
+    ) -> Vec<Alert> {
+        let mut out = Vec::new();
+        for a in outcome.alerts {
+            if let Some(alert) = self.raise(
+                a.time_ms.max(now_ms.saturating_sub(now_ms)), // keep machine time
+                AlertKind::Attack,
+                a.label,
+                call_id.map(str::to_owned),
+                &a.machine,
+                format!("scope {scope}"),
+            ) {
+                out.push(alert);
+            }
+        }
+        for d in outcome.deviations {
+            if let Some(alert) = self.raise(
+                d.time_ms,
+                AlertKind::Deviation,
+                format!("deviation:{}", d.event.name),
+                call_id.map(str::to_owned),
+                &d.machine,
+                d.event.to_string(),
+            ) {
+                out.push(alert);
+            }
+        }
+        if outcome.nondeterministic {
+            if let Some(alert) = self.raise(
+                now_ms,
+                AlertKind::Nondeterminism,
+                "nondeterministic-machine".to_owned(),
+                call_id.map(str::to_owned),
+                "engine",
+                format!("scope {scope}"),
+            ) {
+                out.push(alert);
+            }
+        }
+        out
+    }
+
+    fn raise(
+        &mut self,
+        time_ms: u64,
+        kind: AlertKind,
+        label: String,
+        call_id: Option<String>,
+        machine: &str,
+        detail: String,
+    ) -> Option<Alert> {
+        let scope = call_id.clone().unwrap_or_else(|| detail.clone());
+        if !self.dedup.insert((scope, label.clone())) {
+            return None;
+        }
+        let alert = Alert {
+            time_ms,
+            kind,
+            label,
+            call_id,
+            machine: machine.to_owned(),
+            detail,
+        };
+        self.alerts.push(alert.clone());
+        Some(alert)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::alert::labels;
+    use vids_netsim::packet::{Address, Payload};
+    use vids_rtp::packet::RtpPacket;
+    use vids_sdp::{Codec, SessionDescription};
+    use vids_sip::message::Request;
+    use vids_sip::{Method, SipUri, StatusCode};
+
+    const CALLER: Address = Address::new(10, 1, 0, 10, 5060);
+    const CALLEE: Address = Address::new(10, 2, 0, 10, 5060);
+
+    fn pkt(src: Address, dst: Address, payload: Payload) -> Packet {
+        Packet {
+            src,
+            dst,
+            payload,
+            id: 0,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    fn invite(call_id: &str) -> Request {
+        let sdp = SessionDescription::audio_offer("alice", "10.1.0.10", 20_000, &[Codec::G729]);
+        Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            call_id,
+        )
+        .with_body(vids_sdp::MIME_TYPE, sdp.to_string())
+    }
+
+    /// Drives a full clean call through the engine; returns the Vids.
+    fn clean_call(vids: &mut Vids, call_id: &str) {
+        let inv = invite(call_id);
+        vids.process(
+            &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+            SimTime::from_millis(0),
+        );
+        let ringing = inv.response(StatusCode::RINGING).with_to_tag("tt");
+        vids.process(
+            &pkt(CALLEE, CALLER, Payload::Sip(ringing.to_string())),
+            SimTime::from_millis(60),
+        );
+        let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
+        let ok = inv
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids_sdp::MIME_TYPE, answer.to_string());
+        vids.process(
+            &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
+            SimTime::from_millis(120),
+        );
+        let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
+        vids.process(
+            &pkt(CALLER, CALLEE, Payload::Sip(ack.to_string())),
+            SimTime::from_millis(180),
+        );
+        // A little media both ways.
+        for i in 0..20u16 {
+            let fwd = RtpPacket::new(18, 100 + i, (i as u32) * 80, 7).with_payload(vec![0; 10]);
+            vids.process(
+                &pkt(
+                    CALLER.with_port(20_000),
+                    CALLEE.with_port(30_000),
+                    Payload::Rtp(fwd.to_bytes()),
+                ),
+                SimTime::from_millis(200 + i as u64 * 10),
+            );
+            let rev = RtpPacket::new(18, 500 + i, (i as u32) * 80, 9).with_payload(vec![0; 10]);
+            vids.process(
+                &pkt(
+                    CALLEE.with_port(30_000),
+                    CALLER.with_port(20_000),
+                    Payload::Rtp(rev.to_bytes()),
+                ),
+                SimTime::from_millis(205 + i as u64 * 10),
+            );
+        }
+        let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("tt"));
+        vids.process(
+            &pkt(CALLER, CALLEE, Payload::Sip(bye.to_string())),
+            SimTime::from_millis(500),
+        );
+        let bye_ok = bye.response(StatusCode::OK);
+        vids.process(
+            &pkt(CALLEE, CALLER, Payload::Sip(bye_ok.to_string())),
+            SimTime::from_millis(560),
+        );
+    }
+
+    #[test]
+    fn clean_call_raises_no_alerts_and_gets_evicted() {
+        let mut vids = Vids::new(Config::default());
+        clean_call(&mut vids, "clean-1");
+        assert!(vids.alerts().is_empty(), "alerts: {:?}", vids.alerts());
+        assert_eq!(vids.monitored_calls(), 1);
+        // Flush timers: the first tick marks the call final, the second
+        // (past the eviction grace period) removes it.
+        vids.tick(SimTime::from_secs(30));
+        vids.tick(SimTime::from_secs(40));
+        assert_eq!(vids.monitored_calls(), 0);
+        assert_eq!(vids.factbase_stats().calls_evicted, 1);
+        let c = vids.counters();
+        assert_eq!(c.sip_packets, 6);
+        assert_eq!(c.rtp_packets, 40);
+        assert_eq!(c.malformed, 0);
+        assert_eq!(c.unassociated_rtp, 0);
+    }
+
+    #[test]
+    fn invite_flood_is_detected_across_calls() {
+        let mut vids = Vids::new(Config::default());
+        let n = vids.config().invite_flood_n;
+        let mut raised = Vec::new();
+        for i in 0..=n {
+            let inv = invite(&format!("flood-{i}"));
+            raised.extend(vids.process(
+                &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+                SimTime::from_millis(i * 5),
+            ));
+        }
+        assert!(
+            raised.iter().any(|a| a.label == labels::INVITE_FLOOD),
+            "alerts: {raised:?}"
+        );
+    }
+
+    #[test]
+    fn paced_invites_do_not_alert() {
+        let mut vids = Vids::new(Config::default());
+        for i in 0..30u64 {
+            let inv = invite(&format!("paced-{i}"));
+            let alerts = vids.process(
+                &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+                SimTime::from_millis(i * 2_000),
+            );
+            assert!(alerts.is_empty(), "call {i}: {alerts:?}");
+        }
+    }
+
+    #[test]
+    fn rtp_after_bye_detected_through_cross_protocol_sync() {
+        let mut vids = Vids::new(Config::default());
+        clean_call(&mut vids, "byedos-1");
+        // The call tore down at ~500 ms. After T (200 ms) expires, media
+        // resumes — the BYE-DoS / billing-fraud signature.
+        let spam = RtpPacket::new(18, 200, 9_999, 7).with_payload(vec![0; 10]);
+        let alerts = vids.process(
+            &pkt(
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(spam.to_bytes()),
+            ),
+            SimTime::from_millis(1_500),
+        );
+        assert!(
+            alerts.iter().any(|a| a.label == labels::RTP_AFTER_BYE),
+            "alerts: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn sync_disabled_ablation_misses_rtp_after_bye() {
+        let mut cfg = Config::default();
+        cfg.cross_protocol_sync = false;
+        let mut vids = Vids::with_cost(cfg, CostModel::free());
+        clean_call(&mut vids, "ablate-1");
+        let spam = RtpPacket::new(18, 200, 9_999, 7).with_payload(vec![0; 10]);
+        let alerts = vids.process(
+            &pkt(
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(spam.to_bytes()),
+            ),
+            SimTime::from_millis(1_500),
+        );
+        assert!(
+            !alerts.iter().any(|a| a.label == labels::RTP_AFTER_BYE),
+            "without δ sync the RTP machine never armed timer T: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn media_spam_detected_mid_call() {
+        let mut vids = Vids::new(Config::default());
+        // Set up a call but don't tear it down: reuse clean_call's first
+        // half by sending INVITE/200/ACK then media.
+        let inv = invite("spam-1");
+        vids.process(&pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())), SimTime::ZERO);
+        let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
+        let ok = inv
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids_sdp::MIME_TYPE, answer.to_string());
+        vids.process(&pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())), SimTime::from_millis(50));
+        let legit = RtpPacket::new(18, 100, 800, 7).with_payload(vec![0; 10]);
+        vids.process(
+            &pkt(CALLER.with_port(20_000), CALLEE.with_port(30_000), Payload::Rtp(legit.to_bytes())),
+            SimTime::from_millis(100),
+        );
+        // Spoofed packet: same SSRC, big jumps (paper Fig. 6).
+        let spam = RtpPacket::new(18, 100 + 200, 800 + 50_000, 7).with_payload(vec![0; 10]);
+        let alerts = vids.process(
+            &pkt(CALLER.with_port(20_000), CALLEE.with_port(30_000), Payload::Rtp(spam.to_bytes())),
+            SimTime::from_millis(110),
+        );
+        assert!(alerts.iter().any(|a| a.label == labels::MEDIA_SPAM));
+    }
+
+    #[test]
+    fn unknown_call_bye_is_flagged() {
+        let mut vids = Vids::new(Config::default());
+        let inv = invite("ghost");
+        let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("tt"));
+        let alerts = vids.process(
+            &pkt(CALLER, CALLEE, Payload::Sip(bye.to_string())),
+            SimTime::ZERO,
+        );
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Deviation);
+        assert!(alerts[0].label.contains("unassociated-request"));
+        assert_eq!(vids.counters().unassociated_sip_requests, 1);
+    }
+
+    #[test]
+    fn response_flood_triggers_drdos_alert() {
+        let mut vids = Vids::new(Config::default());
+        let n = vids.config().response_flood_n;
+        let inv = invite("never-seen");
+        let ok = inv.response(StatusCode::OK);
+        let mut raised = Vec::new();
+        for i in 0..=n {
+            raised.extend(vids.process(
+                &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
+                SimTime::from_millis(i * 5),
+            ));
+        }
+        assert!(
+            raised.iter().any(|a| a.label == labels::RESPONSE_FLOOD),
+            "alerts: {raised:?}"
+        );
+        assert!(vids.counters().unassociated_sip_responses > n);
+    }
+
+    #[test]
+    fn malformed_traffic_is_flagged_once() {
+        let mut vids = Vids::new(Config::default());
+        let junk = pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned()));
+        let a1 = vids.process(&junk, SimTime::ZERO);
+        let a2 = vids.process(&junk, SimTime::from_millis(1));
+        assert_eq!(a1.len(), 1);
+        assert!(a2.is_empty(), "dedup suppresses repeats");
+        assert_eq!(vids.counters().malformed, 2);
+    }
+
+    fn register_packet(src: Address, contact_ip: &str, expires: u32) -> Packet {
+        use vids_sip::headers::{CSeq as SipCSeq, Header, NameAddr, Via};
+        let aor = SipUri::new("roamer", "b.example.com");
+        let mut req = vids_sip::Request::new(Method::Register, SipUri::host_only("b.example.com"));
+        req.headers
+            .push(Header::Via(Via::udp(src.ip_string(), 5060, "z9hG4bK-r1")));
+        req.headers.push(Header::From(NameAddr::new(aor.clone()).with_tag("rt")));
+        req.headers.push(Header::To(NameAddr::new(aor)));
+        req.headers.push(Header::CallId("reg-roamer".to_owned()));
+        req.headers.push(Header::CSeq(SipCSeq::new(1, Method::Register)));
+        req.headers
+            .push(Header::Contact(NameAddr::new(SipUri::new("roamer", contact_ip))));
+        req.headers.push(Header::Expires(expires));
+        req.headers.push(Header::ContentLength(0));
+        pkt(src, CALLEE, Payload::Sip(req.to_string()))
+    }
+
+    #[test]
+    fn perimeter_register_is_tracked_not_flagged() {
+        let mut vids = Vids::new(Config::default());
+        let owner = Address::new(10, 0, 0, 20, 5060);
+        let alerts = vids.process(&register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        assert!(alerts.is_empty(), "{alerts:?}");
+        // Refresh from the same source: still clean.
+        let alerts = vids.process(
+            &register_packet(owner, "10.0.0.20", 3600),
+            SimTime::from_secs(60),
+        );
+        assert!(alerts.is_empty());
+        assert_eq!(vids.counters().unassociated_sip_requests, 0);
+    }
+
+    #[test]
+    fn registration_hijack_from_foreign_source_is_detected() {
+        let mut vids = Vids::new(Config::default());
+        let owner = Address::new(10, 0, 0, 20, 5060);
+        let attacker = Address::new(10, 0, 0, 66, 5060);
+        vids.process(&register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        let alerts = vids.process(
+            &register_packet(attacker, "10.0.0.66", 3600),
+            SimTime::from_secs(10),
+        );
+        assert!(
+            alerts.iter().any(|a| a.label == labels::REGISTRATION_HIJACK),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn foreign_unregister_is_detected() {
+        let mut vids = Vids::new(Config::default());
+        let owner = Address::new(10, 0, 0, 20, 5060);
+        let attacker = Address::new(10, 0, 0, 66, 5060);
+        vids.process(&register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        let alerts = vids.process(
+            &register_packet(attacker, "10.0.0.20", 0),
+            SimTime::from_secs(10),
+        );
+        assert!(
+            alerts.iter().any(|a| a.label == labels::REGISTRATION_HIJACK),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn memory_is_accounted_per_call() {
+        let mut vids = Vids::new(Config::default());
+        let empty = vids.memory_bytes();
+        for i in 0..50 {
+            let inv = invite(&format!("mem-{i}"));
+            vids.process(
+                &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+                SimTime::from_millis(i * 2_000),
+            );
+        }
+        let full = vids.memory_bytes();
+        assert_eq!(vids.monitored_calls(), 50);
+        let per_call = (full - empty) / 50;
+        assert!((100..4_000).contains(&per_call), "per-call {per_call} B");
+    }
+}

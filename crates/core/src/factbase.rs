@@ -1,0 +1,382 @@
+//! The Call State Fact Base (Fig. 3).
+//!
+//! "The vids component, Call State Fact Base, stores the control state and
+//! its state variables and keeps track of the progress of state machines
+//! for each ongoing call." (§5) One communicating-EFSM network (SIP + RTP
+//! machine) exists per monitored call; per-destination flood machines live
+//! beside them. Calls whose machines all reached final states are evicted
+//! after a grace period (§7.3), keeping memory proportional to *ongoing*
+//! calls only.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vids_efsm::machine::MachineDef;
+use vids_efsm::network::Network;
+
+use crate::config::Config;
+use crate::machines::flood::{invite_flood_machine, response_flood_machine};
+use crate::machines::register::registration_machine;
+use crate::machines::rtp::rtp_session_machine;
+use crate::machines::sip::sip_call_machine;
+
+/// One monitored call: its EFSM network plus bookkeeping.
+pub struct CallRecord {
+    /// The communicating SIP+RTP machine network.
+    pub network: Network,
+    /// When monitoring of this call began (ms).
+    pub created_ms: u64,
+    /// Set once every machine reached a final state, for delayed eviction.
+    pub final_since_ms: Option<u64>,
+}
+
+/// Aggregate fact-base statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactBaseStats {
+    /// Calls instantiated over the run.
+    pub calls_created: u64,
+    /// Calls evicted after reaching final states.
+    pub calls_evicted: u64,
+    /// High-water mark of concurrently monitored calls.
+    pub peak_concurrent: usize,
+}
+
+/// The fact base: per-call networks, the media index, and per-destination
+/// flood machines.
+pub struct FactBase {
+    config: Config,
+    sip_def: Arc<MachineDef>,
+    rtp_def: Arc<MachineDef>,
+    invite_flood_def: Arc<MachineDef>,
+    response_flood_def: Arc<MachineDef>,
+    registration_def: Arc<MachineDef>,
+    calls: HashMap<String, CallRecord>,
+    /// `(media ip, media port) -> call id`, rebuilt from the call-global
+    /// variables the SIP machine publishes.
+    media_index: HashMap<(String, u64), String>,
+    invite_flood: HashMap<u32, Network>,
+    response_flood: HashMap<u32, Network>,
+    registrations: HashMap<String, Network>,
+    stats: FactBaseStats,
+}
+
+impl FactBase {
+    /// Creates a fact base with the machine definitions built once and
+    /// shared by every call (this sharing is what keeps per-call memory at
+    /// the tens-of-bytes level of §7.3).
+    pub fn new(config: Config) -> Self {
+        FactBase {
+            sip_def: Arc::new(sip_call_machine(&config)),
+            rtp_def: Arc::new(rtp_session_machine(&config)),
+            invite_flood_def: Arc::new(invite_flood_machine(&config)),
+            response_flood_def: Arc::new(response_flood_machine(&config)),
+            registration_def: Arc::new(registration_machine()),
+            config,
+            calls: HashMap::new(),
+            media_index: HashMap::new(),
+            invite_flood: HashMap::new(),
+            response_flood: HashMap::new(),
+            registrations: HashMap::new(),
+            stats: FactBaseStats::default(),
+        }
+    }
+
+    /// The number of currently monitored calls.
+    pub fn call_count(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Fact-base statistics.
+    pub fn stats(&self) -> FactBaseStats {
+        self.stats
+    }
+
+    /// Access a monitored call.
+    pub fn call_mut(&mut self, call_id: &str) -> Option<&mut CallRecord> {
+        self.calls.get_mut(call_id)
+    }
+
+    /// Shared access (introspection in tests and examples).
+    pub fn call(&self, call_id: &str) -> Option<&CallRecord> {
+        self.calls.get(call_id)
+    }
+
+    /// Call-IDs currently monitored (unordered).
+    pub fn call_ids(&self) -> impl Iterator<Item = &str> {
+        self.calls.keys().map(String::as_str)
+    }
+
+    /// Instantiates the per-call machine network for a new call.
+    pub fn create_call(&mut self, call_id: &str, now_ms: u64) -> &mut CallRecord {
+        self.stats.calls_created += 1;
+        let mut network = Network::new();
+        network.add_machine(Arc::clone(&self.sip_def));
+        network.add_machine(Arc::clone(&self.rtp_def));
+        if !self.config.cross_protocol_sync {
+            network.disable_sync();
+        }
+        let record = CallRecord {
+            network,
+            created_ms: now_ms,
+            final_since_ms: None,
+        };
+        self.calls.entry(call_id.to_owned()).or_insert(record);
+        self.stats.peak_concurrent = self.stats.peak_concurrent.max(self.calls.len());
+        self.calls.get_mut(call_id).unwrap()
+    }
+
+    /// Re-reads a call's global variables and refreshes the media index so
+    /// RTP packets can be grouped with the call. Call after every SIP event
+    /// delivered to the call.
+    pub fn refresh_media_index(&mut self, call_id: &str) {
+        let Some(record) = self.calls.get(call_id) else {
+            return;
+        };
+        let globals = record.network.globals();
+        for (ip_var, port_var) in [
+            ("g_caller_media_ip", "g_caller_media_port"),
+            ("g_callee_media_ip", "g_callee_media_port"),
+        ] {
+            if let (Some(ip), Some(port)) = (globals.str(ip_var), globals.uint(port_var)) {
+                if !ip.is_empty() && port != 0 {
+                    self.media_index
+                        .insert((ip.to_owned(), port), call_id.to_owned());
+                }
+            }
+        }
+    }
+
+    /// Looks up the call owning a media endpoint.
+    pub fn media_lookup(&self, ip: &str, port: u64) -> Option<&str> {
+        self.media_index
+            .get(&(ip.to_owned(), port))
+            .map(String::as_str)
+    }
+
+    /// The per-destination INVITE-flood machine (Fig. 4), created on first
+    /// use.
+    pub fn invite_flood_mut(&mut self, dst_ip: u32) -> &mut Network {
+        let def = Arc::clone(&self.invite_flood_def);
+        self.invite_flood.entry(dst_ip).or_insert_with(|| {
+            let mut n = Network::new();
+            n.add_machine(def);
+            n
+        })
+    }
+
+    /// The per-destination response-flood machine (DRDoS), created on first
+    /// use.
+    pub fn response_flood_mut(&mut self, dst_ip: u32) -> &mut Network {
+        let def = Arc::clone(&self.response_flood_def);
+        self.response_flood.entry(dst_ip).or_insert_with(|| {
+            let mut n = Network::new();
+            n.add_machine(def);
+            n
+        })
+    }
+
+    /// The per-AOR registration machine (extension), created on first use.
+    pub fn registration_mut(&mut self, aor: &str) -> &mut Network {
+        let def = Arc::clone(&self.registration_def);
+        self.registrations.entry(aor.to_owned()).or_insert_with(|| {
+            let mut n = Network::new();
+            n.add_machine(def);
+            n
+        })
+    }
+
+    /// Marks finished calls and evicts those final for longer than the
+    /// configured grace period. Returns the evicted call ids.
+    pub fn sweep(&mut self, now_ms: u64) -> Vec<String> {
+        let delay = self.config.eviction_delay.as_millis();
+        let mut evicted = Vec::new();
+        for (id, record) in &mut self.calls {
+            if record.network.all_final() {
+                let since = *record.final_since_ms.get_or_insert(now_ms);
+                if now_ms.saturating_sub(since) >= delay {
+                    evicted.push(id.clone());
+                }
+            } else {
+                record.final_since_ms = None;
+            }
+        }
+        for id in &evicted {
+            self.calls.remove(id);
+            self.media_index.retain(|_, call| call != id);
+            self.stats.calls_evicted += 1;
+        }
+        evicted
+    }
+
+    /// Total fact-base memory attributable to per-call state (E5): the
+    /// configurations `(s, v̄)`, globals, queues and timers of every call
+    /// network plus the media-index entries. Machine definitions are
+    /// shared and excluded, exactly as the paper argues in §7.3.
+    pub fn memory_bytes(&self) -> usize {
+        let calls: usize = self
+            .calls
+            .iter()
+            .map(|(id, r)| id.len() + r.network.memory_bytes() + 32)
+            .sum();
+        let index: usize = self
+            .media_index
+            .iter()
+            .map(|((ip, _), call)| ip.len() + 8 + call.len())
+            .sum();
+        let floods: usize = self
+            .invite_flood
+            .values()
+            .chain(self.response_flood.values())
+            .map(|n| n.memory_bytes() + 8)
+            .sum();
+        let registrations: usize = self
+            .registrations
+            .iter()
+            .map(|(aor, n)| aor.len() + n.memory_bytes())
+            .sum();
+        calls + index + floods + registrations
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use vids_efsm::Event;
+
+    fn invite_event() -> Event {
+        Event::data("SIP.INVITE")
+            .with_str("call_id", "c1")
+            .with_str("from_tag", "ft")
+            .with_str("to_tag", "")
+            .with_str("src_ip", "10.1.0.10")
+            .with_str("dst_ip", "10.2.0.10")
+            .with_str("cseq_method", "INVITE")
+            .with_bool("has_sdp", true)
+            .with_str("sdp_ip", "10.1.0.10")
+            .with_uint("sdp_port", 20_000)
+            .with_uint("sdp_pt", 18)
+    }
+
+    #[test]
+    fn create_and_index_call() {
+        let mut fb = FactBase::new(Config::default());
+        {
+            let record = fb.create_call("c1", 0);
+            let sip = record.network.machine_by_name("sip").unwrap();
+            record.network.deliver(sip, invite_event(), 0);
+        }
+        fb.refresh_media_index("c1");
+        assert_eq!(fb.call_count(), 1);
+        assert_eq!(fb.media_lookup("10.1.0.10", 20_000), Some("c1"));
+        assert_eq!(fb.media_lookup("10.9.9.9", 20_000), None);
+        assert_eq!(fb.stats().calls_created, 1);
+        assert_eq!(fb.stats().peak_concurrent, 1);
+    }
+
+    #[test]
+    fn sweep_evicts_only_after_grace_period() {
+        let mut cfg = Config::default();
+        cfg.eviction_delay = vids_netsim::time::SimTime::from_millis(1_000);
+        let mut fb = FactBase::new(cfg);
+        {
+            let record = fb.create_call("c1", 0);
+            let sip = record.network.machine_by_name("sip").unwrap();
+            // Drive to TERMINATED quickly: INVITE then failure then ACK.
+            record.network.deliver(sip, invite_event(), 0);
+            record.network.deliver(
+                sip,
+                Event::data("SIP.failure")
+                    .with_str("cseq_method", "INVITE")
+                    .with_uint("status", 486),
+                1,
+            );
+            record.network.deliver(sip, Event::data("SIP.ACK"), 2);
+        }
+        // The RTP machine is not final (still in RTP_OPEN after δ.open):
+        // the call must NOT be evicted.
+        assert!(fb.sweep(10_000).is_empty());
+        assert_eq!(fb.call_count(), 1);
+    }
+
+    #[test]
+    fn fully_final_call_is_evicted() {
+        let mut cfg = Config::default();
+        cfg.eviction_delay = vids_netsim::time::SimTime::from_millis(100);
+        let mut fb = FactBase::new(cfg);
+        {
+            let record = fb.create_call("c1", 0);
+            let sip = record.network.machine_by_name("sip").unwrap();
+            record.network.deliver(sip, invite_event(), 0);
+            record.network.deliver(
+                sip,
+                Event::data("SIP.2xx")
+                    .with_str("cseq_method", "INVITE")
+                    .with_str("to_tag", "tt")
+                    .with_bool("has_sdp", true)
+                    .with_str("sdp_ip", "10.2.0.10")
+                    .with_uint("sdp_port", 30_000),
+                1,
+            );
+            record.network.deliver(
+                sip,
+                Event::data("SIP.BYE")
+                    .with_str("from_tag", "ft")
+                    .with_str("to_tag", "tt")
+                    .with_str("cseq_method", "BYE"),
+                2,
+            );
+            record.network.deliver(
+                sip,
+                Event::data("SIP.2xx").with_str("cseq_method", "BYE"),
+                3,
+            );
+            // Let the RTP machine's drain timer T expire.
+            record.network.advance_time(5_000);
+            assert!(record.network.all_final());
+        }
+        assert!(fb.sweep(5_000).is_empty(), "grace period not yet over");
+        let evicted = fb.sweep(5_200);
+        assert_eq!(evicted, vec!["c1".to_owned()]);
+        assert_eq!(fb.call_count(), 0);
+        assert_eq!(fb.stats().calls_evicted, 1);
+        assert_eq!(fb.media_lookup("10.1.0.10", 20_000), None);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_calls() {
+        let mut fb = FactBase::new(Config::default());
+        let mut sizes = Vec::new();
+        for i in 0..20 {
+            let id = format!("call-{i}");
+            let record = fb.create_call(&id, 0);
+            let sip = record.network.machine_by_name("sip").unwrap();
+            let mut ev = invite_event();
+            ev.args.set("call_id", id.clone());
+            record.network.deliver(sip, ev, 0);
+            fb.refresh_media_index(&id);
+            sizes.push(fb.memory_bytes());
+        }
+        // Roughly linear: the 20th increment is close to the 2nd.
+        let d1 = sizes[2] - sizes[1];
+        let d19 = sizes[19] - sizes[18];
+        assert!(d19 <= d1 * 2, "increments {d1} vs {d19}");
+        // Paper §7.3 ballpark: a few hundred bytes per call.
+        let per_call = sizes[19] / 20;
+        assert!(
+            (100..4_000).contains(&per_call),
+            "per-call memory {per_call} B"
+        );
+    }
+
+    #[test]
+    fn flood_machines_are_per_destination() {
+        let mut fb = FactBase::new(Config::default());
+        let a = fb.invite_flood_mut(1) as *const Network;
+        let b = fb.invite_flood_mut(2) as *const Network;
+        assert_ne!(a, b);
+        // Re-fetch returns the same machine.
+        let a2 = fb.invite_flood_mut(1) as *const Network;
+        assert_eq!(a, a2);
+    }
+}

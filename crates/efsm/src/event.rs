@@ -1,0 +1,174 @@
+//! The event alphabet Σ: data packets, synchronization messages and timers.
+
+use std::fmt;
+
+use crate::value::{Value, VarMap};
+
+/// How an event reached the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EventKind {
+    /// `c?event(x̄)` — a packet arrived on a protocol channel.
+    #[default]
+    Data,
+    /// δ — an internal synchronization message from a co-operating protocol
+    /// state machine, delivered through a FIFO channel. Higher priority
+    /// than data events (§4.2).
+    Sync,
+    /// A timer set by an earlier action expired (e.g. the paper's T1 / T).
+    Timer,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Data => f.write_str("data"),
+            EventKind::Sync => f.write_str("sync"),
+            EventKind::Timer => f.write_str("timer"),
+        }
+    }
+}
+
+/// An input event: a name plus an argument vector `x̄`.
+///
+/// Arguments are named values, mirroring the paper's use of fields like
+/// `x.src_ip` and `x.time_stamp` inside predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Event {
+    /// The event identifier (e.g. `"SIP.INVITE"`, `"RTP.Packet"`, `"δ"`).
+    pub name: String,
+    /// How the event arrived.
+    pub kind: EventKind,
+    /// The argument vector `x̄`.
+    pub args: VarMap,
+}
+
+impl Event {
+    /// Creates a data-packet event with no arguments yet.
+    pub fn data(name: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            kind: EventKind::Data,
+            args: VarMap::new(),
+        }
+    }
+
+    /// Creates a synchronization (δ) event.
+    pub fn sync(name: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            kind: EventKind::Sync,
+            args: VarMap::new(),
+        }
+    }
+
+    /// Creates a timer-expiry event. The name is the timer's name.
+    pub fn timer(name: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            kind: EventKind::Timer,
+            args: VarMap::new(),
+        }
+    }
+
+    /// Adds an unsigned-integer argument, builder-style.
+    #[must_use]
+    pub fn with_uint(mut self, name: &str, value: u64) -> Self {
+        self.args.set(name, value);
+        self
+    }
+
+    /// Adds a signed-integer argument, builder-style.
+    #[must_use]
+    pub fn with_int(mut self, name: &str, value: i64) -> Self {
+        self.args.set(name, value);
+        self
+    }
+
+    /// Adds a string argument, builder-style.
+    #[must_use]
+    pub fn with_str(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.args.set(name, value.into());
+        self
+    }
+
+    /// Adds a boolean argument, builder-style.
+    #[must_use]
+    pub fn with_bool(mut self, name: &str, value: bool) -> Self {
+        self.args.set(name, value);
+        self
+    }
+
+    /// Adds an arbitrary argument, builder-style.
+    #[must_use]
+    pub fn with_arg(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.args.set(name, value);
+        self
+    }
+
+    /// Unsigned-integer argument shortcut.
+    pub fn uint_arg(&self, name: &str) -> Option<u64> {
+        self.args.uint(name)
+    }
+
+    /// Signed-integer argument shortcut.
+    pub fn int_arg(&self, name: &str) -> Option<i64> {
+        self.args.int(name)
+    }
+
+    /// String argument shortcut.
+    pub fn str_arg(&self, name: &str) -> Option<&str> {
+        self.args.str(name)
+    }
+
+    /// Boolean argument shortcut (false when absent).
+    pub fn bool_arg(&self, name: &str) -> bool {
+        self.args.flag(name)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}?{}(", self.kind, self.name)?;
+        let mut first = true;
+        for (k, v) in self.args.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_accessors() {
+        let ev = Event::data("SIP.INVITE")
+            .with_str("src_ip", "10.0.0.3")
+            .with_uint("src_port", 5060)
+            .with_bool("has_sdp", true)
+            .with_int("delta", -1);
+        assert_eq!(ev.kind, EventKind::Data);
+        assert_eq!(ev.str_arg("src_ip"), Some("10.0.0.3"));
+        assert_eq!(ev.uint_arg("src_port"), Some(5060));
+        assert!(ev.bool_arg("has_sdp"));
+        assert_eq!(ev.int_arg("delta"), Some(-1));
+        assert_eq!(ev.uint_arg("missing"), None);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Event::sync("δ_SIP→RTP").kind, EventKind::Sync);
+        assert_eq!(Event::timer("T1").kind, EventKind::Timer);
+    }
+
+    #[test]
+    fn display_is_csp_like() {
+        let ev = Event::data("go").with_uint("n", 1);
+        assert_eq!(ev.to_string(), "data?go(n=1)");
+    }
+}

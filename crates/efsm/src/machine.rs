@@ -1,0 +1,383 @@
+//! EFSM definitions: states, transitions, predicates and update actions.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::value::VarMap;
+
+/// Index of a state within its [`MachineDef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub(crate) usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Read-only context handed to transition predicates `P_t(x̄ ∪ v̄)`.
+#[derive(Debug)]
+pub struct PredicateCtx<'a> {
+    /// The input event and its argument vector `x̄`.
+    pub event: &'a Event,
+    /// Machine-local state variables (`v.l_…`).
+    pub locals: &'a VarMap,
+    /// Call-global state variables shared with co-operating machines (`v.g_…`).
+    pub globals: &'a VarMap,
+    /// Monitor wall-clock time in milliseconds.
+    pub now_ms: u64,
+}
+
+/// Side effects an update action can request besides mutating variables.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Effects {
+    /// Synchronization events to enqueue, by target machine name.
+    pub sync_out: Vec<(String, Event)>,
+    /// Timers to (re)arm: `(timer name, delay from now in ms)`.
+    pub timers_set: Vec<(String, u64)>,
+    /// Timers to cancel.
+    pub timers_cancelled: Vec<String>,
+}
+
+/// Mutable context handed to update actions `A_t(v̄)`.
+#[derive(Debug)]
+pub struct ActionCtx<'a> {
+    /// The input event and its argument vector `x̄`.
+    pub event: &'a Event,
+    /// Machine-local state variables.
+    pub locals: &'a mut VarMap,
+    /// Call-global state variables.
+    pub globals: &'a mut VarMap,
+    /// Monitor wall-clock time in milliseconds.
+    pub now_ms: u64,
+    pub(crate) effects: &'a mut Effects,
+}
+
+impl ActionCtx<'_> {
+    /// Emits a synchronization message `c!δ(x̄)` to the named co-operating
+    /// machine. Delivery goes through the network's FIFO queue.
+    pub fn send_sync(&mut self, target_machine: &str, event: Event) {
+        self.effects.sync_out.push((target_machine.to_owned(), event));
+    }
+
+    /// Arms (or re-arms) a named timer to fire `delay_ms` from now. Expiry is
+    /// delivered back as an [`Event::timer`] carrying the timer's name.
+    pub fn set_timer(&mut self, name: &str, delay_ms: u64) {
+        self.effects.timers_set.push((name.to_owned(), delay_ms));
+    }
+
+    /// Cancels a named timer if armed.
+    pub fn cancel_timer(&mut self, name: &str) {
+        self.effects.timers_cancelled.push(name.to_owned());
+    }
+}
+
+type Predicate = Arc<dyn Fn(&PredicateCtx<'_>) -> bool + Send + Sync>;
+type Action = Arc<dyn Fn(&mut ActionCtx<'_>) + Send + Sync>;
+
+/// One transition `<s_t, event, P_t, A_t, q_t>`.
+pub(crate) struct Transition {
+    pub(crate) from: StateId,
+    pub(crate) event_name: String,
+    pub(crate) to: StateId,
+    pub(crate) predicate: Option<Predicate>,
+    pub(crate) action: Option<Action>,
+    pub(crate) label: Option<String>,
+}
+
+impl fmt::Debug for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transition")
+            .field("from", &self.from)
+            .field("event", &self.event_name)
+            .field("to", &self.to)
+            .field("has_predicate", &self.predicate.is_some())
+            .field("has_action", &self.action.is_some())
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct StateInfo {
+    pub(crate) name: String,
+    pub(crate) is_final: bool,
+    pub(crate) attack_label: Option<String>,
+}
+
+/// What the machine does with an event no transition accepts.
+///
+/// The paper treats a deviation from the specification machine as a
+/// suspicious anomaly; retransmission-tolerant machines may instead declare
+/// specific self-loops and keep the strict default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnmatchedPolicy {
+    /// Report a specification deviation (default — anomaly detection).
+    #[default]
+    Deviation,
+    /// Silently ignore unmatched events.
+    Ignore,
+}
+
+/// A complete, validated EFSM definition. Build one with [`MachineDef::new`],
+/// [`MachineDef::add_state`], [`MachineDef::add_transition`] and
+/// [`MachineDef::build`]; run it with [`crate::instance::MachineInstance`].
+pub struct MachineDef {
+    name: String,
+    states: Vec<StateInfo>,
+    transitions: Vec<Transition>,
+    initial: StateId,
+    unmatched_policy: UnmatchedPolicy,
+    built: bool,
+}
+
+impl fmt::Debug for MachineDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MachineDef")
+            .field("name", &self.name)
+            .field("states", &self.states.len())
+            .field("transitions", &self.transitions.len())
+            .field("initial", &self.initial)
+            .finish()
+    }
+}
+
+/// Chainable configuration for a transition just added to a [`MachineDef`].
+pub struct TransitionBuilder<'a> {
+    transition: &'a mut Transition,
+}
+
+impl TransitionBuilder<'_> {
+    /// Sets the predicate `P_t`. Absent predicate means `true`.
+    pub fn predicate(
+        &mut self,
+        p: impl Fn(&PredicateCtx<'_>) -> bool + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.transition.predicate = Some(Arc::new(p));
+        self
+    }
+
+    /// Sets the update action `A_t`. Absent action leaves variables untouched.
+    pub fn action(&mut self, a: impl Fn(&mut ActionCtx<'_>) + Send + Sync + 'static) -> &mut Self {
+        self.transition.action = Some(Arc::new(a));
+        self
+    }
+
+    /// Attaches a human-readable label used in traces and alerts.
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.transition.label = Some(label.into());
+        self
+    }
+}
+
+impl MachineDef {
+    /// Starts an empty definition. The first state added becomes the initial
+    /// state.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineDef {
+            name: name.into(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+            initial: StateId(0),
+            unmatched_policy: UnmatchedPolicy::default(),
+            built: false,
+        }
+    }
+
+    /// The machine's name (used as the sync-channel address).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        self.states.push(StateInfo {
+            name: name.into(),
+            is_final: false,
+            attack_label: None,
+        });
+        StateId(self.states.len() - 1)
+    }
+
+    /// Marks a state as final: a call whose machines all sit in final states
+    /// is complete and its instance is evicted from the fact base.
+    pub fn mark_final(&mut self, state: StateId) {
+        self.states[state.0].is_final = true;
+    }
+
+    /// Annotates a state as an attack state (`s_attack`): entering it raises
+    /// an alert carrying `label`.
+    pub fn mark_attack(&mut self, state: StateId, label: impl Into<String>) {
+        self.states[state.0].attack_label = Some(label.into());
+    }
+
+    /// Sets the policy for events no transition accepts.
+    pub fn set_unmatched_policy(&mut self, policy: UnmatchedPolicy) {
+        self.unmatched_policy = policy;
+    }
+
+    /// Adds a transition on `event_name` from `from` to `to`, returning a
+    /// builder for its predicate/action/label. `event_name` `"*"` matches
+    /// any event.
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        event_name: impl Into<String>,
+        to: StateId,
+    ) -> TransitionBuilder<'_> {
+        self.transitions.push(Transition {
+            from,
+            event_name: event_name.into(),
+            to,
+            predicate: None,
+            action: None,
+            label: None,
+        });
+        TransitionBuilder {
+            transition: self.transitions.last_mut().unwrap(),
+        }
+    }
+
+    /// Validates the definition.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::NoStates`] — a machine needs at least one state.
+    /// * [`BuildError::DanglingTransition`] — a transition references a
+    ///   state id from another machine (impossible through the safe API but
+    ///   checked for defense in depth).
+    pub fn build(mut self) -> Result<MachineDef, BuildError> {
+        if self.states.is_empty() {
+            return Err(BuildError::NoStates);
+        }
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.from.0 >= self.states.len() || t.to.0 >= self.states.len() {
+                return Err(BuildError::DanglingTransition { index: i });
+            }
+        }
+        self.built = true;
+        Ok(self)
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// The number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The name of a state.
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.states[state.0].name
+    }
+
+    /// Whether the state is final.
+    pub fn is_final_state(&self, state: StateId) -> bool {
+        self.states[state.0].is_final
+    }
+
+    /// The attack label of a state, if it is an attack state.
+    pub fn attack_label(&self, state: StateId) -> Option<&str> {
+        self.states[state.0].attack_label.as_deref()
+    }
+
+    /// Looks up a state id by name (test and tooling convenience).
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(StateId)
+    }
+
+    pub(crate) fn unmatched_policy(&self) -> UnmatchedPolicy {
+        self.unmatched_policy
+    }
+
+    pub(crate) fn transitions_from(
+        &self,
+        state: StateId,
+    ) -> impl Iterator<Item = (usize, &Transition)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.from == state)
+    }
+
+    pub(crate) fn transition(&self, index: usize) -> &Transition {
+        &self.transitions[index]
+    }
+}
+
+/// Error returned by [`MachineDef::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The machine has no states.
+    NoStates,
+    /// A transition references an out-of-range state.
+    DanglingTransition {
+        /// Index of the offending transition.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoStates => f.write_str("machine has no states"),
+            BuildError::DanglingTransition { index } => {
+                write!(f, "transition {index} references an unknown state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_machine() {
+        let mut def = MachineDef::new("m");
+        let a = def.add_state("A");
+        let b = def.add_state("B");
+        def.mark_final(b);
+        def.add_transition(a, "go", b).label("a->b");
+        let def = def.build().unwrap();
+        assert_eq!(def.state_count(), 2);
+        assert_eq!(def.transition_count(), 1);
+        assert_eq!(def.initial_state(), a);
+        assert!(def.is_final_state(b));
+        assert!(!def.is_final_state(a));
+        assert_eq!(def.state_name(a), "A");
+        assert_eq!(def.state_by_name("B"), Some(b));
+        assert_eq!(def.state_by_name("C"), None);
+    }
+
+    #[test]
+    fn attack_states_carry_labels() {
+        let mut def = MachineDef::new("m");
+        let a = def.add_state("A");
+        let atk = def.add_state("Attack");
+        def.mark_attack(atk, "INVITE flooding");
+        def.add_transition(a, "flood", atk);
+        let def = def.build().unwrap();
+        assert_eq!(def.attack_label(atk), Some("INVITE flooding"));
+        assert_eq!(def.attack_label(a), None);
+    }
+
+    #[test]
+    fn empty_machine_fails_build() {
+        assert_eq!(MachineDef::new("m").build().unwrap_err(), BuildError::NoStates);
+    }
+}

@@ -1,0 +1,527 @@
+//! Communicating EFSMs (§4.2): machines wired together through reliable FIFO
+//! synchronization channels, sharing call-global variables.
+//!
+//! Processing rule, verbatim from the paper: "The synchronization events
+//! waiting in a FIFO queue have higher priority than the data packet
+//! events." Before and after any data event is delivered, every queued δ
+//! event is drained (which can cascade: a sync delivery may emit further
+//! sync events).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::instance::MachineInstance;
+use crate::machine::MachineDef;
+use crate::trace::{Trace, TraceEntry};
+use crate::value::VarMap;
+
+/// Index of a machine within its [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(usize);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An alert raised when some machine entered an attack state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackAlert {
+    /// Monitor time of the detection.
+    pub time_ms: u64,
+    /// Which machine detected it.
+    pub machine: String,
+    /// The attack state's label.
+    pub label: String,
+}
+
+impl fmt::Display for AttackAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} ms] {}: ATTACK {}", self.time_ms, self.machine, self.label)
+    }
+}
+
+/// A specification deviation: an event no transition accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deviation {
+    /// Monitor time of the deviation.
+    pub time_ms: u64,
+    /// Which machine rejected the event.
+    pub machine: String,
+    /// The offending event.
+    pub event: Event,
+}
+
+impl fmt::Display for Deviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} ms] {}: DEVIATION {}",
+            self.time_ms, self.machine, self.event
+        )
+    }
+}
+
+/// Aggregated results of one network step (and its sync cascade).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkOutcome {
+    /// Attack states entered, in order.
+    pub alerts: Vec<AttackAlert>,
+    /// Specification deviations observed, in order.
+    pub deviations: Vec<Deviation>,
+    /// Whether any step had multiple enabled transitions.
+    pub nondeterministic: bool,
+    /// Total transitions taken across all machines.
+    pub transitions: usize,
+}
+
+impl NetworkOutcome {
+    /// Whether anything suspicious (attack or deviation) was observed.
+    pub fn is_suspicious(&self) -> bool {
+        !self.alerts.is_empty() || !self.deviations.is_empty()
+    }
+
+    fn merge(&mut self, other: NetworkOutcome) {
+        self.alerts.extend(other.alerts);
+        self.deviations.extend(other.deviations);
+        self.nondeterministic |= other.nondeterministic;
+        self.transitions += other.transitions;
+    }
+}
+
+/// A network of communicating EFSM instances for one monitored call.
+///
+/// Definitions are shared (`Arc`) across all concurrent calls; per-call
+/// state is just each instance's configuration, the global variables, the
+/// queues and the armed timers.
+pub struct Network {
+    defs: Vec<Arc<MachineDef>>,
+    instances: Vec<MachineInstance>,
+    globals: VarMap,
+    sync_queues: Vec<VecDeque<Event>>,
+    timers: Vec<BTreeMap<String, u64>>,
+    trace: Option<Trace>,
+    /// Ablation switch (experiment E8): when false, δ messages are dropped
+    /// instead of enqueued, turning the cross-protocol monitor into a set of
+    /// isolated single-protocol machines.
+    sync_enabled: bool,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("machines", &self.defs.len())
+            .field("globals", &self.globals.len())
+            .field("sync_enabled", &self.sync_enabled)
+            .finish()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with synchronization enabled and no tracing.
+    pub fn new() -> Self {
+        Network {
+            defs: Vec::new(),
+            instances: Vec::new(),
+            globals: VarMap::new(),
+            sync_queues: Vec::new(),
+            timers: Vec::new(),
+            trace: None,
+            sync_enabled: true,
+        }
+    }
+
+    /// Enables transition tracing.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Disables the synchronization channels (ablation experiment E8).
+    pub fn disable_sync(&mut self) {
+        self.sync_enabled = false;
+    }
+
+    /// Adds a machine instance running `def`.
+    pub fn add_machine(&mut self, def: Arc<MachineDef>) -> MachineId {
+        self.instances.push(MachineInstance::new(&def));
+        self.defs.push(def);
+        self.sync_queues.push(VecDeque::new());
+        self.timers.push(BTreeMap::new());
+        MachineId(self.instances.len() - 1)
+    }
+
+    /// Finds a machine by its definition name.
+    pub fn machine_by_name(&self, name: &str) -> Option<MachineId> {
+        self.defs.iter().position(|d| d.name() == name).map(MachineId)
+    }
+
+    /// The instance for a machine id.
+    pub fn instance(&self, id: MachineId) -> &MachineInstance {
+        &self.instances[id.0]
+    }
+
+    /// Mutable instance access (hosts seed initial locals through this).
+    pub fn instance_mut(&mut self, id: MachineId) -> &mut MachineInstance {
+        &mut self.instances[id.0]
+    }
+
+    /// The definition for a machine id.
+    pub fn definition(&self, id: MachineId) -> &MachineDef {
+        &self.defs[id.0]
+    }
+
+    /// Call-global shared variables.
+    pub fn globals(&self) -> &VarMap {
+        &self.globals
+    }
+
+    /// Mutable call-global shared variables.
+    pub fn globals_mut(&mut self) -> &mut VarMap {
+        &mut self.globals
+    }
+
+    /// Whether every machine sits in a final state (the call completed and
+    /// the fact base may evict this network).
+    pub fn all_final(&self) -> bool {
+        self.instances
+            .iter()
+            .zip(&self.defs)
+            .all(|(m, d)| m.is_final(d))
+    }
+
+    /// Whether any machine sits in an attack state.
+    pub fn any_attack(&self) -> bool {
+        self.instances
+            .iter()
+            .zip(&self.defs)
+            .any(|(m, d)| m.is_attack(d))
+    }
+
+    /// Approximate per-call memory footprint (configurations, globals,
+    /// queues and timers; definitions are shared and excluded). E5.
+    pub fn memory_bytes(&self) -> usize {
+        let instances: usize = self.instances.iter().map(|m| m.memory_bytes()).sum();
+        let queues: usize = self
+            .sync_queues
+            .iter()
+            .map(|q| q.iter().map(|e| e.args.memory_bytes() + e.name.len() + 8).sum::<usize>())
+            .sum();
+        let timers: usize = self
+            .timers
+            .iter()
+            .map(|t| t.keys().map(|k| k.len() + 8).sum::<usize>())
+            .sum();
+        instances + queues + timers + self.globals.memory_bytes()
+    }
+
+    /// Delivers a data-packet event to `target` at time `now_ms`, then drains
+    /// the sync cascade it triggers. Returns everything observed.
+    pub fn deliver(&mut self, target: MachineId, event: Event, now_ms: u64) -> NetworkOutcome {
+        let mut outcome = NetworkOutcome::default();
+        // Rule: queued sync events go first.
+        outcome.merge(self.drain_sync(now_ms));
+        outcome.merge(self.step_one(target, &event, now_ms));
+        outcome.merge(self.drain_sync(now_ms));
+        outcome
+    }
+
+    /// The earliest armed timer deadline across all machines, if any.
+    pub fn next_timer_deadline(&self) -> Option<u64> {
+        self.timers
+            .iter()
+            .flat_map(|t| t.values())
+            .min()
+            .copied()
+    }
+
+    /// Fires every timer due at or before `now_ms`, delivering expirations as
+    /// [`Event::timer`] events (and draining any sync cascade).
+    pub fn advance_time(&mut self, now_ms: u64) -> NetworkOutcome {
+        let mut outcome = NetworkOutcome::default();
+        loop {
+            // Earliest due timer across machines, for deterministic order.
+            let mut due: Option<(usize, String, u64)> = None;
+            for (i, timers) in self.timers.iter().enumerate() {
+                for (name, deadline) in timers {
+                    if *deadline <= now_ms
+                        && due.as_ref().is_none_or(|(_, _, best)| *deadline < *best)
+                    {
+                        due = Some((i, name.clone(), *deadline));
+                    }
+                }
+            }
+            let Some((machine, name, deadline)) = due else {
+                break;
+            };
+            self.timers[machine].remove(&name);
+            let event = Event::timer(&name);
+            outcome.merge(self.step_one(MachineId(machine), &event, deadline));
+            outcome.merge(self.drain_sync(deadline));
+        }
+        outcome
+    }
+
+    fn drain_sync(&mut self, now_ms: u64) -> NetworkOutcome {
+        let mut outcome = NetworkOutcome::default();
+        while let Some(machine) = self.sync_queues.iter().position(|q| !q.is_empty()) {
+            let event = self.sync_queues[machine].pop_front().unwrap();
+            outcome.merge(self.step_one(MachineId(machine), &event, now_ms));
+        }
+        outcome
+    }
+
+    fn step_one(&mut self, target: MachineId, event: &Event, now_ms: u64) -> NetworkOutcome {
+        let def = Arc::clone(&self.defs[target.0]);
+        let step = self.instances[target.0].step_at(&def, event, &mut self.globals, now_ms);
+
+        let mut outcome = NetworkOutcome {
+            nondeterministic: step.nondeterministic,
+            ..NetworkOutcome::default()
+        };
+        if let Some((from, to, label)) = &step.taken {
+            outcome.transitions = 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEntry {
+                    time_ms: now_ms,
+                    machine: def.name().to_owned(),
+                    event: event.to_string(),
+                    from: def.state_name(*from).to_owned(),
+                    to: def.state_name(*to).to_owned(),
+                    label: label.clone(),
+                });
+            }
+        }
+        if let Some(label) = step.attack {
+            outcome.alerts.push(AttackAlert {
+                time_ms: now_ms,
+                machine: def.name().to_owned(),
+                label,
+            });
+        }
+        if let Some(event) = step.deviation {
+            outcome.deviations.push(Deviation {
+                time_ms: now_ms,
+                machine: def.name().to_owned(),
+                event,
+            });
+        }
+
+        // Apply requested effects.
+        for (timer, delay) in step.effects.timers_set {
+            self.timers[target.0].insert(timer, now_ms + delay);
+        }
+        for timer in step.effects.timers_cancelled {
+            self.timers[target.0].remove(&timer);
+        }
+        if self.sync_enabled {
+            for (dest_name, sync_event) in step.effects.sync_out {
+                if let Some(dest) = self.machine_by_name(&dest_name) {
+                    self.sync_queues[dest.0].push_back(sync_event);
+                }
+                // Unknown destination: dropped. The builder of the protocol
+                // machines controls both sides, so this only happens in the
+                // sync-disabled ablation or a misconfigured scenario.
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineDef;
+
+    /// Two-machine network mirroring Fig. 2: the "sip" machine receives an
+    /// INVITE and synchronizes the "rtp" machine, which opens using the
+    /// media port the sip machine published in the globals.
+    fn fig2_network() -> (Network, MachineId, MachineId) {
+        let mut sip = MachineDef::new("sip");
+        let init = sip.add_state("INIT");
+        let rcvd = sip.add_state("INVITE_RCVD");
+        sip.add_transition(init, "SIP.INVITE", rcvd).action(|ctx| {
+            let port = ctx.event.uint_arg("media_port").unwrap_or(0);
+            ctx.globals.set("g_media_port", port);
+            ctx.locals
+                .set("l_call_id", ctx.event.str_arg("call_id").unwrap_or(""));
+            ctx.send_sync("rtp", Event::sync("δ_SIP→RTP"));
+        });
+        let sip = Arc::new(sip.build().unwrap());
+
+        let mut rtp = MachineDef::new("rtp");
+        let rinit = rtp.add_state("INIT");
+        let ropen = rtp.add_state("RTP_OPEN");
+        rtp.add_transition(rinit, "δ_SIP→RTP", ropen).action(|ctx| {
+            let port = ctx.globals.uint("g_media_port").unwrap_or(0);
+            ctx.locals.set("l_port", port);
+        });
+        let rtp = Arc::new(rtp.build().unwrap());
+
+        let mut net = Network::new();
+        net.enable_trace();
+        let sid = net.add_machine(sip);
+        let rid = net.add_machine(rtp);
+        (net, sid, rid)
+    }
+
+    #[test]
+    fn sync_message_propagates_global_state() {
+        let (mut net, sid, rid) = fig2_network();
+        let invite = Event::data("SIP.INVITE")
+            .with_str("call_id", "c1")
+            .with_uint("media_port", 49170);
+        let outcome = net.deliver(sid, invite, 5);
+        assert_eq!(outcome.transitions, 2); // sip step + rtp sync step
+        assert!(!outcome.is_suspicious());
+        assert_eq!(net.instance(rid).locals().uint("l_port"), Some(49170));
+        assert_eq!(net.instance(rid).state_name(net.definition(rid)), "RTP_OPEN");
+        let trace = net.trace().unwrap();
+        assert_eq!(trace.path_of("sip"), vec!["INIT", "INVITE_RCVD"]);
+        assert_eq!(trace.path_of("rtp"), vec!["INIT", "RTP_OPEN"]);
+    }
+
+    #[test]
+    fn disabled_sync_isolates_machines() {
+        let (mut net, sid, rid) = fig2_network();
+        net.disable_sync();
+        let invite = Event::data("SIP.INVITE")
+            .with_str("call_id", "c1")
+            .with_uint("media_port", 49170);
+        let outcome = net.deliver(sid, invite, 5);
+        assert_eq!(outcome.transitions, 1);
+        assert_eq!(net.instance(rid).state_name(net.definition(rid)), "INIT");
+    }
+
+    #[test]
+    fn timer_fires_through_advance_time() {
+        let mut def = MachineDef::new("m");
+        let a = def.add_state("A");
+        let b = def.add_state("B");
+        let c = def.add_state("C");
+        def.add_transition(a, "go", b).action(|ctx| ctx.set_timer("T", 100));
+        def.add_transition(b, "T", c);
+        let def = Arc::new(def.build().unwrap());
+
+        let mut net = Network::new();
+        let id = net.add_machine(def);
+        net.deliver(id, Event::data("go"), 0);
+        assert_eq!(net.next_timer_deadline(), Some(100));
+
+        // Not due yet.
+        let o = net.advance_time(99);
+        assert_eq!(o.transitions, 0);
+        // Due now.
+        let o = net.advance_time(100);
+        assert_eq!(o.transitions, 1);
+        assert_eq!(net.instance(id).state_name(net.definition(id)), "C");
+        assert_eq!(net.next_timer_deadline(), None);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut def = MachineDef::new("m");
+        let a = def.add_state("A");
+        let b = def.add_state("B");
+        let c = def.add_state("C");
+        def.add_transition(a, "go", b).action(|ctx| ctx.set_timer("T", 100));
+        def.add_transition(b, "stop", b).action(|ctx| ctx.cancel_timer("T"));
+        def.add_transition(b, "T", c);
+        let def = Arc::new(def.build().unwrap());
+
+        let mut net = Network::new();
+        let id = net.add_machine(def);
+        net.deliver(id, Event::data("go"), 0);
+        net.deliver(id, Event::data("stop"), 50);
+        let o = net.advance_time(1_000);
+        assert_eq!(o.transitions, 0);
+        assert_eq!(net.instance(id).state_name(net.definition(id)), "B");
+    }
+
+    #[test]
+    fn alerts_and_deviations_surface_in_outcome() {
+        let mut def = MachineDef::new("m");
+        let a = def.add_state("A");
+        let atk = def.add_state("ATTACK");
+        def.mark_attack(atk, "bye-dos");
+        def.add_transition(a, "bad", atk);
+        let def = Arc::new(def.build().unwrap());
+
+        let mut net = Network::new();
+        let id = net.add_machine(def);
+        let o = net.deliver(id, Event::data("bad"), 7);
+        assert_eq!(o.alerts.len(), 1);
+        assert_eq!(o.alerts[0].label, "bye-dos");
+        assert_eq!(o.alerts[0].time_ms, 7);
+        assert!(net.any_attack());
+
+        let o = net.deliver(id, Event::data("unmodeled"), 8);
+        assert_eq!(o.deviations.len(), 1);
+        assert!(o.is_suspicious());
+    }
+
+    #[test]
+    fn all_final_reflects_every_machine() {
+        let mk = |name: &str| {
+            let mut d = MachineDef::new(name);
+            let a = d.add_state("A");
+            let z = d.add_state("Z");
+            d.mark_final(z);
+            d.add_transition(a, "fin", z);
+            Arc::new(d.build().unwrap())
+        };
+        let mut net = Network::new();
+        let m1 = net.add_machine(mk("m1"));
+        let m2 = net.add_machine(mk("m2"));
+        assert!(!net.all_final());
+        net.deliver(m1, Event::data("fin"), 0);
+        assert!(!net.all_final());
+        net.deliver(m2, Event::data("fin"), 0);
+        assert!(net.all_final());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        // One machine sends two syncs in one action; receiver must see them
+        // in order.
+        let mut tx = MachineDef::new("tx");
+        let a = tx.add_state("A");
+        let b = tx.add_state("B");
+        tx.add_transition(a, "go", b).action(|ctx| {
+            ctx.send_sync("rx", Event::sync("first"));
+            ctx.send_sync("rx", Event::sync("second"));
+        });
+        let tx = Arc::new(tx.build().unwrap());
+
+        let mut rx = MachineDef::new("rx");
+        let r0 = rx.add_state("R0");
+        let r1 = rx.add_state("R1");
+        let r2 = rx.add_state("R2");
+        rx.add_transition(r0, "first", r1);
+        rx.add_transition(r1, "second", r2);
+        let rx = Arc::new(rx.build().unwrap());
+
+        let mut net = Network::new();
+        let t = net.add_machine(tx);
+        let r = net.add_machine(rx);
+        let o = net.deliver(t, Event::data("go"), 0);
+        assert_eq!(o.transitions, 3);
+        assert!(o.deviations.is_empty(), "out-of-order sync would deviate");
+        assert_eq!(net.instance(r).state_name(net.definition(r)), "R2");
+    }
+}

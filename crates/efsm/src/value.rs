@@ -1,0 +1,265 @@
+//! State-variable values `v̄` and their domains `D`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value a state variable or event argument can take.
+///
+/// The paper's Definition 1 leaves domains abstract; in a VoIP monitor the
+/// variables are addresses, identifiers, counters and timestamps, all of
+/// which map onto these four variants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Signed integer (sequence deltas, gaps).
+    Int(i64),
+    /// Unsigned integer (counters, ports, timestamps in ms/ticks).
+    Uint(u64),
+    /// Text (Call-IDs, tags, branch parameters, addresses, codec names).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// The contained unsigned integer, if this is a `Uint`.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Value::Uint(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The contained signed integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The contained string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The contained boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the paper's §7.3
+    /// per-call memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Uint(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Uint(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Uint(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Uint(v as u64)
+    }
+}
+
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::Uint(v as u64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A named collection of state variables.
+///
+/// By convention (mirroring the paper's Fig. 2) local variable names start
+/// with `l_` and global (call-shared) names with `g_`, though the map does
+/// not enforce this.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VarMap {
+    vars: BTreeMap<String, Value>,
+}
+
+impl VarMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        VarMap::default()
+    }
+
+    /// Sets a variable, replacing any existing value.
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) {
+        self.vars.insert(name.to_owned(), value.into());
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Unsigned integer shortcut; `None` if absent or a different type.
+    pub fn uint(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(Value::as_uint)
+    }
+
+    /// Signed integer shortcut.
+    pub fn int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_int)
+    }
+
+    /// String shortcut.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Boolean shortcut, defaulting to `false` when absent.
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name).and_then(Value::as_bool).unwrap_or(false)
+    }
+
+    /// Removes a variable, returning its value.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.vars.remove(name)
+    }
+
+    /// Increments a `Uint` counter by 1, creating it at 1 if absent, and
+    /// returns the new value. Used by the paper's `pck_counter`.
+    pub fn increment(&mut self, name: &str) -> u64 {
+        let next = self.uint(name).unwrap_or(0) + 1;
+        self.set(name, next);
+        next
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Approximate memory footprint: names plus values plus map overhead.
+    /// Backs the §7.3 per-call memory cost evaluation (E5).
+    pub fn memory_bytes(&self) -> usize {
+        self.vars
+            .iter()
+            .map(|(k, v)| k.len() + v.memory_bytes() + 16)
+            .sum()
+    }
+}
+
+impl FromIterator<(String, Value)> for VarMap {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        VarMap {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let mut v = VarMap::new();
+        v.set("l_count", 3u64);
+        v.set("l_gap", -2i64);
+        v.set("g_call_id", "abc");
+        v.set("l_armed", true);
+        assert_eq!(v.uint("l_count"), Some(3));
+        assert_eq!(v.int("l_gap"), Some(-2));
+        assert_eq!(v.str("g_call_id"), Some("abc"));
+        assert!(v.flag("l_armed"));
+        assert!(!v.flag("missing"));
+        assert_eq!(v.uint("g_call_id"), None);
+    }
+
+    #[test]
+    fn increment_counter() {
+        let mut v = VarMap::new();
+        assert_eq!(v.increment("pck_counter"), 1);
+        assert_eq!(v.increment("pck_counter"), 2);
+        assert_eq!(v.uint("pck_counter"), Some(2));
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut v = VarMap::new();
+        v.set("x", 1u64);
+        v.set("x", 2u64);
+        assert_eq!(v.uint("x"), Some(2));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_content() {
+        let mut small = VarMap::new();
+        small.set("a", 1u64);
+        let mut big = VarMap::new();
+        big.set("a", "a-rather-long-call-identifier@host.example.com");
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(5u32), Value::Uint(5));
+        assert_eq!(Value::from(5u16), Value::Uint(5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(-1i64), Value::Int(-1));
+    }
+}

@@ -1,0 +1,761 @@
+//! The discrete-event simulation kernel: event heap, links and dispatch.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Index of a node within the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Physical characteristics of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub delay: SimTime,
+    /// Serialization bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Independent (Bernoulli) packet loss probability, `0.0..=1.0`.
+    pub loss_rate: f64,
+}
+
+impl LinkSpec {
+    /// 100BaseT LAN segment: 100 Mbit/s, 5 µs propagation, lossless.
+    pub fn lan_100base_t() -> Self {
+        LinkSpec {
+            delay: SimTime::from_micros(5),
+            bandwidth_bps: 100_000_000,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// DS1 access link: 1.544 Mbit/s, 1 ms propagation, lossless.
+    pub fn ds1() -> Self {
+        LinkSpec {
+            delay: SimTime::from_millis(1),
+            bandwidth_bps: 1_544_000,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// The paper's Internet cloud between sites A and B: 50 ms one-way
+    /// delay with 0.42 % packet loss (§7.1). Bandwidth is effectively
+    /// unconstrained through the core.
+    pub fn internet_cloud() -> Self {
+        LinkSpec {
+            delay: SimTime::from_millis(50),
+            bandwidth_bps: 1_000_000_000,
+            loss_rate: 0.0042,
+        }
+    }
+
+    /// Serialization time for `bytes` on this link.
+    pub fn serialization(&self, bytes: usize) -> SimTime {
+        SimTime::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+#[derive(Debug)]
+struct Link {
+    to: NodeId,
+    spec: LinkSpec,
+    busy_until: SimTime,
+    bytes_carried: u64,
+    packets_carried: u64,
+}
+
+/// Aggregate packet counters for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimCounters {
+    /// Packets handed to links.
+    pub transmitted: u64,
+    /// Packets delivered to a node.
+    pub delivered: u64,
+    /// Packets dropped by link loss.
+    pub lost: u64,
+    /// Packets dropped because no route/port matched.
+    pub unroutable: u64,
+}
+
+enum Ev {
+    Arrival { node: NodeId, packet: Packet },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A simulated network element.
+///
+/// Implementations receive packets and timer expirations and react through
+/// the [`NodeCtx`]. The trait requires [`Any`] so hosts can be downcast
+/// after a run to read their collected statistics.
+pub trait Node: Any {
+    /// A packet arrived at this node.
+    fn on_packet(&mut self, packet: Packet, ctx: &mut NodeCtx<'_>);
+
+    /// A timer armed by this node expired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut NodeCtx<'_>) {}
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+}
+
+/// Capabilities available to a node while handling an event.
+pub struct NodeCtx<'a> {
+    now: SimTime,
+    node: NodeId,
+    links: &'a mut Vec<Link>,
+    queue: &'a mut BinaryHeap<Reverse<Scheduled>>,
+    seq: &'a mut u64,
+    rng: &'a mut StdRng,
+    packet_ids: &'a mut u64,
+    counters: &'a mut SimCounters,
+}
+
+impl NodeCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Per-link carried traffic: `(packets, bytes)`.
+    pub fn link_carried(&self, link: LinkId) -> (u64, u64) {
+        let l = &self.links[link.0];
+        (l.packets_carried, l.bytes_carried)
+    }
+
+    /// A link's mean utilization over `[0, now]`: carried bits over
+    /// capacity. 1.0 means the link was saturated the whole run.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let elapsed = self.now.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let l = &self.links[link.0];
+        (l.bytes_carried as f64 * 8.0) / (l.spec.bandwidth_bps as f64 * elapsed)
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The deterministic RNG (all randomness must come from here).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Allocates a fresh packet id.
+    pub fn next_packet_id(&mut self) -> u64 {
+        let id = *self.packet_ids;
+        *self.packet_ids += 1;
+        id
+    }
+
+    /// Record an unroutable packet drop.
+    pub fn count_unroutable(&mut self) {
+        self.counters.unroutable += 1;
+    }
+
+    /// Transmits a packet on a link: FIFO serialization queuing at the
+    /// sender, propagation delay, then Bernoulli loss.
+    pub fn transmit(&mut self, link: LinkId, packet: Packet) {
+        self.transmit_after(link, packet, SimTime::ZERO);
+    }
+
+    /// Like [`NodeCtx::transmit`] but the packet is held `hold` first (e.g.
+    /// an inline monitor's processing delay).
+    pub fn transmit_after(&mut self, link: LinkId, packet: Packet, hold: SimTime) {
+        let l = &mut self.links[link.0];
+        self.counters.transmitted += 1;
+        l.bytes_carried += packet.wire_bytes() as u64;
+        l.packets_carried += 1;
+        let ready = self.now + hold;
+        let start = ready.max(l.busy_until);
+        let done = start + l.spec.serialization(packet.wire_bytes());
+        l.busy_until = done;
+        let arrival = done + l.spec.delay;
+        if l.spec.loss_rate > 0.0 && self.rng.gen_bool(l.spec.loss_rate) {
+            self.counters.lost += 1;
+            return;
+        }
+        let to = l.to;
+        push(self.queue, self.seq, arrival, Ev::Arrival { node: to, packet });
+    }
+
+    /// Arms a timer for this node; `token` comes back in `on_timer`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        let node = self.node;
+        push(
+            self.queue,
+            self.seq,
+            self.now + delay,
+            Ev::Timer { node, token },
+        );
+    }
+}
+
+fn push(queue: &mut BinaryHeap<Reverse<Scheduled>>, seq: &mut u64, at: SimTime, ev: Ev) {
+    queue.push(Reverse(Scheduled { at, seq: *seq, ev }));
+    *seq += 1;
+}
+
+/// The discrete-event simulator: owns nodes, links, the event heap and the
+/// run's deterministic RNG.
+pub struct Simulator {
+    nodes: Vec<Box<dyn Node>>,
+    links: Vec<Link>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    packet_ids: u64,
+    counters: SimCounters,
+    started: bool,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            packet_ids: 0,
+            counters: SimCounters::default(),
+            started: false,
+        }
+    }
+
+    /// Adds a node, returning its id. A node added after the simulation has
+    /// begun gets its `on_start` immediately (attackers join mid-run).
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        let id = NodeId(self.nodes.len() - 1);
+        if self.started {
+            self.dispatch_start(id);
+        }
+        id
+    }
+
+    /// Adds a directed link `from -> to`.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let _ = from; // topology bookkeeping only; delivery needs `to`
+        self.links.push(Link {
+            to,
+            spec,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+            packets_carried: 0,
+        });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Adds a duplex link as two directed links, returning
+    /// `(a_to_b, b_to_a)`.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        (self.add_link(a, b, spec), self.add_link(b, a, spec))
+    }
+
+    /// Typed mutable access to a node. Used to configure routing tables and
+    /// to read application statistics after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a `T`.
+    pub fn node_as_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node: &mut dyn Any = self.nodes[id.0].as_mut();
+        node.downcast_mut::<T>().expect("node type mismatch")
+    }
+
+    /// Typed shared access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a `T`.
+    pub fn node_as<T: Node>(&self, id: NodeId) -> &T {
+        let node: &dyn Any = self.nodes[id.0].as_ref();
+        node.downcast_ref::<T>().expect("node type mismatch")
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Per-link carried traffic: `(packets, bytes)`.
+    pub fn link_carried(&self, link: LinkId) -> (u64, u64) {
+        let l = &self.links[link.0];
+        (l.packets_carried, l.bytes_carried)
+    }
+
+    /// A link's mean utilization over `[0, now]`: carried bits over
+    /// capacity. 1.0 means the link was saturated the whole run.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let elapsed = self.now.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let l = &self.links[link.0];
+        (l.bytes_carried as f64 * 8.0) / (l.spec.bandwidth_bps as f64 * elapsed)
+    }
+
+    /// Aggregate packet counters.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
+    /// Runs all events up to and including `until`, leaving the clock at
+    /// `until`. Calls every node's `on_start` on the first run.
+    pub fn run_until(&mut self, until: SimTime) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.dispatch_start(NodeId(i));
+            }
+        }
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            let Reverse(Scheduled { at, ev, .. }) = self.queue.pop().unwrap();
+            self.now = at;
+            self.dispatch(ev);
+        }
+        self.now = until;
+    }
+
+    /// Runs until the event heap is empty.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(SimTime::from_nanos(u64::MAX));
+    }
+
+    fn dispatch_start(&mut self, id: NodeId) {
+        let Simulator {
+            nodes,
+            links,
+            queue,
+            seq,
+            rng,
+            packet_ids,
+            counters,
+            now,
+            ..
+        } = self;
+        let mut ctx = NodeCtx {
+            now: *now,
+            node: id,
+            links,
+            queue,
+            seq,
+            rng,
+            packet_ids,
+            counters,
+        };
+        nodes[id.0].on_start(&mut ctx);
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        let Simulator {
+            nodes,
+            links,
+            queue,
+            seq,
+            rng,
+            packet_ids,
+            counters,
+            now,
+            ..
+        } = self;
+        match ev {
+            Ev::Arrival { node, packet } => {
+                counters.delivered += 1;
+                let mut ctx = NodeCtx {
+                    now: *now,
+                    node,
+                    links,
+                    queue,
+                    seq,
+                    rng,
+                    packet_ids,
+                    counters,
+                };
+                nodes[node.0].on_packet(packet, &mut ctx);
+            }
+            Ev::Timer { node, token } => {
+                let mut ctx = NodeCtx {
+                    now: *now,
+                    node,
+                    links,
+                    queue,
+                    seq,
+                    rng,
+                    packet_ids,
+                    counters,
+                };
+                nodes[node.0].on_timer(token, &mut ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Address, Payload};
+
+    /// Node that records arrivals and can bounce the first packet back.
+    struct Echo {
+        received: Vec<(SimTime, u64)>,
+        reply_link: Option<LinkId>,
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, packet: Packet, ctx: &mut NodeCtx<'_>) {
+            self.received.push((ctx.now(), packet.id));
+            if let Some(link) = self.reply_link.take() {
+                let mut back = packet;
+                std::mem::swap(&mut back.src, &mut back.dst);
+                ctx.transmit(link, back);
+            }
+        }
+    }
+
+    /// Node that sends `count` packets at start, spaced `gap` apart via timers.
+    struct Source {
+        out: LinkId,
+        count: u64,
+        sent: u64,
+        gap: SimTime,
+        bytes: usize,
+    }
+
+    impl Source {
+        fn send_one(&mut self, ctx: &mut NodeCtx<'_>) {
+            let id = ctx.next_packet_id();
+            ctx.transmit(
+                self.out,
+                Packet {
+                    src: Address::new(10, 1, 0, 1, 1000),
+                    dst: Address::new(10, 2, 0, 1, 2000),
+                    payload: Payload::Raw(vec![0; self.bytes]),
+                    id,
+                    sent_at: ctx.now(),
+                },
+            );
+            self.sent += 1;
+        }
+    }
+
+    impl Node for Source {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            self.send_one(ctx);
+            if self.sent < self.count {
+                ctx.set_timer(self.gap, 0);
+            }
+        }
+
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut NodeCtx<'_>) {}
+
+        fn on_timer(&mut self, _token: u64, ctx: &mut NodeCtx<'_>) {
+            self.send_one(ctx);
+            if self.sent < self.count {
+                ctx.set_timer(self.gap, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_with_propagation_and_serialization_delay() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(Source {
+            out: LinkId(0),
+            count: 1,
+            sent: 0,
+            gap: SimTime::ZERO,
+            bytes: 165, // + 28 overhead = 193 B = 1544 bits -> 1 ms on DS1
+        }));
+        let dst = sim.add_node(Box::new(Echo {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        let _l = sim.add_link(src, dst, LinkSpec::ds1());
+        sim.run_to_completion();
+        let echo = sim.node_as::<Echo>(dst);
+        assert_eq!(echo.received.len(), 1);
+        // serialization 1 ms + propagation 1 ms.
+        assert_eq!(echo.received[0].0, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn fifo_queuing_spaces_back_to_back_packets() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(Source {
+            out: LinkId(0),
+            count: 3,
+            sent: 0,
+            gap: SimTime::ZERO, // all at t=0: must serialize one after another
+            bytes: 165,
+        }));
+        let dst = sim.add_node(Box::new(Echo {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        sim.add_link(src, dst, LinkSpec::ds1());
+        sim.run_to_completion();
+        let echo = sim.node_as::<Echo>(dst);
+        let times: Vec<u64> = echo.received.iter().map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn loss_rate_drops_roughly_the_right_fraction() {
+        let mut sim = Simulator::new(42);
+        let n = 20_000;
+        let src = sim.add_node(Box::new(Source {
+            out: LinkId(0),
+            count: n,
+            sent: 0,
+            gap: SimTime::from_micros(100),
+            bytes: 10,
+        }));
+        let dst = sim.add_node(Box::new(Echo {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        sim.add_link(
+            src,
+            dst,
+            LinkSpec {
+                delay: SimTime::from_millis(1),
+                bandwidth_bps: 1_000_000_000,
+                loss_rate: 0.0042,
+            },
+        );
+        sim.run_to_completion();
+        let lost = sim.counters().lost;
+        let rate = lost as f64 / n as f64;
+        assert!((0.002..0.007).contains(&rate), "loss rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let src = sim.add_node(Box::new(Source {
+                out: LinkId(0),
+                count: 500,
+                sent: 0,
+                gap: SimTime::from_micros(10),
+                bytes: 100,
+            }));
+            let dst = sim.add_node(Box::new(Echo {
+                received: Vec::new(),
+                reply_link: None,
+            }));
+            sim.add_link(
+                src,
+                dst,
+                LinkSpec {
+                    delay: SimTime::from_millis(5),
+                    bandwidth_bps: 1_544_000,
+                    loss_rate: 0.05,
+                },
+            );
+            sim.run_to_completion();
+            sim.node_as::<Echo>(dst).received.clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn run_until_stops_the_clock() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(Source {
+            out: LinkId(0),
+            count: 100,
+            sent: 0,
+            gap: SimTime::from_millis(10),
+            bytes: 10,
+        }));
+        let dst = sim.add_node(Box::new(Echo {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        sim.add_link(src, dst, LinkSpec::lan_100base_t());
+        sim.run_until(SimTime::from_millis(55));
+        assert_eq!(sim.now(), SimTime::from_millis(55));
+        let first_half = sim.node_as::<Echo>(dst).received.len();
+        assert!((5..=7).contains(&first_half), "got {first_half}");
+        sim.run_to_completion();
+        assert_eq!(sim.node_as::<Echo>(dst).received.len(), 100);
+    }
+
+    #[test]
+    fn round_trip_through_echo() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(Echo {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        let dst = sim.add_node(Box::new(Echo {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        let (ab, ba) = sim.add_duplex_link(src, dst, LinkSpec::internet_cloud());
+        sim.node_as_mut::<Echo>(dst).reply_link = Some(ba);
+        // Manually inject a packet from src.
+        sim.node_as_mut::<Echo>(src).reply_link = Some(ab);
+        // Kick things off: deliver a synthetic packet to src so it forwards.
+        // (Simplest: schedule through a source node instead.)
+        let kick = sim.add_node(Box::new(Source {
+            out: LinkId(2),
+            count: 1,
+            sent: 0,
+            gap: SimTime::ZERO,
+            bytes: 10,
+        }));
+        sim.add_link(kick, src, LinkSpec::lan_100base_t());
+        sim.run_to_completion();
+        // src echoes to dst, dst echoes back to src: 2 arrivals at src.
+        assert_eq!(sim.node_as::<Echo>(src).received.len(), 2);
+        assert_eq!(sim.node_as::<Echo>(dst).received.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use crate::packet::{Address, Payload};
+
+    struct Blaster {
+        out: LinkId,
+        remaining: u32,
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimTime::from_millis(1), 0);
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut NodeCtx<'_>) {}
+        fn on_timer(&mut self, _t: u64, ctx: &mut NodeCtx<'_>) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            let id = ctx.next_packet_id();
+            ctx.transmit(
+                self.out,
+                Packet {
+                    src: Address::new(10, 1, 0, 1, 1),
+                    dst: Address::new(10, 2, 0, 1, 1),
+                    payload: Payload::Raw(vec![0; 972]), // 1000 B on the wire
+                    id,
+                    sent_at: ctx.now(),
+                },
+            );
+            ctx.set_timer(SimTime::from_millis(1), 0);
+        }
+    }
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut NodeCtx<'_>) {}
+    }
+
+    #[test]
+    fn link_utilization_matches_offered_load() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(Blaster {
+            out: LinkId(0),
+            remaining: 1_000,
+        }));
+        let dst = sim.add_node(Box::new(Sink));
+        let link = sim.add_link(
+            src,
+            dst,
+            LinkSpec {
+                delay: SimTime::from_micros(10),
+                bandwidth_bps: 100_000_000,
+                loss_rate: 0.0,
+            },
+        );
+        // 1000 packets of 1000 B at 1 ms spacing = 8 Mbit over 1 s.
+        sim.run_until(SimTime::from_secs(1));
+        let (pkts, bytes) = sim.link_carried(link);
+        assert_eq!(pkts, 1_000);
+        assert_eq!(bytes, 1_000_000);
+        let util = sim.link_utilization(link);
+        assert!((0.07..0.09).contains(&util), "utilization {util}");
+    }
+
+    #[test]
+    fn idle_link_has_zero_utilization() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Sink));
+        let b = sim.add_node(Box::new(Sink));
+        let link = sim.add_link(a, b, LinkSpec::ds1());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.link_utilization(link), 0.0);
+        assert_eq!(sim.link_carried(link), (0, 0));
+    }
+}

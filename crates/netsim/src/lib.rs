@@ -1,0 +1,41 @@
+//! # vids-netsim — discrete-event network simulator
+//!
+//! The paper evaluates vids on an OPNET-simulated enterprise VoIP testbed
+//! (Fig. 7). This crate is the OPNET substitute: a deterministic
+//! discrete-event simulator with
+//!
+//! * [`time::SimTime`] — nanosecond-resolution simulated time,
+//! * [`packet::Packet`] / [`packet::Address`] — datagrams with SIP text or
+//!   RTP bytes as payload,
+//! * [`engine::Simulator`] — the event heap, links with propagation delay,
+//!   serialization (bandwidth) delay, FIFO queuing and Bernoulli loss,
+//! * [`node`] — reusable node types: prefix [`node::Router`]s, exact-match
+//!   [`node::Hub`]s, inline [`node::TapNode`]s (where vids is mounted) and
+//!   [`node::Host`]s running an [`node::Application`],
+//! * [`workload::CallWorkload`] — the random call generator of §7.1
+//!   (Poisson arrivals, exponential holding times),
+//! * [`stats`] — Welford summaries, time series and histograms used to
+//!   regenerate Figs. 8–10,
+//! * [`topology::Enterprise`] — the Fig. 7 twin-enterprise topology builder
+//!   (100BaseT LANs, DS1 access links, 50 ms / 0.42 % loss Internet cloud).
+//!
+//! Determinism: all randomness flows from one seeded [`rand::rngs::StdRng`];
+//! the event heap breaks time ties by insertion order. Two runs with the
+//! same seed produce identical packet traces.
+
+pub mod background;
+pub mod engine;
+pub mod node;
+pub mod packet;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod workload;
+
+pub use background::{BackgroundSink, BackgroundSource, BackgroundSpec};
+pub use engine::{LinkId, LinkSpec, NodeId, Simulator};
+pub use node::{Application, AppCtx, Host, Hub, Router, Tap, TapNode};
+pub use packet::{Address, Packet, Payload};
+pub use time::SimTime;
+pub use trace::{CaptureFilter, TraceTap};

@@ -1,0 +1,311 @@
+//! Statistics collectors for the evaluation figures.
+
+use std::fmt;
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = mean;
+        self.m2 = m2;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A `(time, value)` series — the raw material for Figs. 8–10.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point (times should be non-decreasing for binning).
+    pub fn push(&mut self, time_secs: f64, value: f64) {
+        self.points.push((time_secs, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over points.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Summary of the values (ignoring time).
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::new();
+        for (_, v) in &self.points {
+            s.add(*v);
+        }
+        s
+    }
+
+    /// Buckets values into fixed-width time bins, returning
+    /// `(bin_start, count, mean)` per non-empty bin — used to print Fig. 8's
+    /// call-arrival counts and Fig. 9/10 averaged series.
+    pub fn binned(&self, bin_secs: f64) -> Vec<(f64, u64, f64)> {
+        assert!(bin_secs > 0.0, "bin width must be positive");
+        let mut bins: Vec<(f64, u64, f64)> = Vec::new();
+        for &(t, v) in &self.points {
+            let start = (t / bin_secs).floor() * bin_secs;
+            match bins.last_mut() {
+                Some((s, n, mean)) if (*s - start).abs() < f64::EPSILON => {
+                    *n += 1;
+                    *mean += (v - *mean) / *n as f64;
+                }
+                _ => bins.push((start, 1, v)),
+            }
+        }
+        bins
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        TimeSeries {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Fixed-width histogram over `[0, width * bins)` with an overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width <= 0` or `bins == 0`.
+    pub fn new(width: f64, bins: usize) -> Self {
+        assert!(width > 0.0 && bins > 0, "invalid histogram shape");
+        Histogram {
+            width,
+            counts: vec![0; bins],
+            overflow: 0,
+        }
+    }
+
+    /// Adds a sample (negative samples count into bucket 0).
+    pub fn add(&mut self, x: f64) {
+        let idx = (x.max(0.0) / self.width) as usize;
+        match self.counts.get_mut(idx) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// `(bucket_start, count)` pairs for non-empty buckets.
+    pub fn nonzero(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as f64 * self.width, *c))
+            .collect()
+    }
+
+    /// Samples above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn time_series_binning() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.1, 1.0);
+        ts.push(0.9, 3.0);
+        ts.push(1.5, 5.0);
+        ts.push(3.2, 7.0);
+        let bins = ts.binned(1.0);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0], (0.0, 2, 2.0));
+        assert_eq!(bins[1], (1.0, 1, 5.0));
+        assert_eq!(bins[2], (3.0, 1, 7.0));
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(0.5, 4); // [0, 2)
+        for x in [0.1, 0.4, 0.6, 1.9, 2.5, -0.3] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.overflow(), 1);
+        let nz = h.nonzero();
+        assert_eq!(nz[0], (0.0, 3)); // 0.1, 0.4, -0.3
+        assert_eq!(nz[1], (0.5, 1));
+        assert_eq!(nz[2], (1.5, 1));
+    }
+}

@@ -1,0 +1,341 @@
+//! The Fig. 7 twin-enterprise topology.
+//!
+//! ```text
+//!  UA-A1..N ─┐                                             ┌─ UA-B1..N
+//!  proxy-A  ─┤ hub-A ── router-A ══ DS1 ══ core ══ cloud ══ router-B ── tap(vids) ── hub-B ├─ proxy-B
+//!            └ (100BaseT LAN)          (1.544 Mb/s)  (50 ms, 0.42 % loss)    (100BaseT LAN) ┘
+//! ```
+//!
+//! Enterprise A owns `10.1.0.0/16`, enterprise B `10.2.0.0/16`, the Internet
+//! core `10.0.0.0/16` (where attackers attach). The vids monitor mounts on
+//! the tap node between B's edge router and hub, exactly as in the paper's
+//! Fig. 1: it sees all signaling and media crossing B's perimeter.
+
+use crate::engine::{LinkSpec, NodeId, Simulator};
+use crate::node::{Application, Host, Hub, Router, Tap, TapNode};
+use crate::packet::Address;
+use crate::time::SimTime;
+
+/// Well-known SIP port used by all agents.
+pub const SIP_PORT: u16 = 5060;
+
+/// Octet pattern: UA `i` of a site lives at `10.site.0.(10+i)`.
+pub const UA_HOST_BASE: u8 = 10;
+/// Proxies live at `10.site.0.5`.
+pub const PROXY_HOST: u8 = 5;
+
+/// Site numbers (second octet).
+pub const SITE_A: u8 = 1;
+/// Site B second octet.
+pub const SITE_B: u8 = 2;
+/// Internet core second octet.
+pub const SITE_INTERNET: u8 = 0;
+
+/// Address of UA `i` in site `site` (0-based index).
+pub fn ua_addr(site: u8, i: usize) -> Address {
+    Address::new(10, site, 0, UA_HOST_BASE + i as u8, SIP_PORT)
+}
+
+/// Address of the site's SIP proxy.
+pub fn proxy_addr(site: u8) -> Address {
+    Address::new(10, site, 0, PROXY_HOST, SIP_PORT)
+}
+
+/// Address of Internet host `i` (attackers, reflectors).
+pub fn internet_addr(i: usize) -> Address {
+    Address::new(10, SITE_INTERNET, 0, UA_HOST_BASE + i as u8, SIP_PORT)
+}
+
+/// The assembled topology: the simulator plus the node ids a caller needs to
+/// install applications and read results.
+pub struct Enterprise {
+    /// The simulator holding all nodes and links.
+    pub sim: Simulator,
+    /// UA host nodes of site A, in index order.
+    pub ua_a: Vec<NodeId>,
+    /// UA host nodes of site B, in index order.
+    pub ua_b: Vec<NodeId>,
+    /// Site A's proxy host node.
+    pub proxy_a: NodeId,
+    /// Site B's proxy host node.
+    pub proxy_b: NodeId,
+    /// The tap node carrying vids (between router-B and hub-B).
+    pub tap: NodeId,
+    core: NodeId,
+    inet_hub: NodeId,
+    inet_hub_uplink_to_core: crate::engine::LinkId,
+    next_internet_host: usize,
+}
+
+impl Enterprise {
+    /// Builds the topology with `n_a` UAs in site A and `n_b` in site B.
+    ///
+    /// Applications are produced by the factory closures, which receive the
+    /// UA index and its assigned address. `tap` is the inline observer for
+    /// the vids mount point (use [`crate::node::PassiveTap`] for the
+    /// "without vids" baseline).
+    #[allow(clippy::too_many_arguments)] // topology wiring: explicit is clearer
+    pub fn build(
+        seed: u64,
+        n_a: usize,
+        n_b: usize,
+        tap: Box<dyn Tap>,
+        mut ua_a_app: impl FnMut(usize, Address) -> Box<dyn Application>,
+        mut ua_b_app: impl FnMut(usize, Address) -> Box<dyn Application>,
+        proxy_a_app: impl FnOnce(Address) -> Box<dyn Application>,
+        proxy_b_app: impl FnOnce(Address) -> Box<dyn Application>,
+    ) -> Enterprise {
+        let mut sim = Simulator::new(seed);
+        let lan = LinkSpec::lan_100base_t();
+        let ds1 = LinkSpec::ds1();
+        // DS1-rate cloud hop carrying the Internet's 49 ms + 1 ms access
+        // propagation and the paper's 0.42 % loss: end-to-end one-way
+        // propagation A->B is 50 ms before serialization.
+        let cloud = LinkSpec {
+            delay: SimTime::from_millis(49),
+            bandwidth_bps: 1_544_000,
+            loss_rate: 0.0042,
+        };
+
+        // Backbone nodes.
+        let hub_a = sim.add_node(Box::new(Hub::new()));
+        let router_a = sim.add_node(Box::new(Router::new()));
+        let core = sim.add_node(Box::new(Router::new()));
+        let router_b = sim.add_node(Box::new(Router::new()));
+        let tap_node = sim.add_node(Box::new(TapNode::new(tap)));
+        let hub_b = sim.add_node(Box::new(Hub::new()));
+        let inet_hub = sim.add_node(Box::new(Hub::new()));
+
+        // Backbone links.
+        let (huba_ra, ra_huba) = sim.add_duplex_link(hub_a, router_a, lan);
+        let (ra_core, core_ra) = sim.add_duplex_link(router_a, core, ds1);
+        let (core_rb, rb_core) = sim.add_duplex_link(core, router_b, cloud);
+        let (rb_tap, tap_rb) = sim.add_duplex_link(router_b, tap_node, lan);
+        let (tap_hubb, hubb_tap) = sim.add_duplex_link(tap_node, hub_b, lan);
+        let (core_ihub, ihub_core) = sim.add_duplex_link(core, inet_hub, lan);
+
+        // Hosts.
+        let attach =
+            |sim: &mut Simulator, hub: NodeId, addr: Address, app: Box<dyn Application>| {
+                let host = sim.add_node(Box::new(Host::new(addr, app)));
+                let (up, down) = sim.add_duplex_link(host, hub, lan);
+                sim.node_as_mut::<Host>(host).set_uplink(up);
+                sim.node_as_mut::<Hub>(hub).add_port(addr.ip, down);
+                host
+            };
+
+        let ua_a: Vec<NodeId> = (0..n_a)
+            .map(|i| {
+                let addr = ua_addr(SITE_A, i);
+                attach(&mut sim, hub_a, addr, ua_a_app(i, addr))
+            })
+            .collect();
+        let proxy_a = {
+            let addr = proxy_addr(SITE_A);
+            attach(&mut sim, hub_a, addr, proxy_a_app(addr))
+        };
+        let ua_b: Vec<NodeId> = (0..n_b)
+            .map(|i| {
+                let addr = ua_addr(SITE_B, i);
+                attach(&mut sim, hub_b, addr, ua_b_app(i, addr))
+            })
+            .collect();
+        let proxy_b = {
+            let addr = proxy_addr(SITE_B);
+            attach(&mut sim, hub_b, addr, proxy_b_app(addr))
+        };
+
+        // Routing.
+        let site_a = ua_addr(SITE_A, 0).site();
+        let site_b = ua_addr(SITE_B, 0).site();
+        let site_inet = internet_addr(0).site();
+        sim.node_as_mut::<Hub>(hub_a).set_uplink(huba_ra);
+        sim.node_as_mut::<Hub>(hub_b).set_uplink(hubb_tap);
+        sim.node_as_mut::<Hub>(inet_hub).set_uplink(ihub_core);
+        {
+            let r = sim.node_as_mut::<Router>(router_a);
+            r.add_route(site_a, ra_huba);
+            r.set_default_route(ra_core);
+        }
+        {
+            let r = sim.node_as_mut::<Router>(core);
+            r.add_route(site_a, core_ra);
+            r.add_route(site_b, core_rb);
+            r.add_route(site_inet, core_ihub);
+        }
+        {
+            let r = sim.node_as_mut::<Router>(router_b);
+            r.add_route(site_b, rb_tap);
+            r.set_default_route(rb_core);
+        }
+        {
+            let t = sim.node_as_mut::<TapNode>(tap_node);
+            t.add_route(site_b, tap_hubb);
+            t.set_default_route(tap_rb);
+        }
+
+        Enterprise {
+            sim,
+            ua_a,
+            ua_b,
+            proxy_a,
+            proxy_b,
+            tap: tap_node,
+            core,
+            inet_hub,
+            inet_hub_uplink_to_core: ihub_core,
+            next_internet_host: 0,
+        }
+    }
+
+    /// Attaches a host directly to the Internet core (attackers live here).
+    /// Returns the node id and the address it was assigned.
+    pub fn add_internet_host(&mut self, app: Box<dyn Application>) -> (NodeId, Address) {
+        let _ = self.inet_hub_uplink_to_core; // uplink fixed at build time
+        let addr = internet_addr(self.next_internet_host);
+        self.next_internet_host += 1;
+        let lan = LinkSpec::lan_100base_t();
+        let host = self.sim.add_node(Box::new(Host::new(addr, app)));
+        let (up, down) = self.sim.add_duplex_link(host, self.inet_hub, lan);
+        self.sim.node_as_mut::<Host>(host).set_uplink(up);
+        self.sim.node_as_mut::<Hub>(self.inet_hub).add_port(addr.ip, down);
+        (host, addr)
+    }
+
+    /// The Internet core router node (topology introspection for tests).
+    pub fn core(&self) -> NodeId {
+        self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{AppCtx, PassiveTap};
+    use crate::packet::{Packet, Payload};
+
+    /// Minimal app: optionally sends one datagram at start, records arrivals.
+    struct Probe {
+        send_at_start: Option<Address>,
+        received: Vec<(SimTime, Address)>,
+    }
+
+    impl Probe {
+        fn silent() -> Box<dyn Application> {
+            Box::new(Probe {
+                send_at_start: None,
+                received: Vec::new(),
+            })
+        }
+    }
+
+    impl Application for Probe {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+            if let Some(dst) = self.send_at_start {
+                ctx.send_to(dst, Payload::Raw(vec![0; 100]));
+            }
+        }
+
+        fn on_datagram(&mut self, packet: &Packet, ctx: &mut AppCtx<'_, '_>) {
+            self.received.push((ctx.now(), packet.src));
+        }
+    }
+
+    fn probe_to(dst: Address) -> Box<dyn Application> {
+        Box::new(Probe {
+            send_at_start: Some(dst),
+            received: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn cross_site_delivery_traverses_cloud() {
+        let target = ua_addr(SITE_B, 0);
+        let mut ent = Enterprise::build(
+            1,
+            1,
+            1,
+            Box::new(PassiveTap),
+            |_, _| probe_to(target),
+            |_, _| Probe::silent(),
+            |_| Probe::silent(),
+            |_| Probe::silent(),
+        );
+        ent.sim.run_to_completion();
+        let b0 = ent.sim.node_as::<Host>(ent.ua_b[0]).app_as::<Probe>();
+        assert_eq!(b0.received.len(), 1);
+        assert_eq!(b0.received[0].1, ua_addr(SITE_A, 0));
+        // One-way must exceed the 50 ms propagation budget.
+        assert!(b0.received[0].0 >= SimTime::from_millis(50));
+        assert_eq!(ent.sim.counters().unroutable, 0);
+    }
+
+    #[test]
+    fn intra_site_traffic_stays_local() {
+        let target = proxy_addr(SITE_A);
+        let mut ent = Enterprise::build(
+            1,
+            1,
+            1,
+            Box::new(PassiveTap),
+            |_, _| probe_to(target),
+            |_, _| Probe::silent(),
+            |_| Probe::silent(),
+            |_| Probe::silent(),
+        );
+        ent.sim.run_to_completion();
+        let pa = ent.sim.node_as::<Host>(ent.proxy_a).app_as::<Probe>();
+        assert_eq!(pa.received.len(), 1);
+        // LAN-only path: well under a millisecond.
+        assert!(pa.received[0].0 < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn internet_host_reaches_site_b_through_tap() {
+        let target = ua_addr(SITE_B, 0);
+        let mut ent = Enterprise::build(
+            1,
+            1,
+            1,
+            Box::new(PassiveTap),
+            |_, _| Probe::silent(),
+            |_, _| Probe::silent(),
+            |_| Probe::silent(),
+            |_| Probe::silent(),
+        );
+        let (_attacker, addr) = ent.add_internet_host(probe_to(target));
+        assert_eq!(addr, internet_addr(0));
+        ent.sim.run_to_completion();
+        let b0 = ent.sim.node_as::<Host>(ent.ua_b[0]).app_as::<Probe>();
+        assert_eq!(b0.received.len(), 1);
+        assert_eq!(b0.received[0].1, addr);
+    }
+
+    #[test]
+    fn reply_path_works_backwards() {
+        // B0 sends to A0 at start: exercises B -> tap -> router B -> cloud -> A.
+        let target = ua_addr(SITE_A, 0);
+        let mut ent = Enterprise::build(
+            1,
+            1,
+            1,
+            Box::new(PassiveTap),
+            |_, _| Probe::silent(),
+            |_, _| probe_to(target),
+            |_| Probe::silent(),
+            |_| Probe::silent(),
+        );
+        ent.sim.run_to_completion();
+        let a0 = ent.sim.node_as::<Host>(ent.ua_a[0]).app_as::<Probe>();
+        assert_eq!(a0.received.len(), 1);
+    }
+
+    #[test]
+    fn address_helpers_are_consistent() {
+        assert_eq!(ua_addr(SITE_A, 0).to_string(), "10.1.0.10:5060");
+        assert_eq!(ua_addr(SITE_B, 3).to_string(), "10.2.0.13:5060");
+        assert_eq!(proxy_addr(SITE_B).to_string(), "10.2.0.5:5060");
+        assert_eq!(internet_addr(1).to_string(), "10.0.0.11:5060");
+        assert_ne!(ua_addr(SITE_A, 0).site(), ua_addr(SITE_B, 0).site());
+    }
+}

@@ -1,0 +1,167 @@
+//! Random call workloads (§7.1): "the UAs of network A generate call
+//! requests randomly and independently of each other. The call duration and
+//! calling interval between calls are also assumed to be randomly
+//! distributed."
+//!
+//! Arrivals per caller are Poisson (exponential think time between call
+//! attempts), holding times are exponential with a configurable mean. A
+//! [`CallPlan`] pre-draws the whole 120-minute schedule so both the
+//! with-vids and without-vids runs replay identical call patterns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimTime;
+
+/// Draws an exponential variate with the given mean (seconds).
+pub fn exponential(rng: &mut StdRng, mean_secs: f64) -> f64 {
+    assert!(mean_secs > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean_secs * u.ln()
+}
+
+/// One scheduled call attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallEvent {
+    /// Index of the calling UA within its site.
+    pub caller: usize,
+    /// Index of the callee UA within the remote site.
+    pub callee: usize,
+    /// When the caller sends its INVITE.
+    pub start: SimTime,
+    /// How long the conversation lasts once established.
+    pub duration: SimTime,
+}
+
+/// Parameters of the call generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of calling UAs (paper: 20 in network A).
+    pub callers: usize,
+    /// Number of callee UAs (paper: 20 in network B).
+    pub callees: usize,
+    /// Mean think time between one caller's calls, seconds.
+    pub mean_interarrival_secs: f64,
+    /// Mean call holding time, seconds.
+    pub mean_duration_secs: f64,
+    /// Total experiment length (paper: 120 minutes).
+    pub horizon: SimTime,
+}
+
+impl Default for WorkloadSpec {
+    /// The §7.1 experiment: 20 callers and callees, ~3-minute mean think
+    /// time, ~2-minute mean holding time, 120 simulated minutes.
+    fn default() -> Self {
+        WorkloadSpec {
+            callers: 20,
+            callees: 20,
+            mean_interarrival_secs: 180.0,
+            mean_duration_secs: 120.0,
+            horizon: SimTime::from_secs(120 * 60),
+        }
+    }
+}
+
+/// A fully drawn, replayable schedule of call attempts sorted by start time.
+#[derive(Debug, Clone, Default)]
+pub struct CallPlan {
+    calls: Vec<CallEvent>,
+}
+
+impl CallPlan {
+    /// Draws a plan from the spec with a deterministic seed.
+    pub fn generate(spec: &WorkloadSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut calls = Vec::new();
+        for caller in 0..spec.callers {
+            let mut t = exponential(&mut rng, spec.mean_interarrival_secs);
+            while t < spec.horizon.as_secs_f64() {
+                let callee = rng.gen_range(0..spec.callees);
+                let duration = exponential(&mut rng, spec.mean_duration_secs);
+                calls.push(CallEvent {
+                    caller,
+                    callee,
+                    start: SimTime::from_secs_f64(t),
+                    duration: SimTime::from_secs_f64(duration),
+                });
+                t += exponential(&mut rng, spec.mean_interarrival_secs);
+            }
+        }
+        calls.sort_by_key(|c| c.start);
+        CallPlan { calls }
+    }
+
+    /// The scheduled calls in start order.
+    pub fn calls(&self) -> &[CallEvent] {
+        &self.calls
+    }
+
+    /// Number of scheduled calls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Calls placed by one caller, in start order.
+    pub fn for_caller(&self, caller: usize) -> impl Iterator<Item = &CallEvent> {
+        self.calls.iter().filter(move |c| c.caller == caller)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!((sample_mean - mean).abs() < 0.1, "mean {sample_mean}");
+    }
+
+    #[test]
+    fn plan_is_sorted_and_in_horizon() {
+        let spec = WorkloadSpec::default();
+        let plan = CallPlan::generate(&spec, 5);
+        assert!(!plan.is_empty());
+        let starts: Vec<u64> = plan.calls().iter().map(|c| c.start.as_nanos()).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(plan.calls().iter().all(|c| c.start < spec.horizon));
+        assert!(plan
+            .calls()
+            .iter()
+            .all(|c| c.callee < spec.callees && c.caller < spec.callers));
+    }
+
+    #[test]
+    fn plan_volume_matches_rates() {
+        // 20 callers * 7200 s / 180 s mean interarrival ~= 800 calls.
+        let plan = CallPlan::generate(&WorkloadSpec::default(), 1);
+        let n = plan.len();
+        assert!((600..1000).contains(&n), "calls = {n}");
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::default();
+        let a = CallPlan::generate(&spec, 9);
+        let b = CallPlan::generate(&spec, 9);
+        let c = CallPlan::generate(&spec, 10);
+        assert_eq!(a.calls(), b.calls());
+        assert_ne!(a.calls(), c.calls());
+    }
+
+    #[test]
+    fn per_caller_filter() {
+        let plan = CallPlan::generate(&WorkloadSpec::default(), 2);
+        let total: usize = (0..20).map(|c| plan.for_caller(c).count()).sum();
+        assert_eq!(total, plan.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! Interarrival jitter estimation (RFC 3550 §6.4.1).
+//!
+//! Figure 10 of the paper reports the "average delay variation" of RTP
+//! streams with and without vids inline. This module implements the standard
+//! RTP jitter estimator: for packets *i* and *j*,
+//! `D(i,j) = (Rj − Ri) − (Sj − Si)` in timestamp units, and the running
+//! estimate `J += (|D| − J) / 16`.
+
+/// Running interarrival-jitter estimator for one RTP stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JitterEstimator {
+    clock_rate: u32,
+    last_arrival_ticks: f64,
+    last_timestamp: u32,
+    jitter_ticks: f64,
+    initialized: bool,
+    samples: u64,
+}
+
+impl JitterEstimator {
+    /// Creates an estimator for a stream with the given RTP clock rate (Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_rate` is zero.
+    pub fn new(clock_rate: u32) -> Self {
+        assert!(clock_rate > 0, "clock rate must be positive");
+        JitterEstimator {
+            clock_rate,
+            ..JitterEstimator::default()
+        }
+    }
+
+    /// Feeds one packet: wall-clock arrival time in seconds and the packet's
+    /// RTP timestamp. Returns the updated jitter estimate in seconds.
+    pub fn on_packet(&mut self, arrival_secs: f64, rtp_timestamp: u32) -> f64 {
+        let arrival_ticks = arrival_secs * self.clock_rate as f64;
+        if self.initialized {
+            let transit_delta = (arrival_ticks - self.last_arrival_ticks)
+                - (rtp_timestamp.wrapping_sub(self.last_timestamp) as f64);
+            let d = transit_delta.abs();
+            self.jitter_ticks += (d - self.jitter_ticks) / 16.0;
+        } else {
+            self.initialized = true;
+        }
+        self.last_arrival_ticks = arrival_ticks;
+        self.last_timestamp = rtp_timestamp;
+        self.samples += 1;
+        self.jitter_secs()
+    }
+
+    /// The current jitter estimate in seconds.
+    pub fn jitter_secs(&self) -> f64 {
+        self.jitter_ticks / self.clock_rate as f64
+    }
+
+    /// The current jitter estimate in RTP timestamp ticks (as RTCP reports).
+    pub fn jitter_ticks(&self) -> f64 {
+        self.jitter_ticks
+    }
+
+    /// How many packets have been observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Perfectly periodic arrivals produce zero jitter.
+    #[test]
+    fn zero_for_periodic_stream() {
+        let mut j = JitterEstimator::new(8_000);
+        let mut ts = 0u32;
+        for i in 0..100 {
+            j.on_packet(i as f64 * 0.010, ts);
+            ts = ts.wrapping_add(80); // 10 ms of 8 kHz ticks
+        }
+        assert!(j.jitter_secs() < 1e-12, "jitter = {}", j.jitter_secs());
+        assert_eq!(j.samples(), 100);
+    }
+
+    /// A constant network delay shift also produces zero jitter (only
+    /// variation matters).
+    #[test]
+    fn constant_delay_is_invisible() {
+        let mut j = JitterEstimator::new(8_000);
+        let mut ts = 0u32;
+        for i in 0..100 {
+            j.on_packet(0.050 + i as f64 * 0.010, ts);
+            ts = ts.wrapping_add(80);
+        }
+        assert!(j.jitter_secs() < 1e-12);
+    }
+
+    /// Alternating early/late arrivals converge toward the mean deviation.
+    #[test]
+    fn converges_for_alternating_jitter() {
+        let mut j = JitterEstimator::new(8_000);
+        let mut ts = 0u32;
+        for i in 0..2_000 {
+            let wobble = if i % 2 == 0 { 0.002 } else { 0.0 };
+            j.on_packet(i as f64 * 0.010 + wobble, ts);
+            ts = ts.wrapping_add(80);
+        }
+        // Every interarrival deviates by 2 ms from nominal, so J -> ~2 ms.
+        let jit = j.jitter_secs();
+        assert!((0.0015..0.0025).contains(&jit), "jitter = {jit}");
+    }
+
+    /// Timestamp wraparound must not spike the estimate.
+    #[test]
+    fn survives_timestamp_wrap() {
+        let mut j = JitterEstimator::new(8_000);
+        let mut ts = u32::MAX - 200;
+        for i in 0..100 {
+            j.on_packet(i as f64 * 0.010, ts);
+            ts = ts.wrapping_add(80);
+        }
+        assert!(j.jitter_secs() < 1e-9, "jitter = {}", j.jitter_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rate_panics() {
+        let _ = JitterEstimator::new(0);
+    }
+}

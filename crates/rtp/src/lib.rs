@@ -1,0 +1,39 @@
+//! # vids-rtp — Real-time Transport Protocol substrate
+//!
+//! From-scratch RTP (RFC 3550 / RFC 1889) support for the vids monitor and
+//! the simulated media endpoints:
+//!
+//! * [`packet::RtpPacket`] — the fixed 12-byte header plus payload, with
+//!   binary serialize/parse.
+//! * [`seq`] — 16-bit sequence-number arithmetic, wraparound-safe ordering
+//!   and the extended-sequence-number tracker of RFC 3550 §A.1.
+//! * [`jitter::JitterEstimator`] — the interarrival jitter estimator of
+//!   RFC 3550 §6.4.1, used for the paper's Fig. 10 QoS measurements.
+//! * [`rtcp`] — minimal sender/receiver reports so media sessions can carry
+//!   the statistics the evaluation plots.
+//!
+//! ```
+//! use vids_rtp::packet::RtpPacket;
+//!
+//! let pkt = RtpPacket::new(18, 100, 8_000, 0xdecafbad).with_payload(vec![0u8; 10]);
+//! let bytes = pkt.to_bytes();
+//! let parsed = RtpPacket::parse(&bytes).unwrap();
+//! assert_eq!(parsed.sequence_number, 100);
+//! assert_eq!(parsed.ssrc, 0xdecafbad);
+//! ```
+
+pub mod jitter;
+pub mod packet;
+pub mod rtcp;
+pub mod rtcp_wire;
+pub mod seq;
+
+pub use jitter::JitterEstimator;
+pub use packet::{ParseRtpError, RtpPacket};
+pub use rtcp_wire::{ReportBlock, RtcpPacket};
+pub use seq::{seq_distance, seq_greater, ExtendedSeq};
+
+/// RTP protocol version carried in every header.
+pub const RTP_VERSION: u8 = 2;
+/// Size of the fixed RTP header in bytes (no CSRCs, no extension).
+pub const HEADER_LEN: usize = 12;

@@ -1,0 +1,238 @@
+//! The RTP fixed header and packet (RFC 3550 §5.1).
+
+use std::fmt;
+
+use crate::{HEADER_LEN, RTP_VERSION};
+
+/// An RTP packet: the fixed 12-byte header plus an opaque payload.
+///
+/// CSRC lists and header extensions are not modeled (the testbed never
+/// produces them); packets carrying them parse with their extra bytes folded
+/// into the payload boundary check and are rejected, which the monitor
+/// treats as malformed traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RtpPacket {
+    /// Padding flag.
+    pub padding: bool,
+    /// Marker bit — set on the first packet of a talkspurt.
+    pub marker: bool,
+    /// Payload type (7 bits) identifying the codec.
+    pub payload_type: u8,
+    /// 16-bit sequence number, increments by one per packet.
+    pub sequence_number: u16,
+    /// 32-bit media timestamp in codec clock ticks.
+    pub timestamp: u32,
+    /// Synchronization source identifier.
+    pub ssrc: u32,
+    /// Codec payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl RtpPacket {
+    /// Creates a packet with empty payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_type` exceeds 7 bits (>= 128).
+    pub fn new(payload_type: u8, sequence_number: u16, timestamp: u32, ssrc: u32) -> Self {
+        assert!(payload_type < 128, "payload type must fit in 7 bits");
+        RtpPacket {
+            padding: false,
+            marker: false,
+            payload_type,
+            sequence_number,
+            timestamp,
+            ssrc,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Attaches a payload, builder-style.
+    #[must_use]
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Sets the marker bit, builder-style.
+    #[must_use]
+    pub fn with_marker(mut self) -> Self {
+        self.marker = true;
+        self
+    }
+
+    /// Total wire length in bytes.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serializes to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        let b0 = (RTP_VERSION << 6) | ((self.padding as u8) << 5);
+        let b1 = ((self.marker as u8) << 7) | self.payload_type;
+        out.push(b0);
+        out.push(b1);
+        out.extend_from_slice(&self.sequence_number.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        out.extend_from_slice(&self.ssrc.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a packet from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtpError`] on short input, a wrong version field, or a
+    /// CSRC count / extension flag this model does not support.
+    pub fn parse(bytes: &[u8]) -> Result<RtpPacket, ParseRtpError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseRtpError::TooShort { len: bytes.len() });
+        }
+        let version = bytes[0] >> 6;
+        if version != RTP_VERSION {
+            return Err(ParseRtpError::BadVersion { version });
+        }
+        let csrc_count = bytes[0] & 0x0f;
+        if csrc_count != 0 {
+            return Err(ParseRtpError::UnsupportedCsrc { count: csrc_count });
+        }
+        if bytes[0] & 0x10 != 0 {
+            return Err(ParseRtpError::UnsupportedExtension);
+        }
+        Ok(RtpPacket {
+            padding: bytes[0] & 0x20 != 0,
+            marker: bytes[1] & 0x80 != 0,
+            payload_type: bytes[1] & 0x7f,
+            sequence_number: u16::from_be_bytes([bytes[2], bytes[3]]),
+            timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for RtpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RTP pt={} seq={} ts={} ssrc={:#010x} len={}",
+            self.payload_type,
+            self.sequence_number,
+            self.timestamp,
+            self.ssrc,
+            self.wire_len()
+        )
+    }
+}
+
+/// Error returned by [`RtpPacket::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseRtpError {
+    /// Fewer than 12 bytes of input.
+    TooShort {
+        /// How many bytes were available.
+        len: usize,
+    },
+    /// Version field was not 2.
+    BadVersion {
+        /// The version observed.
+        version: u8,
+    },
+    /// Packet declares CSRC entries, which this model does not support.
+    UnsupportedCsrc {
+        /// Declared CSRC count.
+        count: u8,
+    },
+    /// Packet declares a header extension, which this model does not support.
+    UnsupportedExtension,
+}
+
+impl fmt::Display for ParseRtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRtpError::TooShort { len } => {
+                write!(f, "RTP packet too short: {len} bytes")
+            }
+            ParseRtpError::BadVersion { version } => {
+                write!(f, "unsupported RTP version {version}")
+            }
+            ParseRtpError::UnsupportedCsrc { count } => {
+                write!(f, "unsupported CSRC count {count}")
+            }
+            ParseRtpError::UnsupportedExtension => f.write_str("unsupported header extension"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRtpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let pkt = RtpPacket::new(18, 0xBEEF, 0x01020304, 0xCAFED00D)
+            .with_payload(vec![1, 2, 3, 4, 5])
+            .with_marker();
+        let bytes = pkt.to_bytes();
+        assert_eq!(bytes.len(), 17);
+        let parsed = RtpPacket::parse(&bytes).unwrap();
+        assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn header_layout_is_network_order() {
+        let pkt = RtpPacket::new(18, 0x0102, 0x0A0B0C0D, 0x11223344);
+        let bytes = pkt.to_bytes();
+        assert_eq!(bytes[0], 0x80); // version 2, no padding/ext/csrc
+        assert_eq!(bytes[1], 18);
+        assert_eq!(&bytes[2..4], &[0x01, 0x02]);
+        assert_eq!(&bytes[4..8], &[0x0A, 0x0B, 0x0C, 0x0D]);
+        assert_eq!(&bytes[8..12], &[0x11, 0x22, 0x33, 0x44]);
+    }
+
+    #[test]
+    fn marker_bit_encodes() {
+        let pkt = RtpPacket::new(0, 1, 1, 1).with_marker();
+        assert_eq!(pkt.to_bytes()[1], 0x80);
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert_eq!(
+            RtpPacket::parse(&[0x80; 5]),
+            Err(ParseRtpError::TooShort { len: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = RtpPacket::new(0, 1, 1, 1).to_bytes();
+        bytes[0] = 0x40; // version 1
+        assert_eq!(
+            RtpPacket::parse(&bytes),
+            Err(ParseRtpError::BadVersion { version: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_csrc_and_extension() {
+        let mut bytes = RtpPacket::new(0, 1, 1, 1).to_bytes();
+        bytes[0] = 0x82; // csrc count 2
+        assert_eq!(
+            RtpPacket::parse(&bytes),
+            Err(ParseRtpError::UnsupportedCsrc { count: 2 })
+        );
+        bytes[0] = 0x90; // extension flag
+        assert_eq!(RtpPacket::parse(&bytes), Err(ParseRtpError::UnsupportedExtension));
+    }
+
+    #[test]
+    #[should_panic(expected = "7 bits")]
+    fn payload_type_must_fit() {
+        let _ = RtpPacket::new(128, 0, 0, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal RTCP sender/receiver reports (RFC 3550 §6.4).
+//!
+//! The simulated media sessions emit periodic reports so the evaluation can
+//! collect per-stream delay/jitter/loss without instrumenting the data path.
+//! Only the statistics payload is modeled (no binary wire format): RTCP
+//! never reaches the vids classifier in the paper's experiments.
+
+use std::fmt;
+
+/// Receiver-side statistics for one RTP stream, as carried in an RTCP
+/// receiver report block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceptionReport {
+    /// SSRC of the reported stream.
+    pub ssrc: u32,
+    /// Fraction of packets lost since the previous report, `0.0..=1.0`.
+    pub fraction_lost: f64,
+    /// Cumulative packets lost since the beginning of reception.
+    pub cumulative_lost: u64,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in seconds.
+    pub jitter_secs: f64,
+}
+
+impl fmt::Display for ReceptionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RR ssrc={:#010x} lost={:.2}% cum={} hseq={} jitter={:.6}s",
+            self.ssrc,
+            self.fraction_lost * 100.0,
+            self.cumulative_lost,
+            self.highest_seq,
+            self.jitter_secs
+        )
+    }
+}
+
+/// Accumulates reception statistics and produces [`ReceptionReport`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ReceptionTracker {
+    ssrc: u32,
+    expected_base: Option<u32>,
+    received_total: u64,
+    received_at_last_report: u64,
+    expected_at_last_report: u64,
+    highest: crate::seq::ExtendedSeq,
+}
+
+impl ReceptionTracker {
+    /// Creates a tracker for the given stream SSRC.
+    pub fn new(ssrc: u32) -> Self {
+        ReceptionTracker {
+            ssrc,
+            ..ReceptionTracker::default()
+        }
+    }
+
+    /// Records one received packet by sequence number.
+    pub fn on_packet(&mut self, seq: u16) {
+        let ext = self.highest.update(seq);
+        if self.expected_base.is_none() {
+            self.expected_base = Some(ext);
+        }
+        self.received_total += 1;
+    }
+
+    /// Total packets expected so far: extended highest − base + 1.
+    pub fn expected(&self) -> u64 {
+        match self.expected_base {
+            Some(base) => (self.highest.highest().wrapping_sub(base) as u64) + 1,
+            None => 0,
+        }
+    }
+
+    /// Cumulative packets lost (never negative: duplicates clamp to zero).
+    pub fn cumulative_lost(&self) -> u64 {
+        self.expected().saturating_sub(self.received_total)
+    }
+
+    /// Produces a report and resets the per-interval counters.
+    pub fn report(&mut self, jitter_secs: f64) -> ReceptionReport {
+        let expected = self.expected();
+        let expected_interval = expected - self.expected_at_last_report;
+        let received_interval = self.received_total - self.received_at_last_report;
+        let fraction_lost = if expected_interval == 0 {
+            0.0
+        } else {
+            (expected_interval.saturating_sub(received_interval)) as f64 / expected_interval as f64
+        };
+        self.expected_at_last_report = expected;
+        self.received_at_last_report = self.received_total;
+        ReceptionReport {
+            ssrc: self.ssrc,
+            fraction_lost,
+            cumulative_lost: self.cumulative_lost(),
+            highest_seq: self.highest.highest(),
+            jitter_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_stream() {
+        let mut t = ReceptionTracker::new(7);
+        for seq in 0..100u16 {
+            t.on_packet(seq);
+        }
+        assert_eq!(t.expected(), 100);
+        assert_eq!(t.cumulative_lost(), 0);
+        let rr = t.report(0.001);
+        assert_eq!(rr.fraction_lost, 0.0);
+        assert_eq!(rr.highest_seq, 99);
+        assert_eq!(rr.jitter_secs, 0.001);
+    }
+
+    #[test]
+    fn detects_gaps_as_loss() {
+        let mut t = ReceptionTracker::new(7);
+        for seq in [0u16, 1, 2, 5, 6, 9] {
+            t.on_packet(seq);
+        }
+        assert_eq!(t.expected(), 10);
+        assert_eq!(t.cumulative_lost(), 4);
+        let rr = t.report(0.0);
+        assert!((rr.fraction_lost - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_fraction_resets() {
+        let mut t = ReceptionTracker::new(7);
+        for seq in 0..10u16 {
+            t.on_packet(seq);
+        }
+        let _first = t.report(0.0);
+        // Second interval: lose half.
+        for seq in [10u16, 12, 14, 16, 18, 19] {
+            t.on_packet(seq);
+        }
+        let rr = t.report(0.0);
+        // Expected in interval: 10 (seq 10..=19); received 6.
+        assert!((rr.fraction_lost - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starts_mid_stream() {
+        let mut t = ReceptionTracker::new(7);
+        t.on_packet(5_000);
+        t.on_packet(5_001);
+        assert_eq!(t.expected(), 2);
+        assert_eq!(t.cumulative_lost(), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! RTCP wire format (RFC 3550 §6.4): sender reports (SR, packet type 200)
+//! and receiver reports (RR, packet type 201), with report blocks.
+//!
+//! The vids monitor itself does not consume RTCP (the paper's detection is
+//! driven by SIP and RTP data packets), but a complete media stack needs
+//! the format: downstream users can emit/ingest reports, and the testbed's
+//! statistics structures ([`crate::rtcp`]) convert into wire report blocks.
+
+use std::fmt;
+
+/// RTP protocol version (shared with data packets).
+const VERSION: u8 = 2;
+/// RTCP packet type: sender report.
+pub const PT_SENDER_REPORT: u8 = 200;
+/// RTCP packet type: receiver report.
+pub const PT_RECEIVER_REPORT: u8 = 201;
+
+/// One report block (RFC 3550 §6.4.1), 24 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReportBlock {
+    /// SSRC of the source this block reports on.
+    pub ssrc: u32,
+    /// Fraction of packets lost since the last report, as a fixed-point
+    /// 8-bit value (fraction × 256).
+    pub fraction_lost: u8,
+    /// Cumulative packets lost (24-bit signed on the wire; clamped here).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in timestamp units.
+    pub jitter: u32,
+    /// Middle 32 bits of the last SR's NTP timestamp.
+    pub last_sr: u32,
+    /// Delay since that SR, in 1/65536 s units.
+    pub delay_since_last_sr: u32,
+}
+
+impl ReportBlock {
+    /// Builds a block from the statistics tracker's report, converting
+    /// seconds-domain values into wire units for `clock_rate` Hz media.
+    pub fn from_report(r: &crate::rtcp::ReceptionReport, clock_rate: u32) -> ReportBlock {
+        ReportBlock {
+            ssrc: r.ssrc,
+            fraction_lost: (r.fraction_lost.clamp(0.0, 1.0) * 256.0).min(255.0) as u8,
+            cumulative_lost: r.cumulative_lost.min(0x7F_FFFF) as u32,
+            highest_seq: r.highest_seq,
+            jitter: (r.jitter_secs * clock_rate as f64).max(0.0) as u32,
+            last_sr: 0,
+            delay_since_last_sr: 0,
+        }
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ssrc.to_be_bytes());
+        out.push(self.fraction_lost);
+        let lost = self.cumulative_lost.min(0xFF_FFFF);
+        out.extend_from_slice(&lost.to_be_bytes()[1..4]);
+        out.extend_from_slice(&self.highest_seq.to_be_bytes());
+        out.extend_from_slice(&self.jitter.to_be_bytes());
+        out.extend_from_slice(&self.last_sr.to_be_bytes());
+        out.extend_from_slice(&self.delay_since_last_sr.to_be_bytes());
+    }
+
+    fn read(bytes: &[u8]) -> ReportBlock {
+        ReportBlock {
+            ssrc: be32(&bytes[0..4]),
+            fraction_lost: bytes[4],
+            cumulative_lost: u32::from_be_bytes([0, bytes[5], bytes[6], bytes[7]]),
+            highest_seq: be32(&bytes[8..12]),
+            jitter: be32(&bytes[12..16]),
+            last_sr: be32(&bytes[16..20]),
+            delay_since_last_sr: be32(&bytes[20..24]),
+        }
+    }
+}
+
+fn be32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// An RTCP packet: sender report or receiver report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtcpPacket {
+    /// SR: sender info plus reception blocks.
+    SenderReport {
+        /// Sender's SSRC.
+        ssrc: u32,
+        /// 64-bit NTP timestamp of this report.
+        ntp_timestamp: u64,
+        /// RTP timestamp corresponding to the NTP time.
+        rtp_timestamp: u32,
+        /// Packets sent since stream start.
+        packet_count: u32,
+        /// Payload octets sent since stream start.
+        octet_count: u32,
+        /// Reception quality of remote streams.
+        reports: Vec<ReportBlock>,
+    },
+    /// RR: reception blocks only.
+    ReceiverReport {
+        /// Reporter's SSRC.
+        ssrc: u32,
+        /// Reception quality of remote streams.
+        reports: Vec<ReportBlock>,
+    },
+}
+
+impl RtcpPacket {
+    /// The report blocks of either variant.
+    pub fn reports(&self) -> &[ReportBlock] {
+        match self {
+            RtcpPacket::SenderReport { reports, .. } => reports,
+            RtcpPacket::ReceiverReport { reports, .. } => reports,
+        }
+    }
+
+    /// The originating SSRC of either variant.
+    pub fn ssrc(&self) -> u32 {
+        match self {
+            RtcpPacket::SenderReport { ssrc, .. } | RtcpPacket::ReceiverReport { ssrc, .. } => {
+                *ssrc
+            }
+        }
+    }
+
+    /// Serializes to wire format (header + body, length in 32-bit words).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let (pt, count) = match self {
+            RtcpPacket::SenderReport {
+                ssrc,
+                ntp_timestamp,
+                rtp_timestamp,
+                packet_count,
+                octet_count,
+                reports,
+            } => {
+                body.extend_from_slice(&ssrc.to_be_bytes());
+                body.extend_from_slice(&ntp_timestamp.to_be_bytes());
+                body.extend_from_slice(&rtp_timestamp.to_be_bytes());
+                body.extend_from_slice(&packet_count.to_be_bytes());
+                body.extend_from_slice(&octet_count.to_be_bytes());
+                for r in reports {
+                    r.write(&mut body);
+                }
+                (PT_SENDER_REPORT, reports.len())
+            }
+            RtcpPacket::ReceiverReport { ssrc, reports } => {
+                body.extend_from_slice(&ssrc.to_be_bytes());
+                for r in reports {
+                    r.write(&mut body);
+                }
+                (PT_RECEIVER_REPORT, reports.len())
+            }
+        };
+        let words = body.len() / 4; // length field excludes this header word
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.push((VERSION << 6) | (count as u8 & 0x1f));
+        out.push(pt);
+        out.extend_from_slice(&(words as u16).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses one RTCP packet from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtcpError`] on short input, wrong version, unknown
+    /// packet type, or a length field inconsistent with the block count.
+    pub fn parse(bytes: &[u8]) -> Result<RtcpPacket, ParseRtcpError> {
+        if bytes.len() < 8 {
+            return Err(ParseRtcpError::TooShort { len: bytes.len() });
+        }
+        if bytes[0] >> 6 != VERSION {
+            return Err(ParseRtcpError::BadVersion {
+                version: bytes[0] >> 6,
+            });
+        }
+        let count = (bytes[0] & 0x1f) as usize;
+        let pt = bytes[1];
+        let words = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        let declared_len = 4 + words * 4;
+        if bytes.len() < declared_len {
+            return Err(ParseRtcpError::TooShort { len: bytes.len() });
+        }
+        let body = &bytes[4..declared_len];
+        match pt {
+            PT_SENDER_REPORT => {
+                let need = 24 + count * 24;
+                if body.len() < need {
+                    return Err(ParseRtcpError::LengthMismatch);
+                }
+                let reports = (0..count)
+                    .map(|i| ReportBlock::read(&body[24 + i * 24..24 + (i + 1) * 24]))
+                    .collect();
+                Ok(RtcpPacket::SenderReport {
+                    ssrc: be32(&body[0..4]),
+                    ntp_timestamp: u64::from_be_bytes([
+                        body[4], body[5], body[6], body[7], body[8], body[9], body[10], body[11],
+                    ]),
+                    rtp_timestamp: be32(&body[12..16]),
+                    packet_count: be32(&body[16..20]),
+                    octet_count: be32(&body[20..24]),
+                    reports,
+                })
+            }
+            PT_RECEIVER_REPORT => {
+                let need = 4 + count * 24;
+                if body.len() < need {
+                    return Err(ParseRtcpError::LengthMismatch);
+                }
+                let reports = (0..count)
+                    .map(|i| ReportBlock::read(&body[4 + i * 24..4 + (i + 1) * 24]))
+                    .collect();
+                Ok(RtcpPacket::ReceiverReport {
+                    ssrc: be32(&body[0..4]),
+                    reports,
+                })
+            }
+            other => Err(ParseRtcpError::UnknownType { packet_type: other }),
+        }
+    }
+}
+
+/// Error returned by [`RtcpPacket::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseRtcpError {
+    /// Input shorter than the declared or minimum length.
+    TooShort {
+        /// Available bytes.
+        len: usize,
+    },
+    /// Version field was not 2.
+    BadVersion {
+        /// Observed version.
+        version: u8,
+    },
+    /// The length field disagrees with the block count.
+    LengthMismatch,
+    /// Not an SR/RR packet.
+    UnknownType {
+        /// Observed packet type.
+        packet_type: u8,
+    },
+}
+
+impl fmt::Display for ParseRtcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRtcpError::TooShort { len } => write!(f, "RTCP packet too short: {len} bytes"),
+            ParseRtcpError::BadVersion { version } => write!(f, "unsupported RTCP version {version}"),
+            ParseRtcpError::LengthMismatch => f.write_str("RTCP length field mismatch"),
+            ParseRtcpError::UnknownType { packet_type } => {
+                write!(f, "unsupported RTCP packet type {packet_type}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseRtcpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ssrc: u32) -> ReportBlock {
+        ReportBlock {
+            ssrc,
+            fraction_lost: 12,
+            cumulative_lost: 345,
+            highest_seq: 0x0001_F00D,
+            jitter: 42,
+            last_sr: 7,
+            delay_since_last_sr: 9,
+        }
+    }
+
+    #[test]
+    fn sender_report_round_trips() {
+        let sr = RtcpPacket::SenderReport {
+            ssrc: 0xAABBCCDD,
+            ntp_timestamp: 0x0123_4567_89AB_CDEF,
+            rtp_timestamp: 8_000,
+            packet_count: 1_000,
+            octet_count: 10_000,
+            reports: vec![block(1), block(2)],
+        };
+        let bytes = sr.to_bytes();
+        assert_eq!(bytes.len(), 4 + 24 + 48);
+        assert_eq!(RtcpPacket::parse(&bytes).unwrap(), sr);
+    }
+
+    #[test]
+    fn receiver_report_round_trips() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 9,
+            reports: vec![block(1)],
+        };
+        let parsed = RtcpPacket::parse(&rr.to_bytes()).unwrap();
+        assert_eq!(parsed, rr);
+        assert_eq!(parsed.reports().len(), 1);
+        assert_eq!(parsed.ssrc(), 9);
+    }
+
+    #[test]
+    fn empty_receiver_report() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 1,
+            reports: vec![],
+        };
+        assert_eq!(RtcpPacket::parse(&rr.to_bytes()).unwrap(), rr);
+    }
+
+    #[test]
+    fn header_layout() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 0x01020304,
+            reports: vec![block(5)],
+        };
+        let bytes = rr.to_bytes();
+        assert_eq!(bytes[0], 0x81); // version 2, count 1
+        assert_eq!(bytes[1], PT_RECEIVER_REPORT);
+        // length = (4 + 24) / 4 = 7 words
+        assert_eq!(u16::from_be_bytes([bytes[2], bytes[3]]), 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            RtcpPacket::parse(&[0x80, 200, 0, 1]),
+            Err(ParseRtcpError::TooShort { .. })
+        ));
+        let mut bytes = RtcpPacket::ReceiverReport {
+            ssrc: 1,
+            reports: vec![],
+        }
+        .to_bytes();
+        bytes[0] = 0x41; // version 1
+        assert!(matches!(
+            RtcpPacket::parse(&bytes),
+            Err(ParseRtcpError::BadVersion { .. })
+        ));
+        let mut bytes = RtcpPacket::ReceiverReport {
+            ssrc: 1,
+            reports: vec![],
+        }
+        .to_bytes();
+        bytes[1] = 204; // APP packet
+        assert!(matches!(
+            RtcpPacket::parse(&bytes),
+            Err(ParseRtcpError::UnknownType { packet_type: 204 })
+        ));
+        // Claim 2 blocks but provide none.
+        let mut bytes = RtcpPacket::ReceiverReport {
+            ssrc: 1,
+            reports: vec![],
+        }
+        .to_bytes();
+        bytes[0] = 0x82;
+        assert!(matches!(
+            RtcpPacket::parse(&bytes),
+            Err(ParseRtcpError::LengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn block_from_stats_report() {
+        let stats = crate::rtcp::ReceptionReport {
+            ssrc: 77,
+            fraction_lost: 0.5,
+            cumulative_lost: 100,
+            highest_seq: 5_000,
+            jitter_secs: 0.002,
+        };
+        let b = ReportBlock::from_report(&stats, 8_000);
+        assert_eq!(b.ssrc, 77);
+        assert_eq!(b.fraction_lost, 128);
+        assert_eq!(b.cumulative_lost, 100);
+        assert_eq!(b.jitter, 16); // 2 ms at 8 kHz
+    }
+
+    #[test]
+    fn cumulative_lost_saturates_at_24_bits() {
+        let mut b = block(1);
+        b.cumulative_lost = u32::MAX;
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 1,
+            reports: vec![b],
+        };
+        let parsed = RtcpPacket::parse(&rr.to_bytes()).unwrap();
+        assert_eq!(parsed.reports()[0].cumulative_lost, 0xFF_FFFF);
+    }
+}

@@ -1,0 +1,126 @@
+//! Sequence-number arithmetic (RFC 3550 §A.1).
+//!
+//! RTP sequence numbers are 16 bits and wrap; the media-spamming detector
+//! (paper Fig. 6) compares "the sequence number of the incoming packet" with
+//! the last stored one, so the comparison must be wraparound-safe.
+
+/// Returns true when `a` is strictly newer than `b` in 16-bit serial-number
+/// arithmetic (RFC 1982-style, half-window rule).
+pub fn seq_greater(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+/// Signed forward distance from `b` to `a`: positive when `a` is newer.
+/// `seq_distance(5, 3) == 2`, `seq_distance(2, 65534) == 4`.
+pub fn seq_distance(a: u16, b: u16) -> i32 {
+    let diff = a.wrapping_sub(b);
+    if diff < 0x8000 {
+        diff as i32
+    } else {
+        -((b.wrapping_sub(a)) as i32)
+    }
+}
+
+/// Extended (32-bit) sequence-number tracker per RFC 3550 §A.1: counts
+/// wraparound cycles so long streams keep a monotone sequence space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtendedSeq {
+    cycles: u32,
+    last: u16,
+    initialized: bool,
+}
+
+impl ExtendedSeq {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ExtendedSeq::default()
+    }
+
+    /// Feeds the next observed sequence number and returns its extended
+    /// 32-bit value.
+    pub fn update(&mut self, seq: u16) -> u32 {
+        if !self.initialized {
+            self.initialized = true;
+            self.last = seq;
+            return seq as u32;
+        }
+        if seq_greater(seq, self.last) && seq < self.last {
+            // Forward movement that wrapped through zero.
+            self.cycles = self.cycles.wrapping_add(1);
+        }
+        if seq_greater(seq, self.last) {
+            self.last = seq;
+        }
+        ((self.cycles as u64) << 16 | seq as u64) as u32
+    }
+
+    /// The highest extended sequence number seen so far.
+    pub fn highest(&self) -> u32 {
+        (self.cycles << 16) | self.last as u32
+    }
+
+    /// Whether any packet has been observed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greater_simple() {
+        assert!(seq_greater(5, 3));
+        assert!(!seq_greater(3, 5));
+        assert!(!seq_greater(7, 7));
+    }
+
+    #[test]
+    fn greater_across_wrap() {
+        assert!(seq_greater(2, 65_534));
+        assert!(!seq_greater(65_534, 2));
+    }
+
+    #[test]
+    fn distance_simple_and_wrapped() {
+        assert_eq!(seq_distance(5, 3), 2);
+        assert_eq!(seq_distance(3, 5), -2);
+        assert_eq!(seq_distance(2, 65_534), 4);
+        assert_eq!(seq_distance(65_534, 2), -4);
+        assert_eq!(seq_distance(9, 9), 0);
+    }
+
+    #[test]
+    fn extended_counts_cycles() {
+        let mut ext = ExtendedSeq::new();
+        assert_eq!(ext.update(65_533), 65_533);
+        assert_eq!(ext.update(65_535), 65_535);
+        // Wrap: 65535 -> 1
+        assert_eq!(ext.update(1), 0x1_0001);
+        assert_eq!(ext.highest(), 0x1_0001);
+    }
+
+    #[test]
+    fn extended_ignores_reordered_old_packets() {
+        let mut ext = ExtendedSeq::new();
+        ext.update(100);
+        ext.update(102);
+        // Late arrival of 101 must not move the high-water mark.
+        ext.update(101);
+        assert_eq!(ext.highest(), 102);
+    }
+
+    #[test]
+    fn extended_survives_multiple_wraps() {
+        let mut ext = ExtendedSeq::new();
+        ext.update(0);
+        for cycle in 0..3u32 {
+            // Walk forward in half-window-safe steps, then wrap past zero.
+            ext.update(30_000);
+            ext.update(60_000);
+            let v = ext.update(10); // 60000 -> 10 wraps through zero
+            assert_eq!(v >> 16, cycle + 1);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Audio codec registry: static RTP payload types (RFC 3551 Table 4) and the
+//! codec parameters the QoS model needs (sample rate, frame size, bit rate).
+
+use std::fmt;
+
+/// An RTP payload type number (7 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PayloadType(pub u8);
+
+impl fmt::Display for PayloadType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Audio codecs relevant to the paper's testbed. The evaluation uses G.729
+/// (8 kbit/s, 10 ms frames); G.711 is the common fallback and serves as the
+/// "changed encoding scheme" in the RTP-flooding threat (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Codec {
+    /// ITU-T G.711 µ-law, payload type 0, 64 kbit/s.
+    Pcmu,
+    /// ITU-T G.711 A-law, payload type 8, 64 kbit/s.
+    Pcma,
+    /// ITU-T G.723.1, payload type 4, 6.3 kbit/s.
+    G723,
+    /// ITU-T G.729, payload type 18, 8 kbit/s — the paper's codec.
+    G729,
+    /// GSM full rate, payload type 3, 13 kbit/s.
+    Gsm,
+}
+
+impl Codec {
+    /// All registered codecs.
+    pub const ALL: [Codec; 5] = [Codec::Pcmu, Codec::Pcma, Codec::G723, Codec::G729, Codec::Gsm];
+
+    /// The static RTP payload type (RFC 3551).
+    pub fn payload_type(&self) -> PayloadType {
+        PayloadType(match self {
+            Codec::Pcmu => 0,
+            Codec::Gsm => 3,
+            Codec::G723 => 4,
+            Codec::Pcma => 8,
+            Codec::G729 => 18,
+        })
+    }
+
+    /// Looks a codec up by payload type.
+    pub fn from_payload_type(pt: PayloadType) -> Option<Codec> {
+        Codec::ALL.iter().find(|c| c.payload_type() == pt).copied()
+    }
+
+    /// The `a=rtpmap` encoding name.
+    pub fn encoding_name(&self) -> &'static str {
+        match self {
+            Codec::Pcmu => "PCMU",
+            Codec::Pcma => "PCMA",
+            Codec::G723 => "G723",
+            Codec::G729 => "G729",
+            Codec::Gsm => "GSM",
+        }
+    }
+
+    /// RTP clock rate in Hz (8000 for all narrowband audio codecs here).
+    pub fn clock_rate(&self) -> u32 {
+        8_000
+    }
+
+    /// Codec frame duration in milliseconds.
+    pub fn frame_ms(&self) -> u32 {
+        match self {
+            Codec::Pcmu | Codec::Pcma => 20,
+            Codec::G723 => 30,
+            Codec::G729 => 10,
+            Codec::Gsm => 20,
+        }
+    }
+
+    /// Media bit rate in bits per second (payload only).
+    pub fn bit_rate(&self) -> u32 {
+        match self {
+            Codec::Pcmu | Codec::Pcma => 64_000,
+            Codec::G723 => 6_300,
+            Codec::G729 => 8_000,
+            Codec::Gsm => 13_000,
+        }
+    }
+
+    /// Payload bytes per RTP packet at one frame per packet.
+    pub fn payload_bytes_per_packet(&self) -> usize {
+        (self.bit_rate() as usize * self.frame_ms() as usize) / 8 / 1_000
+    }
+
+    /// RTP timestamp increment per packet (clock ticks per frame).
+    pub fn timestamp_increment(&self) -> u32 {
+        self.clock_rate() / 1_000 * self.frame_ms()
+    }
+}
+
+impl fmt::Display for Codec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.encoding_name(), self.clock_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_type_round_trip() {
+        for codec in Codec::ALL {
+            assert_eq!(Codec::from_payload_type(codec.payload_type()), Some(codec));
+        }
+        assert_eq!(Codec::from_payload_type(PayloadType(77)), None);
+    }
+
+    #[test]
+    fn g729_matches_paper_parameters() {
+        // §7.1: G.729 with frame size 10 ms, coding rate 8 kbit/s.
+        assert_eq!(Codec::G729.frame_ms(), 10);
+        assert_eq!(Codec::G729.bit_rate(), 8_000);
+        assert_eq!(Codec::G729.payload_bytes_per_packet(), 10);
+        assert_eq!(Codec::G729.timestamp_increment(), 80);
+    }
+
+    #[test]
+    fn g711_is_64kbps() {
+        assert_eq!(Codec::Pcmu.payload_bytes_per_packet(), 160);
+        assert_eq!(Codec::Pcmu.timestamp_increment(), 160);
+    }
+
+    #[test]
+    fn display_is_rtpmap_form() {
+        assert_eq!(Codec::G729.to_string(), "G729/8000");
+    }
+}

@@ -1,0 +1,32 @@
+//! # vids-sdp — Session Description Protocol substrate
+//!
+//! A from-scratch SDP (RFC 2327) implementation covering what SIP call setup
+//! needs: the origin (`o=`), connection (`c=`) and media (`m=`) lines plus
+//! `a=rtpmap` attributes. The paper's RTP protocol state machine is
+//! initialized from exactly this information — "IP address, port number of
+//! the source, and offered media encoding schemes" (§4.2) — which the SIP
+//! machine writes into the global shared variables.
+//!
+//! ```
+//! use vids_sdp::{SessionDescription, Codec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729]);
+//! let parsed: SessionDescription = offer.to_string().parse()?;
+//! let media = parsed.first_audio().unwrap();
+//! assert_eq!(media.port, 49170);
+//! assert!(media.codecs().any(|c| c == Codec::G729));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+pub mod media;
+pub mod session;
+
+pub use codec::{Codec, PayloadType};
+pub use media::{MediaDescription, MediaKind};
+pub use session::{ParseSdpError, SessionDescription};
+
+/// The MIME type carried in SIP `Content-Type` for SDP bodies.
+pub const MIME_TYPE: &str = "application/sdp";

@@ -1,0 +1,135 @@
+//! Media descriptions (`m=` sections and their attributes).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::codec::{Codec, PayloadType};
+
+/// The media type of an `m=` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MediaKind {
+    /// `m=audio` — the only kind the testbed generates.
+    #[default]
+    Audio,
+    /// `m=video`.
+    Video,
+    /// `m=application`.
+    Application,
+}
+
+impl MediaKind {
+    /// The token used on the wire.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MediaKind::Audio => "audio",
+            MediaKind::Video => "video",
+            MediaKind::Application => "application",
+        }
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for MediaKind {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "audio" => Ok(MediaKind::Audio),
+            "video" => Ok(MediaKind::Video),
+            "application" => Ok(MediaKind::Application),
+            _ => Err(()),
+        }
+    }
+}
+
+/// One `m=` section: kind, transport port, offered payload types, and any
+/// `a=` attribute lines that belong to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaDescription {
+    /// Media kind (audio/video/application).
+    pub kind: MediaKind,
+    /// UDP port the offerer will receive RTP on.
+    pub port: u16,
+    /// Transport protocol, normally `RTP/AVP`.
+    pub protocol: String,
+    /// Offered payload types, in preference order.
+    pub formats: Vec<PayloadType>,
+    /// `a=` attribute lines (without the `a=` prefix), in order.
+    pub attributes: Vec<String>,
+}
+
+impl MediaDescription {
+    /// Creates an `m=audio <port> RTP/AVP ...` section offering `codecs`,
+    /// with matching `a=rtpmap` attributes.
+    pub fn audio(port: u16, codecs: &[Codec]) -> Self {
+        MediaDescription {
+            kind: MediaKind::Audio,
+            port,
+            protocol: "RTP/AVP".to_owned(),
+            formats: codecs.iter().map(|c| c.payload_type()).collect(),
+            attributes: codecs
+                .iter()
+                .map(|c| format!("rtpmap:{} {}", c.payload_type(), c))
+                .collect(),
+        }
+    }
+
+    /// The codecs this section offers (known payload types only).
+    pub fn codecs(&self) -> impl Iterator<Item = Codec> + '_ {
+        self.formats.iter().filter_map(|pt| Codec::from_payload_type(*pt))
+    }
+
+    /// Whether the given payload type is offered.
+    pub fn offers(&self, pt: PayloadType) -> bool {
+        self.formats.contains(&pt)
+    }
+}
+
+impl fmt::Display for MediaDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m={} {} {}", self.kind, self.port, self.protocol)?;
+        for pt in &self.formats {
+            write!(f, " {pt}")?;
+        }
+        write!(f, "\r\n")?;
+        for attr in &self.attributes {
+            write!(f, "a={attr}\r\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_section_serializes() {
+        let m = MediaDescription::audio(49170, &[Codec::G729, Codec::Pcmu]);
+        let text = m.to_string();
+        assert!(text.starts_with("m=audio 49170 RTP/AVP 18 0\r\n"));
+        assert!(text.contains("a=rtpmap:18 G729/8000\r\n"));
+        assert!(text.contains("a=rtpmap:0 PCMU/8000\r\n"));
+    }
+
+    #[test]
+    fn codec_iteration_skips_unknown() {
+        let mut m = MediaDescription::audio(4000, &[Codec::G729]);
+        m.formats.push(PayloadType(99)); // dynamic type we don't know
+        let codecs: Vec<Codec> = m.codecs().collect();
+        assert_eq!(codecs, vec![Codec::G729]);
+        assert!(m.offers(PayloadType(99)));
+        assert!(!m.offers(PayloadType(5)));
+    }
+
+    #[test]
+    fn media_kind_parse() {
+        assert_eq!("audio".parse::<MediaKind>(), Ok(MediaKind::Audio));
+        assert!("smellovision".parse::<MediaKind>().is_err());
+    }
+}

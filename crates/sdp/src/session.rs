@@ -1,0 +1,302 @@
+//! Whole-session SDP descriptions: parse and serialize.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::codec::{Codec, PayloadType};
+use crate::media::{MediaDescription, MediaKind};
+
+/// A parsed SDP session description.
+///
+/// Field coverage: `v=`, `o=`, `s=`, `c=`, `t=`, `m=`, `a=`. Unknown lines
+/// are tolerated and dropped (RFC 2327 says unknown types should be
+/// ignored); the monitor only acts on connection and media information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionDescription {
+    /// Origin username (`o=` first field).
+    pub origin_user: String,
+    /// Origin session id.
+    pub session_id: u64,
+    /// Origin session version.
+    pub session_version: u64,
+    /// Origin unicast address (also the default connection address).
+    pub origin_addr: String,
+    /// Session name (`s=`).
+    pub session_name: String,
+    /// Session-level connection address (`c=`), if present.
+    pub connection_addr: Option<String>,
+    /// Media sections in order.
+    pub media: Vec<MediaDescription>,
+}
+
+impl SessionDescription {
+    /// Builds the canonical audio offer the simulated UAs exchange:
+    /// one `m=audio` section at `port` offering `codecs`, connection data
+    /// pointing at `addr`.
+    pub fn audio_offer(user: &str, addr: &str, port: u16, codecs: &[Codec]) -> Self {
+        SessionDescription {
+            origin_user: user.to_owned(),
+            session_id: 1,
+            session_version: 1,
+            origin_addr: addr.to_owned(),
+            session_name: "vids call".to_owned(),
+            connection_addr: Some(addr.to_owned()),
+            media: vec![MediaDescription::audio(port, codecs)],
+        }
+    }
+
+    /// The effective connection address: session-level `c=` or the origin.
+    pub fn media_addr(&self) -> &str {
+        self.connection_addr.as_deref().unwrap_or(&self.origin_addr)
+    }
+
+    /// The first audio media section, if any.
+    pub fn first_audio(&self) -> Option<&MediaDescription> {
+        self.media.iter().find(|m| m.kind == MediaKind::Audio)
+    }
+
+    /// Negotiates an answer: keeps only the codecs both sides support,
+    /// in the offerer's preference order, answering at `addr`:`port`.
+    /// Returns `None` when there is no codec overlap.
+    pub fn answer(&self, user: &str, addr: &str, port: u16, supported: &[Codec]) -> Option<SessionDescription> {
+        let offer = self.first_audio()?;
+        let common: Vec<Codec> = offer
+            .codecs()
+            .filter(|c| supported.contains(c))
+            .collect();
+        if common.is_empty() {
+            return None;
+        }
+        Some(SessionDescription::audio_offer(user, addr, port, &common))
+    }
+}
+
+impl fmt::Display for SessionDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v=0\r\n")?;
+        write!(
+            f,
+            "o={} {} {} IN IP4 {}\r\n",
+            self.origin_user, self.session_id, self.session_version, self.origin_addr
+        )?;
+        write!(f, "s={}\r\n", self.session_name)?;
+        if let Some(addr) = &self.connection_addr {
+            write!(f, "c=IN IP4 {addr}\r\n")?;
+        }
+        write!(f, "t=0 0\r\n")?;
+        for m in &self.media {
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when SDP text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSdpError {
+    reason: String,
+}
+
+impl ParseSdpError {
+    fn new(reason: impl Into<String>) -> Self {
+        ParseSdpError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SDP: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseSdpError {}
+
+impl FromStr for SessionDescription {
+    type Err = ParseSdpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut desc = SessionDescription {
+            origin_user: String::new(),
+            session_id: 0,
+            session_version: 0,
+            origin_addr: String::new(),
+            session_name: String::new(),
+            connection_addr: None,
+            media: Vec::new(),
+        };
+        let mut saw_version = false;
+        let mut saw_origin = false;
+
+        for line in s.lines() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, value) = line
+                .split_once('=')
+                .ok_or_else(|| ParseSdpError::new(format!("line without '=': {line:?}")))?;
+            match kind {
+                "v" => {
+                    if value != "0" {
+                        return Err(ParseSdpError::new("unsupported SDP version"));
+                    }
+                    saw_version = true;
+                }
+                "o" => {
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    if fields.len() != 6 {
+                        return Err(ParseSdpError::new("o= line must have 6 fields"));
+                    }
+                    desc.origin_user = fields[0].to_owned();
+                    desc.session_id = fields[1]
+                        .parse()
+                        .map_err(|_| ParseSdpError::new("invalid o= session id"))?;
+                    desc.session_version = fields[2]
+                        .parse()
+                        .map_err(|_| ParseSdpError::new("invalid o= session version"))?;
+                    desc.origin_addr = fields[5].to_owned();
+                    saw_origin = true;
+                }
+                "s" => desc.session_name = value.to_owned(),
+                "c" => {
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    if fields.len() != 3 {
+                        return Err(ParseSdpError::new("c= line must have 3 fields"));
+                    }
+                    let addr = fields[2].to_owned();
+                    match desc.media.last_mut() {
+                        // Media-level c= overrides for that section; the
+                        // model keeps a single session address, so the last
+                        // one seen wins — adequate for this testbed.
+                        Some(_) | None => desc.connection_addr = Some(addr),
+                    }
+                }
+                "m" => {
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    if fields.len() < 4 {
+                        return Err(ParseSdpError::new("m= line must have >= 4 fields"));
+                    }
+                    let kind: MediaKind = fields[0]
+                        .parse()
+                        .map_err(|_| ParseSdpError::new("unknown media kind"))?;
+                    let port: u16 = fields[1]
+                        .parse()
+                        .map_err(|_| ParseSdpError::new("invalid media port"))?;
+                    let mut formats = Vec::new();
+                    for tok in &fields[3..] {
+                        let pt: u8 = tok
+                            .parse()
+                            .map_err(|_| ParseSdpError::new("invalid payload type"))?;
+                        formats.push(PayloadType(pt));
+                    }
+                    desc.media.push(MediaDescription {
+                        kind,
+                        port,
+                        protocol: fields[2].to_owned(),
+                        formats,
+                        attributes: Vec::new(),
+                    });
+                }
+                "a" => {
+                    if let Some(m) = desc.media.last_mut() {
+                        m.attributes.push(value.to_owned());
+                    }
+                    // Session-level attributes are ignored.
+                }
+                // t=, b=, k=, z=, i=, u=, e=, p=, r= — tolerated, ignored.
+                _ => {}
+            }
+        }
+
+        if !saw_version {
+            return Err(ParseSdpError::new("missing v= line"));
+        }
+        if !saw_origin {
+            return Err(ParseSdpError::new("missing o= line"));
+        }
+        Ok(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_round_trips() {
+        let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729, Codec::Pcmu]);
+        let parsed: SessionDescription = offer.to_string().parse().unwrap();
+        assert_eq!(parsed, offer);
+        assert_eq!(parsed.media_addr(), "10.0.0.3");
+        assert_eq!(parsed.first_audio().unwrap().port, 49170);
+    }
+
+    #[test]
+    fn parses_rfc_style_description() {
+        let text = "v=0\r\n\
+                    o=alice 2890844526 2890844526 IN IP4 host.atlanta.example.com\r\n\
+                    s=-\r\n\
+                    c=IN IP4 192.0.2.101\r\n\
+                    t=0 0\r\n\
+                    m=audio 49172 RTP/AVP 0 18\r\n\
+                    a=rtpmap:0 PCMU/8000\r\n\
+                    a=rtpmap:18 G729/8000\r\n";
+        let desc: SessionDescription = text.parse().unwrap();
+        assert_eq!(desc.media_addr(), "192.0.2.101");
+        let audio = desc.first_audio().unwrap();
+        assert_eq!(audio.port, 49172);
+        let codecs: Vec<Codec> = audio.codecs().collect();
+        assert_eq!(codecs, vec![Codec::Pcmu, Codec::G729]);
+    }
+
+    #[test]
+    fn answer_negotiates_common_codecs() {
+        let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729, Codec::Pcmu]);
+        let answer = offer
+            .answer("bob", "10.0.1.9", 50000, &[Codec::Pcmu, Codec::Gsm])
+            .unwrap();
+        let codecs: Vec<Codec> = answer.first_audio().unwrap().codecs().collect();
+        assert_eq!(codecs, vec![Codec::Pcmu]);
+        assert_eq!(answer.media_addr(), "10.0.1.9");
+    }
+
+    #[test]
+    fn answer_fails_without_common_codec() {
+        let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729]);
+        assert!(offer.answer("bob", "10.0.1.9", 50000, &[Codec::Gsm]).is_none());
+    }
+
+    #[test]
+    fn missing_mandatory_lines_fail() {
+        assert!("".parse::<SessionDescription>().is_err());
+        assert!("v=0\r\n".parse::<SessionDescription>().is_err());
+        assert!("o=a 1 1 IN IP4 h\r\n".parse::<SessionDescription>().is_err());
+        assert!("v=1\r\no=a 1 1 IN IP4 h\r\n".parse::<SessionDescription>().is_err());
+    }
+
+    #[test]
+    fn malformed_lines_fail() {
+        let bad_m = "v=0\r\no=a 1 1 IN IP4 h\r\nm=audio\r\n";
+        assert!(bad_m.parse::<SessionDescription>().is_err());
+        let bad_c = "v=0\r\no=a 1 1 IN IP4 h\r\nc=IN IP4\r\n";
+        assert!(bad_c.parse::<SessionDescription>().is_err());
+        let no_eq = "v=0\r\no=a 1 1 IN IP4 h\r\nbogus\r\n";
+        assert!(no_eq.parse::<SessionDescription>().is_err());
+    }
+
+    #[test]
+    fn connection_falls_back_to_origin() {
+        let text = "v=0\r\no=bob 1 1 IN IP4 10.9.8.7\r\ns=x\r\nm=audio 4000 RTP/AVP 18\r\n";
+        let desc: SessionDescription = text.parse().unwrap();
+        assert_eq!(desc.media_addr(), "10.9.8.7");
+    }
+
+    #[test]
+    fn unknown_lines_are_ignored() {
+        let text = "v=0\r\no=a 1 1 IN IP4 h\r\ns=x\r\nb=AS:64\r\nk=clear:zzz\r\nm=audio 4000 RTP/AVP 18\r\n";
+        let desc: SessionDescription = text.parse().unwrap();
+        assert_eq!(desc.media.len(), 1);
+    }
+}

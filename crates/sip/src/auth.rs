@@ -1,0 +1,266 @@
+//! SIP digest authentication (RFC 3261 §22, RFC 2617 no-qop form).
+//!
+//! The paper's threat analysis (§3.1) observes that most SIP attacks hinge
+//! on "an assumption of lack of proper authentication" — while "many
+//! attacks are still possible to be launched by an authenticated but
+//! misbehaving UA". This module provides the challenge/response mechanics
+//! so the testbed can run both regimes: with authentication off, spoofed
+//! requests land; with it on, only the billing-fraud class (an
+//! authenticated UA misbehaving) survives — which the cross-protocol
+//! machines still catch.
+
+use std::fmt;
+
+use crate::md5::md5_hex;
+use crate::method::Method;
+
+/// A `WWW-Authenticate: Digest …` challenge issued by a UAS or registrar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestChallenge {
+    /// Protection realm (e.g. the SIP domain).
+    pub realm: String,
+    /// Server-chosen nonce.
+    pub nonce: String,
+}
+
+impl DigestChallenge {
+    /// Creates a challenge.
+    pub fn new(realm: impl Into<String>, nonce: impl Into<String>) -> Self {
+        DigestChallenge {
+            realm: realm.into(),
+            nonce: nonce.into(),
+        }
+    }
+
+    /// Parses the header value (`Digest realm="…", nonce="…"`).
+    pub fn parse(value: &str) -> Option<DigestChallenge> {
+        let params = digest_params(value)?;
+        Some(DigestChallenge {
+            realm: find(&params, "realm")?,
+            nonce: find(&params, "nonce")?,
+        })
+    }
+}
+
+impl fmt::Display for DigestChallenge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Digest realm=\"{}\", nonce=\"{}\", algorithm=MD5",
+            self.realm, self.nonce
+        )
+    }
+}
+
+/// An `Authorization: Digest …` credential answering a challenge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestCredentials {
+    /// Authenticating user.
+    pub username: String,
+    /// Realm echoed from the challenge.
+    pub realm: String,
+    /// Nonce echoed from the challenge.
+    pub nonce: String,
+    /// The request-URI the response was computed over.
+    pub uri: String,
+    /// The 32-hex-digit response.
+    pub response: String,
+}
+
+impl DigestCredentials {
+    /// Computes credentials for a challenge.
+    pub fn answer(
+        challenge: &DigestChallenge,
+        username: &str,
+        password: &str,
+        method: Method,
+        uri: &str,
+    ) -> DigestCredentials {
+        let response = digest_response(
+            username,
+            &challenge.realm,
+            password,
+            method,
+            uri,
+            &challenge.nonce,
+        );
+        DigestCredentials {
+            username: username.to_owned(),
+            realm: challenge.realm.clone(),
+            nonce: challenge.nonce.clone(),
+            uri: uri.to_owned(),
+            response,
+        }
+    }
+
+    /// Parses the header value.
+    pub fn parse(value: &str) -> Option<DigestCredentials> {
+        let params = digest_params(value)?;
+        Some(DigestCredentials {
+            username: find(&params, "username")?,
+            realm: find(&params, "realm")?,
+            nonce: find(&params, "nonce")?,
+            uri: find(&params, "uri")?,
+            response: find(&params, "response")?,
+        })
+    }
+
+    /// Verifies the response against the expected password and method.
+    /// The caller must separately check the nonce is one it issued.
+    pub fn verify(&self, password: &str, method: Method) -> bool {
+        let expected = digest_response(
+            &self.username,
+            &self.realm,
+            password,
+            method,
+            &self.uri,
+            &self.nonce,
+        );
+        expected == self.response
+    }
+}
+
+impl fmt::Display for DigestCredentials {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Digest username=\"{}\", realm=\"{}\", nonce=\"{}\", uri=\"{}\", response=\"{}\"",
+            self.username, self.realm, self.nonce, self.uri, self.response
+        )
+    }
+}
+
+/// The RFC 2617 no-qop digest: `MD5(HA1:nonce:HA2)` with
+/// `HA1 = MD5(user:realm:password)` and `HA2 = MD5(method:uri)`.
+pub fn digest_response(
+    username: &str,
+    realm: &str,
+    password: &str,
+    method: Method,
+    uri: &str,
+    nonce: &str,
+) -> String {
+    let ha1 = md5_hex(format!("{username}:{realm}:{password}").as_bytes());
+    let ha2 = md5_hex(format!("{method}:{uri}").as_bytes());
+    md5_hex(format!("{ha1}:{nonce}:{ha2}").as_bytes())
+}
+
+/// Splits `Digest k1="v1", k2=v2, …` into key/value pairs.
+fn digest_params(value: &str) -> Option<Vec<(String, String)>> {
+    let rest = value.trim().strip_prefix("Digest")?.trim_start();
+    let mut params = Vec::new();
+    for piece in split_quoted_commas(rest) {
+        let (k, v) = piece.split_once('=')?;
+        let v = v.trim().trim_matches('"');
+        params.push((k.trim().to_ascii_lowercase(), v.to_owned()));
+    }
+    Some(params)
+}
+
+/// Comma split that respects double quotes.
+fn split_quoted_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = s[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+fn find(params: &[(String, String)], key: &str) -> Option<String> {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenge_round_trips() {
+        let ch = DigestChallenge::new("b.example.com", "abc123");
+        let parsed = DigestChallenge::parse(&ch.to_string()).unwrap();
+        assert_eq!(parsed, ch);
+    }
+
+    #[test]
+    fn credentials_round_trip_and_verify() {
+        let ch = DigestChallenge::new("b.example.com", "nonce-77");
+        let creds =
+            DigestCredentials::answer(&ch, "ua3", "s3cret", Method::Bye, "sip:ua0@b.example.com");
+        let parsed = DigestCredentials::parse(&creds.to_string()).unwrap();
+        assert_eq!(parsed, creds);
+        assert!(parsed.verify("s3cret", Method::Bye));
+    }
+
+    #[test]
+    fn wrong_password_fails_verification() {
+        let ch = DigestChallenge::new("r", "n");
+        let creds = DigestCredentials::answer(&ch, "u", "right", Method::Bye, "sip:x@y");
+        assert!(!creds.verify("wrong", Method::Bye));
+    }
+
+    #[test]
+    fn wrong_method_fails_verification() {
+        // Credentials computed for BYE must not authorize an INVITE.
+        let ch = DigestChallenge::new("r", "n");
+        let creds = DigestCredentials::answer(&ch, "u", "pw", Method::Bye, "sip:x@y");
+        assert!(!creds.verify("pw", Method::Invite));
+    }
+
+    #[test]
+    fn replayed_nonce_changes_response() {
+        let c1 = DigestCredentials::answer(
+            &DigestChallenge::new("r", "nonce-1"),
+            "u",
+            "pw",
+            Method::Bye,
+            "sip:x@y",
+        );
+        let c2 = DigestCredentials::answer(
+            &DigestChallenge::new("r", "nonce-2"),
+            "u",
+            "pw",
+            Method::Bye,
+            "sip:x@y",
+        );
+        assert_ne!(c1.response, c2.response);
+    }
+
+    #[test]
+    fn parse_tolerates_unquoted_and_extra_params() {
+        let value = "Digest username=\"u\", realm=\"r\", nonce=n1, uri=\"sip:x\", \
+                     response=\"00000000000000000000000000000000\", algorithm=MD5, opaque=\"z\"";
+        let creds = DigestCredentials::parse(value).unwrap();
+        assert_eq!(creds.nonce, "n1");
+        assert_eq!(creds.username, "u");
+    }
+
+    #[test]
+    fn parse_rejects_non_digest() {
+        assert!(DigestChallenge::parse("Basic realm=\"r\"").is_none());
+        assert!(DigestCredentials::parse("garbage").is_none());
+        assert!(DigestChallenge::parse("Digest realm=\"only\"").is_none());
+    }
+
+    #[test]
+    fn quoted_commas_do_not_split() {
+        let value = "Digest realm=\"a, b\", nonce=\"n\"";
+        let ch = DigestChallenge::parse(value).unwrap();
+        assert_eq!(ch.realm, "a, b");
+    }
+}

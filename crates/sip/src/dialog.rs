@@ -1,0 +1,165 @@
+//! Dialog identification (RFC 3261 §12).
+//!
+//! A dialog is identified by the Call-ID plus the local and remote tags.
+//! vids uses the same triple (from the monitor's point of view: caller tag /
+//! callee tag) to group mid-dialog requests with the call they belong to, and
+//! to notice foreign BYE/CANCEL messages that carry the right Call-ID but a
+//! tag never seen in the dialog — a cheap spoofing tell.
+
+use std::fmt;
+
+use crate::message::Message;
+
+/// A dialog identifier triple.
+///
+/// `local_tag` is the From tag of the dialog-forming request as seen at the
+/// monitoring point; `remote_tag` is the To tag assigned by the answering UA
+/// (absent until a response carrying it is observed).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DialogId {
+    /// The Call-ID header value.
+    pub call_id: String,
+    /// Tag of the caller (From header of the INVITE).
+    pub local_tag: String,
+    /// Tag of the callee (To header, assigned in responses); empty until known.
+    pub remote_tag: String,
+}
+
+impl DialogId {
+    /// Creates a dialog id with both tags known.
+    pub fn new(
+        call_id: impl Into<String>,
+        local_tag: impl Into<String>,
+        remote_tag: impl Into<String>,
+    ) -> Self {
+        DialogId {
+            call_id: call_id.into(),
+            local_tag: local_tag.into(),
+            remote_tag: remote_tag.into(),
+        }
+    }
+
+    /// Extracts the dialog id from any SIP message, orienting tags so that
+    /// the From tag is `local_tag`. Works for early dialogs: a missing To
+    /// tag yields an empty `remote_tag`.
+    pub fn from_message(msg: &Message) -> DialogId {
+        let headers = msg.headers();
+        DialogId {
+            call_id: headers.call_id().unwrap_or("").to_owned(),
+            local_tag: headers
+                .from_header()
+                .and_then(|f| f.tag())
+                .unwrap_or("")
+                .to_owned(),
+            remote_tag: headers
+                .to_header()
+                .and_then(|t| t.tag())
+                .unwrap_or("")
+                .to_owned(),
+        }
+    }
+
+    /// Whether the remote tag has been learned yet.
+    pub fn is_confirmed(&self) -> bool {
+        !self.remote_tag.is_empty()
+    }
+
+    /// The same dialog as seen from the other UA: tags swapped.
+    #[must_use]
+    pub fn reversed(&self) -> DialogId {
+        DialogId {
+            call_id: self.call_id.clone(),
+            local_tag: self.remote_tag.clone(),
+            remote_tag: self.local_tag.clone(),
+        }
+    }
+
+    /// Whether `other` refers to the same dialog, regardless of direction or
+    /// of whether the remote tag is known yet on either side.
+    pub fn matches(&self, other: &DialogId) -> bool {
+        if self.call_id != other.call_id {
+            return false;
+        }
+        let same = self.local_tag == other.local_tag
+            && (self.remote_tag == other.remote_tag
+                || self.remote_tag.is_empty()
+                || other.remote_tag.is_empty());
+        let swapped = self.local_tag == other.remote_tag
+            && (self.remote_tag == other.local_tag
+                || self.remote_tag.is_empty()
+                || other.local_tag.is_empty());
+        same || swapped
+    }
+}
+
+impl fmt::Display for DialogId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{};from-tag={};to-tag={}",
+            self.call_id, self.local_tag, self.remote_tag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Request;
+    
+    use crate::status::StatusCode;
+    use crate::uri::SipUri;
+
+    fn invite() -> Request {
+        Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            "dlg-1",
+        )
+    }
+
+    #[test]
+    fn early_dialog_has_no_remote_tag() {
+        let id = DialogId::from_message(&invite().into());
+        assert_eq!(id.call_id, "dlg-1");
+        assert!(!id.local_tag.is_empty());
+        assert!(!id.is_confirmed());
+    }
+
+    #[test]
+    fn confirmed_by_response_to_tag() {
+        let inv = invite();
+        let ok = inv.response(StatusCode::OK).with_to_tag("bob-tag");
+        let id = DialogId::from_message(&ok.into());
+        assert!(id.is_confirmed());
+        assert_eq!(id.remote_tag, "bob-tag");
+    }
+
+    #[test]
+    fn matches_early_and_confirmed() {
+        let early = DialogId::new("c", "a", "");
+        let confirmed = DialogId::new("c", "a", "b");
+        assert!(early.matches(&confirmed));
+        assert!(confirmed.matches(&early));
+    }
+
+    #[test]
+    fn matches_reversed_direction() {
+        let caller_view = DialogId::new("c", "a", "b");
+        let callee_view = caller_view.reversed();
+        assert_eq!(callee_view.local_tag, "b");
+        assert!(caller_view.matches(&callee_view));
+    }
+
+    #[test]
+    fn different_call_ids_do_not_match() {
+        assert!(!DialogId::new("c1", "a", "b").matches(&DialogId::new("c2", "a", "b")));
+    }
+
+    #[test]
+    fn foreign_tag_does_not_match() {
+        let real = DialogId::new("c", "a", "b");
+        let spoofed = DialogId::new("c", "evil", "other");
+        assert!(!real.matches(&spoofed));
+    }
+}

@@ -1,0 +1,768 @@
+//! Typed SIP headers and the ordered header collection.
+//!
+//! vids inspects a handful of header fields (§4.2 of the paper): `Call-ID`,
+//! the `branch` parameter of `Via`, the `tag` parameters of `From`/`To`,
+//! `CSeq`, and the SDP body advertised by `Content-Type`/`Content-Length`.
+//! Those are modeled as typed values; all other headers survive parsing and
+//! re-serialization as raw name/value pairs.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::method::Method;
+use crate::uri::SipUri;
+
+/// A `Via` header value: `SIP/2.0/UDP host:port;branch=z9hG4bK...`.
+///
+/// The branch parameter identifies the transaction (RFC 3261 §17.1.3); vids
+/// stores it in the per-call local state variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Via {
+    transport: String,
+    host: String,
+    port: Option<u16>,
+    params: Vec<(String, Option<String>)>,
+}
+
+impl Via {
+    /// Creates a UDP Via for `host:port` with the given branch.
+    pub fn udp(host: impl Into<String>, port: u16, branch: impl Into<String>) -> Self {
+        Via {
+            transport: "UDP".to_owned(),
+            host: host.into(),
+            port: Some(port),
+            params: vec![("branch".to_owned(), Some(branch.into()))],
+        }
+    }
+
+    /// The transport token (`UDP`, `TCP`, `TLS`).
+    pub fn transport(&self) -> &str {
+        &self.transport
+    }
+
+    /// The sent-by host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The sent-by port, if explicit.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The `branch` transaction identifier, if present.
+    pub fn branch(&self) -> Option<&str> {
+        self.param("branch")
+    }
+
+    /// Looks up a Via parameter by (case-insensitive) key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Adds a parameter, builder-style (used by proxies for `received`).
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((key.into(), Some(value.into())));
+        self
+    }
+
+    /// Whether the branch starts with the RFC 3261 magic cookie.
+    pub fn has_rfc3261_branch(&self) -> bool {
+        self.branch()
+            .is_some_and(|b| b.starts_with(crate::BRANCH_MAGIC_COOKIE))
+    }
+}
+
+impl fmt::Display for Via {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIP/2.0/{} {}", self.transport, self.host)?;
+        if let Some(port) = self.port {
+            write!(f, ":{port}")?;
+        }
+        for (k, v) in &self.params {
+            match v {
+                Some(v) => write!(f, ";{k}={v}")?,
+                None => write!(f, ";{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Via {
+    type Err = ParseHeaderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let rest = s
+            .strip_prefix("SIP/2.0/")
+            .ok_or_else(|| ParseHeaderError::new("Via", "missing SIP/2.0/ prefix"))?;
+        let (transport, rest) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseHeaderError::new("Via", "missing sent-by"))?;
+        let rest = rest.trim_start();
+        let (hostport, param_str) = match rest.find(';') {
+            Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+            None => (rest, None),
+        };
+        let (host, port) = match hostport.rsplit_once(':') {
+            Some((h, p)) => (
+                h.to_owned(),
+                Some(
+                    p.parse::<u16>()
+                        .map_err(|_| ParseHeaderError::new("Via", "invalid port"))?,
+                ),
+            ),
+            None => (hostport.to_owned(), None),
+        };
+        if host.is_empty() {
+            return Err(ParseHeaderError::new("Via", "empty host"));
+        }
+        let mut params = Vec::new();
+        if let Some(param_str) = param_str {
+            for piece in param_str.split(';') {
+                if piece.is_empty() {
+                    return Err(ParseHeaderError::new("Via", "empty parameter"));
+                }
+                match piece.split_once('=') {
+                    Some((k, v)) => params.push((k.trim().to_owned(), Some(v.trim().to_owned()))),
+                    None => params.push((piece.trim().to_owned(), None)),
+                }
+            }
+        }
+        Ok(Via {
+            transport: transport.to_owned(),
+            host,
+            port,
+            params,
+        })
+    }
+}
+
+/// A name-addr header value used by `From`, `To` and `Contact`:
+/// `"Alice" <sip:alice@a.example.com>;tag=1928301774`.
+///
+/// The `tag` parameter identifies the dialog side; vids stores both tags in
+/// the call's local state variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NameAddr {
+    display_name: Option<String>,
+    uri: SipUri,
+    params: Vec<(String, Option<String>)>,
+}
+
+impl NameAddr {
+    /// Wraps a URI with no display name or parameters.
+    pub fn new(uri: SipUri) -> Self {
+        NameAddr {
+            display_name: None,
+            uri,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the quoted display name, builder-style.
+    #[must_use]
+    pub fn with_display_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = Some(name.into());
+        self
+    }
+
+    /// Sets the `tag` parameter, builder-style.
+    #[must_use]
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.set_tag(tag);
+        self
+    }
+
+    /// Sets or replaces the `tag` parameter in place.
+    pub fn set_tag(&mut self, tag: impl Into<String>) {
+        let tag = tag.into();
+        for (k, v) in &mut self.params {
+            if k.eq_ignore_ascii_case("tag") {
+                *v = Some(tag);
+                return;
+            }
+        }
+        self.params.push(("tag".to_owned(), Some(tag)));
+    }
+
+    /// The display name, if any.
+    pub fn display_name(&self) -> Option<&str> {
+        self.display_name.as_deref()
+    }
+
+    /// The wrapped URI.
+    pub fn uri(&self) -> &SipUri {
+        &self.uri
+    }
+
+    /// The `tag` parameter, if present.
+    pub fn tag(&self) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("tag"))
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+impl fmt::Display for NameAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.display_name {
+            write!(f, "\"{name}\" ")?;
+        }
+        write!(f, "<{}>", self.uri)?;
+        for (k, v) in &self.params {
+            match v {
+                Some(v) => write!(f, ";{k}={v}")?,
+                None => write!(f, ";{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for NameAddr {
+    type Err = ParseHeaderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (display_name, rest) = if let Some(rest) = s.strip_prefix('"') {
+            let end = rest
+                .find('"')
+                .ok_or_else(|| ParseHeaderError::new("name-addr", "unterminated display name"))?;
+            (Some(rest[..end].to_owned()), rest[end + 1..].trim_start())
+        } else {
+            (None, s)
+        };
+
+        if let Some(rest) = rest.strip_prefix('<') {
+            let end = rest
+                .find('>')
+                .ok_or_else(|| ParseHeaderError::new("name-addr", "missing '>'"))?;
+            let uri: SipUri = rest[..end]
+                .parse()
+                .map_err(|_| ParseHeaderError::new("name-addr", "invalid URI"))?;
+            let mut params = Vec::new();
+            let tail = rest[end + 1..].trim_start();
+            if let Some(tail) = tail.strip_prefix(';') {
+                for piece in tail.split(';') {
+                    if piece.is_empty() {
+                        return Err(ParseHeaderError::new("name-addr", "empty parameter"));
+                    }
+                    match piece.split_once('=') {
+                        Some((k, v)) => {
+                            params.push((k.trim().to_owned(), Some(v.trim().to_owned())))
+                        }
+                        None => params.push((piece.trim().to_owned(), None)),
+                    }
+                }
+            } else if !tail.is_empty() {
+                return Err(ParseHeaderError::new("name-addr", "junk after '>'"));
+            }
+            Ok(NameAddr {
+                display_name,
+                uri,
+                params,
+            })
+        } else {
+            // addr-spec form without angle brackets: URI parameters belong to
+            // the header, not the URI (RFC 3261 §20.10) — but for the subset
+            // this codebase generates, treating the whole string as a URI and
+            // hoisting a trailing `tag` parameter is sufficient and lossless.
+            let mut uri: SipUri = rest
+                .parse()
+                .map_err(|_| ParseHeaderError::new("name-addr", "invalid URI"))?;
+            let mut params = Vec::new();
+            if let Some(tag) = uri.param("tag").map(str::to_owned) {
+                params.push(("tag".to_owned(), Some(tag)));
+                let stripped: Vec<(String, Option<String>)> = uri
+                    .params()
+                    .filter(|(k, _)| !k.eq_ignore_ascii_case("tag"))
+                    .map(|(k, v)| (k.to_owned(), v.map(str::to_owned)))
+                    .collect();
+                let mut rebuilt = SipUri::host_only(uri.host()).with_scheme(uri.scheme());
+                if let Some(user) = uri.user() {
+                    rebuilt = SipUri::new(user, uri.host()).with_scheme(uri.scheme());
+                }
+                if let Some(port) = uri.port() {
+                    rebuilt = rebuilt.with_port(port);
+                }
+                for (k, v) in stripped {
+                    rebuilt = match v {
+                        Some(v) => rebuilt.with_param(k, v),
+                        None => rebuilt.with_flag(k),
+                    };
+                }
+                uri = rebuilt;
+            }
+            Ok(NameAddr {
+                display_name,
+                uri,
+                params,
+            })
+        }
+    }
+}
+
+/// A `CSeq` header value: sequence number and method (RFC 3261 §20.16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CSeq {
+    /// The 32-bit sequence number.
+    pub seq: u32,
+    /// The method this CSeq refers to.
+    pub method: Method,
+}
+
+impl CSeq {
+    /// Creates a CSeq value.
+    pub fn new(seq: u32, method: Method) -> Self {
+        CSeq { seq, method }
+    }
+}
+
+impl fmt::Display for CSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.seq, self.method)
+    }
+}
+
+impl FromStr for CSeq {
+    type Err = ParseHeaderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (seq, method) = s
+            .trim()
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseHeaderError::new("CSeq", "missing method"))?;
+        Ok(CSeq {
+            seq: seq
+                .parse()
+                .map_err(|_| ParseHeaderError::new("CSeq", "invalid sequence number"))?,
+            method: method
+                .trim()
+                .parse()
+                .map_err(|_| ParseHeaderError::new("CSeq", "unknown method"))?,
+        })
+    }
+}
+
+/// One SIP header: typed where vids needs structure, raw otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Header {
+    /// `Via:` — one per hop; topmost identifies the transaction.
+    Via(Via),
+    /// `From:` — the logical initiator, carries the caller's dialog tag.
+    From(NameAddr),
+    /// `To:` — the logical recipient, carries the callee's dialog tag.
+    To(NameAddr),
+    /// `Contact:` — where subsequent requests should be sent directly.
+    Contact(NameAddr),
+    /// `Call-ID:` — globally unique call identifier.
+    CallId(String),
+    /// `CSeq:` — sequence number + method.
+    CSeq(CSeq),
+    /// `Max-Forwards:` — hop limit decremented by proxies.
+    MaxForwards(u32),
+    /// `Content-Type:` — MIME type of the body (e.g. `application/sdp`).
+    ContentType(String),
+    /// `Content-Length:` — byte length of the body.
+    ContentLength(usize),
+    /// `Expires:` — registration or subscription lifetime in seconds.
+    Expires(u32),
+    /// Any header this implementation does not interpret.
+    Other {
+        /// Header field name as it appeared on the wire.
+        name: String,
+        /// Raw field value.
+        value: String,
+    },
+}
+
+impl Header {
+    /// The canonical field name used when serializing.
+    pub fn name(&self) -> &str {
+        match self {
+            Header::Via(_) => "Via",
+            Header::From(_) => "From",
+            Header::To(_) => "To",
+            Header::Contact(_) => "Contact",
+            Header::CallId(_) => "Call-ID",
+            Header::CSeq(_) => "CSeq",
+            Header::MaxForwards(_) => "Max-Forwards",
+            Header::ContentType(_) => "Content-Type",
+            Header::ContentLength(_) => "Content-Length",
+            Header::Expires(_) => "Expires",
+            Header::Other { name, .. } => name,
+        }
+    }
+}
+
+impl fmt::Display for Header {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Header::Via(v) => write!(f, "Via: {v}"),
+            Header::From(v) => write!(f, "From: {v}"),
+            Header::To(v) => write!(f, "To: {v}"),
+            Header::Contact(v) => write!(f, "Contact: {v}"),
+            Header::CallId(v) => write!(f, "Call-ID: {v}"),
+            Header::CSeq(v) => write!(f, "CSeq: {v}"),
+            Header::MaxForwards(v) => write!(f, "Max-Forwards: {v}"),
+            Header::ContentType(v) => write!(f, "Content-Type: {v}"),
+            Header::ContentLength(v) => write!(f, "Content-Length: {v}"),
+            Header::Expires(v) => write!(f, "Expires: {v}"),
+            Header::Other { name, value } => write!(f, "{name}: {value}"),
+        }
+    }
+}
+
+/// An ordered collection of headers, preserving wire order and duplicates
+/// (multiple `Via` headers accumulate along the proxy chain).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Headers {
+    items: Vec<Header>,
+}
+
+impl Headers {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Appends a header at the end.
+    pub fn push(&mut self, header: Header) {
+        self.items.push(header);
+    }
+
+    /// Inserts a header at the front (proxies prepend their own Via).
+    pub fn push_front(&mut self, header: Header) {
+        self.items.insert(0, header);
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the headers in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = &Header> {
+        self.items.iter()
+    }
+
+    /// The topmost (first) `Via`, which addresses responses.
+    pub fn top_via(&self) -> Option<&Via> {
+        self.items.iter().find_map(|h| match h {
+            Header::Via(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All `Via` headers in order.
+    pub fn vias(&self) -> impl Iterator<Item = &Via> {
+        self.items.iter().filter_map(|h| match h {
+            Header::Via(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Removes the topmost `Via` (a proxy forwarding a response does this).
+    /// Returns it if one was present.
+    pub fn pop_via(&mut self) -> Option<Via> {
+        let idx = self
+            .items
+            .iter()
+            .position(|h| matches!(h, Header::Via(_)))?;
+        match self.items.remove(idx) {
+            Header::Via(v) => Some(v),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The `From` header, if present.
+    pub fn from_header(&self) -> Option<&NameAddr> {
+        self.items.iter().find_map(|h| match h {
+            Header::From(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// The `To` header, if present.
+    pub fn to_header(&self) -> Option<&NameAddr> {
+        self.items.iter().find_map(|h| match h {
+            Header::To(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Mutable access to the `To` header (UAS adds its tag when answering).
+    pub fn to_header_mut(&mut self) -> Option<&mut NameAddr> {
+        self.items.iter_mut().find_map(|h| match h {
+            Header::To(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// The `Contact` header, if present.
+    pub fn contact(&self) -> Option<&NameAddr> {
+        self.items.iter().find_map(|h| match h {
+            Header::Contact(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// The `Call-ID` value, if present.
+    pub fn call_id(&self) -> Option<&str> {
+        self.items.iter().find_map(|h| match h {
+            Header::CallId(v) => Some(v.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The `CSeq` value, if present.
+    pub fn cseq(&self) -> Option<CSeq> {
+        self.items.iter().find_map(|h| match h {
+            Header::CSeq(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The `Max-Forwards` value, if present.
+    pub fn max_forwards(&self) -> Option<u32> {
+        self.items.iter().find_map(|h| match h {
+            Header::MaxForwards(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Decrements `Max-Forwards`, returning the new value. `None` if the
+    /// header is absent; `Some(None)` if it was already zero (the proxy must
+    /// reject with 483).
+    pub fn decrement_max_forwards(&mut self) -> Option<Option<u32>> {
+        for h in &mut self.items {
+            if let Header::MaxForwards(v) = h {
+                if *v == 0 {
+                    return Some(None);
+                }
+                *v -= 1;
+                return Some(Some(*v));
+            }
+        }
+        None
+    }
+
+    /// The declared `Content-Length`, if present.
+    pub fn content_length(&self) -> Option<usize> {
+        self.items.iter().find_map(|h| match h {
+            Header::ContentLength(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The `Content-Type`, if present.
+    pub fn content_type(&self) -> Option<&str> {
+        self.items.iter().find_map(|h| match h {
+            Header::ContentType(v) => Some(v.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Replaces any existing `Content-Length` with `len` (or appends one).
+    pub fn set_content_length(&mut self, len: usize) {
+        for h in &mut self.items {
+            if let Header::ContentLength(v) = h {
+                *v = len;
+                return;
+            }
+        }
+        self.items.push(Header::ContentLength(len));
+    }
+
+    /// Looks up the first raw value of an uninterpreted header by name
+    /// (case-insensitive).
+    pub fn other(&self, name: &str) -> Option<&str> {
+        self.items.iter().find_map(|h| match h {
+            Header::Other { name: n, value } if n.eq_ignore_ascii_case(name) => {
+                Some(value.as_str())
+            }
+            _ => None,
+        })
+    }
+}
+
+impl FromIterator<Header> for Headers {
+    fn from_iter<I: IntoIterator<Item = Header>>(iter: I) -> Self {
+        Headers {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Header> for Headers {
+    fn extend<I: IntoIterator<Item = Header>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Headers {
+    type Item = &'a Header;
+    type IntoIter = std::slice::Iter<'a, Header>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// Error produced when a typed header value fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHeaderError {
+    header: &'static str,
+    reason: &'static str,
+}
+
+impl ParseHeaderError {
+    pub(crate) fn new(header: &'static str, reason: &'static str) -> Self {
+        ParseHeaderError { header, reason }
+    }
+
+    /// Which header failed.
+    pub fn header(&self) -> &'static str {
+        self.header
+    }
+}
+
+impl fmt::Display for ParseHeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} header: {}", self.header, self.reason)
+    }
+}
+
+impl std::error::Error for ParseHeaderError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn via_round_trip() {
+        let via = Via::udp("10.0.0.3", 5060, "z9hG4bKabc123");
+        let text = via.to_string();
+        assert_eq!(text, "SIP/2.0/UDP 10.0.0.3:5060;branch=z9hG4bKabc123");
+        let parsed: Via = text.parse().unwrap();
+        assert_eq!(parsed, via);
+        assert!(parsed.has_rfc3261_branch());
+        assert_eq!(parsed.branch(), Some("z9hG4bKabc123"));
+    }
+
+    #[test]
+    fn via_with_received_param() {
+        let via: Via = "SIP/2.0/UDP pc33.atlanta.com;branch=z9hG4bK776;received=192.0.2.1"
+            .parse()
+            .unwrap();
+        assert_eq!(via.param("received"), Some("192.0.2.1"));
+        assert_eq!(via.port(), None);
+    }
+
+    #[test]
+    fn via_rejects_garbage() {
+        assert!("HTTP/1.1 foo".parse::<Via>().is_err());
+        assert!("SIP/2.0/UDP".parse::<Via>().is_err());
+        assert!("SIP/2.0/UDP host:xx".parse::<Via>().is_err());
+    }
+
+    #[test]
+    fn name_addr_round_trip() {
+        let na = NameAddr::new(SipUri::new("alice", "a.example.com"))
+            .with_display_name("Alice")
+            .with_tag("1928301774");
+        let text = na.to_string();
+        assert_eq!(text, "\"Alice\" <sip:alice@a.example.com>;tag=1928301774");
+        let parsed: NameAddr = text.parse().unwrap();
+        assert_eq!(parsed, na);
+        assert_eq!(parsed.tag(), Some("1928301774"));
+    }
+
+    #[test]
+    fn name_addr_without_brackets() {
+        let na: NameAddr = "sip:bob@b.example.com".parse().unwrap();
+        assert_eq!(na.uri().user(), Some("bob"));
+        assert_eq!(na.tag(), None);
+    }
+
+    #[test]
+    fn set_tag_replaces_existing() {
+        let mut na = NameAddr::new(SipUri::new("bob", "b.example.com")).with_tag("a1");
+        na.set_tag("b2");
+        assert_eq!(na.tag(), Some("b2"));
+        assert_eq!(na.to_string().matches("tag=").count(), 1);
+    }
+
+    #[test]
+    fn cseq_round_trip() {
+        let cseq = CSeq::new(314159, Method::Invite);
+        assert_eq!(cseq.to_string(), "314159 INVITE");
+        assert_eq!("314159 INVITE".parse::<CSeq>().unwrap(), cseq);
+        assert!("oops INVITE".parse::<CSeq>().is_err());
+        assert!("1 FROB".parse::<CSeq>().is_err());
+        assert!("1".parse::<CSeq>().is_err());
+    }
+
+    #[test]
+    fn headers_accessors() {
+        let mut hs = Headers::new();
+        hs.push(Header::Via(Via::udp("h1", 5060, "z9hG4bK1")));
+        hs.push(Header::Via(Via::udp("h2", 5060, "z9hG4bK2")));
+        hs.push(Header::From(
+            NameAddr::new(SipUri::new("a", "x")).with_tag("ta"),
+        ));
+        hs.push(Header::To(NameAddr::new(SipUri::new("b", "y"))));
+        hs.push(Header::CallId("cid-1".to_owned()));
+        hs.push(Header::CSeq(CSeq::new(1, Method::Invite)));
+        hs.push(Header::MaxForwards(70));
+
+        assert_eq!(hs.top_via().unwrap().branch(), Some("z9hG4bK1"));
+        assert_eq!(hs.vias().count(), 2);
+        assert_eq!(hs.call_id(), Some("cid-1"));
+        assert_eq!(hs.cseq().unwrap().seq, 1);
+        assert_eq!(hs.from_header().unwrap().tag(), Some("ta"));
+        assert_eq!(hs.to_header().unwrap().tag(), None);
+
+        let popped = hs.pop_via().unwrap();
+        assert_eq!(popped.branch(), Some("z9hG4bK1"));
+        assert_eq!(hs.top_via().unwrap().branch(), Some("z9hG4bK2"));
+    }
+
+    #[test]
+    fn max_forwards_decrement() {
+        let mut hs = Headers::new();
+        assert_eq!(hs.decrement_max_forwards(), None);
+        hs.push(Header::MaxForwards(1));
+        assert_eq!(hs.decrement_max_forwards(), Some(Some(0)));
+        assert_eq!(hs.decrement_max_forwards(), Some(None));
+    }
+
+    #[test]
+    fn content_length_set_replaces() {
+        let mut hs = Headers::new();
+        hs.set_content_length(10);
+        hs.set_content_length(20);
+        assert_eq!(hs.content_length(), Some(20));
+        assert_eq!(hs.len(), 1);
+    }
+
+    #[test]
+    fn to_tag_added_via_mut_access() {
+        let mut hs = Headers::new();
+        hs.push(Header::To(NameAddr::new(SipUri::new("b", "y"))));
+        hs.to_header_mut().unwrap().set_tag("totag");
+        assert_eq!(hs.to_header().unwrap().tag(), Some("totag"));
+    }
+}

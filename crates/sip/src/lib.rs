@@ -1,0 +1,60 @@
+//! # vids-sip — SIP protocol substrate
+//!
+//! A from-scratch implementation of the subset of the Session Initiation
+//! Protocol (RFC 3261) needed by the vids intrusion detection system and the
+//! simulated enterprise telephony testbed:
+//!
+//! * [`uri::SipUri`] — `sip:`/`sips:` URIs with user, host, port and parameters.
+//! * [`Method`] — the six core request methods (INVITE, ACK, BYE, CANCEL,
+//!   REGISTER, OPTIONS) plus common extensions.
+//! * [`StatusCode`] — numeric response codes with reason phrases.
+//! * [`headers`] — typed header values (Via, From/To, CSeq, Call-ID, …) and an
+//!   ordered header collection that preserves unknown headers.
+//! * [`message`] — [`message::Request`], [`message::Response`] and the
+//!   [`message::Message`] sum type, with builders for the common call flows.
+//! * [`parse`] — a text parser tolerant of compact header forms.
+//! * [`transaction`] — the four RFC 3261 transaction state machines with
+//!   logical timers (A–K), used by the simulated user agents and proxies.
+//! * [`dialog`] — dialog identification (Call-ID + local/remote tags).
+//!
+//! Messages serialize via [`std::fmt::Display`] and parse back losslessly for
+//! everything the model represents; property tests assert the round-trip.
+//!
+//! ```
+//! use vids_sip::{Method, message::Request, uri::SipUri};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let to: SipUri = "sip:bob@b.example.com".parse()?;
+//! let from: SipUri = "sip:alice@a.example.com:5060".parse()?;
+//! let invite = Request::invite(&from, &to, "call-1@a.example.com");
+//! let wire = invite.to_string();
+//! let parsed = vids_sip::parse::parse_message(&wire)?;
+//! assert_eq!(parsed.method(), Some(Method::Invite));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod auth;
+pub mod dialog;
+pub mod headers;
+pub mod message;
+pub mod method;
+pub mod parse;
+pub mod md5;
+pub mod status;
+pub mod transaction;
+pub mod uri;
+
+pub use auth::{DigestChallenge, DigestCredentials};
+pub use dialog::DialogId;
+pub use message::{Message, Request, Response};
+pub use method::Method;
+pub use parse::ParseMessageError;
+pub use status::StatusCode;
+pub use uri::SipUri;
+
+/// The default SIP port over UDP/TCP.
+pub const DEFAULT_SIP_PORT: u16 = 5060;
+
+/// Magic cookie that must begin every RFC 3261 Via branch parameter.
+pub const BRANCH_MAGIC_COOKIE: &str = "z9hG4bK";

@@ -1,0 +1,384 @@
+//! SIP request and response messages, plus ergonomic builders for the call
+//! flows exercised by the simulated testbed (INVITE / 180 / 200 / ACK / BYE).
+
+use std::fmt;
+
+use crate::headers::{CSeq, Header, Headers, NameAddr, Via};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::SipUri;
+
+/// A SIP request: method, request-URI, headers, optional body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request-URI the message targets.
+    pub uri: SipUri,
+    /// Header collection in wire order.
+    pub headers: Headers,
+    /// Message body (typically SDP for INVITE/200).
+    pub body: String,
+}
+
+impl Request {
+    /// Creates a request with empty headers and body.
+    pub fn new(method: Method, uri: SipUri) -> Self {
+        Request {
+            method,
+            uri,
+            headers: Headers::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Builds a minimal but complete INVITE from `from` to `to`.
+    ///
+    /// A Via with an RFC 3261 branch derived from the call id, a From tag,
+    /// Max-Forwards 70 and CSeq `1 INVITE` are filled in. The caller appends
+    /// an SDP body via [`Request::with_body`].
+    pub fn invite(from: &SipUri, to: &SipUri, call_id: &str) -> Self {
+        let mut req = Request::new(Method::Invite, to.clone());
+        let branch = format!("{}-{}", crate::BRANCH_MAGIC_COOKIE, call_id);
+        req.headers.push(Header::Via(Via::udp(
+            from.host().to_owned(),
+            from.port_or_default(),
+            branch,
+        )));
+        req.headers.push(Header::MaxForwards(70));
+        req.headers.push(Header::From(
+            NameAddr::new(from.clone()).with_tag(format!("tag-{}", from.user().unwrap_or("ua"))),
+        ));
+        req.headers.push(Header::To(NameAddr::new(to.clone())));
+        req.headers.push(Header::CallId(call_id.to_owned()));
+        req.headers.push(Header::CSeq(CSeq::new(1, Method::Invite)));
+        req.headers.push(Header::Contact(NameAddr::new(from.clone())));
+        req.headers.push(Header::ContentLength(0));
+        req
+    }
+
+    /// Builds an in-dialog request (ACK, BYE, re-INVITE) reusing the dialog
+    /// identifiers of an earlier request.
+    pub fn in_dialog(
+        method: Method,
+        template: &Request,
+        cseq: u32,
+        to_tag: Option<&str>,
+    ) -> Self {
+        let mut req = Request::new(method, template.uri.clone());
+        if let Some(via) = template.headers.top_via() {
+            let branch = format!(
+                "{}-{}-{}",
+                crate::BRANCH_MAGIC_COOKIE,
+                method.as_str().to_ascii_lowercase(),
+                cseq
+            );
+            req.headers.push(Header::Via(Via::udp(
+                via.host().to_owned(),
+                via.port().unwrap_or(crate::DEFAULT_SIP_PORT),
+                branch,
+            )));
+        }
+        req.headers.push(Header::MaxForwards(70));
+        if let Some(from) = template.headers.from_header() {
+            req.headers.push(Header::From(from.clone()));
+        }
+        if let Some(to) = template.headers.to_header() {
+            let mut to = to.clone();
+            if let Some(tag) = to_tag {
+                to.set_tag(tag);
+            }
+            req.headers.push(Header::To(to));
+        }
+        if let Some(cid) = template.headers.call_id() {
+            req.headers.push(Header::CallId(cid.to_owned()));
+        }
+        req.headers.push(Header::CSeq(CSeq::new(cseq, method)));
+        req.headers.push(Header::ContentLength(0));
+        req
+    }
+
+    /// Attaches a body and sets `Content-Type`/`Content-Length`, builder-style.
+    #[must_use]
+    pub fn with_body(mut self, content_type: &str, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self.headers
+            .push(Header::ContentType(content_type.to_owned()));
+        self.headers.set_content_length(self.body.len());
+        self
+    }
+
+    /// The Call-ID, or `""` if absent (malformed traffic keeps flowing so
+    /// vids can flag it).
+    pub fn call_id(&self) -> &str {
+        self.headers.call_id().unwrap_or("")
+    }
+
+    /// Builds a response to this request per RFC 3261 §8.2.6: Via, From, To,
+    /// Call-ID and CSeq are copied from the request.
+    pub fn response(&self, status: StatusCode) -> Response {
+        let mut resp = Response::new(status);
+        for h in self.headers.iter() {
+            match h {
+                Header::Via(v) => resp.headers.push(Header::Via(v.clone())),
+                Header::From(v) => resp.headers.push(Header::From(v.clone())),
+                Header::To(v) => resp.headers.push(Header::To(v.clone())),
+                Header::CallId(v) => resp.headers.push(Header::CallId(v.clone())),
+                Header::CSeq(v) => resp.headers.push(Header::CSeq(*v)),
+                _ => {}
+            }
+        }
+        resp.headers.set_content_length(0);
+        resp
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} SIP/2.0\r\n", self.method, self.uri)?;
+        for h in self.headers.iter() {
+            write!(f, "{h}\r\n")?;
+        }
+        write!(f, "\r\n{}", self.body)
+    }
+}
+
+/// A SIP response: status code, headers, optional body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The response status code.
+    pub status: StatusCode,
+    /// Header collection in wire order.
+    pub headers: Headers,
+    /// Message body (SDP answer on a 200 to INVITE).
+    pub body: String,
+}
+
+impl Response {
+    /// Creates a response with empty headers and body.
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: Headers::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Attaches a body and sets `Content-Type`/`Content-Length`, builder-style.
+    #[must_use]
+    pub fn with_body(mut self, content_type: &str, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self.headers
+            .push(Header::ContentType(content_type.to_owned()));
+        self.headers.set_content_length(self.body.len());
+        self
+    }
+
+    /// Sets the To tag (a UAS answering adds its tag), builder-style.
+    #[must_use]
+    pub fn with_to_tag(mut self, tag: &str) -> Self {
+        if let Some(to) = self.headers.to_header_mut() {
+            to.set_tag(tag);
+        }
+        self
+    }
+
+    /// The Call-ID, or `""` if absent.
+    pub fn call_id(&self) -> &str {
+        self.headers.call_id().unwrap_or("")
+    }
+
+    /// The method of the transaction this response belongs to (from CSeq).
+    pub fn cseq_method(&self) -> Option<Method> {
+        self.headers.cseq().map(|c| c.method)
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SIP/2.0 {} {}\r\n",
+            self.status,
+            self.status.reason_phrase()
+        )?;
+        for h in self.headers.iter() {
+            write!(f, "{h}\r\n")?;
+        }
+        write!(f, "\r\n{}", self.body)
+    }
+}
+
+/// Either kind of SIP message, as classified off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A request.
+    Request(Request),
+    /// A response.
+    Response(Response),
+}
+
+impl Message {
+    /// The request method, if this is a request.
+    pub fn method(&self) -> Option<Method> {
+        match self {
+            Message::Request(r) => Some(r.method),
+            Message::Response(_) => None,
+        }
+    }
+
+    /// The response status, if this is a response.
+    pub fn status(&self) -> Option<StatusCode> {
+        match self {
+            Message::Request(_) => None,
+            Message::Response(r) => Some(r.status),
+        }
+    }
+
+    /// The headers of either variant.
+    pub fn headers(&self) -> &Headers {
+        match self {
+            Message::Request(r) => &r.headers,
+            Message::Response(r) => &r.headers,
+        }
+    }
+
+    /// The body of either variant.
+    pub fn body(&self) -> &str {
+        match self {
+            Message::Request(r) => &r.body,
+            Message::Response(r) => &r.body,
+        }
+    }
+
+    /// The Call-ID, or `""` if absent.
+    pub fn call_id(&self) -> &str {
+        self.headers().call_id().unwrap_or("")
+    }
+
+    /// True for [`Message::Request`].
+    pub fn is_request(&self) -> bool {
+        matches!(self, Message::Request(_))
+    }
+
+    /// Returns the inner request, if any.
+    pub fn as_request(&self) -> Option<&Request> {
+        match self {
+            Message::Request(r) => Some(r),
+            Message::Response(_) => None,
+        }
+    }
+
+    /// Returns the inner response, if any.
+    pub fn as_response(&self) -> Option<&Response> {
+        match self {
+            Message::Request(_) => None,
+            Message::Response(r) => Some(r),
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Request(r) => r.fmt(f),
+            Message::Response(r) => r.fmt(f),
+        }
+    }
+}
+
+impl From<Request> for Message {
+    fn from(r: Request) -> Self {
+        Message::Request(r)
+    }
+}
+
+impl From<Response> for Message {
+    fn from(r: Response) -> Self {
+        Message::Response(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> SipUri {
+        SipUri::new("alice", "a.example.com")
+    }
+
+    fn bob() -> SipUri {
+        SipUri::new("bob", "b.example.com")
+    }
+
+    #[test]
+    fn invite_has_mandatory_headers() {
+        let inv = Request::invite(&alice(), &bob(), "cid-42");
+        assert_eq!(inv.method, Method::Invite);
+        assert!(inv.headers.top_via().unwrap().has_rfc3261_branch());
+        assert_eq!(inv.headers.call_id(), Some("cid-42"));
+        assert_eq!(inv.headers.cseq().unwrap().method, Method::Invite);
+        assert_eq!(inv.headers.max_forwards(), Some(70));
+        assert!(inv.headers.from_header().unwrap().tag().is_some());
+        assert!(inv.headers.to_header().unwrap().tag().is_none());
+    }
+
+    #[test]
+    fn with_body_sets_length() {
+        let inv = Request::invite(&alice(), &bob(), "cid").with_body("application/sdp", "v=0\r\n");
+        assert_eq!(inv.headers.content_length(), Some(5));
+        assert_eq!(inv.headers.content_type(), Some("application/sdp"));
+    }
+
+    #[test]
+    fn response_copies_dialog_headers() {
+        let inv = Request::invite(&alice(), &bob(), "cid");
+        let ok = inv.response(StatusCode::OK).with_to_tag("bob-tag");
+        assert_eq!(ok.call_id(), "cid");
+        assert_eq!(ok.cseq_method(), Some(Method::Invite));
+        assert_eq!(ok.headers.to_header().unwrap().tag(), Some("bob-tag"));
+        assert_eq!(
+            ok.headers.top_via().unwrap().branch(),
+            inv.headers.top_via().unwrap().branch()
+        );
+    }
+
+    #[test]
+    fn in_dialog_bye_reuses_identifiers() {
+        let inv = Request::invite(&alice(), &bob(), "cid");
+        let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("bob-tag"));
+        assert_eq!(bye.method, Method::Bye);
+        assert_eq!(bye.headers.call_id(), Some("cid"));
+        assert_eq!(bye.headers.cseq().unwrap().seq, 2);
+        assert_eq!(bye.headers.to_header().unwrap().tag(), Some("bob-tag"));
+        assert_eq!(
+            bye.headers.from_header().unwrap().tag(),
+            inv.headers.from_header().unwrap().tag()
+        );
+    }
+
+    #[test]
+    fn request_line_serializes() {
+        let inv = Request::invite(&alice(), &bob(), "cid");
+        let wire = inv.to_string();
+        assert!(wire.starts_with("INVITE sip:bob@b.example.com SIP/2.0\r\n"));
+        assert!(wire.contains("\r\n\r\n"));
+    }
+
+    #[test]
+    fn status_line_serializes() {
+        let resp = Response::new(StatusCode::RINGING);
+        assert!(resp.to_string().starts_with("SIP/2.0 180 Ringing\r\n"));
+    }
+
+    #[test]
+    fn message_accessors() {
+        let inv: Message = Request::invite(&alice(), &bob(), "cid").into();
+        assert!(inv.is_request());
+        assert_eq!(inv.method(), Some(Method::Invite));
+        assert_eq!(inv.status(), None);
+        let ok: Message = Response::new(StatusCode::OK).into();
+        assert_eq!(ok.status(), Some(StatusCode::OK));
+        assert!(ok.as_response().is_some());
+    }
+}

@@ -1,0 +1,160 @@
+//! SIP request methods (RFC 3261 §7.1 plus common extensions).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A SIP request method.
+///
+/// The six original RFC 3261 methods are listed first; `Info`, `Update`,
+/// `Prack`, `Subscribe`, `Notify`, `Refer` and `Message` are widely deployed
+/// extensions the parser should not choke on. Anything else parses as an
+/// error so that vids can flag it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// Initiates a session (three-way handshake with 200/ACK).
+    Invite,
+    /// Acknowledges a final response to an INVITE.
+    Ack,
+    /// Terminates an established session.
+    Bye,
+    /// Cancels a pending INVITE transaction.
+    Cancel,
+    /// Binds an address-of-record to a contact at a registrar.
+    Register,
+    /// Queries capabilities.
+    Options,
+    /// Mid-session information (RFC 6086).
+    Info,
+    /// Modifies session state before the final response (RFC 3311).
+    Update,
+    /// Provisional response acknowledgement (RFC 3262).
+    Prack,
+    /// Event subscription (RFC 6665).
+    Subscribe,
+    /// Event notification (RFC 6665).
+    Notify,
+    /// Call transfer (RFC 3515).
+    Refer,
+    /// Instant message (RFC 3428).
+    MessageMethod,
+}
+
+impl Method {
+    /// All methods known to this implementation.
+    pub const ALL: [Method; 13] = [
+        Method::Invite,
+        Method::Ack,
+        Method::Bye,
+        Method::Cancel,
+        Method::Register,
+        Method::Options,
+        Method::Info,
+        Method::Update,
+        Method::Prack,
+        Method::Subscribe,
+        Method::Notify,
+        Method::Refer,
+        Method::MessageMethod,
+    ];
+
+    /// The canonical upper-case token used on the wire.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Invite => "INVITE",
+            Method::Ack => "ACK",
+            Method::Bye => "BYE",
+            Method::Cancel => "CANCEL",
+            Method::Register => "REGISTER",
+            Method::Options => "OPTIONS",
+            Method::Info => "INFO",
+            Method::Update => "UPDATE",
+            Method::Prack => "PRACK",
+            Method::Subscribe => "SUBSCRIBE",
+            Method::Notify => "NOTIFY",
+            Method::Refer => "REFER",
+            Method::MessageMethod => "MESSAGE",
+        }
+    }
+
+    /// Whether this method creates an INVITE transaction (the only request
+    /// that takes noticeable time to complete and thus can be CANCELed).
+    pub fn is_invite(&self) -> bool {
+        matches!(self, Method::Invite)
+    }
+
+    /// Whether a request with this method is answered by the server
+    /// transaction (ACK is not: it is absorbed by the INVITE transaction).
+    pub fn expects_response(&self) -> bool {
+        !matches!(self, Method::Ack)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned for a method token this implementation does not know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMethodError {
+    token: String,
+}
+
+impl ParseMethodError {
+    /// The offending token.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+impl fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown SIP method {:?}", self.token)
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
+impl FromStr for Method {
+    type Err = ParseMethodError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Method::ALL
+            .iter()
+            .find(|m| m.as_str() == s)
+            .copied()
+            .ok_or_else(|| ParseMethodError { token: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_methods() {
+        for m in Method::ALL {
+            assert_eq!(m.as_str().parse::<Method>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn is_case_sensitive_per_rfc() {
+        // RFC 3261: the method token is case-sensitive.
+        assert!("invite".parse::<Method>().is_err());
+        assert!("INVITE".parse::<Method>().is_ok());
+    }
+
+    #[test]
+    fn unknown_method_reports_token() {
+        let err = "FROBNICATE".parse::<Method>().unwrap_err();
+        assert_eq!(err.token(), "FROBNICATE");
+    }
+
+    #[test]
+    fn ack_expects_no_response() {
+        assert!(!Method::Ack.expects_response());
+        assert!(Method::Bye.expects_response());
+    }
+}

@@ -1,0 +1,341 @@
+//! Text parser for SIP messages.
+//!
+//! Accepts the RFC 3261 grammar subset produced by [`crate::message`]'s
+//! `Display` impls plus common variations found on real wires: compact header
+//! forms (`v`, `f`, `t`, `i`, `m`, `c`, `l`), arbitrary header case, LF-only
+//! line endings, and unknown headers (preserved raw).
+
+use std::fmt;
+
+use crate::headers::{Header, Headers};
+use crate::message::{Message, Request, Response};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::SipUri;
+
+/// Error returned by [`parse_message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMessageError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseMessageError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        ParseMessageError {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// 1-based line number where parsing failed (0 for structural errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseMessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SIP message at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseMessageError {}
+
+/// Parses a complete SIP message (request or response) from text.
+///
+/// # Errors
+///
+/// Returns [`ParseMessageError`] when the start line is not a valid request
+/// or status line, or when a known header fails its typed parse. Unknown
+/// headers never fail — they are kept raw so vids can still classify the
+/// packet and flag anomalies at a higher layer.
+///
+/// ```
+/// let msg = vids_sip::parse::parse_message(
+///     "OPTIONS sip:proxy.example.com SIP/2.0\r\nCall-ID: x1\r\nContent-Length: 0\r\n\r\n",
+/// )?;
+/// assert_eq!(msg.call_id(), "x1");
+/// # Ok::<(), vids_sip::ParseMessageError>(())
+/// ```
+pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
+    // Split head (start line + headers) from body at the first blank line.
+    let (head, body) = split_head_body(text);
+    let mut lines = head.lines().enumerate();
+    let (_, start) = lines
+        .next()
+        .ok_or_else(|| ParseMessageError::new(0, "empty message"))?;
+
+    let mut headers = Headers::new();
+    for (idx, line) in lines {
+        if line.is_empty() {
+            break;
+        }
+        let header = parse_header_line(line).map_err(|reason| {
+            ParseMessageError::new(idx + 1, reason)
+        })?;
+        headers.push(header);
+    }
+
+    // Honor Content-Length when it is shorter than the available body; this
+    // matches how a datagram parser would trim padding.
+    let body = match headers.content_length() {
+        Some(len) if len <= body.len() => body[..len].to_owned(),
+        _ => body.to_owned(),
+    };
+
+    if let Some(rest) = start.strip_prefix("SIP/2.0 ") {
+        // Status line: SIP/2.0 200 OK
+        let mut parts = rest.splitn(2, ' ');
+        let code_text = parts.next().unwrap_or("");
+        let code: u16 = code_text
+            .parse()
+            .map_err(|_| ParseMessageError::new(1, "invalid status code"))?;
+        let status = StatusCode::new(code)
+            .map_err(|e| ParseMessageError::new(1, e.to_string()))?;
+        let mut resp = Response::new(status);
+        resp.headers = headers;
+        resp.body = body;
+        Ok(Message::Response(resp))
+    } else {
+        // Request line: METHOD uri SIP/2.0
+        let mut parts = start.split_whitespace();
+        let method_tok = parts
+            .next()
+            .ok_or_else(|| ParseMessageError::new(1, "missing method"))?;
+        let uri_tok = parts
+            .next()
+            .ok_or_else(|| ParseMessageError::new(1, "missing request-URI"))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| ParseMessageError::new(1, "missing SIP version"))?;
+        if version != "SIP/2.0" {
+            return Err(ParseMessageError::new(1, "unsupported SIP version"));
+        }
+        let method: Method = method_tok
+            .parse()
+            .map_err(|e: crate::method::ParseMethodError| ParseMessageError::new(1, e.to_string()))?;
+        let uri: SipUri = uri_tok
+            .parse()
+            .map_err(|e: crate::uri::ParseUriError| ParseMessageError::new(1, e.to_string()))?;
+        let mut req = Request::new(method, uri);
+        req.headers = headers;
+        req.body = body;
+        Ok(Message::Request(req))
+    }
+}
+
+fn split_head_body(text: &str) -> (&str, &str) {
+    if let Some(i) = text.find("\r\n\r\n") {
+        (&text[..i], &text[i + 4..])
+    } else if let Some(i) = text.find("\n\n") {
+        (&text[..i], &text[i + 2..])
+    } else {
+        (text, "")
+    }
+}
+
+fn parse_header_line(line: &str) -> Result<Header, String> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| format!("header line without ':': {line:?}"))?;
+    let name = name.trim();
+    let value = value.trim();
+    let canonical = canonical_name(name);
+    let header = match canonical {
+        "Via" => Header::Via(value.parse().map_err(|e| format!("{e}"))?),
+        "From" => Header::From(value.parse().map_err(|e| format!("{e}"))?),
+        "To" => Header::To(value.parse().map_err(|e| format!("{e}"))?),
+        "Contact" => Header::Contact(value.parse().map_err(|e| format!("{e}"))?),
+        "Call-ID" => Header::CallId(value.to_owned()),
+        "CSeq" => Header::CSeq(value.parse().map_err(|e| format!("{e}"))?),
+        "Max-Forwards" => Header::MaxForwards(
+            value
+                .parse()
+                .map_err(|_| "invalid Max-Forwards".to_owned())?,
+        ),
+        "Content-Type" => Header::ContentType(value.to_owned()),
+        "Content-Length" => Header::ContentLength(
+            value
+                .parse()
+                .map_err(|_| "invalid Content-Length".to_owned())?,
+        ),
+        "Expires" => {
+            Header::Expires(value.parse().map_err(|_| "invalid Expires".to_owned())?)
+        }
+        _ => Header::Other {
+            name: name.to_owned(),
+            value: value.to_owned(),
+        },
+    };
+    Ok(header)
+}
+
+/// Maps arbitrary-case and compact header names to their canonical form.
+fn canonical_name(name: &str) -> &'static str {
+    // Compact forms per RFC 3261 §7.3.3 are single letters.
+    if name.len() == 1 {
+        return match name.chars().next().unwrap().to_ascii_lowercase() {
+            'v' => "Via",
+            'f' => "From",
+            't' => "To",
+            'i' => "Call-ID",
+            'm' => "Contact",
+            'c' => "Content-Type",
+            'l' => "Content-Length",
+            _ => "",
+        };
+    }
+    const CANONICAL: [&str; 10] = [
+        "Via",
+        "From",
+        "To",
+        "Contact",
+        "Call-ID",
+        "CSeq",
+        "Max-Forwards",
+        "Content-Type",
+        "Content-Length",
+        "Expires",
+    ];
+    CANONICAL
+        .iter()
+        .find(|c| c.eq_ignore_ascii_case(name))
+        .copied()
+        .unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::{CSeq, NameAddr};
+    use crate::uri::SipUri;
+
+    #[test]
+    fn parses_generated_invite() {
+        let inv = Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            "cid-7",
+        )
+        .with_body("application/sdp", "v=0\r\no=- 0 0 IN IP4 10.0.0.1\r\n");
+        let parsed = parse_message(&inv.to_string()).unwrap();
+        assert_eq!(parsed, Message::Request(inv));
+    }
+
+    #[test]
+    fn parses_generated_response() {
+        let inv = Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            "cid-7",
+        );
+        let ok = inv.response(StatusCode::OK).with_to_tag("bt");
+        let parsed = parse_message(&ok.to_string()).unwrap();
+        assert_eq!(parsed, Message::Response(ok));
+    }
+
+    #[test]
+    fn parses_compact_headers() {
+        let text = "INVITE sip:bob@b.example.com SIP/2.0\r\n\
+                    v: SIP/2.0/UDP a.example.com:5060;branch=z9hG4bKx\r\n\
+                    f: <sip:alice@a.example.com>;tag=1\r\n\
+                    t: <sip:bob@b.example.com>\r\n\
+                    i: compact-1\r\n\
+                    CSeq: 1 INVITE\r\n\
+                    l: 0\r\n\r\n";
+        let msg = parse_message(text).unwrap();
+        assert_eq!(msg.call_id(), "compact-1");
+        assert_eq!(msg.headers().top_via().unwrap().branch(), Some("z9hG4bKx"));
+        assert_eq!(
+            msg.headers().from_header().unwrap().tag(),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn tolerates_lf_only_line_endings() {
+        let text = "BYE sip:bob@b.example.com SIP/2.0\nCall-ID: lf-1\nCSeq: 2 BYE\n\n";
+        let msg = parse_message(text).unwrap();
+        assert_eq!(msg.method(), Some(Method::Bye));
+        assert_eq!(msg.call_id(), "lf-1");
+    }
+
+    #[test]
+    fn keeps_unknown_headers_raw() {
+        let text = "OPTIONS sip:p.example.com SIP/2.0\r\n\
+                    X-Custom: hello world\r\n\
+                    User-Agent: vids-test/1.0\r\n\r\n";
+        let msg = parse_message(text).unwrap();
+        assert_eq!(msg.headers().other("x-custom"), Some("hello world"));
+        assert_eq!(msg.headers().other("User-Agent"), Some("vids-test/1.0"));
+    }
+
+    #[test]
+    fn content_length_trims_body() {
+        let text = "INFO sip:b@h SIP/2.0\r\nContent-Length: 3\r\n\r\nabcdef";
+        let msg = parse_message(text).unwrap();
+        assert_eq!(msg.body(), "abc");
+    }
+
+    #[test]
+    fn rejects_bad_start_lines() {
+        assert!(parse_message("").is_err());
+        assert!(parse_message("GET / HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_message("INVITE sip:b@h SIP/3.0\r\n\r\n").is_err());
+        assert!(parse_message("SIP/2.0 999 Wat\r\n\r\n").is_err());
+        assert!(parse_message("SIP/2.0 abc Huh\r\n\r\n").is_err());
+        assert!(parse_message("INVITE\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_known_headers() {
+        let text = "INVITE sip:b@h SIP/2.0\r\nCSeq: banana\r\n\r\n";
+        let err = parse_message(text).unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn header_line_without_colon_fails() {
+        let text = "INVITE sip:b@h SIP/2.0\r\nNoColonHere\r\n\r\n";
+        assert!(parse_message(text).is_err());
+    }
+
+    #[test]
+    fn full_three_way_handshake_round_trips() {
+        let alice = SipUri::new("alice", "a.example.com");
+        let bob = SipUri::new("bob", "b.example.com");
+        let inv = Request::invite(&alice, &bob, "rt-1");
+        let ringing = inv.response(StatusCode::RINGING).with_to_tag("bt");
+        let ok = inv.response(StatusCode::OK).with_to_tag("bt");
+        let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("bt"));
+        let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("bt"));
+        for msg in [
+            Message::Request(inv),
+            Message::Response(ringing),
+            Message::Response(ok),
+            Message::Request(ack),
+            Message::Request(bye),
+        ] {
+            let reparsed = parse_message(&msg.to_string()).unwrap();
+            assert_eq!(reparsed, msg);
+        }
+    }
+
+    #[test]
+    fn arbitrary_case_header_names() {
+        let text = "BYE sip:b@h SIP/2.0\r\ncall-id: cc\r\ncseq: 9 BYE\r\n\r\n";
+        let msg = parse_message(text).unwrap();
+        assert_eq!(msg.call_id(), "cc");
+        assert_eq!(msg.headers().cseq(), Some(CSeq::new(9, Method::Bye)));
+    }
+
+    #[test]
+    fn name_addr_in_header_with_display_name() {
+        let text = "INVITE sip:b@h SIP/2.0\r\nFrom: \"Alice W\" <sip:alice@a.com>;tag=zz\r\n\r\n";
+        let msg = parse_message(text).unwrap();
+        let from: &NameAddr = msg.headers().from_header().unwrap();
+        assert_eq!(from.display_name(), Some("Alice W"));
+        assert_eq!(from.tag(), Some("zz"));
+    }
+}

@@ -1,0 +1,180 @@
+//! SIP response status codes (RFC 3261 §21).
+
+use std::fmt;
+
+/// A numeric SIP response status code, e.g. `180 Ringing` or `200 OK`.
+///
+/// Any code in `100..=699` is representable; constructors for the codes used
+/// throughout this codebase are provided as associated constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(u16);
+
+impl StatusCode {
+    /// 100 Trying.
+    pub const TRYING: StatusCode = StatusCode(100);
+    /// 180 Ringing.
+    pub const RINGING: StatusCode = StatusCode(180);
+    /// 183 Session Progress.
+    pub const SESSION_PROGRESS: StatusCode = StatusCode(183);
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 202 Accepted.
+    pub const ACCEPTED: StatusCode = StatusCode(202);
+    /// 301 Moved Permanently.
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 302 Moved Temporarily.
+    pub const MOVED_TEMPORARILY: StatusCode = StatusCode(302);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 401 Unauthorized.
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    /// 403 Forbidden.
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 408 Request Timeout.
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// 481 Call/Transaction Does Not Exist.
+    pub const CALL_DOES_NOT_EXIST: StatusCode = StatusCode(481);
+    /// 486 Busy Here.
+    pub const BUSY_HERE: StatusCode = StatusCode(486);
+    /// 487 Request Terminated (response to a CANCELed INVITE).
+    pub const REQUEST_TERMINATED: StatusCode = StatusCode(487);
+    /// 500 Server Internal Error.
+    pub const SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// 600 Busy Everywhere.
+    pub const BUSY_EVERYWHERE: StatusCode = StatusCode(600);
+    /// 603 Decline.
+    pub const DECLINE: StatusCode = StatusCode(603);
+
+    /// Creates a status code, validating the RFC range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidStatusCode`] if `code` is outside `100..=699`.
+    pub fn new(code: u16) -> Result<StatusCode, InvalidStatusCode> {
+        if (100..=699).contains(&code) {
+            Ok(StatusCode(code))
+        } else {
+            Err(InvalidStatusCode { code })
+        }
+    }
+
+    /// The numeric value.
+    pub fn as_u16(&self) -> u16 {
+        self.0
+    }
+
+    /// Provisional 1xx response (the transaction is still in progress).
+    pub fn is_provisional(&self) -> bool {
+        self.0 < 200
+    }
+
+    /// Final response (2xx–6xx): completes the transaction.
+    pub fn is_final(&self) -> bool {
+        self.0 >= 200
+    }
+
+    /// Successful 2xx response.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Redirect 3xx response.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// Failure response (4xx–6xx).
+    pub fn is_failure(&self) -> bool {
+        self.0 >= 400
+    }
+
+    /// The canonical reason phrase for well-known codes, or `"Unknown"`.
+    pub fn reason_phrase(&self) -> &'static str {
+        match self.0 {
+            100 => "Trying",
+            180 => "Ringing",
+            181 => "Call Is Being Forwarded",
+            183 => "Session Progress",
+            200 => "OK",
+            202 => "Accepted",
+            301 => "Moved Permanently",
+            302 => "Moved Temporarily",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            408 => "Request Timeout",
+            481 => "Call/Transaction Does Not Exist",
+            486 => "Busy Here",
+            487 => "Request Terminated",
+            500 => "Server Internal Error",
+            503 => "Service Unavailable",
+            600 => "Busy Everywhere",
+            603 => "Decline",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Error returned by [`StatusCode::new`] for out-of-range codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidStatusCode {
+    code: u16,
+}
+
+impl InvalidStatusCode {
+    /// The rejected numeric value.
+    pub fn code(&self) -> u16 {
+        self.code
+    }
+}
+
+impl fmt::Display for InvalidStatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "status code {} outside 100..=699", self.code)
+    }
+}
+
+impl std::error::Error for InvalidStatusCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::TRYING.is_provisional());
+        assert!(StatusCode::RINGING.is_provisional());
+        assert!(StatusCode::OK.is_final());
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::MOVED_TEMPORARILY.is_redirect());
+        assert!(StatusCode::BUSY_HERE.is_failure());
+        assert!(StatusCode::BUSY_HERE.is_final());
+        assert!(!StatusCode::BUSY_HERE.is_success());
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(StatusCode::new(99).is_err());
+        assert!(StatusCode::new(700).is_err());
+        assert_eq!(StatusCode::new(0).unwrap_err().code(), 0);
+        assert_eq!(StatusCode::new(486).unwrap(), StatusCode::BUSY_HERE);
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(StatusCode::OK.reason_phrase(), "OK");
+        assert_eq!(StatusCode::REQUEST_TERMINATED.reason_phrase(), "Request Terminated");
+        assert_eq!(StatusCode::new(599).unwrap().reason_phrase(), "Unknown");
+    }
+}

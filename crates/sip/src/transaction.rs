@@ -1,0 +1,627 @@
+//! RFC 3261 §17 transaction state machines with logical timers.
+//!
+//! The simulated user agents and proxies drive these machines with discrete
+//! simulation time (milliseconds). Each machine consumes inputs (a message
+//! from the wire or from the transaction user) and emits [`Action`]s telling
+//! the host what to transmit or deliver. Timers are polled explicitly with
+//! [`ClientTransaction::poll`] / [`ServerTransaction::poll`], which fits a
+//! discrete-event simulator: the host schedules a wake-up at
+//! `next_deadline()` and calls `poll` when it fires.
+//!
+//! Timer values follow RFC 3261 Table 4 with `T1 = 500 ms`, `T2 = 4 s`,
+//! `T4 = 5 s`, scaled by the host if desired.
+
+use std::fmt;
+
+use crate::message::{Request, Response};
+use crate::method::Method;
+
+/// Default RTT estimate T1 in milliseconds (RFC 3261 §17.1.1.1).
+pub const T1_MS: u64 = 500;
+/// Maximum retransmit interval T2 in milliseconds.
+pub const T2_MS: u64 = 4_000;
+/// Maximum duration a message remains in the network, T4, in milliseconds.
+pub const T4_MS: u64 = 5_000;
+
+/// Unique key for matching messages to transactions: the topmost Via branch
+/// plus the CSeq method (RFC 3261 §17.2.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransactionKey {
+    /// The Via branch parameter.
+    pub branch: String,
+    /// The CSeq method (CANCEL forms its own transaction).
+    pub method: Method,
+}
+
+impl TransactionKey {
+    /// Builds the key for a request.
+    pub fn for_request(req: &Request) -> Option<TransactionKey> {
+        let branch = req.headers.top_via()?.branch()?.to_owned();
+        // ACK for a non-2xx final response matches the INVITE transaction.
+        let method = if req.method == Method::Ack {
+            Method::Invite
+        } else {
+            req.method
+        };
+        Some(TransactionKey { branch, method })
+    }
+
+    /// Builds the key for a response.
+    pub fn for_response(resp: &Response) -> Option<TransactionKey> {
+        let branch = resp.headers.top_via()?.branch()?.to_owned();
+        let method = resp.headers.cseq()?.method;
+        Some(TransactionKey { branch, method })
+    }
+}
+
+impl fmt::Display for TransactionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.branch, self.method)
+    }
+}
+
+/// What the host must do in reaction to a transaction event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit (or retransmit) this request on the wire.
+    SendRequest(Request),
+    /// Transmit (or retransmit) this response on the wire.
+    SendResponse(Response),
+    /// Deliver this response to the transaction user (the UA core).
+    DeliverResponse(Response),
+    /// Deliver this request to the transaction user (server side).
+    DeliverRequest(Request),
+    /// The transaction failed: no response before Timer B/F fired.
+    Timeout,
+    /// The transaction reached its terminal state and can be dropped.
+    Terminated,
+}
+
+/// Client transaction states (both INVITE and non-INVITE flavors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientState {
+    /// INVITE sent, no response yet (INVITE: "Calling"; non-INVITE: "Trying").
+    Calling,
+    /// A provisional response arrived.
+    Proceeding,
+    /// A final response arrived; absorbing retransmissions.
+    Completed,
+    /// Done; the machine can be discarded.
+    Terminated,
+}
+
+/// A client transaction (RFC 3261 §17.1): retransmits the request over UDP
+/// until a response arrives, enforces Timer B/F timeouts, and filters
+/// response retransmissions.
+#[derive(Debug, Clone)]
+pub struct ClientTransaction {
+    request: Request,
+    state: ClientState,
+    is_invite: bool,
+    /// Next retransmission deadline (Timer A / E).
+    retransmit_at: Option<u64>,
+    /// Current retransmission interval.
+    interval_ms: u64,
+    /// Hard timeout (Timer B / F).
+    timeout_at: u64,
+    /// Linger deadline in Completed (Timer D / K).
+    linger_at: Option<u64>,
+    final_delivered: bool,
+}
+
+impl ClientTransaction {
+    /// Starts a client transaction at `now` (ms). Emits the initial
+    /// `SendRequest` action.
+    pub fn start(request: Request, now: u64) -> (Self, Vec<Action>) {
+        let is_invite = request.method.is_invite();
+        let tx = ClientTransaction {
+            request: request.clone(),
+            state: ClientState::Calling,
+            is_invite,
+            retransmit_at: Some(now + T1_MS),
+            interval_ms: T1_MS,
+            timeout_at: now + 64 * T1_MS,
+            linger_at: None,
+            final_delivered: false,
+        };
+        (tx, vec![Action::SendRequest(request)])
+    }
+
+    /// The request this transaction is carrying.
+    pub fn request(&self) -> &Request {
+        &self.request
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Whether the transaction has terminated and can be dropped.
+    pub fn is_terminated(&self) -> bool {
+        self.state == ClientState::Terminated
+    }
+
+    /// The earliest time at which [`ClientTransaction::poll`] needs calling.
+    pub fn next_deadline(&self) -> Option<u64> {
+        match self.state {
+            ClientState::Calling => Some(
+                self.retransmit_at
+                    .map_or(self.timeout_at, |r| r.min(self.timeout_at)),
+            ),
+            ClientState::Proceeding => Some(self.timeout_at),
+            ClientState::Completed => self.linger_at,
+            ClientState::Terminated => None,
+        }
+    }
+
+    /// Feeds a response matched to this transaction.
+    pub fn on_response(&mut self, resp: Response, now: u64) -> Vec<Action> {
+        match self.state {
+            ClientState::Calling | ClientState::Proceeding => {
+                if resp.status.is_provisional() {
+                    self.state = ClientState::Proceeding;
+                    // Provisional response stops INVITE retransmissions.
+                    if self.is_invite {
+                        self.retransmit_at = None;
+                    }
+                    vec![Action::DeliverResponse(resp)]
+                } else {
+                    let mut actions = vec![Action::DeliverResponse(resp.clone())];
+                    self.final_delivered = true;
+                    if self.is_invite && resp.status.is_success() {
+                        // 2xx to INVITE: the TU sends the ACK end-to-end;
+                        // the transaction terminates immediately (§17.1.1.2).
+                        self.state = ClientState::Terminated;
+                        actions.push(Action::Terminated);
+                    } else {
+                        self.state = ClientState::Completed;
+                        self.retransmit_at = None;
+                        let linger = if self.is_invite { 32_000 } else { T4_MS };
+                        self.linger_at = Some(now + linger);
+                        if self.is_invite {
+                            // Non-2xx final to INVITE: transaction sends ACK.
+                            let ack =
+                                Request::in_dialog(Method::Ack, &self.request, cseq_of(&self.request), to_tag_of(&resp));
+                            actions.push(Action::SendRequest(ack));
+                        }
+                    }
+                    actions
+                }
+            }
+            ClientState::Completed => {
+                // Retransmitted final response: re-ACK for INVITE, swallow otherwise.
+                if self.is_invite && resp.status.is_final() && !resp.status.is_success() {
+                    let ack = Request::in_dialog(
+                        Method::Ack,
+                        &self.request,
+                        cseq_of(&self.request),
+                        to_tag_of(&resp),
+                    );
+                    vec![Action::SendRequest(ack)]
+                } else {
+                    Vec::new()
+                }
+            }
+            ClientState::Terminated => Vec::new(),
+        }
+    }
+
+    /// Advances timers to `now`.
+    pub fn poll(&mut self, now: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        match self.state {
+            ClientState::Calling => {
+                if now >= self.timeout_at {
+                    self.state = ClientState::Terminated;
+                    actions.push(Action::Timeout);
+                    actions.push(Action::Terminated);
+                } else if let Some(due) = self.retransmit_at {
+                    if now >= due {
+                        // Timer A doubles every firing; Timer E doubles
+                        // capped at T2.
+                        self.interval_ms = if self.is_invite {
+                            self.interval_ms * 2
+                        } else {
+                            (self.interval_ms * 2).min(T2_MS)
+                        };
+                        self.retransmit_at = Some(now + self.interval_ms);
+                        actions.push(Action::SendRequest(self.request.clone()));
+                    }
+                }
+            }
+            ClientState::Proceeding => {
+                if now >= self.timeout_at {
+                    self.state = ClientState::Terminated;
+                    actions.push(Action::Timeout);
+                    actions.push(Action::Terminated);
+                }
+            }
+            ClientState::Completed => {
+                if let Some(due) = self.linger_at {
+                    if now >= due {
+                        self.state = ClientState::Terminated;
+                        actions.push(Action::Terminated);
+                    }
+                }
+            }
+            ClientState::Terminated => {}
+        }
+        actions
+    }
+}
+
+/// Server transaction states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerState {
+    /// Request received, no final response sent (non-INVITE: "Trying").
+    Proceeding,
+    /// Final response sent; retransmitting until ACK / Timer J.
+    Completed,
+    /// (INVITE only) ACK received; absorbing ACK retransmissions.
+    Confirmed,
+    /// Done; the machine can be discarded.
+    Terminated,
+}
+
+/// A server transaction (RFC 3261 §17.2): delivers the request to the TU,
+/// retransmits the final response until acknowledged, and absorbs request
+/// retransmissions.
+#[derive(Debug, Clone)]
+pub struct ServerTransaction {
+    state: ServerState,
+    is_invite: bool,
+    last_response: Option<Response>,
+    /// Timer G: final-response retransmission (INVITE only).
+    retransmit_at: Option<u64>,
+    interval_ms: u64,
+    /// Timer H (wait for ACK) or Timer J (absorb retransmissions).
+    expire_at: Option<u64>,
+}
+
+impl ServerTransaction {
+    /// Creates a server transaction for a freshly received request, emitting
+    /// `DeliverRequest` so the TU can act on it.
+    pub fn start(request: Request) -> (Self, Vec<Action>) {
+        let is_invite = request.method.is_invite();
+        let tx = ServerTransaction {
+            state: ServerState::Proceeding,
+            is_invite,
+            last_response: None,
+            retransmit_at: None,
+            interval_ms: T1_MS,
+            expire_at: None,
+        };
+        (tx, vec![Action::DeliverRequest(request)])
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ServerState {
+        self.state
+    }
+
+    /// Whether the transaction has terminated and can be dropped.
+    pub fn is_terminated(&self) -> bool {
+        self.state == ServerState::Terminated
+    }
+
+    /// The earliest time at which [`ServerTransaction::poll`] needs calling.
+    pub fn next_deadline(&self) -> Option<u64> {
+        match (self.retransmit_at, self.expire_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
+    /// The TU sends a response through the transaction.
+    pub fn send_response(&mut self, resp: Response, now: u64) -> Vec<Action> {
+        match self.state {
+            ServerState::Proceeding => {
+                self.last_response = Some(resp.clone());
+                if resp.status.is_provisional() {
+                    vec![Action::SendResponse(resp)]
+                } else if self.is_invite && resp.status.is_success() {
+                    // 2xx to INVITE: TU owns retransmissions; terminate (§13.3.1.4).
+                    self.state = ServerState::Terminated;
+                    vec![Action::SendResponse(resp), Action::Terminated]
+                } else if self.is_invite {
+                    self.state = ServerState::Completed;
+                    self.retransmit_at = Some(now + T1_MS);
+                    self.interval_ms = T1_MS;
+                    self.expire_at = Some(now + 64 * T1_MS);
+                    vec![Action::SendResponse(resp)]
+                } else {
+                    self.state = ServerState::Completed;
+                    self.expire_at = Some(now + 64 * T1_MS);
+                    vec![Action::SendResponse(resp)]
+                }
+            }
+            ServerState::Completed | ServerState::Confirmed | ServerState::Terminated => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// A retransmission or ACK matched to this transaction arrived.
+    pub fn on_request(&mut self, req: &Request, now: u64) -> Vec<Action> {
+        match self.state {
+            ServerState::Proceeding => {
+                // Retransmitted request before any response: re-send the last
+                // provisional if we have one.
+                match (&req.method, &self.last_response) {
+                    (m, Some(resp)) if *m != Method::Ack => {
+                        vec![Action::SendResponse(resp.clone())]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            ServerState::Completed => {
+                if req.method == Method::Ack && self.is_invite {
+                    self.state = ServerState::Confirmed;
+                    self.retransmit_at = None;
+                    self.expire_at = Some(now + T4_MS);
+                    Vec::new()
+                } else if let Some(resp) = &self.last_response {
+                    vec![Action::SendResponse(resp.clone())]
+                } else {
+                    Vec::new()
+                }
+            }
+            ServerState::Confirmed | ServerState::Terminated => Vec::new(),
+        }
+    }
+
+    /// Advances timers to `now`.
+    pub fn poll(&mut self, now: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        match self.state {
+            ServerState::Completed => {
+                if let Some(due) = self.expire_at {
+                    if now >= due {
+                        self.state = ServerState::Terminated;
+                        if self.is_invite {
+                            // Timer H fired: the ACK never came.
+                            actions.push(Action::Timeout);
+                        }
+                        actions.push(Action::Terminated);
+                        return actions;
+                    }
+                }
+                if let Some(due) = self.retransmit_at {
+                    if now >= due {
+                        self.interval_ms = (self.interval_ms * 2).min(T2_MS);
+                        self.retransmit_at = Some(now + self.interval_ms);
+                        if let Some(resp) = &self.last_response {
+                            actions.push(Action::SendResponse(resp.clone()));
+                        }
+                    }
+                }
+            }
+            ServerState::Confirmed => {
+                if let Some(due) = self.expire_at {
+                    if now >= due {
+                        self.state = ServerState::Terminated;
+                        actions.push(Action::Terminated);
+                    }
+                }
+            }
+            ServerState::Proceeding | ServerState::Terminated => {}
+        }
+        actions
+    }
+}
+
+fn cseq_of(req: &Request) -> u32 {
+    req.headers.cseq().map(|c| c.seq).unwrap_or(1)
+}
+
+fn to_tag_of(resp: &Response) -> Option<&str> {
+    resp.headers.to_header().and_then(|t| t.tag())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::StatusCode;
+    use crate::uri::SipUri;
+
+    fn invite() -> Request {
+        Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            "tx-1",
+        )
+    }
+
+    #[test]
+    fn transaction_key_matches_request_and_response() {
+        let inv = invite();
+        let resp = inv.response(StatusCode::RINGING);
+        assert_eq!(
+            TransactionKey::for_request(&inv),
+            TransactionKey::for_response(&resp)
+        );
+    }
+
+    #[test]
+    fn ack_maps_to_invite_transaction() {
+        let inv = invite();
+        let mut ack = Request::in_dialog(Method::Ack, &inv, 1, Some("bt"));
+        // Give the ACK the same branch as the INVITE, as for non-2xx ACKs.
+        ack.headers = inv.headers.clone();
+        let key = TransactionKey::for_request(&ack).unwrap();
+        assert_eq!(key.method, Method::Invite);
+    }
+
+    #[test]
+    fn client_invite_retransmits_with_backoff() {
+        let (mut tx, actions) = ClientTransaction::start(invite(), 0);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::SendRequest(_)));
+        // Timer A at 500, then 1000 later, then 2000 later...
+        assert_eq!(tx.next_deadline(), Some(500));
+        let a = tx.poll(500);
+        assert!(matches!(a[0], Action::SendRequest(_)));
+        assert_eq!(tx.next_deadline(), Some(1500));
+        let a = tx.poll(1500);
+        assert!(matches!(a[0], Action::SendRequest(_)));
+        assert_eq!(tx.next_deadline(), Some(3500));
+    }
+
+    #[test]
+    fn client_invite_times_out_after_64_t1() {
+        let (mut tx, _) = ClientTransaction::start(invite(), 0);
+        let actions = tx.poll(64 * T1_MS);
+        assert!(actions.contains(&Action::Timeout));
+        assert!(tx.is_terminated());
+    }
+
+    #[test]
+    fn provisional_stops_invite_retransmissions() {
+        let (mut tx, _) = ClientTransaction::start(invite(), 0);
+        let resp = tx.request().response(StatusCode::RINGING);
+        let actions = tx.on_response(resp, 100);
+        assert!(matches!(actions[0], Action::DeliverResponse(_)));
+        assert_eq!(tx.state(), ClientState::Proceeding);
+        // No retransmission pending, only Timer B.
+        assert_eq!(tx.next_deadline(), Some(64 * T1_MS));
+        assert!(tx.poll(500).is_empty());
+    }
+
+    #[test]
+    fn success_final_terminates_invite_client() {
+        let (mut tx, _) = ClientTransaction::start(invite(), 0);
+        let ok = tx.request().response(StatusCode::OK).with_to_tag("bt");
+        let actions = tx.on_response(ok, 200);
+        assert!(matches!(actions[0], Action::DeliverResponse(_)));
+        assert!(actions.contains(&Action::Terminated));
+        assert!(tx.is_terminated());
+    }
+
+    #[test]
+    fn failure_final_generates_ack_and_lingers() {
+        let (mut tx, _) = ClientTransaction::start(invite(), 0);
+        let busy = tx.request().response(StatusCode::BUSY_HERE).with_to_tag("bt");
+        let actions = tx.on_response(busy.clone(), 200);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SendRequest(r) if r.method == Method::Ack)));
+        assert_eq!(tx.state(), ClientState::Completed);
+        // Retransmitted 486 re-triggers an ACK but no re-delivery.
+        let again = tx.on_response(busy, 300);
+        assert_eq!(again.len(), 1);
+        assert!(matches!(&again[0], Action::SendRequest(r) if r.method == Method::Ack));
+        // Timer D expiry terminates.
+        let fin = tx.poll(200 + 32_000);
+        assert!(fin.contains(&Action::Terminated));
+    }
+
+    #[test]
+    fn non_invite_client_caps_retransmit_interval_at_t2() {
+        let bye = Request::in_dialog(Method::Bye, &invite(), 2, Some("bt"));
+        let (mut tx, _) = ClientTransaction::start(bye, 0);
+        let mut now = 0;
+        let mut intervals = Vec::new();
+        for _ in 0..6 {
+            let due = tx.next_deadline().unwrap();
+            if due >= 64 * T1_MS {
+                break;
+            }
+            let actions = tx.poll(due);
+            if actions.iter().any(|a| matches!(a, Action::SendRequest(_))) {
+                intervals.push(due - now);
+                now = due;
+            }
+        }
+        assert!(intervals.windows(2).all(|w| w[1] >= w[0]));
+        assert!(intervals.iter().all(|&i| i <= T2_MS));
+    }
+
+    #[test]
+    fn non_invite_client_completes_then_terminates_after_timer_k() {
+        let bye = Request::in_dialog(Method::Bye, &invite(), 2, Some("bt"));
+        let (mut tx, _) = ClientTransaction::start(bye, 0);
+        let ok = tx.request().response(StatusCode::OK);
+        tx.on_response(ok, 100);
+        assert_eq!(tx.state(), ClientState::Completed);
+        let fin = tx.poll(100 + T4_MS);
+        assert!(fin.contains(&Action::Terminated));
+    }
+
+    #[test]
+    fn server_invite_lifecycle_with_ack() {
+        let inv = invite();
+        let (mut tx, actions) = ServerTransaction::start(inv.clone());
+        assert!(matches!(actions[0], Action::DeliverRequest(_)));
+
+        let ringing = inv.response(StatusCode::RINGING);
+        let a = tx.send_response(ringing, 10);
+        assert!(matches!(a[0], Action::SendResponse(_)));
+        assert_eq!(tx.state(), ServerState::Proceeding);
+
+        let busy = inv.response(StatusCode::BUSY_HERE).with_to_tag("bt");
+        let a = tx.send_response(busy, 20);
+        assert!(matches!(a[0], Action::SendResponse(_)));
+        assert_eq!(tx.state(), ServerState::Completed);
+
+        // Timer G retransmission.
+        let a = tx.poll(20 + T1_MS);
+        assert!(matches!(a[0], Action::SendResponse(_)));
+
+        // ACK confirms.
+        let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("bt"));
+        tx.on_request(&ack, 600);
+        assert_eq!(tx.state(), ServerState::Confirmed);
+
+        // Timer I expiry terminates.
+        let fin = tx.poll(600 + T4_MS);
+        assert!(fin.contains(&Action::Terminated));
+    }
+
+    #[test]
+    fn server_invite_2xx_terminates_immediately() {
+        let inv = invite();
+        let (mut tx, _) = ServerTransaction::start(inv.clone());
+        let ok = inv.response(StatusCode::OK).with_to_tag("bt");
+        let a = tx.send_response(ok, 10);
+        assert!(a.contains(&Action::Terminated));
+        assert!(tx.is_terminated());
+    }
+
+    #[test]
+    fn server_invite_times_out_waiting_for_ack() {
+        let inv = invite();
+        let (mut tx, _) = ServerTransaction::start(inv.clone());
+        let busy = inv.response(StatusCode::BUSY_HERE).with_to_tag("bt");
+        tx.send_response(busy, 0);
+        let fin = tx.poll(64 * T1_MS);
+        assert!(fin.contains(&Action::Timeout));
+        assert!(tx.is_terminated());
+    }
+
+    #[test]
+    fn server_retransmits_response_on_repeated_request() {
+        let inv = invite();
+        let (mut tx, _) = ServerTransaction::start(inv.clone());
+        let ringing = inv.response(StatusCode::RINGING);
+        tx.send_response(ringing, 10);
+        // Retransmitted INVITE in Proceeding re-sends the 180.
+        let a = tx.on_request(&inv, 50);
+        assert!(matches!(a[0], Action::SendResponse(_)));
+    }
+
+    #[test]
+    fn server_non_invite_absorbs_retransmissions_then_expires() {
+        let bye = Request::in_dialog(Method::Bye, &invite(), 2, Some("bt"));
+        let (mut tx, _) = ServerTransaction::start(bye.clone());
+        let ok = bye.response(StatusCode::OK);
+        tx.send_response(ok, 0);
+        assert_eq!(tx.state(), ServerState::Completed);
+        let a = tx.on_request(&bye, 100);
+        assert!(matches!(a[0], Action::SendResponse(_)));
+        let fin = tx.poll(64 * T1_MS);
+        assert!(fin.contains(&Action::Terminated));
+        assert!(!fin.contains(&Action::Timeout));
+    }
+}

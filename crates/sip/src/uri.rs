@@ -1,0 +1,342 @@
+//! SIP URI representation and parsing (RFC 3261 §19.1, subset).
+//!
+//! A [`SipUri`] carries the pieces vids and the simulated agents care about:
+//! scheme (`sip` or `sips`), optional user part, host, optional port and an
+//! ordered list of URI parameters (e.g. `;transport=udp;lr`).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// URI scheme: plain or secure SIP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Scheme {
+    /// `sip:` — the common case in this codebase.
+    #[default]
+    Sip,
+    /// `sips:` — SIP over TLS.
+    Sips,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Sip => f.write_str("sip"),
+            Scheme::Sips => f.write_str("sips"),
+        }
+    }
+}
+
+/// A parsed SIP URI such as `sip:alice@atlanta.example.com:5060;transport=udp`.
+///
+/// Construct with [`SipUri::new`] or parse from text with [`str::parse`].
+///
+/// ```
+/// use vids_sip::uri::SipUri;
+/// let uri: SipUri = "sip:bob@biloxi.example.com;transport=udp".parse().unwrap();
+/// assert_eq!(uri.user(), Some("bob"));
+/// assert_eq!(uri.host(), "biloxi.example.com");
+/// assert_eq!(uri.param("transport"), Some("udp"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SipUri {
+    scheme: Scheme,
+    user: Option<String>,
+    host: String,
+    port: Option<u16>,
+    params: Vec<(String, Option<String>)>,
+}
+
+impl SipUri {
+    /// Creates a `sip:` URI with a user and host, no port or parameters.
+    pub fn new(user: impl Into<String>, host: impl Into<String>) -> Self {
+        SipUri {
+            scheme: Scheme::Sip,
+            user: Some(user.into()),
+            host: host.into(),
+            port: None,
+            params: Vec::new(),
+        }
+    }
+
+    /// Creates a host-only URI (e.g. for a proxy: `sip:proxy.example.com`).
+    pub fn host_only(host: impl Into<String>) -> Self {
+        SipUri {
+            scheme: Scheme::Sip,
+            user: None,
+            host: host.into(),
+            port: None,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the port, builder-style.
+    #[must_use]
+    pub fn with_port(mut self, port: u16) -> Self {
+        self.port = Some(port);
+        self
+    }
+
+    /// Sets the scheme, builder-style.
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Appends a `;key=value` parameter, builder-style.
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((key.into(), Some(value.into())));
+        self
+    }
+
+    /// Appends a valueless `;flag` parameter (e.g. `;lr`), builder-style.
+    #[must_use]
+    pub fn with_flag(mut self, key: impl Into<String>) -> Self {
+        self.params.push((key.into(), None));
+        self
+    }
+
+    /// The URI scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The user part before `@`, if any.
+    pub fn user(&self) -> Option<&str> {
+        self.user.as_deref()
+    }
+
+    /// The host part (domain name or IP literal).
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The explicit port, if present.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The port to contact: explicit port or the SIP default 5060.
+    pub fn port_or_default(&self) -> u16 {
+        self.port.unwrap_or(crate::DEFAULT_SIP_PORT)
+    }
+
+    /// Looks up a URI parameter value by (case-insensitive) key. A flag
+    /// parameter present without a value yields `Some("")`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_deref().unwrap_or(""))
+    }
+
+    /// Whether the parameter is present at all (with or without a value).
+    pub fn has_param(&self, key: &str) -> bool {
+        self.params.iter().any(|(k, _)| k.eq_ignore_ascii_case(key))
+    }
+
+    /// All parameters in order of appearance.
+    pub fn params(&self) -> impl Iterator<Item = (&str, Option<&str>)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_deref()))
+    }
+
+    /// The address-of-record form: scheme, user and host without port or
+    /// parameters. Used as a registrar/location-service key.
+    pub fn address_of_record(&self) -> SipUri {
+        SipUri {
+            scheme: self.scheme,
+            user: self.user.clone(),
+            host: self.host.clone(),
+            port: None,
+            params: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for SipUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.scheme)?;
+        if let Some(user) = &self.user {
+            write!(f, "{user}@")?;
+        }
+        f.write_str(&self.host)?;
+        if let Some(port) = self.port {
+            write!(f, ":{port}")?;
+        }
+        for (k, v) in &self.params {
+            match v {
+                Some(v) => write!(f, ";{k}={v}")?,
+                None => write!(f, ";{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when SIP URI text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUriError {
+    reason: &'static str,
+}
+
+impl ParseUriError {
+    fn new(reason: &'static str) -> Self {
+        ParseUriError { reason }
+    }
+}
+
+impl fmt::Display for ParseUriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SIP URI: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseUriError {}
+
+impl FromStr for SipUri {
+    type Err = ParseUriError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (scheme, rest) = if let Some(rest) = s.strip_prefix("sips:") {
+            (Scheme::Sips, rest)
+        } else if let Some(rest) = s.strip_prefix("sip:") {
+            (Scheme::Sip, rest)
+        } else {
+            return Err(ParseUriError::new("missing sip: or sips: scheme"));
+        };
+
+        // Split off parameters first: everything after the first ';'.
+        let (addr, param_str) = match rest.find(';') {
+            Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+            None => (rest, None),
+        };
+        if addr.is_empty() {
+            return Err(ParseUriError::new("empty host part"));
+        }
+
+        let (user, hostport) = match addr.rfind('@') {
+            Some(i) => {
+                let user = &addr[..i];
+                if user.is_empty() {
+                    return Err(ParseUriError::new("empty user part before '@'"));
+                }
+                (Some(user.to_owned()), &addr[i + 1..])
+            }
+            None => (None, addr),
+        };
+
+        let (host, port) = match hostport.rfind(':') {
+            // Guard against IPv6 literals which we keep as opaque host text.
+            Some(i) if !hostport.contains(']') || i > hostport.rfind(']').unwrap_or(0) => {
+                let port: u16 = hostport[i + 1..]
+                    .parse()
+                    .map_err(|_| ParseUriError::new("invalid port number"))?;
+                (hostport[..i].to_owned(), Some(port))
+            }
+            _ => (hostport.to_owned(), None),
+        };
+        if host.is_empty() {
+            return Err(ParseUriError::new("empty host part"));
+        }
+
+        let mut params = Vec::new();
+        if let Some(param_str) = param_str {
+            for piece in param_str.split(';') {
+                if piece.is_empty() {
+                    return Err(ParseUriError::new("empty URI parameter"));
+                }
+                match piece.split_once('=') {
+                    Some((k, v)) => params.push((k.to_owned(), Some(v.to_owned()))),
+                    None => params.push((piece.to_owned(), None)),
+                }
+            }
+        }
+
+        Ok(SipUri {
+            scheme,
+            user,
+            host,
+            port,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_uri() {
+        let uri: SipUri = "sip:alice@atlanta.example.com:5070;transport=udp;lr"
+            .parse()
+            .unwrap();
+        assert_eq!(uri.scheme(), Scheme::Sip);
+        assert_eq!(uri.user(), Some("alice"));
+        assert_eq!(uri.host(), "atlanta.example.com");
+        assert_eq!(uri.port(), Some(5070));
+        assert_eq!(uri.param("transport"), Some("udp"));
+        assert!(uri.has_param("lr"));
+        assert_eq!(uri.param("lr"), Some(""));
+    }
+
+    #[test]
+    fn parses_sips_scheme() {
+        let uri: SipUri = "sips:bob@secure.example.com".parse().unwrap();
+        assert_eq!(uri.scheme(), Scheme::Sips);
+    }
+
+    #[test]
+    fn parses_host_only() {
+        let uri: SipUri = "sip:proxy.example.com".parse().unwrap();
+        assert_eq!(uri.user(), None);
+        assert_eq!(uri.host(), "proxy.example.com");
+        assert_eq!(uri.port_or_default(), 5060);
+    }
+
+    #[test]
+    fn parses_ip_host() {
+        let uri: SipUri = "sip:ua1@10.0.0.3:5062".parse().unwrap();
+        assert_eq!(uri.host(), "10.0.0.3");
+        assert_eq!(uri.port(), Some(5062));
+    }
+
+    #[test]
+    fn rejects_bad_uris() {
+        assert!("http://example.com".parse::<SipUri>().is_err());
+        assert!("sip:".parse::<SipUri>().is_err());
+        assert!("sip:@host".parse::<SipUri>().is_err());
+        assert!("sip:u@h:badport".parse::<SipUri>().is_err());
+        assert!("sip:u@h;;x".parse::<SipUri>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "sip:alice@atlanta.example.com",
+            "sip:alice@atlanta.example.com:5070",
+            "sips:bob@b.example.com;transport=tls",
+            "sip:proxy.example.com;lr",
+            "sip:carol@10.1.2.3:5080;transport=udp;lr",
+        ] {
+            let uri: SipUri = text.parse().unwrap();
+            assert_eq!(uri.to_string(), text);
+            let reparsed: SipUri = uri.to_string().parse().unwrap();
+            assert_eq!(reparsed, uri);
+        }
+    }
+
+    #[test]
+    fn address_of_record_strips_port_and_params() {
+        let uri: SipUri = "sip:alice@a.example.com:5070;transport=udp".parse().unwrap();
+        assert_eq!(uri.address_of_record().to_string(), "sip:alice@a.example.com");
+    }
+
+    #[test]
+    fn param_lookup_is_case_insensitive() {
+        let uri: SipUri = "sip:a@h;Transport=UDP".parse().unwrap();
+        assert_eq!(uri.param("transport"), Some("UDP"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Parser torture tests, in the spirit of RFC 4475 ("SIP Torture Test
+//! Messages"): the monitor must digest hostile, odd, and boundary-case
+//! messages without panicking, accepting what is well-formed and rejecting
+//! what is not — a wrong answer either way skews the IDS.
+
+use vids_sip::parse::parse_message;
+use vids_sip::{Message, Method, StatusCode};
+
+fn parses(text: &str) -> Message {
+    parse_message(text).unwrap_or_else(|e| panic!("must parse: {e}\n---\n{text}"))
+}
+
+fn rejects(text: &str) {
+    assert!(
+        parse_message(text).is_err(),
+        "must be rejected:\n---\n{text}"
+    );
+}
+
+#[test]
+fn shortest_legal_request() {
+    let msg = parses("OPTIONS sip:h SIP/2.0\r\n\r\n");
+    assert_eq!(msg.method(), Some(Method::Options));
+}
+
+#[test]
+fn exotic_but_legal_spacing_in_headers() {
+    let msg = parses(
+        "INVITE sip:b@h SIP/2.0\r\n\
+         Call-ID:    lots-of-leading-space\r\n\
+         CSeq:\t1 INVITE\r\n\r\n",
+    );
+    assert_eq!(msg.call_id(), "lots-of-leading-space");
+    assert_eq!(msg.headers().cseq().unwrap().seq, 1);
+}
+
+#[test]
+fn unicode_in_display_names_survives() {
+    let msg = parses(
+        "INVITE sip:b@h SIP/2.0\r\n\
+         From: \"Jörg Müller ☎\" <sip:j@h>;tag=1\r\n\r\n",
+    );
+    assert_eq!(
+        msg.headers().from_header().unwrap().display_name(),
+        Some("Jörg Müller ☎")
+    );
+}
+
+#[test]
+fn enormous_header_values_do_not_choke() {
+    let big = "x".repeat(64 * 1024);
+    let text = format!("INVITE sip:b@h SIP/2.0\r\nCall-ID: {big}\r\n\r\n");
+    let msg = parses(&text);
+    assert_eq!(msg.call_id().len(), 64 * 1024);
+}
+
+#[test]
+fn many_via_headers_preserved_in_order() {
+    let mut text = String::from("BYE sip:b@h SIP/2.0\r\n");
+    for i in 0..50 {
+        text.push_str(&format!("Via: SIP/2.0/UDP h{i}:5060;branch=z9hG4bK{i}\r\n"));
+    }
+    text.push_str("\r\n");
+    let msg = parses(&text);
+    assert_eq!(msg.headers().vias().count(), 50);
+    assert_eq!(msg.headers().top_via().unwrap().host(), "h0");
+}
+
+#[test]
+fn status_code_boundaries() {
+    assert_eq!(
+        parses("SIP/2.0 100 Trying\r\n\r\n").status(),
+        Some(StatusCode::TRYING)
+    );
+    assert!(parses("SIP/2.0 699 Made Up\r\n\r\n").status().is_some());
+    rejects("SIP/2.0 99 Too Low\r\n\r\n");
+    rejects("SIP/2.0 700 Too High\r\n\r\n");
+    rejects("SIP/2.0 2000 Way Off\r\n\r\n");
+}
+
+#[test]
+fn content_length_edge_cases() {
+    // Exact length.
+    let msg = parses("INFO sip:b@h SIP/2.0\r\nContent-Length: 4\r\n\r\nabcd");
+    assert_eq!(msg.body(), "abcd");
+    // Zero length with trailing junk: body trimmed to zero.
+    let msg = parses("INFO sip:b@h SIP/2.0\r\nContent-Length: 0\r\n\r\ntrailing");
+    assert_eq!(msg.body(), "");
+    // Declared longer than available: keep what is there (datagram truth).
+    let msg = parses("INFO sip:b@h SIP/2.0\r\nContent-Length: 9999\r\n\r\nshort");
+    assert_eq!(msg.body(), "short");
+    // Negative / garbage lengths are rejected.
+    rejects("INFO sip:b@h SIP/2.0\r\nContent-Length: -1\r\n\r\n");
+    rejects("INFO sip:b@h SIP/2.0\r\nContent-Length: ten\r\n\r\n");
+}
+
+#[test]
+fn method_case_matters() {
+    rejects("invite sip:b@h SIP/2.0\r\n\r\n");
+    rejects("Invite sip:b@h SIP/2.0\r\n\r\n");
+    parses("INVITE sip:b@h SIP/2.0\r\n\r\n");
+}
+
+#[test]
+fn wrong_versions_rejected() {
+    rejects("INVITE sip:b@h SIP/1.0\r\n\r\n");
+    rejects("INVITE sip:b@h SIP/3.0\r\n\r\n");
+    rejects("INVITE sip:b@h HTTP/1.1\r\n\r\n");
+}
+
+#[test]
+fn request_uri_variants() {
+    parses("INVITE sip:user@host:1 SIP/2.0\r\n\r\n");
+    parses("INVITE sips:user@host SIP/2.0\r\n\r\n");
+    parses("INVITE sip:host-only.example.com SIP/2.0\r\n\r\n");
+    parses("INVITE sip:u@h;transport=udp;lr SIP/2.0\r\n\r\n");
+    rejects("INVITE mailto:user@host SIP/2.0\r\n\r\n");
+    rejects("INVITE sip: SIP/2.0\r\n\r\n");
+}
+
+#[test]
+fn binary_garbage_never_panics() {
+    for seed in 0..256u32 {
+        let bytes: Vec<u8> = (0..100)
+            .map(|i| ((seed.wrapping_mul(31).wrapping_add(i * 7)) % 256) as u8)
+            .collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_message(&text);
+    }
+}
+
+#[test]
+fn null_bytes_and_control_chars() {
+    let _ = parse_message("\0\0\0");
+    let _ = parse_message("INVITE sip:b@h SIP/2.0\r\nX: \u{7}\u{1b}\r\n\r\n");
+    let _ = parse_message("\r\n\r\n\r\n");
+}
+
+#[test]
+fn folded_like_garbage_is_tolerated_or_rejected_not_panicking() {
+    // RFC 3261 line folding is not supported; a folded header must not
+    // crash, it just fails or lands as an odd header.
+    let _ = parse_message("INVITE sip:b@h SIP/2.0\r\nSubject: line one\r\n two\r\n\r\n");
+}
+
+#[test]
+fn duplicated_core_headers_first_wins() {
+    let msg = parses(
+        "BYE sip:b@h SIP/2.0\r\n\
+         Call-ID: first\r\n\
+         Call-ID: second\r\n\r\n",
+    );
+    assert_eq!(msg.call_id(), "first");
+}
+
+#[test]
+fn cseq_number_boundaries() {
+    let msg = parses("BYE sip:b@h SIP/2.0\r\nCSeq: 4294967295 BYE\r\n\r\n");
+    assert_eq!(msg.headers().cseq().unwrap().seq, u32::MAX);
+    rejects("BYE sip:b@h SIP/2.0\r\nCSeq: 4294967296 BYE\r\n\r\n");
+}
+
+#[test]
+fn escaped_quotes_in_display_name_do_not_panic() {
+    // The simple parser ends the display name at the first quote; the
+    // remainder must not panic, whatever it parses into.
+    let _ = parse_message("INVITE sip:b@h SIP/2.0\r\nFrom: \"a\\\"b\" <sip:x@y>;tag=1\r\n\r\n");
+}
+
+#[test]
+fn whole_message_round_trip_of_odd_but_valid_message() {
+    let text = "SUBSCRIBE sip:watcher@example.com;lr SIP/2.0\r\n\
+                Via: SIP/2.0/UDP 192.0.2.1:5060;branch=z9hG4bKx;received=192.0.2.254\r\n\
+                Max-Forwards: 0\r\n\
+                From: <sip:a@b>;tag=z\r\n\
+                To: <sip:c@d>\r\n\
+                Call-ID: odd-1\r\n\
+                CSeq: 1 SUBSCRIBE\r\n\
+                Expires: 0\r\n\
+                Content-Length: 0\r\n\r\n";
+    let msg = parses(text);
+    let reparsed = parses(&msg.to_string());
+    assert_eq!(reparsed, msg);
+}

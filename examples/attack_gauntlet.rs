@@ -1,0 +1,159 @@
+//! The attack gauntlet: every §3 threat fired at the monitored enterprise,
+//! one scenario per run, with the resulting alert log — a live version of
+//! the detection-accuracy table (experiment E6).
+//!
+//! ```sh
+//! cargo run --example attack_gauntlet
+//! ```
+
+use vids::attacks::craft::{self, Target};
+use vids::attacks::AttackKind;
+use vids::core::alert::labels;
+use vids::netsim::time::SimTime;
+use vids::netsim::topology::{ua_addr, SITE_B};
+use vids::scenario::{Testbed, TestbedConfig};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn testbed(seed: u64) -> Testbed {
+    let mut config = TestbedConfig::small(seed);
+    config.workload.mean_interarrival_secs = 5.0;
+    config.workload.mean_duration_secs = 600.0;
+    config.workload.horizon = secs(30);
+    Testbed::build(&config)
+}
+
+/// Runs one scenario; returns (detected labels, expected label hit?).
+fn run_scenario(
+    name: &str,
+    expected: &str,
+    mut setup: impl FnMut(&mut Testbed, vids::netsim::engine::NodeId),
+) -> bool {
+    let mut tb = testbed(0xA77AC4 + expected.len() as u64);
+    let (attacker, _) = tb.add_attacker();
+    setup(&mut tb, attacker);
+    let end = tb.ent.sim.now() + secs(15);
+    tb.run_until(end);
+    let hit = tb.vids_alerts().iter().any(|a| a.label == expected);
+    let verdict = if hit { "DETECTED" } else { "missed  " };
+    println!("{verdict}  {name:<28} -> expecting {expected}");
+    for a in tb.vids_alerts() {
+        println!("            {a}");
+    }
+    hit
+}
+
+fn main() {
+    println!("=== vids attack gauntlet (paper §3 threat model) ===\n");
+    let mut score = 0;
+    let total = 6;
+
+    score += run_scenario("INVITE flooding", labels::INVITE_FLOOD, |tb, atk| {
+        let victim = vids::agents::ua_uri(0, vids::agents::site_domain(SITE_B));
+        tb.attacker_mut(atk).schedule(
+            secs(5),
+            AttackKind::InviteFlood {
+                target_uri: victim,
+                target_addr: ua_addr(SITE_B, 0),
+                rate_pps: 100.0,
+                count: 40,
+            },
+        );
+    }) as i32;
+
+    score += run_scenario("BYE DoS (cross-protocol)", labels::RTP_AFTER_BYE, |tb, atk| {
+        let snap = tb
+            .run_until_call_established(0, secs(1), secs(60))
+            .expect("call");
+        let at = tb.ent.sim.now() + secs(1);
+        let (victim, spoof_src) = snap.endpoints(Target::Callee);
+        let message = craft::spoofed_bye(&snap, Target::Callee);
+        for k in 0..3 {
+            tb.attacker_mut(atk).schedule(
+                at + SimTime::from_millis(k * 100),
+                AttackKind::SpoofedBye {
+                    victim,
+                    message: message.clone(),
+                    spoof_src,
+                },
+            );
+        }
+    }) as i32;
+
+    score += run_scenario("media spamming", labels::MEDIA_SPAM, |tb, atk| {
+        let snap = tb
+            .run_until_call_established(0, secs(1), secs(60))
+            .expect("call");
+        let at = tb.ent.sim.now() + secs(1);
+        let (seq, ts) = snap.caller_rtp_cursor.unwrap();
+        tb.attacker_mut(atk).schedule(
+            at,
+            AttackKind::MediaSpam {
+                victim: snap.callee_media.unwrap(),
+                ssrc: snap.caller_ssrc.unwrap(),
+                payload_type: 18,
+                start_seq: seq.wrapping_add(1_000),
+                start_timestamp: ts.wrapping_add(200_000),
+                spoof_src: snap.caller_media.unwrap(),
+                rate_pps: 100.0,
+                count: 20,
+            },
+        );
+    }) as i32;
+
+    score += run_scenario("RTP flooding", labels::RTP_FOREIGN_SOURCE, |tb, atk| {
+        let snap = tb
+            .run_until_call_established(0, secs(1), secs(60))
+            .expect("call");
+        let at = tb.ent.sim.now() + secs(1);
+        tb.attacker_mut(atk).schedule(
+            at,
+            AttackKind::RtpFlood {
+                victim: snap.callee_media.unwrap(),
+                payload_type: 18,
+                payload_bytes: 160,
+                rate_pps: 400.0,
+                count: 80,
+            },
+        );
+    }) as i32;
+
+    score += run_scenario("call hijack (re-INVITE)", labels::CALL_HIJACK, |tb, atk| {
+        let snap = tb
+            .run_until_call_established(0, secs(1), secs(60))
+            .expect("call");
+        let at = tb.ent.sim.now() + secs(1);
+        let (victim, spoof_src) = snap.endpoints(Target::Callee);
+        let message = craft::spoofed_reinvite(
+            &snap,
+            vids::netsim::topology::internet_addr(0).with_port(44_000),
+        );
+        for k in 0..3 {
+            tb.attacker_mut(atk).schedule(
+                at + SimTime::from_millis(k * 100),
+                AttackKind::ReinviteHijack {
+                    victim,
+                    message: message.clone(),
+                    spoof_src,
+                },
+            );
+        }
+    }) as i32;
+
+    score += run_scenario("DRDoS reflection", labels::RESPONSE_FLOOD, |tb, atk| {
+        let victim = ua_addr(vids::netsim::topology::SITE_A, 1);
+        tb.attacker_mut(atk).schedule(
+            secs(5),
+            AttackKind::Drdos {
+                reflectors: vec![ua_addr(SITE_B, 0), ua_addr(SITE_B, 1)],
+                victim,
+                per_reflector: 15,
+                rate_pps: 200.0,
+            },
+        );
+    }) as i32;
+
+    println!("\n=== score: {score}/{total} attacks detected ===");
+}

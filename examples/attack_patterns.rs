@@ -1,0 +1,39 @@
+//! Prints the attack patterns derivable from the shipped protocol state
+//! machines — the paper's §4.2: "The paths along the transitions from s_i
+//! to s_attack constitute attack patterns."
+//!
+//! ```sh
+//! cargo run --example attack_patterns
+//! ```
+
+use vids::core::machines::{flood, rtp, sip};
+use vids::core::Config;
+use vids::efsm::analysis::attack_paths;
+use vids::efsm::machine::MachineDef;
+
+fn show(def: &MachineDef) {
+    println!(
+        "\n### machine `{}` — {} states, {} transitions",
+        def.name(),
+        def.state_count(),
+        def.transition_count()
+    );
+    let paths = attack_paths(def);
+    if paths.is_empty() {
+        println!("(no attack states)");
+        return;
+    }
+    for p in paths {
+        println!("{p}");
+    }
+}
+
+fn main() {
+    let cfg = Config::default();
+    println!("attack patterns derived from the specification machines");
+    println!("(every path from the initial state to an annotated attack state)");
+    show(&sip::sip_call_machine(&cfg));
+    show(&rtp::rtp_session_machine(&cfg));
+    show(&flood::invite_flood_machine(&cfg));
+    show(&flood::response_flood_machine(&cfg));
+}

@@ -1,0 +1,364 @@
+//! End-to-end detection of every §3 attack (experiment E6).
+//!
+//! Each test builds the Fig. 7 testbed with vids inline, lets legitimate
+//! calls flow, launches one attack from an Internet host, and asserts that
+//! vids raises exactly the expected attack label — with the victim-side
+//! effect visible where the attack lands.
+
+use vids::attacks::craft::{self, Target};
+use vids::attacks::AttackKind;
+use vids::core::alert::labels;
+use vids::core::alert::AlertKind;
+use vids::netsim::time::SimTime;
+use vids::netsim::topology::{ua_addr, SITE_B};
+use vids::scenario::{Testbed, TestbedConfig};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A testbed whose first call establishes quickly and holds long enough to
+/// attack mid-call (a 600 s mean makes a sub-3 s holding time vanishingly
+/// unlikely, so the sniffed call is still up when the attack lands).
+fn attackable_config(seed: u64) -> TestbedConfig {
+    let mut config = TestbedConfig::small(seed);
+    config.workload.mean_interarrival_secs = 5.0;
+    config.workload.mean_duration_secs = 600.0;
+    config.workload.horizon = secs(30);
+    config
+}
+
+fn labels_of(tb: &Testbed) -> Vec<String> {
+    tb.vids_alerts().iter().map(|a| a.label.clone()).collect()
+}
+
+/// Schedules a one-shot attack three times, 100 ms apart: the Internet
+/// cloud drops 0.42 % of packets, and a real attacker retransmits a forged
+/// message that shows no effect.
+fn schedule_redundant(
+    tb: &mut Testbed,
+    attacker: vids::netsim::engine::NodeId,
+    at: SimTime,
+    kind: AttackKind,
+) {
+    for k in 0..3u64 {
+        tb.attacker_mut(attacker)
+            .schedule(at + SimTime::from_millis(k * 100), kind.clone());
+    }
+}
+
+#[test]
+fn invite_flood_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(21));
+    let (attacker, _) = tb.add_attacker();
+    let victim_uri = vids::agents::ua_uri(0, vids::agents::site_domain(SITE_B));
+    tb.attacker_mut(attacker).schedule(
+        secs(5),
+        AttackKind::InviteFlood {
+            target_uri: victim_uri,
+            target_addr: ua_addr(SITE_B, 0),
+            rate_pps: 100.0,
+            count: 50,
+        },
+    );
+    tb.run_until(secs(20));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::INVITE_FLOOD),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn bye_dos_is_detected_via_cross_protocol_interaction() {
+    let mut tb = Testbed::build(&attackable_config(22));
+    let (attacker, _) = tb.add_attacker();
+    let snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("no call established");
+    let attack_at = tb.ent.sim.now() + secs(2);
+    // The well-spoofed BYE tears the callee down; the caller keeps
+    // streaming RTP, which is exactly Fig. 5's detection signature.
+    let (victim, spoof_src) = snap.endpoints(Target::Callee);
+    let message = craft::spoofed_bye(&snap, Target::Callee);
+    schedule_redundant(
+        &mut tb,
+        attacker,
+        attack_at,
+        AttackKind::SpoofedBye {
+            victim,
+            message,
+            spoof_src,
+        },
+    );
+    let deadline = attack_at + secs(10);
+    tb.run_until(deadline);
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::RTP_AFTER_BYE),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+    // Victim effect: the callee actually tore the call down prematurely.
+    let byes: u64 = (0..2).map(|i| tb.ua_b(i).stats().byes_received).sum();
+    assert!(byes >= 1);
+}
+
+#[test]
+fn lazy_spoofed_bye_is_caught_at_the_sip_layer() {
+    let mut tb = Testbed::build(&attackable_config(23));
+    let (attacker, _) = tb.add_attacker();
+    let mut snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("no call established");
+    // A lazy attacker who did not sniff the tags forges garbage ones.
+    snap.caller_from.set_tag("forged-tag");
+    snap.callee_to.set_tag("forged-tag-2");
+    let attack_at = tb.ent.sim.now() + secs(2);
+    let (victim, spoof_src) = snap.endpoints(Target::Callee);
+    let message = craft::spoofed_bye(&snap, Target::Callee);
+    schedule_redundant(
+        &mut tb,
+        attacker,
+        attack_at,
+        AttackKind::SpoofedBye {
+            victim,
+            message,
+            spoof_src,
+        },
+    );
+    tb.run_until(attack_at + secs(5));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::SPOOFED_BYE),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn cancel_dos_with_foreign_tags_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(24));
+    let (attacker, _) = tb.add_attacker();
+    // Catch a call in its ringing phase (the 2 s answer delay window).
+    let mut now = tb.ent.sim.now();
+    let snap = loop {
+        now += SimTime::from_millis(200);
+        tb.run_until(now);
+        if let Some(snap) = tb.sniff_ringing_call(0) {
+            break snap;
+        }
+        assert!(now < secs(120), "no ringing call found");
+    };
+    let mut lazy = snap.clone();
+    lazy.caller_from.set_tag("evil");
+    let (victim, spoof_src) = lazy.endpoints(Target::Callee);
+    let message = craft::spoofed_cancel(&lazy);
+    schedule_redundant(
+        &mut tb,
+        attacker,
+        now,
+        AttackKind::SpoofedCancel {
+            victim,
+            message,
+            spoof_src,
+        },
+    );
+    tb.run_until(now + secs(5));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::SPOOFED_CANCEL),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn media_spam_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(25));
+    let (attacker, _) = tb.add_attacker();
+    let snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("no call established");
+    let attack_at = tb.ent.sim.now() + secs(1);
+    // Fabricated RTP with the sniffed SSRC and a big seq/timestamp jump
+    // (§3.2: "by having the same SSRC identifier with higher sequence
+    // number or timestamp in the spoofed RTP packets").
+    let (seq, ts) = snap.caller_rtp_cursor.unwrap();
+    tb.attacker_mut(attacker).schedule(
+        attack_at,
+        AttackKind::MediaSpam {
+            victim: snap.callee_media.unwrap(),
+            ssrc: snap.caller_ssrc.unwrap(),
+            payload_type: 18,
+            start_seq: seq.wrapping_add(2_000),
+            start_timestamp: ts.wrapping_add(500_000),
+            spoof_src: snap.caller_media.unwrap(),
+            rate_pps: 100.0,
+            count: 20,
+        },
+    );
+    tb.run_until(attack_at + secs(5));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::MEDIA_SPAM),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn rtp_flood_from_foreign_source_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(26));
+    let (attacker, _) = tb.add_attacker();
+    let snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("no call established");
+    let attack_at = tb.ent.sim.now() + secs(1);
+    tb.attacker_mut(attacker).schedule(
+        attack_at,
+        AttackKind::RtpFlood {
+            victim: snap.callee_media.unwrap(),
+            payload_type: 18,
+            payload_bytes: 160,
+            rate_pps: 500.0,
+            count: 100,
+        },
+    );
+    tb.run_until(attack_at + secs(5));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::RTP_FOREIGN_SOURCE),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn codec_change_flood_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(27));
+    let (attacker, _) = tb.add_attacker();
+    let snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("no call established");
+    let attack_at = tb.ent.sim.now() + secs(1);
+    // §3.2: "changing the encoding scheme or flooding with RTP packets":
+    // spoof the caller's media source but claim G.711 instead of G.729.
+    let (seq, ts) = snap.caller_rtp_cursor.unwrap();
+    tb.attacker_mut(attacker).schedule(
+        attack_at,
+        AttackKind::MediaSpam {
+            victim: snap.callee_media.unwrap(),
+            ssrc: snap.caller_ssrc.unwrap(),
+            payload_type: 0, // PCMU
+            start_seq: seq,
+            start_timestamp: ts,
+            spoof_src: snap.caller_media.unwrap(),
+            rate_pps: 200.0,
+            count: 50,
+        },
+    );
+    tb.run_until(attack_at + secs(5));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::RTP_CODEC_VIOLATION),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn call_hijack_reinvite_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(28));
+    let (attacker, attacker_addr) = tb.add_attacker();
+    let snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("no call established");
+    let attack_at = tb.ent.sim.now() + secs(1);
+    let (victim, spoof_src) = snap.endpoints(Target::Callee);
+    let message = craft::spoofed_reinvite(&snap, attacker_addr.with_port(44_000));
+    schedule_redundant(
+        &mut tb,
+        attacker,
+        attack_at,
+        AttackKind::ReinviteHijack {
+            victim,
+            message,
+            spoof_src,
+        },
+    );
+    tb.run_until(attack_at + secs(5));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::CALL_HIJACK),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+    // Victim effect: the callee redirected its media to the attacker.
+    let hijacked = tb
+        .ent
+        .sim
+        .node_as::<vids::netsim::node::Host>(attacker)
+        .app_as::<vids::attacks::Attacker>()
+        .stats()
+        .packets_received;
+    assert!(hijacked > 0, "attacker received {hijacked} hijacked packets");
+}
+
+#[test]
+fn billing_fraud_is_detected() {
+    let mut config = attackable_config(29);
+    config.workload.mean_duration_secs = 8.0;
+    // Site-A UA 0 misbehaves: BYE for billing, media keeps flowing.
+    config.fraud_caller_0 = Some(secs(5));
+    let mut tb = Testbed::build(&config);
+    tb.run_until(secs(120));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::RTP_AFTER_BYE),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn drdos_reflection_is_detected() {
+    let mut tb = Testbed::build(&attackable_config(30));
+    let (attacker, _) = tb.add_attacker();
+    // Reflect off site B's UAs (which answer OPTIONS with 200) toward a
+    // site-A victim: both probe and reflected response cross the monitor.
+    let victim = vids::netsim::topology::ua_addr(vids::netsim::topology::SITE_A, 1);
+    let reflectors = vec![ua_addr(SITE_B, 0), ua_addr(SITE_B, 1)];
+    tb.attacker_mut(attacker).schedule(
+        secs(5),
+        AttackKind::Drdos {
+            reflectors,
+            victim,
+            per_reflector: 15,
+            rate_pps: 200.0,
+        },
+    );
+    tb.run_until(secs(20));
+    assert!(
+        labels_of(&tb).iter().any(|l| l == labels::RESPONSE_FLOOD),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn attack_alerts_carry_attack_kind_and_time() {
+    let mut tb = Testbed::build(&attackable_config(31));
+    let (attacker, _) = tb.add_attacker();
+    let victim_uri = vids::agents::ua_uri(0, vids::agents::site_domain(SITE_B));
+    tb.attacker_mut(attacker).schedule(
+        secs(5),
+        AttackKind::InviteFlood {
+            target_uri: victim_uri,
+            target_addr: ua_addr(SITE_B, 0),
+            rate_pps: 200.0,
+            count: 40,
+        },
+    );
+    tb.run_until(secs(15));
+    let alert = tb
+        .vids_alerts()
+        .iter()
+        .find(|a| a.label == labels::INVITE_FLOOD)
+        .expect("flood alert");
+    assert_eq!(alert.kind, AlertKind::Attack);
+    // The flood started at t=5 s and the 11th INVITE lands ~55 ms later.
+    assert!(alert.time_ms >= 5_000 && alert.time_ms < 7_000, "t={}", alert.time_ms);
+}

@@ -1,0 +1,119 @@
+//! The §3.1 authentication regimes, end to end.
+//!
+//! "A great deal of the discussion of possible attacks centers around an
+//! assumption of lack of proper authentication. However, many attacks are
+//! still possible to be launched by an authenticated but misbehaving UA."
+//!
+//! With digest authentication on BYE enabled:
+//! * a spoofed BYE is rejected with 401 — the victim call continues, and
+//!   the monitor (which saw BYE then 401) re-opens its machines instead of
+//!   raising a false RTP-after-BYE alarm;
+//! * honest teardowns transparently answer the challenge;
+//! * billing fraud — the *authenticated but misbehaving UA* — is still
+//!   caught by the cross-protocol Fig. 5 pattern, the paper's exact point.
+
+use vids::attacks::craft::{self, Target};
+use vids::attacks::AttackKind;
+use vids::core::alert::{labels, AlertKind};
+use vids::netsim::time::SimTime;
+use vids::scenario::{Testbed, TestbedConfig};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn auth_config(seed: u64) -> TestbedConfig {
+    let mut config = TestbedConfig::small(seed);
+    config.workload.mean_interarrival_secs = 5.0;
+    config.workload.mean_duration_secs = 600.0;
+    config.workload.horizon = secs(30);
+    config.bye_auth = true;
+    config
+}
+
+#[test]
+fn honest_teardown_answers_the_challenge() {
+    let mut config = auth_config(401);
+    config.workload.mean_duration_secs = 10.0;
+    config.workload.horizon = secs(20);
+    let mut tb = Testbed::build(&config);
+    tb.run_until(secs(90));
+
+    let completed: u64 = (0..2).map(|i| tb.ua_a_stats(i).calls_completed).sum();
+    let retries: u64 = (0..2).map(|i| tb.ua_a_stats(i).auth_retries).sum();
+    let challenges: u64 = (0..2).map(|i| tb.ua_b(i).stats().auth_challenges).sum();
+    let authenticated: u64 = (0..2).map(|i| tb.ua_b(i).stats().authenticated_byes).sum();
+    assert!(completed >= 1, "completed {completed}");
+    assert!(challenges >= 1, "callee challenged the BYE");
+    assert!(retries >= 1, "caller answered the challenge");
+    assert!(authenticated >= 1, "authenticated BYE accepted");
+
+    // The BYE→401→BYE dance must not confuse the monitor.
+    let attacks: Vec<_> = tb
+        .vids_alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::Attack)
+        .collect();
+    assert!(attacks.is_empty(), "false positives: {attacks:?}");
+}
+
+#[test]
+fn spoofed_bye_is_neutralized_by_auth_and_raises_no_false_alarm() {
+    let mut tb = Testbed::build(&auth_config(402));
+    let (attacker, _) = tb.add_attacker();
+    let snap = tb
+        .run_until_call_established(0, secs(1), secs(120))
+        .expect("call");
+    let attack_at = tb.ent.sim.now() + secs(1);
+    let (victim, spoof_src) = snap.endpoints(Target::Callee);
+    let message = craft::spoofed_bye(&snap, Target::Callee);
+    for k in 0..3u64 {
+        tb.attacker_mut(attacker).schedule(
+            attack_at + SimTime::from_millis(k * 100),
+            AttackKind::SpoofedBye {
+                victim,
+                message: message.clone(),
+                spoof_src,
+            },
+        );
+    }
+    tb.run_until(attack_at + secs(10));
+
+    // The victim callee challenged and never tore the call down.
+    let challenges: u64 = (0..2).map(|i| tb.ua_b(i).stats().auth_challenges).sum();
+    assert!(challenges >= 1, "the spoofed BYE was challenged");
+    let authenticated: u64 = (0..2).map(|i| tb.ua_b(i).stats().authenticated_byes).sum();
+    assert_eq!(authenticated, 0, "the attacker cannot answer");
+
+    // Media kept flowing: the call survived the attack.
+    let a0 = tb.ua_a_stats(0);
+    assert!(a0.rtp_received > 500, "caller still receiving media");
+
+    // And crucially: no rtp-after-bye false positive — the monitor saw the
+    // 401 and re-opened the RTP machine.
+    assert!(
+        !tb.vids_alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE),
+        "alerts: {:?}",
+        tb.vids_alerts()
+    );
+}
+
+#[test]
+fn authenticated_but_misbehaving_ua_is_still_detected() {
+    // Billing fraud under full authentication: the fraudster's own BYE
+    // carries valid credentials, the callee accepts it — and the fraudster
+    // keeps streaming. Only the cross-protocol machines catch this.
+    let mut config = auth_config(403);
+    config.workload.mean_duration_secs = 8.0;
+    config.fraud_caller_0 = Some(secs(5));
+    let mut tb = Testbed::build(&config);
+    tb.run_until(secs(120));
+
+    let authenticated: u64 = (0..2).map(|i| tb.ua_b(i).stats().authenticated_byes).sum();
+    assert!(authenticated >= 1, "the fraudster authenticated its BYE");
+    assert!(
+        tb.vids_alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE),
+        "cross-protocol detection must survive authentication: {:?}",
+        tb.vids_alerts()
+    );
+}

@@ -1,0 +1,109 @@
+//! False-positive test (half of experiment E6): sustained legitimate
+//! traffic through the monitored perimeter must raise **zero** alerts —
+//! the paper reports "100% detection accuracy with zero false positive"
+//! for specification-conformant traffic.
+
+use vids::netsim::time::SimTime;
+use vids::netsim::workload::WorkloadSpec;
+use vids::scenario::{Testbed, TestbedConfig};
+
+fn busy_config(seed: u64, minutes: u64) -> TestbedConfig {
+    let mut config = TestbedConfig::small(seed);
+    config.uas_per_site = 5;
+    config.workload = WorkloadSpec {
+        callers: 5,
+        callees: 5,
+        mean_interarrival_secs: 45.0,
+        mean_duration_secs: 30.0,
+        horizon: SimTime::from_secs(minutes * 60),
+    };
+    config
+}
+
+#[test]
+fn five_minutes_of_calls_raise_no_alarms() {
+    let mut tb = Testbed::build(&busy_config(101, 5));
+    tb.run_until(SimTime::from_secs(6 * 60));
+
+    let placed: u64 = (0..5).map(|i| tb.ua_a_stats(i).calls_placed).sum();
+    let completed: u64 = (0..5).map(|i| tb.ua_a_stats(i).calls_completed).sum();
+    assert!(placed >= 10, "workload too thin: {placed} calls");
+    assert!(
+        completed as f64 >= placed as f64 * 0.8,
+        "{completed}/{placed} calls completed"
+    );
+
+    assert!(
+        tb.vids_alerts().is_empty(),
+        "false positives: {:?}",
+        tb.vids_alerts()
+    );
+
+    // The monitor actually did work.
+    let vids = tb.vids().unwrap();
+    let c = vids.vids().counters();
+    assert!(c.sip_packets > placed * 4, "sip packets {}", c.sip_packets);
+    assert!(c.rtp_packets > 10_000, "rtp packets {}", c.rtp_packets);
+    assert_eq!(c.malformed, 0);
+}
+
+#[test]
+fn finished_calls_are_evicted_keeping_memory_bounded() {
+    let mut tb = Testbed::build(&busy_config(102, 5));
+    tb.run_until(SimTime::from_secs(7 * 60));
+    // Flush eviction timers.
+    let now = tb.ent.sim.now();
+    {
+        let vids = tb.vids_mut().unwrap().vids_mut();
+        vids.tick(now + SimTime::from_secs(30));
+        vids.tick(now + SimTime::from_secs(60));
+    }
+    let vids = tb.vids().unwrap().vids();
+    let stats = vids.factbase_stats();
+    assert!(stats.calls_created >= 10);
+    assert!(
+        stats.calls_evicted >= stats.calls_created - 2,
+        "evicted {} of {}",
+        stats.calls_evicted,
+        stats.calls_created
+    );
+    assert!(vids.monitored_calls() <= 2, "still monitoring {}", vids.monitored_calls());
+    // §7.3: monitoring memory stays small once calls finish.
+    assert!(vids.memory_bytes() < 64 * 1024, "memory {}", vids.memory_bytes());
+}
+
+#[test]
+fn per_call_memory_matches_paper_ballpark() {
+    // The paper: ~450 B of SIP state + ~40 B of RTP state per call. Our
+    // VarMap accounting lands in the same order of magnitude.
+    let mut tb = Testbed::build(&busy_config(103, 3));
+    tb.run_until(SimTime::from_secs(120));
+    let vids = tb.vids().unwrap().vids();
+    let calls = vids.monitored_calls();
+    if calls == 0 {
+        return; // nothing concurrent at this instant; other tests cover it
+    }
+    let per_call = vids.memory_bytes() / calls;
+    assert!(
+        (100..6_000).contains(&per_call),
+        "per-call state {per_call} B for {calls} calls"
+    );
+}
+
+#[test]
+fn deterministic_replay_produces_identical_alert_logs() {
+    let run = |seed: u64| {
+        let mut tb = Testbed::build(&busy_config(seed, 2));
+        tb.run_until(SimTime::from_secs(150));
+        (
+            tb.vids_alerts().to_vec(),
+            tb.vids().unwrap().packets_seen(),
+        )
+    };
+    let (a1, p1) = run(7);
+    let (a2, p2) = run(7);
+    assert_eq!(a1, a2);
+    assert_eq!(p1, p2);
+    let (_, p3) = run(8);
+    assert_ne!(p1, p3, "different seeds produce different traffic");
+}

@@ -1,0 +1,348 @@
+//! Property-based tests over the protocol substrates and the EFSM engine.
+
+use proptest::prelude::*;
+
+use vids::efsm::machine::MachineDef;
+use vids::efsm::{Event, MachineInstance, VarMap};
+use vids::rtp::packet::RtpPacket;
+use vids::rtp::seq::{seq_distance, seq_greater, ExtendedSeq};
+use vids::rtp::JitterEstimator;
+use vids::sdp::{Codec, SessionDescription};
+use vids::sip::headers::{CSeq, NameAddr, Via};
+use vids::sip::parse::parse_message;
+use vids::sip::{Message, Method, Request, SipUri, StatusCode};
+
+fn arb_user() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}"
+}
+
+fn arb_host() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}(\\.[a-z]{2,5}){1,2}"
+}
+
+fn arb_uri() -> impl Strategy<Value = SipUri> {
+    (arb_user(), arb_host(), proptest::option::of(1024u16..65535)).prop_map(
+        |(user, host, port)| {
+            let uri = SipUri::new(user, host);
+            match port {
+                Some(p) => uri.with_port(p),
+                None => uri,
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn sip_uri_display_parse_round_trips(uri in arb_uri()) {
+        let text = uri.to_string();
+        let parsed: SipUri = text.parse().unwrap();
+        prop_assert_eq!(parsed, uri);
+    }
+
+    #[test]
+    fn via_round_trips(host in arb_host(), port in 1024u16..65535, branch in "[A-Za-z0-9]{4,20}") {
+        let via = Via::udp(host, port, format!("z9hG4bK{branch}"));
+        let parsed: Via = via.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, via);
+    }
+
+    #[test]
+    fn name_addr_round_trips(uri in arb_uri(), name in proptest::option::of("[A-Za-z ]{1,12}"), tag in proptest::option::of("[a-z0-9]{1,10}")) {
+        let mut na = NameAddr::new(uri);
+        if let Some(n) = name { na = na.with_display_name(n); }
+        if let Some(t) = tag { na = na.with_tag(t); }
+        let parsed: NameAddr = na.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, na);
+    }
+
+    #[test]
+    fn cseq_round_trips(seq in 0u32..u32::MAX, idx in 0usize..13) {
+        let cseq = CSeq::new(seq, Method::ALL[idx]);
+        prop_assert_eq!(cseq.to_string().parse::<CSeq>().unwrap(), cseq);
+    }
+
+    #[test]
+    fn generated_requests_round_trip(from in arb_uri(), to in arb_uri(), call in "[a-z0-9-]{3,24}", cseq in 1u32..1000) {
+        let invite = Request::invite(&from, &to, &call);
+        let ack = Request::in_dialog(Method::Ack, &invite, cseq, Some("tt"));
+        let bye = Request::in_dialog(Method::Bye, &invite, cseq, Some("tt"));
+        for req in [invite, ack, bye] {
+            let parsed = parse_message(&req.to_string()).unwrap();
+            prop_assert_eq!(parsed, Message::Request(req));
+        }
+    }
+
+    #[test]
+    fn generated_responses_round_trip(from in arb_uri(), to in arb_uri(), code in 100u16..700) {
+        let invite = Request::invite(&from, &to, "prop-resp");
+        let resp = invite.response(StatusCode::new(code).unwrap()).with_to_tag("tag9");
+        let parsed = parse_message(&resp.to_string()).unwrap();
+        prop_assert_eq!(parsed, Message::Response(resp));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".{0,400}") {
+        let _ = parse_message(&text);
+    }
+
+    #[test]
+    fn sdp_round_trips(user in arb_user(), a in 1u8..255, b in 0u8..255, port in 1024u16..65535, codecs in proptest::sample::subsequence(Codec::ALL.to_vec(), 1..5)) {
+        let addr = format!("10.{a}.0.{b}");
+        let sdp = SessionDescription::audio_offer(&user, &addr, port, &codecs);
+        let parsed: SessionDescription = sdp.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, sdp);
+    }
+
+    #[test]
+    fn sdp_parser_never_panics(text in ".{0,300}") {
+        let _ = text.parse::<SessionDescription>();
+    }
+
+    #[test]
+    fn rtp_round_trips(pt in 0u8..128, seq in any::<u16>(), ts in any::<u32>(), ssrc in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..200), marker in any::<bool>()) {
+        let mut pkt = RtpPacket::new(pt, seq, ts, ssrc).with_payload(payload);
+        if marker { pkt = pkt.with_marker(); }
+        prop_assert_eq!(RtpPacket::parse(&pkt.to_bytes()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn rtp_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = RtpPacket::parse(&bytes);
+    }
+
+    #[test]
+    fn seq_greater_is_antisymmetric(a in any::<u16>(), b in any::<u16>()) {
+        if a != b {
+            // Exactly one direction wins unless they sit exactly half the
+            // space apart (the RFC 1982 undefined case).
+            let forward = seq_greater(a, b);
+            let backward = seq_greater(b, a);
+            if a.wrapping_sub(b) == 0x8000 {
+                prop_assert!(!forward && !backward);
+            } else {
+                prop_assert!(forward != backward);
+            }
+        } else {
+            prop_assert!(!seq_greater(a, b));
+        }
+    }
+
+    #[test]
+    fn seq_distance_inverts(a in any::<u16>(), b in any::<u16>()) {
+        let d = seq_distance(a, b);
+        prop_assert_eq!(b.wrapping_add(d as u16), a);
+    }
+
+    #[test]
+    fn extended_seq_is_monotone_for_small_steps(start in any::<u16>(), steps in proptest::collection::vec(1u16..100, 1..60)) {
+        let mut ext = ExtendedSeq::new();
+        let mut seq = start;
+        let mut last = ext.update(seq);
+        for step in steps {
+            seq = seq.wrapping_add(step);
+            let v = ext.update(seq);
+            prop_assert!(v > last, "extended seq must strictly grow: {v} after {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_bounded(arrival_noise in proptest::collection::vec(0u32..20_000, 2..100)) {
+        // Arrivals: nominal 10 ms spacing with bounded added noise (µs).
+        let mut j = JitterEstimator::new(8_000);
+        let mut ts = 0u32;
+        for (i, noise) in arrival_noise.iter().enumerate() {
+            let arrival = i as f64 * 0.010 + *noise as f64 * 1e-6;
+            j.on_packet(arrival, ts);
+            ts = ts.wrapping_add(80);
+        }
+        let jit = j.jitter_secs();
+        prop_assert!(jit >= 0.0);
+        // Noise ≤ 20 ms per packet bounds deviation to ≤ 30 ms per step.
+        prop_assert!(jit < 0.040, "jitter {jit}");
+    }
+
+    #[test]
+    fn efsm_counter_never_miscounts(events in proptest::collection::vec(0u8..3, 1..80)) {
+        // A machine counting "a" events; arbitrary interleavings of a/b/c
+        // must leave the counter equal to the number of "a"s delivered.
+        let mut def = MachineDef::new("m");
+        let s = def.add_state("S");
+        def.add_transition(s, "a", s).action(|ctx| { ctx.locals.increment("n"); });
+        def.add_transition(s, "b", s);
+        def.set_unmatched_policy(vids::efsm::machine::UnmatchedPolicy::Ignore);
+        let def = def.build().unwrap();
+        let mut m = MachineInstance::new(&def);
+        let mut globals = VarMap::new();
+        let mut expected = 0u64;
+        for e in &events {
+            let name = ["a", "b", "c"][*e as usize];
+            m.step(&def, &Event::data(name), &mut globals);
+            if *e == 0 { expected += 1; }
+        }
+        prop_assert_eq!(m.locals().uint("n").unwrap_or(0), expected);
+    }
+
+    #[test]
+    fn classifier_never_panics_on_random_payloads(sip in ".{0,200}", rtp in proptest::collection::vec(any::<u8>(), 0..100)) {
+        use vids::netsim::packet::{Address, Packet, Payload};
+        use vids::netsim::time::SimTime;
+        for payload in [Payload::Sip(sip.clone()), Payload::Rtp(rtp.clone()), Payload::Raw(rtp.clone())] {
+            let pkt = Packet {
+                src: Address::new(10, 0, 0, 1, 5060),
+                dst: Address::new(10, 2, 0, 1, 5060),
+                payload,
+                id: 0,
+                sent_at: SimTime::ZERO,
+            };
+            let _ = vids::core::classify::classify(&pkt);
+        }
+    }
+
+    #[test]
+    fn vids_engine_never_panics_on_random_sip(texts in proptest::collection::vec(".{0,150}", 1..20)) {
+        use vids::netsim::packet::{Address, Packet, Payload};
+        use vids::netsim::time::SimTime;
+        let mut vids = vids::core::Vids::new(vids::core::Config::default());
+        for (i, t) in texts.iter().enumerate() {
+            let pkt = Packet {
+                src: Address::new(10, 0, 0, 1, 5060),
+                dst: Address::new(10, 2, 0, 1, 5060),
+                payload: Payload::Sip(t.clone()),
+                id: i as u64,
+                sent_at: SimTime::ZERO,
+            };
+            let _ = vids.process(&pkt, SimTime::from_millis(i as u64 * 10));
+        }
+    }
+}
+
+/// Model-based test of the monitor: random *valid* call flows — arbitrary
+/// retransmission counts, optional ringing, interleaved in-profile media,
+/// lossy teardown — must never trip the specification machines.
+mod valid_flows {
+    use proptest::prelude::*;
+    use vids::core::{Config, CostModel, Vids};
+    use vids::netsim::packet::{Address, Packet, Payload};
+    use vids::netsim::time::SimTime;
+    use vids::rtp::packet::RtpPacket;
+    use vids::sdp::{Codec, SessionDescription};
+    use vids::sip::{Method, Request, StatusCode};
+
+    const CALLER: Address = Address::new(10, 1, 0, 10, 5060);
+    const CALLEE: Address = Address::new(10, 2, 0, 10, 5060);
+
+    #[derive(Debug, Clone)]
+    struct FlowShape {
+        invite_retrans: usize,
+        ringing_count: usize,
+        ok_retrans: usize,
+        media_packets: u16,
+        media_loss_stride: u16,
+        bye_retrans: usize,
+        drop_bye_ok: bool,
+    }
+
+    fn arb_flow() -> impl Strategy<Value = FlowShape> {
+        (
+            0usize..3,
+            0usize..4,
+            0usize..3,
+            1u16..60,
+            2u16..20,
+            0usize..3,
+            any::<bool>(),
+        )
+            .prop_map(
+                |(invite_retrans, ringing_count, ok_retrans, media_packets, media_loss_stride, bye_retrans, drop_bye_ok)| FlowShape {
+                    invite_retrans,
+                    ringing_count,
+                    ok_retrans,
+                    media_packets,
+                    media_loss_stride,
+                    bye_retrans,
+                    drop_bye_ok,
+                },
+            )
+    }
+
+    fn run_flow(shape: &FlowShape) -> Vec<vids::core::Alert> {
+        let mut vids = Vids::with_cost(Config::default(), CostModel::free());
+        let mut t = 0u64;
+        let mut step = |vids: &mut Vids, src: Address, dst: Address, payload: Payload| {
+            t += 20;
+            vids.process(
+                &Packet {
+                    src,
+                    dst,
+                    payload,
+                    id: t,
+                    sent_at: SimTime::ZERO,
+                },
+                SimTime::from_millis(t),
+            )
+        };
+
+        let sdp = SessionDescription::audio_offer("a", "10.1.0.10", 20_000, &[Codec::G729]);
+        let invite = Request::invite(
+            &vids::sip::SipUri::new("a", "a.example.com"),
+            &vids::sip::SipUri::new("b", "b.example.com"),
+            "prop-flow",
+        )
+        .with_body(vids::sdp::MIME_TYPE, sdp.to_string());
+        for _ in 0..=shape.invite_retrans {
+            step(&mut vids, CALLER, CALLEE, Payload::Sip(invite.to_string()));
+        }
+        for _ in 0..shape.ringing_count {
+            let ringing = invite.response(StatusCode::RINGING).with_to_tag("tt");
+            step(&mut vids, CALLEE, CALLER, Payload::Sip(ringing.to_string()));
+        }
+        let answer = SessionDescription::audio_offer("b", "10.2.0.10", 30_000, &[Codec::G729]);
+        let ok = invite
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+        for _ in 0..=shape.ok_retrans {
+            step(&mut vids, CALLEE, CALLER, Payload::Sip(ok.to_string()));
+        }
+        let ack = Request::in_dialog(Method::Ack, &invite, 1, Some("tt"));
+        step(&mut vids, CALLER, CALLEE, Payload::Sip(ack.to_string()));
+
+        // In-profile media with occasional single-packet loss.
+        for i in 0..shape.media_packets {
+            if i % shape.media_loss_stride == 0 && i > 0 {
+                continue; // a lost packet: small seq/ts gap downstream
+            }
+            let rtp = RtpPacket::new(18, 100 + i, i as u32 * 80, 7).with_payload(vec![0; 10]);
+            step(
+                &mut vids,
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(rtp.to_bytes()),
+            );
+        }
+
+        let bye = Request::in_dialog(Method::Bye, &invite, 2, Some("tt"));
+        for _ in 0..=shape.bye_retrans {
+            step(&mut vids, CALLER, CALLEE, Payload::Sip(bye.to_string()));
+        }
+        if !shape.drop_bye_ok {
+            let bye_ok = bye.response(StatusCode::OK);
+            step(&mut vids, CALLEE, CALLER, Payload::Sip(bye_ok.to_string()));
+        }
+        // Flush timers far past every linger.
+        vids.tick(SimTime::from_secs(60));
+        vids.tick(SimTime::from_secs(120));
+        vids.alerts().to_vec()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn valid_flows_never_alert(shape in arb_flow()) {
+            let alerts = run_flow(&shape);
+            prop_assert!(alerts.is_empty(), "{shape:?} -> {alerts:?}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Legitimate mid-call renegotiation and background cross-traffic: things
+//! that *look* unusual must not trip the monitor, and contention shapes
+//! QoS the way queueing theory says it should.
+
+use vids::core::alert::AlertKind;
+use vids::netsim::background::{BackgroundSource, BackgroundSpec};
+use vids::netsim::node::Host;
+use vids::netsim::stats::Summary;
+use vids::netsim::time::SimTime;
+use vids::netsim::topology::internet_addr;
+use vids::scenario::{Testbed, TestbedConfig};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+#[test]
+fn legitimate_reinvite_is_not_flagged_and_media_survives() {
+    let mut config = TestbedConfig::small(301);
+    config.workload.mean_interarrival_secs = 5.0;
+    config.workload.mean_duration_secs = 30.0;
+    config.workload.horizon = secs(20);
+    config.reinvite_caller_0 = Some(secs(5));
+    let mut tb = Testbed::build(&config);
+    tb.run_until(secs(90));
+
+    let a0 = tb.ua_a_stats(0);
+    assert!(a0.reinvites_sent >= 1, "caller re-INVITEd");
+    let reinvites_answered: u64 = (0..2).map(|i| tb.ua_b(i).stats().reinvites_received).sum();
+    assert!(reinvites_answered >= 1, "callee processed the re-INVITE");
+
+    // No attack alerts: the re-INVITE keeps media on the dialog parties.
+    let attacks: Vec<_> = tb
+        .vids_alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::Attack)
+        .collect();
+    assert!(attacks.is_empty(), "false positives: {attacks:?}");
+
+    // Media kept flowing after the port move: the caller received a healthy
+    // stream for the whole call (≈30 s at 100 pps minus ring/tail).
+    assert!(
+        a0.rtp_received > 1_500,
+        "caller received {} RTP packets",
+        a0.rtp_received
+    );
+}
+
+#[test]
+fn background_contention_raises_jitter_but_not_alarms() {
+    let run = |load_fraction: f64| -> (Summary, usize) {
+        let mut config = TestbedConfig::small(302);
+        config.workload.mean_interarrival_secs = 10.0;
+        config.workload.mean_duration_secs = 60.0;
+        config.workload.horizon = secs(30);
+        let mut tb = Testbed::build(&config);
+        if load_fraction > 0.0 {
+            // Bulk flow from an Internet host into site B, sharing the
+            // cloud/DS1 path with the calls.
+            let sink = vids::netsim::topology::ua_addr(vids::netsim::topology::SITE_B, 1)
+                .with_port(9_999);
+            let spec = BackgroundSpec::ds1_fraction(sink, load_fraction, secs(1), secs(120));
+            tb.ent
+                .add_internet_host(Box::new(BackgroundSource::new(spec)));
+        }
+        tb.run_until(secs(120));
+        let mut jitter = Summary::new();
+        for i in 0..2 {
+            jitter.merge(&tb.ua_a_stats(i).rtp_jitter);
+            jitter.merge(&tb.ua_b(i).stats().rtp_jitter);
+        }
+        let attack_alerts = tb
+            .vids_alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::Attack)
+            .count();
+        (jitter, attack_alerts)
+    };
+
+    let (quiet, quiet_alerts) = run(0.0);
+    let (loaded, loaded_alerts) = run(0.5);
+    assert_eq!(quiet_alerts, 0);
+    assert_eq!(loaded_alerts, 0, "cross-traffic must not trip the IDS");
+    assert!(
+        loaded.mean() > quiet.mean(),
+        "contention should raise jitter: quiet {:.6} vs loaded {:.6}",
+        quiet.mean(),
+        loaded.mean()
+    );
+}
+
+#[test]
+fn background_source_and_sink_wire_into_the_enterprise() {
+    let mut config = TestbedConfig::small(303);
+    config.workload.horizon = secs(1); // effectively no calls
+    let mut tb = Testbed::build(&config);
+    let sink_addr = internet_addr(5).with_port(7);
+    let spec = BackgroundSpec {
+        sink: sink_addr,
+        mean_bps: 200_000,
+        packet_bytes: 256,
+        start: secs(1),
+        stop: secs(11),
+    };
+    let (src_node, _) = {
+        
+        tb
+            .ent
+            .add_internet_host(Box::new(BackgroundSource::new(spec)))
+    };
+    tb.run_until(secs(12));
+    let sent = tb
+        .ent
+        .sim
+        .node_as::<Host>(src_node)
+        .app_as::<BackgroundSource>()
+        .sent_packets();
+    assert!(sent > 50, "sent {sent}");
+    // Raw traffic is invisible to the monitor's protocol machinery.
+    assert_eq!(tb.vids().unwrap().vids().counters().malformed, 0);
+}

@@ -13,7 +13,7 @@ use std::sync::Once;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use vids::core::alert::labels;
-use vids::core::{Config, CostModel, Vids};
+use vids::core::{CollectSink, Config, CostModel, NullSink, Vids};
 use vids::netsim::packet::{Address, Packet, Payload};
 use vids::netsim::time::SimTime;
 use vids::rtp::packet::RtpPacket;
@@ -47,7 +47,7 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
         id: 0,
         sent_at: SimTime::ZERO,
     };
-    vids.process(&a2b(Payload::Sip(inv.to_string()), 5060, 5060), SimTime::ZERO);
+    vids.process_into(&a2b(Payload::Sip(inv.to_string()), 5060, 5060), SimTime::ZERO, &mut NullSink);
     let answer = vids::sdp::SessionDescription::audio_offer(
         "bob",
         "10.2.0.10",
@@ -65,7 +65,7 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
         id: 0,
         sent_at: SimTime::ZERO,
     };
-    vids.process(&b2a, SimTime::from_millis(50));
+    vids.process_into(&b2a, SimTime::from_millis(50), &mut NullSink);
 
     // Media, BYE at 500 ms, media continues (the attack).
     let mut detected = false;
@@ -73,15 +73,21 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
     for t in (100..2_000u64).step_by(10) {
         if t == 500 {
             let bye = vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
-            vids.process(&a2b(Payload::Sip(bye.to_string()), 5060, 5060), SimTime::from_millis(t));
+            vids.process_into(
+                &a2b(Payload::Sip(bye.to_string()), 5060, 5060),
+                SimTime::from_millis(t),
+                &mut NullSink,
+            );
         }
         let rtp = RtpPacket::new(18, seq, seq as u32 * 80, 7).with_payload(vec![0; 10]);
         seq = seq.wrapping_add(1);
-        let alerts = vids.process(
+        let mut alerts = CollectSink::new();
+        vids.process_into(
             &a2b(Payload::Rtp(rtp.to_bytes()), 20_000, 30_000),
             SimTime::from_millis(t),
+            &mut alerts,
         );
-        if alerts.iter().any(|a| a.label == labels::RTP_AFTER_BYE) {
+        if alerts.alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE) {
             detected = true;
         }
     }

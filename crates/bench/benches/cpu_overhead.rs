@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use vids::core::{Config, Vids};
+use vids::core::{Config, CostModel, NullSink, Vids, VidsPool};
 use vids::netsim::packet::{Address, Packet, Payload};
 use vids::netsim::time::SimTime;
 use vids::rtp::packet::RtpPacket;
@@ -67,11 +67,11 @@ fn print_figure() {
 
     // Measured wall-clock per-packet cost of the actual pipeline.
     let mut vids = Vids::new(Config::default());
-    vids.process(&sip_invite("cpu-1"), SimTime::ZERO);
+    vids.process_into(&sip_invite("cpu-1"), SimTime::ZERO, &mut NullSink);
     let n = 50_000u64;
     let start = Instant::now();
     for i in 0..n {
-        vids.process(&rtp_packet(i), SimTime::from_millis(i / 100));
+        vids.process_into(&rtp_packet(i), SimTime::from_millis(i / 100), &mut NullSink);
     }
     let per_rtp_ns = start.elapsed().as_nanos() as f64 / n as f64;
 
@@ -79,9 +79,22 @@ fn print_figure() {
     let m = 5_000u64;
     let start = Instant::now();
     for i in 0..m {
-        vids2.process(&sip_invite(&format!("cpu-{i}")), SimTime::from_millis(i * 2_000));
+        vids2.process_into(
+            &sip_invite(&format!("cpu-{i}")),
+            SimTime::from_millis(i * 2_000),
+            &mut NullSink,
+        );
     }
     let per_sip_ns = start.elapsed().as_nanos() as f64 / m as f64;
+
+    // The same pipeline batched through the sharded pool (VIDS_SHARDS knob).
+    let shards = vids_bench::shards_knob();
+    let batch = vids_bench::synth_call_batch(100, 40);
+    let pool_config = Config::builder().shards(shards).build().unwrap();
+    let mut pool = VidsPool::with_cost(pool_config, CostModel::free());
+    let start = Instant::now();
+    pool.process_batch(&batch, SimTime::ZERO);
+    let per_pool_ns = start.elapsed().as_nanos() as f64 / batch.len() as f64;
 
     // At the paper's workload (~6000 RTP pps through the perimeter), the
     // measured pipeline would consume this CPU fraction on *this* machine.
@@ -108,13 +121,21 @@ fn print_figure() {
             format!("{:.3} %", measured_fraction * 100.0)
         )
     );
+    println!(
+        "{}",
+        row(
+            &format!("pool batch cost per packet ({shards} shards)"),
+            "-",
+            format!("{per_pool_ns:.0} ns"),
+        )
+    );
 }
 
 fn bench(c: &mut Criterion) {
     print_once(&PRINTED, print_figure);
 
     let mut vids = Vids::new(Config::default());
-    vids.process(&sip_invite("bench-call"), SimTime::ZERO);
+    vids.process_into(&sip_invite("bench-call"), SimTime::ZERO, &mut NullSink);
     let pkt = rtp_packet(1);
     let mut i = 0u64;
     c.bench_function("cpu/vids_process_rtp_packet", |b| {
@@ -128,7 +149,8 @@ fn bench(c: &mut Criterion) {
                 let ts = (i as u32) * 80;
                 bytes[4..8].copy_from_slice(&ts.to_be_bytes());
             }
-            std::hint::black_box(vids.process(&p, SimTime::from_millis(i / 100)))
+            vids.process_into(&p, SimTime::from_millis(i / 100), &mut NullSink);
+            std::hint::black_box(vids.alerts().len())
         })
     });
 
@@ -138,13 +160,25 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let pkt = sip_invite(&format!("bench-{i}"));
-            std::hint::black_box(vids.process(&pkt, SimTime::from_millis(i * 2_000)))
+            vids.process_into(&pkt, SimTime::from_millis(i * 2_000), &mut NullSink);
+            std::hint::black_box(vids.alerts().len())
         })
     });
 
     c.bench_function("cpu/classify_rtp_only", |b| {
         let pkt = rtp_packet(5);
         b.iter(|| std::hint::black_box(vids::core::classify::classify(&pkt)))
+    });
+
+    let shards = vids_bench::shards_knob();
+    let batch = vids_bench::synth_call_batch(100, 40);
+    c.bench_function(&format!("cpu/pool_batch_{shards}_shards"), |b| {
+        b.iter(|| {
+            let config = Config::builder().shards(shards).build().unwrap();
+            let mut pool = VidsPool::with_cost(config, CostModel::free());
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            std::hint::black_box(pool.alerts().len())
+        })
     });
 }
 

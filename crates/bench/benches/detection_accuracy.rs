@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use vids::attacks::craft::{self, Target};
 use vids::attacks::AttackKind;
 use vids::core::alert::{labels, AlertKind};
+use vids::core::NullSink;
 use vids::netsim::time::SimTime;
 use vids::netsim::topology::{internet_addr, ua_addr, SITE_A, SITE_B};
 use vids::scenario::{Testbed, TestbedConfig};
@@ -268,10 +269,13 @@ fn bench(c: &mut Criterion) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process(&pkt(Payload::Sip(inv.to_string())), SimTime::ZERO);
+        vids.process_into(&pkt(Payload::Sip(inv.to_string())), SimTime::ZERO, &mut NullSink);
         let bye = vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
         let bye_pkt = pkt(Payload::Sip(bye.to_string()));
-        b.iter(|| std::hint::black_box(vids.process(&bye_pkt, SimTime::from_millis(10))))
+        b.iter(|| {
+            vids.process_into(&bye_pkt, SimTime::from_millis(10), &mut NullSink);
+            std::hint::black_box(vids.counters().sip_packets)
+        })
     });
 }
 

@@ -10,7 +10,7 @@ use std::sync::Once;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use vids::core::machines::flood::window_counter_machine;
-use vids::core::{Config, Vids};
+use vids::core::{CollectSink, Config, NullSink, Vids};
 use vids::efsm::network::Network;
 use vids::efsm::Event;
 use vids::netsim::packet::{Address, Packet, Payload};
@@ -71,7 +71,7 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process(&mk(Payload::Sip(inv.to_string()), 5060, 5060), SimTime::ZERO);
+        vids.process_into(&mk(Payload::Sip(inv.to_string()), 5060, 5060), SimTime::ZERO, &mut NullSink);
         let answer = vids::sdp::SessionDescription::audio_offer(
             "bob",
             "10.2.0.10",
@@ -90,7 +90,7 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process(&ok_pkt, SimTime::from_millis(50));
+        vids.process_into(&ok_pkt, SimTime::from_millis(50), &mut NullSink);
         // Media, then BYE at 1000 ms, then packets until `packets_until_ms`.
         let mut alert_at: Option<u64> = None;
         let mut seq = 100u16;
@@ -99,17 +99,24 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             if t == 1_000 {
                 let bye =
                     vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
-                vids.process(&mk(Payload::Sip(bye.to_string()), 5060, 5060), SimTime::from_millis(t));
+                vids.process_into(
+                    &mk(Payload::Sip(bye.to_string()), 5060, 5060),
+                    SimTime::from_millis(t),
+                    &mut NullSink,
+                );
             }
             if t < 1_000 || t <= packets_until_ms {
                 let rtp = RtpPacket::new(18, seq, ts, 7).with_payload(vec![0; 10]);
                 seq = seq.wrapping_add(1);
                 ts = ts.wrapping_add(80);
-                let alerts = vids.process(
+                let mut alerts = CollectSink::new();
+                vids.process_into(
                     &mk(Payload::Rtp(rtp.to_bytes()), 20_000, 30_000),
                     SimTime::from_millis(t),
+                    &mut alerts,
                 );
                 if alerts
+                    .alerts()
                     .iter()
                     .any(|a| a.label == vids::core::alert::labels::RTP_AFTER_BYE)
                     && alert_at.is_none()

@@ -54,6 +54,20 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig8/generate_120min_call_plan", |b| {
         b.iter(|| CallPlan::generate(std::hint::black_box(&spec), 1).len())
     });
+
+    // Monitoring the fig. 8 call mix through the sharded engine
+    // (VIDS_SHARDS knob; see pool_scaling for the full 1/2/4/8 series).
+    let shards = vids_bench::shards_knob();
+    let batch = vids_bench::synth_call_batch(120, 30);
+    c.bench_function(&format!("fig8/monitor_call_mix_{shards}_shards"), |b| {
+        use vids::core::{Config, CostModel, VidsPool};
+        b.iter(|| {
+            let config = Config::builder().shards(shards).build().unwrap();
+            let mut pool = VidsPool::with_cost(config, CostModel::free());
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            std::hint::black_box(pool.monitored_calls())
+        })
+    });
 }
 
 criterion_group!(benches, bench);

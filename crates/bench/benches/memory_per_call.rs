@@ -9,7 +9,7 @@ use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use vids::core::{Config, Vids};
+use vids::core::{Config, NullSink, Vids};
 use vids::netsim::packet::{Address, Packet, Payload};
 use vids::netsim::time::SimTime;
 use vids_bench::{header, print_once, row};
@@ -41,7 +41,7 @@ fn invite_packet(i: usize) -> Packet {
 fn monitor_with_calls(n: usize) -> Vids {
     let mut vids = Vids::new(Config::default());
     for i in 0..n {
-        vids.process(&invite_packet(i), SimTime::from_millis(i as u64));
+        vids.process_into(&invite_packet(i), SimTime::from_millis(i as u64), &mut NullSink);
     }
     vids
 }
@@ -75,7 +75,8 @@ fn bench(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
-            std::hint::black_box(vids.process(&invite_packet(i), SimTime::from_millis(i as u64)))
+            vids.process_into(&invite_packet(i), SimTime::from_millis(i as u64), &mut NullSink);
+            std::hint::black_box(vids.monitored_calls())
         })
     });
 

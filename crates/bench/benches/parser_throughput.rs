@@ -61,6 +61,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| md5_hex(std::hint::black_box(digest_input)))
     });
     group.finish();
+
+    // End-to-end floor: the full parse→classify→machine pipeline over a
+    // mixed batch, through the sharded pool (VIDS_SHARDS knob).
+    let shards = vids_bench::shards_knob();
+    let batch = vids_bench::synth_call_batch(60, 20);
+    let mut group = c.benchmark_group("parser");
+    group.throughput(criterion::Throughput::Elements(batch.len() as u64));
+    group.bench_function(&format!("pool_ingest_batch_{shards}_shards"), |b| {
+        use vids::core::{Config, CostModel, VidsPool};
+        use vids::netsim::time::SimTime;
+        b.iter(|| {
+            let config = Config::builder().shards(shards).build().unwrap();
+            let mut pool = VidsPool::with_cost(config, CostModel::free());
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            std::hint::black_box(pool.counters().sip_packets)
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench);

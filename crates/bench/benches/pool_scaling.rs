@@ -1,0 +1,85 @@
+//! Pool scaling: batch throughput of the sharded engine vs. shard count.
+//!
+//! Not a paper figure — the 2006 prototype was single-threaded — but the
+//! natural follow-on to §7.3's overhead story: the per-call independence the
+//! paper argues for is what makes hash-partitioning monitored calls across
+//! shards sound. This harness replays a fig. 8-style batch (staggered
+//! complete calls with two-way media) through `VidsPool::process_batch` at
+//! 1, 2, 4 and 8 shards and reports packets/s, plus criterion timings per
+//! shard count.
+
+use std::sync::Once;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use vids::core::{Config, CostModel, VidsPool};
+use vids::netsim::time::SimTime;
+use vids_bench::{header, print_once, row, synth_call_batch};
+
+static PRINTED: Once = Once::new();
+
+const CALLS: usize = 150;
+const RTP_PER_CALL: usize = 40;
+
+fn pool(shards: usize) -> VidsPool {
+    let config = Config::builder().shards(shards).build().unwrap();
+    VidsPool::with_cost(config, CostModel::free())
+}
+
+fn print_figure() {
+    let batch = synth_call_batch(CALLS, RTP_PER_CALL);
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("{}", header("Pool scaling: batch ingest vs. shard count"));
+    println!(
+        "{}",
+        row("batch", "-", format!("{} calls / {} packets", CALLS, batch.len()))
+    );
+    println!("{}", row("hardware threads", "-", hw.to_string()));
+    if hw == 1 {
+        println!("  (single-core host: the pool runs shards sequentially, expect ~1.00x)");
+    }
+    let mut base_pps = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        // Warm-up pass, then the timed passes on fresh pools.
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let mut p = pool(shards);
+            let start = Instant::now();
+            p.process_batch(&batch, SimTime::ZERO);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let pps = batch.len() as f64 / best;
+        if shards == 1 {
+            base_pps = pps;
+        }
+        println!(
+            "{}",
+            row(
+                &format!("{shards} shard(s)"),
+                "-",
+                format!("{:>9.0} pps   {:>4.2}x", pps, pps / base_pps)
+            )
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINTED, print_figure);
+    let batch = synth_call_batch(CALLS, RTP_PER_CALL);
+    let mut group = c.benchmark_group("pool_scaling");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let mut p = pool(shards);
+                p.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+                std::hint::black_box(p.alerts().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

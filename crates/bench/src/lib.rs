@@ -9,6 +9,7 @@
 
 use std::sync::Once;
 
+use vids::netsim::packet::{Address, Packet, Payload};
 use vids::netsim::stats::Summary;
 use vids::netsim::time::SimTime;
 use vids::netsim::workload::WorkloadSpec;
@@ -65,6 +66,93 @@ pub fn run_qos(config: &TestbedConfig) -> QosAggregates {
         agg.jitter.merge(&sb.rtp_jitter);
     }
     agg
+}
+
+/// The `VIDS_SHARDS` knob: how many shards the pool-driven benches use.
+/// Defaults to 4.
+pub fn shards_knob() -> usize {
+    std::env::var("VIDS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+/// A fig. 8-style perimeter batch: `calls` staggered complete calls
+/// (INVITE/200/ACK … BYE/200 with `rtp_per_call` media packets each),
+/// time-sorted and stamped in `sent_at` so it can be replayed through
+/// [`vids::core::VidsPool::process_batch`] or packet-at-a-time through a
+/// plain engine with identical timing.
+pub fn synth_call_batch(calls: usize, rtp_per_call: usize) -> Vec<Packet> {
+    use vids::rtp::packet::RtpPacket;
+    use vids::sdp::{Codec, SessionDescription};
+    use vids::sip::{Method, Request, SipUri, StatusCode};
+
+    let mut timed: Vec<(u64, Address, Address, Payload)> = Vec::new();
+    for i in 0..calls {
+        let a = (i / 250) as u8;
+        let b = (i % 250 + 1) as u8;
+        let caller = Address::new(10, 1, a, b, 5060);
+        let callee = Address::new(10, 2, a, b, 5060);
+        let caller_ip = format!("10.1.{a}.{b}");
+        let callee_ip = format!("10.2.{a}.{b}");
+        let t0 = (i as u64) * 3;
+
+        let offer = SessionDescription::audio_offer("alice", &caller_ip, 20_000, &[Codec::G729]);
+        let invite = Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            &format!("fig8-{i}"),
+        )
+        .with_body(vids::sdp::MIME_TYPE, offer.to_string());
+        timed.push((t0, caller, callee, Payload::Sip(invite.to_string())));
+
+        let answer = SessionDescription::audio_offer("bob", &callee_ip, 30_000, &[Codec::G729]);
+        let ok = invite
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+        timed.push((t0 + 20, callee, caller, Payload::Sip(ok.to_string())));
+        let ack = Request::in_dialog(Method::Ack, &invite, 1, Some("tt"));
+        timed.push((t0 + 40, caller, callee, Payload::Sip(ack.to_string())));
+
+        for j in 0..rtp_per_call {
+            let fwd = j % 2 == 0;
+            let k = (j / 2) as u64;
+            let rtp = RtpPacket::new(
+                18,
+                (100 + k) as u16,
+                (k * 80) as u32,
+                if fwd { 7 } else { 9 },
+            )
+            .with_payload(vec![0; 10]);
+            let (src, dst) = if fwd {
+                (caller.with_port(20_000), callee.with_port(30_000))
+            } else {
+                (callee.with_port(30_000), caller.with_port(20_000))
+            };
+            timed.push((t0 + 50 + k * 20, src, dst, Payload::Rtp(rtp.to_bytes())));
+        }
+
+        let t_bye = t0 + 60 + (rtp_per_call as u64 / 2) * 20;
+        let bye = Request::in_dialog(Method::Bye, &invite, 2, Some("tt"));
+        timed.push((t_bye, caller, callee, Payload::Sip(bye.to_string())));
+        let bye_ok = bye.response(StatusCode::OK);
+        timed.push((t_bye + 20, callee, caller, Payload::Sip(bye_ok.to_string())));
+    }
+
+    timed.sort_by_key(|(t, ..)| *t);
+    timed
+        .into_iter()
+        .enumerate()
+        .map(|(id, (t, src, dst, payload))| Packet {
+            src,
+            dst,
+            payload,
+            id: id as u64,
+            sent_at: SimTime::from_millis(t),
+        })
+        .collect()
 }
 
 /// Formats a paper-vs-measured row.

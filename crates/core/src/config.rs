@@ -8,7 +8,13 @@ use vids_netsim::time::SimTime;
 /// trade-offs in §7.5 ("the intrusion detection delay is mainly determined
 /// by the various timers in attack patterns"); the defaults here are the
 /// values used throughout the reproduction's experiments.
+///
+/// Construct with [`Config::default`] and adjust fields, or use the
+/// validating [`Config::builder`]. The struct is `#[non_exhaustive]`:
+/// downstream crates cannot build it literally, so fields can be added
+/// without a breaking release.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct Config {
     /// INVITE flooding (Fig. 4): alert when more than `invite_flood_n`
     /// INVITEs hit one destination within `invite_flood_t1`. "The setting of
@@ -50,6 +56,10 @@ pub struct Config {
     /// Ablation switch (experiment E8): disable the δ synchronization
     /// channels between the SIP and RTP machines.
     pub cross_protocol_sync: bool,
+    /// How many independent engine shards a [`crate::pool::VidsPool`]
+    /// partitions monitored calls across. A plain [`crate::engine::Vids`]
+    /// ignores this.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -67,7 +77,175 @@ impl Default for Config {
             teardown_linger: SimTime::from_secs(8),
             eviction_delay: SimTime::from_secs(5),
             cross_protocol_sync: true,
+            shards: 1,
         }
+    }
+}
+
+impl Config {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::default(),
+        }
+    }
+}
+
+/// A reason [`ConfigBuilder::build`] rejected the configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A counting threshold was zero — the pattern could never stay quiet.
+    ZeroThreshold(&'static str),
+    /// A counting window or timer was zero — the pattern could never fire.
+    ZeroWindow(&'static str),
+    /// A pool cannot have zero shards.
+    ZeroShards,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroThreshold(field) => {
+                write!(f, "threshold `{field}` must be at least 1")
+            }
+            ConfigError::ZeroWindow(field) => {
+                write!(f, "window `{field}` must be non-zero")
+            }
+            ConfigError::ZeroShards => write!(f, "a pool needs at least 1 shard"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`Config`] with validation at [`ConfigBuilder::build`].
+///
+/// ```
+/// use vids_core::Config;
+///
+/// let config = Config::builder()
+///     .shards(8)
+///     .invite_flood_threshold(20)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.shards, 8);
+/// assert_eq!(config.invite_flood_n, 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// INVITE-flood threshold N (Fig. 4).
+    pub fn invite_flood_threshold(mut self, n: u64) -> Self {
+        self.config.invite_flood_n = n;
+        self
+    }
+
+    /// INVITE-flood counting window T1 (Fig. 4).
+    pub fn invite_flood_window(mut self, t1: SimTime) -> Self {
+        self.config.invite_flood_t1 = t1;
+        self
+    }
+
+    /// BYE-DoS media linger T (Fig. 5).
+    pub fn bye_dos_linger(mut self, t: SimTime) -> Self {
+        self.config.bye_dos_t = t;
+        self
+    }
+
+    /// Media-spam sequence-number jump tolerance (Fig. 6).
+    pub fn spam_seq_gap(mut self, gap: i64) -> Self {
+        self.config.spam_seq_gap = gap;
+        self
+    }
+
+    /// Media-spam timestamp jump tolerance, in codec ticks (Fig. 6).
+    pub fn spam_ts_gap(mut self, gap: i64) -> Self {
+        self.config.spam_ts_gap = gap;
+        self
+    }
+
+    /// RTP-flood packet budget per window.
+    pub fn rtp_flood_max_packets(mut self, max: u64) -> Self {
+        self.config.rtp_flood_max_packets = max;
+        self
+    }
+
+    /// RTP-flood counting window.
+    pub fn rtp_flood_window(mut self, window: SimTime) -> Self {
+        self.config.rtp_flood_window = window;
+        self
+    }
+
+    /// DRDoS response-flood threshold.
+    pub fn response_flood_threshold(mut self, n: u64) -> Self {
+        self.config.response_flood_n = n;
+        self
+    }
+
+    /// DRDoS response-flood counting window.
+    pub fn response_flood_window(mut self, window: SimTime) -> Self {
+        self.config.response_flood_window = window;
+        self
+    }
+
+    /// Force-termination delay for calls whose BYE is never answered.
+    pub fn teardown_linger(mut self, linger: SimTime) -> Self {
+        self.config.teardown_linger = linger;
+        self
+    }
+
+    /// Grace period before finished calls are evicted (§7.3).
+    pub fn eviction_delay(mut self, delay: SimTime) -> Self {
+        self.config.eviction_delay = delay;
+        self
+    }
+
+    /// Enable or disable SIP↔RTP δ synchronization (ablation E8).
+    pub fn cross_protocol_sync(mut self, enabled: bool) -> Self {
+        self.config.cross_protocol_sync = enabled;
+        self
+    }
+
+    /// Number of [`crate::pool::VidsPool`] shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<Config, ConfigError> {
+        let c = &self.config;
+        if c.invite_flood_n == 0 {
+            return Err(ConfigError::ZeroThreshold("invite_flood_n"));
+        }
+        if c.response_flood_n == 0 {
+            return Err(ConfigError::ZeroThreshold("response_flood_n"));
+        }
+        if c.rtp_flood_max_packets == 0 {
+            return Err(ConfigError::ZeroThreshold("rtp_flood_max_packets"));
+        }
+        if c.spam_seq_gap <= 0 {
+            return Err(ConfigError::ZeroThreshold("spam_seq_gap"));
+        }
+        if c.spam_ts_gap <= 0 {
+            return Err(ConfigError::ZeroThreshold("spam_ts_gap"));
+        }
+        if c.invite_flood_t1.is_zero() {
+            return Err(ConfigError::ZeroWindow("invite_flood_t1"));
+        }
+        if c.rtp_flood_window.is_zero() {
+            return Err(ConfigError::ZeroWindow("rtp_flood_window"));
+        }
+        if c.response_flood_window.is_zero() {
+            return Err(ConfigError::ZeroWindow("response_flood_window"));
+        }
+        if c.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        Ok(self.config)
     }
 }
 

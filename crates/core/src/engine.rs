@@ -1,10 +1,18 @@
 //! The Analysis Engine (Fig. 3): feeds classified events to the right
 //! machines, collects attack-state entries and specification deviations,
 //! and raises [`Alert`]s.
+//!
+//! Alerts flow through the push-based [`AlertSink`] API ([`Vids::process_into`]);
+//! the legacy collect-into-a-`Vec` entry point ([`Vids::process`]) remains as a
+//! deprecated shim. The packet path is decomposed into `ingest_*` parts so the
+//! sharded [`crate::pool::VidsPool`] can route each part of a packet (per-call
+//! machine, per-destination flood machine) to a different shard while reusing
+//! exactly this engine's semantics.
 
 use std::collections::HashSet;
 
 use vids_efsm::network::NetworkOutcome;
+use vids_efsm::Event;
 use vids_netsim::packet::Packet;
 use vids_netsim::time::SimTime;
 
@@ -13,6 +21,8 @@ use crate::classify::{classify, Classified};
 use crate::config::Config;
 use crate::cost::{CostModel, CpuAccount};
 use crate::factbase::{FactBase, FactBaseStats};
+use crate::monitor::Monitor;
+use crate::sink::{AlertSink, CollectSink};
 
 /// Traffic counters the engine maintains alongside the alert log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,12 +43,32 @@ pub struct VidsCounters {
     pub unassociated_sip_responses: u64,
 }
 
+impl std::ops::AddAssign for VidsCounters {
+    fn add_assign(&mut self, rhs: VidsCounters) {
+        self.sip_packets += rhs.sip_packets;
+        self.rtp_packets += rhs.rtp_packets;
+        self.malformed += rhs.malformed;
+        self.ignored += rhs.ignored;
+        self.unassociated_rtp += rhs.unassociated_rtp;
+        self.unassociated_sip_requests += rhs.unassociated_sip_requests;
+        self.unassociated_sip_responses += rhs.unassociated_sip_responses;
+    }
+}
+
 /// How often idle call networks are advanced and finished calls evicted.
-const SWEEP_INTERVAL_MS: u64 = 100;
+pub(crate) const SWEEP_INTERVAL_MS: u64 = 100;
+
+/// A SIP response that matched no monitored call. The pool detects the miss
+/// on the call-owning shard and counts it on the destination-owning shard's
+/// DRDoS reflection machine.
+pub(crate) struct ResponseMiss {
+    /// The responder (reflection source).
+    pub src_ip: String,
+}
 
 /// The vids intrusion detection system. Feed it every packet crossing the
-/// monitoring point via [`Vids::process`]; read alerts back with
-/// [`Vids::alerts`] or from the per-call return values.
+/// monitoring point via [`Vids::process_into`]; read the persistent alert
+/// log back with [`Vids::alerts`].
 pub struct Vids {
     config: Config,
     cost: CostModel,
@@ -120,14 +150,51 @@ impl Vids {
         self.cpu.overhead_fraction(elapsed)
     }
 
-    /// Processes one packet at monitor time `now`; returns the alerts this
-    /// packet raised (also appended to the persistent log).
-    pub fn process(&mut self, packet: &Packet, now: SimTime) -> Vec<Alert> {
+    /// Processes one packet at monitor time `now`, pushing any alerts it
+    /// raises into `sink` (they are also appended to the persistent log).
+    pub fn process_into<S: AlertSink + ?Sized>(
+        &mut self,
+        packet: &Packet,
+        now: SimTime,
+        sink: &mut S,
+    ) {
         let now_ms = now.as_millis();
         self.cpu.charge(self.cost.cpu_for(packet));
-        let mut new_alerts = self.maintain(now_ms);
+        self.maintain(now_ms, sink);
+        self.dispatch(classify(packet), now_ms, sink);
+    }
 
-        match classify(packet) {
+    /// Processes one packet; returns the alerts it raised.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates a Vec per packet; use `process_into` with an `AlertSink` \
+                (`CollectSink` restores this behaviour)"
+    )]
+    pub fn process(&mut self, packet: &Packet, now: SimTime) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        self.process_into(packet, now, &mut sink);
+        sink.into_alerts()
+    }
+
+    /// Advances idle timers and evicts finished calls, pushing timer-driven
+    /// alerts into `sink`. Called automatically from the packet path every
+    /// `SWEEP_INTERVAL_MS`; call explicitly to flush at the end of a run.
+    pub fn tick_into<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+        self.last_sweep_ms = 0; // force
+        self.maintain(now.as_millis(), sink);
+    }
+
+    /// Advances idle timers and evicts finished calls; returns the alerts.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        self.tick_into(now, &mut sink);
+        sink.into_alerts()
+    }
+
+    /// Routes one classified packet through the machinery. The pool calls
+    /// the finer-grained `ingest_*` parts directly instead.
+    fn dispatch<S: AlertSink + ?Sized>(&mut self, classified: Classified, now_ms: u64, sink: &mut S) {
+        match classified {
             Classified::Sip {
                 call_id,
                 event,
@@ -135,216 +202,269 @@ impl Vids {
                 is_request,
                 dst_ip,
             } => {
-                self.counters.sip_packets += 1;
-
-                // REGISTER traffic crossing the perimeter is tracked per
-                // address-of-record by the registration machine (extension:
-                // the unregister / registration-hijack attack).
                 if event.name == "SIP.REGISTER" {
-                    let aor = event.str_arg("aor").unwrap_or("").to_owned();
-                    let net = self.factbase.registration_mut(&aor);
-                    net.advance_time(now_ms);
-                    let target = net.machine_by_name("register").unwrap();
-                    let outcome = net.deliver(target, event, now_ms);
-                    new_alerts.extend(self.absorb(outcome, &format!("aor:{aor}"), now_ms, None));
-                    return new_alerts;
+                    self.ingest_register(event, now_ms, sink);
+                    return;
                 }
-
-                // Fig. 4: every INVITE also feeds the per-destination
-                // flooding detector, attack or not.
                 if event.name == "SIP.INVITE" {
-                    let net = self.factbase.invite_flood_mut(dst_ip);
-                    net.advance_time(now_ms);
-                    let target = net.machine_by_name("flood").unwrap();
-                    let outcome = net.deliver(target, event.clone(), now_ms);
-                    new_alerts.extend(self.absorb(
-                        outcome,
-                        &format!("dst:{dst_ip}"),
-                        now_ms,
-                        None,
-                    ));
+                    self.ingest_invite_flood(event.clone(), dst_ip, now_ms, sink);
                 }
-
-                let known = self.factbase.call_mut(&call_id).is_some();
-                if known || is_initial_invite {
-                    if !known {
-                        self.factbase.create_call(&call_id, now_ms);
-                    }
-                    let record = self.factbase.call_mut(&call_id).unwrap();
-                    let mut outcome = record.network.advance_time(now_ms);
-                    let sip = record.network.machine_by_name("sip").unwrap();
-                    let delivered = record.network.deliver(sip, event, now_ms);
-                    outcome.alerts.extend(delivered.alerts);
-                    outcome.deviations.extend(delivered.deviations);
-                    outcome.nondeterministic |= delivered.nondeterministic;
-                    self.factbase.refresh_media_index(&call_id);
-                    new_alerts.extend(self.absorb(outcome, &call_id, now_ms, Some(&call_id)));
-                } else if is_request {
-                    // A non-dialog-forming request for an unknown call:
-                    // a specification anomaly worth an alert.
-                    self.counters.unassociated_sip_requests += 1;
-                    if let Some(alert) = self.raise(
-                        now_ms,
-                        AlertKind::Deviation,
-                        format!("unassociated-request:{}", event.name),
-                        Some(call_id.clone()),
-                        "engine",
-                        format!("request for unmonitored call {call_id}"),
-                    ) {
-                        new_alerts.push(alert);
-                    }
-                } else {
-                    // A response matching no monitored call: feed the DRDoS
-                    // reflection detector for its destination.
-                    self.counters.unassociated_sip_responses += 1;
-                    let net = self.factbase.response_flood_mut(dst_ip);
-                    net.advance_time(now_ms);
-                    let target = net.machine_by_name("response-flood").unwrap();
-                    let synthetic =
-                        vids_efsm::Event::data("SIP.response.unassociated").with_arg(
-                            "src_ip",
-                            event.str_arg("src_ip").unwrap_or("").to_owned(),
-                        );
-                    let outcome = net.deliver(target, synthetic, now_ms);
-                    new_alerts.extend(self.absorb(
-                        outcome,
-                        &format!("dst:{dst_ip}"),
-                        now_ms,
-                        None,
-                    ));
+                if let Some(miss) =
+                    self.ingest_call_event(&call_id, event, is_initial_invite, is_request, now_ms, sink)
+                {
+                    self.ingest_response_flood(dst_ip, miss.src_ip, now_ms, sink);
                 }
             }
-            Classified::Rtp { event } => {
-                self.counters.rtp_packets += 1;
-                let dst_ip = event.str_arg("dst_ip").unwrap_or("").to_owned();
-                let dst_port = event.uint_arg("dst_port").unwrap_or(0);
-                let call_id = self
-                    .factbase
-                    .media_lookup(&dst_ip, dst_port)
-                    .map(str::to_owned);
-                match call_id {
-                    Some(call_id) => {
-                        let record = self.factbase.call_mut(&call_id).unwrap();
-                        let mut outcome = record.network.advance_time(now_ms);
-                        let rtp = record.network.machine_by_name("rtp").unwrap();
-                        let delivered = record.network.deliver(rtp, event, now_ms);
-                        outcome.alerts.extend(delivered.alerts);
-                        outcome.deviations.extend(delivered.deviations);
-                        outcome.nondeterministic |= delivered.nondeterministic;
-                        new_alerts.extend(self.absorb(outcome, &call_id, now_ms, Some(&call_id)));
-                    }
-                    None => {
-                        self.counters.unassociated_rtp += 1;
-                        if let Some(alert) = self.raise(
-                            now_ms,
-                            AlertKind::Deviation,
-                            "unassociated-rtp".to_owned(),
-                            None,
-                            "engine",
-                            format!("RTP to {dst_ip}:{dst_port} outside any session"),
-                        ) {
-                            new_alerts.push(alert);
-                        }
-                    }
-                }
-            }
+            Classified::Rtp { event } => self.ingest_rtp(event, now_ms, sink),
             Classified::Malformed { protocol, reason } => {
-                self.counters.malformed += 1;
-                if let Some(alert) = self.raise(
+                self.ingest_malformed(protocol, reason, now_ms, sink)
+            }
+            Classified::Ignored => self.counters.ignored += 1,
+        }
+    }
+
+    /// REGISTER traffic crossing the perimeter, tracked per address-of-record
+    /// by the registration machine (extension: the unregister /
+    /// registration-hijack attack).
+    pub(crate) fn ingest_register<S: AlertSink + ?Sized>(
+        &mut self,
+        event: Event,
+        now_ms: u64,
+        sink: &mut S,
+    ) {
+        self.counters.sip_packets += 1;
+        let aor = event.str_arg("aor").unwrap_or("").to_owned();
+        let net = self.factbase.registration_mut(&aor);
+        net.advance_time(now_ms);
+        let target = net.machine_by_name("register").unwrap();
+        let outcome = net.deliver(target, event, now_ms);
+        self.absorb(outcome, &format!("aor:{aor}"), now_ms, None, sink);
+    }
+
+    /// Fig. 4: every INVITE also feeds the per-destination flooding
+    /// detector, attack or not. This is the destination-pinned part of an
+    /// INVITE; [`Vids::ingest_call_event`] is the call-pinned part.
+    pub(crate) fn ingest_invite_flood<S: AlertSink + ?Sized>(
+        &mut self,
+        event: Event,
+        dst_ip: u32,
+        now_ms: u64,
+        sink: &mut S,
+    ) {
+        let net = self.factbase.invite_flood_mut(dst_ip);
+        net.advance_time(now_ms);
+        let target = net.machine_by_name("flood").unwrap();
+        let outcome = net.deliver(target, event, now_ms);
+        self.absorb(outcome, &format!("dst:{dst_ip}"), now_ms, None, sink);
+    }
+
+    /// The call-pinned part of a non-REGISTER SIP packet: delivery to the
+    /// per-call SIP machine, the unassociated-request deviation, or — for a
+    /// response matching no monitored call — a [`ResponseMiss`] the caller
+    /// must feed to the destination's DRDoS reflection detector.
+    pub(crate) fn ingest_call_event<S: AlertSink + ?Sized>(
+        &mut self,
+        call_id: &str,
+        event: Event,
+        is_initial_invite: bool,
+        is_request: bool,
+        now_ms: u64,
+        sink: &mut S,
+    ) -> Option<ResponseMiss> {
+        self.counters.sip_packets += 1;
+        let known = self.factbase.call_mut(call_id).is_some();
+        if known || is_initial_invite {
+            if !known {
+                self.factbase.create_call(call_id, now_ms);
+            }
+            let record = self.factbase.call_mut(call_id).unwrap();
+            let mut outcome = record.network.advance_time(now_ms);
+            let sip = record.network.machine_by_name("sip").unwrap();
+            let delivered = record.network.deliver(sip, event, now_ms);
+            outcome.alerts.extend(delivered.alerts);
+            outcome.deviations.extend(delivered.deviations);
+            outcome.nondeterministic |= delivered.nondeterministic;
+            self.factbase.refresh_media_index(call_id);
+            self.absorb(outcome, call_id, now_ms, Some(call_id), sink);
+        } else if is_request {
+            // A non-dialog-forming request for an unknown call:
+            // a specification anomaly worth an alert.
+            self.counters.unassociated_sip_requests += 1;
+            self.raise(
+                now_ms,
+                AlertKind::Deviation,
+                format!("unassociated-request:{}", event.name),
+                Some(call_id.to_owned()),
+                "engine",
+                format!("request for unmonitored call {call_id}"),
+                sink,
+            );
+        } else {
+            // A response matching no monitored call: DRDoS reflection
+            // evidence, counted against its destination.
+            self.counters.unassociated_sip_responses += 1;
+            return Some(ResponseMiss {
+                src_ip: event.str_arg("src_ip").unwrap_or("").to_owned(),
+            });
+        }
+        None
+    }
+
+    /// Delivers one unassociated-response observation to the destination's
+    /// response-flood machine.
+    pub(crate) fn ingest_response_flood<S: AlertSink + ?Sized>(
+        &mut self,
+        dst_ip: u32,
+        src_ip: String,
+        now_ms: u64,
+        sink: &mut S,
+    ) {
+        let net = self.factbase.response_flood_mut(dst_ip);
+        net.advance_time(now_ms);
+        let target = net.machine_by_name("response-flood").unwrap();
+        let synthetic = Event::data("SIP.response.unassociated").with_arg("src_ip", src_ip);
+        let outcome = net.deliver(target, synthetic, now_ms);
+        self.absorb(outcome, &format!("dst:{dst_ip}"), now_ms, None, sink);
+    }
+
+    /// An RTP packet: grouped with its call via the media index published
+    /// by the SIP machine, or flagged as unassociated.
+    pub(crate) fn ingest_rtp<S: AlertSink + ?Sized>(
+        &mut self,
+        event: Event,
+        now_ms: u64,
+        sink: &mut S,
+    ) {
+        self.counters.rtp_packets += 1;
+        let dst_ip = event.str_arg("dst_ip").unwrap_or("").to_owned();
+        let dst_port = event.uint_arg("dst_port").unwrap_or(0);
+        let call_id = self
+            .factbase
+            .media_lookup(&dst_ip, dst_port)
+            .map(str::to_owned);
+        match call_id {
+            Some(call_id) => {
+                let record = self.factbase.call_mut(&call_id).unwrap();
+                let mut outcome = record.network.advance_time(now_ms);
+                let rtp = record.network.machine_by_name("rtp").unwrap();
+                let delivered = record.network.deliver(rtp, event, now_ms);
+                outcome.alerts.extend(delivered.alerts);
+                outcome.deviations.extend(delivered.deviations);
+                outcome.nondeterministic |= delivered.nondeterministic;
+                self.absorb(outcome, &call_id, now_ms, Some(&call_id), sink);
+            }
+            None => {
+                self.counters.unassociated_rtp += 1;
+                self.raise(
                     now_ms,
                     AlertKind::Deviation,
-                    format!("malformed-{}", protocol.to_ascii_lowercase()),
+                    "unassociated-rtp".to_owned(),
                     None,
-                    "classifier",
-                    reason,
-                ) {
-                    new_alerts.push(alert);
-                }
-            }
-            Classified::Ignored => {
-                self.counters.ignored += 1;
+                    "engine",
+                    format!("RTP to {dst_ip}:{dst_port} outside any session"),
+                    sink,
+                );
             }
         }
-        new_alerts
     }
 
-    /// Advances idle timers and evicts finished calls. Called automatically
-    /// from [`Vids::process`] every `SWEEP_INTERVAL_MS`; call explicitly to
-    /// flush at the end of a run.
-    pub fn tick(&mut self, now: SimTime) -> Vec<Alert> {
-        let now_ms = now.as_millis();
-        self.last_sweep_ms = 0; // force
-        self.maintain(now_ms)
+    /// An unparseable SIP/RTP datagram.
+    pub(crate) fn ingest_malformed<S: AlertSink + ?Sized>(
+        &mut self,
+        protocol: &str,
+        reason: String,
+        now_ms: u64,
+        sink: &mut S,
+    ) {
+        self.counters.malformed += 1;
+        self.raise(
+            now_ms,
+            AlertKind::Deviation,
+            format!("malformed-{}", protocol.to_ascii_lowercase()),
+            None,
+            "classifier",
+            reason,
+            sink,
+        );
     }
 
-    fn maintain(&mut self, now_ms: u64) -> Vec<Alert> {
+    /// Forced sweep regardless of the interval gate; the pool applies its
+    /// own batch-level gating and then calls this on every shard.
+    pub(crate) fn force_maintain<S: AlertSink + ?Sized>(&mut self, now_ms: u64, sink: &mut S) {
+        self.last_sweep_ms = now_ms;
+        self.sweep_calls(now_ms, sink);
+    }
+
+    fn maintain<S: AlertSink + ?Sized>(&mut self, now_ms: u64, sink: &mut S) {
         if now_ms.saturating_sub(self.last_sweep_ms) < SWEEP_INTERVAL_MS {
-            return Vec::new();
+            return;
         }
         self.last_sweep_ms = now_ms;
-        let mut alerts = Vec::new();
-        let ids: Vec<String> = self.factbase.call_ids().map(str::to_owned).collect();
+        self.sweep_calls(now_ms, sink);
+    }
+
+    fn sweep_calls<S: AlertSink + ?Sized>(&mut self, now_ms: u64, sink: &mut S) {
+        // Sorted order keeps sweep output independent of hash-map iteration,
+        // so single-engine runs are comparable with sharded ones.
+        let mut ids: Vec<String> = self.factbase.call_ids().map(str::to_owned).collect();
+        ids.sort_unstable();
         for id in ids {
             if let Some(record) = self.factbase.call_mut(&id) {
                 let outcome = record.network.advance_time(now_ms);
                 if outcome.transitions > 0 || outcome.is_suspicious() {
-                    alerts.extend(self.absorb(outcome, &id, now_ms, Some(&id)));
+                    self.absorb(outcome, &id, now_ms, Some(&id), sink);
                 }
             }
         }
         self.factbase.sweep(now_ms);
-        alerts
     }
 
     /// Converts a network outcome into deduplicated alerts.
-    fn absorb(
+    fn absorb<S: AlertSink + ?Sized>(
         &mut self,
         outcome: NetworkOutcome,
         scope: &str,
         now_ms: u64,
         call_id: Option<&str>,
-    ) -> Vec<Alert> {
-        let mut out = Vec::new();
+        sink: &mut S,
+    ) {
         for a in outcome.alerts {
-            if let Some(alert) = self.raise(
-                a.time_ms.max(now_ms.saturating_sub(now_ms)), // keep machine time
+            self.raise(
+                a.time_ms, // keep machine time
                 AlertKind::Attack,
                 a.label,
                 call_id.map(str::to_owned),
                 &a.machine,
                 format!("scope {scope}"),
-            ) {
-                out.push(alert);
-            }
+                sink,
+            );
         }
         for d in outcome.deviations {
-            if let Some(alert) = self.raise(
+            self.raise(
                 d.time_ms,
                 AlertKind::Deviation,
                 format!("deviation:{}", d.event.name),
                 call_id.map(str::to_owned),
                 &d.machine,
                 d.event.to_string(),
-            ) {
-                out.push(alert);
-            }
+                sink,
+            );
         }
         if outcome.nondeterministic {
-            if let Some(alert) = self.raise(
+            self.raise(
                 now_ms,
                 AlertKind::Nondeterminism,
                 "nondeterministic-machine".to_owned(),
                 call_id.map(str::to_owned),
                 "engine",
                 format!("scope {scope}"),
-            ) {
-                out.push(alert);
-            }
+                sink,
+            );
         }
-        out
     }
 
-    fn raise(
+    #[allow(clippy::too_many_arguments)]
+    fn raise<S: AlertSink + ?Sized>(
         &mut self,
         time_ms: u64,
         kind: AlertKind,
@@ -352,10 +472,11 @@ impl Vids {
         call_id: Option<String>,
         machine: &str,
         detail: String,
-    ) -> Option<Alert> {
+        sink: &mut S,
+    ) {
         let scope = call_id.clone().unwrap_or_else(|| detail.clone());
         if !self.dedup.insert((scope, label.clone())) {
-            return None;
+            return;
         }
         let alert = Alert {
             time_ms,
@@ -366,7 +487,29 @@ impl Vids {
             detail,
         };
         self.alerts.push(alert.clone());
-        Some(alert)
+        sink.accept(alert);
+    }
+}
+
+impl Monitor for Vids {
+    fn process(&mut self, packet: &Packet, now: SimTime, sink: &mut dyn AlertSink) {
+        self.process_into(packet, now, sink);
+    }
+
+    fn tick(&mut self, now: SimTime, sink: &mut dyn AlertSink) {
+        self.tick_into(now, sink);
+    }
+
+    fn alerts(&self) -> &[Alert] {
+        Vids::alerts(self)
+    }
+
+    fn counters(&self) -> VidsCounters {
+        Vids::counters(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Vids::memory_bytes(self)
     }
 }
 
@@ -383,6 +526,13 @@ mod tests {
 
     const CALLER: Address = Address::new(10, 1, 0, 10, 5060);
     const CALLEE: Address = Address::new(10, 2, 0, 10, 5060);
+
+    /// Sink-API driver used throughout: collects what one packet raised.
+    fn process(vids: &mut Vids, packet: &Packet, now: SimTime) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        vids.process_into(packet, now, &mut sink);
+        sink.into_alerts()
+    }
 
     fn pkt(src: Address, dst: Address, payload: Payload) -> Packet {
         Packet {
@@ -404,15 +554,17 @@ mod tests {
         .with_body(vids_sdp::MIME_TYPE, sdp.to_string())
     }
 
-    /// Drives a full clean call through the engine; returns the Vids.
+    /// Drives a full clean call through the engine.
     fn clean_call(vids: &mut Vids, call_id: &str) {
         let inv = invite(call_id);
-        vids.process(
+        process(
+            vids,
             &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
             SimTime::from_millis(0),
         );
         let ringing = inv.response(StatusCode::RINGING).with_to_tag("tt");
-        vids.process(
+        process(
+            vids,
             &pkt(CALLEE, CALLER, Payload::Sip(ringing.to_string())),
             SimTime::from_millis(60),
         );
@@ -421,19 +573,22 @@ mod tests {
             .response(StatusCode::OK)
             .with_to_tag("tt")
             .with_body(vids_sdp::MIME_TYPE, answer.to_string());
-        vids.process(
+        process(
+            vids,
             &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
             SimTime::from_millis(120),
         );
         let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
-        vids.process(
+        process(
+            vids,
             &pkt(CALLER, CALLEE, Payload::Sip(ack.to_string())),
             SimTime::from_millis(180),
         );
         // A little media both ways.
         for i in 0..20u16 {
             let fwd = RtpPacket::new(18, 100 + i, (i as u32) * 80, 7).with_payload(vec![0; 10]);
-            vids.process(
+            process(
+                vids,
                 &pkt(
                     CALLER.with_port(20_000),
                     CALLEE.with_port(30_000),
@@ -442,7 +597,8 @@ mod tests {
                 SimTime::from_millis(200 + i as u64 * 10),
             );
             let rev = RtpPacket::new(18, 500 + i, (i as u32) * 80, 9).with_payload(vec![0; 10]);
-            vids.process(
+            process(
+                vids,
                 &pkt(
                     CALLEE.with_port(30_000),
                     CALLER.with_port(20_000),
@@ -452,12 +608,14 @@ mod tests {
             );
         }
         let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("tt"));
-        vids.process(
+        process(
+            vids,
             &pkt(CALLER, CALLEE, Payload::Sip(bye.to_string())),
             SimTime::from_millis(500),
         );
         let bye_ok = bye.response(StatusCode::OK);
-        vids.process(
+        process(
+            vids,
             &pkt(CALLEE, CALLER, Payload::Sip(bye_ok.to_string())),
             SimTime::from_millis(560),
         );
@@ -489,7 +647,8 @@ mod tests {
         let mut raised = Vec::new();
         for i in 0..=n {
             let inv = invite(&format!("flood-{i}"));
-            raised.extend(vids.process(
+            raised.extend(process(
+                &mut vids,
                 &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
                 SimTime::from_millis(i * 5),
             ));
@@ -505,7 +664,8 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         for i in 0..30u64 {
             let inv = invite(&format!("paced-{i}"));
-            let alerts = vids.process(
+            let alerts = process(
+                &mut vids,
                 &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
                 SimTime::from_millis(i * 2_000),
             );
@@ -520,7 +680,8 @@ mod tests {
         // The call tore down at ~500 ms. After T (200 ms) expires, media
         // resumes — the BYE-DoS / billing-fraud signature.
         let spam = RtpPacket::new(18, 200, 9_999, 7).with_payload(vec![0; 10]);
-        let alerts = vids.process(
+        let alerts = process(
+            &mut vids,
             &pkt(
                 CALLER.with_port(20_000),
                 CALLEE.with_port(30_000),
@@ -541,7 +702,8 @@ mod tests {
         let mut vids = Vids::with_cost(cfg, CostModel::free());
         clean_call(&mut vids, "ablate-1");
         let spam = RtpPacket::new(18, 200, 9_999, 7).with_payload(vec![0; 10]);
-        let alerts = vids.process(
+        let alerts = process(
+            &mut vids,
             &pkt(
                 CALLER.with_port(20_000),
                 CALLEE.with_port(30_000),
@@ -558,24 +720,25 @@ mod tests {
     #[test]
     fn media_spam_detected_mid_call() {
         let mut vids = Vids::new(Config::default());
-        // Set up a call but don't tear it down: reuse clean_call's first
-        // half by sending INVITE/200/ACK then media.
+        // Set up a call but don't tear it down: INVITE/200 then media.
         let inv = invite("spam-1");
-        vids.process(&pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())), SimTime::ZERO);
+        process(&mut vids, &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())), SimTime::ZERO);
         let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
         let ok = inv
             .response(StatusCode::OK)
             .with_to_tag("tt")
             .with_body(vids_sdp::MIME_TYPE, answer.to_string());
-        vids.process(&pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())), SimTime::from_millis(50));
+        process(&mut vids, &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())), SimTime::from_millis(50));
         let legit = RtpPacket::new(18, 100, 800, 7).with_payload(vec![0; 10]);
-        vids.process(
+        process(
+            &mut vids,
             &pkt(CALLER.with_port(20_000), CALLEE.with_port(30_000), Payload::Rtp(legit.to_bytes())),
             SimTime::from_millis(100),
         );
         // Spoofed packet: same SSRC, big jumps (paper Fig. 6).
         let spam = RtpPacket::new(18, 100 + 200, 800 + 50_000, 7).with_payload(vec![0; 10]);
-        let alerts = vids.process(
+        let alerts = process(
+            &mut vids,
             &pkt(CALLER.with_port(20_000), CALLEE.with_port(30_000), Payload::Rtp(spam.to_bytes())),
             SimTime::from_millis(110),
         );
@@ -587,7 +750,8 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         let inv = invite("ghost");
         let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("tt"));
-        let alerts = vids.process(
+        let alerts = process(
+            &mut vids,
             &pkt(CALLER, CALLEE, Payload::Sip(bye.to_string())),
             SimTime::ZERO,
         );
@@ -605,7 +769,8 @@ mod tests {
         let ok = inv.response(StatusCode::OK);
         let mut raised = Vec::new();
         for i in 0..=n {
-            raised.extend(vids.process(
+            raised.extend(process(
+                &mut vids,
                 &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
                 SimTime::from_millis(i * 5),
             ));
@@ -621,8 +786,8 @@ mod tests {
     fn malformed_traffic_is_flagged_once() {
         let mut vids = Vids::new(Config::default());
         let junk = pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned()));
-        let a1 = vids.process(&junk, SimTime::ZERO);
-        let a2 = vids.process(&junk, SimTime::from_millis(1));
+        let a1 = process(&mut vids, &junk, SimTime::ZERO);
+        let a2 = process(&mut vids, &junk, SimTime::from_millis(1));
         assert_eq!(a1.len(), 1);
         assert!(a2.is_empty(), "dedup suppresses repeats");
         assert_eq!(vids.counters().malformed, 2);
@@ -649,10 +814,11 @@ mod tests {
     fn perimeter_register_is_tracked_not_flagged() {
         let mut vids = Vids::new(Config::default());
         let owner = Address::new(10, 0, 0, 20, 5060);
-        let alerts = vids.process(&register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        let alerts = process(&mut vids, &register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
         assert!(alerts.is_empty(), "{alerts:?}");
         // Refresh from the same source: still clean.
-        let alerts = vids.process(
+        let alerts = process(
+            &mut vids,
             &register_packet(owner, "10.0.0.20", 3600),
             SimTime::from_secs(60),
         );
@@ -665,8 +831,9 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         let owner = Address::new(10, 0, 0, 20, 5060);
         let attacker = Address::new(10, 0, 0, 66, 5060);
-        vids.process(&register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
-        let alerts = vids.process(
+        process(&mut vids, &register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        let alerts = process(
+            &mut vids,
             &register_packet(attacker, "10.0.0.66", 3600),
             SimTime::from_secs(10),
         );
@@ -681,8 +848,9 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         let owner = Address::new(10, 0, 0, 20, 5060);
         let attacker = Address::new(10, 0, 0, 66, 5060);
-        vids.process(&register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
-        let alerts = vids.process(
+        process(&mut vids, &register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        let alerts = process(
+            &mut vids,
             &register_packet(attacker, "10.0.0.20", 0),
             SimTime::from_secs(10),
         );
@@ -698,7 +866,8 @@ mod tests {
         let empty = vids.memory_bytes();
         for i in 0..50 {
             let inv = invite(&format!("mem-{i}"));
-            vids.process(
+            process(
+                &mut vids,
                 &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
                 SimTime::from_millis(i * 2_000),
             );
@@ -707,5 +876,29 @@ mod tests {
         assert_eq!(vids.monitored_calls(), 50);
         let per_call = (full - empty) / 50;
         assert!((100..4_000).contains(&per_call), "per-call {per_call} B");
+    }
+
+    #[test]
+    fn deprecated_process_shim_still_collects() {
+        let mut vids = Vids::new(Config::default());
+        let junk = pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned()));
+        #[allow(deprecated)]
+        let alerts = vids.process(&junk, SimTime::ZERO);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(vids.alerts().len(), 1);
+    }
+
+    #[test]
+    fn monitor_trait_drives_the_engine() {
+        let mut vids = Vids::new(Config::default());
+        let monitor: &mut dyn Monitor = &mut vids;
+        let mut sink = CollectSink::new();
+        let junk = pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned()));
+        monitor.process(&junk, SimTime::ZERO, &mut sink);
+        monitor.tick(SimTime::from_secs(1), &mut sink);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(monitor.alerts().len(), 1);
+        assert_eq!(monitor.counters().malformed, 1);
+        assert!(monitor.memory_bytes() < 1_000);
     }
 }

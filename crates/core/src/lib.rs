@@ -22,9 +22,16 @@
 //!   measurements (+100 ms call setup, +1.5 ms RTP, 3.6 % CPU).
 //! * [`tap`] — [`tap::VidsTap`]: mounts the IDS inline on a
 //!   [`vids_netsim::node::TapNode`] between edge router and hub (Fig. 1).
+//! * [`sink`] — push-based alert delivery ([`sink::AlertSink`]); the engine
+//!   raises alerts into a sink instead of allocating a `Vec` per packet.
+//! * [`monitor`] — the [`monitor::Monitor`] trait unifying [`engine::Vids`],
+//!   [`pool::VidsPool`] and [`tap::VidsTap`] behind one driver interface.
+//! * [`pool`] — [`pool::VidsPool`]: the scale-out engine; hash-partitions
+//!   monitored calls across independent shards and ingests packets in
+//!   batches with parallel shard execution.
 //!
 //! ```
-//! use vids_core::{Config, engine::Vids};
+//! use vids_core::prelude::*;
 //! use vids_netsim::packet::{Address, Packet, Payload};
 //! use vids_netsim::time::SimTime;
 //!
@@ -41,7 +48,8 @@
 //!     id: 0,
 //!     sent_at: SimTime::ZERO,
 //! };
-//! let alerts = vids.process(&pkt, SimTime::ZERO);
+//! let mut alerts = CollectSink::new();
+//! vids.process_into(&pkt, SimTime::ZERO, &mut alerts);
 //! assert!(alerts.is_empty(), "a clean INVITE raises nothing");
 //! assert_eq!(vids.monitored_calls(), 1);
 //! ```
@@ -53,12 +61,30 @@ pub mod cost;
 pub mod engine;
 pub mod factbase;
 pub mod machines;
+pub mod monitor;
+pub mod pool;
 pub mod report;
+pub mod sink;
 pub mod tap;
 
+/// The one-stop import for driving the IDS:
+/// `use vids_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::alert::{Alert, AlertKind};
+    pub use crate::config::{Config, ConfigBuilder, ConfigError};
+    pub use crate::engine::{Vids, VidsCounters};
+    pub use crate::monitor::Monitor;
+    pub use crate::pool::VidsPool;
+    pub use crate::sink::{AlertSink, CollectSink, NullSink};
+    pub use crate::tap::VidsTap;
+}
+
 pub use alert::{Alert, AlertKind};
-pub use config::Config;
+pub use config::{Config, ConfigBuilder, ConfigError};
 pub use cost::CostModel;
-pub use engine::Vids;
+pub use engine::{Vids, VidsCounters};
+pub use monitor::Monitor;
+pub use pool::VidsPool;
 pub use report::AlertReport;
+pub use sink::{AlertSink, CollectSink, FnSink, NullSink};
 pub use tap::VidsTap;

@@ -1,0 +1,786 @@
+//! [`VidsPool`]: the scale-out analysis engine.
+//!
+//! The paper's engine (§5) is strictly per-call: every packet belongs to one
+//! call group (SIP by Call-ID, RTP by the media coordinates the SIP machine
+//! published) and each group's machines are independent of every other
+//! group's. That independence is exactly a sharding invariant, so the pool
+//! hash-partitions the fact base across `Config::shards` private [`Vids`]
+//! engines and drains them on scoped threads:
+//!
+//! * **SIP call traffic** is pinned to `hash(Call-ID) % shards`.
+//! * **RTP** is routed through a pool-owned media-coordinate → shard index
+//!   that mirrors the per-shard `FactBase::media_lookup` table, so a call's
+//!   media always lands on the shard holding its SIP machine — the δ-sync
+//!   channels never cross a shard boundary.
+//! * **Per-destination flood machines** (INVITE flood, DRDoS reflection) are
+//!   pinned by `hash(dst_ip)`, and **registration machines** by
+//!   `hash(address-of-record)`.
+//!
+//! Ingestion is batch-oriented: [`VidsPool::process_batch`] classifies the
+//! batch in parallel, routes sequentially (the only globally ordered step),
+//! drains every shard concurrently, and then merges shard output on a
+//! deterministic key — `(packet index, phase, sweep scope, emission seq)` —
+//! so the alert sequence is byte-identical whatever the shard count,
+//! including a 1-shard pool vs. a plain [`Vids`]. Idle-timer sweeps are
+//! amortized to at most one per batch instead of the single engine's
+//! per-packet interval check.
+
+use std::collections::{HashMap, HashSet};
+use std::thread;
+
+use vids_efsm::Event;
+use vids_netsim::packet::Packet;
+use vids_netsim::time::SimTime;
+
+use crate::alert::{Alert, AlertKind};
+use crate::classify::{classify, Classified};
+use crate::config::Config;
+use crate::cost::{CostModel, CpuAccount};
+use crate::engine::{Vids, VidsCounters, SWEEP_INTERVAL_MS};
+use crate::factbase::FactBaseStats;
+use crate::monitor::Monitor;
+use crate::sink::{AlertSink, CollectSink};
+
+/// Below this many routed parts a batch is drained on the calling thread;
+/// spawning scoped threads costs more than it saves.
+const PARALLEL_DRAIN_THRESHOLD: usize = 64;
+
+/// Below this many packets classification stays on the calling thread.
+const PARALLEL_CLASSIFY_THRESHOLD: usize = 256;
+
+/// Merge key: (packet index, phase, sweep scope, per-sink emission seq).
+///
+/// Phases order the parts of one packet the way the single engine would have
+/// emitted them: 0 = batch-start sweep (before any packet), 1 = the
+/// destination-pinned INVITE-flood part, 2 = the call/register/media part,
+/// 3 = the deferred DRDoS reflection count for an unassociated response.
+/// The scope string is only populated for sweep alerts (phase 0), where
+/// different calls' alerts share one key prefix and the single engine sweeps
+/// calls in sorted-Call-ID order.
+type MergeKey = (usize, u8, String, u32);
+
+/// One shard's drain output: tagged alerts plus deferred response misses.
+type ShardOut = (Vec<(MergeKey, Alert)>, Vec<Miss>);
+
+/// FNV-1a: a fixed, platform-independent hash so call→shard placement is
+/// deterministic (std's `RandomState` would randomize it per process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A sink that tags every alert with the merge key of the part being drained.
+struct TaggedSink<'a> {
+    out: &'a mut Vec<(MergeKey, Alert)>,
+    idx: usize,
+    phase: u8,
+    /// Sweep mode: scope alerts by their Call-ID so the merge reproduces the
+    /// single engine's sorted sweep order across shards.
+    scope_from_call: bool,
+    seq: u32,
+}
+
+impl<'a> TaggedSink<'a> {
+    fn packet(out: &'a mut Vec<(MergeKey, Alert)>, idx: usize, phase: u8) -> Self {
+        TaggedSink {
+            out,
+            idx,
+            phase,
+            scope_from_call: false,
+            seq: 0,
+        }
+    }
+
+    fn sweep(out: &'a mut Vec<(MergeKey, Alert)>) -> Self {
+        TaggedSink {
+            out,
+            idx: 0,
+            phase: 0,
+            scope_from_call: true,
+            seq: 0,
+        }
+    }
+}
+
+impl AlertSink for TaggedSink<'_> {
+    fn accept(&mut self, alert: Alert) {
+        let scope = if self.scope_from_call {
+            alert.call_id.clone().unwrap_or_default()
+        } else {
+            String::new()
+        };
+        self.out
+            .push(((self.idx, self.phase, scope, self.seq), alert));
+        self.seq += 1;
+    }
+}
+
+/// One shard-pinned part of a routed packet.
+enum Part {
+    Register(Event),
+    InviteFlood {
+        event: Event,
+        dst_ip: u32,
+    },
+    Call {
+        call_id: String,
+        event: Event,
+        is_initial_invite: bool,
+        is_request: bool,
+        dst_ip: u32,
+    },
+    Rtp(Event),
+}
+
+/// An unassociated SIP response detected on the call-owning shard, to be
+/// counted on the destination-owning shard after the parallel drain.
+struct Miss {
+    idx: usize,
+    t: u64,
+    dst_ip: u32,
+    src_ip: String,
+}
+
+/// The sharded analysis engine. Construct with a [`Config`] whose `shards`
+/// field (see [`Config::builder`]) says how many independent [`Vids`]
+/// engines to partition monitored calls across, then feed traffic in
+/// batches via [`VidsPool::process_batch`] — or packet-at-a-time through
+/// the [`Monitor`] trait, which behaves identically to a plain `Vids`.
+pub struct VidsPool {
+    shards: Vec<Vids>,
+    /// Read-mostly mirror of every shard's media index: negotiated media
+    /// coordinates → owning shard. Written only during sequential routing.
+    media_to_shard: HashMap<(String, u64), usize>,
+    config: Config,
+    cost: CostModel,
+    cpu: CpuAccount,
+    alerts: Vec<Alert>,
+    /// Dedup for pool-level (shardless) alerts, i.e. malformed traffic.
+    dedup: HashSet<(String, String)>,
+    /// Counters for traffic that never reaches a shard.
+    extra: VidsCounters,
+    last_sweep_ms: u64,
+    /// Monotonic clamp over packet timestamps: EFSM networks require
+    /// non-decreasing time, so a late-stamped packet is processed at the
+    /// batch high-water mark, exactly as a single engine would see it.
+    last_packet_ms: u64,
+    /// Hardware threads available at construction. On a single-core host
+    /// every parallel path degrades to the sequential one — same output
+    /// (the merge is deterministic either way), none of the thread
+    /// overhead.
+    workers: usize,
+}
+
+impl VidsPool {
+    /// Creates a pool with `config.shards` shards and the default cost model.
+    pub fn new(config: Config) -> Self {
+        VidsPool::with_cost(config, CostModel::default())
+    }
+
+    /// Creates a pool with an explicit cost model. The pool charges the
+    /// per-packet CPU cost once, centrally, at routing time; shard-internal
+    /// accounting stays zero.
+    pub fn with_cost(config: Config, cost: CostModel) -> Self {
+        let n = config.shards.max(1);
+        VidsPool {
+            shards: (0..n).map(|_| Vids::with_cost(config, cost)).collect(),
+            media_to_shard: HashMap::new(),
+            config,
+            cost,
+            cpu: CpuAccount::new(),
+            alerts: Vec::new(),
+            dedup: HashSet::new(),
+            extra: VidsCounters::default(),
+            last_sweep_ms: 0,
+            last_packet_ms: 0,
+            workers: thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's engine, for introspection.
+    pub fn shard(&self, index: usize) -> &Vids {
+        &self.shards[index]
+    }
+
+    /// Every alert raised so far, in deterministic merge order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Aggregate traffic counters across all shards.
+    pub fn counters(&self) -> VidsCounters {
+        let mut total = self.extra;
+        for shard in &self.shards {
+            total += shard.counters();
+        }
+        total
+    }
+
+    /// Calls currently monitored, summed across shards.
+    pub fn monitored_calls(&self) -> usize {
+        self.shards.iter().map(Vids::monitored_calls).sum()
+    }
+
+    /// Aggregate fact-base lifetime statistics. `peak_concurrent` is the sum
+    /// of per-shard peaks — an upper bound on the true pool-wide peak, since
+    /// the shards need not have peaked simultaneously.
+    pub fn factbase_stats(&self) -> FactBaseStats {
+        let mut total = FactBaseStats::default();
+        for shard in &self.shards {
+            let s = shard.factbase_stats();
+            total.calls_created += s.calls_created;
+            total.calls_evicted += s.calls_evicted;
+            total.peak_concurrent += s.peak_concurrent;
+        }
+        total
+    }
+
+    /// Fact-base memory footprint summed across shards, plus the pool's own
+    /// media routing index.
+    pub fn memory_bytes(&self) -> usize {
+        let shard_bytes: usize = self.shards.iter().map(Vids::memory_bytes).sum();
+        let index_bytes: usize = self
+            .media_to_shard
+            .keys()
+            .map(|(ip, _)| ip.len() + std::mem::size_of::<(String, u64, usize)>())
+            .sum();
+        shard_bytes + index_bytes
+    }
+
+    /// CPU busy time accumulated by the central cost account.
+    pub fn cpu_busy(&self) -> SimTime {
+        self.cpu.busy()
+    }
+
+    /// CPU overhead fraction over an elapsed monitoring interval (§7.3).
+    pub fn cpu_overhead(&self, elapsed: SimTime) -> f64 {
+        self.cpu.overhead_fraction(elapsed)
+    }
+
+    /// Which shard currently owns the given media coordinates, if any call
+    /// negotiated them. Exposed for tests of cross-shard RTP routing.
+    pub fn media_shard(&self, ip: &str, port: u64) -> Option<usize> {
+        self.media_to_shard.get(&(ip.to_owned(), port)).copied()
+    }
+
+    /// Processes a batch of packets observed at monitor time `now`; returns
+    /// the alerts the batch raised, in deterministic order.
+    pub fn process_batch(&mut self, packets: &[Packet], now: SimTime) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        self.process_batch_into(packets, now, &mut sink);
+        sink.into_alerts()
+    }
+
+    /// Processes a batch of packets, pushing alerts into `sink` (they are
+    /// also appended to the persistent log readable via
+    /// [`VidsPool::alerts`]).
+    ///
+    /// Pipeline: one amortized idle-timer sweep per batch, parallel
+    /// classification, sequential shard routing, parallel shard drains,
+    /// deferred DRDoS counting, deterministic merge.
+    pub fn process_batch_into<S: AlertSink + ?Sized>(
+        &mut self,
+        packets: &[Packet],
+        now: SimTime,
+        sink: &mut S,
+    ) {
+        let now_ms = now.as_millis();
+        let mut tagged: Vec<(MergeKey, Alert)> = Vec::new();
+
+        // Phase 0: at most one sweep per batch (the single engine re-checks
+        // the interval on every packet; the pool amortizes that to one
+        // barrier here, keyed ahead of every packet of the batch).
+        if now_ms.saturating_sub(self.last_sweep_ms) >= SWEEP_INTERVAL_MS {
+            self.last_sweep_ms = now_ms;
+            self.sweep_shards(now_ms, &mut tagged);
+        }
+
+        // Phase 1: classify — pure per-packet work, fanned out for big
+        // batches.
+        let classified = self.classify_batch(packets);
+
+        // Phase 2: route. The only sequential pass over the batch: assigns
+        // monotonic per-packet times, charges the cost model, publishes
+        // media coordinates to the routing index, and queues shard-pinned
+        // parts. Malformed/ignored traffic is consumed here — it has no
+        // call, destination or media key to shard by.
+        let n = self.shards.len();
+        let mut queues: Vec<Vec<(usize, u64, Part)>> = (0..n).map(|_| Vec::new()).collect();
+        for (idx, (packet, c)) in packets.iter().zip(classified).enumerate() {
+            self.cpu.charge(self.cost.cpu_for(packet));
+            let t = now_ms
+                .max(packet.sent_at.as_millis())
+                .max(self.last_packet_ms);
+            self.last_packet_ms = t;
+            match c {
+                Classified::Sip {
+                    call_id,
+                    event,
+                    is_initial_invite,
+                    is_request,
+                    dst_ip,
+                } => {
+                    if event.name == "SIP.REGISTER" {
+                        let aor = event.str_arg("aor").unwrap_or("");
+                        let shard = self.shard_of(aor.as_bytes());
+                        queues[shard].push((idx, t, Part::Register(event)));
+                        continue;
+                    }
+                    let shard = self.shard_of(call_id.as_bytes());
+                    if event.name == "SIP.INVITE" {
+                        let flood_shard = self.shard_of(&dst_ip.to_le_bytes());
+                        queues[flood_shard].push((
+                            idx,
+                            t,
+                            Part::InviteFlood {
+                                event: event.clone(),
+                                dst_ip,
+                            },
+                        ));
+                    }
+                    if event.bool_arg("has_sdp") {
+                        if let (Some(ip), Some(port)) =
+                            (event.str_arg("sdp_ip"), event.uint_arg("sdp_port"))
+                        {
+                            self.media_to_shard.insert((ip.to_owned(), port), shard);
+                        }
+                    }
+                    queues[shard].push((
+                        idx,
+                        t,
+                        Part::Call {
+                            call_id,
+                            event,
+                            is_initial_invite,
+                            is_request,
+                            dst_ip,
+                        },
+                    ));
+                }
+                Classified::Rtp { event } => {
+                    let ip = event.str_arg("dst_ip").unwrap_or("").to_owned();
+                    let port = event.uint_arg("dst_port").unwrap_or(0);
+                    let shard = self
+                        .media_to_shard
+                        .get(&(ip, port))
+                        .copied()
+                        .unwrap_or_else(|| {
+                            // No call negotiated these coordinates: route by
+                            // their hash so any shard count flags the same
+                            // packet as unassociated exactly once.
+                            let key = event.str_arg("dst_ip").unwrap_or("");
+                            let mut h = fnv1a(key.as_bytes());
+                            for byte in port.to_le_bytes() {
+                                h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                            }
+                            (h % n as u64) as usize
+                        });
+                    queues[shard].push((idx, t, Part::Rtp(event)));
+                }
+                Classified::Malformed { protocol, reason } => {
+                    self.extra.malformed += 1;
+                    self.pool_raise(
+                        &mut tagged,
+                        idx,
+                        t,
+                        format!("malformed-{}", protocol.to_ascii_lowercase()),
+                        reason,
+                    );
+                }
+                Classified::Ignored => self.extra.ignored += 1,
+            }
+        }
+
+        // Phase 3: drain every shard's queue concurrently.
+        let mut misses = self.drain_shards(queues, &mut tagged);
+
+        // Phase 4: deferred DRDoS reflection counting. The call-owning shard
+        // only *detects* the miss; the count belongs to the destination's
+        // shard, which may have been busy during the drain. Delivered in
+        // packet order with original packet times — flood networks are only
+        // touched in this phase and at routing-queue drain, both
+        // time-monotonic.
+        misses.sort_unstable_by_key(|m| m.idx);
+        for miss in misses {
+            let shard = self.shard_of(&miss.dst_ip.to_le_bytes());
+            let mut tsink = TaggedSink::packet(&mut tagged, miss.idx, 3);
+            self.shards[shard].ingest_response_flood(miss.dst_ip, miss.src_ip, miss.t, &mut tsink);
+        }
+
+        // Phase 5: merge. The key makes this order independent of shard
+        // count and thread scheduling.
+        tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (_key, alert) in tagged {
+            self.alerts.push(alert.clone());
+            sink.accept(alert);
+        }
+    }
+
+    /// Advances idle timers and evicts finished calls on every shard,
+    /// pushing timer-driven alerts into `sink` in deterministic order.
+    pub fn tick_into<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+        let now_ms = now.as_millis();
+        if now_ms < SWEEP_INTERVAL_MS {
+            return; // mirror Vids::tick_into's interval gate from time zero
+        }
+        self.last_sweep_ms = now_ms;
+        let mut tagged: Vec<(MergeKey, Alert)> = Vec::new();
+        self.sweep_shards(now_ms, &mut tagged);
+        tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (_key, alert) in tagged {
+            self.alerts.push(alert.clone());
+            sink.accept(alert);
+        }
+    }
+
+    /// Advances idle timers and evicts finished calls; returns the alerts.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        self.tick_into(now, &mut sink);
+        sink.into_alerts()
+    }
+
+    fn shard_of(&self, bytes: &[u8]) -> usize {
+        (fnv1a(bytes) % self.shards.len() as u64) as usize
+    }
+
+    /// Pool-level alert with the single engine's dedup semantics for
+    /// call-less alerts (scope = detail text).
+    fn pool_raise(
+        &mut self,
+        tagged: &mut Vec<(MergeKey, Alert)>,
+        idx: usize,
+        t: u64,
+        label: String,
+        detail: String,
+    ) {
+        if !self.dedup.insert((detail.clone(), label.clone())) {
+            return;
+        }
+        let alert = Alert {
+            time_ms: t,
+            kind: AlertKind::Deviation,
+            label,
+            call_id: None,
+            machine: "classifier".to_owned(),
+            detail,
+        };
+        tagged.push(((idx, 2, String::new(), 0), alert));
+    }
+
+    fn classify_batch(&self, packets: &[Packet]) -> Vec<Classified> {
+        let threads = self.shards.len().min(self.workers);
+        if threads <= 1 || packets.len() < PARALLEL_CLASSIFY_THRESHOLD {
+            return packets.iter().map(classify).collect();
+        }
+        let chunk = packets.len().div_ceil(threads);
+        thread::scope(|scope| {
+            let handles: Vec<_> = packets
+                .chunks(chunk)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(classify).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("classifier thread panicked"))
+                .collect()
+        })
+    }
+
+    fn drain_shards(
+        &mut self,
+        queues: Vec<Vec<(usize, u64, Part)>>,
+        tagged: &mut Vec<(MergeKey, Alert)>,
+    ) -> Vec<Miss> {
+        let n = self.shards.len();
+        let total: usize = queues.iter().map(Vec::len).sum();
+        let mut outs: Vec<ShardOut> = (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+        if n == 1 || self.workers <= 1 || total < PARALLEL_DRAIN_THRESHOLD {
+            for ((shard, queue), out) in self.shards.iter_mut().zip(queues).zip(outs.iter_mut()) {
+                drain_one(shard, queue, &mut out.0, &mut out.1);
+            }
+        } else {
+            thread::scope(|scope| {
+                for ((shard, queue), out) in
+                    self.shards.iter_mut().zip(queues).zip(outs.iter_mut())
+                {
+                    scope.spawn(move || drain_one(shard, queue, &mut out.0, &mut out.1));
+                }
+            });
+        }
+        let mut misses = Vec::new();
+        for (alerts, shard_misses) in outs {
+            tagged.extend(alerts);
+            misses.extend(shard_misses);
+        }
+        misses
+    }
+
+    fn sweep_shards(&mut self, now_ms: u64, tagged: &mut Vec<(MergeKey, Alert)>) {
+        let n = self.shards.len();
+        if n == 1 || self.workers <= 1 {
+            for shard in &mut self.shards {
+                let mut sink = TaggedSink::sweep(tagged);
+                shard.force_maintain(now_ms, &mut sink);
+            }
+        } else {
+            let mut outs: Vec<Vec<(MergeKey, Alert)>> = (0..n).map(|_| Vec::new()).collect();
+            thread::scope(|scope| {
+                for (shard, out) in self.shards.iter_mut().zip(outs.iter_mut()) {
+                    scope.spawn(move || {
+                        let mut sink = TaggedSink::sweep(out);
+                        shard.force_maintain(now_ms, &mut sink);
+                    });
+                }
+            });
+            for out in outs {
+                tagged.extend(out);
+            }
+        }
+        // Drop routing entries for media the shards just evicted, keeping
+        // the pool index in lock-step with the per-shard media indexes.
+        let shards = &self.shards;
+        self.media_to_shard
+            .retain(|(ip, port), shard| shards[*shard].factbase().media_lookup(ip, *port).is_some());
+    }
+}
+
+/// Drains one shard's queue on (possibly) its own thread.
+fn drain_one(
+    vids: &mut Vids,
+    queue: Vec<(usize, u64, Part)>,
+    alerts: &mut Vec<(MergeKey, Alert)>,
+    misses: &mut Vec<Miss>,
+) {
+    for (idx, t, part) in queue {
+        match part {
+            Part::Register(event) => {
+                let mut sink = TaggedSink::packet(alerts, idx, 2);
+                vids.ingest_register(event, t, &mut sink);
+            }
+            Part::InviteFlood { event, dst_ip } => {
+                let mut sink = TaggedSink::packet(alerts, idx, 1);
+                vids.ingest_invite_flood(event, dst_ip, t, &mut sink);
+            }
+            Part::Call {
+                call_id,
+                event,
+                is_initial_invite,
+                is_request,
+                dst_ip,
+            } => {
+                let mut sink = TaggedSink::packet(alerts, idx, 2);
+                if let Some(miss) =
+                    vids.ingest_call_event(&call_id, event, is_initial_invite, is_request, t, &mut sink)
+                {
+                    misses.push(Miss {
+                        idx,
+                        t,
+                        dst_ip,
+                        src_ip: miss.src_ip,
+                    });
+                }
+            }
+            Part::Rtp(event) => {
+                let mut sink = TaggedSink::packet(alerts, idx, 2);
+                vids.ingest_rtp(event, t, &mut sink);
+            }
+        }
+    }
+}
+
+impl Monitor for VidsPool {
+    fn process(&mut self, packet: &Packet, now: SimTime, sink: &mut dyn AlertSink) {
+        self.process_batch_into(std::slice::from_ref(packet), now, sink);
+    }
+
+    fn tick(&mut self, now: SimTime, sink: &mut dyn AlertSink) {
+        self.tick_into(now, sink);
+    }
+
+    fn alerts(&self) -> &[Alert] {
+        VidsPool::alerts(self)
+    }
+
+    fn counters(&self) -> VidsCounters {
+        VidsPool::counters(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        VidsPool::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_netsim::packet::{Address, Payload};
+    use vids_sdp::{Codec, SessionDescription};
+    use vids_sip::message::Request;
+    use vids_sip::{Method, SipUri, StatusCode};
+
+    const CALLER: Address = Address::new(10, 1, 0, 10, 5060);
+    const CALLEE: Address = Address::new(10, 2, 0, 10, 5060);
+
+    fn pkt(src: Address, dst: Address, payload: Payload) -> Packet {
+        Packet {
+            src,
+            dst,
+            payload,
+            id: 0,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    fn invite(call_id: &str) -> Request {
+        let sdp = SessionDescription::audio_offer("alice", "10.1.0.10", 20_000, &[Codec::G729]);
+        Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            call_id,
+        )
+        .with_body(vids_sdp::MIME_TYPE, sdp.to_string())
+    }
+
+    /// A small trace exercising floods, unknown calls and junk.
+    fn mixed_trace() -> Vec<(Packet, SimTime)> {
+        let mut trace = Vec::new();
+        for i in 0..12u64 {
+            let inv = invite(&format!("mix-{i}"));
+            trace.push((
+                pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+                SimTime::from_millis(i * 5),
+            ));
+        }
+        let ghost = invite("ghost");
+        let bye = Request::in_dialog(Method::Bye, &ghost, 2, Some("tt"));
+        trace.push((
+            pkt(CALLER, CALLEE, Payload::Sip(bye.to_string())),
+            SimTime::from_millis(70),
+        ));
+        let ok = ghost.response(StatusCode::OK);
+        for i in 0..12u64 {
+            trace.push((
+                pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
+                SimTime::from_millis(80 + i),
+            ));
+        }
+        trace.push((
+            pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned())),
+            SimTime::from_millis(95),
+        ));
+        trace
+    }
+
+    fn shards(n: usize) -> Config {
+        Config::builder().shards(n).build().unwrap()
+    }
+
+    #[test]
+    fn pool_matches_plain_vids_packet_for_packet() {
+        let mut plain = Vids::new(Config::default());
+        let mut pool = VidsPool::new(shards(4));
+        let mut plain_sink = CollectSink::new();
+        let mut pool_sink = CollectSink::new();
+        for (packet, at) in mixed_trace() {
+            plain.process_into(&packet, at, &mut plain_sink);
+            Monitor::process(&mut pool, &packet, at, &mut pool_sink);
+        }
+        plain.tick_into(SimTime::from_secs(30), &mut plain_sink);
+        pool.tick_into(SimTime::from_secs(30), &mut pool_sink);
+        assert!(!plain_sink.is_empty(), "trace should raise alerts");
+        assert_eq!(plain_sink.alerts(), pool_sink.alerts());
+        assert_eq!(plain.alerts(), pool.alerts());
+        assert_eq!(plain.counters(), pool.counters());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_batched_output() {
+        let trace = mixed_trace();
+        let packets: Vec<Packet> = trace
+            .iter()
+            .map(|(p, at)| {
+                let mut p = p.clone();
+                p.sent_at = *at;
+                p
+            })
+            .collect();
+        let mut reference: Option<Vec<Alert>> = None;
+        for n in [1usize, 4, 8] {
+            let mut pool = VidsPool::new(shards(n));
+            let mut out = pool.process_batch(&packets, SimTime::ZERO);
+            out.extend(pool.tick(SimTime::from_secs(30)));
+            match &reference {
+                None => reference = Some(out),
+                Some(expected) => assert_eq!(expected, &out, "{n} shards diverged"),
+            }
+        }
+        assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn rtp_routes_to_the_call_owning_shard() {
+        let mut pool = VidsPool::new(shards(8));
+        let inv = invite("routed-1");
+        let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
+        let ok = inv
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids_sdp::MIME_TYPE, answer.to_string());
+        let batch = [
+            pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+            pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
+        ];
+        pool.process_batch(&batch, SimTime::ZERO);
+
+        // Both endpoints' negotiated coordinates point at the shard that owns
+        // the call, whatever hash(ip:port) alone would have said.
+        let call_shard = pool
+            .media_shard("10.2.0.10", 30_000)
+            .expect("answer SDP indexed");
+        assert_eq!(pool.media_shard("10.1.0.10", 20_000), Some(call_shard));
+        assert_eq!(pool.shard(call_shard).monitored_calls(), 1);
+
+        // RTP to those coordinates reaches the call's RTP machine...
+        let media = vids_rtp::packet::RtpPacket::new(18, 100, 800, 7).with_payload(vec![0; 10]);
+        let rtp = pkt(
+            CALLER.with_port(20_000),
+            CALLEE.with_port(30_000),
+            Payload::Rtp(media.to_bytes()),
+        );
+        pool.process_batch(&[rtp], SimTime::from_millis(10));
+        assert_eq!(pool.counters().unassociated_rtp, 0);
+        assert_eq!(pool.counters().rtp_packets, 1);
+
+        // ...while RTP to unknown coordinates is flagged, once.
+        let stray = pkt(
+            CALLER.with_port(20_000),
+            Address::new(10, 9, 9, 9, 40_000),
+            Payload::Rtp(media.to_bytes()),
+        );
+        let alerts = pool.process_batch(&[stray], SimTime::from_millis(20));
+        assert_eq!(pool.counters().unassociated_rtp, 1);
+        assert!(alerts.iter().any(|a| a.label == "unassociated-rtp"));
+    }
+
+    #[test]
+    fn builder_shards_size_the_pool() {
+        let pool = VidsPool::new(shards(6));
+        assert_eq!(pool.shards(), 6);
+        assert_eq!(pool.monitored_calls(), 0);
+        assert!(Config::builder().shards(0).build().is_err());
+    }
+}

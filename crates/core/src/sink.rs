@@ -1,0 +1,133 @@
+//! Push-based alert delivery.
+//!
+//! The original `Vids::process` returned a freshly allocated `Vec<Alert>`
+//! per packet — an allocation on the hot path even for the overwhelmingly
+//! common no-alert case. The sink API inverts control: callers hand the
+//! engine an [`AlertSink`] and alerts are pushed as they are raised.
+//! [`CollectSink`] recovers the old collect-into-a-vec behaviour where a
+//! caller really wants it; [`NullSink`] is for callers that only read the
+//! persistent alert log afterwards.
+
+use crate::alert::Alert;
+
+/// Receives alerts as the engine raises them.
+///
+/// Implementations must be cheap: the engine calls [`AlertSink::accept`]
+/// inline from the packet path.
+pub trait AlertSink {
+    /// Delivers one alert.
+    fn accept(&mut self, alert: Alert);
+}
+
+/// Collects alerts into a `Vec`, preserving raise order.
+#[derive(Debug, Default, Clone)]
+pub struct CollectSink {
+    alerts: Vec<Alert>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The alerts collected so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.alerts.is_empty()
+    }
+
+    /// Number of collected alerts.
+    pub fn len(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// Consumes the collector, yielding its alerts.
+    pub fn into_alerts(self) -> Vec<Alert> {
+        self.alerts
+    }
+
+    /// Removes and returns everything collected so far.
+    pub fn drain(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+}
+
+impl AlertSink for CollectSink {
+    fn accept(&mut self, alert: Alert) {
+        self.alerts.push(alert);
+    }
+}
+
+/// Appending straight into a caller-owned vector.
+impl AlertSink for Vec<Alert> {
+    fn accept(&mut self, alert: Alert) {
+        self.push(alert);
+    }
+}
+
+/// Discards every alert. The engine's persistent log (`Monitor::alerts`)
+/// still records them; this sink just skips per-packet delivery.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AlertSink for NullSink {
+    fn accept(&mut self, _alert: Alert) {}
+}
+
+/// Adapts a closure into a sink.
+pub struct FnSink<F: FnMut(Alert)>(pub F);
+
+impl<F: FnMut(Alert)> AlertSink for FnSink<F> {
+    fn accept(&mut self, alert: Alert) {
+        (self.0)(alert);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertKind;
+
+    fn alert(label: &str) -> Alert {
+        Alert {
+            time_ms: 1,
+            kind: AlertKind::Attack,
+            label: label.to_owned(),
+            call_id: None,
+            machine: "test".to_owned(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn collect_sink_preserves_order() {
+        let mut sink = CollectSink::new();
+        sink.accept(alert("a"));
+        sink.accept(alert("b"));
+        assert_eq!(sink.len(), 2);
+        let labels: Vec<&str> = sink.alerts().iter().map(|a| a.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b"]);
+        assert_eq!(sink.drain().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn vec_and_fn_sinks_deliver() {
+        let mut v: Vec<Alert> = Vec::new();
+        v.accept(alert("x"));
+        assert_eq!(v.len(), 1);
+
+        let mut count = 0;
+        {
+            let mut f = FnSink(|_a| count += 1);
+            f.accept(alert("y"));
+            f.accept(alert("z"));
+        }
+        assert_eq!(count, 2);
+    }
+}

@@ -10,7 +10,9 @@ use vids_netsim::time::SimTime;
 use crate::alert::Alert;
 use crate::config::Config;
 use crate::cost::CostModel;
-use crate::engine::Vids;
+use crate::engine::{Vids, VidsCounters};
+use crate::monitor::Monitor;
+use crate::sink::{AlertSink, NullSink};
 
 /// The inline vids monitor: observes every packet, charges the cost-model
 /// hold (which the tap node applies before forwarding), and accumulates
@@ -72,11 +74,39 @@ impl VidsTap {
 
 impl Tap for VidsTap {
     fn observe(&mut self, packet: &Packet, now: SimTime) -> SimTime {
+        // Route through the Monitor impl so the observation-window
+        // bookkeeping (started_at / last_seen) is identical whichever way
+        // the tap is driven. Alerts stay in the persistent log.
+        Monitor::process(self, packet, now, &mut NullSink);
+        self.vids.cost().hold_for(packet)
+    }
+}
+
+impl Monitor for VidsTap {
+    fn process(&mut self, packet: &Packet, now: SimTime, sink: &mut dyn AlertSink) {
         self.packets_seen += 1;
         self.started_at.get_or_insert(now);
         self.last_seen = now;
-        let _alerts = self.vids.process(packet, now);
-        self.vids.cost().hold_for(packet)
+        self.vids.process_into(packet, now, sink);
+    }
+
+    fn tick(&mut self, now: SimTime, sink: &mut dyn AlertSink) {
+        // Flushes timer-driven detections; the observation window stays at
+        // the last packet so cpu_overhead keeps §7.3's traffic-interval
+        // denominator.
+        self.vids.tick_into(now, sink);
+    }
+
+    fn alerts(&self) -> &[Alert] {
+        self.vids.alerts()
+    }
+
+    fn counters(&self) -> VidsCounters {
+        self.vids.counters()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.vids.memory_bytes()
     }
 }
 

@@ -64,6 +64,11 @@ impl SimTime {
     pub fn saturating_sub(&self, earlier: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(earlier.0))
     }
+
+    /// Whether this is exactly time zero.
+    pub const fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
 }
 
 impl Add for SimTime {

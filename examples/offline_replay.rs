@@ -10,7 +10,7 @@
 use vids::attacks::craft::{self, Target};
 use vids::attacks::AttackKind;
 use vids::core::report::AlertReport;
-use vids::core::{Config, Vids};
+use vids::core::{Config, VidsPool};
 use vids::netsim::time::SimTime;
 use vids::netsim::node::TapNode;
 use vids::netsim::trace::{CaptureFilter, TraceTap};
@@ -76,15 +76,27 @@ fn main() {
         println!("  {n:>6}  {flow}");
     }
 
-    // Phase 2: replay the capture through a fresh offline vids.
-    let mut vids = Vids::with_cost(Config::default(), vids::core::CostModel::free());
-    for c in tap.captured() {
-        let _ = vids.process(&c.packet, c.at);
-    }
-    vids.tick(tap.captured().last().map(|c| c.at).unwrap_or(SimTime::ZERO) + secs(30));
+    // Phase 2: replay the capture through a fresh offline monitor — here a
+    // 4-shard pool ingesting the whole capture as one batch. Offline replay
+    // is the batch API's natural habitat: the capture timestamps ride along
+    // in `sent_at`, and the deterministic merge makes the report identical
+    // to a packet-at-a-time single-engine replay.
+    let config = Config::builder().shards(4).build().unwrap();
+    let mut offline = VidsPool::with_cost(config, vids::core::CostModel::free());
+    let batch: Vec<_> = tap
+        .captured()
+        .iter()
+        .map(|c| {
+            let mut p = c.packet.clone();
+            p.sent_at = c.at;
+            p
+        })
+        .collect();
+    offline.process_batch(&batch, SimTime::ZERO);
+    offline.tick(tap.captured().last().map(|c| c.at).unwrap_or(SimTime::ZERO) + secs(30));
 
-    println!("\noffline analysis of the capture:");
-    let report = AlertReport::from_alerts(vids.alerts());
+    println!("\noffline analysis of the capture ({} shards):", offline.shards());
+    let report = AlertReport::from_alerts(offline.alerts());
     print!("{report}");
     println!("\nCSV:\n{}", report.to_csv());
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Fast pre-push gate: core engine tests + lint-clean workspace.
+# Offline by design — the workspace vendors all dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo test -p vids-core"
+cargo test --offline -p vids-core -q
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "OK"

@@ -14,8 +14,9 @@ use vids_agents::{site_domain, ua_uri};
 use vids_attacks::{Attacker, DialogSnapshot};
 use vids_core::alert::Alert;
 use vids_core::cost::CostModel;
+use vids_core::sink::CollectSink;
 use vids_core::tap::VidsTap;
-use vids_core::Config;
+use vids_core::{Config, Monitor};
 use vids_netsim::engine::NodeId;
 use vids_netsim::node::{Host, PassiveTap, Tap, TapNode};
 use vids_netsim::packet::Address;
@@ -234,6 +235,21 @@ impl Testbed {
     /// Alerts raised so far (empty when running without vids).
     pub fn vids_alerts(&self) -> &[Alert] {
         self.vids().map(|v| v.alerts()).unwrap_or(&[])
+    }
+
+    /// Flushes vids' idle timers at simulated time `now`, returning the
+    /// timer-driven alerts. Goes through the shared [`Monitor`] interface —
+    /// callers no longer reach into `vids_mut().vids_mut()` by hand at the
+    /// end of a run. No-op without vids.
+    pub fn flush_vids(&mut self, now: SimTime) -> Vec<Alert> {
+        match self.vids_mut() {
+            Some(tap) => {
+                let mut sink = CollectSink::new();
+                Monitor::tick(tap, now, &mut sink);
+                sink.into_alerts()
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Attaches an [`Attacker`] to the Internet core.

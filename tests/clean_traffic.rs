@@ -53,11 +53,8 @@ fn finished_calls_are_evicted_keeping_memory_bounded() {
     tb.run_until(SimTime::from_secs(7 * 60));
     // Flush eviction timers.
     let now = tb.ent.sim.now();
-    {
-        let vids = tb.vids_mut().unwrap().vids_mut();
-        vids.tick(now + SimTime::from_secs(30));
-        vids.tick(now + SimTime::from_secs(60));
-    }
+    tb.flush_vids(now + SimTime::from_secs(30));
+    tb.flush_vids(now + SimTime::from_secs(60));
     let vids = tb.vids().unwrap().vids();
     let stats = vids.factbase_stats();
     assert!(stats.calls_created >= 10);

@@ -143,7 +143,7 @@ fn monitor_survives_garbage_crossing_the_perimeter() {
             id: i as u64,
             sent_at: SimTime::ZERO,
         };
-        let _ = vids.process(&pkt, SimTime::from_millis(i as u64));
+        vids.process_into(&pkt, SimTime::from_millis(i as u64), &mut vids::core::NullSink);
     }
     let c = vids.counters();
     assert!(c.malformed > 0);
@@ -168,11 +168,8 @@ fn lost_final_bye_ok_still_releases_call_state() {
     let mut tb = Testbed::build(&config);
     tb.run_until(SimTime::from_secs(200));
     let now = tb.ent.sim.now();
-    {
-        let vids = tb.vids_mut().unwrap().vids_mut();
-        vids.tick(now + SimTime::from_secs(30));
-        vids.tick(now + SimTime::from_secs(60));
-    }
+    tb.flush_vids(now + SimTime::from_secs(30));
+    tb.flush_vids(now + SimTime::from_secs(60));
     let vids = tb.vids().unwrap().vids();
     assert!(
         vids.monitored_calls() <= 1,

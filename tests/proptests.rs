@@ -213,7 +213,7 @@ proptest! {
                 id: i as u64,
                 sent_at: SimTime::ZERO,
             };
-            let _ = vids.process(&pkt, SimTime::from_millis(i as u64 * 10));
+            vids.process_into(&pkt, SimTime::from_millis(i as u64 * 10), &mut vids::core::NullSink);
         }
     }
 }
@@ -272,7 +272,8 @@ mod valid_flows {
         let mut t = 0u64;
         let mut step = |vids: &mut Vids, src: Address, dst: Address, payload: Payload| {
             t += 20;
-            vids.process(
+            let mut sink = vids::core::CollectSink::new();
+            vids.process_into(
                 &Packet {
                     src,
                     dst,
@@ -281,7 +282,9 @@ mod valid_flows {
                     sent_at: SimTime::ZERO,
                 },
                 SimTime::from_millis(t),
-            )
+                &mut sink,
+            );
+            sink.into_alerts()
         };
 
         let sdp = SessionDescription::audio_offer("a", "10.1.0.10", 20_000, &[Codec::G729]);

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness surface this workspace uses —
+//! `Criterion`, `benchmark_group`/`bench_function`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with plain wall-clock measurement: a short warm-up, then timed batches
+//! whose mean ns/iter (and MiB/s when a throughput is set) is printed.
+//! There is no statistical analysis or HTML report. Like the real crate,
+//! `--test` mode (what `cargo test` passes to bench targets) runs each
+//! benchmark body once so the target doubles as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How a benchmark run measures: full sampling, or one-shot smoke test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Test,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Test
+    } else {
+        Mode::Bench
+    }
+}
+
+/// Units for reporting relative throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `body`, keeping its return value live via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.mode == Mode::Test {
+            std::hint::black_box(body());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm up and size the batch so one sample costs ~10ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(body());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let batch = ((10_000_000.0 / per_iter.max(1.0)) as u64).max(1);
+
+        // Take timed samples for ~300ms and report the mean.
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        let budget = Instant::now();
+        while budget.elapsed() < Duration::from_millis(300) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            total_ns += start.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+    }
+}
+
+fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>, mode: Mode) {
+    if mode == Mode::Test {
+        println!("test {id} ... ok (smoke)");
+        return;
+    }
+    let mut line = format!("bench {id:<44} {mean_ns:>14.1} ns/iter");
+    if let Some(tp) = throughput {
+        let per_sec = 1e9 / mean_ns.max(1e-9);
+        match tp {
+            Throughput::Bytes(n) => {
+                let mib_s = n as f64 * per_sec / (1024.0 * 1024.0);
+                line.push_str(&format!("  {mib_s:>10.1} MiB/s"));
+            }
+            Throughput::Elements(n) => {
+                let elem_s = n as f64 * per_sec;
+                line.push_str(&format!("  {elem_s:>12.0} elem/s"));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager; created by `criterion_group!`.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mode: self.mode,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(id, b.mean_ns, None, self.mode);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting by subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.mean_ns,
+            self.throughput,
+            self.criterion.mode,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target from its group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_positive_mean() {
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            mean_ns: 0.0,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut b = Bencher {
+            mode: Mode::Test,
+            mean_ns: 1.0,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.mean_ns, 0.0);
+    }
+}

@@ -1,0 +1,604 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`, strategies for integer ranges,
+//! tuples, regex-subset string patterns, `collection::vec`, `option::of`,
+//! `sample::subsequence`, and `any::<T>()`, plus `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints its
+//! inputs via the assertion message instead of minimizing them), and the
+//! per-test RNG seed is a hash of the test's module path, so runs are
+//! deterministic across invocations and machines.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::string::generate_pattern;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// String patterns are strategies over the regex subset documented in
+    /// [`crate::string`].
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain generation for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value over the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` from `inner` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over fixed collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`subsequence`].
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: Range<usize>,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let max = self.size.end.min(self.items.len() + 1);
+            let n = rng.rng.gen_range(self.size.start..max);
+            // Draw n distinct indices, then emit them in source order.
+            let mut picked: Vec<usize> = Vec::with_capacity(n);
+            while picked.len() < n {
+                let idx = rng.rng.gen_range(0..self.items.len());
+                if !picked.contains(&idx) {
+                    picked.push(idx);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+
+    /// A subsequence of `items` with length drawn from `size`, preserving
+    /// the original order.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: Range<usize>) -> Subsequence<T> {
+        assert!(!items.is_empty(), "subsequence of an empty collection");
+        assert!(
+            size.start <= items.len(),
+            "subsequence size exceeds collection"
+        );
+        Subsequence { items, size }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies.
+    //!
+    //! Supported: character classes `[a-z0-9-]` (ranges, literals, a
+    //! trailing/leading `-`), `.` (printable ASCII plus tab and CR),
+    //! literal characters, `\`-escapes, groups `(..)`, and the repetition
+    //! operators `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    enum Kind {
+        /// One character drawn from this alphabet.
+        Chars(Vec<char>),
+        /// A nested group.
+        Group(Vec<Atom>),
+    }
+
+    struct Atom {
+        kind: Kind,
+        min: u32,
+        max: u32,
+    }
+
+    fn dot_alphabet() -> Vec<char> {
+        // Printable ASCII plus the whitespace a text protocol actually
+        // meets; '\n' is excluded to match regex '.' semantics.
+        let mut v: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+        v.push('\t');
+        v.push('\r');
+        v
+    }
+
+    fn parse_class(chars: &mut Peekable<Chars>) -> Vec<char> {
+        let mut alphabet = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .expect("string strategy: unterminated character class");
+            match c {
+                ']' => break,
+                '\\' => alphabet.push(
+                    chars
+                        .next()
+                        .expect("string strategy: dangling escape in class"),
+                ),
+                _ => {
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next(); // the '-'
+                        match look.peek() {
+                            Some(&']') | None => alphabet.push(c), // literal '-' handled next loop
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                assert!(c <= hi, "string strategy: inverted class range");
+                                alphabet.extend((c..=hi).filter(|ch| ch.is_ascii() || c > '\u{7f}'));
+                            }
+                        }
+                    } else {
+                        alphabet.push(c);
+                    }
+                }
+            }
+        }
+        assert!(!alphabet.is_empty(), "string strategy: empty character class");
+        alphabet
+    }
+
+    fn parse_repetition(chars: &mut Peekable<Chars>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut min_text = String::new();
+                let mut max_text = None;
+                loop {
+                    match chars
+                        .next()
+                        .expect("string strategy: unterminated repetition")
+                    {
+                        '}' => break,
+                        ',' => max_text = Some(String::new()),
+                        d => match &mut max_text {
+                            Some(s) => s.push(d),
+                            None => min_text.push(d),
+                        },
+                    }
+                }
+                let min: u32 = min_text.parse().expect("string strategy: bad repetition");
+                let max = match max_text {
+                    Some(s) => s.parse().expect("string strategy: bad repetition"),
+                    None => min,
+                };
+                assert!(min <= max, "string strategy: inverted repetition");
+                (min, max)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_seq(chars: &mut Peekable<Chars>, in_group: bool) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' {
+                assert!(in_group, "string strategy: unmatched ')'");
+                return atoms;
+            }
+            chars.next();
+            let kind = match c {
+                '[' => Kind::Chars(parse_class(chars)),
+                '(' => {
+                    let inner = parse_seq(chars, true);
+                    assert_eq!(
+                        chars.next(),
+                        Some(')'),
+                        "string strategy: unterminated group"
+                    );
+                    Kind::Group(inner)
+                }
+                '.' => Kind::Chars(dot_alphabet()),
+                '\\' => Kind::Chars(vec![chars
+                    .next()
+                    .expect("string strategy: dangling escape")]),
+                _ => Kind::Chars(vec![c]),
+            };
+            let (min, max) = parse_repetition(chars);
+            atoms.push(Atom { kind, min, max });
+        }
+        assert!(!in_group, "string strategy: unterminated group");
+        atoms
+    }
+
+    fn generate_seq(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+        for atom in atoms {
+            let reps = rng.rng.gen_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                match &atom.kind {
+                    Kind::Chars(alphabet) => {
+                        out.push(alphabet[rng.rng.gen_range(0..alphabet.len())]);
+                    }
+                    Kind::Group(inner) => generate_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse_seq(&mut pattern.chars().peekable(), false);
+        let mut out = String::new();
+        generate_seq(&atoms, rng, &mut out);
+        out
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and RNG.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the offline suite
+            // quick while still exercising the generators broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG (seeded from the test's path).
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// An RNG whose seed is a stable hash of `test_path`.
+        pub fn for_test(test_path: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_path.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let ($($pat,)+) =
+                    ($( $crate::strategy::Strategy::generate(&($strat), &mut __rng) ,)+);
+                $body
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_strings_match_their_shape() {
+        let mut rng = TestRng::for_test("shape");
+        for _ in 0..500 {
+            let s = crate::string::generate_pattern("[a-z][a-z0-9]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let host = crate::string::generate_pattern(
+                "[a-z][a-z0-9]{0,6}(\\.[a-z]{2,5}){1,2}",
+                &mut rng,
+            );
+            let labels: Vec<&str> = host.split('.').collect();
+            assert!(labels.len() == 2 || labels.len() == 3, "{host:?}");
+            assert!(labels.iter().all(|l| !l.is_empty()));
+
+            let dashed = crate::string::generate_pattern("[a-z0-9-]{3,24}", &mut rng);
+            assert!((3..=24).contains(&dashed.len()));
+            assert!(dashed
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let mut rng = TestRng::for_test("dot");
+        for _ in 0..200 {
+            let s = crate::string::generate_pattern(".{0,400}", &mut rng);
+            assert!(s.len() <= 400);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_bounds() {
+        let mut rng = TestRng::for_test("subseq");
+        let items = vec![1, 2, 3, 4];
+        let strat = crate::sample::subsequence(items.clone(), 1..5);
+        for _ in 0..200 {
+            let sub = strat.generate(&mut rng);
+            assert!((1..=4).contains(&sub.len()));
+            let mut positions = sub.iter().map(|v| items.iter().position(|i| i == v).unwrap());
+            let mut last = None;
+            for p in &mut positions {
+                assert!(last.is_none_or(|l| p > l), "order not preserved");
+                last = Some(p);
+            }
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = TestRng::for_test("opt");
+        let strat = crate::option::of(0u8..10);
+        let values: Vec<Option<u8>> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_some()));
+        assert!(values.iter().any(|v| v.is_none()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_patterns(x in 0u32..50, flip in any::<bool>(), s in "[ab]{2,3}") {
+            prop_assert!(x < 50);
+            prop_assert_ne!(s.len(), 0);
+            let toggled = !flip;
+            prop_assert_ne!(flip, toggled);
+            prop_assert!(s.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` as forward-looking
+//! markers (no serialization is performed anywhere yet), so this stand-in
+//! provides empty marker traits and a derive macro that emits empty impls.
+//! If a future PR starts serializing for real, this crate is the seam where
+//! the actual wire format gets implemented.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,41 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The real `serde_derive` generates full (de)serialization code; the
+//! stand-in's traits are empty markers, so these derives only need to name
+//! the type and emit empty impls. Generic types are not supported — nothing
+//! in the workspace derives serde on a generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name in a `struct`/`enum`/`union` item, skipping
+/// attributes and visibility qualifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stand-in derive: expected a struct, enum, or union");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

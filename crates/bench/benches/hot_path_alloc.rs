@@ -1,0 +1,48 @@
+//! Hot-path throughput: events/sec over the mixed fig8-style workload.
+//!
+//! Guards the zero-allocation classify → EFSM → fact-base path: the same
+//! `synth_call_batch` mix (call setup, steady RTP, teardown) is pushed
+//! through the plain `Vids` engine packet-at-a-time and through the sharded
+//! `VidsPool` in one batch. `scripts/bench_baseline.sh` captures the
+//! `elem/s` figures into `BENCH_hotpath.json` so regressions show up as a
+//! broken perf trajectory rather than a vague feeling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use vids::core::{Config, CostModel, NullSink, Vids, VidsPool};
+use vids::netsim::time::SimTime;
+
+fn bench(c: &mut Criterion) {
+    // 60 calls × 20 RTP packets each: dominated by steady-state media with
+    // a realistic signaling fraction, matching the Fig. 8 workload shape.
+    let batch = vids_bench::synth_call_batch(60, 20);
+
+    let mut group = c.benchmark_group("hot_path");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    group.bench_function("vids_mixed_fig8", |b| {
+        b.iter(|| {
+            let mut vids = Vids::with_cost(Config::default(), CostModel::free());
+            let mut sink = NullSink;
+            for p in &batch {
+                vids.process_into(std::hint::black_box(p), p.sent_at, &mut sink);
+            }
+            std::hint::black_box(vids.counters().rtp_packets)
+        })
+    });
+
+    let shards = vids_bench::shards_knob();
+    group.bench_function(&format!("pool_mixed_fig8_{shards}_shards"), |b| {
+        b.iter(|| {
+            let config = Config::builder().shards(shards).build().unwrap();
+            let mut pool = VidsPool::with_cost(config, CostModel::free());
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            std::hint::black_box(pool.counters().rtp_packets)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

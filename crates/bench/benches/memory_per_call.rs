@@ -52,6 +52,14 @@ fn print_figure() {
         "{}",
         row("paper per-call state", "~490 B", "(450 B SIP + 40 B RTP)".to_owned())
     );
+    println!(
+        "{}",
+        row(
+            "value accounting",
+            "-",
+            "Str = 24 B header + capacity; interned Sym = 4 B handle".to_owned(),
+        )
+    );
     println!("\n{:>8} {:>14} {:>12}", "calls", "total bytes", "bytes/call");
     let mut last = 0usize;
     for n in [1usize, 10, 100, 1_000, 5_000] {

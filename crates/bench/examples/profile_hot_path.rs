@@ -1,0 +1,23 @@
+//! Standalone loop over the hot-path workload for profiler attachment.
+//!
+//! `cargo run --release -p vids-bench --example profile_hot_path [iters]`
+
+use vids::core::{Config, CostModel, NullSink, Vids};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let batch = vids_bench::synth_call_batch(60, 20);
+    let mut total = 0u64;
+    for _ in 0..iters {
+        let mut vids = Vids::with_cost(Config::default(), CostModel::free());
+        let mut sink = NullSink;
+        for p in &batch {
+            vids.process_into(std::hint::black_box(p), p.sent_at, &mut sink);
+        }
+        total += vids.counters().rtp_packets;
+    }
+    println!("{total}");
+}

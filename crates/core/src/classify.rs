@@ -9,13 +9,22 @@
 //! vector `x̄` the predicates inspect; the per-call grouping (Call-ID for
 //! SIP, negotiated media coordinates for RTP) happens in the engine against
 //! the fact base.
+//!
+//! This is the engine's interning boundary: SIP fields are borrowed as
+//! `&str` slices straight out of the datagram (via [`vids_sip::view`]),
+//! interned exactly once, and everything downstream — fact base, shard
+//! router, EFSM predicates — keys on the resulting copyable [`Sym`]s. A
+//! steady-state packet whose strings have been seen before allocates
+//! nothing here.
 
-use vids_efsm::event::Event;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use vids_efsm::intern::sym;
+use vids_efsm::{Event, Sym};
 use vids_netsim::packet::{Packet, Payload};
-use vids_rtp::packet::RtpPacket;
-use vids_sdp::SessionDescription;
-use vids_sip::message::Message;
-use vids_sip::parse::parse_message;
+use vids_rtp::packet::{ParseRtpError, RtpHeader};
+use vids_sip::view::{parse_view, SipView, StartLine};
 use vids_sip::Method;
 
 /// The result of classifying one packet.
@@ -23,8 +32,8 @@ use vids_sip::Method;
 pub enum Classified {
     /// A parsed SIP message, ready for the per-call SIP machine.
     Sip {
-        /// The grouping key.
-        call_id: String,
+        /// The grouping key, interned.
+        call_id: Sym,
         /// The EFSM event (named `SIP.<METHOD>` / `SIP.<class>xx`).
         event: Event,
         /// Whether this is a dialog-forming INVITE (no To tag yet): it may
@@ -44,8 +53,8 @@ pub enum Classified {
     Malformed {
         /// `"SIP"` or `"RTP"`.
         protocol: &'static str,
-        /// Parser diagnosis.
-        reason: String,
+        /// Parser diagnosis; static so flagging damage never allocates.
+        reason: &'static str,
     },
     /// Traffic vids does not monitor (raw background payloads).
     Ignored,
@@ -54,131 +63,188 @@ pub enum Classified {
 /// Classifies one packet into an EFSM event.
 pub fn classify(packet: &Packet) -> Classified {
     match &packet.payload {
-        Payload::Sip(text) => match parse_message(text) {
-            Ok(msg) => sip_event(&msg, packet),
+        Payload::Sip(text) => match parse_view(text) {
+            Ok(view) => sip_event(&view, packet),
             Err(e) => Classified::Malformed {
                 protocol: "SIP",
-                reason: e.to_string(),
+                reason: e.reason(),
             },
         },
-        Payload::Rtp(bytes) => match RtpPacket::parse(bytes) {
-            Ok(rtp) => Classified::Rtp {
-                event: rtp_event(&rtp, packet),
+        Payload::Rtp(bytes) => match RtpHeader::parse(bytes) {
+            Ok(header) => Classified::Rtp {
+                event: rtp_event(&header, packet),
             },
             Err(e) => Classified::Malformed {
                 protocol: "RTP",
-                reason: e.to_string(),
+                reason: rtp_reason(e),
             },
         },
         Payload::Raw(_) => Classified::Ignored,
     }
 }
 
-/// The EFSM event name for a SIP message: requests map to their method,
-/// responses to their class (`SIP.1xx`, `SIP.2xx`, `SIP.failure`).
-pub fn sip_event_name(msg: &Message) -> String {
-    match msg {
-        Message::Request(req) => format!("SIP.{}", req.method),
-        Message::Response(resp) => {
-            if resp.status.is_provisional() {
-                "SIP.1xx".to_owned()
-            } else if resp.status.is_success() {
-                "SIP.2xx".to_owned()
-            } else if resp.status.is_redirect() {
-                "SIP.3xx".to_owned()
-            } else {
-                "SIP.failure".to_owned()
-            }
-        }
+/// Interns the dotted-quad text of a numeric ip, with a cache keyed on the
+/// `u32` so the steady-state path neither formats nor locks the interner's
+/// write side.
+pub fn ip_sym(ip: u32) -> Sym {
+    static CACHE: OnceLock<RwLock<HashMap<u32, Sym>>> = OnceLock::new();
+    let lock = CACHE.get_or_init(|| RwLock::new(HashMap::with_capacity(64)));
+    if let Some(&s) = lock.read().unwrap().get(&ip) {
+        return s;
+    }
+    let [a, b, c, d] = ip.to_be_bytes();
+    let s = Sym::intern(&format!("{a}.{b}.{c}.{d}"));
+    lock.write().unwrap().insert(ip, s);
+    s
+}
+
+/// The pre-seeded EFSM event name for a request method: `SIP.<METHOD>`.
+pub fn method_event_sym(method: Method) -> Sym {
+    match method {
+        Method::Invite => sym::SIP_INVITE,
+        Method::Ack => sym::SIP_ACK,
+        Method::Bye => sym::SIP_BYE,
+        Method::Cancel => sym::SIP_CANCEL,
+        Method::Register => sym::SIP_REGISTER,
+        Method::Options => sym::SIP_OPTIONS,
+        Method::Info => sym::SIP_INFO,
+        Method::Update => sym::SIP_UPDATE,
+        Method::Prack => sym::SIP_PRACK,
+        Method::Subscribe => sym::SIP_SUBSCRIBE,
+        Method::Notify => sym::SIP_NOTIFY,
+        Method::Refer => sym::SIP_REFER,
+        Method::MessageMethod => sym::SIP_MESSAGE,
     }
 }
 
-fn sip_event(msg: &Message, packet: &Packet) -> Classified {
-    let headers = msg.headers();
-    let call_id = msg.call_id().to_owned();
-    let mut event = Event::data(sip_event_name(msg))
-        .with_str("src_ip", packet.src.ip_string())
-        .with_str("dst_ip", packet.dst.ip_string())
-        .with_str("call_id", call_id.clone())
-        .with_str(
-            "from_tag",
-            headers.from_header().and_then(|f| f.tag()).unwrap_or(""),
-        )
-        .with_str(
-            "to_tag",
-            headers.to_header().and_then(|t| t.tag()).unwrap_or(""),
-        )
-        .with_str(
-            "branch",
-            headers.top_via().and_then(|v| v.branch()).unwrap_or(""),
-        );
-    if let Some(cseq) = headers.cseq() {
-        event = event
-            .with_uint("cseq", cseq.seq as u64)
-            .with_str("cseq_method", cseq.method.as_str());
+fn rtp_reason(e: ParseRtpError) -> &'static str {
+    match e {
+        ParseRtpError::TooShort { .. } => "RTP packet too short",
+        ParseRtpError::BadVersion { .. } => "unsupported RTP version",
+        ParseRtpError::UnsupportedCsrc { .. } => "unsupported CSRC count",
+        ParseRtpError::UnsupportedExtension => "unsupported header extension",
     }
-    if let Some(status) = msg.status() {
-        event = event.with_uint("status", status.as_u16() as u64);
+}
+
+fn sip_event(view: &SipView<'_>, packet: &Packet) -> Classified {
+    let call_id = Sym::intern(view.call_id);
+    let name = match view.start {
+        StartLine::Request { method, .. } => method_event_sym(method),
+        StartLine::Response { status } => {
+            if status.is_provisional() {
+                sym::SIP_1XX
+            } else if status.is_success() {
+                sym::SIP_2XX
+            } else if status.is_redirect() {
+                sym::SIP_3XX
+            } else {
+                sym::SIP_FAILURE
+            }
+        }
+    };
+    let to_tag = view.to.and_then(|t| t.tag);
+    let mut event = Event::data(name)
+        .with_sym(sym::SRC_IP, ip_sym(packet.src.ip))
+        .with_sym(sym::DST_IP, ip_sym(packet.dst.ip))
+        .with_sym(sym::CALL_ID, call_id)
+        .with_sym(
+            sym::FROM_TAG,
+            Sym::intern(view.from.and_then(|f| f.tag).unwrap_or("")),
+        )
+        .with_sym(sym::TO_TAG, Sym::intern(to_tag.unwrap_or("")))
+        .with_sym(sym::BRANCH, Sym::intern(view.branch.unwrap_or("")));
+    if let Some((seq, method)) = view.cseq {
+        event = event
+            .with_uint(sym::CSEQ, seq as u64)
+            .with_sym(sym::CSEQ_METHOD, Sym::intern(method.as_str()));
+    }
+    if let Some(status) = view.status() {
+        event = event.with_uint(sym::STATUS, status.as_u16() as u64);
     }
 
-    // REGISTER: arguments for the registration-monitoring machine.
-    if msg.method() == Some(Method::Register) {
-        if let Some(to) = headers.to_header() {
-            event = event.with_str(
-                "aor",
-                format!("{}@{}", to.uri().user().unwrap_or(""), to.uri().host()),
-            );
+    // REGISTER: arguments for the registration-monitoring machine. AORs
+    // are interned like Call-IDs; the format! is off the steady-state path.
+    if view.method() == Some(Method::Register) {
+        if let Some(to) = view.to {
+            let aor = format!("{}@{}", to.user().unwrap_or(""), to.host());
+            event = event.with_sym(sym::AOR, Sym::intern(&aor));
         }
-        if let Some(contact) = headers.contact() {
-            event = event.with_str("contact_ip", contact.uri().host());
+        if let Some(contact) = view.contact {
+            event = event.with_sym(sym::CONTACT_IP, Sym::intern(contact.host()));
         }
-        let expires = headers
-            .iter()
-            .find_map(|h| match h {
-                vids_sip::headers::Header::Expires(v) => Some(*v as u64),
-                _ => None,
-            })
-            .unwrap_or(3600);
-        event = event.with_uint("expires", expires);
+        event = event.with_uint(sym::EXPIRES, view.expires.map_or(3_600, u64::from));
     }
 
     // SDP bodies feed the RTP machine's media coordinates.
-    if headers.content_type() == Some(vids_sdp::MIME_TYPE) {
-        if let Ok(sdp) = msg.body().parse::<SessionDescription>() {
-            if let Some(audio) = sdp.first_audio() {
-                event = event
-                    .with_bool("has_sdp", true)
-                    .with_str("sdp_ip", sdp.media_addr())
-                    .with_uint("sdp_port", audio.port as u64);
-                if let Some(pt) = audio.formats.first() {
-                    event = event.with_uint("sdp_pt", pt.0 as u64);
-                }
+    if view.content_type == Some(vids_sdp::MIME_TYPE) {
+        if let Some(sdp) = scan_sdp(view.body) {
+            event = event
+                .with_bool(sym::HAS_SDP, true)
+                .with_sym(sym::SDP_IP, Sym::intern(sdp.ip))
+                .with_uint(sym::SDP_PORT, sdp.port);
+            if let Some(pt) = sdp.pt {
+                event = event.with_uint(sym::SDP_PT, pt);
             }
         }
     }
 
-    let is_initial_invite = msg.method() == Some(Method::Invite)
-        && headers.to_header().and_then(|t| t.tag()).is_none();
+    let is_initial_invite = view.method() == Some(Method::Invite) && to_tag.is_none();
     Classified::Sip {
         call_id,
         event,
         is_initial_invite,
-        is_request: msg.is_request(),
+        is_request: view.is_request(),
         dst_ip: packet.dst.ip,
     }
 }
 
-fn rtp_event(rtp: &RtpPacket, packet: &Packet) -> Event {
-    Event::data("RTP.Packet")
-        .with_str("src_ip", packet.src.ip_string())
-        .with_uint("src_port", packet.src.port as u64)
-        .with_str("dst_ip", packet.dst.ip_string())
-        .with_uint("dst_port", packet.dst.port as u64)
-        .with_uint("ssrc", rtp.ssrc as u64)
-        .with_uint("seq", rtp.sequence_number as u64)
-        .with_uint("ts", rtp.timestamp as u64)
-        .with_uint("pt", rtp.payload_type as u64)
-        .with_uint("size", packet.wire_bytes() as u64)
+struct SdpScan<'a> {
+    ip: &'a str,
+    port: u64,
+    pt: Option<u64>,
+}
+
+/// Scans an SDP body for the effective connection address and the first
+/// `m=audio` section, borrowing slices instead of building a
+/// [`vids_sdp::SessionDescription`]. Session-level `c=` wins over the
+/// origin address, matching `SessionDescription::media_addr`.
+fn scan_sdp(body: &str) -> Option<SdpScan<'_>> {
+    let mut origin = "";
+    let mut connection = "";
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("o=") {
+            origin = rest.split_whitespace().next_back().unwrap_or("");
+        } else if let Some(rest) = line.strip_prefix("c=") {
+            connection = rest.strip_prefix("IN IP4 ")?.trim();
+        } else if let Some(rest) = line.strip_prefix("m=audio ") {
+            let mut tokens = rest.split_whitespace();
+            let port: u16 = tokens.next()?.parse().ok()?;
+            if tokens.next()? != "RTP/AVP" {
+                return None;
+            }
+            let pt = tokens.next().and_then(|t| t.parse::<u8>().ok()).map(u64::from);
+            let ip = if connection.is_empty() { origin } else { connection };
+            return Some(SdpScan {
+                ip,
+                port: port as u64,
+                pt,
+            });
+        }
+    }
+    None
+}
+
+fn rtp_event(header: &RtpHeader, packet: &Packet) -> Event {
+    Event::data(sym::RTP_PACKET)
+        .with_sym(sym::SRC_IP, ip_sym(packet.src.ip))
+        .with_uint(sym::SRC_PORT, packet.src.port as u64)
+        .with_sym(sym::DST_IP, ip_sym(packet.dst.ip))
+        .with_uint(sym::DST_PORT, packet.dst.port as u64)
+        .with_uint(sym::SSRC, header.ssrc as u64)
+        .with_uint(sym::SEQ, header.sequence_number as u64)
+        .with_uint(sym::TS, header.timestamp as u64)
+        .with_uint(sym::PT, header.payload_type as u64)
+        .with_uint(sym::SIZE, packet.wire_bytes() as u64)
 }
 
 #[cfg(test)]
@@ -186,7 +252,8 @@ mod tests {
     use super::*;
     use vids_netsim::packet::Address;
     use vids_netsim::time::SimTime;
-    use vids_sdp::Codec;
+    use vids_rtp::packet::RtpPacket;
+    use vids_sdp::{Codec, SessionDescription};
     use vids_sip::message::Request;
     use vids_sip::{SipUri, StatusCode};
 
@@ -340,5 +407,12 @@ mod tests {
     fn raw_traffic_is_ignored() {
         let pkt = packet(Payload::Raw(vec![1, 2, 3]));
         assert_eq!(classify(&pkt), Classified::Ignored);
+    }
+
+    #[test]
+    fn ip_sym_is_stable_and_matches_dotted_quad() {
+        let addr = Address::new(192, 168, 7, 9, 0);
+        assert_eq!(ip_sym(addr.ip).as_str(), addr.ip_string());
+        assert_eq!(ip_sym(addr.ip), ip_sym(addr.ip));
     }
 }

@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 
 use vids_efsm::network::NetworkOutcome;
-use vids_efsm::Event;
+use vids_efsm::{sym, Event, Sym};
 use vids_netsim::packet::Packet;
 use vids_netsim::time::SimTime;
 
@@ -63,7 +63,7 @@ pub(crate) const SWEEP_INTERVAL_MS: u64 = 100;
 /// DRDoS reflection machine.
 pub(crate) struct ResponseMiss {
     /// The responder (reflection source).
-    pub src_ip: String,
+    pub src_ip: Sym,
 }
 
 /// The vids intrusion detection system. Feed it every packet crossing the
@@ -202,15 +202,15 @@ impl Vids {
                 is_request,
                 dst_ip,
             } => {
-                if event.name == "SIP.REGISTER" {
+                if event.name == sym::SIP_REGISTER {
                     self.ingest_register(event, now_ms, sink);
                     return;
                 }
-                if event.name == "SIP.INVITE" {
+                if event.name == sym::SIP_INVITE {
                     self.ingest_invite_flood(event.clone(), dst_ip, now_ms, sink);
                 }
                 if let Some(miss) =
-                    self.ingest_call_event(&call_id, event, is_initial_invite, is_request, now_ms, sink)
+                    self.ingest_call_event(call_id, event, is_initial_invite, is_request, now_ms, sink)
                 {
                     self.ingest_response_flood(dst_ip, miss.src_ip, now_ms, sink);
                 }
@@ -233,8 +233,8 @@ impl Vids {
         sink: &mut S,
     ) {
         self.counters.sip_packets += 1;
-        let aor = event.str_arg("aor").unwrap_or("").to_owned();
-        let net = self.factbase.registration_mut(&aor);
+        let aor = event.sym_arg(sym::AOR).unwrap_or_default();
+        let net = self.factbase.registration_mut(aor);
         net.advance_time(now_ms);
         let target = net.machine_by_name("register").unwrap();
         let outcome = net.deliver(target, event, now_ms);
@@ -264,7 +264,7 @@ impl Vids {
     /// must feed to the destination's DRDoS reflection detector.
     pub(crate) fn ingest_call_event<S: AlertSink + ?Sized>(
         &mut self,
-        call_id: &str,
+        call_id: Sym,
         event: Event,
         is_initial_invite: bool,
         is_request: bool,
@@ -285,7 +285,7 @@ impl Vids {
             outcome.deviations.extend(delivered.deviations);
             outcome.nondeterministic |= delivered.nondeterministic;
             self.factbase.refresh_media_index(call_id);
-            self.absorb(outcome, call_id, now_ms, Some(call_id), sink);
+            self.absorb(outcome, call_id.as_str(), now_ms, Some(call_id.as_str()), sink);
         } else if is_request {
             // A non-dialog-forming request for an unknown call:
             // a specification anomaly worth an alert.
@@ -294,7 +294,7 @@ impl Vids {
                 now_ms,
                 AlertKind::Deviation,
                 format!("unassociated-request:{}", event.name),
-                Some(call_id.to_owned()),
+                Some(call_id.as_str().to_owned()),
                 "engine",
                 format!("request for unmonitored call {call_id}"),
                 sink,
@@ -304,7 +304,7 @@ impl Vids {
             // evidence, counted against its destination.
             self.counters.unassociated_sip_responses += 1;
             return Some(ResponseMiss {
-                src_ip: event.str_arg("src_ip").unwrap_or("").to_owned(),
+                src_ip: event.sym_arg(sym::SRC_IP).unwrap_or_default(),
             });
         }
         None
@@ -315,14 +315,14 @@ impl Vids {
     pub(crate) fn ingest_response_flood<S: AlertSink + ?Sized>(
         &mut self,
         dst_ip: u32,
-        src_ip: String,
+        src_ip: Sym,
         now_ms: u64,
         sink: &mut S,
     ) {
         let net = self.factbase.response_flood_mut(dst_ip);
         net.advance_time(now_ms);
         let target = net.machine_by_name("response-flood").unwrap();
-        let synthetic = Event::data("SIP.response.unassociated").with_arg("src_ip", src_ip);
+        let synthetic = Event::data(sym::SIP_RESPONSE_UNASSOCIATED).with_sym(sym::SRC_IP, src_ip);
         let outcome = net.deliver(target, synthetic, now_ms);
         self.absorb(outcome, &format!("dst:{dst_ip}"), now_ms, None, sink);
     }
@@ -336,22 +336,18 @@ impl Vids {
         sink: &mut S,
     ) {
         self.counters.rtp_packets += 1;
-        let dst_ip = event.str_arg("dst_ip").unwrap_or("").to_owned();
-        let dst_port = event.uint_arg("dst_port").unwrap_or(0);
-        let call_id = self
-            .factbase
-            .media_lookup(&dst_ip, dst_port)
-            .map(str::to_owned);
-        match call_id {
+        let dst_ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
+        let dst_port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
+        match self.factbase.media_lookup(dst_ip, dst_port) {
             Some(call_id) => {
-                let record = self.factbase.call_mut(&call_id).unwrap();
+                let record = self.factbase.call_mut(call_id).unwrap();
                 let mut outcome = record.network.advance_time(now_ms);
                 let rtp = record.network.machine_by_name("rtp").unwrap();
                 let delivered = record.network.deliver(rtp, event, now_ms);
                 outcome.alerts.extend(delivered.alerts);
                 outcome.deviations.extend(delivered.deviations);
                 outcome.nondeterministic |= delivered.nondeterministic;
-                self.absorb(outcome, &call_id, now_ms, Some(&call_id), sink);
+                self.absorb(outcome, call_id.as_str(), now_ms, Some(call_id.as_str()), sink);
             }
             None => {
                 self.counters.unassociated_rtp += 1;
@@ -371,8 +367,8 @@ impl Vids {
     /// An unparseable SIP/RTP datagram.
     pub(crate) fn ingest_malformed<S: AlertSink + ?Sized>(
         &mut self,
-        protocol: &str,
-        reason: String,
+        protocol: &'static str,
+        reason: &'static str,
         now_ms: u64,
         sink: &mut S,
     ) {
@@ -383,7 +379,7 @@ impl Vids {
             format!("malformed-{}", protocol.to_ascii_lowercase()),
             None,
             "classifier",
-            reason,
+            reason.to_owned(),
             sink,
         );
     }
@@ -405,14 +401,16 @@ impl Vids {
 
     fn sweep_calls<S: AlertSink + ?Sized>(&mut self, now_ms: u64, sink: &mut S) {
         // Sorted order keeps sweep output independent of hash-map iteration,
-        // so single-engine runs are comparable with sharded ones.
-        let mut ids: Vec<String> = self.factbase.call_ids().map(str::to_owned).collect();
-        ids.sort_unstable();
+        // so single-engine runs are comparable with sharded ones. Sort by
+        // text, not symbol id: ids depend on interning order, which varies
+        // with packet interleaving across shards.
+        let mut ids: Vec<Sym> = self.factbase.call_ids().collect();
+        ids.sort_unstable_by_key(|id| id.as_str());
         for id in ids {
-            if let Some(record) = self.factbase.call_mut(&id) {
+            if let Some(record) = self.factbase.call_mut(id) {
                 let outcome = record.network.advance_time(now_ms);
                 if outcome.transitions > 0 || outcome.is_suspicious() {
-                    self.absorb(outcome, &id, now_ms, Some(&id), sink);
+                    self.absorb(outcome, id.as_str(), now_ms, Some(id.as_str()), sink);
                 }
             }
         }

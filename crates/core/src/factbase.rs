@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use vids_efsm::machine::MachineDef;
 use vids_efsm::network::Network;
+use vids_efsm::{Sym, SymKey};
 
 use crate::config::Config;
 use crate::machines::flood::{invite_flood_machine, response_flood_machine};
@@ -50,13 +51,14 @@ pub struct FactBase {
     invite_flood_def: Arc<MachineDef>,
     response_flood_def: Arc<MachineDef>,
     registration_def: Arc<MachineDef>,
-    calls: HashMap<String, CallRecord>,
+    calls: HashMap<Sym, CallRecord>,
     /// `(media ip, media port) -> call id`, rebuilt from the call-global
-    /// variables the SIP machine publishes.
-    media_index: HashMap<(String, u64), String>,
+    /// variables the SIP machine publishes. Interned keys: probing on the
+    /// RTP hot path is a `u32` hash, never a string allocation.
+    media_index: HashMap<(Sym, u64), Sym>,
     invite_flood: HashMap<u32, Network>,
     response_flood: HashMap<u32, Network>,
-    registrations: HashMap<String, Network>,
+    registrations: HashMap<Sym, Network>,
     stats: FactBaseStats,
 }
 
@@ -91,23 +93,26 @@ impl FactBase {
         self.stats
     }
 
-    /// Access a monitored call.
-    pub fn call_mut(&mut self, call_id: &str) -> Option<&mut CallRecord> {
-        self.calls.get_mut(call_id)
+    /// Access a monitored call. Accepts a `Sym` or a raw `&str`; a string
+    /// nobody ever interned cannot name a monitored call, so the miss path
+    /// neither allocates nor grows the interner.
+    pub fn call_mut(&mut self, call_id: impl SymKey) -> Option<&mut CallRecord> {
+        self.calls.get_mut(&call_id.find_sym()?)
     }
 
     /// Shared access (introspection in tests and examples).
-    pub fn call(&self, call_id: &str) -> Option<&CallRecord> {
-        self.calls.get(call_id)
+    pub fn call(&self, call_id: impl SymKey) -> Option<&CallRecord> {
+        self.calls.get(&call_id.find_sym()?)
     }
 
     /// Call-IDs currently monitored (unordered).
-    pub fn call_ids(&self) -> impl Iterator<Item = &str> {
-        self.calls.keys().map(String::as_str)
+    pub fn call_ids(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.calls.keys().copied()
     }
 
     /// Instantiates the per-call machine network for a new call.
-    pub fn create_call(&mut self, call_id: &str, now_ms: u64) -> &mut CallRecord {
+    pub fn create_call(&mut self, call_id: impl SymKey, now_ms: u64) -> &mut CallRecord {
+        let call_id = call_id.to_sym();
         self.stats.calls_created += 1;
         let mut network = Network::new();
         network.add_machine(Arc::clone(&self.sip_def));
@@ -120,16 +125,16 @@ impl FactBase {
             created_ms: now_ms,
             final_since_ms: None,
         };
-        self.calls.entry(call_id.to_owned()).or_insert(record);
+        self.calls.entry(call_id).or_insert(record);
         self.stats.peak_concurrent = self.stats.peak_concurrent.max(self.calls.len());
-        self.calls.get_mut(call_id).unwrap()
+        self.calls.get_mut(&call_id).unwrap()
     }
 
     /// Re-reads a call's global variables and refreshes the media index so
     /// RTP packets can be grouped with the call. Call after every SIP event
     /// delivered to the call.
-    pub fn refresh_media_index(&mut self, call_id: &str) {
-        let Some(record) = self.calls.get(call_id) else {
+    pub fn refresh_media_index(&mut self, call_id: Sym) {
+        let Some(record) = self.calls.get(&call_id) else {
             return;
         };
         let globals = record.network.globals();
@@ -137,20 +142,17 @@ impl FactBase {
             ("g_caller_media_ip", "g_caller_media_port"),
             ("g_callee_media_ip", "g_callee_media_port"),
         ] {
-            if let (Some(ip), Some(port)) = (globals.str(ip_var), globals.uint(port_var)) {
-                if !ip.is_empty() && port != 0 {
-                    self.media_index
-                        .insert((ip.to_owned(), port), call_id.to_owned());
+            if let (Some(ip), Some(port)) = (globals.sym(ip_var), globals.uint(port_var)) {
+                if ip != vids_efsm::sym::EMPTY && port != 0 {
+                    self.media_index.insert((ip, port), call_id);
                 }
             }
         }
     }
 
     /// Looks up the call owning a media endpoint.
-    pub fn media_lookup(&self, ip: &str, port: u64) -> Option<&str> {
-        self.media_index
-            .get(&(ip.to_owned(), port))
-            .map(String::as_str)
+    pub fn media_lookup(&self, ip: impl SymKey, port: u64) -> Option<Sym> {
+        self.media_index.get(&(ip.find_sym()?, port)).copied()
     }
 
     /// The per-destination INVITE-flood machine (Fig. 4), created on first
@@ -176,9 +178,9 @@ impl FactBase {
     }
 
     /// The per-AOR registration machine (extension), created on first use.
-    pub fn registration_mut(&mut self, aor: &str) -> &mut Network {
+    pub fn registration_mut(&mut self, aor: impl SymKey) -> &mut Network {
         let def = Arc::clone(&self.registration_def);
-        self.registrations.entry(aor.to_owned()).or_insert_with(|| {
+        self.registrations.entry(aor.to_sym()).or_insert_with(|| {
             let mut n = Network::new();
             n.add_machine(def);
             n
@@ -187,19 +189,22 @@ impl FactBase {
 
     /// Marks finished calls and evicts those final for longer than the
     /// configured grace period. Returns the evicted call ids.
-    pub fn sweep(&mut self, now_ms: u64) -> Vec<String> {
+    pub fn sweep(&mut self, now_ms: u64) -> Vec<Sym> {
         let delay = self.config.eviction_delay.as_millis();
         let mut evicted = Vec::new();
         for (id, record) in &mut self.calls {
             if record.network.all_final() {
                 let since = *record.final_since_ms.get_or_insert(now_ms);
                 if now_ms.saturating_sub(since) >= delay {
-                    evicted.push(id.clone());
+                    evicted.push(*id);
                 }
             } else {
                 record.final_since_ms = None;
             }
         }
+        // Text order, not slot order: interner ids depend on arrival
+        // interleaving, so only the string is deterministic across runs.
+        evicted.sort_unstable_by_key(|id| id.as_str());
         for id in &evicted {
             self.calls.remove(id);
             self.media_index.retain(|_, call| call != id);
@@ -216,12 +221,12 @@ impl FactBase {
         let calls: usize = self
             .calls
             .iter()
-            .map(|(id, r)| id.len() + r.network.memory_bytes() + 32)
+            .map(|(id, r)| id.as_str().len() + r.network.memory_bytes() + 32)
             .sum();
         let index: usize = self
             .media_index
             .iter()
-            .map(|((ip, _), call)| ip.len() + 8 + call.len())
+            .map(|((ip, _), call)| ip.as_str().len() + 8 + call.as_str().len())
             .sum();
         let floods: usize = self
             .invite_flood
@@ -232,7 +237,7 @@ impl FactBase {
         let registrations: usize = self
             .registrations
             .iter()
-            .map(|(aor, n)| aor.len() + n.memory_bytes())
+            .map(|(aor, n)| aor.as_str().len() + n.memory_bytes())
             .sum();
         calls + index + floods + registrations
     }
@@ -266,9 +271,9 @@ mod tests {
             let sip = record.network.machine_by_name("sip").unwrap();
             record.network.deliver(sip, invite_event(), 0);
         }
-        fb.refresh_media_index("c1");
+        fb.refresh_media_index(Sym::intern("c1"));
         assert_eq!(fb.call_count(), 1);
-        assert_eq!(fb.media_lookup("10.1.0.10", 20_000), Some("c1"));
+        assert_eq!(fb.media_lookup("10.1.0.10", 20_000).unwrap(), "c1");
         assert_eq!(fb.media_lookup("10.9.9.9", 20_000), None);
         assert_eq!(fb.stats().calls_created, 1);
         assert_eq!(fb.stats().peak_concurrent, 1);
@@ -337,7 +342,7 @@ mod tests {
         }
         assert!(fb.sweep(5_000).is_empty(), "grace period not yet over");
         let evicted = fb.sweep(5_200);
-        assert_eq!(evicted, vec!["c1".to_owned()]);
+        assert_eq!(evicted, vec![Sym::intern("c1")]);
         assert_eq!(fb.call_count(), 0);
         assert_eq!(fb.stats().calls_evicted, 1);
         assert_eq!(fb.media_lookup("10.1.0.10", 20_000), None);
@@ -354,7 +359,7 @@ mod tests {
             let mut ev = invite_event();
             ev.args.set("call_id", id.clone());
             record.network.deliver(sip, ev, 0);
-            fb.refresh_media_index(&id);
+            fb.refresh_media_index(Sym::intern(&id));
             sizes.push(fb.memory_bytes());
         }
         // Roughly linear: the 20th increment is close to the 2nd.

@@ -9,6 +9,8 @@
 //! after `T` expires is the BYE-DoS / billing-fraud signature.
 
 use vids_efsm::machine::{ActionCtx, MachineDef, PredicateCtx};
+use vids_efsm::value::{Value, VarMap};
+use vids_efsm::{sym, Event, Sym};
 
 use crate::alert::labels;
 use crate::config::Config;
@@ -19,34 +21,76 @@ pub const TIMER_T: &str = "T_inflight";
 /// Timer name for the rate-counting window.
 pub const TIMER_WINDOW: &str = "T_window";
 
+/// Per-direction local-variable names, resolved to pre-seeded symbols so
+/// the per-packet classify/update path never formats a key string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirVars {
+    ssrc: Sym,
+    seq: Sym,
+    ts: Sym,
+    count: Sym,
+}
+
+const FWD: DirVars = DirVars {
+    ssrc: sym::L_FWD_SSRC,
+    seq: sym::L_FWD_SEQ,
+    ts: sym::L_FWD_TS,
+    count: sym::L_FWD_COUNT,
+};
+
+const REV: DirVars = DirVars {
+    ssrc: sym::L_REV_SSRC,
+    seq: sym::L_REV_SEQ,
+    ts: sym::L_REV_TS,
+    count: sym::L_REV_COUNT,
+};
+
 /// The direction of a media packet relative to the negotiated endpoints.
-fn direction(ctx: &PredicateCtx<'_>) -> Option<&'static str> {
-    let src = ctx.event.str_arg("src_ip").unwrap_or("");
-    if src.is_empty() {
+///
+/// Symbol-keyed reads plus `Value` comparison (an O(1) id compare when
+/// both sides are interned, a byte compare otherwise): this runs inside
+/// every RTP transition predicate, so it must not hash a name string or
+/// take the interner lock.
+fn direction_of(event: &Event, globals: &VarMap) -> Option<DirVars> {
+    let src = event.arg(sym::SRC_IP)?;
+    if *src == Value::Sym(sym::EMPTY) {
         return None;
     }
-    if Some(src) == ctx.globals.str("g_caller_media_ip") {
-        Some("fwd")
-    } else if Some(src) == ctx.globals.str("g_callee_media_ip") {
-        Some("rev")
+    if globals.get(sym::G_CALLER_MEDIA_IP) == Some(src) {
+        Some(FWD)
+    } else if globals.get(sym::G_CALLEE_MEDIA_IP) == Some(src) {
+        Some(REV)
     } else {
         None
     }
 }
 
+/// Direction for paths where the predicate already ruled out a foreign
+/// source: caller-side is FWD, anything else is REV.
+fn dir_or_rev(event: &Event, globals: &VarMap) -> DirVars {
+    let caller = event
+        .arg(sym::SRC_IP)
+        .is_some_and(|src| globals.get(sym::G_CALLER_MEDIA_IP) == Some(src));
+    if caller {
+        FWD
+    } else {
+        REV
+    }
+}
+
 fn payload_type_ok(ctx: &PredicateCtx<'_>) -> bool {
-    match ctx.globals.uint("g_codec_pt") {
-        Some(pt) if pt != 255 => ctx.event.uint_arg("pt") == Some(pt),
+    match ctx.globals.uint(sym::G_CODEC_PT) {
+        Some(pt) if pt != 255 => ctx.event.uint_arg(sym::PT) == Some(pt),
         // No codec negotiated (SDP-less signaling): accept any.
         _ => true,
     }
 }
 
 /// Per-direction stream knowledge: `(ssrc, seq, ts)` if initialized.
-fn known_stream(ctx: &PredicateCtx<'_>, dir: &str) -> Option<(u64, u64, u64)> {
-    let ssrc = ctx.locals.uint(&format!("l_{dir}_ssrc"))?;
-    let seq = ctx.locals.uint(&format!("l_{dir}_seq"))?;
-    let ts = ctx.locals.uint(&format!("l_{dir}_ts"))?;
+fn known_stream(ctx: &PredicateCtx<'_>, dir: DirVars) -> Option<(u64, u64, u64)> {
+    let ssrc = ctx.locals.uint(dir.ssrc)?;
+    let seq = ctx.locals.uint(dir.seq)?;
+    let ts = ctx.locals.uint(dir.ts)?;
     Some((ssrc, seq, ts))
 }
 
@@ -78,15 +122,15 @@ enum PacketClass {
 }
 
 fn classify_packet(ctx: &PredicateCtx<'_>, seq_thresh: i64, ts_thresh: i64) -> PacketClass {
-    let Some(dir) = direction(ctx) else {
+    let Some(dir) = direction_of(ctx.event, ctx.globals) else {
         return PacketClass::ForeignSource;
     };
     if !payload_type_ok(ctx) {
         return PacketClass::CodecViolation;
     }
-    let ssrc = ctx.event.uint_arg("ssrc").unwrap_or(0);
-    let seq = ctx.event.uint_arg("seq").unwrap_or(0);
-    let ts = ctx.event.uint_arg("ts").unwrap_or(0);
+    let ssrc = ctx.event.uint_arg(sym::SSRC).unwrap_or(0);
+    let seq = ctx.event.uint_arg(sym::SEQ).unwrap_or(0);
+    let ts = ctx.event.uint_arg(sym::TS).unwrap_or(0);
     match known_stream(ctx, dir) {
         None => PacketClass::FirstOfDirection,
         Some((k_ssrc, k_seq, k_ts)) => {
@@ -105,29 +149,19 @@ fn classify_packet(ctx: &PredicateCtx<'_>, seq_thresh: i64, ts_thresh: i64) -> P
 }
 
 fn update_stream_vars(ctx: &mut ActionCtx<'_>) {
-    let src = ctx.event.str_arg("src_ip").unwrap_or("").to_owned();
-    let dir = if Some(src.as_str()) == ctx.globals.str("g_caller_media_ip") {
-        "fwd"
-    } else {
-        "rev"
-    };
-    let ssrc = ctx.event.uint_arg("ssrc").unwrap_or(0);
-    let seq = ctx.event.uint_arg("seq").unwrap_or(0);
-    let ts = ctx.event.uint_arg("ts").unwrap_or(0);
-    ctx.locals.set(&format!("l_{dir}_ssrc"), ssrc);
-    ctx.locals.set(&format!("l_{dir}_seq"), seq);
-    ctx.locals.set(&format!("l_{dir}_ts"), ts);
-    ctx.locals.increment(&format!("l_{dir}_count"));
+    let dir = dir_or_rev(ctx.event, ctx.globals);
+    let ssrc = ctx.event.uint_arg(sym::SSRC).unwrap_or(0);
+    let seq = ctx.event.uint_arg(sym::SEQ).unwrap_or(0);
+    let ts = ctx.event.uint_arg(sym::TS).unwrap_or(0);
+    ctx.locals.set(dir.ssrc, ssrc);
+    ctx.locals.set(dir.seq, seq);
+    ctx.locals.set(dir.ts, ts);
+    ctx.locals.increment(dir.count);
 }
 
 fn window_count_next(ctx: &PredicateCtx<'_>) -> u64 {
-    let src = ctx.event.str_arg("src_ip").unwrap_or("");
-    let dir = if Some(src) == ctx.globals.str("g_caller_media_ip") {
-        "fwd"
-    } else {
-        "rev"
-    };
-    ctx.locals.uint(&format!("l_{dir}_count")).unwrap_or(0) + 1
+    let dir = dir_or_rev(ctx.event, ctx.globals);
+    ctx.locals.uint(dir.count).unwrap_or(0) + 1
 }
 
 /// Builds the RTP session machine.
@@ -225,18 +259,18 @@ pub fn rtp_session_machine(config: &Config) -> MachineDef {
         });
     def.add_transition(active, TIMER_WINDOW, active)
         .action(move |ctx| {
-            ctx.locals.set("l_fwd_count", 0u64);
-            ctx.locals.set("l_rev_count", 0u64);
+            ctx.locals.set(sym::L_FWD_COUNT, 0u64);
+            ctx.locals.set(sym::L_REV_COUNT, 0u64);
             ctx.set_timer(TIMER_WINDOW, window_ms);
         })
         .label("rate window reset");
     def.add_transition(active, DELTA_UPDATE, active)
         .action(|ctx| {
             // Re-INVITE moved the media: forget per-direction stream state.
-            for dir in ["fwd", "rev"] {
-                ctx.locals.remove(&format!("l_{dir}_ssrc"));
-                ctx.locals.remove(&format!("l_{dir}_seq"));
-                ctx.locals.remove(&format!("l_{dir}_ts"));
+            for dir in [FWD, REV] {
+                ctx.locals.remove(dir.ssrc);
+                ctx.locals.remove(dir.seq);
+                ctx.locals.remove(dir.ts);
             }
         })
         .label("media coordinates updated");

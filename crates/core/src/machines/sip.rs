@@ -7,7 +7,8 @@
 //! perspective: it observes both directions of the perimeter traffic.
 
 use vids_efsm::machine::{ActionCtx, MachineDef, PredicateCtx};
-use vids_efsm::Event;
+use vids_efsm::value::Value;
+use vids_efsm::{sym, Event, Sym};
 
 use crate::alert::labels;
 use crate::config::Config;
@@ -16,52 +17,73 @@ use crate::machines::{DELTA_BYE, DELTA_OPEN, DELTA_REOPEN, DELTA_UPDATE, RTP_MAC
 /// Timer name for the teardown/failure linger.
 pub const TIMER_LINGER: &str = "T_linger";
 
+/// The empty string as a `Value`, the default for absent textual args.
+/// Compares equal to both `Str("")` and `Sym("")`.
+static EMPTY_VAL: Value = Value::Sym(sym::EMPTY);
+
+/// Copies a textual argument out of the event (cheap for interned args,
+/// which is everything the classifier produces), defaulting to `""`.
+fn arg_or_empty(ev: &Event, name: Sym) -> Value {
+    ev.arg(name).cloned().unwrap_or(Value::Sym(sym::EMPTY))
+}
+
 fn store_invite_vars(ctx: &mut ActionCtx<'_>) {
     // Local variables (Fig. 2: Call-ID, branch, tags, endpoints).
     let ev = ctx.event;
-    ctx.locals.set("l_call_id", ev.str_arg("call_id").unwrap_or(""));
-    ctx.locals.set("l_branch", ev.str_arg("branch").unwrap_or(""));
-    ctx.locals.set("l_from_tag", ev.str_arg("from_tag").unwrap_or(""));
-    ctx.locals.set("l_caller_ip", ev.str_arg("src_ip").unwrap_or(""));
-    ctx.locals.set("l_callee_ip", ev.str_arg("dst_ip").unwrap_or(""));
+    ctx.locals.set(sym::L_CALL_ID, arg_or_empty(ev, sym::CALL_ID));
+    ctx.locals.set(sym::L_BRANCH, arg_or_empty(ev, sym::BRANCH));
+    ctx.locals.set(sym::L_FROM_TAG, arg_or_empty(ev, sym::FROM_TAG));
+    ctx.locals.set(sym::L_CALLER_IP, arg_or_empty(ev, sym::SRC_IP));
+    ctx.locals.set(sym::L_CALLEE_IP, arg_or_empty(ev, sym::DST_IP));
     // Global variables: the caller's offered media coordinates.
-    if ev.bool_arg("has_sdp") {
-        ctx.globals.set("g_caller_media_ip", ev.str_arg("sdp_ip").unwrap_or(""));
-        ctx.globals.set("g_caller_media_port", ev.uint_arg("sdp_port").unwrap_or(0));
-        ctx.globals.set("g_codec_pt", ev.uint_arg("sdp_pt").unwrap_or(255));
+    if ev.bool_arg(sym::HAS_SDP) {
+        ctx.globals
+            .set(sym::G_CALLER_MEDIA_IP, arg_or_empty(ev, sym::SDP_IP));
+        ctx.globals
+            .set(sym::G_CALLER_MEDIA_PORT, ev.uint_arg(sym::SDP_PORT).unwrap_or(0));
+        ctx.globals
+            .set(sym::G_CODEC_PT, ev.uint_arg(sym::SDP_PT).unwrap_or(255));
     }
 }
 
 fn store_answer_vars(ctx: &mut ActionCtx<'_>) {
     let ev = ctx.event;
-    ctx.locals.set("l_to_tag", ev.str_arg("to_tag").unwrap_or(""));
-    if ev.bool_arg("has_sdp") {
-        ctx.globals.set("g_callee_media_ip", ev.str_arg("sdp_ip").unwrap_or(""));
-        ctx.globals.set("g_callee_media_port", ev.uint_arg("sdp_port").unwrap_or(0));
+    ctx.locals.set(sym::L_TO_TAG, arg_or_empty(ev, sym::TO_TAG));
+    if ev.bool_arg(sym::HAS_SDP) {
+        ctx.globals
+            .set(sym::G_CALLEE_MEDIA_IP, arg_or_empty(ev, sym::SDP_IP));
+        ctx.globals
+            .set(sym::G_CALLEE_MEDIA_PORT, ev.uint_arg(sym::SDP_PORT).unwrap_or(0));
     }
 }
 
 fn is_invite_cseq(ctx: &PredicateCtx<'_>) -> bool {
-    ctx.event.str_arg("cseq_method") == Some("INVITE")
+    ctx.event.sym_arg(sym::CSEQ_METHOD) == Some(sym::METHOD_INVITE)
 }
 
 fn is_cancel_cseq(ctx: &PredicateCtx<'_>) -> bool {
-    ctx.event.str_arg("cseq_method") == Some("CANCEL")
+    ctx.event.sym_arg(sym::CSEQ_METHOD) == Some(sym::METHOD_CANCEL)
 }
 
 fn is_bye_cseq(ctx: &PredicateCtx<'_>) -> bool {
-    ctx.event.str_arg("cseq_method") == Some("BYE")
+    ctx.event.sym_arg(sym::CSEQ_METHOD) == Some(sym::METHOD_BYE)
+}
+
+/// Whether the event's To tag is absent or empty (initial-INVITE shape).
+fn to_tag_empty(ctx: &PredicateCtx<'_>) -> bool {
+    ctx.event.arg(sym::TO_TAG).is_none_or(|v| *v == EMPTY_VAL)
 }
 
 /// Whether the event's From/To tags identify the monitored dialog, in
 /// either direction. Early in the dialog the To tag may still be unknown
-/// to the monitor; an empty stored tag matches anything.
+/// to the monitor; an empty stored tag matches anything. `Value`
+/// comparisons here are O(1) symbol-id compares for interned tags.
 fn tags_consistent(ctx: &PredicateCtx<'_>) -> bool {
-    let from = ctx.event.str_arg("from_tag").unwrap_or("");
-    let to = ctx.event.str_arg("to_tag").unwrap_or("");
-    let l_from = ctx.locals.str("l_from_tag").unwrap_or("");
-    let l_to = ctx.locals.str("l_to_tag").unwrap_or("");
-    let m = |a: &str, b: &str| a.is_empty() || b.is_empty() || a == b;
+    let from = ctx.event.arg(sym::FROM_TAG).unwrap_or(&EMPTY_VAL);
+    let to = ctx.event.arg(sym::TO_TAG).unwrap_or(&EMPTY_VAL);
+    let l_from = ctx.locals.get(sym::L_FROM_TAG).unwrap_or(&EMPTY_VAL);
+    let l_to = ctx.locals.get(sym::L_TO_TAG).unwrap_or(&EMPTY_VAL);
+    let m = |a: &Value, b: &Value| *a == EMPTY_VAL || *b == EMPTY_VAL || a == b;
     (m(l_from, from) && m(l_to, to)) || (m(l_from, to) && m(l_to, from))
 }
 
@@ -71,12 +93,12 @@ fn tags_consistent(ctx: &PredicateCtx<'_>) -> bool {
 /// in earlier SDP bodies (the call-global variables) — *not* the packet's
 /// source/destination, which at the monitoring point are proxy hops.
 fn sdp_on_dialog_parties(ctx: &PredicateCtx<'_>) -> bool {
-    if !ctx.event.bool_arg("has_sdp") {
+    if !ctx.event.bool_arg(sym::HAS_SDP) {
         return true;
     }
-    let sdp_ip = ctx.event.str_arg("sdp_ip").unwrap_or("");
-    let caller = ctx.globals.str("g_caller_media_ip").unwrap_or("");
-    let callee = ctx.globals.str("g_callee_media_ip").unwrap_or("");
+    let sdp_ip = ctx.event.arg(sym::SDP_IP).unwrap_or(&EMPTY_VAL);
+    let caller = ctx.globals.get(sym::G_CALLER_MEDIA_IP).unwrap_or(&EMPTY_VAL);
+    let callee = ctx.globals.get(sym::G_CALLEE_MEDIA_IP).unwrap_or(&EMPTY_VAL);
     sdp_ip == caller || sdp_ip == callee
 }
 
@@ -104,7 +126,7 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
 
     // ---- INIT ----------------------------------------------------------
     def.add_transition(init, "SIP.INVITE", invite_rcvd)
-        .predicate(|ctx| ctx.event.str_arg("to_tag").unwrap_or("").is_empty())
+        .predicate(to_tag_empty)
         .action(|ctx| {
             store_invite_vars(ctx);
             ctx.send_sync(RTP_MACHINE, Event::sync(DELTA_OPEN));
@@ -113,13 +135,13 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
 
     // ---- INVITE_RCVD ---------------------------------------------------
     def.add_transition(invite_rcvd, "SIP.INVITE", invite_rcvd)
-        .predicate(|ctx| ctx.event.str_arg("to_tag").unwrap_or("").is_empty())
+        .predicate(to_tag_empty)
         .label("INVITE retransmission");
     def.add_transition(invite_rcvd, "SIP.1xx", proceeding)
         .action(|ctx| {
-            let tag = ctx.event.str_arg("to_tag").unwrap_or("").to_owned();
-            if !tag.is_empty() {
-                ctx.locals.set("l_to_tag", tag);
+            let tag = arg_or_empty(ctx.event, sym::TO_TAG);
+            if tag != EMPTY_VAL {
+                ctx.locals.set(sym::L_TO_TAG, tag);
             }
         })
         .label("ringing");
@@ -148,7 +170,7 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
     def.add_transition(proceeding, "SIP.1xx", proceeding)
         .label("more ringing");
     def.add_transition(proceeding, "SIP.INVITE", proceeding)
-        .predicate(|ctx| ctx.event.str_arg("to_tag").unwrap_or("").is_empty())
+        .predicate(to_tag_empty)
         .label("INVITE retransmission");
     def.add_transition(proceeding, "SIP.2xx", established)
         .predicate(is_invite_cseq)
@@ -198,17 +220,16 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
     // Legitimate re-INVITE: dialog tags match and media stays on parties.
     def.add_transition(established, "SIP.INVITE", established)
         .predicate(|ctx| {
-            !ctx.event.str_arg("to_tag").unwrap_or("").is_empty()
-                && tags_consistent(ctx)
-                && sdp_on_dialog_parties(ctx)
+            !to_tag_empty(ctx) && tags_consistent(ctx) && sdp_on_dialog_parties(ctx)
         })
         .action(|ctx| {
-            if ctx.event.bool_arg("has_sdp") {
+            let ev = ctx.event;
+            if ev.bool_arg(sym::HAS_SDP) {
                 // The media may move within the parties: refresh globals.
                 ctx.globals
-                    .set("g_caller_media_ip", ctx.event.str_arg("sdp_ip").unwrap_or(""));
+                    .set(sym::G_CALLER_MEDIA_IP, arg_or_empty(ev, sym::SDP_IP));
                 ctx.globals
-                    .set("g_caller_media_port", ctx.event.uint_arg("sdp_port").unwrap_or(0));
+                    .set(sym::G_CALLER_MEDIA_PORT, ev.uint_arg(sym::SDP_PORT).unwrap_or(0));
                 ctx.send_sync(RTP_MACHINE, Event::sync(DELTA_UPDATE));
             }
         })
@@ -216,15 +237,13 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
     // Hijack: in-dialog INVITE pushing media off the negotiated parties.
     def.add_transition(established, "SIP.INVITE", hijack)
         .predicate(|ctx| {
-            !ctx.event.str_arg("to_tag").unwrap_or("").is_empty()
-                && tags_consistent(ctx)
-                && !sdp_on_dialog_parties(ctx)
+            !to_tag_empty(ctx) && tags_consistent(ctx) && !sdp_on_dialog_parties(ctx)
         })
         .label("re-INVITE redirects media off-dialog");
     // Hijack: in-dialog INVITE with tags that never belonged to the dialog.
     def.add_transition(established, "SIP.INVITE", hijack)
         .predicate(|ctx| {
-            !ctx.event.str_arg("to_tag").unwrap_or("").is_empty() && !tags_consistent(ctx)
+            !to_tag_empty(ctx) && !tags_consistent(ctx)
         })
         .label("re-INVITE with foreign dialog tags");
     // BYE with consistent tags: normal teardown begins. The RTP machine is

@@ -28,7 +28,7 @@
 use std::collections::{HashMap, HashSet};
 use std::thread;
 
-use vids_efsm::Event;
+use vids_efsm::{sym, Event, Sym};
 use vids_netsim::packet::Packet;
 use vids_netsim::time::SimTime;
 
@@ -127,7 +127,7 @@ enum Part {
         dst_ip: u32,
     },
     Call {
-        call_id: String,
+        call_id: Sym,
         event: Event,
         is_initial_invite: bool,
         is_request: bool,
@@ -142,7 +142,7 @@ struct Miss {
     idx: usize,
     t: u64,
     dst_ip: u32,
-    src_ip: String,
+    src_ip: Sym,
 }
 
 /// The sharded analysis engine. Construct with a [`Config`] whose `shards`
@@ -153,8 +153,10 @@ struct Miss {
 pub struct VidsPool {
     shards: Vec<Vids>,
     /// Read-mostly mirror of every shard's media index: negotiated media
-    /// coordinates → owning shard. Written only during sequential routing.
-    media_to_shard: HashMap<(String, u64), usize>,
+    /// coordinates → owning shard. Written only during sequential routing;
+    /// probed per RTP packet, so the key is an interned symbol and the probe
+    /// never allocates.
+    media_to_shard: HashMap<(Sym, u64), usize>,
     config: Config,
     cost: CostModel,
     cpu: CpuAccount,
@@ -256,7 +258,7 @@ impl VidsPool {
         let index_bytes: usize = self
             .media_to_shard
             .keys()
-            .map(|(ip, _)| ip.len() + std::mem::size_of::<(String, u64, usize)>())
+            .map(|(ip, _)| ip.as_str().len() + std::mem::size_of::<((Sym, u64), usize)>())
             .sum();
         shard_bytes + index_bytes
     }
@@ -274,7 +276,8 @@ impl VidsPool {
     /// Which shard currently owns the given media coordinates, if any call
     /// negotiated them. Exposed for tests of cross-shard RTP routing.
     pub fn media_shard(&self, ip: &str, port: u64) -> Option<usize> {
-        self.media_to_shard.get(&(ip.to_owned(), port)).copied()
+        let ip = Sym::lookup(ip)?;
+        self.media_to_shard.get(&(ip, port)).copied()
     }
 
     /// Processes a batch of packets observed at monitor time `now`; returns
@@ -319,7 +322,10 @@ impl VidsPool {
         // parts. Malformed/ignored traffic is consumed here — it has no
         // call, destination or media key to shard by.
         let n = self.shards.len();
-        let mut queues: Vec<Vec<(usize, u64, Part)>> = (0..n).map(|_| Vec::new()).collect();
+        // Pre-sized so steady-state routing costs one allocation per shard
+        // per batch, independent of how the batch distributes.
+        let mut queues: Vec<Vec<(usize, u64, Part)>> =
+            (0..n).map(|_| Vec::with_capacity(packets.len())).collect();
         for (idx, (packet, c)) in packets.iter().zip(classified).enumerate() {
             self.cpu.charge(self.cost.cpu_for(packet));
             let t = now_ms
@@ -334,14 +340,14 @@ impl VidsPool {
                     is_request,
                     dst_ip,
                 } => {
-                    if event.name == "SIP.REGISTER" {
+                    if event.name == sym::SIP_REGISTER {
                         let aor = event.str_arg("aor").unwrap_or("");
                         let shard = self.shard_of(aor.as_bytes());
                         queues[shard].push((idx, t, Part::Register(event)));
                         continue;
                     }
-                    let shard = self.shard_of(call_id.as_bytes());
-                    if event.name == "SIP.INVITE" {
+                    let shard = self.shard_of(call_id.as_str().as_bytes());
+                    if event.name == sym::SIP_INVITE {
                         let flood_shard = self.shard_of(&dst_ip.to_le_bytes());
                         queues[flood_shard].push((
                             idx,
@@ -354,9 +360,9 @@ impl VidsPool {
                     }
                     if event.bool_arg("has_sdp") {
                         if let (Some(ip), Some(port)) =
-                            (event.str_arg("sdp_ip"), event.uint_arg("sdp_port"))
+                            (event.sym_arg(sym::SDP_IP), event.uint_arg(sym::SDP_PORT))
                         {
-                            self.media_to_shard.insert((ip.to_owned(), port), shard);
+                            self.media_to_shard.insert((ip, port), shard);
                         }
                     }
                     queues[shard].push((
@@ -372,8 +378,8 @@ impl VidsPool {
                     ));
                 }
                 Classified::Rtp { event } => {
-                    let ip = event.str_arg("dst_ip").unwrap_or("").to_owned();
-                    let port = event.uint_arg("dst_port").unwrap_or(0);
+                    let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
+                    let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
                     let shard = self
                         .media_to_shard
                         .get(&(ip, port))
@@ -382,8 +388,7 @@ impl VidsPool {
                             // No call negotiated these coordinates: route by
                             // their hash so any shard count flags the same
                             // packet as unassociated exactly once.
-                            let key = event.str_arg("dst_ip").unwrap_or("");
-                            let mut h = fnv1a(key.as_bytes());
+                            let mut h = fnv1a(ip.as_str().as_bytes());
                             for byte in port.to_le_bytes() {
                                 h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
                             }
@@ -398,7 +403,7 @@ impl VidsPool {
                         idx,
                         t,
                         format!("malformed-{}", protocol.to_ascii_lowercase()),
-                        reason,
+                        reason.to_owned(),
                     );
                 }
                 Classified::Ignored => self.extra.ignored += 1,
@@ -554,7 +559,7 @@ impl VidsPool {
         // the pool index in lock-step with the per-shard media indexes.
         let shards = &self.shards;
         self.media_to_shard
-            .retain(|(ip, port), shard| shards[*shard].factbase().media_lookup(ip, *port).is_some());
+            .retain(|(ip, port), shard| shards[*shard].factbase().media_lookup(*ip, *port).is_some());
     }
 }
 
@@ -584,7 +589,7 @@ fn drain_one(
             } => {
                 let mut sink = TaggedSink::packet(alerts, idx, 2);
                 if let Some(miss) =
-                    vids.ingest_call_event(&call_id, event, is_initial_invite, is_request, t, &mut sink)
+                    vids.ingest_call_event(call_id, event, is_initial_invite, is_request, t, &mut sink)
                 {
                     misses.push(Miss {
                         idx,

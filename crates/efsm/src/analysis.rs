@@ -76,8 +76,8 @@ pub fn attack_paths(def: &MachineDef) -> Vec<AttackPath> {
             let mut steps = path.clone();
             steps.push(PathStep {
                 from: def.state_name(state).to_owned(),
-                event: t.event_name.clone(),
-                label: t.label.clone(),
+                event: t.event_name.as_str().to_owned(),
+                label: t.label.map(String::from),
                 to: def.state_name(t.to).to_owned(),
             });
             if let Some(label) = def.attack_label(t.to) {
@@ -150,10 +150,10 @@ pub fn to_dot(def: &MachineDef) -> String {
     for i in 0..def.state_count() {
         let s = StateId(i);
         for (_, t) in def.transitions_from(s) {
-            let mut label = t.event_name.clone();
-            if let Some(l) = &t.label {
+            let mut label = t.event_name.as_str().to_owned();
+            if let Some(l) = t.label {
                 label.push_str("\\n");
-                label.push_str(l);
+                label.push_str(l.as_str());
             }
             out.push_str(&format!(
                 "  \"{}\" -> \"{}\" [label=\"{}\"];\n",

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::intern::{Sym, SymKey};
 use crate::value::{Value, VarMap};
 
 /// How an event reached the machine.
@@ -31,11 +32,14 @@ impl fmt::Display for EventKind {
 /// An input event: a name plus an argument vector `x̄`.
 ///
 /// Arguments are named values, mirroring the paper's use of fields like
-/// `x.src_ip` and `x.time_stamp` inside predicates.
+/// `x.src_ip` and `x.time_stamp` inside predicates. The name is an
+/// interned [`Sym`], so constructing, copying and matching an event never
+/// allocates for the name; steady-state argument vectors stay inline in
+/// the [`VarMap`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Event {
     /// The event identifier (e.g. `"SIP.INVITE"`, `"RTP.Packet"`, `"δ"`).
-    pub name: String,
+    pub name: Sym,
     /// How the event arrived.
     pub kind: EventKind,
     /// The argument vector `x̄`.
@@ -44,7 +48,7 @@ pub struct Event {
 
 impl Event {
     /// Creates a data-packet event with no arguments yet.
-    pub fn data(name: impl Into<String>) -> Self {
+    pub fn data(name: impl Into<Sym>) -> Self {
         Event {
             name: name.into(),
             kind: EventKind::Data,
@@ -53,7 +57,7 @@ impl Event {
     }
 
     /// Creates a synchronization (δ) event.
-    pub fn sync(name: impl Into<String>) -> Self {
+    pub fn sync(name: impl Into<Sym>) -> Self {
         Event {
             name: name.into(),
             kind: EventKind::Sync,
@@ -62,7 +66,7 @@ impl Event {
     }
 
     /// Creates a timer-expiry event. The name is the timer's name.
-    pub fn timer(name: impl Into<String>) -> Self {
+    pub fn timer(name: impl Into<Sym>) -> Self {
         Event {
             name: name.into(),
             kind: EventKind::Timer,
@@ -72,56 +76,75 @@ impl Event {
 
     /// Adds an unsigned-integer argument, builder-style.
     #[must_use]
-    pub fn with_uint(mut self, name: &str, value: u64) -> Self {
+    pub fn with_uint(mut self, name: impl SymKey, value: u64) -> Self {
         self.args.set(name, value);
         self
     }
 
     /// Adds a signed-integer argument, builder-style.
     #[must_use]
-    pub fn with_int(mut self, name: &str, value: i64) -> Self {
+    pub fn with_int(mut self, name: impl SymKey, value: i64) -> Self {
         self.args.set(name, value);
         self
     }
 
     /// Adds a string argument, builder-style.
     #[must_use]
-    pub fn with_str(mut self, name: &str, value: impl Into<String>) -> Self {
+    pub fn with_str(mut self, name: impl SymKey, value: impl Into<String>) -> Self {
         self.args.set(name, value.into());
+        self
+    }
+
+    /// Adds an interned-string argument, builder-style (allocation-free
+    /// for warm symbols).
+    #[must_use]
+    pub fn with_sym(mut self, name: impl SymKey, value: Sym) -> Self {
+        self.args.set(name, value);
         self
     }
 
     /// Adds a boolean argument, builder-style.
     #[must_use]
-    pub fn with_bool(mut self, name: &str, value: bool) -> Self {
+    pub fn with_bool(mut self, name: impl SymKey, value: bool) -> Self {
         self.args.set(name, value);
         self
     }
 
     /// Adds an arbitrary argument, builder-style.
     #[must_use]
-    pub fn with_arg(mut self, name: &str, value: impl Into<Value>) -> Self {
+    pub fn with_arg(mut self, name: impl SymKey, value: impl Into<Value>) -> Self {
         self.args.set(name, value);
         self
     }
 
+    /// Raw argument value shortcut, for actions that copy a value through
+    /// without caring about its type.
+    pub fn arg(&self, name: impl SymKey) -> Option<&Value> {
+        self.args.get(name)
+    }
+
     /// Unsigned-integer argument shortcut.
-    pub fn uint_arg(&self, name: &str) -> Option<u64> {
+    pub fn uint_arg(&self, name: impl SymKey) -> Option<u64> {
         self.args.uint(name)
     }
 
     /// Signed-integer argument shortcut.
-    pub fn int_arg(&self, name: &str) -> Option<i64> {
+    pub fn int_arg(&self, name: impl SymKey) -> Option<i64> {
         self.args.int(name)
     }
 
     /// String argument shortcut.
-    pub fn str_arg(&self, name: &str) -> Option<&str> {
+    pub fn str_arg(&self, name: impl SymKey) -> Option<&str> {
         self.args.str(name)
     }
 
+    /// Interned-symbol argument shortcut.
+    pub fn sym_arg(&self, name: impl SymKey) -> Option<Sym> {
+        self.args.sym(name)
+    }
+
     /// Boolean argument shortcut (false when absent).
-    pub fn bool_arg(&self, name: &str) -> bool {
+    pub fn bool_arg(&self, name: impl SymKey) -> bool {
         self.args.flag(name)
     }
 }
@@ -153,6 +176,7 @@ mod tests {
             .with_bool("has_sdp", true)
             .with_int("delta", -1);
         assert_eq!(ev.kind, EventKind::Data);
+        assert_eq!(ev.name, "SIP.INVITE");
         assert_eq!(ev.str_arg("src_ip"), Some("10.0.0.3"));
         assert_eq!(ev.uint_arg("src_port"), Some(5060));
         assert!(ev.bool_arg("has_sdp"));
@@ -170,5 +194,14 @@ mod tests {
     fn display_is_csp_like() {
         let ev = Event::data("go").with_uint("n", 1);
         assert_eq!(ev.to_string(), "data?go(n=1)");
+    }
+
+    #[test]
+    fn sym_args_read_back_as_strings() {
+        let id = Sym::intern("event-test-call-1");
+        let ev = Event::data(crate::intern::sym::SIP_BYE).with_sym("call_id", id);
+        assert_eq!(ev.str_arg("call_id"), Some("event-test-call-1"));
+        assert_eq!(ev.sym_arg("call_id"), Some(id));
+        assert_eq!(ev.arg("call_id"), Some(&Value::Sym(id)));
     }
 }

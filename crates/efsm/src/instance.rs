@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::event::{Event, EventKind};
+use crate::intern::{sym, Sym};
 use crate::machine::{ActionCtx, Effects, MachineDef, PredicateCtx, StateId, UnmatchedPolicy};
 use crate::value::VarMap;
 
@@ -11,7 +12,7 @@ use crate::value::VarMap;
 pub struct StepOutcome {
     /// The transition taken, as `(from, to, label)`. `None` if no transition
     /// accepted the event.
-    pub taken: Option<(StateId, StateId, Option<String>)>,
+    pub taken: Option<(StateId, StateId, Option<Sym>)>,
     /// Set when the machine entered an attack state: the state's label.
     pub attack: Option<String>,
     /// Set when the event matched no transition and the machine's policy is
@@ -128,7 +129,7 @@ impl MachineInstance {
                 now_ms,
             };
             for (idx, t) in def.transitions_from(self.state) {
-                if t.event_name != "*" && t.event_name != event.name {
+                if t.event_name != sym::WILDCARD && t.event_name != event.name {
                     continue;
                 }
                 let enabled = match &t.predicate {
@@ -161,7 +162,7 @@ impl MachineInstance {
                 }
                 let from = self.state;
                 self.state = t.to;
-                outcome.taken = Some((from, t.to, t.label.clone()));
+                outcome.taken = Some((from, t.to, t.label));
                 outcome.attack = def.attack_label(t.to).map(str::to_owned);
                 outcome.effects = effects;
             }
@@ -320,8 +321,8 @@ mod tests {
         assert_eq!(globals.uint("g_media_port"), Some(49170));
         assert_eq!(o.effects.sync_out.len(), 1);
         assert_eq!(o.effects.sync_out[0].0, "rtp");
-        assert_eq!(o.effects.timers_set, vec![("T".to_owned(), 500)]);
-        assert_eq!(o.effects.timers_cancelled, vec!["T1".to_owned()]);
+        assert_eq!(o.effects.timers_set, [(Sym::intern("T"), 500)]);
+        assert_eq!(o.effects.timers_cancelled, [Sym::intern("T1")]);
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! Symbol interning: copyable `u32` handles for the strings the hot path
+//! lives on.
+//!
+//! Every per-packet structure in the engine — event names, argument names,
+//! timer names, machine names, Call-IDs — used to be an owned `String`,
+//! which meant a heap allocation (and a re-hash of the bytes) every time a
+//! packet crossed a layer. [`Sym`] replaces those with an index into a
+//! process-global interner: comparing two symbols is a `u32` compare,
+//! hashing one hashes four bytes, and copying one is free.
+//!
+//! The interning boundary is the packet classifier: wire strings are
+//! borrowed as `&str` slices out of the raw datagram, interned once, and
+//! everything downstream (EFSM network, fact base, shard router) keys on
+//! the symbol. All *static* names — event names, `l_*`/`g_*` variables,
+//! timers, machines — are pre-seeded at fixed indices so the steady-state
+//! path never takes the interner's write lock; see [`sym`] for the
+//! compile-time constants.
+//!
+//! Dynamic strings (Call-IDs, tags, AORs) are leaked into the interner for
+//! the life of the process. That is a deliberate trade-off: the monitor's
+//! working set is bounded by the calls it watches, and the alternative —
+//! reference-counted symbols — would put an atomic on every event copy.
+//! A long-lived deployment facing unbounded unique Call-IDs would want an
+//! epoch-based reclaim pass; that is future work, documented in DESIGN.md.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a copyable handle that compares, hashes and copies
+/// in O(1). Obtain one with [`Sym::intern`] (or `From<&str>`), get the
+/// text back with [`Sym::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+/// Strings known at compile time, pinned to fixed interner slots.
+///
+/// Keeping these in one place means the steady-state path — event
+/// dispatch, variable lookup, timer arming — resolves every name without
+/// ever taking the interner's write lock, and `match`-style dispatch can
+/// compare against constants.
+pub(crate) const SEEDS: &[&str] = &[
+    // Structural.
+    "*",
+    "",
+    // SIP/RTP event names (classifier output).
+    "SIP.INVITE",
+    "SIP.ACK",
+    "SIP.BYE",
+    "SIP.CANCEL",
+    "SIP.REGISTER",
+    "SIP.OPTIONS",
+    "SIP.1xx",
+    "SIP.2xx",
+    "SIP.3xx",
+    "SIP.failure",
+    "SIP.response.unassociated",
+    "RTP.Packet",
+    // δ-channel sync events between the SIP and RTP machines.
+    "δ.open",
+    "δ.update",
+    "δ.bye",
+    "δ.reopen",
+    // Timers.
+    "T_linger",
+    "T_inflight",
+    "T_window",
+    "T1",
+    // Machine names.
+    "sip",
+    "rtp",
+    "flood",
+    "response-flood",
+    "register",
+    "classifier",
+    "engine",
+    // Event argument names.
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "call_id",
+    "from_tag",
+    "to_tag",
+    "branch",
+    "cseq",
+    "cseq_method",
+    "status",
+    "aor",
+    "contact_ip",
+    "expires",
+    "has_sdp",
+    "sdp_ip",
+    "sdp_port",
+    "sdp_pt",
+    "ssrc",
+    "seq",
+    "ts",
+    "pt",
+    "size",
+    // Machine-local variables.
+    "l_call_id",
+    "l_branch",
+    "l_from_tag",
+    "l_to_tag",
+    "l_caller_ip",
+    "l_callee_ip",
+    "l_owner_ip",
+    "l_contact_ip",
+    "l_fwd_ssrc",
+    "l_rev_ssrc",
+    "l_fwd_seq",
+    "l_rev_seq",
+    "l_fwd_ts",
+    "l_rev_ts",
+    "l_fwd_count",
+    "l_rev_count",
+    "pck_counter",
+    // Per-call globals shared across the EFSM network.
+    "g_caller_media_ip",
+    "g_caller_media_port",
+    "g_callee_media_ip",
+    "g_callee_media_port",
+    "g_codec_pt",
+    // CSeq method argument values.
+    "INVITE",
+    "ACK",
+    "BYE",
+    "CANCEL",
+    "REGISTER",
+    "OPTIONS",
+    // Extension-method event names (classifier output, rarely hot).
+    "SIP.INFO",
+    "SIP.UPDATE",
+    "SIP.PRACK",
+    "SIP.SUBSCRIBE",
+    "SIP.NOTIFY",
+    "SIP.REFER",
+    "SIP.MESSAGE",
+];
+
+/// Compile-time `&str` equality (stable-const: byte compare).
+const fn str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Resolves a pre-seeded name to its fixed slot at compile time; a typo or
+/// an unseeded name is a compile error, not a runtime surprise.
+const fn seed(name: &str) -> Sym {
+    let mut i = 0;
+    while i < SEEDS.len() {
+        if str_eq(SEEDS[i], name) {
+            return Sym(i as u32);
+        }
+        i += 1;
+    }
+    panic!("symbol is not in the pre-seeded set");
+}
+
+/// Pre-seeded symbol constants. `sym::SIP_INVITE == Sym::intern("SIP.INVITE")`
+/// holds by construction.
+pub mod sym {
+    use super::{seed, Sym};
+
+    /// `"*"` — matches any event name in a transition.
+    pub const WILDCARD: Sym = seed("*");
+    /// `""` — the default symbol.
+    pub const EMPTY: Sym = seed("");
+
+    /// `"SIP.INVITE"`.
+    pub const SIP_INVITE: Sym = seed("SIP.INVITE");
+    /// `"SIP.ACK"`.
+    pub const SIP_ACK: Sym = seed("SIP.ACK");
+    /// `"SIP.BYE"`.
+    pub const SIP_BYE: Sym = seed("SIP.BYE");
+    /// `"SIP.CANCEL"`.
+    pub const SIP_CANCEL: Sym = seed("SIP.CANCEL");
+    /// `"SIP.REGISTER"`.
+    pub const SIP_REGISTER: Sym = seed("SIP.REGISTER");
+    /// `"SIP.OPTIONS"`.
+    pub const SIP_OPTIONS: Sym = seed("SIP.OPTIONS");
+    /// `"SIP.INFO"`.
+    pub const SIP_INFO: Sym = seed("SIP.INFO");
+    /// `"SIP.UPDATE"`.
+    pub const SIP_UPDATE: Sym = seed("SIP.UPDATE");
+    /// `"SIP.PRACK"`.
+    pub const SIP_PRACK: Sym = seed("SIP.PRACK");
+    /// `"SIP.SUBSCRIBE"`.
+    pub const SIP_SUBSCRIBE: Sym = seed("SIP.SUBSCRIBE");
+    /// `"SIP.NOTIFY"`.
+    pub const SIP_NOTIFY: Sym = seed("SIP.NOTIFY");
+    /// `"SIP.REFER"`.
+    pub const SIP_REFER: Sym = seed("SIP.REFER");
+    /// `"SIP.MESSAGE"`.
+    pub const SIP_MESSAGE: Sym = seed("SIP.MESSAGE");
+    /// `"SIP.response.unassociated"`.
+    pub const SIP_RESPONSE_UNASSOCIATED: Sym = seed("SIP.response.unassociated");
+    /// `"SIP.1xx"`.
+    pub const SIP_1XX: Sym = seed("SIP.1xx");
+    /// `"SIP.2xx"`.
+    pub const SIP_2XX: Sym = seed("SIP.2xx");
+    /// `"SIP.3xx"`.
+    pub const SIP_3XX: Sym = seed("SIP.3xx");
+    /// `"SIP.failure"`.
+    pub const SIP_FAILURE: Sym = seed("SIP.failure");
+    /// `"RTP.Packet"`.
+    pub const RTP_PACKET: Sym = seed("RTP.Packet");
+
+    /// `"src_ip"`.
+    pub const SRC_IP: Sym = seed("src_ip");
+    /// `"dst_ip"`.
+    pub const DST_IP: Sym = seed("dst_ip");
+    /// `"src_port"`.
+    pub const SRC_PORT: Sym = seed("src_port");
+    /// `"dst_port"`.
+    pub const DST_PORT: Sym = seed("dst_port");
+    /// `"call_id"`.
+    pub const CALL_ID: Sym = seed("call_id");
+    /// `"from_tag"`.
+    pub const FROM_TAG: Sym = seed("from_tag");
+    /// `"to_tag"`.
+    pub const TO_TAG: Sym = seed("to_tag");
+    /// `"branch"`.
+    pub const BRANCH: Sym = seed("branch");
+    /// `"cseq"`.
+    pub const CSEQ: Sym = seed("cseq");
+    /// `"cseq_method"`.
+    pub const CSEQ_METHOD: Sym = seed("cseq_method");
+    /// `"status"`.
+    pub const STATUS: Sym = seed("status");
+    /// `"aor"`.
+    pub const AOR: Sym = seed("aor");
+    /// `"contact_ip"`.
+    pub const CONTACT_IP: Sym = seed("contact_ip");
+    /// `"expires"`.
+    pub const EXPIRES: Sym = seed("expires");
+    /// `"has_sdp"`.
+    pub const HAS_SDP: Sym = seed("has_sdp");
+    /// `"sdp_ip"`.
+    pub const SDP_IP: Sym = seed("sdp_ip");
+    /// `"sdp_port"`.
+    pub const SDP_PORT: Sym = seed("sdp_port");
+    /// `"sdp_pt"`.
+    pub const SDP_PT: Sym = seed("sdp_pt");
+    /// `"ssrc"`.
+    pub const SSRC: Sym = seed("ssrc");
+    /// `"seq"`.
+    pub const SEQ: Sym = seed("seq");
+    /// `"ts"`.
+    pub const TS: Sym = seed("ts");
+    /// `"pt"`.
+    pub const PT: Sym = seed("pt");
+    /// `"size"`.
+    pub const SIZE: Sym = seed("size");
+
+    /// `"l_fwd_ssrc"`.
+    pub const L_FWD_SSRC: Sym = seed("l_fwd_ssrc");
+    /// `"l_rev_ssrc"`.
+    pub const L_REV_SSRC: Sym = seed("l_rev_ssrc");
+    /// `"l_fwd_seq"`.
+    pub const L_FWD_SEQ: Sym = seed("l_fwd_seq");
+    /// `"l_rev_seq"`.
+    pub const L_REV_SEQ: Sym = seed("l_rev_seq");
+    /// `"l_fwd_ts"`.
+    pub const L_FWD_TS: Sym = seed("l_fwd_ts");
+    /// `"l_rev_ts"`.
+    pub const L_REV_TS: Sym = seed("l_rev_ts");
+    /// `"l_fwd_count"`.
+    pub const L_FWD_COUNT: Sym = seed("l_fwd_count");
+    /// `"l_rev_count"`.
+    pub const L_REV_COUNT: Sym = seed("l_rev_count");
+    /// `"pck_counter"`.
+    pub const PCK_COUNTER: Sym = seed("pck_counter");
+
+    /// `"g_caller_media_ip"`.
+    pub const G_CALLER_MEDIA_IP: Sym = seed("g_caller_media_ip");
+    /// `"g_caller_media_port"`.
+    pub const G_CALLER_MEDIA_PORT: Sym = seed("g_caller_media_port");
+    /// `"g_callee_media_ip"`.
+    pub const G_CALLEE_MEDIA_IP: Sym = seed("g_callee_media_ip");
+    /// `"g_callee_media_port"`.
+    pub const G_CALLEE_MEDIA_PORT: Sym = seed("g_callee_media_port");
+    /// `"g_codec_pt"`.
+    pub const G_CODEC_PT: Sym = seed("g_codec_pt");
+
+    /// `"l_call_id"`.
+    pub const L_CALL_ID: Sym = seed("l_call_id");
+    /// `"l_branch"`.
+    pub const L_BRANCH: Sym = seed("l_branch");
+    /// `"l_from_tag"`.
+    pub const L_FROM_TAG: Sym = seed("l_from_tag");
+    /// `"l_to_tag"`.
+    pub const L_TO_TAG: Sym = seed("l_to_tag");
+    /// `"l_caller_ip"`.
+    pub const L_CALLER_IP: Sym = seed("l_caller_ip");
+    /// `"l_callee_ip"`.
+    pub const L_CALLEE_IP: Sym = seed("l_callee_ip");
+
+    /// `"INVITE"` (CSeq method value).
+    pub const METHOD_INVITE: Sym = seed("INVITE");
+    /// `"CANCEL"` (CSeq method value).
+    pub const METHOD_CANCEL: Sym = seed("CANCEL");
+    /// `"BYE"` (CSeq method value).
+    pub const METHOD_BYE: Sym = seed("BYE");
+}
+
+struct Inner {
+    map: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+/// Id→name resolution is hot enough (every `Value::as_str` comparison,
+/// every alert/dedup key) that taking the interner's read lock per call
+/// shows up in profiles. Names therefore also live in this append-only
+/// chunked table, readable with a single atomic load: 64 lazily-allocated
+/// chunks of 2^16 slots bound the interner at ~4M symbols.
+const CHUNK_BITS: u32 = 16;
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+const CHUNK_COUNT: usize = 64;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const NULL_CHUNK: AtomicPtr<&'static str> = AtomicPtr::new(std::ptr::null_mut());
+static NAME_CHUNKS: [AtomicPtr<&'static str>; CHUNK_COUNT] = [NULL_CHUNK; CHUNK_COUNT];
+
+fn new_chunk() -> *mut &'static str {
+    let chunk: Vec<&'static str> = vec![""; CHUNK_SIZE];
+    Box::into_raw(chunk.into_boxed_slice()).cast::<&'static str>()
+}
+
+/// Records `name` at slot `id` in the chunk table.
+///
+/// Callers must hold the interner's write lock (or be inside the one-time
+/// init), so there is never more than one writer. A fresh chunk has its
+/// slot written *before* the chunk pointer is published, so a reader that
+/// observes the pointer observes the slot.
+fn publish_name(id: u32, name: &'static str) {
+    let chunk_idx = (id >> CHUNK_BITS) as usize;
+    let slot = (id as usize) & (CHUNK_SIZE - 1);
+    assert!(chunk_idx < CHUNK_COUNT, "interner overflow");
+    let chunk = NAME_CHUNKS[chunk_idx].load(Ordering::Acquire);
+    if chunk.is_null() {
+        let fresh = new_chunk();
+        // SAFETY: `fresh` is a live allocation of CHUNK_SIZE slots and is
+        // not yet visible to any other thread.
+        unsafe { fresh.add(slot).write(name) };
+        NAME_CHUNKS[chunk_idx].store(fresh, Ordering::Release);
+    } else {
+        // SAFETY: in-bounds slot of a live chunk; exclusive write access
+        // is guaranteed by the interner's write lock. Readers only touch
+        // this slot via a `Sym` carrying this id, and every channel that
+        // hands out the id (the return below, the map under the lock, a
+        // cross-thread transfer of the handle) establishes happens-before
+        // with this write.
+        unsafe { chunk.add(slot).write(name) };
+    }
+}
+
+fn interner() -> &'static RwLock<Inner> {
+    static INTERNER: OnceLock<RwLock<Inner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let mut map = HashMap::with_capacity(SEEDS.len() * 4);
+        let mut names = Vec::with_capacity(SEEDS.len() * 4);
+        for (i, s) in SEEDS.iter().enumerate() {
+            map.insert(*s, i as u32);
+            names.push(*s);
+        }
+        // Seed chunk 0 completely before publishing its pointer: a reader
+        // that skips the `OnceLock` fence because it sees a non-null chunk
+        // must never see a half-seeded table.
+        let seeded = new_chunk();
+        for (i, s) in SEEDS.iter().enumerate() {
+            // SAFETY: `seeded` is a fresh, unshared chunk; SEEDS fits.
+            unsafe { seeded.add(i).write(s) };
+        }
+        NAME_CHUNKS[0].store(seeded, Ordering::Release);
+        RwLock::new(Inner { map, names })
+    })
+}
+
+impl Sym {
+    /// Interns `text`, allocating a slot on first sight. Pre-seeded and
+    /// previously-seen strings only take the read lock.
+    pub fn intern(text: &str) -> Sym {
+        let lock = interner();
+        if let Some(&id) = lock.read().unwrap().map.get(text) {
+            return Sym(id);
+        }
+        let mut inner = lock.write().unwrap();
+        // Double-check: another thread may have interned it between locks.
+        if let Some(&id) = inner.map.get(text) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(inner.names.len()).expect("interner overflow");
+        publish_name(id, leaked);
+        inner.names.push(leaked);
+        inner.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// Looks up `text` without interning it: `None` means the string has
+    /// never been seen, so no keyed collection can contain it. Lets read
+    /// paths (`VarMap::get`, fact-base queries) stay allocation-free on
+    /// misses.
+    pub fn lookup(text: &str) -> Option<Sym> {
+        interner().read().unwrap().map.get(text).map(|&id| Sym(id))
+    }
+
+    /// The interned text. `'static` because interner entries are never
+    /// reclaimed. Lock-free: one atomic load plus an indexed read.
+    pub fn as_str(self) -> &'static str {
+        let idx = self.0 as usize;
+        let mut chunk = NAME_CHUNKS[idx >> CHUNK_BITS].load(Ordering::Acquire);
+        if chunk.is_null() {
+            // Pre-seeded constants can be read before anything was ever
+            // interned; force the one-time init and retry.
+            let _ = interner();
+            chunk = NAME_CHUNKS[idx >> CHUNK_BITS].load(Ordering::Acquire);
+        }
+        assert!(!chunk.is_null(), "symbol id {} was never interned", self.0);
+        // SAFETY: in-bounds read of a live, never-freed chunk. The slot was
+        // written before this id could reach us (see `publish_name`).
+        unsafe { *chunk.add(idx & (CHUNK_SIZE - 1)) }
+    }
+
+    /// The raw slot index. Stable for the life of the process; pre-seeded
+    /// symbols have the same index in every process.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this symbol was pre-seeded (compile-time constant) rather
+    /// than interned dynamically from wire data.
+    pub fn is_preseeded(self) -> bool {
+        (self.0 as usize) < SEEDS.len()
+    }
+
+    /// Number of pre-seeded symbols (dynamic ids start here).
+    pub fn preseeded_count() -> usize {
+        SEEDS.len()
+    }
+}
+
+impl Default for Sym {
+    fn default() -> Self {
+        sym::EMPTY
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(text: &str) -> Self {
+        Sym::intern(text)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(text: &String) -> Self {
+        Sym::intern(text)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(text: String) -> Self {
+        Sym::intern(&text)
+    }
+}
+
+impl From<Sym> for String {
+    fn from(sym: Sym) -> Self {
+        sym.as_str().to_owned()
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+/// A map key that may or may not already be interned.
+///
+/// `to_sym` is the write-side conversion (interns on first sight);
+/// `find_sym` is the read-side one (never interns, so probing a map with a
+/// string nobody ever stored neither allocates nor grows the interner).
+pub trait SymKey {
+    /// Interning conversion, for inserts.
+    fn to_sym(self) -> Sym;
+    /// Non-interning lookup, for reads; `None` guarantees absence.
+    fn find_sym(self) -> Option<Sym>;
+}
+
+impl SymKey for Sym {
+    fn to_sym(self) -> Sym {
+        self
+    }
+    fn find_sym(self) -> Option<Sym> {
+        Some(self)
+    }
+}
+
+impl SymKey for &str {
+    fn to_sym(self) -> Sym {
+        Sym::intern(self)
+    }
+    fn find_sym(self) -> Option<Sym> {
+        Sym::lookup(self)
+    }
+}
+
+impl SymKey for &String {
+    fn to_sym(self) -> Sym {
+        Sym::intern(self)
+    }
+    fn find_sym(self) -> Option<Sym> {
+        Sym::lookup(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preseeded_constants_resolve_to_their_text() {
+        assert_eq!(sym::WILDCARD.as_str(), "*");
+        assert_eq!(sym::EMPTY.as_str(), "");
+        assert_eq!(sym::SIP_INVITE.as_str(), "SIP.INVITE");
+        assert_eq!(sym::RTP_PACKET.as_str(), "RTP.Packet");
+        assert_eq!(sym::PCK_COUNTER.as_str(), "pck_counter");
+        assert!(sym::SIP_INVITE.is_preseeded());
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_constants_agree() {
+        assert_eq!(Sym::intern("SIP.INVITE"), sym::SIP_INVITE);
+        let a = Sym::intern("intern-test-dynamic-1");
+        let b = Sym::intern("intern-test-dynamic-1");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "intern-test-dynamic-1");
+        assert!(!a.is_preseeded());
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        assert_eq!(Sym::lookup("SIP.BYE"), Some(sym::SIP_BYE));
+        assert_eq!(Sym::lookup("intern-test-never-stored"), None);
+        // Still absent: the failed lookup must not have interned it.
+        assert_eq!(Sym::lookup("intern-test-never-stored"), None);
+    }
+
+    #[test]
+    fn equality_against_str_and_default() {
+        assert_eq!(sym::SIP_ACK, "SIP.ACK");
+        assert_eq!("SIP.ACK", sym::SIP_ACK);
+        assert_ne!(sym::SIP_ACK, "SIP.BYE");
+        assert_eq!(Sym::default(), sym::EMPTY);
+        assert_eq!(format!("{}", sym::SIP_BYE), "SIP.BYE");
+        assert_eq!(format!("{:?}", sym::SIP_BYE), "\"SIP.BYE\"");
+    }
+
+    #[test]
+    fn symbols_are_stable_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64)
+                        .map(|i| Sym::intern(&format!("xthread-{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for per_thread in &all[1..] {
+            assert_eq!(per_thread, &all[0], "every thread must see the same ids");
+        }
+        for (i, s) in all[0].iter().enumerate() {
+            assert_eq!(s.as_str(), format!("xthread-{i}"));
+        }
+    }
+}

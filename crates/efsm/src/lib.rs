@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod event;
 pub mod instance;
+pub mod intern;
 pub mod machine;
 pub mod network;
 pub mod trace;
@@ -55,7 +56,8 @@ pub mod value;
 pub use analysis::{attack_paths, AttackPath};
 pub use event::{Event, EventKind};
 pub use instance::{MachineInstance, StepOutcome};
+pub use intern::{sym, Sym, SymKey};
 pub use machine::{BuildError, MachineDef, StateId};
 pub use network::{MachineId, Network, NetworkOutcome};
 pub use trace::{Trace, TraceEntry};
-pub use value::{Value, VarMap};
+pub use value::{InlineVec, Value, VarMap};

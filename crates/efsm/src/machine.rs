@@ -4,7 +4,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::event::Event;
-use crate::value::VarMap;
+use crate::intern::Sym;
+use crate::value::{InlineVec, VarMap};
 
 /// Index of a state within its [`MachineDef`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,14 +31,18 @@ pub struct PredicateCtx<'a> {
 }
 
 /// Side effects an update action can request besides mutating variables.
+///
+/// Stored inline ([`InlineVec`]): a transition that requests no effects —
+/// the steady-state case — costs zero allocations, and the common one- or
+/// two-effect actions stay on the stack too.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Effects {
     /// Synchronization events to enqueue, by target machine name.
-    pub sync_out: Vec<(String, Event)>,
+    pub sync_out: InlineVec<(Sym, Event), 2>,
     /// Timers to (re)arm: `(timer name, delay from now in ms)`.
-    pub timers_set: Vec<(String, u64)>,
+    pub timers_set: InlineVec<(Sym, u64), 2>,
     /// Timers to cancel.
-    pub timers_cancelled: Vec<String>,
+    pub timers_cancelled: InlineVec<Sym, 2>,
 }
 
 /// Mutable context handed to update actions `A_t(v̄)`.
@@ -57,19 +62,19 @@ pub struct ActionCtx<'a> {
 impl ActionCtx<'_> {
     /// Emits a synchronization message `c!δ(x̄)` to the named co-operating
     /// machine. Delivery goes through the network's FIFO queue.
-    pub fn send_sync(&mut self, target_machine: &str, event: Event) {
-        self.effects.sync_out.push((target_machine.to_owned(), event));
+    pub fn send_sync(&mut self, target_machine: impl Into<Sym>, event: Event) {
+        self.effects.sync_out.push((target_machine.into(), event));
     }
 
     /// Arms (or re-arms) a named timer to fire `delay_ms` from now. Expiry is
     /// delivered back as an [`Event::timer`] carrying the timer's name.
-    pub fn set_timer(&mut self, name: &str, delay_ms: u64) {
-        self.effects.timers_set.push((name.to_owned(), delay_ms));
+    pub fn set_timer(&mut self, name: impl Into<Sym>, delay_ms: u64) {
+        self.effects.timers_set.push((name.into(), delay_ms));
     }
 
     /// Cancels a named timer if armed.
-    pub fn cancel_timer(&mut self, name: &str) {
-        self.effects.timers_cancelled.push(name.to_owned());
+    pub fn cancel_timer(&mut self, name: impl Into<Sym>) {
+        self.effects.timers_cancelled.push(name.into());
     }
 }
 
@@ -79,11 +84,11 @@ type Action = Arc<dyn Fn(&mut ActionCtx<'_>) + Send + Sync>;
 /// One transition `<s_t, event, P_t, A_t, q_t>`.
 pub(crate) struct Transition {
     pub(crate) from: StateId,
-    pub(crate) event_name: String,
+    pub(crate) event_name: Sym,
     pub(crate) to: StateId,
     pub(crate) predicate: Option<Predicate>,
     pub(crate) action: Option<Action>,
-    pub(crate) label: Option<String>,
+    pub(crate) label: Option<Sym>,
 }
 
 impl fmt::Debug for Transition {
@@ -124,7 +129,7 @@ pub enum UnmatchedPolicy {
 /// [`MachineDef::add_state`], [`MachineDef::add_transition`] and
 /// [`MachineDef::build`]; run it with [`crate::instance::MachineInstance`].
 pub struct MachineDef {
-    name: String,
+    name: Sym,
     states: Vec<StateInfo>,
     transitions: Vec<Transition>,
     initial: StateId,
@@ -165,7 +170,7 @@ impl TransitionBuilder<'_> {
     }
 
     /// Attaches a human-readable label used in traces and alerts.
-    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+    pub fn label(&mut self, label: impl Into<Sym>) -> &mut Self {
         self.transition.label = Some(label.into());
         self
     }
@@ -174,7 +179,7 @@ impl TransitionBuilder<'_> {
 impl MachineDef {
     /// Starts an empty definition. The first state added becomes the initial
     /// state.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Sym>) -> Self {
         MachineDef {
             name: name.into(),
             states: Vec::new(),
@@ -186,8 +191,13 @@ impl MachineDef {
     }
 
     /// The machine's name (used as the sync-channel address).
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The machine's name as an interned symbol (allocation-free routing).
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// Adds a state and returns its id.
@@ -223,7 +233,7 @@ impl MachineDef {
     pub fn add_transition(
         &mut self,
         from: StateId,
-        event_name: impl Into<String>,
+        event_name: impl Into<Sym>,
         to: StateId,
     ) -> TransitionBuilder<'_> {
         self.transitions.push(Transition {

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use crate::event::Event;
 use crate::instance::MachineInstance;
+use crate::intern::Sym;
 use crate::machine::MachineDef;
 use crate::trace::{Trace, TraceEntry};
 use crate::value::VarMap;
@@ -102,7 +103,7 @@ pub struct Network {
     instances: Vec<MachineInstance>,
     globals: VarMap,
     sync_queues: Vec<VecDeque<Event>>,
-    timers: Vec<BTreeMap<String, u64>>,
+    timers: Vec<BTreeMap<Sym, u64>>,
     trace: Option<Trace>,
     /// Ablation switch (experiment E8): when false, δ messages are dropped
     /// instead of enqueued, turning the cross-protocol monitor into a set of
@@ -168,7 +169,17 @@ impl Network {
 
     /// Finds a machine by its definition name.
     pub fn machine_by_name(&self, name: &str) -> Option<MachineId> {
-        self.defs.iter().position(|d| d.name() == name).map(MachineId)
+        let sym = Sym::lookup(name)?;
+        self.machine_by_sym(sym)
+    }
+
+    /// Finds a machine by its interned name (allocation- and compare-free
+    /// routing on the hot path: a `u32` scan over at most a few machines).
+    pub fn machine_by_sym(&self, name: Sym) -> Option<MachineId> {
+        self.defs
+            .iter()
+            .position(|d| d.name_sym() == name)
+            .map(MachineId)
     }
 
     /// The instance for a machine id.
@@ -220,12 +231,12 @@ impl Network {
         let queues: usize = self
             .sync_queues
             .iter()
-            .map(|q| q.iter().map(|e| e.args.memory_bytes() + e.name.len() + 8).sum::<usize>())
+            .map(|q| q.iter().map(|e| e.args.memory_bytes() + 8 + 8).sum::<usize>())
             .sum();
         let timers: usize = self
             .timers
             .iter()
-            .map(|t| t.keys().map(|k| k.len() + 8).sum::<usize>())
+            .map(|t| t.len() * (std::mem::size_of::<Sym>() + 8))
             .sum();
         instances + queues + timers + self.globals.memory_bytes()
     }
@@ -256,13 +267,13 @@ impl Network {
         let mut outcome = NetworkOutcome::default();
         loop {
             // Earliest due timer across machines, for deterministic order.
-            let mut due: Option<(usize, String, u64)> = None;
+            let mut due: Option<(usize, Sym, u64)> = None;
             for (i, timers) in self.timers.iter().enumerate() {
                 for (name, deadline) in timers {
                     if *deadline <= now_ms
                         && due.as_ref().is_none_or(|(_, _, best)| *deadline < *best)
                     {
-                        due = Some((i, name.clone(), *deadline));
+                        due = Some((i, *name, *deadline));
                     }
                 }
             }
@@ -270,7 +281,7 @@ impl Network {
                 break;
             };
             self.timers[machine].remove(&name);
-            let event = Event::timer(&name);
+            let event = Event::timer(name);
             outcome.merge(self.step_one(MachineId(machine), &event, deadline));
             outcome.merge(self.drain_sync(deadline));
         }
@@ -294,16 +305,16 @@ impl Network {
             nondeterministic: step.nondeterministic,
             ..NetworkOutcome::default()
         };
-        if let Some((from, to, label)) = &step.taken {
+        if let Some((from, to, label)) = step.taken {
             outcome.transitions = 1;
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEntry {
                     time_ms: now_ms,
                     machine: def.name().to_owned(),
                     event: event.to_string(),
-                    from: def.state_name(*from).to_owned(),
-                    to: def.state_name(*to).to_owned(),
-                    label: label.clone(),
+                    from: def.state_name(from).to_owned(),
+                    to: def.state_name(to).to_owned(),
+                    label: label.map(String::from),
                 });
             }
         }
@@ -331,7 +342,7 @@ impl Network {
         }
         if self.sync_enabled {
             for (dest_name, sync_event) in step.effects.sync_out {
-                if let Some(dest) = self.machine_by_name(&dest_name) {
+                if let Some(dest) = self.machine_by_sym(dest_name) {
                     self.sync_queues[dest.0].push_back(sync_event);
                 }
                 // Unknown destination: dropped. The builder of the protocol

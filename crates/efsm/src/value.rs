@@ -1,21 +1,38 @@
 //! State-variable values `v̄` and their domains `D`.
+//!
+//! `VarMap` is the storage behind machine-local (`l_*`) and call-global
+//! (`g_*`) variables and behind every event's argument vector. It used to
+//! be a `BTreeMap<String, Value>` — a heap-allocated key per `set()`, a
+//! node allocation per entry, and byte-wise string compares per probe. It
+//! is now a sorted inline array of `(Sym, Value)` pairs ([`InlineVec`])
+//! that spills to the heap only past [`VARMAP_INLINE`] entries: typical
+//! argument vectors never touch the allocator, and lookups are a binary
+//! search over `u32` symbol ids.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem;
+
+use crate::intern::{Sym, SymKey};
 
 /// A value a state variable or event argument can take.
 ///
 /// The paper's Definition 1 leaves domains abstract; in a VoIP monitor the
-/// variables are addresses, identifiers, counters and timestamps, all of
-/// which map onto these four variants.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// variables are addresses, identifiers, counters and timestamps. `Str`
+/// owns its bytes; `Sym` is an interned handle (what the classifier
+/// produces for wire strings such as Call-IDs and tags). The two compare,
+/// order and hash as the same logical string, so consumers never care
+/// which one a producer chose.
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Signed integer (sequence deltas, gaps).
     Int(i64),
     /// Unsigned integer (counters, ports, timestamps in ms/ticks).
     Uint(u64),
-    /// Text (Call-IDs, tags, branch parameters, addresses, codec names).
+    /// Owned text.
     Str(String),
+    /// Interned text (Call-IDs, tags, addresses — see [`crate::intern`]).
+    Sym(Sym),
     /// Boolean flag.
     Bool(bool),
 }
@@ -37,10 +54,21 @@ impl Value {
         }
     }
 
-    /// The contained string, if this is a `Str`.
+    /// The contained text, if this is textual (either representation).
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(v) => Some(v),
+            Value::Sym(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The contained text as an interned symbol, if textual. `Str` is
+    /// looked up without interning.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Sym(v) => Some(*v),
+            Value::Str(v) => Sym::lookup(v),
             _ => None,
         }
     }
@@ -54,12 +82,80 @@ impl Value {
     }
 
     /// Approximate in-memory footprint in bytes, used by the paper's §7.3
-    /// per-call memory accounting.
+    /// per-call memory accounting. A `Str` costs its `String` header plus
+    /// heap *capacity* (`len` alone undercounted by at least the 24-byte
+    /// header); a `Sym` is a 4-byte handle whose text lives in the shared
+    /// interner.
     pub fn memory_bytes(&self) -> usize {
         match self {
             Value::Int(_) | Value::Uint(_) => 8,
             Value::Bool(_) => 1,
-            Value::Str(s) => s.len(),
+            Value::Str(s) => mem::size_of::<String>() + s.capacity(),
+            Value::Sym(_) => 4,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Uint(_) => 1,
+            Value::Str(_) | Value::Sym(_) => 2,
+            Value::Bool(_) => 3,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Bool(false)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Uint(a), Value::Uint(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // The interner dedups, so symbol ids compare in O(1).
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            // Str and Sym are the same logical string.
+            (a, b) if a.rank() == 2 && b.rank() == 2 => a.as_str() == b.as_str(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Uint(a), Value::Uint(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Sym(a), Value::Sym(b)) if a == b => std::cmp::Ordering::Equal,
+            (a, b) if a.rank() == 2 && b.rank() == 2 => a.as_str().cmp(&b.as_str()),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Int(v) => v.hash(state),
+            Value::Uint(v) => v.hash(state),
+            Value::Bool(v) => v.hash(state),
+            // Must hash identically for Str and Sym since they compare equal.
+            Value::Str(_) | Value::Sym(_) => self.as_str().hash(state),
         }
     }
 }
@@ -70,6 +166,7 @@ impl fmt::Display for Value {
             Value::Int(v) => write!(f, "{v}"),
             Value::Uint(v) => write!(f, "{v}"),
             Value::Str(v) => write!(f, "{v:?}"),
+            Value::Sym(v) => write!(f, "{:?}", v.as_str()),
             Value::Bool(v) => write!(f, "{v}"),
         }
     }
@@ -101,7 +198,10 @@ impl From<u16> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        // Interning here makes even naive `set(name, text)` call sites
+        // allocation-free once the string has been seen; compares equal
+        // to `Value::Str` of the same text.
+        Value::Sym(Sym::intern(v))
     }
 }
 
@@ -111,101 +211,378 @@ impl From<String> for Value {
     }
 }
 
+impl From<Sym> for Value {
+    fn from(v: Sym) -> Self {
+        Value::Sym(v)
+    }
+}
+
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Value::Bool(v)
     }
 }
 
-/// A named collection of state variables.
+/// A vector that stores its first `N` elements inline and spills to a
+/// heap `Vec` only past that. `T: Default` fills unused inline slots.
+#[derive(Clone)]
+pub struct InlineVec<T, const N: usize> {
+    len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: std::array::from_fn(|_| T::default()),
+            spill: Vec::new(),
+        }
+    }
+
+    fn is_spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live elements as a slice, regardless of representation.
+    pub fn as_slice(&self) -> &[T] {
+        if self.is_spilled() {
+            &self.spill
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.is_spilled() {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.len]
+        }
+    }
+
+    fn spill_now(&mut self) {
+        debug_assert!(!self.is_spilled());
+        self.spill.reserve(self.len + 1);
+        for slot in &mut self.inline[..self.len] {
+            self.spill.push(mem::take(slot));
+        }
+    }
+
+    /// Appends an element, spilling to the heap if the inline space is
+    /// exhausted.
+    pub fn push(&mut self, value: T) {
+        if self.is_spilled() {
+            self.spill.push(value);
+        } else if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            self.spill_now();
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Inserts `value` at `index`, shifting later elements right.
+    pub fn insert(&mut self, index: usize, value: T) {
+        assert!(index <= self.len, "insert index out of bounds");
+        if !self.is_spilled() && self.len == N {
+            self.spill_now();
+        }
+        if self.is_spilled() {
+            self.spill.insert(index, value);
+        } else {
+            self.inline[index..=self.len].rotate_right(1);
+            self.inline[index] = value;
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the element at `index`, shifting later
+    /// elements left. A spilled vector stays spilled.
+    pub fn remove(&mut self, index: usize) -> T {
+        assert!(index < self.len, "remove index out of bounds");
+        self.len -= 1;
+        if self.is_spilled() {
+            self.spill.remove(index)
+        } else {
+            let value = mem::take(&mut self.inline[index]);
+            self.inline[index..=self.len].rotate_left(1);
+            value
+        }
+    }
+
+    /// Drops every element, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline[..self.len.min(N)] {
+            *slot = T::default();
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over the live elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Heap bytes owned by the container itself (zero while inline).
+    pub fn heap_bytes(&self) -> usize {
+        self.spill.capacity() * mem::size_of::<T>()
+    }
+}
+
+impl<T: Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: fmt::Debug + Default, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: PartialEq + Default, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq + Default, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: PartialEq + Default, const N: usize> PartialEq<[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: PartialEq + Default, const N: usize, const M: usize> PartialEq<[T; M]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Default, const N: usize> std::ops::Index<usize> for InlineVec<T, N> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        &self.as_slice()[index]
+    }
+}
+
+impl<T: Default, const N: usize> std::ops::IndexMut<usize> for InlineVec<T, N> {
+    fn index_mut(&mut self, index: usize) -> &mut T {
+        &mut self.as_mut_slice()[index]
+    }
+}
+
+impl<T: Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+/// Consuming iterator over an [`InlineVec`].
+pub struct InlineVecIntoIter<T, const N: usize> {
+    inline: std::iter::Take<std::array::IntoIter<T, N>>,
+    spill: std::vec::IntoIter<T>,
+}
+
+impl<T, const N: usize> Iterator for InlineVecIntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.inline.next().or_else(|| self.spill.next())
+    }
+}
+
+impl<T: Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = InlineVecIntoIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let inline_live = if self.is_spilled() { 0 } else { self.len };
+        InlineVecIntoIter {
+            inline: self.inline.into_iter().take(inline_live),
+            spill: self.spill.into_iter(),
+        }
+    }
+}
+
+impl<'a, T: Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Inline capacity of a [`VarMap`]: covers every classifier-produced
+/// argument vector except INVITE/answer events carrying SDP (13 entries),
+/// which spill once during call setup — never in steady state.
+pub const VARMAP_INLINE: usize = 12;
+
+/// A named collection of state variables, sorted by symbol id.
 ///
 /// By convention (mirroring the paper's Fig. 2) local variable names start
 /// with `l_` and global (call-shared) names with `g_`, though the map does
-/// not enforce this.
+/// not enforce this. Keys accept either `&str` or [`Sym`] (via
+/// [`SymKey`]): writes intern the name, reads only *look up* — probing
+/// for a name nobody ever interned is allocation-free and grows nothing.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VarMap {
-    vars: BTreeMap<String, Value>,
+    entries: InlineVec<(Sym, Value), VARMAP_INLINE>,
 }
 
 impl VarMap {
-    /// Creates an empty map.
+    /// Creates an empty map (no heap allocation).
     pub fn new() -> Self {
         VarMap::default()
     }
 
+    fn position(&self, sym: Sym) -> Result<usize, usize> {
+        self.entries
+            .as_slice()
+            .binary_search_by_key(&sym.id(), |(s, _)| s.id())
+    }
+
     /// Sets a variable, replacing any existing value.
-    pub fn set(&mut self, name: &str, value: impl Into<Value>) {
-        self.vars.insert(name.to_owned(), value.into());
+    pub fn set(&mut self, name: impl SymKey, value: impl Into<Value>) {
+        let sym = name.to_sym();
+        match self.position(sym) {
+            Ok(i) => self.entries.as_mut_slice()[i].1 = value.into(),
+            Err(i) => self.entries.insert(i, (sym, value.into())),
+        }
     }
 
     /// Looks up a variable.
-    pub fn get(&self, name: &str) -> Option<&Value> {
-        self.vars.get(name)
+    pub fn get(&self, name: impl SymKey) -> Option<&Value> {
+        let sym = name.find_sym()?;
+        let i = self.position(sym).ok()?;
+        Some(&self.entries.as_slice()[i].1)
     }
 
     /// Unsigned integer shortcut; `None` if absent or a different type.
-    pub fn uint(&self, name: &str) -> Option<u64> {
+    pub fn uint(&self, name: impl SymKey) -> Option<u64> {
         self.get(name).and_then(Value::as_uint)
     }
 
     /// Signed integer shortcut.
-    pub fn int(&self, name: &str) -> Option<i64> {
+    pub fn int(&self, name: impl SymKey) -> Option<i64> {
         self.get(name).and_then(Value::as_int)
     }
 
-    /// String shortcut.
-    pub fn str(&self, name: &str) -> Option<&str> {
+    /// String shortcut (matches both `Str` and `Sym` values).
+    pub fn str(&self, name: impl SymKey) -> Option<&str> {
         self.get(name).and_then(Value::as_str)
     }
 
+    /// Interned-symbol shortcut for textual values.
+    pub fn sym(&self, name: impl SymKey) -> Option<Sym> {
+        self.get(name).and_then(Value::as_sym)
+    }
+
     /// Boolean shortcut, defaulting to `false` when absent.
-    pub fn flag(&self, name: &str) -> bool {
+    pub fn flag(&self, name: impl SymKey) -> bool {
         self.get(name).and_then(Value::as_bool).unwrap_or(false)
     }
 
     /// Removes a variable, returning its value.
-    pub fn remove(&mut self, name: &str) -> Option<Value> {
-        self.vars.remove(name)
+    pub fn remove(&mut self, name: impl SymKey) -> Option<Value> {
+        let sym = name.find_sym()?;
+        let i = self.position(sym).ok()?;
+        Some(self.entries.remove(i).1)
     }
 
     /// Increments a `Uint` counter by 1, creating it at 1 if absent, and
     /// returns the new value. Used by the paper's `pck_counter`.
-    pub fn increment(&mut self, name: &str) -> u64 {
-        let next = self.uint(name).unwrap_or(0) + 1;
-        self.set(name, next);
-        next
+    pub fn increment(&mut self, name: impl SymKey) -> u64 {
+        let sym = name.to_sym();
+        match self.position(sym) {
+            Ok(i) => {
+                let slot = &mut self.entries.as_mut_slice()[i].1;
+                let next = slot.as_uint().unwrap_or(0) + 1;
+                *slot = Value::Uint(next);
+                next
+            }
+            Err(i) => {
+                self.entries.insert(i, (sym, Value::Uint(1)));
+                1
+            }
+        }
     }
 
     /// Number of variables.
     pub fn len(&self) -> usize {
-        self.vars.len()
+        self.entries.len()
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.vars.is_empty()
+        self.entries.is_empty()
     }
 
-    /// Iterates over `(name, value)` pairs in name order.
+    /// Iterates over `(name, value)` pairs in symbol-id order (pre-seeded
+    /// names first, then dynamic names in first-interned order).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+        self.entries.iter().map(|(s, v)| (s.as_str(), v))
     }
 
-    /// Approximate memory footprint: names plus values plus map overhead.
-    /// Backs the §7.3 per-call memory cost evaluation (E5).
+    /// Iterates over `(symbol, value)` pairs in symbol-id order.
+    pub fn iter_syms(&self) -> impl Iterator<Item = (Sym, &Value)> {
+        self.entries.iter().map(|(s, v)| (*s, v))
+    }
+
+    /// Approximate memory footprint: entry handles plus values plus any
+    /// spill-heap. Backs the §7.3 per-call memory cost evaluation (E5).
+    /// Interned names are shared process-wide and counted at handle size.
     pub fn memory_bytes(&self) -> usize {
-        self.vars
+        let entries: usize = self
+            .entries
             .iter()
-            .map(|(k, v)| k.len() + v.memory_bytes() + 16)
-            .sum()
+            .map(|(_, v)| mem::size_of::<Sym>() + v.memory_bytes() + 16)
+            .sum();
+        entries + self.entries.heap_bytes()
+    }
+}
+
+impl FromIterator<(Sym, Value)> for VarMap {
+    fn from_iter<I: IntoIterator<Item = (Sym, Value)>>(iter: I) -> Self {
+        let mut map = VarMap::new();
+        for (name, value) in iter {
+            map.set(name, value);
+        }
+        map
     }
 }
 
 impl FromIterator<(String, Value)> for VarMap {
     fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
-        VarMap {
-            vars: iter.into_iter().collect(),
+        let mut map = VarMap::new();
+        for (name, value) in iter {
+            map.set(&name, value);
         }
+        map
     }
 }
 
@@ -246,12 +623,26 @@ mod tests {
     }
 
     #[test]
+    fn remove_and_missing_reads_never_intern() {
+        let mut v = VarMap::new();
+        v.set("x", 7u64);
+        assert_eq!(v.remove("x"), Some(Value::Uint(7)));
+        assert_eq!(v.remove("x"), None);
+        // A read miss on a never-seen name must not grow the interner.
+        assert!(v.get("varmap-test-never-interned").is_none());
+        assert_eq!(Sym::lookup("varmap-test-never-interned"), None);
+    }
+
+    #[test]
     fn memory_accounting_scales_with_content() {
         let mut small = VarMap::new();
         small.set("a", 1u64);
         let mut big = VarMap::new();
-        big.set("a", "a-rather-long-call-identifier@host.example.com");
+        // Owned strings are charged header + capacity; `len` alone
+        // undercounted by at least the 24-byte String header.
+        big.set("a", "a-rather-long-call-identifier@host.example.com".to_owned());
         assert!(big.memory_bytes() > small.memory_bytes());
+        assert!(Value::Str(String::new()).memory_bytes() >= mem::size_of::<String>());
     }
 
     #[test]
@@ -261,5 +652,58 @@ mod tests {
         assert_eq!(Value::from("x"), Value::Str("x".into()));
         assert_eq!(Value::from(true), Value::Bool(true));
         assert_eq!(Value::from(-1i64), Value::Int(-1));
+    }
+
+    #[test]
+    fn str_and_sym_are_one_logical_string() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Value::Str("same-text".into());
+        let b = Value::Sym(Sym::intern("same-text"));
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(b.as_sym(), a.as_sym());
+    }
+
+    #[test]
+    fn inline_vec_spills_past_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.heap_bytes(), 0, "inline while len <= N");
+        v.push(4);
+        assert!(v.heap_bytes() > 0, "spilled past N");
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.remove(0), 0);
+        v.insert(0, 9);
+        assert_eq!(v.as_slice(), &[9, 1, 2, 3, 4]);
+        assert_eq!(v.clone().into_iter().collect::<Vec<_>>(), vec![9, 1, 2, 3, 4]);
+
+        let mut inline: InlineVec<u32, 4> = InlineVec::new();
+        inline.push(1);
+        inline.insert(0, 0);
+        assert_eq!(inline.as_slice(), &[0, 1]);
+        assert_eq!(inline.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn varmap_iterates_in_symbol_id_order_and_spills() {
+        let mut v = VarMap::new();
+        for i in 0..(VARMAP_INLINE + 3) {
+            v.set(format!("spill-key-{i}").as_str(), i as u64);
+        }
+        assert_eq!(v.len(), VARMAP_INLINE + 3);
+        let ids: Vec<u32> = v.iter_syms().map(|(s, _)| s.id()).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted by symbol id");
+        for i in 0..(VARMAP_INLINE + 3) {
+            assert_eq!(v.uint(format!("spill-key-{i}").as_str()), Some(i as u64));
+        }
     }
 }

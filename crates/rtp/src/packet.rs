@@ -87,6 +87,49 @@ impl RtpPacket {
     /// Returns [`ParseRtpError`] on short input, a wrong version field, or a
     /// CSRC count / extension flag this model does not support.
     pub fn parse(bytes: &[u8]) -> Result<RtpPacket, ParseRtpError> {
+        let header = RtpHeader::parse(bytes)?;
+        Ok(RtpPacket {
+            padding: header.padding,
+            marker: header.marker,
+            payload_type: header.payload_type,
+            sequence_number: header.sequence_number,
+            timestamp: header.timestamp,
+            ssrc: header.ssrc,
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// The fixed 12-byte RTP header alone, without the payload.
+///
+/// The intrusion monitor only inspects header fields, so its classifier
+/// parses this `Copy` view instead of an [`RtpPacket`] and never copies the
+/// codec payload out of the datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RtpHeader {
+    /// Padding flag.
+    pub padding: bool,
+    /// Marker bit.
+    pub marker: bool,
+    /// Payload type (7 bits).
+    pub payload_type: u8,
+    /// 16-bit sequence number.
+    pub sequence_number: u16,
+    /// 32-bit media timestamp.
+    pub timestamp: u32,
+    /// Synchronization source identifier.
+    pub ssrc: u32,
+}
+
+impl RtpHeader {
+    /// Parses the fixed header from wire bytes, applying exactly the checks
+    /// [`RtpPacket::parse`] applies, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtpError`] on short input, a wrong version field, or a
+    /// CSRC count / extension flag this model does not support.
+    pub fn parse(bytes: &[u8]) -> Result<RtpHeader, ParseRtpError> {
         if bytes.len() < HEADER_LEN {
             return Err(ParseRtpError::TooShort { len: bytes.len() });
         }
@@ -101,14 +144,13 @@ impl RtpPacket {
         if bytes[0] & 0x10 != 0 {
             return Err(ParseRtpError::UnsupportedExtension);
         }
-        Ok(RtpPacket {
+        Ok(RtpHeader {
             padding: bytes[0] & 0x20 != 0,
             marker: bytes[1] & 0x80 != 0,
             payload_type: bytes[1] & 0x7f,
             sequence_number: u16::from_be_bytes([bytes[2], bytes[3]]),
             timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
             ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
-            payload: bytes[HEADER_LEN..].to_vec(),
         })
     }
 }
@@ -234,5 +276,25 @@ mod tests {
     #[should_panic(expected = "7 bits")]
     fn payload_type_must_fit() {
         let _ = RtpPacket::new(128, 0, 0, 0);
+    }
+
+    #[test]
+    fn header_parse_matches_packet_parse() {
+        let pkt = RtpPacket::new(18, 7, 560, 0xFEED)
+            .with_payload(vec![9; 20])
+            .with_marker();
+        let bytes = pkt.to_bytes();
+        let header = RtpHeader::parse(&bytes).unwrap();
+        assert_eq!(header.payload_type, pkt.payload_type);
+        assert_eq!(header.sequence_number, pkt.sequence_number);
+        assert_eq!(header.timestamp, pkt.timestamp);
+        assert_eq!(header.ssrc, pkt.ssrc);
+        assert!(header.marker);
+        for bad in [&bytes[..5], &[0x40; 16][..], &[0x82; 16][..]] {
+            assert_eq!(
+                RtpHeader::parse(bad).map(|_| ()),
+                RtpPacket::parse(bad).map(|_| ())
+            );
+        }
     }
 }

@@ -44,6 +44,7 @@ pub mod md5;
 pub mod status;
 pub mod transaction;
 pub mod uri;
+pub mod view;
 
 pub use auth::{DigestChallenge, DigestCredentials};
 pub use dialog::DialogId;

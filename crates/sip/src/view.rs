@@ -1,0 +1,498 @@
+//! Zero-copy message view: the fields vids inspects, borrowed from the wire.
+//!
+//! [`crate::parse::parse_message`] builds an owned [`crate::Message`] — a
+//! dozen heap allocations per datagram — which is the right tool for the
+//! simulated user agents that mutate and re-serialize messages. The
+//! intrusion monitor only ever *reads* a handful of fields (§4.2 of the
+//! paper: Call-ID, the Via branch, the From/To tags, CSeq, and the SDP
+//! body), so its classifier uses this view instead: every field is a
+//! `&str` slice into the original datagram and parsing allocates nothing.
+//!
+//! The view accepts the same message subset the owned parser does for the
+//! traffic the testbed generates; both reject the same malformed start
+//! lines and known-header values, so classification verdicts agree.
+
+use crate::method::Method;
+use crate::status::StatusCode;
+
+/// Error returned by [`parse_view`]. The reason is a static string so
+/// reporting a malformed packet never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewError(&'static str);
+
+impl ViewError {
+    /// The static diagnosis.
+    pub fn reason(self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SIP message: {}", self.0)
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// The start line of a viewed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartLine<'a> {
+    /// `METHOD uri SIP/2.0`.
+    Request {
+        /// The request method.
+        method: Method,
+        /// The request-URI, unparsed.
+        uri: &'a str,
+    },
+    /// `SIP/2.0 code reason`.
+    Response {
+        /// The response status.
+        status: StatusCode,
+    },
+}
+
+/// A `From`/`To`/`Contact` value viewed in place: the URI slice plus the
+/// `tag` parameter, if present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NameAddrView<'a> {
+    /// The URI between `<` and `>` (or the addr-spec up to its parameters),
+    /// scheme included.
+    pub uri: &'a str,
+    /// The `tag` header parameter.
+    pub tag: Option<&'a str>,
+}
+
+impl<'a> NameAddrView<'a> {
+    /// The user part of the URI, if any.
+    pub fn user(&self) -> Option<&'a str> {
+        let spec = strip_scheme(self.uri);
+        spec.split_once('@').map(|(user, _)| user)
+    }
+
+    /// The host part of the URI (no port, no parameters).
+    pub fn host(&self) -> &'a str {
+        let spec = strip_scheme(self.uri);
+        let hostport = spec.rsplit_once('@').map_or(spec, |(_, h)| h);
+        let host = hostport.split(';').next().unwrap_or(hostport);
+        match host.rsplit_once(':') {
+            // Only strip a real port suffix; "host" alone stays whole.
+            Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => h,
+            _ => host,
+        }
+    }
+}
+
+fn strip_scheme(uri: &str) -> &str {
+    uri.strip_prefix("sips:")
+        .or_else(|| uri.strip_prefix("sip:"))
+        .unwrap_or(uri)
+}
+
+/// The monitored fields of one SIP datagram, all borrowed from `text`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SipView<'a> {
+    /// Request or status line.
+    pub start: StartLine<'a>,
+    /// `Call-ID` value, or `""` when absent.
+    pub call_id: &'a str,
+    /// `From` header, if present.
+    pub from: Option<NameAddrView<'a>>,
+    /// `To` header, if present.
+    pub to: Option<NameAddrView<'a>>,
+    /// `Contact` header, if present.
+    pub contact: Option<NameAddrView<'a>>,
+    /// `branch` parameter of the topmost `Via`, if present.
+    pub branch: Option<&'a str>,
+    /// `CSeq` sequence number and method, if present.
+    pub cseq: Option<(u32, Method)>,
+    /// `Content-Type` value, if present.
+    pub content_type: Option<&'a str>,
+    /// `Expires` value, if present.
+    pub expires: Option<u32>,
+    /// The body, trimmed to `Content-Length` when one is declared.
+    pub body: &'a str,
+}
+
+impl<'a> SipView<'a> {
+    /// The request method, `None` for responses.
+    pub fn method(&self) -> Option<Method> {
+        match self.start {
+            StartLine::Request { method, .. } => Some(method),
+            StartLine::Response { .. } => None,
+        }
+    }
+
+    /// The response status, `None` for requests.
+    pub fn status(&self) -> Option<StatusCode> {
+        match self.start {
+            StartLine::Request { .. } => None,
+            StartLine::Response { status } => Some(status),
+        }
+    }
+
+    /// Whether the message is a request.
+    pub fn is_request(&self) -> bool {
+        matches!(self.start, StartLine::Request { .. })
+    }
+}
+
+/// Parses the monitored fields of a SIP message without allocating.
+///
+/// # Errors
+///
+/// Returns [`ViewError`] for the same classes of damage the owned parser
+/// rejects: a start line that is neither a valid request line nor a valid
+/// status line, a header line without `:`, or a known header whose typed
+/// value fails to parse.
+pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
+    let (head, body) = split_head_body(text);
+    let mut lines = head.lines();
+    let start_line = lines.next().ok_or(ViewError("empty message"))?;
+
+    let start = if let Some(rest) = start_line.strip_prefix("SIP/2.0 ") {
+        let code_text = rest.split(' ').next().unwrap_or("");
+        let code: u16 = code_text
+            .parse()
+            .map_err(|_| ViewError("invalid status code"))?;
+        let status = StatusCode::new(code).map_err(|_| ViewError("status code out of range"))?;
+        StartLine::Response { status }
+    } else {
+        let mut parts = start_line.split_whitespace();
+        let method_tok = parts.next().ok_or(ViewError("missing method"))?;
+        let uri = parts.next().ok_or(ViewError("missing request-URI"))?;
+        let version = parts.next().ok_or(ViewError("missing SIP version"))?;
+        if version != "SIP/2.0" {
+            return Err(ViewError("unsupported SIP version"));
+        }
+        let method = Method::ALL
+            .iter()
+            .find(|m| m.as_str() == method_tok)
+            .copied()
+            .ok_or(ViewError("unknown SIP method"))?;
+        StartLine::Request { method, uri }
+    };
+
+    let mut view = SipView {
+        start,
+        call_id: "",
+        from: None,
+        to: None,
+        contact: None,
+        branch: None,
+        cseq: None,
+        content_type: None,
+        expires: None,
+        body,
+    };
+    let mut content_length: Option<usize> = None;
+
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ViewError("header line without ':'"))?;
+        let (name, value) = (name.trim(), value.trim());
+        match canonical(name) {
+            Canonical::Via => {
+                // Only the topmost Via addresses the transaction.
+                if view.branch.is_none() {
+                    view.branch = via_branch(value)?;
+                }
+            }
+            Canonical::From => view.from = Some(name_addr(value)?),
+            Canonical::To => view.to = Some(name_addr(value)?),
+            Canonical::Contact => view.contact = Some(name_addr(value)?),
+            Canonical::CallId => view.call_id = value,
+            Canonical::CSeq => view.cseq = Some(cseq(value)?),
+            Canonical::ContentType => view.content_type = Some(value),
+            Canonical::ContentLength => {
+                content_length =
+                    Some(value.parse().map_err(|_| ViewError("invalid Content-Length"))?);
+            }
+            Canonical::Expires => {
+                view.expires = Some(value.parse().map_err(|_| ViewError("invalid Expires"))?);
+            }
+            Canonical::MaxForwards => {
+                let _: u32 = value.parse().map_err(|_| ViewError("invalid Max-Forwards"))?;
+            }
+            Canonical::Other => {}
+        }
+    }
+
+    if let Some(len) = content_length {
+        if len <= view.body.len() {
+            view.body = &view.body[..len];
+        }
+    }
+    Ok(view)
+}
+
+fn split_head_body(text: &str) -> (&str, &str) {
+    if let Some(i) = text.find("\r\n\r\n") {
+        (&text[..i], &text[i + 4..])
+    } else if let Some(i) = text.find("\n\n") {
+        (&text[..i], &text[i + 2..])
+    } else {
+        (text, "")
+    }
+}
+
+enum Canonical {
+    Via,
+    From,
+    To,
+    Contact,
+    CallId,
+    CSeq,
+    ContentType,
+    ContentLength,
+    Expires,
+    MaxForwards,
+    Other,
+}
+
+fn canonical(name: &str) -> Canonical {
+    // Compact forms per RFC 3261 §7.3.3 are single letters.
+    if name.len() == 1 {
+        return match name.as_bytes()[0].to_ascii_lowercase() {
+            b'v' => Canonical::Via,
+            b'f' => Canonical::From,
+            b't' => Canonical::To,
+            b'i' => Canonical::CallId,
+            b'm' => Canonical::Contact,
+            b'c' => Canonical::ContentType,
+            b'l' => Canonical::ContentLength,
+            _ => Canonical::Other,
+        };
+    }
+    if name.eq_ignore_ascii_case("Via") {
+        Canonical::Via
+    } else if name.eq_ignore_ascii_case("From") {
+        Canonical::From
+    } else if name.eq_ignore_ascii_case("To") {
+        Canonical::To
+    } else if name.eq_ignore_ascii_case("Contact") {
+        Canonical::Contact
+    } else if name.eq_ignore_ascii_case("Call-ID") {
+        Canonical::CallId
+    } else if name.eq_ignore_ascii_case("CSeq") {
+        Canonical::CSeq
+    } else if name.eq_ignore_ascii_case("Content-Type") {
+        Canonical::ContentType
+    } else if name.eq_ignore_ascii_case("Content-Length") {
+        Canonical::ContentLength
+    } else if name.eq_ignore_ascii_case("Expires") {
+        Canonical::Expires
+    } else if name.eq_ignore_ascii_case("Max-Forwards") {
+        Canonical::MaxForwards
+    } else {
+        Canonical::Other
+    }
+}
+
+fn via_branch(value: &str) -> Result<Option<&str>, ViewError> {
+    let rest = value
+        .strip_prefix("SIP/2.0/")
+        .ok_or(ViewError("Via missing SIP/2.0/ prefix"))?;
+    let (_, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or(ViewError("Via missing sent-by"))?;
+    Ok(param(rest, "branch"))
+}
+
+fn cseq(value: &str) -> Result<(u32, Method), ViewError> {
+    let (seq, method_tok) = value
+        .split_once(char::is_whitespace)
+        .ok_or(ViewError("CSeq missing method"))?;
+    let seq: u32 = seq
+        .parse()
+        .map_err(|_| ViewError("invalid CSeq sequence number"))?;
+    let method_tok = method_tok.trim();
+    let method = Method::ALL
+        .iter()
+        .find(|m| m.as_str() == method_tok)
+        .copied()
+        .ok_or(ViewError("unknown CSeq method"))?;
+    Ok((seq, method))
+}
+
+fn name_addr(value: &str) -> Result<NameAddrView<'_>, ViewError> {
+    // Skip an optional quoted display name.
+    let rest = if let Some(after_quote) = value.strip_prefix('"') {
+        let end = after_quote
+            .find('"')
+            .ok_or(ViewError("unterminated display name"))?;
+        after_quote[end + 1..].trim_start()
+    } else {
+        value
+    };
+    if let Some(after_angle) = rest.strip_prefix('<') {
+        let end = after_angle.find('>').ok_or(ViewError("missing '>'"))?;
+        let uri = &after_angle[..end];
+        let tag = param(after_angle[end + 1..].trim_start(), "tag");
+        Ok(NameAddrView { uri, tag })
+    } else {
+        // addr-spec form: a trailing `tag` parameter belongs to the header
+        // (RFC 3261 §20.10), mirroring the owned parser's hoisting.
+        let (uri, tag) = match rest.find(';') {
+            Some(i) => (&rest[..i], param(&rest[i..], "tag")),
+            None => (rest, None),
+        };
+        Ok(NameAddrView { uri, tag })
+    }
+}
+
+/// Finds `;key=value` in a parameter tail (case-insensitive key).
+fn param<'a>(tail: &'a str, key: &str) -> Option<&'a str> {
+    for piece in tail.split(';') {
+        if let Some((k, v)) = piece.split_once('=') {
+            if k.trim().eq_ignore_ascii_case(key) {
+                return Some(v.trim());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Request;
+    use crate::uri::SipUri;
+
+    fn invite() -> Request {
+        Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            "view-1",
+        )
+        .with_body("application/sdp", "v=0\r\n")
+    }
+
+    #[test]
+    fn views_generated_invite() {
+        let text = invite().to_string();
+        let view = parse_view(&text).unwrap();
+        assert_eq!(view.method(), Some(Method::Invite));
+        assert!(view.is_request());
+        assert_eq!(view.call_id, "view-1");
+        let from = view.from.unwrap();
+        assert_eq!(from.user(), Some("alice"));
+        assert_eq!(from.host(), "a.example.com");
+        assert!(from.tag.is_some());
+        assert_eq!(view.to.unwrap().tag, None);
+        assert!(view.branch.is_some());
+        assert_eq!(view.cseq, Some((1, Method::Invite)));
+        assert_eq!(view.content_type, Some("application/sdp"));
+        assert_eq!(view.body, "v=0\r\n");
+    }
+
+    #[test]
+    fn views_generated_response() {
+        let ok = invite().response(StatusCode::OK).with_to_tag("tt");
+        let text = ok.to_string();
+        let view = parse_view(&text).unwrap();
+        assert!(!view.is_request());
+        assert_eq!(view.status(), Some(StatusCode::OK));
+        assert_eq!(view.to.unwrap().tag, Some("tt"));
+    }
+
+    #[test]
+    fn agrees_with_owned_parser_on_the_monitored_fields() {
+        let msgs = [
+            invite().to_string(),
+            invite().response(StatusCode::RINGING).with_to_tag("x").to_string(),
+            Request::in_dialog(Method::Bye, &invite(), 2, Some("x")).to_string(),
+        ];
+        for text in &msgs {
+            let owned = crate::parse::parse_message(text).unwrap();
+            let view = parse_view(text).unwrap();
+            assert_eq!(view.call_id, owned.call_id());
+            assert_eq!(view.is_request(), owned.is_request());
+            assert_eq!(view.method(), owned.method());
+            assert_eq!(view.status(), owned.status());
+            let headers = owned.headers();
+            assert_eq!(
+                view.from.and_then(|f| f.tag),
+                headers.from_header().and_then(|f| f.tag())
+            );
+            assert_eq!(
+                view.to.and_then(|t| t.tag),
+                headers.to_header().and_then(|t| t.tag())
+            );
+            assert_eq!(
+                view.branch,
+                headers.top_via().and_then(|v| v.branch())
+            );
+            assert_eq!(
+                view.cseq,
+                headers.cseq().map(|c| (c.seq, c.method))
+            );
+            assert_eq!(view.body, owned.body());
+        }
+    }
+
+    #[test]
+    fn compact_headers_and_lf_endings() {
+        let text = "BYE sip:bob@b.example.com SIP/2.0\n\
+                    v: SIP/2.0/UDP a.example.com:5060;branch=z9hG4bKx\n\
+                    f: <sip:alice@a.example.com>;tag=1\n\
+                    i: compact-9\n\
+                    CSeq: 2 BYE\n\n";
+        let view = parse_view(text).unwrap();
+        assert_eq!(view.call_id, "compact-9");
+        assert_eq!(view.branch, Some("z9hG4bKx"));
+        assert_eq!(view.from.unwrap().tag, Some("1"));
+        assert_eq!(view.cseq, Some((2, Method::Bye)));
+    }
+
+    #[test]
+    fn addr_spec_form_hoists_tag() {
+        let view = parse_view(
+            "BYE sip:b@h SIP/2.0\r\nTo: sip:bob@b.example.com;tag=tt\r\n\r\n",
+        )
+        .unwrap();
+        let to = view.to.unwrap();
+        assert_eq!(to.tag, Some("tt"));
+        assert_eq!(to.user(), Some("bob"));
+        assert_eq!(to.host(), "b.example.com");
+    }
+
+    #[test]
+    fn host_strips_port_and_params() {
+        let na = NameAddrView {
+            uri: "sip:bob@b.example.com:5062;transport=udp",
+            tag: None,
+        };
+        assert_eq!(na.host(), "b.example.com");
+        let bare = NameAddrView { uri: "sip:10.0.0.20", tag: None };
+        assert_eq!(bare.user(), None);
+        assert_eq!(bare.host(), "10.0.0.20");
+    }
+
+    #[test]
+    fn content_length_trims_body() {
+        let view = parse_view("INFO sip:b@h SIP/2.0\r\nContent-Length: 3\r\n\r\nabcdef").unwrap();
+        assert_eq!(view.body, "abc");
+    }
+
+    #[test]
+    fn rejects_what_the_owned_parser_rejects() {
+        for bad in [
+            "",
+            "GET / HTTP/1.1\r\n\r\n",
+            "INVITE sip:b@h SIP/3.0\r\n\r\n",
+            "SIP/2.0 999 Wat\r\n\r\n",
+            "SIP/2.0 abc Huh\r\n\r\n",
+            "INVITE\r\n\r\n",
+            "INVITE sip:b@h SIP/2.0\r\nCSeq: banana\r\n\r\n",
+            "INVITE sip:b@h SIP/2.0\r\nNoColonHere\r\n\r\n",
+        ] {
+            assert!(parse_view(bad).is_err(), "{bad:?} should be rejected");
+            assert!(crate::parse::parse_message(bad).is_err());
+        }
+    }
+}

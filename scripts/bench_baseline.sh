@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Hot-path benchmark snapshot: runs the throughput-relevant benches and
+# refreshes the "current" numbers in BENCH_hotpath.json so regressions
+# against the recorded baseline are visible in review.
+# Offline by design — the workspace vendors all dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+for bench in parser_throughput pool_scaling hot_path_alloc; do
+    echo "==> cargo bench --bench $bench"
+    cargo bench --offline -p vids-bench --bench "$bench" | tee -a "$out"
+done
+
+# `bench <id> <ns>/iter <elem/s> elem/s` lines from the criterion stub.
+python3 - "$out" <<'PY'
+import json, re, sys
+
+rates = {}
+for line in open(sys.argv[1]):
+    m = re.match(r"bench\s+(\S+)\s+[\d.]+\s+ns/iter\s+(\d+)\s+elem/s", line)
+    if m:
+        rates[m.group(1)] = int(m.group(2))
+
+path = "BENCH_hotpath.json"
+doc = json.load(open(path))
+cur = doc["current"]
+mapping = {
+    "vids_mixed_fig8_elem_per_s": "hot_path/vids_mixed_fig8",
+    "pool_mixed_fig8_4_shards_elem_per_s": "hot_path/pool_mixed_fig8_4_shards",
+}
+for key, bench_id in mapping.items():
+    if bench_id in rates:
+        cur[key] = rates[bench_id]
+json.dump(doc, open(path, "w"), indent=2)
+open(path, "a").write("\n")
+print(f"updated {path}: {cur}")
+PY
+
+echo "OK"

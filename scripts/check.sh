@@ -11,4 +11,12 @@ cargo test --offline -p vids-core -q
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Hot-path crates additionally reject silent per-packet allocations that
+# plain `-D warnings` lets through (see tests/alloc_budget.rs).
+echo "==> cargo clippy (hot-path crates, allocation lints)"
+cargo clippy --offline -p vids-efsm -p vids-core --all-targets -- \
+    -D warnings \
+    -D clippy::redundant_clone \
+    -D clippy::inefficient_to_string
+
 echo "OK"

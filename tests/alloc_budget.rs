@@ -1,0 +1,209 @@
+//! Allocation budget gate for the steady-state event hot path.
+//!
+//! A counting global allocator measures exactly what one warm packet costs
+//! after symbol interning and the inline `VarMap`: every string the packet
+//! carries (Call-ID, tags, addresses) was interned when the call was set
+//! up, so classify → EFSM → fact base runs on `Sym` handles and pre-sized
+//! buffers. The documented budget (see DESIGN.md, "Hot path & memory
+//! model"):
+//!
+//! * a warm in-dialog SIP packet costs at most 4 allocations,
+//! * a warm in-profile RTP packet costs 0 allocations,
+//! * a `VidsPool` batch costs a constant number of allocations regardless
+//!   of batch size (the marginal packet is allocation-free).
+//!
+//! Everything lives in a single `#[test]` because the counter is global:
+//! the default multi-threaded test runner would otherwise interleave
+//! counts from unrelated tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use vids::core::config::Config;
+use vids::core::engine::Vids;
+use vids::core::pool::VidsPool;
+use vids::core::sink::CollectSink;
+use vids::netsim::packet::{Address, Packet, Payload};
+use vids::netsim::time::SimTime;
+use vids::rtp::packet::RtpPacket;
+use vids::sdp::{Codec, SessionDescription};
+use vids::sip::message::Request;
+use vids::sip::{Method, SipUri, StatusCode};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter armed; returns how many allocations it made.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> u64 {
+    let start = ALLOCS.load(Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let r = f();
+    ARMED.store(false, Ordering::SeqCst);
+    drop(r);
+    ALLOCS.load(Ordering::SeqCst) - start
+}
+
+const CALLER: Address = Address::new(10, 1, 0, 10, 5060);
+const CALLEE: Address = Address::new(10, 2, 0, 10, 5060);
+
+/// Documented per-packet budget for a warm in-dialog SIP message.
+const SIP_BUDGET: u64 = 4;
+
+fn pkt(src: Address, dst: Address, payload: Payload) -> Packet {
+    Packet {
+        src,
+        dst,
+        payload,
+        id: 0,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+fn invite(call_id: &str) -> Request {
+    let sdp = SessionDescription::audio_offer("alice", "10.1.0.10", 20_000, &[Codec::G729]);
+    Request::invite(
+        &SipUri::new("alice", "a.example.com"),
+        &SipUri::new("bob", "b.example.com"),
+        call_id,
+    )
+    .with_body(vids::sdp::MIME_TYPE, sdp.to_string())
+}
+
+fn rtp_fwd(seq: u16, ts: u32) -> Packet {
+    let media = RtpPacket::new(18, seq, ts, 7).with_payload(vec![0; 10]);
+    pkt(
+        CALLER.with_port(20_000),
+        CALLEE.with_port(30_000),
+        Payload::Rtp(media.to_bytes()),
+    )
+}
+
+/// INVITE / 200-with-SDP / ACK plus first media, all inside one sweep
+/// window so no timer machinery runs during the measured packets.
+fn establish(call_id: &str) -> Vec<(Packet, u64)> {
+    let inv = invite(call_id);
+    let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
+    let ok = inv
+        .response(StatusCode::OK)
+        .with_to_tag("tt")
+        .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+    let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
+    let mut trace = vec![
+        (pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())), 0),
+        (pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())), 5),
+        (pkt(CALLER, CALLEE, Payload::Sip(ack.to_string())), 10),
+    ];
+    for i in 0..4u16 {
+        trace.push((rtp_fwd(100 + i, 800 + i as u32 * 80), 15 + i as u64));
+    }
+    trace
+}
+
+/// A steady-state in-dialog SIP packet: a retransmitted 180 for the
+/// established call. All of its strings are interned by the time it is
+/// measured; it changes no media state and arms no timer.
+fn stale_ringing(call_id: &str) -> Packet {
+    let ringing = invite(call_id).response(StatusCode::RINGING).with_to_tag("tt");
+    pkt(CALLEE, CALLER, Payload::Sip(ringing.to_string()))
+}
+
+#[test]
+fn warm_packets_meet_the_allocation_budget() {
+    // ---- plain Vids -----------------------------------------------------
+    let mut vids = Vids::new(Config::default());
+    let mut sink = CollectSink::new();
+    for (packet, t) in establish("budget-1") {
+        vids.process_into(&packet, SimTime::from_millis(t), &mut sink);
+    }
+    // Warm every lazily-touched path once before measuring.
+    vids.process_into(&stale_ringing("budget-1"), SimTime::from_millis(30), &mut sink);
+    vids.process_into(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
+
+    let sip = stale_ringing("budget-1");
+    let n = count_allocs(|| vids.process_into(&sip, SimTime::from_millis(40), &mut sink));
+    eprintln!("warm SIP packet: {n} allocations");
+    assert!(
+        n <= SIP_BUDGET,
+        "warm in-dialog SIP packet made {n} allocations (budget {SIP_BUDGET})"
+    );
+
+    let rtp = rtp_fwd(105, 1_200);
+    let n = count_allocs(|| vids.process_into(&rtp, SimTime::from_millis(41), &mut sink));
+    eprintln!("warm RTP packet: {n} allocations");
+    assert_eq!(n, 0, "warm RTP packet must not allocate, made {n}");
+    assert!(
+        sink.alerts().is_empty(),
+        "budget traffic must be clean: {:?}",
+        sink.alerts()
+    );
+
+    // ---- VidsPool: the marginal batched packet is allocation-free -------
+    let config = Config::builder().shards(4).build().unwrap();
+    let mut pool = VidsPool::new(config);
+    let mut sink = CollectSink::new();
+    for (packet, t) in establish("budget-pool") {
+        pool.process_batch_into(
+            std::slice::from_ref(&packet),
+            SimTime::from_millis(t),
+            &mut sink,
+        );
+    }
+    // Warm batches of both sizes: the per-batch queue/classify buffers are
+    // pre-sized, so batch size must not change the allocation count.
+    let small: Vec<Packet> = (0..8u16).map(|i| rtp_fwd(110 + i, 2_000 + i as u32 * 80)).collect();
+    let large: Vec<Packet> = (0..32u16).map(|i| rtp_fwd(120 + i, 3_000 + i as u32 * 80)).collect();
+    pool.process_batch_into(&small, SimTime::from_millis(50), &mut sink);
+    pool.process_batch_into(&large, SimTime::from_millis(55), &mut sink);
+
+    let small2: Vec<Packet> = (0..8u16).map(|i| rtp_fwd(160 + i, 6_000 + i as u32 * 80)).collect();
+    let large2: Vec<Packet> = (0..32u16).map(|i| rtp_fwd(170 + i, 7_000 + i as u32 * 80)).collect();
+    let n_small = count_allocs(|| {
+        pool.process_batch_into(&small2, SimTime::from_millis(60), &mut sink)
+    });
+    let n_large = count_allocs(|| {
+        pool.process_batch_into(&large2, SimTime::from_millis(65), &mut sink)
+    });
+    eprintln!("pool batches: 8 packets -> {n_small}, 32 packets -> {n_large} allocations");
+    assert_eq!(
+        n_small, n_large,
+        "pool batch allocations must be constant in batch size \
+         (8 packets: {n_small}, 32 packets: {n_large})"
+    );
+    assert!(
+        sink.alerts().is_empty(),
+        "budget traffic must be clean: {:?}",
+        sink.alerts()
+    );
+}

@@ -349,3 +349,61 @@ mod valid_flows {
         }
     }
 }
+
+/// Model test for the tentpole data structure: `VarMap` — a sorted inline
+/// small-vec keyed by interned symbols that spills to the heap past
+/// [`vids::efsm::value::VARMAP_INLINE`] entries — must agree with a plain
+/// `BTreeMap<String, Value>` under any op sequence. Twenty distinct keys
+/// guarantee sequences that cross the inline→spill boundary.
+mod varmap_model {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+    use vids::efsm::{Value, VarMap};
+
+    proptest! {
+        #[test]
+        fn varmap_matches_btreemap_model(
+            ops in proptest::collection::vec((0u8..4, 0usize..20, any::<u64>()), 0..80)
+        ) {
+            let keys: Vec<String> = (0..20).map(|i| format!("pv_{i:02}")).collect();
+            let mut map = VarMap::new();
+            let mut model: BTreeMap<&str, Value> = BTreeMap::new();
+            for (kind, key, val) in ops {
+                let name = keys[key].as_str();
+                match kind {
+                    0 => {
+                        map.set(name, val);
+                        model.insert(name, Value::Uint(val));
+                    }
+                    1 => {
+                        let s = format!("v{}", val % 50);
+                        map.set(name, s.as_str());
+                        model.insert(name, Value::Str(s));
+                    }
+                    2 => {
+                        // Str and Sym compare as the same logical string, so
+                        // the removed values match across representations.
+                        let got = map.remove(name);
+                        let want = model.remove(name);
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        let next = map.increment(name);
+                        let want = model.get(name).and_then(Value::as_uint).unwrap_or(0) + 1;
+                        model.insert(name, Value::Uint(want));
+                        prop_assert_eq!(next, want);
+                    }
+                }
+                prop_assert_eq!(map.len(), model.len());
+            }
+            for name in &keys {
+                prop_assert_eq!(map.get(name.as_str()), model.get(name.as_str()));
+            }
+            // Same contents under iteration, whatever the internal order.
+            let flat: BTreeMap<&str, &Value> = map.iter().collect();
+            let model_ref: BTreeMap<&str, &Value> = model.iter().map(|(k, v)| (*k, v)).collect();
+            prop_assert_eq!(flat, model_ref);
+        }
+    }
+}

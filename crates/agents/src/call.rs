@@ -80,7 +80,9 @@ impl MediaSession {
     pub fn next_packet(&mut self) -> (u16, u32) {
         let out = (self.seq, self.timestamp);
         self.seq = self.seq.wrapping_add(1);
-        self.timestamp = self.timestamp.wrapping_add(self.codec.timestamp_increment());
+        self.timestamp = self
+            .timestamp
+            .wrapping_add(self.codec.timestamp_increment());
         out
     }
 }

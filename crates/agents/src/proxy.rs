@@ -94,7 +94,12 @@ impl Proxy {
 
     fn next_branch(&mut self) -> String {
         self.branch_counter += 1;
-        format!("{}-pxy-{}-{}", vids_sip::BRANCH_MAGIC_COOKIE, self.addr.ip, self.branch_counter)
+        format!(
+            "{}-pxy-{}-{}",
+            vids_sip::BRANCH_MAGIC_COOKIE,
+            self.addr.ip,
+            self.branch_counter
+        )
     }
 
     /// Where a response must be sent: the topmost Via's sent-by.
@@ -195,7 +200,8 @@ impl Proxy {
         // OPTIONS addressed to the proxy itself: answer (this is the DRDoS
         // reflector surface — the answer goes to whatever the Via claims).
         if req.method == Method::Options
-            && (req.uri.host() == self.domain || Address::parse_ip(req.uri.host()) == Some(self.addr.ip))
+            && (req.uri.host() == self.domain
+                || Address::parse_ip(req.uri.host()) == Some(self.addr.ip))
             && req.uri.user().is_none()
         {
             self.reply(&req, StatusCode::OK, ctx);
@@ -304,7 +310,11 @@ mod tests {
     fn lan_world(
         proxy: Proxy,
         apps: Vec<(Address, Box<dyn Application>)>,
-    ) -> (Simulator, vids_netsim::engine::NodeId, Vec<vids_netsim::engine::NodeId>) {
+    ) -> (
+        Simulator,
+        vids_netsim::engine::NodeId,
+        Vec<vids_netsim::engine::NodeId>,
+    ) {
         let mut sim = Simulator::new(1);
         let hub = sim.add_node(Box::new(Hub::new()));
         let lan = LinkSpec::lan_100base_t();
@@ -338,11 +348,14 @@ mod tests {
         req.headers
             .push(Header::To(vids_sip::headers::NameAddr::new(from)));
         req.headers.push(Header::CallId(format!("reg-{user}")));
-        req.headers
-            .push(Header::CSeq(vids_sip::headers::CSeq::new(1, Method::Register)));
-        req.headers.push(Header::Contact(vids_sip::headers::NameAddr::new(
-            SipUri::new(user, contact_ip),
+        req.headers.push(Header::CSeq(vids_sip::headers::CSeq::new(
+            1,
+            Method::Register,
         )));
+        req.headers
+            .push(Header::Contact(vids_sip::headers::NameAddr::new(
+                SipUri::new(user, contact_ip),
+            )));
         req.headers.push(Header::ContentLength(0));
         req.to_string()
     }
@@ -469,8 +482,10 @@ mod tests {
         resp.headers
             .push(Header::Via(Via::udp(ua.ip_string(), 5060, "z9hG4bK-u")));
         resp.headers.push(Header::CallId("c".to_owned()));
-        resp.headers
-            .push(Header::CSeq(vids_sip::headers::CSeq::new(1, Method::Invite)));
+        resp.headers.push(Header::CSeq(vids_sip::headers::CSeq::new(
+            1,
+            Method::Invite,
+        )));
         resp.headers.push(Header::ContentLength(0));
 
         let (mut sim, _p, ids) = lan_world(
@@ -516,8 +531,10 @@ mod tests {
             "z9hG4bK-spoof",
         )));
         opts.headers.push(Header::CallId("drdos-1".to_owned()));
-        opts.headers
-            .push(Header::CSeq(vids_sip::headers::CSeq::new(1, Method::Options)));
+        opts.headers.push(Header::CSeq(vids_sip::headers::CSeq::new(
+            1,
+            Method::Options,
+        )));
         opts.headers.push(Header::ContentLength(0));
 
         let (mut sim, _p, ids) = lan_world(
@@ -541,7 +558,11 @@ mod tests {
         );
         sim.run_to_completion();
         let victim_app = sim.node_as::<Host>(ids[0]).app_as::<Script>();
-        assert_eq!(victim_app.received.len(), 1, "reflection reached the victim");
+        assert_eq!(
+            victim_app.received.len(),
+            1,
+            "reflection reached the victim"
+        );
         assert!(victim_app.received[0].1.starts_with("SIP/2.0 200"));
         let attacker_app = sim.node_as::<Host>(ids[1]).app_as::<Script>();
         assert!(attacker_app.received.is_empty());
@@ -571,7 +592,13 @@ mod tests {
         let (mut sim, p, _ids) = lan_world(
             proxy,
             vec![
-                (Address::new(10, 2, 0, 10, 5060), Box::new(Script { sends: vec![], received: Vec::new() })),
+                (
+                    Address::new(10, 2, 0, 10, 5060),
+                    Box::new(Script {
+                        sends: vec![],
+                        received: Vec::new(),
+                    }),
+                ),
                 (
                     caller,
                     Box::new(Script {
@@ -610,12 +637,16 @@ mod forwarding_edge_tests {
 
     fn request(method: Method, uri: SipUri) -> Request {
         let mut req = Request::new(method, uri);
-        req.headers.push(Header::Via(Via::udp("10.1.0.10", 5060, "z9hG4bK-x")));
+        req.headers
+            .push(Header::Via(Via::udp("10.1.0.10", 5060, "z9hG4bK-x")));
         req.headers.push(Header::MaxForwards(70));
         req.headers.push(Header::From(
             NameAddr::new(SipUri::new("x", "a.example.com")).with_tag("t"),
         ));
-        req.headers.push(Header::To(NameAddr::new(SipUri::new("ua0", "b.example.com"))));
+        req.headers.push(Header::To(NameAddr::new(SipUri::new(
+            "ua0",
+            "b.example.com",
+        ))));
         req.headers.push(Header::CallId("edge-1".to_owned()));
         req.headers.push(Header::CSeq(CSeq::new(1, method)));
         req

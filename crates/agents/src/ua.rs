@@ -232,13 +232,12 @@ impl UserAgent {
 
     /// Sends a UAS response back along the Via chain.
     fn send_response(&mut self, resp: &Response, ctx: &mut AppCtx<'_, '_>) {
-        let target = resp
-            .headers
-            .top_via()
-            .and_then(|v| Address::parse_ip(v.host()).map(|ip| Address {
+        let target = resp.headers.top_via().and_then(|v| {
+            Address::parse_ip(v.host()).map(|ip| Address {
                 ip,
                 port: v.port().unwrap_or(vids_sip::DEFAULT_SIP_PORT),
-            }));
+            })
+        });
         match target {
             Some(addr) => ctx.send_to(addr, Payload::Sip(resp.to_string())),
             None => self.stats.sip_malformed += 1,
@@ -255,10 +254,13 @@ impl UserAgent {
         req.headers.push(Header::From(
             NameAddr::new(self.local_uri()).with_tag(self.fresh_id("tag")),
         ));
-        req.headers.push(Header::To(NameAddr::new(self.local_uri())));
+        req.headers
+            .push(Header::To(NameAddr::new(self.local_uri())));
         req.headers.push(Header::CallId(self.fresh_id("reg")));
-        req.headers.push(Header::CSeq(CSeq::new(1, Method::Register)));
-        req.headers.push(Header::Contact(NameAddr::new(self.contact_uri())));
+        req.headers
+            .push(Header::CSeq(CSeq::new(1, Method::Register)));
+        req.headers
+            .push(Header::Contact(NameAddr::new(self.contact_uri())));
         req.headers.push(Header::Expires(3600));
         req.headers.push(Header::ContentLength(0));
         self.send_sip(ctx, req.to_string());
@@ -282,7 +284,9 @@ impl UserAgent {
             .headers
             .push(Header::To(NameAddr::new(planned.callee.clone())));
         invite.headers.push(Header::CallId(call_id.clone()));
-        invite.headers.push(Header::CSeq(CSeq::new(1, Method::Invite)));
+        invite
+            .headers
+            .push(Header::CSeq(CSeq::new(1, Method::Invite)));
         invite
             .headers
             .push(Header::Contact(NameAddr::new(self.contact_uri())));
@@ -491,7 +495,11 @@ impl UserAgent {
             Method::Bye,
             &self.calls[slot].invite,
             cseq,
-            if to_tag.is_empty() { None } else { Some(&to_tag) },
+            if to_tag.is_empty() {
+                None
+            } else {
+                Some(&to_tag)
+            },
         );
         bye.uri = uri;
         bye.headers.pop_via();
@@ -540,7 +548,11 @@ impl UserAgent {
             Method::Invite,
             &self.calls[slot].invite,
             cseq,
-            if to_tag.is_empty() { None } else { Some(&to_tag) },
+            if to_tag.is_empty() {
+                None
+            } else {
+                Some(&to_tag)
+            },
         );
         reinvite.uri = uri;
         reinvite.headers.pop_via();
@@ -567,7 +579,12 @@ impl UserAgent {
     /// Answers a 401 challenge on our BYE with digest credentials and a
     /// fresh CSeq (once per call; a second 401 abandons the teardown to the
     /// linger timers).
-    fn retry_bye_with_auth(&mut self, challenge_resp: &Response, slot: usize, ctx: &mut AppCtx<'_, '_>) {
+    fn retry_bye_with_auth(
+        &mut self,
+        challenge_resp: &Response,
+        slot: usize,
+        ctx: &mut AppCtx<'_, '_>,
+    ) {
         let Some(password) = self.cfg.auth_password.clone() else {
             return;
         };
@@ -598,7 +615,11 @@ impl UserAgent {
             Method::Bye,
             &self.calls[slot].invite,
             cseq,
-            if to_tag.is_empty() { None } else { Some(&to_tag) },
+            if to_tag.is_empty() {
+                None
+            } else {
+                Some(&to_tag)
+            },
         );
         bye.uri = uri;
         bye.headers.pop_via();
@@ -745,8 +766,7 @@ impl UserAgent {
     }
 
     fn answer_call(&mut self, slot: usize, ctx: &mut AppCtx<'_, '_>) {
-        if self.calls[slot].state != CallState::Ringing
-            || self.calls[slot].role != CallRole::Callee
+        if self.calls[slot].state != CallState::Ringing || self.calls[slot].role != CallRole::Callee
         {
             return;
         }
@@ -904,10 +924,11 @@ impl UserAgent {
             self.stats.rtp_stray += 1;
             return;
         };
-        let slot = self
-            .calls
-            .iter()
-            .position(|c| c.media.as_ref().is_some_and(|m| m.local_port == packet.dst.port));
+        let slot = self.calls.iter().position(|c| {
+            c.media
+                .as_ref()
+                .is_some_and(|m| m.local_port == packet.dst.port)
+        });
         let Some(slot) = slot else {
             self.stats.rtp_stray += 1;
             return;
@@ -1102,7 +1123,11 @@ mod tests {
         assert_eq!(a.sip_malformed, 0);
 
         // Fig. 10: RTP one-way delay just over the 50 ms propagation.
-        assert!((0.050..0.080).contains(&a.rtp_delay.mean()), "rtp delay {}", a.rtp_delay.mean());
+        assert!(
+            (0.050..0.080).contains(&a.rtp_delay.mean()),
+            "rtp delay {}",
+            a.rtp_delay.mean()
+        );
 
         // Proxy B observed the arrival and the duration (Fig. 8).
         let pb = ent.sim.node_as::<Host>(ent.proxy_b).app_as::<Proxy>();

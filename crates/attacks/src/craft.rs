@@ -118,7 +118,11 @@ fn base_in_dialog(snap: &DialogSnapshot, target: Target, method: Method, cseq: u
     req.headers.push(Header::Via(Via::udp(
         spoof_ip,
         vids_sip::DEFAULT_SIP_PORT,
-        format!("z9hG4bK-atk-{}-{}", method.as_str().to_ascii_lowercase(), cseq),
+        format!(
+            "z9hG4bK-atk-{}-{}",
+            method.as_str().to_ascii_lowercase(),
+            cseq
+        ),
     )));
     req.headers.push(Header::MaxForwards(70));
     req.headers.push(Header::From(from));
@@ -189,7 +193,8 @@ pub fn flood_invite(
     req.headers.push(Header::From(
         NameAddr::new(from_uri.clone()).with_tag(format!("t-{call_id}")),
     ));
-    req.headers.push(Header::To(NameAddr::new(target_uri.clone())));
+    req.headers
+        .push(Header::To(NameAddr::new(target_uri.clone())));
     req.headers.push(Header::CallId(call_id.to_owned()));
     req.headers.push(Header::CSeq(CSeq::new(1, Method::Invite)));
     req.headers.push(Header::Contact(NameAddr::new(from_uri)));
@@ -199,7 +204,8 @@ pub fn flood_invite(
         40_000,
         &[Codec::G729],
     );
-    req.with_body(vids_sdp::MIME_TYPE, sdp.to_string()).to_string()
+    req.with_body(vids_sdp::MIME_TYPE, sdp.to_string())
+        .to_string()
 }
 
 /// Builds a reflector probe: OPTIONS addressed to the reflector proxy with
@@ -219,7 +225,8 @@ pub fn reflector_options(reflector: Address, victim: Address, call_id: &str) -> 
         reflector.ip_string(),
     ))));
     req.headers.push(Header::CallId(call_id.to_owned()));
-    req.headers.push(Header::CSeq(CSeq::new(1, Method::Options)));
+    req.headers
+        .push(Header::CSeq(CSeq::new(1, Method::Options)));
     req.headers.push(Header::ContentLength(0));
     req.to_string()
 }
@@ -270,14 +277,8 @@ mod tests {
         assert_eq!(msg.method(), Some(Method::Bye));
         assert_eq!(msg.call_id(), "victim-call");
         // Impersonates the caller toward the callee.
-        assert_eq!(
-            msg.headers().from_header().unwrap().tag(),
-            Some("tag-ua1")
-        );
-        assert_eq!(
-            msg.headers().to_header().unwrap().tag(),
-            Some("callee-tag")
-        );
+        assert_eq!(msg.headers().from_header().unwrap().tag(), Some("tag-ua1"));
+        assert_eq!(msg.headers().to_header().unwrap().tag(), Some("callee-tag"));
     }
 
     #[test]

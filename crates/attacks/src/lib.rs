@@ -191,8 +191,9 @@ impl Attacker {
     fn launch_due(&mut self, ctx: &mut AppCtx<'_, '_>) {
         let now = ctx.now();
         let due: Vec<AttackKind> = {
-            let (ready, rest): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.scheduled).into_iter().partition(|(at, _)| *at <= now);
+            let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.scheduled)
+                .into_iter()
+                .partition(|(at, _)| *at <= now);
             self.scheduled = rest;
             ready.into_iter().map(|(_, k)| k).collect()
         };

@@ -47,7 +47,11 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
         id: 0,
         sent_at: SimTime::ZERO,
     };
-    vids.process_into(&a2b(Payload::Sip(inv.to_string()), 5060, 5060), SimTime::ZERO, &mut NullSink);
+    vids.process_into(
+        &a2b(Payload::Sip(inv.to_string()), 5060, 5060),
+        SimTime::ZERO,
+        &mut NullSink,
+    );
     let answer = vids::sdp::SessionDescription::audio_offer(
         "bob",
         "10.2.0.10",
@@ -87,7 +91,11 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
             SimTime::from_millis(t),
             &mut alerts,
         );
-        if alerts.alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE) {
+        if alerts
+            .alerts()
+            .iter()
+            .any(|a| a.label == labels::RTP_AFTER_BYE)
+        {
             detected = true;
         }
     }
@@ -97,7 +105,10 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
 fn print_figure() {
     let with_sync = bye_dos_detected(true);
     let without_sync = bye_dos_detected(false);
-    println!("{}", header("E8: ablation — cross-protocol synchronization"));
+    println!(
+        "{}",
+        header("E8: ablation — cross-protocol synchronization")
+    );
     println!(
         "{}",
         row(

@@ -103,15 +103,27 @@ fn print_figure() {
     println!("{}", header("E4 / §7.3: CPU overhead"));
     println!(
         "{}",
-        row("modeled overhead (2006 host)", "3.6 %", format!("{:.2} %", modeled * 100.0))
+        row(
+            "modeled overhead (2006 host)",
+            "3.6 %",
+            format!("{:.2} %", modeled * 100.0)
+        )
     );
     println!(
         "{}",
-        row("pipeline cost per RTP packet", "-", format!("{per_rtp_ns:.0} ns"))
+        row(
+            "pipeline cost per RTP packet",
+            "-",
+            format!("{per_rtp_ns:.0} ns")
+        )
     );
     println!(
         "{}",
-        row("pipeline cost per SIP message", "-", format!("{per_sip_ns:.0} ns"))
+        row(
+            "pipeline cost per SIP message",
+            "-",
+            format!("{per_sip_ns:.0} ns")
+        )
     );
     println!(
         "{}",

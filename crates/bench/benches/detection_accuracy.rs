@@ -89,7 +89,16 @@ fn print_table() {
             let at = tb.ent.sim.now() + secs(1);
             let (victim, spoof_src) = snap.endpoints(Target::Callee);
             let message = craft::spoofed_bye(&snap, Target::Callee);
-            redundant(tb, atk, at, AttackKind::SpoofedBye { victim, message, spoof_src });
+            redundant(
+                tb,
+                atk,
+                at,
+                AttackKind::SpoofedBye {
+                    victim,
+                    message,
+                    spoof_src,
+                },
+            );
         }),
     );
 
@@ -108,7 +117,16 @@ fn print_table() {
             lazy.caller_from.set_tag("evil");
             let (victim, spoof_src) = lazy.endpoints(Target::Callee);
             let message = craft::spoofed_cancel(&lazy);
-            redundant(tb, atk, now, AttackKind::SpoofedCancel { victim, message, spoof_src });
+            redundant(
+                tb,
+                atk,
+                now,
+                AttackKind::SpoofedCancel {
+                    victim,
+                    message,
+                    spoof_src,
+                },
+            );
         }),
     );
 
@@ -181,23 +199,31 @@ fn print_table() {
             let at = tb.ent.sim.now() + secs(1);
             let (victim, spoof_src) = snap.endpoints(Target::Callee);
             let message = craft::spoofed_reinvite(&snap, internet_addr(0).with_port(44_000));
-            redundant(tb, atk, at, AttackKind::ReinviteHijack { victim, message, spoof_src });
+            redundant(
+                tb,
+                atk,
+                at,
+                AttackKind::ReinviteHijack {
+                    victim,
+                    message,
+                    spoof_src,
+                },
+            );
         }),
     );
 
-    report(
-        "billing fraud (BYE + RTP)",
-        {
-            let mut config = TestbedConfig::small(68);
-            config.workload.mean_interarrival_secs = 5.0;
-            config.workload.mean_duration_secs = 8.0;
-            config.workload.horizon = secs(30);
-            config.fraud_caller_0 = Some(secs(5));
-            let mut tb = Testbed::build(&config);
-            tb.run_until(secs(120));
-            tb.vids_alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE)
-        },
-    );
+    report("billing fraud (BYE + RTP)", {
+        let mut config = TestbedConfig::small(68);
+        config.workload.mean_interarrival_secs = 5.0;
+        config.workload.mean_duration_secs = 8.0;
+        config.workload.horizon = secs(30);
+        config.fraud_caller_0 = Some(secs(5));
+        let mut tb = Testbed::build(&config);
+        tb.run_until(secs(120));
+        tb.vids_alerts()
+            .iter()
+            .any(|a| a.label == labels::RTP_AFTER_BYE)
+    });
 
     report(
         "DRDoS reflection",
@@ -269,7 +295,11 @@ fn bench(c: &mut Criterion) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(&pkt(Payload::Sip(inv.to_string())), SimTime::ZERO, &mut NullSink);
+        vids.process_into(
+            &pkt(Payload::Sip(inv.to_string())),
+            SimTime::ZERO,
+            &mut NullSink,
+        );
         let bye = vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
         let bye_pkt = pkt(Payload::Sip(bye.to_string()));
         b.iter(|| {

@@ -71,7 +71,11 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(&mk(Payload::Sip(inv.to_string()), 5060, 5060), SimTime::ZERO, &mut NullSink);
+        vids.process_into(
+            &mk(Payload::Sip(inv.to_string()), 5060, 5060),
+            SimTime::ZERO,
+            &mut NullSink,
+        );
         let answer = vids::sdp::SessionDescription::audio_offer(
             "bob",
             "10.2.0.10",
@@ -168,7 +172,8 @@ fn print_tables() {
             "{:>10} {:>14} {:>22}",
             t,
             if fa { "YES" } else { "no" },
-            det.map(|d| d.to_string()).unwrap_or_else(|| "missed".into())
+            det.map(|d| d.to_string())
+                .unwrap_or_else(|| "missed".into())
         );
     }
     println!("\npaper: T = one RTT is \"long enough to receive all in-flight RTP");

@@ -20,11 +20,24 @@ fn print_figure() {
     // Full-scale plan: the paper's 20 callers over 120 minutes.
     let spec = WorkloadSpec::default();
     let plan = CallPlan::generate(&spec, 1);
-    println!("{}", header("E1 / Fig. 8: call arrivals & durations (120 min plan)"));
-    println!("{}", row("total call attempts", "~O(100s)", plan.len().to_string()));
-    let durations: Vec<f64> = plan.calls().iter().map(|c| c.duration.as_secs_f64()).collect();
+    println!(
+        "{}",
+        header("E1 / Fig. 8: call arrivals & durations (120 min plan)")
+    );
+    println!(
+        "{}",
+        row("total call attempts", "~O(100s)", plan.len().to_string())
+    );
+    let durations: Vec<f64> = plan
+        .calls()
+        .iter()
+        .map(|c| c.duration.as_secs_f64())
+        .collect();
     let mean_dur = durations.iter().sum::<f64>() / durations.len() as f64;
-    println!("{}", row("mean call duration (s)", "random", format!("{mean_dur:.1}")));
+    println!(
+        "{}",
+        row("mean call duration (s)", "random", format!("{mean_dur:.1}"))
+    );
     println!("\narrivals per 10-minute bin:");
     let mut bins = [0u32; 12];
     for c in plan.calls() {
@@ -34,7 +47,13 @@ fn print_figure() {
         }
     }
     for (i, n) in bins.iter().enumerate() {
-        println!("  {:>3}-{:>3} min: {:>4} {}", i * 10, (i + 1) * 10, n, "#".repeat(*n as usize / 2));
+        println!(
+            "  {:>3}-{:>3} min: {:>4} {}",
+            i * 10,
+            (i + 1) * 10,
+            n,
+            "#".repeat(*n as usize / 2)
+        );
     }
 
     // A short actual simulation confirming proxy B observes the plan.
@@ -44,8 +63,22 @@ fn print_figure() {
     tb.run_until(SimTime::from_secs(360));
     let proxy = tb.proxy_b();
     println!("\n4-minute simulated slice at proxy B:");
-    println!("{}", row("INVITEs observed", "= attempts", proxy.arrivals().len().to_string()));
-    println!("{}", row("durations logged", "completed calls", proxy.durations().len().to_string()));
+    println!(
+        "{}",
+        row(
+            "INVITEs observed",
+            "= attempts",
+            proxy.arrivals().len().to_string()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "durations logged",
+            "completed calls",
+            proxy.durations().len().to_string()
+        )
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -51,7 +51,13 @@ fn print_figure() {
         let w = &with.per_caller_setup[caller];
         let wo = &without.per_caller_setup[caller];
         for (i, ((t, d_with), (_, d_without))) in w.iter().zip(wo.iter()).enumerate() {
-            println!("  call {:>2} @ {:>6.1}s: {:.4} / {:.4}", i + 1, t, d_with, d_without);
+            println!(
+                "  call {:>2} @ {:>6.1}s: {:.4} / {:.4}",
+                i + 1,
+                t,
+                d_with,
+                d_without
+            );
         }
         if w.is_empty() {
             println!("  (caller placed no calls in this horizon)");

@@ -31,11 +31,36 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The same engine with the full telemetry surface enabled (counters,
+    // rings, gauges): the gap between this and vids_mixed_fig8 is the
+    // recording overhead the observability subsystem is allowed (≤ 3%).
+    group.bench_function("vids_mixed_fig8_telemetry", |b| {
+        b.iter(|| {
+            let mut vids = Vids::with_cost(Config::default(), CostModel::free());
+            let _registry = vids.enable_telemetry(256);
+            let mut sink = NullSink;
+            for p in &batch {
+                vids.process_into(std::hint::black_box(p), p.sent_at, &mut sink);
+            }
+            std::hint::black_box(vids.counters().rtp_packets)
+        })
+    });
+
     let shards = vids_bench::shards_knob();
     group.bench_function(&format!("pool_mixed_fig8_{shards}_shards"), |b| {
         b.iter(|| {
             let config = Config::builder().shards(shards).build().unwrap();
             let mut pool = VidsPool::with_cost(config, CostModel::free());
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            std::hint::black_box(pool.counters().rtp_packets)
+        })
+    });
+
+    group.bench_function(&format!("pool_mixed_fig8_{shards}_shards_telemetry"), |b| {
+        b.iter(|| {
+            let config = Config::builder().shards(shards).build().unwrap();
+            let mut pool = VidsPool::with_cost(config, CostModel::free());
+            pool.enable_telemetry(256);
             pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
             std::hint::black_box(pool.counters().rtp_packets)
         })

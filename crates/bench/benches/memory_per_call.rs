@@ -41,7 +41,11 @@ fn invite_packet(i: usize) -> Packet {
 fn monitor_with_calls(n: usize) -> Vids {
     let mut vids = Vids::new(Config::default());
     for i in 0..n {
-        vids.process_into(&invite_packet(i), SimTime::from_millis(i as u64), &mut NullSink);
+        vids.process_into(
+            &invite_packet(i),
+            SimTime::from_millis(i as u64),
+            &mut NullSink,
+        );
     }
     vids
 }
@@ -50,7 +54,11 @@ fn print_figure() {
     println!("{}", header("E5 / §7.3: per-call memory cost"));
     println!(
         "{}",
-        row("paper per-call state", "~490 B", "(450 B SIP + 40 B RTP)".to_owned())
+        row(
+            "paper per-call state",
+            "~490 B",
+            "(450 B SIP + 40 B RTP)".to_owned()
+        )
     );
     println!(
         "{}",
@@ -60,7 +68,10 @@ fn print_figure() {
             "Str = 24 B header + capacity; interned Sym = 4 B handle".to_owned(),
         )
     );
-    println!("\n{:>8} {:>14} {:>12}", "calls", "total bytes", "bytes/call");
+    println!(
+        "\n{:>8} {:>14} {:>12}",
+        "calls", "total bytes", "bytes/call"
+    );
     let mut last = 0usize;
     for n in [1usize, 10, 100, 1_000, 5_000] {
         let vids = monitor_with_calls(n);
@@ -83,7 +94,11 @@ fn bench(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
-            vids.process_into(&invite_packet(i), SimTime::from_millis(i as u64), &mut NullSink);
+            vids.process_into(
+                &invite_packet(i),
+                SimTime::from_millis(i as u64),
+                &mut NullSink,
+            );
             std::hint::black_box(vids.monitored_calls())
         })
     });

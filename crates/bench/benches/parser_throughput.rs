@@ -30,7 +30,11 @@ fn bench(c: &mut Criterion) {
     let sdp_text = sdp.to_string();
     group.throughput(Throughput::Bytes(sdp_text.len() as u64));
     group.bench_function("sdp_parse_offer", |b| {
-        b.iter(|| std::hint::black_box(&sdp_text).parse::<SessionDescription>().unwrap())
+        b.iter(|| {
+            std::hint::black_box(&sdp_text)
+                .parse::<SessionDescription>()
+                .unwrap()
+        })
     });
 
     let rtp = RtpPacket::new(18, 100, 8_000, 7)

@@ -33,7 +33,11 @@ fn print_figure() {
     println!("{}", header("Pool scaling: batch ingest vs. shard count"));
     println!(
         "{}",
-        row("batch", "-", format!("{} calls / {} packets", CALLS, batch.len()))
+        row(
+            "batch",
+            "-",
+            format!("{} calls / {} packets", CALLS, batch.len())
+        )
     );
     println!("{}", row("hardware threads", "-", hw.to_string()));
     if hw == 1 {

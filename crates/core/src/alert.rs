@@ -45,6 +45,10 @@ pub struct Alert {
     pub machine: String,
     /// Free-text detail (offending event, addresses).
     pub detail: String,
+    /// Forensic context: the most recent EFSM transitions recorded for the
+    /// alert's scope (rendered oldest → newest), when telemetry is enabled
+    /// with a transition ring. Empty otherwise.
+    pub trace: Vec<String>,
 }
 
 impl fmt::Display for Alert {
@@ -59,6 +63,9 @@ impl fmt::Display for Alert {
         }
         if !self.detail.is_empty() {
             write!(f, " — {}", self.detail)?;
+        }
+        if !self.trace.is_empty() {
+            write!(f, " [{} trace lines]", self.trace.len())?;
         }
         Ok(())
     }
@@ -111,6 +118,7 @@ mod tests {
             call_id: None,
             machine: "flood".to_owned(),
             detail: "dst=10.2.0.10".to_owned(),
+            trace: vec!["t=0ms flood INVITE: counting -> counting".to_owned()],
         };
         let text = a.to_string();
         assert!(text.contains("ATTACK"));
@@ -127,6 +135,7 @@ mod tests {
             call_id: Some("c1".to_owned()),
             machine: "sip".to_owned(),
             detail: String::new(),
+            trace: Vec::new(),
         };
         let json = serde_json_like(&a);
         assert!(json.contains("Deviation"));

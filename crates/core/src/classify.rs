@@ -222,8 +222,15 @@ fn scan_sdp(body: &str) -> Option<SdpScan<'_>> {
             if tokens.next()? != "RTP/AVP" {
                 return None;
             }
-            let pt = tokens.next().and_then(|t| t.parse::<u8>().ok()).map(u64::from);
-            let ip = if connection.is_empty() { origin } else { connection };
+            let pt = tokens
+                .next()
+                .and_then(|t| t.parse::<u8>().ok())
+                .map(u64::from);
+            let ip = if connection.is_empty() {
+                origin
+            } else {
+                connection
+            };
             return Some(SdpScan {
                 ip,
                 port: port as u64,
@@ -358,12 +365,18 @@ mod tests {
         let pkt = packet(Payload::Sip("NOT SIP AT ALL".to_owned()));
         assert!(matches!(
             classify(&pkt),
-            Classified::Malformed { protocol: "SIP", .. }
+            Classified::Malformed {
+                protocol: "SIP",
+                ..
+            }
         ));
         let pkt = packet(Payload::Rtp(vec![0x00, 0x01]));
         assert!(matches!(
             classify(&pkt),
-            Classified::Malformed { protocol: "RTP", .. }
+            Classified::Malformed {
+                protocol: "RTP",
+                ..
+            }
         ));
     }
 
@@ -371,13 +384,22 @@ mod tests {
     fn register_carries_registration_args() {
         use vids_sip::headers::{CSeq, Header, NameAddr, Via};
         let aor = SipUri::new("roamer", "b.example.com");
-        let mut req = Request::new(vids_sip::Method::Register, SipUri::host_only("b.example.com"));
-        req.headers.push(Header::Via(Via::udp("10.0.0.20", 5060, "z9hG4bK-r")));
-        req.headers.push(Header::From(NameAddr::new(aor.clone()).with_tag("t")));
+        let mut req = Request::new(
+            vids_sip::Method::Register,
+            SipUri::host_only("b.example.com"),
+        );
+        req.headers
+            .push(Header::Via(Via::udp("10.0.0.20", 5060, "z9hG4bK-r")));
+        req.headers
+            .push(Header::From(NameAddr::new(aor.clone()).with_tag("t")));
         req.headers.push(Header::To(NameAddr::new(aor)));
         req.headers.push(Header::CallId("reg-1".to_owned()));
-        req.headers.push(Header::CSeq(CSeq::new(1, vids_sip::Method::Register)));
-        req.headers.push(Header::Contact(NameAddr::new(SipUri::new("roamer", "10.0.0.20"))));
+        req.headers
+            .push(Header::CSeq(CSeq::new(1, vids_sip::Method::Register)));
+        req.headers.push(Header::Contact(NameAddr::new(SipUri::new(
+            "roamer",
+            "10.0.0.20",
+        ))));
         req.headers.push(Header::Expires(600));
         let pkt = packet(Payload::Sip(req.to_string()));
         let Classified::Sip { event, .. } = classify(&pkt) else {
@@ -393,7 +415,10 @@ mod tests {
     fn register_without_expires_defaults_to_3600() {
         use vids_sip::headers::{Header, NameAddr};
         let aor = SipUri::new("u", "b.example.com");
-        let mut req = Request::new(vids_sip::Method::Register, SipUri::host_only("b.example.com"));
+        let mut req = Request::new(
+            vids_sip::Method::Register,
+            SipUri::host_only("b.example.com"),
+        );
         req.headers.push(Header::To(NameAddr::new(aor)));
         req.headers.push(Header::CallId("reg-2".to_owned()));
         let pkt = packet(Payload::Sip(req.to_string()));

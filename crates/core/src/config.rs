@@ -259,7 +259,10 @@ mod tests {
         assert!(c.invite_flood_n > 1);
         assert!(c.bye_dos_t < c.teardown_linger);
         assert!(c.spam_seq_gap > 0 && c.spam_ts_gap > 0);
-        assert!(c.rtp_flood_max_packets > 100, "must exceed one G.729 second");
+        assert!(
+            c.rtp_flood_max_packets > 100,
+            "must exceed one G.729 second"
+        );
         assert!(c.cross_protocol_sync);
     }
 }

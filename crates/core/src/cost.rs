@@ -131,7 +131,10 @@ mod tests {
             SimTime::from_millis(100)
         );
         // RTP: 1.5 ms (paper Fig. 10).
-        assert_eq!(m.hold_for(&pkt(Payload::Rtp(vec![0]))), SimTime::from_micros(1_500));
+        assert_eq!(
+            m.hold_for(&pkt(Payload::Rtp(vec![0]))),
+            SimTime::from_micros(1_500)
+        );
         assert_eq!(m.hold_for(&pkt(Payload::Raw(vec![0]))), SimTime::ZERO);
     }
 

@@ -10,14 +10,18 @@
 //! exactly this engine's semantics.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use vids_efsm::network::NetworkOutcome;
-use vids_efsm::{sym, Event, Sym};
+use vids_efsm::{sym, Event, Sym, TransitionObserver};
 use vids_netsim::packet::Packet;
 use vids_netsim::time::SimTime;
+use vids_telemetry::{
+    Counter, Gauge, Registry, ShardSlab, Snapshot, TransitionRecord, TransitionRing,
+};
 
 use crate::alert::{Alert, AlertKind};
-use crate::classify::{classify, Classified};
+use crate::classify::{classify, ip_sym, Classified};
 use crate::config::Config;
 use crate::cost::{CostModel, CpuAccount};
 use crate::factbase::{FactBase, FactBaseStats};
@@ -66,6 +70,54 @@ pub(crate) struct ResponseMiss {
     pub src_ip: Sym,
 }
 
+/// The engine's telemetry attachment: one shard slab plus a transition
+/// ring. Recording is relaxed-atomic (slab) or overwrite-in-place (ring),
+/// so the warm packet path stays allocation-free with telemetry on.
+pub(crate) struct Telemetry {
+    /// Metric slot block shared with the owning [`Registry`].
+    slab: Arc<ShardSlab>,
+    /// Recent transitions, tagged by scope for alert forensics.
+    ring: TransitionRing,
+    /// Present only when this engine owns its registry (standalone use);
+    /// pool shards record into slabs owned by the pool's registry.
+    registry: Option<Arc<Registry>>,
+}
+
+/// Observer wired into the EFSM network for one ingest: counts transitions
+/// on the slab and pushes scope-tagged records into the ring. Holding the
+/// `Option` (rather than requiring telemetry) keeps the telemetry-off path
+/// a single branch.
+struct RingObserver<'a> {
+    tel: Option<&'a mut Telemetry>,
+    scope: Sym,
+}
+
+impl TransitionObserver for RingObserver<'_> {
+    #[inline]
+    fn on_transition(
+        &mut self,
+        time_ms: u64,
+        machine: Sym,
+        event: Sym,
+        from: Sym,
+        to: Sym,
+        label: Option<Sym>,
+    ) {
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.slab.inc(Counter::Transitions);
+            tel.ring.push(TransitionRecord {
+                time_ms,
+                scope: self.scope,
+                machine,
+                event,
+                from,
+                to,
+                label,
+            });
+        }
+    }
+}
+
 /// The vids intrusion detection system. Feed it every packet crossing the
 /// monitoring point via [`Vids::process_into`]; read the persistent alert
 /// log back with [`Vids::alerts`].
@@ -78,6 +130,7 @@ pub struct Vids {
     counters: VidsCounters,
     cpu: CpuAccount,
     last_sweep_ms: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl Vids {
@@ -97,6 +150,81 @@ impl Vids {
             counters: VidsCounters::default(),
             cpu: CpuAccount::new(),
             last_sweep_ms: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Enables telemetry on this standalone engine: allocates a one-shard
+    /// [`Registry`] plus a transition ring of `ring_capacity` records and
+    /// returns the registry for snapshotting. All storage is allocated
+    /// here, up front; subsequent recording is allocation-free.
+    pub fn enable_telemetry(&mut self, ring_capacity: usize) -> Arc<Registry> {
+        let registry = Arc::new(Registry::new(1));
+        self.telemetry = Some(Telemetry {
+            slab: registry.shard_slab(0),
+            ring: TransitionRing::new(ring_capacity),
+            registry: Some(Arc::clone(&registry)),
+        });
+        registry
+    }
+
+    /// Attaches a pool-owned slab (shard engines record into the pool's
+    /// registry; snapshots are taken by the pool, not per shard).
+    pub(crate) fn attach_telemetry(&mut self, slab: Arc<ShardSlab>, ring_capacity: usize) {
+        self.telemetry = Some(Telemetry {
+            slab,
+            ring: TransitionRing::new(ring_capacity),
+            registry: None,
+        });
+    }
+
+    /// Refreshes the gauges (live calls, memory) on this engine's slab.
+    pub(crate) fn refresh_telemetry_gauges(&self) {
+        if let Some(tel) = &self.telemetry {
+            tel.slab
+                .set_gauge(Gauge::LiveCalls, self.factbase.call_count() as u64);
+            tel.slab
+                .set_gauge(Gauge::MemoryBytes, self.factbase.memory_bytes() as u64);
+        }
+    }
+
+    /// A snapshot of this engine's registry at engine time `now`, when
+    /// telemetry was enabled via [`Vids::enable_telemetry`]. Engines inside
+    /// a pool return `None`; snapshot through the pool instead.
+    pub fn telemetry_snapshot(&self, now: SimTime) -> Option<Snapshot> {
+        let registry = self.telemetry.as_ref()?.registry.as_ref()?;
+        self.refresh_telemetry_gauges();
+        Some(registry.snapshot(now.as_millis()))
+    }
+
+    /// One-branch counter mirror; a no-op with telemetry off.
+    #[inline]
+    fn tel_inc(&self, c: Counter) {
+        if let Some(tel) = &self.telemetry {
+            tel.slab.inc(c);
+        }
+    }
+
+    /// Like [`Vids::tel_inc`] for bulk increments.
+    #[inline]
+    fn tel_add(&self, c: Counter, n: u64) {
+        if let Some(tel) = &self.telemetry {
+            tel.slab.add(c, n);
+        }
+    }
+
+    /// Renders the ring records belonging to `scope`, oldest → newest.
+    /// Called only on the suspicious path (an alert is being built), never
+    /// for clean warm packets.
+    fn render_trace(&self, scope: Sym) -> Vec<String> {
+        match &self.telemetry {
+            Some(tel) => tel
+                .ring
+                .iter()
+                .filter(|r| r.scope == scope)
+                .map(TransitionRecord::render)
+                .collect(),
+            None => Vec::new(),
         }
     }
 
@@ -193,7 +321,12 @@ impl Vids {
 
     /// Routes one classified packet through the machinery. The pool calls
     /// the finer-grained `ingest_*` parts directly instead.
-    fn dispatch<S: AlertSink + ?Sized>(&mut self, classified: Classified, now_ms: u64, sink: &mut S) {
+    fn dispatch<S: AlertSink + ?Sized>(
+        &mut self,
+        classified: Classified,
+        now_ms: u64,
+        sink: &mut S,
+    ) {
         match classified {
             Classified::Sip {
                 call_id,
@@ -209,9 +342,14 @@ impl Vids {
                 if event.name == sym::SIP_INVITE {
                     self.ingest_invite_flood(event.clone(), dst_ip, now_ms, sink);
                 }
-                if let Some(miss) =
-                    self.ingest_call_event(call_id, event, is_initial_invite, is_request, now_ms, sink)
-                {
+                if let Some(miss) = self.ingest_call_event(
+                    call_id,
+                    event,
+                    is_initial_invite,
+                    is_request,
+                    now_ms,
+                    sink,
+                ) {
                     self.ingest_response_flood(dst_ip, miss.src_ip, now_ms, sink);
                 }
             }
@@ -219,7 +357,10 @@ impl Vids {
             Classified::Malformed { protocol, reason } => {
                 self.ingest_malformed(protocol, reason, now_ms, sink)
             }
-            Classified::Ignored => self.counters.ignored += 1,
+            Classified::Ignored => {
+                self.counters.ignored += 1;
+                self.tel_inc(Counter::Ignored);
+            }
         }
     }
 
@@ -233,12 +374,17 @@ impl Vids {
         sink: &mut S,
     ) {
         self.counters.sip_packets += 1;
+        self.tel_inc(Counter::SipPackets);
         let aor = event.sym_arg(sym::AOR).unwrap_or_default();
+        let mut obs = RingObserver {
+            tel: self.telemetry.as_mut(),
+            scope: aor,
+        };
         let net = self.factbase.registration_mut(aor);
-        net.advance_time(now_ms);
+        net.advance_time_observed(now_ms, &mut obs);
         let target = net.machine_by_name("register").unwrap();
-        let outcome = net.deliver(target, event, now_ms);
-        self.absorb(outcome, &format!("aor:{aor}"), now_ms, None, sink);
+        let outcome = net.deliver_observed(target, event, now_ms, &mut obs);
+        self.absorb(outcome, &format!("aor:{aor}"), aor, now_ms, None, sink);
     }
 
     /// Fig. 4: every INVITE also feeds the per-destination flooding
@@ -251,11 +397,16 @@ impl Vids {
         now_ms: u64,
         sink: &mut S,
     ) {
+        let scope = ip_sym(dst_ip);
+        let mut obs = RingObserver {
+            tel: self.telemetry.as_mut(),
+            scope,
+        };
         let net = self.factbase.invite_flood_mut(dst_ip);
-        net.advance_time(now_ms);
+        net.advance_time_observed(now_ms, &mut obs);
         let target = net.machine_by_name("flood").unwrap();
-        let outcome = net.deliver(target, event, now_ms);
-        self.absorb(outcome, &format!("dst:{dst_ip}"), now_ms, None, sink);
+        let outcome = net.deliver_observed(target, event, now_ms, &mut obs);
+        self.absorb(outcome, &format!("dst:{dst_ip}"), scope, now_ms, None, sink);
     }
 
     /// The call-pinned part of a non-REGISTER SIP packet: delivery to the
@@ -272,24 +423,42 @@ impl Vids {
         sink: &mut S,
     ) -> Option<ResponseMiss> {
         self.counters.sip_packets += 1;
+        self.tel_inc(Counter::SipPackets);
         let known = self.factbase.call_mut(call_id).is_some();
         if known || is_initial_invite {
             if !known {
                 self.factbase.create_call(call_id, now_ms);
+                self.tel_inc(Counter::CallsCreated);
             }
+            let mut obs = RingObserver {
+                tel: self.telemetry.as_mut(),
+                scope: call_id,
+            };
             let record = self.factbase.call_mut(call_id).unwrap();
-            let mut outcome = record.network.advance_time(now_ms);
+            let mut outcome = record.network.advance_time_observed(now_ms, &mut obs);
             let sip = record.network.machine_by_name("sip").unwrap();
-            let delivered = record.network.deliver(sip, event, now_ms);
+            let delivered = record
+                .network
+                .deliver_observed(sip, event, now_ms, &mut obs);
             outcome.alerts.extend(delivered.alerts);
             outcome.deviations.extend(delivered.deviations);
             outcome.nondeterministic |= delivered.nondeterministic;
+            outcome.transitions += delivered.transitions;
+            outcome.sync_deliveries += delivered.sync_deliveries;
             self.factbase.refresh_media_index(call_id);
-            self.absorb(outcome, call_id.as_str(), now_ms, Some(call_id.as_str()), sink);
+            self.absorb(
+                outcome,
+                call_id.as_str(),
+                call_id,
+                now_ms,
+                Some(call_id.as_str()),
+                sink,
+            );
         } else if is_request {
             // A non-dialog-forming request for an unknown call:
             // a specification anomaly worth an alert.
             self.counters.unassociated_sip_requests += 1;
+            self.tel_inc(Counter::UnassociatedSipRequests);
             self.raise(
                 now_ms,
                 AlertKind::Deviation,
@@ -297,12 +466,14 @@ impl Vids {
                 Some(call_id.as_str().to_owned()),
                 "engine",
                 format!("request for unmonitored call {call_id}"),
+                self.render_trace(call_id),
                 sink,
             );
         } else {
             // A response matching no monitored call: DRDoS reflection
             // evidence, counted against its destination.
             self.counters.unassociated_sip_responses += 1;
+            self.tel_inc(Counter::UnassociatedSipResponses);
             return Some(ResponseMiss {
                 src_ip: event.sym_arg(sym::SRC_IP).unwrap_or_default(),
             });
@@ -319,12 +490,17 @@ impl Vids {
         now_ms: u64,
         sink: &mut S,
     ) {
+        let scope = ip_sym(dst_ip);
+        let mut obs = RingObserver {
+            tel: self.telemetry.as_mut(),
+            scope,
+        };
         let net = self.factbase.response_flood_mut(dst_ip);
-        net.advance_time(now_ms);
+        net.advance_time_observed(now_ms, &mut obs);
         let target = net.machine_by_name("response-flood").unwrap();
         let synthetic = Event::data(sym::SIP_RESPONSE_UNASSOCIATED).with_sym(sym::SRC_IP, src_ip);
-        let outcome = net.deliver(target, synthetic, now_ms);
-        self.absorb(outcome, &format!("dst:{dst_ip}"), now_ms, None, sink);
+        let outcome = net.deliver_observed(target, synthetic, now_ms, &mut obs);
+        self.absorb(outcome, &format!("dst:{dst_ip}"), scope, now_ms, None, sink);
     }
 
     /// An RTP packet: grouped with its call via the media index published
@@ -336,21 +512,38 @@ impl Vids {
         sink: &mut S,
     ) {
         self.counters.rtp_packets += 1;
+        self.tel_inc(Counter::RtpPackets);
         let dst_ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
         let dst_port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
         match self.factbase.media_lookup(dst_ip, dst_port) {
             Some(call_id) => {
+                let mut obs = RingObserver {
+                    tel: self.telemetry.as_mut(),
+                    scope: call_id,
+                };
                 let record = self.factbase.call_mut(call_id).unwrap();
-                let mut outcome = record.network.advance_time(now_ms);
+                let mut outcome = record.network.advance_time_observed(now_ms, &mut obs);
                 let rtp = record.network.machine_by_name("rtp").unwrap();
-                let delivered = record.network.deliver(rtp, event, now_ms);
+                let delivered = record
+                    .network
+                    .deliver_observed(rtp, event, now_ms, &mut obs);
                 outcome.alerts.extend(delivered.alerts);
                 outcome.deviations.extend(delivered.deviations);
                 outcome.nondeterministic |= delivered.nondeterministic;
-                self.absorb(outcome, call_id.as_str(), now_ms, Some(call_id.as_str()), sink);
+                outcome.transitions += delivered.transitions;
+                outcome.sync_deliveries += delivered.sync_deliveries;
+                self.absorb(
+                    outcome,
+                    call_id.as_str(),
+                    call_id,
+                    now_ms,
+                    Some(call_id.as_str()),
+                    sink,
+                );
             }
             None => {
                 self.counters.unassociated_rtp += 1;
+                self.tel_inc(Counter::UnassociatedRtp);
                 self.raise(
                     now_ms,
                     AlertKind::Deviation,
@@ -358,6 +551,7 @@ impl Vids {
                     None,
                     "engine",
                     format!("RTP to {dst_ip}:{dst_port} outside any session"),
+                    Vec::new(),
                     sink,
                 );
             }
@@ -373,6 +567,7 @@ impl Vids {
         sink: &mut S,
     ) {
         self.counters.malformed += 1;
+        self.tel_inc(Counter::Malformed);
         self.raise(
             now_ms,
             AlertKind::Deviation,
@@ -380,6 +575,7 @@ impl Vids {
             None,
             "classifier",
             reason.to_owned(),
+            Vec::new(),
             sink,
         );
     }
@@ -396,6 +592,10 @@ impl Vids {
             return;
         }
         self.last_sweep_ms = now_ms;
+        // Pool shards are swept through `force_maintain`, where the pool
+        // counts one batch-level sweep on its own slab; counting here would
+        // make the total vary with shard count.
+        self.tel_inc(Counter::TimerSweeps);
         self.sweep_calls(now_ms, sink);
     }
 
@@ -407,25 +607,38 @@ impl Vids {
         let mut ids: Vec<Sym> = self.factbase.call_ids().collect();
         ids.sort_unstable_by_key(|id| id.as_str());
         for id in ids {
+            let mut obs = RingObserver {
+                tel: self.telemetry.as_mut(),
+                scope: id,
+            };
             if let Some(record) = self.factbase.call_mut(id) {
-                let outcome = record.network.advance_time(now_ms);
+                let outcome = record.network.advance_time_observed(now_ms, &mut obs);
                 if outcome.transitions > 0 || outcome.is_suspicious() {
-                    self.absorb(outcome, id.as_str(), now_ms, Some(id.as_str()), sink);
+                    self.absorb(outcome, id.as_str(), id, now_ms, Some(id.as_str()), sink);
                 }
             }
         }
-        self.factbase.sweep(now_ms);
+        let evicted = self.factbase.sweep(now_ms);
+        self.tel_add(Counter::CallsEvicted, evicted.len() as u64);
     }
 
-    /// Converts a network outcome into deduplicated alerts.
+    /// Converts a network outcome into deduplicated alerts. `scope_sym` is
+    /// the interned form of the scope, used to pull the scope's transition
+    /// history out of the telemetry ring for alert forensics.
     fn absorb<S: AlertSink + ?Sized>(
         &mut self,
         outcome: NetworkOutcome,
         scope: &str,
+        scope_sym: Sym,
         now_ms: u64,
         call_id: Option<&str>,
         sink: &mut S,
     ) {
+        self.tel_add(Counter::SyncDeliveries, outcome.sync_deliveries as u64);
+        if !outcome.is_suspicious() && !outcome.nondeterministic {
+            return; // the common clean path: no trace rendering, no allocs
+        }
+        let trace = self.render_trace(scope_sym);
         for a in outcome.alerts {
             self.raise(
                 a.time_ms, // keep machine time
@@ -434,6 +647,7 @@ impl Vids {
                 call_id.map(str::to_owned),
                 &a.machine,
                 format!("scope {scope}"),
+                trace.clone(),
                 sink,
             );
         }
@@ -445,6 +659,7 @@ impl Vids {
                 call_id.map(str::to_owned),
                 &d.machine,
                 d.event.to_string(),
+                trace.clone(),
                 sink,
             );
         }
@@ -456,6 +671,7 @@ impl Vids {
                 call_id.map(str::to_owned),
                 "engine",
                 format!("scope {scope}"),
+                trace,
                 sink,
             );
         }
@@ -470,12 +686,18 @@ impl Vids {
         call_id: Option<String>,
         machine: &str,
         detail: String,
+        trace: Vec<String>,
         sink: &mut S,
     ) {
         let scope = call_id.clone().unwrap_or_else(|| detail.clone());
         if !self.dedup.insert((scope, label.clone())) {
             return;
         }
+        self.tel_inc(match kind {
+            AlertKind::Attack => Counter::AlertsAttack,
+            AlertKind::Deviation => Counter::AlertsDeviation,
+            AlertKind::Nondeterminism => Counter::AlertsNondeterminism,
+        });
         let alert = Alert {
             time_ms,
             kind,
@@ -483,6 +705,7 @@ impl Vids {
             call_id,
             machine: machine.to_owned(),
             detail,
+            trace,
         };
         self.alerts.push(alert.clone());
         sink.accept(alert);
@@ -720,24 +943,40 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         // Set up a call but don't tear it down: INVITE/200 then media.
         let inv = invite("spam-1");
-        process(&mut vids, &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())), SimTime::ZERO);
+        process(
+            &mut vids,
+            &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+            SimTime::ZERO,
+        );
         let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
         let ok = inv
             .response(StatusCode::OK)
             .with_to_tag("tt")
             .with_body(vids_sdp::MIME_TYPE, answer.to_string());
-        process(&mut vids, &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())), SimTime::from_millis(50));
+        process(
+            &mut vids,
+            &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
+            SimTime::from_millis(50),
+        );
         let legit = RtpPacket::new(18, 100, 800, 7).with_payload(vec![0; 10]);
         process(
             &mut vids,
-            &pkt(CALLER.with_port(20_000), CALLEE.with_port(30_000), Payload::Rtp(legit.to_bytes())),
+            &pkt(
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(legit.to_bytes()),
+            ),
             SimTime::from_millis(100),
         );
         // Spoofed packet: same SSRC, big jumps (paper Fig. 6).
         let spam = RtpPacket::new(18, 100 + 200, 800 + 50_000, 7).with_payload(vec![0; 10]);
         let alerts = process(
             &mut vids,
-            &pkt(CALLER.with_port(20_000), CALLEE.with_port(30_000), Payload::Rtp(spam.to_bytes())),
+            &pkt(
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(spam.to_bytes()),
+            ),
             SimTime::from_millis(110),
         );
         assert!(alerts.iter().any(|a| a.label == labels::MEDIA_SPAM));
@@ -797,12 +1036,15 @@ mod tests {
         let mut req = vids_sip::Request::new(Method::Register, SipUri::host_only("b.example.com"));
         req.headers
             .push(Header::Via(Via::udp(src.ip_string(), 5060, "z9hG4bK-r1")));
-        req.headers.push(Header::From(NameAddr::new(aor.clone()).with_tag("rt")));
+        req.headers
+            .push(Header::From(NameAddr::new(aor.clone()).with_tag("rt")));
         req.headers.push(Header::To(NameAddr::new(aor)));
         req.headers.push(Header::CallId("reg-roamer".to_owned()));
-        req.headers.push(Header::CSeq(SipCSeq::new(1, Method::Register)));
         req.headers
-            .push(Header::Contact(NameAddr::new(SipUri::new("roamer", contact_ip))));
+            .push(Header::CSeq(SipCSeq::new(1, Method::Register)));
+        req.headers.push(Header::Contact(NameAddr::new(SipUri::new(
+            "roamer", contact_ip,
+        ))));
         req.headers.push(Header::Expires(expires));
         req.headers.push(Header::ContentLength(0));
         pkt(src, CALLEE, Payload::Sip(req.to_string()))
@@ -812,7 +1054,11 @@ mod tests {
     fn perimeter_register_is_tracked_not_flagged() {
         let mut vids = Vids::new(Config::default());
         let owner = Address::new(10, 0, 0, 20, 5060);
-        let alerts = process(&mut vids, &register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        let alerts = process(
+            &mut vids,
+            &register_packet(owner, "10.0.0.20", 3600),
+            SimTime::ZERO,
+        );
         assert!(alerts.is_empty(), "{alerts:?}");
         // Refresh from the same source: still clean.
         let alerts = process(
@@ -829,14 +1075,20 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         let owner = Address::new(10, 0, 0, 20, 5060);
         let attacker = Address::new(10, 0, 0, 66, 5060);
-        process(&mut vids, &register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        process(
+            &mut vids,
+            &register_packet(owner, "10.0.0.20", 3600),
+            SimTime::ZERO,
+        );
         let alerts = process(
             &mut vids,
             &register_packet(attacker, "10.0.0.66", 3600),
             SimTime::from_secs(10),
         );
         assert!(
-            alerts.iter().any(|a| a.label == labels::REGISTRATION_HIJACK),
+            alerts
+                .iter()
+                .any(|a| a.label == labels::REGISTRATION_HIJACK),
             "{alerts:?}"
         );
     }
@@ -846,14 +1098,20 @@ mod tests {
         let mut vids = Vids::new(Config::default());
         let owner = Address::new(10, 0, 0, 20, 5060);
         let attacker = Address::new(10, 0, 0, 66, 5060);
-        process(&mut vids, &register_packet(owner, "10.0.0.20", 3600), SimTime::ZERO);
+        process(
+            &mut vids,
+            &register_packet(owner, "10.0.0.20", 3600),
+            SimTime::ZERO,
+        );
         let alerts = process(
             &mut vids,
             &register_packet(attacker, "10.0.0.20", 0),
             SimTime::from_secs(10),
         );
         assert!(
-            alerts.iter().any(|a| a.label == labels::REGISTRATION_HIJACK),
+            alerts
+                .iter()
+                .any(|a| a.label == labels::REGISTRATION_HIJACK),
             "{alerts:?}"
         );
     }
@@ -884,6 +1142,69 @@ mod tests {
         let alerts = vids.process(&junk, SimTime::ZERO);
         assert_eq!(alerts.len(), 1);
         assert_eq!(vids.alerts().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_counters_and_alerts_carry_traces() {
+        let mut vids = Vids::new(Config::default());
+        let registry = vids.enable_telemetry(64);
+        clean_call(&mut vids, "tel-1");
+        // RTP after the BYE: the cross-protocol attack signature.
+        let spam = RtpPacket::new(18, 200, 9_999, 7).with_payload(vec![0; 10]);
+        let alerts = process(
+            &mut vids,
+            &pkt(
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(spam.to_bytes()),
+            ),
+            SimTime::from_millis(1_500),
+        );
+        let attack = alerts
+            .iter()
+            .find(|a| a.label == labels::RTP_AFTER_BYE)
+            .expect("attack detected");
+        assert!(
+            !attack.trace.is_empty(),
+            "alert should carry its call's transition history"
+        );
+        assert!(
+            attack.trace.iter().all(|line| line.starts_with("t=")),
+            "trace lines are rendered records: {:?}",
+            attack.trace
+        );
+
+        let snap = vids
+            .telemetry_snapshot(SimTime::from_millis(1_500))
+            .expect("standalone engine owns its registry");
+        let m = snap.merged();
+        let c = vids.counters();
+        assert_eq!(m.counter(Counter::SipPackets), c.sip_packets);
+        assert_eq!(m.counter(Counter::RtpPackets), c.rtp_packets);
+        assert!(m.counter(Counter::Transitions) > 0);
+        assert!(
+            m.counter(Counter::SyncDeliveries) > 0,
+            "δ sync events flow in a clean call"
+        );
+        assert_eq!(m.counter(Counter::CallsCreated), 1);
+        assert_eq!(m.counter(Counter::AlertsAttack), 1);
+        assert_eq!(m.gauge(vids_telemetry::Gauge::LiveCalls), 1);
+        assert!(m.gauge(vids_telemetry::Gauge::MemoryBytes) > 0);
+        // Same registry handle sees the same totals.
+        assert_eq!(
+            registry.shard(0).get(Counter::Transitions),
+            m.counter(Counter::Transitions)
+        );
+    }
+
+    #[test]
+    fn telemetry_off_engine_emits_empty_traces() {
+        let mut vids = Vids::new(Config::default());
+        let junk = pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned()));
+        let alerts = process(&mut vids, &junk, SimTime::ZERO);
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].trace.is_empty());
+        assert!(vids.telemetry_snapshot(SimTime::ZERO).is_none());
     }
 
     #[test]

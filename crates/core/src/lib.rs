@@ -30,6 +30,12 @@
 //!   monitored calls across independent shards and ingests packets in
 //!   batches with parallel shard execution.
 //!
+//! Observability comes from the `vids-telemetry` crate (re-exported here as
+//! [`telemetry`]): enable it with [`engine::Vids::enable_telemetry`] /
+//! [`pool::VidsPool::enable_telemetry`] and read back merged snapshots of
+//! per-shard counters, gauges and histograms; alerts then also carry the
+//! recent EFSM transitions of their call (the `trace` field).
+//!
 //! ```
 //! use vids_core::prelude::*;
 //! use vids_netsim::packet::{Address, Packet, Payload};
@@ -66,6 +72,8 @@ pub mod pool;
 pub mod report;
 pub mod sink;
 pub mod tap;
+
+pub use vids_telemetry as telemetry;
 
 /// The one-stop import for driving the IDS:
 /// `use vids_core::prelude::*;`.

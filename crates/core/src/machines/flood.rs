@@ -102,7 +102,13 @@ mod tests {
     use vids_efsm::Event;
 
     fn flood_net(n: u64, window: u64) -> (Network, vids_efsm::network::MachineId) {
-        let def = Arc::new(window_counter_machine("flood", "SIP.INVITE", n, window, "flood"));
+        let def = Arc::new(window_counter_machine(
+            "flood",
+            "SIP.INVITE",
+            n,
+            window,
+            "flood",
+        ));
         let mut net = Network::new();
         let id = net.add_machine(def);
         (net, id)
@@ -144,10 +150,7 @@ mod tests {
         }
         // Window expires.
         net.advance_time(1_100);
-        assert_eq!(
-            net.instance(id).state_name(net.definition(id)),
-            "INIT"
-        );
+        assert_eq!(net.instance(id).state_name(net.definition(id)), "INIT");
         // Fresh window: another 5 are fine again.
         for i in 0..5u64 {
             let out = net.deliver(id, Event::data("SIP.INVITE"), 2_000 + i);

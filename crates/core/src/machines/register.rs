@@ -76,7 +76,8 @@ pub fn registration_machine() -> MachineDef {
 
     def.add_transition(hijack, "*", hijack);
 
-    def.build().expect("registration machine definition is valid")
+    def.build()
+        .expect("registration machine definition is valid")
 }
 
 #[cfg(test)]
@@ -102,9 +103,15 @@ mod tests {
     #[test]
     fn bind_refresh_unbind_is_clean() {
         let (mut net, id) = net();
-        assert!(!net.deliver(id, register("10.0.5.1", "10.0.5.1", 3600), 0).is_suspicious());
-        assert!(!net.deliver(id, register("10.0.5.1", "10.0.5.1", 3600), 10).is_suspicious());
-        assert!(!net.deliver(id, register("10.0.5.1", "10.0.5.1", 0), 20).is_suspicious());
+        assert!(!net
+            .deliver(id, register("10.0.5.1", "10.0.5.1", 3600), 0)
+            .is_suspicious());
+        assert!(!net
+            .deliver(id, register("10.0.5.1", "10.0.5.1", 3600), 10)
+            .is_suspicious());
+        assert!(!net
+            .deliver(id, register("10.0.5.1", "10.0.5.1", 0), 20)
+            .is_suspicious());
         assert!(net.all_final(), "unbound is final");
     }
 

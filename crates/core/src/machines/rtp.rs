@@ -370,10 +370,7 @@ mod tests {
             );
             assert!(!out.is_suspicious(), "packet {i}");
         }
-        assert_eq!(
-            net.instance(id).state_name(net.definition(id)),
-            "RTP_RCVD"
-        );
+        assert_eq!(net.instance(id).state_name(net.definition(id)), "RTP_RCVD");
     }
 
     #[test]

@@ -12,7 +12,9 @@ use vids_efsm::{sym, Event, Sym};
 
 use crate::alert::labels;
 use crate::config::Config;
-use crate::machines::{DELTA_BYE, DELTA_OPEN, DELTA_REOPEN, DELTA_UPDATE, RTP_MACHINE, SIP_MACHINE};
+use crate::machines::{
+    DELTA_BYE, DELTA_OPEN, DELTA_REOPEN, DELTA_UPDATE, RTP_MACHINE, SIP_MACHINE,
+};
 
 /// Timer name for the teardown/failure linger.
 pub const TIMER_LINGER: &str = "T_linger";
@@ -30,17 +32,23 @@ fn arg_or_empty(ev: &Event, name: Sym) -> Value {
 fn store_invite_vars(ctx: &mut ActionCtx<'_>) {
     // Local variables (Fig. 2: Call-ID, branch, tags, endpoints).
     let ev = ctx.event;
-    ctx.locals.set(sym::L_CALL_ID, arg_or_empty(ev, sym::CALL_ID));
+    ctx.locals
+        .set(sym::L_CALL_ID, arg_or_empty(ev, sym::CALL_ID));
     ctx.locals.set(sym::L_BRANCH, arg_or_empty(ev, sym::BRANCH));
-    ctx.locals.set(sym::L_FROM_TAG, arg_or_empty(ev, sym::FROM_TAG));
-    ctx.locals.set(sym::L_CALLER_IP, arg_or_empty(ev, sym::SRC_IP));
-    ctx.locals.set(sym::L_CALLEE_IP, arg_or_empty(ev, sym::DST_IP));
+    ctx.locals
+        .set(sym::L_FROM_TAG, arg_or_empty(ev, sym::FROM_TAG));
+    ctx.locals
+        .set(sym::L_CALLER_IP, arg_or_empty(ev, sym::SRC_IP));
+    ctx.locals
+        .set(sym::L_CALLEE_IP, arg_or_empty(ev, sym::DST_IP));
     // Global variables: the caller's offered media coordinates.
     if ev.bool_arg(sym::HAS_SDP) {
         ctx.globals
             .set(sym::G_CALLER_MEDIA_IP, arg_or_empty(ev, sym::SDP_IP));
-        ctx.globals
-            .set(sym::G_CALLER_MEDIA_PORT, ev.uint_arg(sym::SDP_PORT).unwrap_or(0));
+        ctx.globals.set(
+            sym::G_CALLER_MEDIA_PORT,
+            ev.uint_arg(sym::SDP_PORT).unwrap_or(0),
+        );
         ctx.globals
             .set(sym::G_CODEC_PT, ev.uint_arg(sym::SDP_PT).unwrap_or(255));
     }
@@ -52,8 +60,10 @@ fn store_answer_vars(ctx: &mut ActionCtx<'_>) {
     if ev.bool_arg(sym::HAS_SDP) {
         ctx.globals
             .set(sym::G_CALLEE_MEDIA_IP, arg_or_empty(ev, sym::SDP_IP));
-        ctx.globals
-            .set(sym::G_CALLEE_MEDIA_PORT, ev.uint_arg(sym::SDP_PORT).unwrap_or(0));
+        ctx.globals.set(
+            sym::G_CALLEE_MEDIA_PORT,
+            ev.uint_arg(sym::SDP_PORT).unwrap_or(0),
+        );
     }
 }
 
@@ -97,8 +107,14 @@ fn sdp_on_dialog_parties(ctx: &PredicateCtx<'_>) -> bool {
         return true;
     }
     let sdp_ip = ctx.event.arg(sym::SDP_IP).unwrap_or(&EMPTY_VAL);
-    let caller = ctx.globals.get(sym::G_CALLER_MEDIA_IP).unwrap_or(&EMPTY_VAL);
-    let callee = ctx.globals.get(sym::G_CALLEE_MEDIA_IP).unwrap_or(&EMPTY_VAL);
+    let caller = ctx
+        .globals
+        .get(sym::G_CALLER_MEDIA_IP)
+        .unwrap_or(&EMPTY_VAL);
+    let callee = ctx
+        .globals
+        .get(sym::G_CALLEE_MEDIA_IP)
+        .unwrap_or(&EMPTY_VAL);
     sdp_ip == caller || sdp_ip == callee
 }
 
@@ -219,32 +235,28 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
         .label("stale provisional");
     // Legitimate re-INVITE: dialog tags match and media stays on parties.
     def.add_transition(established, "SIP.INVITE", established)
-        .predicate(|ctx| {
-            !to_tag_empty(ctx) && tags_consistent(ctx) && sdp_on_dialog_parties(ctx)
-        })
+        .predicate(|ctx| !to_tag_empty(ctx) && tags_consistent(ctx) && sdp_on_dialog_parties(ctx))
         .action(|ctx| {
             let ev = ctx.event;
             if ev.bool_arg(sym::HAS_SDP) {
                 // The media may move within the parties: refresh globals.
                 ctx.globals
                     .set(sym::G_CALLER_MEDIA_IP, arg_or_empty(ev, sym::SDP_IP));
-                ctx.globals
-                    .set(sym::G_CALLER_MEDIA_PORT, ev.uint_arg(sym::SDP_PORT).unwrap_or(0));
+                ctx.globals.set(
+                    sym::G_CALLER_MEDIA_PORT,
+                    ev.uint_arg(sym::SDP_PORT).unwrap_or(0),
+                );
                 ctx.send_sync(RTP_MACHINE, Event::sync(DELTA_UPDATE));
             }
         })
         .label("re-INVITE within dialog");
     // Hijack: in-dialog INVITE pushing media off the negotiated parties.
     def.add_transition(established, "SIP.INVITE", hijack)
-        .predicate(|ctx| {
-            !to_tag_empty(ctx) && tags_consistent(ctx) && !sdp_on_dialog_parties(ctx)
-        })
+        .predicate(|ctx| !to_tag_empty(ctx) && tags_consistent(ctx) && !sdp_on_dialog_parties(ctx))
         .label("re-INVITE redirects media off-dialog");
     // Hijack: in-dialog INVITE with tags that never belonged to the dialog.
     def.add_transition(established, "SIP.INVITE", hijack)
-        .predicate(|ctx| {
-            !to_tag_empty(ctx) && !tags_consistent(ctx)
-        })
+        .predicate(|ctx| !to_tag_empty(ctx) && !tags_consistent(ctx))
         .label("re-INVITE with foreign dialog tags");
     // BYE with consistent tags: normal teardown begins. The RTP machine is
     // synchronized *before* the transition (Fig. 5).
@@ -363,7 +375,9 @@ mod tests {
             invite_event(),
             ringing,
             ok_event("INVITE"),
-            Event::data("SIP.ACK").with_str("from_tag", "ft").with_str("to_tag", "tt"),
+            Event::data("SIP.ACK")
+                .with_str("from_tag", "ft")
+                .with_str("to_tag", "tt"),
             bye_event("ft", "tt"),
             ok_event("BYE"),
         ]

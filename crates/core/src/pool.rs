@@ -26,11 +26,14 @@
 //! per-packet interval check.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 use vids_efsm::{sym, Event, Sym};
 use vids_netsim::packet::Packet;
 use vids_netsim::time::SimTime;
+use vids_telemetry::{Counter, Gauge, HistId, Registry, Snapshot};
 
 use crate::alert::{Alert, AlertKind};
 use crate::classify::{classify, Classified};
@@ -175,6 +178,9 @@ pub struct VidsPool {
     /// (the merge is deterministic either way), none of the thread
     /// overhead.
     workers: usize,
+    /// Telemetry registry when enabled: one slab per shard (wired into the
+    /// shard engines) plus a pool-level slab for batch/merge metrics.
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl VidsPool {
@@ -200,7 +206,42 @@ impl VidsPool {
             last_sweep_ms: 0,
             last_packet_ms: 0,
             workers: thread::available_parallelism().map_or(1, |p| p.get()),
+            telemetry: None,
         }
+    }
+
+    /// Enables telemetry: allocates a [`Registry`] with one slab per shard
+    /// plus a pool slab, attaches each shard engine to its slab (with a
+    /// transition ring of `ring_capacity` records per shard), and returns
+    /// the registry. Call before feeding traffic; recording from then on is
+    /// allocation-free.
+    pub fn enable_telemetry(&mut self, ring_capacity: usize) -> Arc<Registry> {
+        let registry = Arc::new(Registry::new(self.shards.len()));
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach_telemetry(registry.shard_slab(i), ring_capacity);
+        }
+        self.telemetry = Some(Arc::clone(&registry));
+        registry
+    }
+
+    /// A snapshot of the pool's registry at monitor time `now`, when
+    /// telemetry is enabled. Refreshes the per-shard gauges (live calls,
+    /// fact-base memory) and the pool slab's routing-index memory gauge
+    /// before copying.
+    pub fn telemetry_snapshot(&self, now: SimTime) -> Option<Snapshot> {
+        let registry = self.telemetry.as_ref()?;
+        for shard in &self.shards {
+            shard.refresh_telemetry_gauges();
+        }
+        let index_bytes: usize = self
+            .media_to_shard
+            .keys()
+            .map(|(ip, _)| ip.as_str().len() + std::mem::size_of::<((Sym, u64), usize)>())
+            .sum();
+        registry
+            .pool()
+            .set_gauge(Gauge::MemoryBytes, index_bytes as u64);
+        Some(registry.snapshot(now.as_millis()))
     }
 
     /// The active configuration.
@@ -304,11 +345,24 @@ impl VidsPool {
         let now_ms = now.as_millis();
         let mut tagged: Vec<(MergeKey, Alert)> = Vec::new();
 
+        if let Some(reg) = &self.telemetry {
+            reg.pool().inc(Counter::BatchesIngested);
+            reg.pool()
+                .add(Counter::PacketsIngested, packets.len() as u64);
+            reg.pool().record(HistId::BatchSize, packets.len() as u64);
+        }
+
         // Phase 0: at most one sweep per batch (the single engine re-checks
         // the interval on every packet; the pool amortizes that to one
         // barrier here, keyed ahead of every packet of the batch).
         if now_ms.saturating_sub(self.last_sweep_ms) >= SWEEP_INTERVAL_MS {
             self.last_sweep_ms = now_ms;
+            // The batch-level sweep is counted once here, on the pool slab:
+            // per-shard force_maintain does not count, so the total is the
+            // same whatever the shard count.
+            if let Some(reg) = &self.telemetry {
+                reg.pool().inc(Counter::TimerSweeps);
+            }
             self.sweep_shards(now_ms, &mut tagged);
         }
 
@@ -398,6 +452,9 @@ impl VidsPool {
                 }
                 Classified::Malformed { protocol, reason } => {
                     self.extra.malformed += 1;
+                    if let Some(reg) = &self.telemetry {
+                        reg.pool().inc(Counter::Malformed);
+                    }
                     self.pool_raise(
                         &mut tagged,
                         idx,
@@ -406,7 +463,12 @@ impl VidsPool {
                         reason.to_owned(),
                     );
                 }
-                Classified::Ignored => self.extra.ignored += 1,
+                Classified::Ignored => {
+                    self.extra.ignored += 1;
+                    if let Some(reg) = &self.telemetry {
+                        reg.pool().inc(Counter::Ignored);
+                    }
+                }
             }
         }
 
@@ -428,10 +490,16 @@ impl VidsPool {
 
         // Phase 5: merge. The key makes this order independent of shard
         // count and thread scheduling.
+        let merge_started = self.telemetry.as_ref().map(|_| Instant::now());
         tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         for (_key, alert) in tagged {
             self.alerts.push(alert.clone());
             sink.accept(alert);
+        }
+        if let (Some(reg), Some(started)) = (&self.telemetry, merge_started) {
+            let nanos = started.elapsed().as_nanos() as u64;
+            reg.pool().add(Counter::MergeNanos, nanos);
+            reg.pool().record(HistId::MergeNanos, nanos);
         }
     }
 
@@ -443,6 +511,9 @@ impl VidsPool {
             return; // mirror Vids::tick_into's interval gate from time zero
         }
         self.last_sweep_ms = now_ms;
+        if let Some(reg) = &self.telemetry {
+            reg.pool().inc(Counter::TimerSweeps);
+        }
         let mut tagged: Vec<(MergeKey, Alert)> = Vec::new();
         self.sweep_shards(now_ms, &mut tagged);
         tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
@@ -476,6 +547,9 @@ impl VidsPool {
         if !self.dedup.insert((detail.clone(), label.clone())) {
             return;
         }
+        if let Some(reg) = &self.telemetry {
+            reg.pool().inc(Counter::AlertsDeviation);
+        }
         let alert = Alert {
             time_ms: t,
             kind: AlertKind::Deviation,
@@ -483,6 +557,7 @@ impl VidsPool {
             call_id: None,
             machine: "classifier".to_owned(),
             detail,
+            trace: Vec::new(),
         };
         tagged.push(((idx, 2, String::new(), 0), alert));
     }
@@ -519,8 +594,7 @@ impl VidsPool {
             }
         } else {
             thread::scope(|scope| {
-                for ((shard, queue), out) in
-                    self.shards.iter_mut().zip(queues).zip(outs.iter_mut())
+                for ((shard, queue), out) in self.shards.iter_mut().zip(queues).zip(outs.iter_mut())
                 {
                     scope.spawn(move || drain_one(shard, queue, &mut out.0, &mut out.1));
                 }
@@ -558,8 +632,9 @@ impl VidsPool {
         // Drop routing entries for media the shards just evicted, keeping
         // the pool index in lock-step with the per-shard media indexes.
         let shards = &self.shards;
-        self.media_to_shard
-            .retain(|(ip, port), shard| shards[*shard].factbase().media_lookup(*ip, *port).is_some());
+        self.media_to_shard.retain(|(ip, port), shard| {
+            shards[*shard].factbase().media_lookup(*ip, *port).is_some()
+        });
     }
 }
 
@@ -588,9 +663,14 @@ fn drain_one(
                 dst_ip,
             } => {
                 let mut sink = TaggedSink::packet(alerts, idx, 2);
-                if let Some(miss) =
-                    vids.ingest_call_event(call_id, event, is_initial_invite, is_request, t, &mut sink)
-                {
+                if let Some(miss) = vids.ingest_call_event(
+                    call_id,
+                    event,
+                    is_initial_invite,
+                    is_request,
+                    t,
+                    &mut sink,
+                ) {
                     misses.push(Miss {
                         idx,
                         t,

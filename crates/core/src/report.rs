@@ -123,6 +123,7 @@ mod tests {
             call_id: call.map(str::to_owned),
             machine: "sip".to_owned(),
             detail: String::new(),
+            trace: Vec::new(),
         }
     }
 

@@ -101,6 +101,7 @@ mod tests {
             call_id: None,
             machine: "test".to_owned(),
             detail: String::new(),
+            trace: Vec::new(),
         }
     }
 

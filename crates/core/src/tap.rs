@@ -51,6 +51,21 @@ impl VidsTap {
         &mut self.vids
     }
 
+    /// Enables telemetry on the wrapped engine; see
+    /// [`Vids::enable_telemetry`].
+    pub fn enable_telemetry(
+        &mut self,
+        ring_capacity: usize,
+    ) -> std::sync::Arc<vids_telemetry::Registry> {
+        self.vids.enable_telemetry(ring_capacity)
+    }
+
+    /// A telemetry snapshot at monitor time `now`; see
+    /// [`Vids::telemetry_snapshot`].
+    pub fn telemetry_snapshot(&self, now: SimTime) -> Option<vids_telemetry::Snapshot> {
+        self.vids.telemetry_snapshot(now)
+    }
+
     /// All alerts raised so far.
     pub fn alerts(&self) -> &[Alert] {
         self.vids.alerts()

@@ -251,7 +251,10 @@ mod tests {
         let mut globals = VarMap::new();
         let o = m.step(&def, &Event::data("unexpected"), &mut globals);
         assert!(!o.transitioned());
-        assert_eq!(o.deviation.as_ref().map(|e| e.name.as_str()), Some("unexpected"));
+        assert_eq!(
+            o.deviation.as_ref().map(|e| e.name.as_str()),
+            Some("unexpected")
+        );
     }
 
     #[test]
@@ -300,7 +303,9 @@ mod tests {
         def.add_transition(a, "*", b);
         let def = def.build().unwrap();
         let mut m = MachineInstance::new(&def);
-        assert!(m.step(&def, &Event::data("whatever"), &mut VarMap::new()).transitioned());
+        assert!(m
+            .step(&def, &Event::data("whatever"), &mut VarMap::new())
+            .transitioned());
     }
 
     #[test]
@@ -330,7 +335,8 @@ mod tests {
         let def = counter_machine(5);
         let mut m = MachineInstance::new(&def);
         let empty = m.memory_bytes();
-        m.locals_mut().set("g_call_id", "a-long-call-identifier@example.com");
+        m.locals_mut()
+            .set("g_call_id", "a-long-call-identifier@example.com");
         assert!(m.memory_bytes() > empty);
     }
 }

@@ -58,6 +58,6 @@ pub use event::{Event, EventKind};
 pub use instance::{MachineInstance, StepOutcome};
 pub use intern::{sym, Sym, SymKey};
 pub use machine::{BuildError, MachineDef, StateId};
-pub use network::{MachineId, Network, NetworkOutcome};
+pub use network::{MachineId, Network, NetworkOutcome, NoopObserver, TransitionObserver};
 pub use trace::{Trace, TraceEntry};
 pub use value::{InlineVec, Value, VarMap};

@@ -131,6 +131,9 @@ pub enum UnmatchedPolicy {
 pub struct MachineDef {
     name: Sym,
     states: Vec<StateInfo>,
+    /// Interned state names, populated by [`MachineDef::build`] so the
+    /// observer hook can report transitions without allocating.
+    state_syms: Vec<Sym>,
     transitions: Vec<Transition>,
     initial: StateId,
     unmatched_policy: UnmatchedPolicy,
@@ -183,6 +186,7 @@ impl MachineDef {
         MachineDef {
             name: name.into(),
             states: Vec::new(),
+            state_syms: Vec::new(),
             transitions: Vec::new(),
             initial: StateId(0),
             unmatched_policy: UnmatchedPolicy::default(),
@@ -266,6 +270,7 @@ impl MachineDef {
                 return Err(BuildError::DanglingTransition { index: i });
             }
         }
+        self.state_syms = self.states.iter().map(|s| Sym::intern(&s.name)).collect();
         self.built = true;
         Ok(self)
     }
@@ -290,6 +295,15 @@ impl MachineDef {
         &self.states[state.0].name
     }
 
+    /// The name of a state as an interned symbol (allocation-free after
+    /// [`MachineDef::build`]; interns lazily on an unbuilt definition).
+    pub fn state_sym(&self, state: StateId) -> Sym {
+        self.state_syms
+            .get(state.0)
+            .copied()
+            .unwrap_or_else(|| Sym::intern(&self.states[state.0].name))
+    }
+
     /// Whether the state is final.
     pub fn is_final_state(&self, state: StateId) -> bool {
         self.states[state.0].is_final
@@ -302,10 +316,7 @@ impl MachineDef {
 
     /// Looks up a state id by name (test and tooling convenience).
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.states
-            .iter()
-            .position(|s| s.name == name)
-            .map(StateId)
+        self.states.iter().position(|s| s.name == name).map(StateId)
     }
 
     pub(crate) fn unmatched_policy(&self) -> UnmatchedPolicy {
@@ -388,6 +399,9 @@ mod tests {
 
     #[test]
     fn empty_machine_fails_build() {
-        assert_eq!(MachineDef::new("m").build().unwrap_err(), BuildError::NoStates);
+        assert_eq!(
+            MachineDef::new("m").build().unwrap_err(),
+            BuildError::NoStates
+        );
     }
 }

@@ -41,7 +41,11 @@ pub struct AttackAlert {
 
 impl fmt::Display for AttackAlert {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} ms] {}: ATTACK {}", self.time_ms, self.machine, self.label)
+        write!(
+            f,
+            "[{} ms] {}: ATTACK {}",
+            self.time_ms, self.machine, self.label
+        )
     }
 }
 
@@ -77,6 +81,8 @@ pub struct NetworkOutcome {
     pub nondeterministic: bool,
     /// Total transitions taken across all machines.
     pub transitions: usize,
+    /// δ synchronization events popped off the FIFO queues and delivered.
+    pub sync_deliveries: usize,
 }
 
 impl NetworkOutcome {
@@ -90,7 +96,37 @@ impl NetworkOutcome {
         self.deviations.extend(other.deviations);
         self.nondeterministic |= other.nondeterministic;
         self.transitions += other.transitions;
+        self.sync_deliveries += other.sync_deliveries;
     }
+}
+
+/// Hook invoked for every transition a network takes.
+///
+/// Unlike [`Trace`], which renders strings and is meant for offline
+/// debugging, the observer receives only interned symbols and a clock —
+/// an implementation can record telemetry or fill a ring buffer without
+/// allocating, keeping the hot path on its zero-allocation budget.
+pub trait TransitionObserver {
+    /// Called once per taken transition, after the step is applied.
+    fn on_transition(
+        &mut self,
+        time_ms: u64,
+        machine: Sym,
+        event: Sym,
+        from: Sym,
+        to: Sym,
+        label: Option<Sym>,
+    );
+}
+
+/// Observer that discards everything; the plain `deliver`/`advance_time`
+/// entry points use it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl TransitionObserver for NoopObserver {
+    #[inline]
+    fn on_transition(&mut self, _: u64, _: Sym, _: Sym, _: Sym, _: Sym, _: Option<Sym>) {}
 }
 
 /// A network of communicating EFSM instances for one monitored call.
@@ -231,7 +267,11 @@ impl Network {
         let queues: usize = self
             .sync_queues
             .iter()
-            .map(|q| q.iter().map(|e| e.args.memory_bytes() + 8 + 8).sum::<usize>())
+            .map(|q| {
+                q.iter()
+                    .map(|e| e.args.memory_bytes() + 8 + 8)
+                    .sum::<usize>()
+            })
             .sum();
         let timers: usize = self
             .timers
@@ -244,26 +284,44 @@ impl Network {
     /// Delivers a data-packet event to `target` at time `now_ms`, then drains
     /// the sync cascade it triggers. Returns everything observed.
     pub fn deliver(&mut self, target: MachineId, event: Event, now_ms: u64) -> NetworkOutcome {
+        self.deliver_observed(target, event, now_ms, &mut NoopObserver)
+    }
+
+    /// [`Network::deliver`] with a [`TransitionObserver`] notified of every
+    /// transition taken (including sync-cascade steps).
+    pub fn deliver_observed(
+        &mut self,
+        target: MachineId,
+        event: Event,
+        now_ms: u64,
+        obs: &mut dyn TransitionObserver,
+    ) -> NetworkOutcome {
         let mut outcome = NetworkOutcome::default();
         // Rule: queued sync events go first.
-        outcome.merge(self.drain_sync(now_ms));
-        outcome.merge(self.step_one(target, &event, now_ms));
-        outcome.merge(self.drain_sync(now_ms));
+        outcome.merge(self.drain_sync(now_ms, obs));
+        outcome.merge(self.step_one(target, &event, now_ms, obs));
+        outcome.merge(self.drain_sync(now_ms, obs));
         outcome
     }
 
     /// The earliest armed timer deadline across all machines, if any.
     pub fn next_timer_deadline(&self) -> Option<u64> {
-        self.timers
-            .iter()
-            .flat_map(|t| t.values())
-            .min()
-            .copied()
+        self.timers.iter().flat_map(|t| t.values()).min().copied()
     }
 
     /// Fires every timer due at or before `now_ms`, delivering expirations as
     /// [`Event::timer`] events (and draining any sync cascade).
     pub fn advance_time(&mut self, now_ms: u64) -> NetworkOutcome {
+        self.advance_time_observed(now_ms, &mut NoopObserver)
+    }
+
+    /// [`Network::advance_time`] with a [`TransitionObserver`] notified of
+    /// every transition taken.
+    pub fn advance_time_observed(
+        &mut self,
+        now_ms: u64,
+        obs: &mut dyn TransitionObserver,
+    ) -> NetworkOutcome {
         let mut outcome = NetworkOutcome::default();
         loop {
             // Earliest due timer across machines, for deterministic order.
@@ -282,22 +340,29 @@ impl Network {
             };
             self.timers[machine].remove(&name);
             let event = Event::timer(name);
-            outcome.merge(self.step_one(MachineId(machine), &event, deadline));
-            outcome.merge(self.drain_sync(deadline));
+            outcome.merge(self.step_one(MachineId(machine), &event, deadline, obs));
+            outcome.merge(self.drain_sync(deadline, obs));
         }
         outcome
     }
 
-    fn drain_sync(&mut self, now_ms: u64) -> NetworkOutcome {
+    fn drain_sync(&mut self, now_ms: u64, obs: &mut dyn TransitionObserver) -> NetworkOutcome {
         let mut outcome = NetworkOutcome::default();
         while let Some(machine) = self.sync_queues.iter().position(|q| !q.is_empty()) {
             let event = self.sync_queues[machine].pop_front().unwrap();
-            outcome.merge(self.step_one(MachineId(machine), &event, now_ms));
+            outcome.sync_deliveries += 1;
+            outcome.merge(self.step_one(MachineId(machine), &event, now_ms, obs));
         }
         outcome
     }
 
-    fn step_one(&mut self, target: MachineId, event: &Event, now_ms: u64) -> NetworkOutcome {
+    fn step_one(
+        &mut self,
+        target: MachineId,
+        event: &Event,
+        now_ms: u64,
+        obs: &mut dyn TransitionObserver,
+    ) -> NetworkOutcome {
         let def = Arc::clone(&self.defs[target.0]);
         let step = self.instances[target.0].step_at(&def, event, &mut self.globals, now_ms);
 
@@ -307,6 +372,14 @@ impl Network {
         };
         if let Some((from, to, label)) = step.taken {
             outcome.transitions = 1;
+            obs.on_transition(
+                now_ms,
+                def.name_sym(),
+                event.name,
+                def.state_sym(from),
+                def.state_sym(to),
+                label,
+            );
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEntry {
                     time_ms: now_ms,
@@ -401,7 +474,10 @@ mod tests {
         assert_eq!(outcome.transitions, 2); // sip step + rtp sync step
         assert!(!outcome.is_suspicious());
         assert_eq!(net.instance(rid).locals().uint("l_port"), Some(49170));
-        assert_eq!(net.instance(rid).state_name(net.definition(rid)), "RTP_OPEN");
+        assert_eq!(
+            net.instance(rid).state_name(net.definition(rid)),
+            "RTP_OPEN"
+        );
         let trace = net.trace().unwrap();
         assert_eq!(trace.path_of("sip"), vec!["INIT", "INVITE_RCVD"]);
         assert_eq!(trace.path_of("rtp"), vec!["INIT", "RTP_OPEN"]);
@@ -425,7 +501,8 @@ mod tests {
         let a = def.add_state("A");
         let b = def.add_state("B");
         let c = def.add_state("C");
-        def.add_transition(a, "go", b).action(|ctx| ctx.set_timer("T", 100));
+        def.add_transition(a, "go", b)
+            .action(|ctx| ctx.set_timer("T", 100));
         def.add_transition(b, "T", c);
         let def = Arc::new(def.build().unwrap());
 
@@ -450,8 +527,10 @@ mod tests {
         let a = def.add_state("A");
         let b = def.add_state("B");
         let c = def.add_state("C");
-        def.add_transition(a, "go", b).action(|ctx| ctx.set_timer("T", 100));
-        def.add_transition(b, "stop", b).action(|ctx| ctx.cancel_timer("T"));
+        def.add_transition(a, "go", b)
+            .action(|ctx| ctx.set_timer("T", 100));
+        def.add_transition(b, "stop", b)
+            .action(|ctx| ctx.cancel_timer("T"));
         def.add_transition(b, "T", c);
         let def = Arc::new(def.build().unwrap());
 

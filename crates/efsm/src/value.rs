@@ -640,7 +640,10 @@ mod tests {
         let mut big = VarMap::new();
         // Owned strings are charged header + capacity; `len` alone
         // undercounted by at least the 24-byte String header.
-        big.set("a", "a-rather-long-call-identifier@host.example.com".to_owned());
+        big.set(
+            "a",
+            "a-rather-long-call-identifier@host.example.com".to_owned(),
+        );
         assert!(big.memory_bytes() > small.memory_bytes());
         assert!(Value::Str(String::new()).memory_bytes() >= mem::size_of::<String>());
     }
@@ -684,7 +687,10 @@ mod tests {
         assert_eq!(v.remove(0), 0);
         v.insert(0, 9);
         assert_eq!(v.as_slice(), &[9, 1, 2, 3, 4]);
-        assert_eq!(v.clone().into_iter().collect::<Vec<_>>(), vec![9, 1, 2, 3, 4]);
+        assert_eq!(
+            v.clone().into_iter().collect::<Vec<_>>(),
+            vec![9, 1, 2, 3, 4]
+        );
 
         let mut inline: InlineVec<u32, 4> = InlineVec::new();
         inline.push(1);

@@ -6,7 +6,6 @@
 //! datagrams, creating the serialization queueing that gives RTP streams
 //! their jitter — and letting experiments dial contention up and down.
 
-
 use crate::node::{AppCtx, Application};
 use crate::packet::{Address, Packet, Payload};
 use crate::time::SimTime;
@@ -136,15 +135,25 @@ mod tests {
     use crate::engine::{LinkSpec, Simulator};
     use crate::node::{Host, Hub};
 
-    fn world(spec: BackgroundSpec, src_addr: Address, sink_addr: Address) -> (Simulator, crate::engine::NodeId, crate::engine::NodeId) {
+    fn world(
+        spec: BackgroundSpec,
+        src_addr: Address,
+        sink_addr: Address,
+    ) -> (Simulator, crate::engine::NodeId, crate::engine::NodeId) {
         let mut sim = Simulator::new(5);
         let hub = sim.add_node(Box::new(Hub::new()));
         let lan = LinkSpec::lan_100base_t();
-        let src = sim.add_node(Box::new(Host::new(src_addr, Box::new(BackgroundSource::new(spec)))));
+        let src = sim.add_node(Box::new(Host::new(
+            src_addr,
+            Box::new(BackgroundSource::new(spec)),
+        )));
         let (su, sd) = sim.add_duplex_link(src, hub, lan);
         sim.node_as_mut::<Host>(src).set_uplink(su);
         sim.node_as_mut::<Hub>(hub).add_port(src_addr.ip, sd);
-        let sink = sim.add_node(Box::new(Host::new(sink_addr, Box::new(BackgroundSink::new()))));
+        let sink = sim.add_node(Box::new(Host::new(
+            sink_addr,
+            Box::new(BackgroundSink::new()),
+        )));
         let (ku, kd) = sim.add_duplex_link(sink, hub, lan);
         sim.node_as_mut::<Host>(sink).set_uplink(ku);
         sim.node_as_mut::<Hub>(hub).add_port(sink_addr.ip, kd);
@@ -163,10 +172,23 @@ mod tests {
         };
         let (mut sim, src, sink) = world(spec, Address::new(10, 1, 0, 1, 9), sink_addr);
         sim.run_until(SimTime::from_secs(21));
-        let sent = sim.node_as::<Host>(src).app_as::<BackgroundSource>().sent_bytes();
-        let bps = (sent + sim.node_as::<Host>(src).app_as::<BackgroundSource>().sent_packets() * 28) as f64 * 8.0 / 20.0;
+        let sent = sim
+            .node_as::<Host>(src)
+            .app_as::<BackgroundSource>()
+            .sent_bytes();
+        let bps = (sent
+            + sim
+                .node_as::<Host>(src)
+                .app_as::<BackgroundSource>()
+                .sent_packets()
+                * 28) as f64
+            * 8.0
+            / 20.0;
         assert!((300_000.0..500_000.0).contains(&bps), "offered {bps} bps");
-        let received = sim.node_as::<Host>(sink).app_as::<BackgroundSink>().received();
+        let received = sim
+            .node_as::<Host>(sink)
+            .app_as::<BackgroundSink>()
+            .received();
         assert!(received > 0);
     }
 
@@ -182,9 +204,17 @@ mod tests {
         };
         let (mut sim, src, _) = world(spec, Address::new(10, 1, 0, 1, 9), sink_addr);
         sim.run_until(SimTime::from_secs(4));
-        assert_eq!(sim.node_as::<Host>(src).app_as::<BackgroundSource>().sent_packets(), 0);
+        assert_eq!(
+            sim.node_as::<Host>(src)
+                .app_as::<BackgroundSource>()
+                .sent_packets(),
+            0
+        );
         sim.run_until(SimTime::from_secs(10));
-        let sent = sim.node_as::<Host>(src).app_as::<BackgroundSource>().sent_packets();
+        let sent = sim
+            .node_as::<Host>(src)
+            .app_as::<BackgroundSource>()
+            .sent_packets();
         // ~1 s at 1 Mbit/s of 528-byte datagrams ≈ 236 packets.
         assert!((100..400).contains(&sent), "sent {sent}");
     }

@@ -224,7 +224,12 @@ impl NodeCtx<'_> {
             return;
         }
         let to = l.to;
-        push(self.queue, self.seq, arrival, Ev::Arrival { node: to, packet });
+        push(
+            self.queue,
+            self.seq,
+            arrival,
+            Ev::Arrival { node: to, packet },
+        );
     }
 
     /// Arms a timer for this node; `token` comes back in `on_timer`.

@@ -35,7 +35,7 @@ pub mod workload;
 
 pub use background::{BackgroundSink, BackgroundSource, BackgroundSpec};
 pub use engine::{LinkId, LinkSpec, NodeId, Simulator};
-pub use node::{Application, AppCtx, Host, Hub, Router, Tap, TapNode};
+pub use node::{AppCtx, Application, Host, Hub, Router, Tap, TapNode};
 pub use packet::{Address, Packet, Payload};
 pub use time::SimTime;
 pub use trace::{CaptureFilter, TraceTap};

@@ -388,7 +388,9 @@ mod tests {
 
     /// Builds: hostA -- hubA -- routerA -- internet -- routerB(tap) -- hubB -- hostB
     /// Reduced two-site topology exercising every node type.
-    fn two_site_sim(tap: Box<dyn Tap>) -> (Simulator, crate::engine::NodeId, crate::engine::NodeId) {
+    fn two_site_sim(
+        tap: Box<dyn Tap>,
+    ) -> (Simulator, crate::engine::NodeId, crate::engine::NodeId) {
         let a_addr = Address::new(10, 1, 0, 2, 5060);
         let b_addr = Address::new(10, 2, 0, 2, 5060);
         let site_a = a_addr.site();

@@ -182,57 +182,11 @@ impl FromIterator<(f64, f64)> for TimeSeries {
 }
 
 /// Fixed-width histogram over `[0, width * bins)` with an overflow bucket.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    width: f64,
-    counts: Vec<u64>,
-    overflow: u64,
-}
-
-impl Histogram {
-    /// Creates a histogram with `bins` buckets of `width` each.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `width <= 0` or `bins == 0`.
-    pub fn new(width: f64, bins: usize) -> Self {
-        assert!(width > 0.0 && bins > 0, "invalid histogram shape");
-        Histogram {
-            width,
-            counts: vec![0; bins],
-            overflow: 0,
-        }
-    }
-
-    /// Adds a sample (negative samples count into bucket 0).
-    pub fn add(&mut self, x: f64) {
-        let idx = (x.max(0.0) / self.width) as usize;
-        match self.counts.get_mut(idx) {
-            Some(c) => *c += 1,
-            None => self.overflow += 1,
-        }
-    }
-
-    /// `(bucket_start, count)` pairs for non-empty buckets.
-    pub fn nonzero(&self) -> Vec<(f64, u64)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| **c > 0)
-            .map(|(i, c)| (i as f64 * self.width, *c))
-            .collect()
-    }
-
-    /// Samples above the histogram range.
-    pub fn overflow(&self) -> u64 {
-        self.overflow
-    }
-
-    /// Total samples.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum::<u64>() + self.overflow
-    }
-}
+///
+/// The implementation lives in `vids-telemetry` (one histogram codebase for
+/// both the QoS evaluation and the runtime metrics); this re-export keeps
+/// the historical `netsim::stats::Histogram` name and API.
+pub use vids_telemetry::LinearHistogram as Histogram;
 
 #[cfg(test)]
 mod tests {

@@ -198,7 +198,9 @@ impl Enterprise {
         let host = self.sim.add_node(Box::new(Host::new(addr, app)));
         let (up, down) = self.sim.add_duplex_link(host, self.inet_hub, lan);
         self.sim.node_as_mut::<Host>(host).set_uplink(up);
-        self.sim.node_as_mut::<Hub>(self.inet_hub).add_port(addr.ip, down);
+        self.sim
+            .node_as_mut::<Hub>(self.inet_hub)
+            .add_port(addr.ip, down);
         (host, addr)
     }
 

@@ -278,7 +278,10 @@ mod pcap_tests {
         let bytes = to_pcap_bytes(&[]);
         assert_eq!(bytes.len(), 24);
         assert_eq!(&bytes[0..4], &0xA1B2_C3D4u32.to_le_bytes());
-        assert_eq!(u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]), 1);
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            1
+        );
     }
 
     #[test]
@@ -288,13 +291,19 @@ mod pcap_tests {
         // 24 global + 16 record header + 14 eth + 20 ip + 8 udp + 22 payload
         assert_eq!(bytes.len(), 24 + 16 + 14 + 20 + 8 + 22);
         // Timestamp: 1.5 s.
-        assert_eq!(u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]), 1);
+        assert_eq!(
+            u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]),
+            1
+        );
         assert_eq!(
             u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]),
             500_000
         );
         // incl_len == orig_len == 64.
-        assert_eq!(u32::from_le_bytes([bytes[32], bytes[33], bytes[34], bytes[35]]), 64);
+        assert_eq!(
+            u32::from_le_bytes([bytes[32], bytes[33], bytes[34], bytes[35]]),
+            64
+        );
         // EtherType IPv4 at offset 24+16+12.
         assert_eq!(&bytes[52..54], &[0x08, 0x00]);
         // Protocol UDP in the IP header.
@@ -306,7 +315,10 @@ mod pcap_tests {
 
     #[test]
     fn ip_checksum_validates() {
-        let cap = [captured(Payload::Sip("OPTIONS sip:h SIP/2.0\r\n\r\n".into()), 10)];
+        let cap = [captured(
+            Payload::Sip("OPTIONS sip:h SIP/2.0\r\n\r\n".into()),
+            10,
+        )];
         let bytes = to_pcap_bytes(&cap);
         let ip_start = 24 + 16 + 14;
         let mut header = [0u8; 20];

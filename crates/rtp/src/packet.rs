@@ -269,7 +269,10 @@ mod tests {
             Err(ParseRtpError::UnsupportedCsrc { count: 2 })
         );
         bytes[0] = 0x90; // extension flag
-        assert_eq!(RtpPacket::parse(&bytes), Err(ParseRtpError::UnsupportedExtension));
+        assert_eq!(
+            RtpPacket::parse(&bytes),
+            Err(ParseRtpError::UnsupportedExtension)
+        );
     }
 
     #[test]

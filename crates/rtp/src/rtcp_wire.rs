@@ -249,7 +249,9 @@ impl fmt::Display for ParseRtcpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseRtcpError::TooShort { len } => write!(f, "RTCP packet too short: {len} bytes"),
-            ParseRtcpError::BadVersion { version } => write!(f, "unsupported RTCP version {version}"),
+            ParseRtcpError::BadVersion { version } => {
+                write!(f, "unsupported RTCP version {version}")
+            }
             ParseRtcpError::LengthMismatch => f.write_str("RTCP length field mismatch"),
             ParseRtcpError::UnknownType { packet_type } => {
                 write!(f, "unsupported RTCP packet type {packet_type}")

@@ -32,7 +32,13 @@ pub enum Codec {
 
 impl Codec {
     /// All registered codecs.
-    pub const ALL: [Codec; 5] = [Codec::Pcmu, Codec::Pcma, Codec::G723, Codec::G729, Codec::Gsm];
+    pub const ALL: [Codec; 5] = [
+        Codec::Pcmu,
+        Codec::Pcma,
+        Codec::G723,
+        Codec::G729,
+        Codec::Gsm,
+    ];
 
     /// The static RTP payload type (RFC 3551).
     pub fn payload_type(&self) -> PayloadType {

@@ -81,7 +81,9 @@ impl MediaDescription {
 
     /// The codecs this section offers (known payload types only).
     pub fn codecs(&self) -> impl Iterator<Item = Codec> + '_ {
-        self.formats.iter().filter_map(|pt| Codec::from_payload_type(*pt))
+        self.formats
+            .iter()
+            .filter_map(|pt| Codec::from_payload_type(*pt))
     }
 
     /// Whether the given payload type is offered.

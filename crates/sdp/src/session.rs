@@ -58,12 +58,15 @@ impl SessionDescription {
     /// Negotiates an answer: keeps only the codecs both sides support,
     /// in the offerer's preference order, answering at `addr`:`port`.
     /// Returns `None` when there is no codec overlap.
-    pub fn answer(&self, user: &str, addr: &str, port: u16, supported: &[Codec]) -> Option<SessionDescription> {
+    pub fn answer(
+        &self,
+        user: &str,
+        addr: &str,
+        port: u16,
+        supported: &[Codec],
+    ) -> Option<SessionDescription> {
         let offer = self.first_audio()?;
-        let common: Vec<Codec> = offer
-            .codecs()
-            .filter(|c| supported.contains(c))
-            .collect();
+        let common: Vec<Codec> = offer.codecs().filter(|c| supported.contains(c)).collect();
         if common.is_empty() {
             return None;
         }
@@ -226,7 +229,12 @@ mod tests {
 
     #[test]
     fn offer_round_trips() {
-        let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729, Codec::Pcmu]);
+        let offer = SessionDescription::audio_offer(
+            "alice",
+            "10.0.0.3",
+            49170,
+            &[Codec::G729, Codec::Pcmu],
+        );
         let parsed: SessionDescription = offer.to_string().parse().unwrap();
         assert_eq!(parsed, offer);
         assert_eq!(parsed.media_addr(), "10.0.0.3");
@@ -253,7 +261,12 @@ mod tests {
 
     #[test]
     fn answer_negotiates_common_codecs() {
-        let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729, Codec::Pcmu]);
+        let offer = SessionDescription::audio_offer(
+            "alice",
+            "10.0.0.3",
+            49170,
+            &[Codec::G729, Codec::Pcmu],
+        );
         let answer = offer
             .answer("bob", "10.0.1.9", 50000, &[Codec::Pcmu, Codec::Gsm])
             .unwrap();
@@ -265,15 +278,21 @@ mod tests {
     #[test]
     fn answer_fails_without_common_codec() {
         let offer = SessionDescription::audio_offer("alice", "10.0.0.3", 49170, &[Codec::G729]);
-        assert!(offer.answer("bob", "10.0.1.9", 50000, &[Codec::Gsm]).is_none());
+        assert!(offer
+            .answer("bob", "10.0.1.9", 50000, &[Codec::Gsm])
+            .is_none());
     }
 
     #[test]
     fn missing_mandatory_lines_fail() {
         assert!("".parse::<SessionDescription>().is_err());
         assert!("v=0\r\n".parse::<SessionDescription>().is_err());
-        assert!("o=a 1 1 IN IP4 h\r\n".parse::<SessionDescription>().is_err());
-        assert!("v=1\r\no=a 1 1 IN IP4 h\r\n".parse::<SessionDescription>().is_err());
+        assert!("o=a 1 1 IN IP4 h\r\n"
+            .parse::<SessionDescription>()
+            .is_err());
+        assert!("v=1\r\no=a 1 1 IN IP4 h\r\n"
+            .parse::<SessionDescription>()
+            .is_err());
     }
 
     #[test]

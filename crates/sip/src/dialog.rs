@@ -106,7 +106,7 @@ impl fmt::Display for DialogId {
 mod tests {
     use super::*;
     use crate::message::Request;
-    
+
     use crate::status::StatusCode;
     use crate::uri::SipUri;
 

@@ -37,10 +37,10 @@
 pub mod auth;
 pub mod dialog;
 pub mod headers;
+pub mod md5;
 pub mod message;
 pub mod method;
 pub mod parse;
-pub mod md5;
 pub mod status;
 pub mod transaction;
 pub mod uri;

@@ -62,10 +62,7 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
             let tmp = d;
             d = c;
             c = b;
-            let sum = a
-                .wrapping_add(f)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
             b = b.wrapping_add(sum.rotate_left(S[i]));
             a = tmp;
         }
@@ -100,7 +97,10 @@ mod tests {
             ("a", "0cc175b9c0f1b6a831c399e269772661"),
             ("abc", "900150983cd24fb0d6963f7d28e17f72"),
             ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
-            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
             (
                 "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
                 "d174ab98d277d9f5a5611c2c9f419d9f",
@@ -133,9 +133,8 @@ mod tests {
     fn rfc2617_digest_example() {
         let ha1 = md5_hex(b"Mufasa:testrealm@host.com:Circle Of Life");
         let ha2 = md5_hex(b"GET:/dir/index.html");
-        let response = md5_hex(
-            format!("{ha1}:dcd98b7102dd2f0e8b11d0f600bfb0c093:{ha2}").as_bytes(),
-        );
+        let response =
+            md5_hex(format!("{ha1}:dcd98b7102dd2f0e8b11d0f600bfb0c093:{ha2}").as_bytes());
         // Value from RFC 2617 §3.5 (no-qop form).
         assert_eq!(response, "670fd8c2df070c60b045671b8b24ff02");
     }

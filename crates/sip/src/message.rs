@@ -52,19 +52,15 @@ impl Request {
         req.headers.push(Header::To(NameAddr::new(to.clone())));
         req.headers.push(Header::CallId(call_id.to_owned()));
         req.headers.push(Header::CSeq(CSeq::new(1, Method::Invite)));
-        req.headers.push(Header::Contact(NameAddr::new(from.clone())));
+        req.headers
+            .push(Header::Contact(NameAddr::new(from.clone())));
         req.headers.push(Header::ContentLength(0));
         req
     }
 
     /// Builds an in-dialog request (ACK, BYE, re-INVITE) reusing the dialog
     /// identifiers of an earlier request.
-    pub fn in_dialog(
-        method: Method,
-        template: &Request,
-        cseq: u32,
-        to_tag: Option<&str>,
-    ) -> Self {
+    pub fn in_dialog(method: Method, template: &Request, cseq: u32, to_tag: Option<&str>) -> Self {
         let mut req = Request::new(method, template.uri.clone());
         if let Some(via) = template.headers.top_via() {
             let branch = format!(

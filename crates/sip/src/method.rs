@@ -124,7 +124,9 @@ impl FromStr for Method {
             .iter()
             .find(|m| m.as_str() == s)
             .copied()
-            .ok_or_else(|| ParseMethodError { token: s.to_owned() })
+            .ok_or_else(|| ParseMethodError {
+                token: s.to_owned(),
+            })
     }
 }
 

@@ -36,7 +36,11 @@ impl ParseMessageError {
 
 impl fmt::Display for ParseMessageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid SIP message at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "invalid SIP message at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -71,9 +75,8 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         if line.is_empty() {
             break;
         }
-        let header = parse_header_line(line).map_err(|reason| {
-            ParseMessageError::new(idx + 1, reason)
-        })?;
+        let header =
+            parse_header_line(line).map_err(|reason| ParseMessageError::new(idx + 1, reason))?;
         headers.push(header);
     }
 
@@ -91,8 +94,7 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         let code: u16 = code_text
             .parse()
             .map_err(|_| ParseMessageError::new(1, "invalid status code"))?;
-        let status = StatusCode::new(code)
-            .map_err(|e| ParseMessageError::new(1, e.to_string()))?;
+        let status = StatusCode::new(code).map_err(|e| ParseMessageError::new(1, e.to_string()))?;
         let mut resp = Response::new(status);
         resp.headers = headers;
         resp.body = body;
@@ -114,7 +116,9 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         }
         let method: Method = method_tok
             .parse()
-            .map_err(|e: crate::method::ParseMethodError| ParseMessageError::new(1, e.to_string()))?;
+            .map_err(|e: crate::method::ParseMethodError| {
+                ParseMessageError::new(1, e.to_string())
+            })?;
         let uri: SipUri = uri_tok
             .parse()
             .map_err(|e: crate::uri::ParseUriError| ParseMessageError::new(1, e.to_string()))?;
@@ -160,9 +164,7 @@ fn parse_header_line(line: &str) -> Result<Header, String> {
                 .parse()
                 .map_err(|_| "invalid Content-Length".to_owned())?,
         ),
-        "Expires" => {
-            Header::Expires(value.parse().map_err(|_| "invalid Expires".to_owned())?)
-        }
+        "Expires" => Header::Expires(value.parse().map_err(|_| "invalid Expires".to_owned())?),
         _ => Header::Other {
             name: name.to_owned(),
             value: value.to_owned(),
@@ -247,10 +249,7 @@ mod tests {
         let msg = parse_message(text).unwrap();
         assert_eq!(msg.call_id(), "compact-1");
         assert_eq!(msg.headers().top_via().unwrap().branch(), Some("z9hG4bKx"));
-        assert_eq!(
-            msg.headers().from_header().unwrap().tag(),
-            Some("1")
-        );
+        assert_eq!(msg.headers().from_header().unwrap().tag(), Some("1"));
     }
 
     #[test]

@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn reason_phrases() {
         assert_eq!(StatusCode::OK.reason_phrase(), "OK");
-        assert_eq!(StatusCode::REQUEST_TERMINATED.reason_phrase(), "Request Terminated");
+        assert_eq!(
+            StatusCode::REQUEST_TERMINATED.reason_phrase(),
+            "Request Terminated"
+        );
         assert_eq!(StatusCode::new(599).unwrap().reason_phrase(), "Unknown");
     }
 }

@@ -181,8 +181,12 @@ impl ClientTransaction {
                         self.linger_at = Some(now + linger);
                         if self.is_invite {
                             // Non-2xx final to INVITE: transaction sends ACK.
-                            let ack =
-                                Request::in_dialog(Method::Ack, &self.request, cseq_of(&self.request), to_tag_of(&resp));
+                            let ack = Request::in_dialog(
+                                Method::Ack,
+                                &self.request,
+                                cseq_of(&self.request),
+                                to_tag_of(&resp),
+                            );
                             actions.push(Action::SendRequest(ack));
                         }
                     }
@@ -337,9 +341,7 @@ impl ServerTransaction {
                     vec![Action::SendResponse(resp)]
                 }
             }
-            ServerState::Completed | ServerState::Confirmed | ServerState::Terminated => {
-                Vec::new()
-            }
+            ServerState::Completed | ServerState::Confirmed | ServerState::Terminated => Vec::new(),
         }
     }
 
@@ -502,7 +504,10 @@ mod tests {
     #[test]
     fn failure_final_generates_ack_and_lingers() {
         let (mut tx, _) = ClientTransaction::start(invite(), 0);
-        let busy = tx.request().response(StatusCode::BUSY_HERE).with_to_tag("bt");
+        let busy = tx
+            .request()
+            .response(StatusCode::BUSY_HERE)
+            .with_to_tag("bt");
         let actions = tx.on_response(busy.clone(), 200);
         assert!(actions
             .iter()

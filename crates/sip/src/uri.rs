@@ -330,8 +330,13 @@ mod tests {
 
     #[test]
     fn address_of_record_strips_port_and_params() {
-        let uri: SipUri = "sip:alice@a.example.com:5070;transport=udp".parse().unwrap();
-        assert_eq!(uri.address_of_record().to_string(), "sip:alice@a.example.com");
+        let uri: SipUri = "sip:alice@a.example.com:5070;transport=udp"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            uri.address_of_record().to_string(),
+            "sip:alice@a.example.com"
+        );
     }
 
     #[test]

@@ -209,14 +209,19 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
             Canonical::CSeq => view.cseq = Some(cseq(value)?),
             Canonical::ContentType => view.content_type = Some(value),
             Canonical::ContentLength => {
-                content_length =
-                    Some(value.parse().map_err(|_| ViewError("invalid Content-Length"))?);
+                content_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ViewError("invalid Content-Length"))?,
+                );
             }
             Canonical::Expires => {
                 view.expires = Some(value.parse().map_err(|_| ViewError("invalid Expires"))?);
             }
             Canonical::MaxForwards => {
-                let _: u32 = value.parse().map_err(|_| ViewError("invalid Max-Forwards"))?;
+                let _: u32 = value
+                    .parse()
+                    .map_err(|_| ViewError("invalid Max-Forwards"))?;
             }
             Canonical::Other => {}
         }
@@ -404,7 +409,10 @@ mod tests {
     fn agrees_with_owned_parser_on_the_monitored_fields() {
         let msgs = [
             invite().to_string(),
-            invite().response(StatusCode::RINGING).with_to_tag("x").to_string(),
+            invite()
+                .response(StatusCode::RINGING)
+                .with_to_tag("x")
+                .to_string(),
             Request::in_dialog(Method::Bye, &invite(), 2, Some("x")).to_string(),
         ];
         for text in &msgs {
@@ -423,14 +431,8 @@ mod tests {
                 view.to.and_then(|t| t.tag),
                 headers.to_header().and_then(|t| t.tag())
             );
-            assert_eq!(
-                view.branch,
-                headers.top_via().and_then(|v| v.branch())
-            );
-            assert_eq!(
-                view.cseq,
-                headers.cseq().map(|c| (c.seq, c.method))
-            );
+            assert_eq!(view.branch, headers.top_via().and_then(|v| v.branch()));
+            assert_eq!(view.cseq, headers.cseq().map(|c| (c.seq, c.method)));
             assert_eq!(view.body, owned.body());
         }
     }
@@ -451,10 +453,8 @@ mod tests {
 
     #[test]
     fn addr_spec_form_hoists_tag() {
-        let view = parse_view(
-            "BYE sip:b@h SIP/2.0\r\nTo: sip:bob@b.example.com;tag=tt\r\n\r\n",
-        )
-        .unwrap();
+        let view =
+            parse_view("BYE sip:b@h SIP/2.0\r\nTo: sip:bob@b.example.com;tag=tt\r\n\r\n").unwrap();
         let to = view.to.unwrap();
         assert_eq!(to.tag, Some("tt"));
         assert_eq!(to.user(), Some("bob"));
@@ -468,7 +468,10 @@ mod tests {
             tag: None,
         };
         assert_eq!(na.host(), "b.example.com");
-        let bare = NameAddrView { uri: "sip:10.0.0.20", tag: None };
+        let bare = NameAddrView {
+            uri: "sip:10.0.0.20",
+            tag: None,
+        };
         assert_eq!(bare.user(), None);
         assert_eq!(bare.host(), "10.0.0.20");
     }

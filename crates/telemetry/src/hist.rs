@@ -1,0 +1,207 @@
+//! Histograms: a lock-free log₂-bucketed one for the hot path, and the
+//! fixed-width linear one used by the netsim QoS evaluation (re-exported
+//! there as `netsim::stats::Histogram`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`; `u64::MAX` lands in bucket 64.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// Bucket index for a value under the log₂ scheme.
+///
+/// Monotonic: `a <= b` implies `bucket_of(a) <= bucket_of(b)`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i` (0 for bucket 0, else `2^(i-1)`).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A log₂-bucketed histogram recorded with one relaxed `fetch_add`.
+///
+/// All storage is fixed at construction; `record` never allocates and
+/// never takes a lock, so it is safe on the zero-allocation packet path.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation of `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket counts out.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of an [`AtomicHistogram`]'s buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Count per log₂ bucket; always [`LOG2_BUCKETS`] long when taken from
+    /// a live histogram, empty when `Default`-constructed.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Add `other`'s counts into `self` bucket-wise. Commutative and
+    /// associative, so merge order across shards cannot change the result.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+    }
+
+    /// `(bucket_lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_lower_bound(i), *c))
+            .collect()
+    }
+}
+
+/// Fixed-width linear histogram for bounded, known-scale measurements
+/// (the netsim QoS evaluation buckets latency/jitter with it).
+///
+/// Values below zero clamp to the first bucket; values past the last
+/// bucket count as overflow.
+#[derive(Debug, Clone)]
+pub struct LinearHistogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl LinearHistogram {
+    /// # Panics
+    /// If `width <= 0` or `bins == 0`.
+    pub fn new(width: f64, bins: usize) -> Self {
+        assert!(
+            width > 0.0 && bins > 0,
+            "histogram needs width > 0, bins > 0"
+        );
+        Self {
+            width,
+            counts: vec![0; bins],
+            overflow: 0,
+        }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        let idx = (x.max(0.0) / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// `(bucket_start, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as f64 * self.width, *c))
+            .collect()
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let h = AtomicHistogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let mut a = h.snapshot();
+        assert_eq!(a.total(), 5);
+
+        let g = AtomicHistogram::new();
+        g.record(1000);
+        a.merge(&g.snapshot());
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.buckets[bucket_of(1000)], 2);
+    }
+
+    #[test]
+    fn linear_matches_netsim_contract() {
+        let mut h = LinearHistogram::new(10.0, 3);
+        h.add(-5.0); // clamps into bucket 0
+        h.add(0.0);
+        h.add(9.99);
+        h.add(15.0);
+        h.add(29.99);
+        h.add(30.0); // first overflowing value
+        h.add(1e9);
+        assert_eq!(h.nonzero(), vec![(0.0, 3), (10.0, 1), (20.0, 1)]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+}

@@ -1,0 +1,207 @@
+//! The fixed metric inventory.
+//!
+//! Every metric the engine records has a compile-time slot here. Recording
+//! is `slab.counters[c as usize].fetch_add(1, Relaxed)` — no hash lookup,
+//! no registration protocol, no allocation. Adding a metric means adding a
+//! variant, a name, and an `ALL` entry; the slab arrays size themselves
+//! from `COUNT`.
+
+/// Monotonic counters. One atomic slot per variant per shard slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// SIP packets accepted by the classifier (requests + responses).
+    SipPackets,
+    /// RTP packets accepted by the classifier.
+    RtpPackets,
+    /// Packets rejected as malformed (classifier or parser).
+    Malformed,
+    /// Packets the classifier declined to analyze (non-VoIP traffic).
+    Ignored,
+    /// RTP packets with no owning call in the media index.
+    UnassociatedRtp,
+    /// SIP requests with no owning call (ghost BYEs and friends).
+    UnassociatedSipRequests,
+    /// SIP responses with no owning call (DRDoS reflection candidates).
+    UnassociatedSipResponses,
+    /// EFSM transitions taken across all machines.
+    Transitions,
+    /// δ-sync events delivered between machines of one call network.
+    SyncDeliveries,
+    /// Timer sweeps executed (interval-gated maintenance passes).
+    TimerSweeps,
+    /// Call fact-base entries created.
+    CallsCreated,
+    /// Call fact-base entries evicted by the timer sweep.
+    CallsEvicted,
+    /// Batches ingested through the pool API.
+    BatchesIngested,
+    /// Packets ingested through the pool API.
+    PacketsIngested,
+    /// Alerts raised with kind `Attack` (post-dedup).
+    AlertsAttack,
+    /// Alerts raised with kind `Deviation` (post-dedup).
+    AlertsDeviation,
+    /// Alerts raised with kind `Nondeterminism` (post-dedup).
+    AlertsNondeterminism,
+    /// Nanoseconds spent in the pool's deterministic merge (wall clock).
+    MergeNanos,
+}
+
+impl Counter {
+    /// Number of counter slots; sizes the slab arrays.
+    pub const COUNT: usize = 18;
+
+    /// Every variant, in slot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::SipPackets,
+        Counter::RtpPackets,
+        Counter::Malformed,
+        Counter::Ignored,
+        Counter::UnassociatedRtp,
+        Counter::UnassociatedSipRequests,
+        Counter::UnassociatedSipResponses,
+        Counter::Transitions,
+        Counter::SyncDeliveries,
+        Counter::TimerSweeps,
+        Counter::CallsCreated,
+        Counter::CallsEvicted,
+        Counter::BatchesIngested,
+        Counter::PacketsIngested,
+        Counter::AlertsAttack,
+        Counter::AlertsDeviation,
+        Counter::AlertsNondeterminism,
+        Counter::MergeNanos,
+    ];
+
+    /// Stable snake_case name used in JSON/CSV export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SipPackets => "sip_packets",
+            Counter::RtpPackets => "rtp_packets",
+            Counter::Malformed => "malformed",
+            Counter::Ignored => "ignored",
+            Counter::UnassociatedRtp => "unassociated_rtp",
+            Counter::UnassociatedSipRequests => "unassociated_sip_requests",
+            Counter::UnassociatedSipResponses => "unassociated_sip_responses",
+            Counter::Transitions => "transitions",
+            Counter::SyncDeliveries => "sync_deliveries",
+            Counter::TimerSweeps => "timer_sweeps",
+            Counter::CallsCreated => "calls_created",
+            Counter::CallsEvicted => "calls_evicted",
+            Counter::BatchesIngested => "batches_ingested",
+            Counter::PacketsIngested => "packets_ingested",
+            Counter::AlertsAttack => "alerts_attack",
+            Counter::AlertsDeviation => "alerts_deviation",
+            Counter::AlertsNondeterminism => "alerts_nondeterminism",
+            Counter::MergeNanos => "merge_nanos",
+        }
+    }
+
+    /// Whether the slot is a pure function of the input trace.
+    ///
+    /// Wall-clock measurements vary run to run and across shard counts;
+    /// [`crate::Snapshot::deterministic`] zeroes the non-deterministic
+    /// slots so snapshots can be compared for shard-count invariance.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Counter::MergeNanos)
+    }
+}
+
+/// Last-value gauges, refreshed from the fact base at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Live call fact-base entries.
+    LiveCalls,
+    /// Estimated resident bytes of the fact base (plus media index for the
+    /// pool-level slab).
+    MemoryBytes,
+}
+
+impl Gauge {
+    /// Number of gauge slots; sizes the slab arrays.
+    pub const COUNT: usize = 2;
+
+    /// Every variant, in slot order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::LiveCalls, Gauge::MemoryBytes];
+
+    /// Stable snake_case name used in JSON/CSV export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::LiveCalls => "live_calls",
+            Gauge::MemoryBytes => "memory_bytes",
+        }
+    }
+
+    /// See [`Counter::is_deterministic`]. Memory is layout-dependent: when
+    /// distinct calls publish identical media coordinates, each owning
+    /// shard keeps its own media-index entry, so the merged byte count
+    /// varies with the shard count even though detection does not.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Gauge::MemoryBytes)
+    }
+}
+
+/// Log₂-bucketed histograms. One [`crate::AtomicHistogram`] per variant
+/// per slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum HistId {
+    /// Packets per ingested batch.
+    BatchSize,
+    /// Nanoseconds per pool merge phase (wall clock).
+    MergeNanos,
+}
+
+impl HistId {
+    /// Number of histogram slots; sizes the slab arrays.
+    pub const COUNT: usize = 2;
+
+    /// Every variant, in slot order.
+    pub const ALL: [HistId; HistId::COUNT] = [HistId::BatchSize, HistId::MergeNanos];
+
+    /// Stable snake_case name used in JSON/CSV export.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::BatchSize => "batch_size",
+            HistId::MergeNanos => "merge_nanos",
+        }
+    }
+
+    /// See [`Counter::is_deterministic`].
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, HistId::MergeNanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_dense_and_named() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "counter {:?} out of slot order", c);
+            assert!(!c.name().is_empty());
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+            assert!(!g.name().is_empty());
+        }
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+            assert!(!h.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn wall_clock_slots_are_flagged() {
+        assert!(!Counter::MergeNanos.is_deterministic());
+        assert!(Counter::Transitions.is_deterministic());
+        assert!(!HistId::MergeNanos.is_deterministic());
+        assert!(HistId::BatchSize.is_deterministic());
+        assert!(!Gauge::MemoryBytes.is_deterministic());
+        assert!(Gauge::LiveCalls.is_deterministic());
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixed-capacity ring buffer of recent EFSM transitions.
+//!
+//! Each engine (one per pool shard) keeps one ring. Pushing a record
+//! overwrites the oldest entry once full and never allocates after
+//! construction — records are `Copy` structs of interned symbols. When an
+//! alert fires, the engine filters the ring by the alert's scope symbol
+//! and renders those records into the alert's forensic trace.
+
+use vids_efsm::Sym;
+
+/// One EFSM transition, fully interned (7 words, `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// Engine clock at the time of the transition, in milliseconds.
+    pub time_ms: u64,
+    /// Scope the transition belongs to: a Call-ID, an AOR, or a dotted
+    /// destination IP, depending on which fact drove it.
+    pub scope: Sym,
+    /// Machine definition name (e.g. `sip_call`, `rtp_flow`).
+    pub machine: Sym,
+    /// Event that drove the transition.
+    pub event: Sym,
+    /// Source state name.
+    pub from: Sym,
+    /// Destination state name.
+    pub to: Sym,
+    /// Transition label, when the definition names one.
+    pub label: Option<Sym>,
+}
+
+impl TransitionRecord {
+    /// Render one human-readable trace line, e.g.
+    /// `t=1500ms sip_call INVITE: idle -> proceeding [setup]`.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "t={}ms {} {}: {} -> {}",
+            self.time_ms,
+            self.machine.as_str(),
+            self.event.as_str(),
+            self.from.as_str(),
+            self.to.as_str()
+        );
+        if let Some(label) = self.label {
+            line.push_str(" [");
+            line.push_str(label.as_str());
+            line.push(']');
+        }
+        line
+    }
+}
+
+/// Overwriting ring of [`TransitionRecord`]s. Capacity is fixed at
+/// construction; `push` is allocation-free.
+#[derive(Debug)]
+pub struct TransitionRing {
+    buf: Vec<TransitionRecord>,
+    head: usize,
+    capacity: usize,
+}
+
+impl TransitionRing {
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "transition ring needs capacity > 0");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a record, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, rec: TransitionRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TransitionRecord> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> TransitionRecord {
+        TransitionRecord {
+            time_ms: t,
+            scope: Sym::intern("call-1"),
+            machine: Sym::intern("sip_call"),
+            event: Sym::intern("INVITE"),
+            from: Sym::intern("idle"),
+            to: Sym::intern("proceeding"),
+            label: None,
+        }
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let mut ring = TransitionRing::new(3);
+        for t in 0..5 {
+            ring.push(rec(t));
+        }
+        assert_eq!(ring.len(), 3);
+        let times: Vec<u64> = ring.iter().map(|r| r.time_ms).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn push_does_not_grow_past_capacity() {
+        let mut ring = TransitionRing::new(2);
+        for t in 0..100 {
+            ring.push(rec(t));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.capacity(), 2);
+    }
+
+    #[test]
+    fn renders_with_and_without_label() {
+        let mut r = rec(1500);
+        assert_eq!(r.render(), "t=1500ms sip_call INVITE: idle -> proceeding");
+        r.label = Some(Sym::intern("setup"));
+        assert_eq!(
+            r.render(),
+            "t=1500ms sip_call INVITE: idle -> proceeding [setup]"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Periodic due-checker for driving snapshots off a monotonic clock.
+//!
+//! The netsim testbed runs on simulated time, so the sampler is a pure
+//! function of the caller's clock — no threads, no wall time. Ask it
+//! `due(now_ms)` whenever convenient; it fires at most once per interval
+//! and catches up (without bursting) after a gap.
+
+/// Fires every `interval_ms` of caller-supplied time.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval_ms: u64,
+    next_ms: u64,
+}
+
+impl Sampler {
+    /// # Panics
+    /// If `interval_ms == 0`.
+    pub fn new(interval_ms: u64) -> Self {
+        assert!(interval_ms > 0, "sampler needs interval > 0");
+        Self {
+            interval_ms,
+            next_ms: interval_ms,
+        }
+    }
+
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// True when a sample is due at `now_ms`. Advances the deadline past
+    /// `now_ms`, so a long gap yields one sample, not a burst.
+    pub fn due(&mut self, now_ms: u64) -> bool {
+        if now_ms < self.next_ms {
+            return false;
+        }
+        while self.next_ms <= now_ms {
+            self.next_ms += self.interval_ms;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_per_interval() {
+        let mut s = Sampler::new(100);
+        assert!(!s.due(0));
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        assert!(!s.due(150));
+        assert!(s.due(200));
+    }
+
+    #[test]
+    fn gap_yields_single_sample_then_resumes() {
+        let mut s = Sampler::new(100);
+        assert!(s.due(1_050)); // missed 10 deadlines -> one sample
+        assert!(!s.due(1_099));
+        assert!(s.due(1_100)); // next deadline is the following multiple
+    }
+}

@@ -1,0 +1,308 @@
+//! Owned, serializable copies of the metric slabs.
+//!
+//! Export is hand-rolled JSON-lines and CSV: every value is a `u64` or a
+//! static name, so a serialization dependency would buy nothing and cost
+//! a crate on the build graph.
+
+use crate::hist::HistSnapshot;
+use crate::metrics::{Counter, Gauge, HistId};
+
+/// Owned copy of one [`crate::ShardSlab`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlabSnapshot {
+    /// Counter values, indexed by `Counter as usize`.
+    pub counters: Vec<u64>,
+    /// Gauge values, indexed by `Gauge as usize`.
+    pub gauges: Vec<u64>,
+    /// Histogram snapshots, indexed by `HistId as usize`.
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl SlabSnapshot {
+    /// Zero-filled snapshot with every slot present (unlike `Default`,
+    /// whose vectors are empty).
+    pub fn zeroed() -> Self {
+        Self {
+            counters: vec![0; Counter::COUNT],
+            gauges: vec![0; Gauge::COUNT],
+            hists: vec![HistSnapshot::default(); HistId::COUNT],
+        }
+    }
+
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c as usize).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges.get(g as usize).copied().unwrap_or(0)
+    }
+
+    pub fn hist(&self, h: HistId) -> &HistSnapshot {
+        static EMPTY: HistSnapshot = HistSnapshot {
+            buckets: Vec::new(),
+        };
+        self.hists.get(h as usize).unwrap_or(&EMPTY)
+    }
+
+    /// Fold `other` into `self`: counters and gauges add (gauges are
+    /// per-shard resources, so the merged gauge is the shard sum),
+    /// histograms merge bucket-wise. Commutative and associative.
+    pub fn merge(&mut self, other: &SlabSnapshot) {
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize(other.counters.len(), 0);
+        }
+        for (i, v) in other.counters.iter().enumerate() {
+            self.counters[i] += v;
+        }
+        if self.gauges.len() < other.gauges.len() {
+            self.gauges.resize(other.gauges.len(), 0);
+        }
+        for (i, v) in other.gauges.iter().enumerate() {
+            self.gauges[i] += v;
+        }
+        if self.hists.len() < other.hists.len() {
+            self.hists
+                .resize(other.hists.len(), HistSnapshot::default());
+        }
+        for (i, h) in other.hists.iter().enumerate() {
+            self.hists[i].merge(h);
+        }
+    }
+
+    /// Zero the layout- and wall-clock-dependent slots (`merge_nanos`
+    /// counter and histogram, `memory_bytes` gauge) so two snapshots of the
+    /// same logical work compare equal regardless of scheduling or shard
+    /// count.
+    pub fn zero_nondeterministic(&mut self) {
+        for c in Counter::ALL {
+            if !c.is_deterministic() {
+                if let Some(v) = self.counters.get_mut(c as usize) {
+                    *v = 0;
+                }
+            }
+        }
+        for g in Gauge::ALL {
+            if !g.is_deterministic() {
+                if let Some(v) = self.gauges.get_mut(g as usize) {
+                    *v = 0;
+                }
+            }
+        }
+        for h in HistId::ALL {
+            if !h.is_deterministic() {
+                if let Some(hs) = self.hists.get_mut(h as usize) {
+                    *hs = HistSnapshot::default();
+                }
+            }
+        }
+    }
+}
+
+/// Point-in-time copy of every slab in a [`crate::Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Caller-supplied clock (engine milliseconds).
+    pub time_ms: u64,
+    /// One snapshot per shard slab, in shard order.
+    pub shards: Vec<SlabSnapshot>,
+    /// The pool-level slab.
+    pub pool: SlabSnapshot,
+}
+
+impl Snapshot {
+    /// Fold all shard slabs plus the pool slab into one total.
+    pub fn merged(&self) -> SlabSnapshot {
+        let mut out = SlabSnapshot::zeroed();
+        for s in &self.shards {
+            out.merge(s);
+        }
+        out.merge(&self.pool);
+        out
+    }
+
+    /// The shard-count-invariance comparison object: merged totals with
+    /// wall-clock slots zeroed. Two runs of the same trace through 1 or N
+    /// shards must produce equal values here.
+    pub fn deterministic(&self) -> SlabSnapshot {
+        let mut out = self.merged();
+        out.zero_nondeterministic();
+        out
+    }
+
+    /// One line of JSON: merged counters/gauges by name, histograms as
+    /// `{"total": N, "buckets": [[lower_bound, count], ...]}`.
+    pub fn to_jsonl(&self) -> String {
+        let m = self.merged();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"time_ms\":");
+        push_u64(&mut out, self.time_ms);
+        out.push_str(",\"shards\":");
+        push_u64(&mut out, self.shards.len() as u64);
+        out.push_str(",\"counters\":{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, c.name());
+            push_u64(&mut out, m.counter(*c));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, g.name());
+            push_u64(&mut out, m.gauge(*g));
+        }
+        out.push_str("},\"hists\":{");
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, h.name());
+            let hs = m.hist(*h);
+            out.push_str("{\"total\":");
+            push_u64(&mut out, hs.total());
+            out.push_str(",\"buckets\":[");
+            for (j, (lo, count)) in hs.nonzero().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_u64(&mut out, *lo);
+                out.push(',');
+                push_u64(&mut out, *count);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Header row matching [`Snapshot::to_csv_row`].
+    pub fn csv_header() -> String {
+        let mut out = String::from("time_ms,shards");
+        for c in Counter::ALL {
+            out.push(',');
+            out.push_str(c.name());
+        }
+        for g in Gauge::ALL {
+            out.push(',');
+            out.push_str(g.name());
+        }
+        for h in HistId::ALL {
+            out.push(',');
+            out.push_str(h.name());
+            out.push_str("_total");
+        }
+        out
+    }
+
+    /// One CSV row of merged values (histograms export their totals; the
+    /// bucket detail is JSON-only).
+    pub fn to_csv_row(&self) -> String {
+        let m = self.merged();
+        let mut out = String::with_capacity(256);
+        push_u64(&mut out, self.time_ms);
+        out.push(',');
+        push_u64(&mut out, self.shards.len() as u64);
+        for c in Counter::ALL {
+            out.push(',');
+            push_u64(&mut out, m.counter(c));
+        }
+        for g in Gauge::ALL {
+            out.push(',');
+            push_u64(&mut out, m.gauge(g));
+        }
+        for h in HistId::ALL {
+            out.push(',');
+            push_u64(&mut out, m.hist(h).total());
+        }
+        out
+    }
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    // itoa without the dependency: u64::MAX is 20 digits.
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("digits are ascii"));
+}
+
+fn push_key(out: &mut String, name: &str) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new(2);
+        reg.shard(0).add(Counter::SipPackets, 10);
+        reg.shard(1).add(Counter::SipPackets, 5);
+        reg.shard(0).set_gauge(Gauge::LiveCalls, 2);
+        reg.shard(1).set_gauge(Gauge::LiveCalls, 1);
+        reg.pool().record(HistId::BatchSize, 32);
+        reg.pool().add(Counter::MergeNanos, 123_456);
+        reg.pool().record(HistId::MergeNanos, 123_456);
+        reg.snapshot(5_000)
+    }
+
+    #[test]
+    fn jsonl_is_one_line_and_carries_merged_values() {
+        let line = sample().to_jsonl();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"time_ms\":5000,\"shards\":2,"));
+        assert!(line.contains("\"sip_packets\":15"));
+        assert!(line.contains("\"live_calls\":3"));
+        assert!(line.contains("\"batch_size\":{\"total\":1,\"buckets\":[[32,1]]}"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let snap = sample();
+        let header = Snapshot::csv_header();
+        let row = snap.to_csv_row();
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "header: {header}\nrow: {row}"
+        );
+        assert!(header.ends_with("batch_size_total,merge_nanos_total"));
+    }
+
+    #[test]
+    fn deterministic_view_zeroes_wall_clock_slots() {
+        let snap = sample();
+        assert_eq!(snap.merged().counter(Counter::MergeNanos), 123_456);
+        let det = snap.deterministic();
+        assert_eq!(det.counter(Counter::MergeNanos), 0);
+        assert_eq!(det.hist(HistId::MergeNanos).total(), 0);
+        // Deterministic slots survive.
+        assert_eq!(det.counter(Counter::SipPackets), 15);
+        assert_eq!(det.hist(HistId::BatchSize).total(), 1);
+    }
+
+    #[test]
+    fn push_u64_formats_extremes() {
+        let mut s = String::new();
+        push_u64(&mut s, 0);
+        s.push(',');
+        push_u64(&mut s, u64::MAX);
+        assert_eq!(s, "0,18446744073709551615");
+    }
+}

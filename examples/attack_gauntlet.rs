@@ -63,24 +63,28 @@ fn main() {
         );
     }) as i32;
 
-    score += run_scenario("BYE DoS (cross-protocol)", labels::RTP_AFTER_BYE, |tb, atk| {
-        let snap = tb
-            .run_until_call_established(0, secs(1), secs(60))
-            .expect("call");
-        let at = tb.ent.sim.now() + secs(1);
-        let (victim, spoof_src) = snap.endpoints(Target::Callee);
-        let message = craft::spoofed_bye(&snap, Target::Callee);
-        for k in 0..3 {
-            tb.attacker_mut(atk).schedule(
-                at + SimTime::from_millis(k * 100),
-                AttackKind::SpoofedBye {
-                    victim,
-                    message: message.clone(),
-                    spoof_src,
-                },
-            );
-        }
-    }) as i32;
+    score += run_scenario(
+        "BYE DoS (cross-protocol)",
+        labels::RTP_AFTER_BYE,
+        |tb, atk| {
+            let snap = tb
+                .run_until_call_established(0, secs(1), secs(60))
+                .expect("call");
+            let at = tb.ent.sim.now() + secs(1);
+            let (victim, spoof_src) = snap.endpoints(Target::Callee);
+            let message = craft::spoofed_bye(&snap, Target::Callee);
+            for k in 0..3 {
+                tb.attacker_mut(atk).schedule(
+                    at + SimTime::from_millis(k * 100),
+                    AttackKind::SpoofedBye {
+                        victim,
+                        message: message.clone(),
+                        spoof_src,
+                    },
+                );
+            }
+        },
+    ) as i32;
 
     score += run_scenario("media spamming", labels::MEDIA_SPAM, |tb, atk| {
         let snap = tb

@@ -28,6 +28,9 @@ fn main() {
         config.workload.mean_interarrival_secs = 5.0;
         config.workload.mean_duration_secs = 600.0;
         let mut tb = Testbed::build(&config);
+        // Telemetry on: alerts carry the offending call's recent EFSM
+        // transitions, and we hand a final metric snapshot to the console.
+        tb.enable_telemetry(64);
         let (attacker, _) = tb.add_attacker();
 
         // Launch a media-spam attack once a call is up.
@@ -79,12 +82,19 @@ fn main() {
             }
         }
         // Channel closes when tx drops; the console loop ends.
+        tb.vids().and_then(|v| v.telemetry_snapshot(now))
     });
 
     println!("vids live monitor — waiting for alerts...\n");
     for (seen_at, alert) in rx {
         println!("[console @ {seen_at}] {alert}");
+        for line in &alert.trace {
+            println!("    {line}");
+        }
     }
-    worker.join().expect("simulation thread");
+    let snapshot = worker.join().expect("simulation thread");
+    if let Some(snap) = snapshot {
+        println!("\nfinal telemetry: {}", snap.to_jsonl());
+    }
     println!("\nsimulation finished.");
 }

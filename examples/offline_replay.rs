@@ -11,8 +11,8 @@ use vids::attacks::craft::{self, Target};
 use vids::attacks::AttackKind;
 use vids::core::report::AlertReport;
 use vids::core::{Config, VidsPool};
-use vids::netsim::time::SimTime;
 use vids::netsim::node::TapNode;
+use vids::netsim::time::SimTime;
 use vids::netsim::trace::{CaptureFilter, TraceTap};
 use vids::netsim::workload::WorkloadSpec;
 use vids::scenario::{Testbed, TestbedConfig};
@@ -32,7 +32,11 @@ fn main() {
         mean_duration_secs: 600.0,
         horizon: secs(30),
     };
-    let mut tb = build_with_trace(&config);
+    // A 100k-packet VoIP-only trace tap instead of the inline monitor.
+    let mut tb = Testbed::build_capture(
+        &config,
+        Box::new(TraceTap::new(100_000).with_filter(CaptureFilter::VoipOnly)),
+    );
     let (attacker, _) = tb.add_attacker();
     let snap = tb
         .run_until_call_established(0, secs(1), secs(60))
@@ -69,8 +73,15 @@ fn main() {
     }
     tb.run_until(at + secs(8));
 
-    let tap = tb.ent.sim.node_as::<TapNode>(tb.ent.tap).tap_as::<TraceTap>();
-    println!("captured {} VoIP packets at the perimeter", tap.captured().len());
+    let tap = tb
+        .ent
+        .sim
+        .node_as::<TapNode>(tb.ent.tap)
+        .tap_as::<TraceTap>();
+    println!(
+        "captured {} VoIP packets at the perimeter",
+        tap.captured().len()
+    );
     println!("busiest flows:");
     for (flow, n) in tap.flow_summary().into_iter().take(5) {
         println!("  {n:>6}  {flow}");
@@ -95,7 +106,10 @@ fn main() {
     offline.process_batch(&batch, SimTime::ZERO);
     offline.tick(tap.captured().last().map(|c| c.at).unwrap_or(SimTime::ZERO) + secs(30));
 
-    println!("\noffline analysis of the capture ({} shards):", offline.shards());
+    println!(
+        "\noffline analysis of the capture ({} shards):",
+        offline.shards()
+    );
     let report = AlertReport::from_alerts(offline.alerts());
     print!("{report}");
     println!("\nCSV:\n{}", report.to_csv());
@@ -106,59 +120,4 @@ fn main() {
     if std::fs::write(&path, &pcap).is_ok() {
         println!("pcap written to {} ({} bytes)", path.display(), pcap.len());
     }
-}
-
-/// The Fig. 7 testbed with a 100k-packet VoIP-only trace tap mounted.
-fn build_with_trace(config: &TestbedConfig) -> Testbed {
-    use vids::agents::proxy::Proxy;
-    use vids::agents::ua::{UaConfig, UserAgent};
-    use vids::agents::{site_domain, ua_uri};
-    use vids::netsim::topology::{proxy_addr, Enterprise, SITE_A, SITE_B};
-
-    let plan = vids::netsim::workload::CallPlan::generate(&config.workload, config.seed);
-    let plan_ref = &plan;
-    let ent = Enterprise::build(
-        config.seed,
-        config.uas_per_site,
-        config.uas_per_site,
-        Box::new(TraceTap::new(100_000).with_filter(CaptureFilter::VoipOnly)),
-        move |i, addr| {
-            let cfg = UaConfig::new(
-                format!("ua{i}"),
-                site_domain(SITE_A),
-                addr,
-                proxy_addr(SITE_A),
-            );
-            let calls = plan_ref
-                .for_caller(i)
-                .map(|c| vids::agents::call::PlannedCall {
-                    at: c.start,
-                    callee: ua_uri(c.callee, site_domain(SITE_B)),
-                    duration: c.duration,
-                })
-                .collect();
-            Box::new(UserAgent::new(cfg, calls))
-        },
-        |i, addr| {
-            let cfg = UaConfig::new(
-                format!("ua{i}"),
-                site_domain(SITE_B),
-                addr,
-                proxy_addr(SITE_B),
-            );
-            Box::new(UserAgent::new(cfg, Vec::new()))
-        },
-        |addr| {
-            let mut p = Proxy::new(addr, site_domain(SITE_A));
-            p.add_remote_domain(site_domain(SITE_B), proxy_addr(SITE_B));
-            Box::new(p)
-        },
-        |addr| {
-            let mut p = Proxy::new(addr, site_domain(SITE_B));
-            p.add_remote_domain(site_domain(SITE_A), proxy_addr(SITE_A));
-            Box::new(p)
-        },
-    );
-    // Wrap in the scenario harness type for its sniffing helpers.
-    Testbed::from_parts(ent, plan, false)
 }

@@ -23,13 +23,19 @@ fn main() {
         .run_until_call_established(0, SimTime::from_secs(1), SimTime::from_secs(120))
         .expect("a call should establish");
     println!("call established: {}", snap.call_id);
-    println!("  caller {} -> callee {}", snap.caller_addr, snap.callee_addr);
+    println!(
+        "  caller {} -> callee {}",
+        snap.caller_addr, snap.callee_addr
+    );
     println!(
         "  media: {} (ssrc {:#010x})",
         snap.callee_media.unwrap(),
         snap.caller_ssrc.unwrap()
     );
-    println!("  alerts so far: {} (clean traffic)", tb.vids_alerts().len());
+    println!(
+        "  alerts so far: {} (clean traffic)",
+        tb.vids_alerts().len()
+    );
 
     // Phase 2: the attacker sniffed the dialog and forges a BYE to the
     // callee, impersonating the caller. The callee hangs up; the caller,

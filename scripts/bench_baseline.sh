@@ -30,7 +30,9 @@ doc = json.load(open(path))
 cur = doc["current"]
 mapping = {
     "vids_mixed_fig8_elem_per_s": "hot_path/vids_mixed_fig8",
+    "vids_mixed_fig8_telemetry_elem_per_s": "hot_path/vids_mixed_fig8_telemetry",
     "pool_mixed_fig8_4_shards_elem_per_s": "hot_path/pool_mixed_fig8_4_shards",
+    "pool_mixed_fig8_4_shards_telemetry_elem_per_s": "hot_path/pool_mixed_fig8_4_shards_telemetry",
 }
 for key, bench_id in mapping.items():
     if bench_id in rates:

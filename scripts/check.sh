@@ -5,8 +5,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo test -p vids-core"
 cargo test --offline -p vids-core -q
+
+echo "==> cargo test -p vids-telemetry"
+cargo test --offline -p vids-telemetry -q
 
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -14,7 +20,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Hot-path crates additionally reject silent per-packet allocations that
 # plain `-D warnings` lets through (see tests/alloc_budget.rs).
 echo "==> cargo clippy (hot-path crates, allocation lints)"
-cargo clippy --offline -p vids-efsm -p vids-core --all-targets -- \
+cargo clippy --offline -p vids-efsm -p vids-telemetry -p vids-core --all-targets -- \
     -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string

@@ -19,6 +19,9 @@
 //! * [`attacks`] — injectors for every §3 threat.
 //! * [`core`] — **vids itself**: classifier, fact base, protocol machines,
 //!   attack patterns, analysis engine, inline tap.
+//! * [`telemetry`] — runtime observability: per-shard atomic counters,
+//!   gauges and log-bucketed histograms merged into deterministic
+//!   snapshots, plus the per-call transition rings behind alert traces.
 //! * [`scenario`] — a one-call harness wiring all of the above: build the
 //!   enterprise testbed with or without vids inline, run workloads, launch
 //!   attacks, read back alerts and QoS measurements.
@@ -45,5 +48,6 @@ pub use vids_netsim as netsim;
 pub use vids_rtp as rtp;
 pub use vids_sdp as sdp;
 pub use vids_sip as sip;
+pub use vids_telemetry as telemetry;
 
 pub mod scenario;

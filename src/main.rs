@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! vids simulate [--minutes N] [--seed S] [--uas N] [--no-vids] [--auth] [--csv FILE]
+//!               [--telemetry FILE] [--telemetry-interval SECS]
+//! vids top [--shards N] [--seconds S] [--seed S]
 //! vids machines [--dot DIR]
 //! vids sensitivity
 //! ```
@@ -11,6 +13,7 @@ use std::io::Write as _;
 
 use vids::core::alert::AlertKind;
 use vids::core::report::AlertReport;
+use vids::core::telemetry::Snapshot;
 use vids::efsm::analysis::{attack_paths, to_dot};
 use vids::netsim::stats::Summary;
 use vids::netsim::time::SimTime;
@@ -20,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("machines") => machines(&args[1..]),
         Some("sensitivity") => sensitivity(),
         Some("help") | Some("--help") | None => {
@@ -42,7 +46,13 @@ fn usage() {
          USAGE:\n\
          \x20 vids simulate [--minutes N] [--seed S] [--uas N] [--interarrival S] [--duration S]\n\
          \x20              [--no-vids] [--auth] [--csv FILE]\n\
-         \x20     run the Fig. 7 enterprise testbed and print the evaluation summary\n\
+         \x20              [--telemetry FILE] [--telemetry-interval SECS]\n\
+         \x20     run the Fig. 7 enterprise testbed and print the evaluation summary;\n\
+         \x20     --telemetry samples monitor metrics every SECS (default 10) of sim\n\
+         \x20     time into FILE (JSON lines, or CSV when FILE ends in .csv)\n\
+         \x20 vids top [--shards N] [--seconds S] [--seed S]\n\
+         \x20     capture a short workload, replay it through a telemetry-enabled\n\
+         \x20     N-shard pool and print the per-shard metric table\n\
          \x20 vids machines [--dot DIR]\n\
          \x20     print the specification machines' attack patterns; optionally write\n\
          \x20     Graphviz .dot files to DIR\n\
@@ -63,9 +73,15 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn simulate(args: &[String]) -> i32 {
-    let minutes: u64 = flag_value(args, "--minutes").and_then(|v| v.parse().ok()).unwrap_or(5);
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let uas: usize = flag_value(args, "--uas").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let minutes: u64 = flag_value(args, "--minutes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let uas: usize = flag_value(args, "--uas")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
 
     let interarrival: f64 = flag_value(args, "--interarrival")
         .and_then(|v| v.parse().ok())
@@ -85,9 +101,25 @@ fn simulate(args: &[String]) -> i32 {
         config = config.without_vids();
     }
 
+    let telemetry_path = flag_value(args, "--telemetry");
+    let telemetry_interval: u64 = flag_value(args, "--telemetry-interval")
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(10);
+
     eprintln!("simulating {uas} UAs/site for {minutes} min (seed {seed})...");
     let mut tb = Testbed::build(&config);
-    tb.run_until(SimTime::from_secs(minutes * 60 + 60));
+    let end = SimTime::from_secs(minutes * 60 + 60);
+    let series = if telemetry_path.is_some() {
+        if tb.enable_telemetry(256).is_none() {
+            eprintln!("--telemetry requires the inline monitor (drop --no-vids)");
+            return 2;
+        }
+        tb.run_sampled(end, SimTime::from_secs(telemetry_interval))
+    } else {
+        tb.run_until(end);
+        Vec::new()
+    };
 
     let mut setup = Summary::new();
     let mut rtp_delay = Summary::new();
@@ -109,14 +141,19 @@ fn simulate(args: &[String]) -> i32 {
         println!("              {:?}", vids.vids().counters());
         println!("              {:?}", vids.vids().factbase_stats());
         println!("              memory {} B", vids.vids().memory_bytes());
-        println!("              CPU overhead {:.2} %", vids.cpu_overhead() * 100.0);
+        println!(
+            "              CPU overhead {:.2} %",
+            vids.cpu_overhead() * 100.0
+        );
         let report = AlertReport::from_alerts(vids.alerts());
         print!("{report}");
         if report.count_kind(AlertKind::Attack) == 0 {
             println!("verdict: clean run, zero false positives");
         }
         if let Some(path) = flag_value(args, "--csv") {
-            match std::fs::File::create(path).and_then(|mut f| f.write_all(report.to_csv().as_bytes())) {
+            match std::fs::File::create(path)
+                .and_then(|mut f| f.write_all(report.to_csv().as_bytes()))
+            {
                 Ok(()) => println!("alert CSV written to {path}"),
                 Err(e) => {
                     eprintln!("cannot write {path}: {e}");
@@ -127,6 +164,171 @@ fn simulate(args: &[String]) -> i32 {
     } else {
         println!("monitor:      none (baseline run)");
     }
+    if let Some(path) = telemetry_path {
+        let mut out = String::new();
+        if path.ends_with(".csv") {
+            out.push_str(&Snapshot::csv_header());
+            out.push('\n');
+            for (_, snap) in &series {
+                out.push_str(&snap.to_csv_row());
+                out.push('\n');
+            }
+        } else {
+            for (_, snap) in &series {
+                out.push_str(&snap.to_jsonl());
+                out.push('\n');
+            }
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => println!(
+                "telemetry:    {} samples (every {telemetry_interval} s) written to {path}",
+                series.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// `vids top`: a one-shot metric table in the spirit of `top(1)` — capture
+/// a short workload at the perimeter, replay it through a telemetry-enabled
+/// sharded pool, and print where the packets, transitions and memory went.
+fn top(args: &[String]) -> i32 {
+    use vids::core::telemetry::{Counter, Gauge, HistId};
+    use vids::core::{Config, CostModel, VidsPool};
+    use vids::netsim::node::TapNode;
+    use vids::netsim::trace::{CaptureFilter, TraceTap};
+
+    let shards: usize = flag_value(args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let seconds: u64 = flag_value(args, "--seconds")
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(60);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // Phase 1: record `seconds` of the small-testbed workload at the tap.
+    let mut config = TestbedConfig::small(seed);
+    config.workload.mean_interarrival_secs = 5.0;
+    config.workload.mean_duration_secs = 15.0;
+    config.workload.horizon = SimTime::from_secs(seconds);
+    let mut tb = Testbed::build_capture(
+        &config,
+        Box::new(TraceTap::new(1_000_000).with_filter(CaptureFilter::VoipOnly)),
+    );
+    tb.run_until(SimTime::from_secs(seconds + 30));
+    let tap = tb
+        .ent
+        .sim
+        .node_as::<TapNode>(tb.ent.tap)
+        .tap_as::<TraceTap>();
+    let batch: Vec<_> = tap
+        .captured()
+        .iter()
+        .map(|c| {
+            let mut p = c.packet.clone();
+            p.sent_at = c.at;
+            p
+        })
+        .collect();
+    eprintln!(
+        "captured {} packets over {seconds} s (seed {seed})",
+        batch.len()
+    );
+
+    // Phase 2: replay through a telemetry-enabled pool, 100 packets per
+    // batch (timestamps ride along in `sent_at`).
+    let cfg = match Config::builder().shards(shards).build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad --shards {shards}: {e}");
+            return 2;
+        }
+    };
+    let mut pool = VidsPool::with_cost(cfg, CostModel::free());
+    pool.enable_telemetry(256);
+    let mut end = SimTime::ZERO;
+    for chunk in batch.chunks(100) {
+        end = chunk.last().map(|p| p.sent_at).unwrap_or(end);
+        pool.process_batch(chunk, end);
+    }
+    end += SimTime::from_secs(30);
+    pool.tick(end);
+    let snap = pool
+        .telemetry_snapshot(end)
+        .expect("telemetry enabled above");
+
+    const COLS: [Counter; 7] = [
+        Counter::SipPackets,
+        Counter::RtpPackets,
+        Counter::Transitions,
+        Counter::SyncDeliveries,
+        Counter::CallsCreated,
+        Counter::CallsEvicted,
+        Counter::AlertsAttack,
+    ];
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>8} {:>8} {:>8} {:>8} {:>6} {:>10}",
+        "shard",
+        "sip",
+        "rtp",
+        "transitions",
+        "sync",
+        "created",
+        "evicted",
+        "attacks",
+        "live",
+        "mem(B)"
+    );
+    for (i, s) in snap.shards.iter().enumerate() {
+        print!("{i:>6}");
+        for c in COLS {
+            let w = if c == Counter::Transitions { 12 } else { 8 };
+            print!(" {:>w$}", s.counter(c));
+        }
+        println!(
+            " {:>6} {:>10}",
+            s.gauge(Gauge::LiveCalls),
+            s.gauge(Gauge::MemoryBytes)
+        );
+    }
+    let merged = snap.merged();
+    print!("{:>6}", "total");
+    for c in COLS {
+        let w = if c == Counter::Transitions { 12 } else { 8 };
+        print!(" {:>w$}", merged.counter(c));
+    }
+    println!(
+        " {:>6} {:>10}",
+        merged.gauge(Gauge::LiveCalls),
+        merged.gauge(Gauge::MemoryBytes)
+    );
+    println!(
+        "\npool:  {} batches, {} packets, {} sweeps, {} malformed, {} ignored",
+        snap.pool.counter(Counter::BatchesIngested),
+        snap.pool.counter(Counter::PacketsIngested),
+        snap.pool.counter(Counter::TimerSweeps),
+        snap.pool.counter(Counter::Malformed),
+        snap.pool.counter(Counter::Ignored),
+    );
+    let sizes = snap.pool.hist(HistId::BatchSize);
+    print!("batch sizes:");
+    for (lo, n) in sizes.nonzero() {
+        print!("  >={lo}: {n}");
+    }
+    println!();
+    println!(
+        "merge: {} ns total across {} merges",
+        snap.pool.counter(Counter::MergeNanos),
+        snap.pool.hist(HistId::MergeNanos).total(),
+    );
     0
 }
 
@@ -176,14 +378,24 @@ fn sensitivity() -> i32 {
     println!("INVITE flooding: detection delay vs. attack rate (N=10, T1=1s)");
     println!("{:>12} {:>18}", "rate (pps)", "delay (ms)");
     for rate in [20.0, 50.0, 100.0, 200.0, 1000.0f64] {
-        let def = Arc::new(window_counter_machine("flood", "SIP.INVITE", 10, 1_000, "f"));
+        let def = Arc::new(window_counter_machine(
+            "flood",
+            "SIP.INVITE",
+            10,
+            1_000,
+            "f",
+        ));
         let mut net = Network::new();
         let id = net.add_machine(def);
         let gap = (1_000.0 / rate) as u64;
         let mut t = 0u64;
         let delay = loop {
             net.advance_time(t);
-            if !net.deliver(id, Event::data("SIP.INVITE"), t).alerts.is_empty() {
+            if !net
+                .deliver(id, Event::data("SIP.INVITE"), t)
+                .alerts
+                .is_empty()
+            {
                 break Some(t);
             }
             t += gap.max(1);
@@ -194,9 +406,13 @@ fn sensitivity() -> i32 {
         println!(
             "{:>12} {:>18}",
             rate,
-            delay.map(|d| d.to_string()).unwrap_or_else(|| "none".into())
+            delay
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "none".into())
         );
     }
-    println!("\n(see `cargo bench -p vids-bench --bench detection_sensitivity` for the full E7 tables)");
+    println!(
+        "\n(see `cargo bench -p vids-bench --bench detection_sensitivity` for the full E7 tables)"
+    );
     0
 }

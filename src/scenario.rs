@@ -7,6 +7,8 @@
 //! node. Attackers attach to the Internet core and are armed between
 //! simulation phases with identifiers "sniffed" from the victim UAs.
 
+use std::sync::Arc;
+
 use vids_agents::call::{CallState, PlannedCall};
 use vids_agents::proxy::Proxy;
 use vids_agents::ua::{UaConfig, UaStats, UserAgent};
@@ -16,6 +18,7 @@ use vids_core::alert::Alert;
 use vids_core::cost::CostModel;
 use vids_core::sink::CollectSink;
 use vids_core::tap::VidsTap;
+use vids_core::telemetry::{Registry, Snapshot};
 use vids_core::{Config, Monitor};
 use vids_netsim::engine::NodeId;
 use vids_netsim::node::{Host, PassiveTap, Tap, TapNode};
@@ -103,11 +106,25 @@ impl Testbed {
     /// seed replay identical call patterns (the paper's Figs. 9–10
     /// comparisons rely on this).
     pub fn build(config: &TestbedConfig) -> Testbed {
-        let plan = CallPlan::generate(&config.workload, config.seed);
         let tap: Box<dyn Tap> = match &config.vids {
             Some((cfg, cost)) => Box::new(VidsTap::with_cost(*cfg, *cost)),
             None => Box::new(PassiveTap),
         };
+        let has_vids = config.vids.is_some();
+        Testbed::build_with_tap(config, tap, has_vids)
+    }
+
+    /// Builds the testbed with a caller-supplied capture tap (e.g. a
+    /// recording [`vids_netsim::trace::TraceTap`]) while keeping the full
+    /// workload and misbehavior wiring of [`Testbed::build`]. The harness
+    /// treats the run as vids-less: [`Testbed::vids`] returns `None` and
+    /// the capture is read back by downcasting the tap node directly.
+    pub fn build_capture(config: &TestbedConfig, tap: Box<dyn Tap>) -> Testbed {
+        Testbed::build_with_tap(config, tap, false)
+    }
+
+    fn build_with_tap(config: &TestbedConfig, tap: Box<dyn Tap>, has_vids: bool) -> Testbed {
+        let plan = CallPlan::generate(&config.workload, config.seed);
         let fraud = config.fraud_caller_0;
         let reinvite = config.reinvite_caller_0;
         let auth: Option<String> = config.bye_auth.then(|| "s3cret".to_owned());
@@ -164,7 +181,7 @@ impl Testbed {
         Testbed {
             ent,
             plan,
-            has_vids: config.vids.is_some(),
+            has_vids,
         }
     }
 
@@ -189,6 +206,35 @@ impl Testbed {
     /// Advances the simulation to `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.ent.sim.run_until(t);
+    }
+
+    /// Enables telemetry on the inline monitor (`None` when running the
+    /// passive baseline); see [`VidsTap::enable_telemetry`].
+    pub fn enable_telemetry(&mut self, ring_capacity: usize) -> Option<Arc<Registry>> {
+        self.vids_mut().map(|v| v.enable_telemetry(ring_capacity))
+    }
+
+    /// Advances the simulation to `until`, taking a telemetry snapshot
+    /// every `every` of simulated time (and a final one at `until` when the
+    /// horizon is not a multiple of the interval). Returns the sampled
+    /// series; empty when vids is not mounted or telemetry is not enabled —
+    /// call [`Testbed::enable_telemetry`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_sampled(&mut self, until: SimTime, every: SimTime) -> Vec<(SimTime, Snapshot)> {
+        assert!(!every.is_zero(), "sampling interval must be positive");
+        let mut series = Vec::new();
+        let mut now = self.ent.sim.now();
+        while now < until {
+            now = (now + every).min(until);
+            self.run_until(now);
+            if let Some(snap) = self.vids().and_then(|v| v.telemetry_snapshot(now)) {
+                series.push((now, snap));
+            }
+        }
+        series
     }
 
     /// A site-A UA by index.
@@ -267,7 +313,10 @@ impl Testbed {
     /// capture. `None` when the UA has no established call.
     pub fn sniff_established_call(&self, caller: usize) -> Option<DialogSnapshot> {
         let ua = self.ua_a(caller);
-        let call_id = ua.calls_in_state(CallState::Established).into_iter().next()?;
+        let call_id = ua
+            .calls_in_state(CallState::Established)
+            .into_iter()
+            .next()?;
         let info = ua.call_info(&call_id)?;
         // The callee address: resolved from the planned callee index via
         // the call's To URI user part (`ua{i}`).
@@ -340,7 +389,11 @@ mod tests {
         tb.run_until(SimTime::from_secs(80));
         let placed: u64 = (0..2).map(|i| tb.ua_a_stats(i).calls_placed).sum();
         assert!(placed >= 1, "workload placed {placed} calls");
-        assert!(tb.vids_alerts().is_empty(), "alerts: {:?}", tb.vids_alerts());
+        assert!(
+            tb.vids_alerts().is_empty(),
+            "alerts: {:?}",
+            tb.vids_alerts()
+        );
         assert!(tb.vids().unwrap().packets_seen() > 100);
     }
 
@@ -350,6 +403,33 @@ mod tests {
         let tb = Testbed::build(&config);
         assert!(tb.vids().is_none());
         assert!(tb.vids_alerts().is_empty());
+    }
+
+    #[test]
+    fn sampled_run_yields_monotone_snapshots() {
+        use vids_core::telemetry::Counter;
+
+        let mut config = TestbedConfig::small(11);
+        config.workload.horizon = SimTime::from_secs(40);
+        let mut tb = Testbed::build(&config);
+        assert!(tb.enable_telemetry(64).is_some());
+        let series = tb.run_sampled(SimTime::from_secs(75), SimTime::from_secs(10));
+        assert_eq!(series.len(), 8, "10 s interval over 75 s: 7 full + 1 final");
+        assert_eq!(series.last().unwrap().0, SimTime::from_secs(75));
+        let mut last = 0u64;
+        for (t, snap) in &series {
+            assert_eq!(snap.time_ms, t.as_millis());
+            let sip = snap.merged().counter(Counter::SipPackets);
+            assert!(sip >= last, "counters never decrease");
+            last = sip;
+        }
+        assert!(last > 0, "the workload produced SIP traffic");
+        // Baseline run samples nothing.
+        let mut passive = Testbed::build(&TestbedConfig::small(11).without_vids());
+        assert!(passive.enable_telemetry(64).is_none());
+        assert!(passive
+            .run_sampled(SimTime::from_secs(10), SimTime::from_secs(5))
+            .is_empty());
     }
 
     #[test]

@@ -135,7 +135,9 @@ fn establish(call_id: &str) -> Vec<(Packet, u64)> {
 /// established call. All of its strings are interned by the time it is
 /// measured; it changes no media state and arms no timer.
 fn stale_ringing(call_id: &str) -> Packet {
-    let ringing = invite(call_id).response(StatusCode::RINGING).with_to_tag("tt");
+    let ringing = invite(call_id)
+        .response(StatusCode::RINGING)
+        .with_to_tag("tt");
     pkt(CALLEE, CALLER, Payload::Sip(ringing.to_string()))
 }
 
@@ -148,7 +150,11 @@ fn warm_packets_meet_the_allocation_budget() {
         vids.process_into(&packet, SimTime::from_millis(t), &mut sink);
     }
     // Warm every lazily-touched path once before measuring.
-    vids.process_into(&stale_ringing("budget-1"), SimTime::from_millis(30), &mut sink);
+    vids.process_into(
+        &stale_ringing("budget-1"),
+        SimTime::from_millis(30),
+        &mut sink,
+    );
     vids.process_into(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
 
     let sip = stale_ringing("budget-1");
@@ -182,23 +188,105 @@ fn warm_packets_meet_the_allocation_budget() {
     }
     // Warm batches of both sizes: the per-batch queue/classify buffers are
     // pre-sized, so batch size must not change the allocation count.
-    let small: Vec<Packet> = (0..8u16).map(|i| rtp_fwd(110 + i, 2_000 + i as u32 * 80)).collect();
-    let large: Vec<Packet> = (0..32u16).map(|i| rtp_fwd(120 + i, 3_000 + i as u32 * 80)).collect();
+    let small: Vec<Packet> = (0..8u16)
+        .map(|i| rtp_fwd(110 + i, 2_000 + i as u32 * 80))
+        .collect();
+    let large: Vec<Packet> = (0..32u16)
+        .map(|i| rtp_fwd(120 + i, 3_000 + i as u32 * 80))
+        .collect();
     pool.process_batch_into(&small, SimTime::from_millis(50), &mut sink);
     pool.process_batch_into(&large, SimTime::from_millis(55), &mut sink);
 
-    let small2: Vec<Packet> = (0..8u16).map(|i| rtp_fwd(160 + i, 6_000 + i as u32 * 80)).collect();
-    let large2: Vec<Packet> = (0..32u16).map(|i| rtp_fwd(170 + i, 7_000 + i as u32 * 80)).collect();
-    let n_small = count_allocs(|| {
-        pool.process_batch_into(&small2, SimTime::from_millis(60), &mut sink)
-    });
-    let n_large = count_allocs(|| {
-        pool.process_batch_into(&large2, SimTime::from_millis(65), &mut sink)
-    });
+    let small2: Vec<Packet> = (0..8u16)
+        .map(|i| rtp_fwd(160 + i, 6_000 + i as u32 * 80))
+        .collect();
+    let large2: Vec<Packet> = (0..32u16)
+        .map(|i| rtp_fwd(170 + i, 7_000 + i as u32 * 80))
+        .collect();
+    let n_small =
+        count_allocs(|| pool.process_batch_into(&small2, SimTime::from_millis(60), &mut sink));
+    let n_large =
+        count_allocs(|| pool.process_batch_into(&large2, SimTime::from_millis(65), &mut sink));
     eprintln!("pool batches: 8 packets -> {n_small}, 32 packets -> {n_large} allocations");
     assert_eq!(
         n_small, n_large,
         "pool batch allocations must be constant in batch size \
+         (8 packets: {n_small}, 32 packets: {n_large})"
+    );
+    assert!(
+        sink.alerts().is_empty(),
+        "budget traffic must be clean: {:?}",
+        sink.alerts()
+    );
+
+    // ---- the same budgets with telemetry recording enabled --------------
+    // The record path is relaxed atomics on preallocated slabs and an
+    // in-place ring overwrite; it must not move the budget at all.
+    let mut vids = Vids::new(Config::default());
+    let _registry = vids.enable_telemetry(64);
+    let mut sink = CollectSink::new();
+    for (packet, t) in establish("budget-tel") {
+        vids.process_into(&packet, SimTime::from_millis(t), &mut sink);
+    }
+    vids.process_into(
+        &stale_ringing("budget-tel"),
+        SimTime::from_millis(30),
+        &mut sink,
+    );
+    vids.process_into(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
+
+    let sip = stale_ringing("budget-tel");
+    let n = count_allocs(|| vids.process_into(&sip, SimTime::from_millis(40), &mut sink));
+    eprintln!("warm SIP packet with telemetry: {n} allocations");
+    assert!(
+        n <= SIP_BUDGET,
+        "telemetry record path broke the SIP budget: {n} allocations (budget {SIP_BUDGET})"
+    );
+
+    let rtp = rtp_fwd(105, 1_200);
+    let n = count_allocs(|| vids.process_into(&rtp, SimTime::from_millis(41), &mut sink));
+    eprintln!("warm RTP packet with telemetry: {n} allocations");
+    assert_eq!(
+        n, 0,
+        "telemetry record path must not allocate on RTP, made {n}"
+    );
+
+    let config = Config::builder().shards(4).build().unwrap();
+    let mut pool = VidsPool::new(config);
+    pool.enable_telemetry(64);
+    let mut sink = CollectSink::new();
+    for (packet, t) in establish("budget-pool-tel") {
+        pool.process_batch_into(
+            std::slice::from_ref(&packet),
+            SimTime::from_millis(t),
+            &mut sink,
+        );
+    }
+    let small: Vec<Packet> = (0..8u16)
+        .map(|i| rtp_fwd(110 + i, 2_000 + i as u32 * 80))
+        .collect();
+    let large: Vec<Packet> = (0..32u16)
+        .map(|i| rtp_fwd(120 + i, 3_000 + i as u32 * 80))
+        .collect();
+    pool.process_batch_into(&small, SimTime::from_millis(50), &mut sink);
+    pool.process_batch_into(&large, SimTime::from_millis(55), &mut sink);
+
+    let small2: Vec<Packet> = (0..8u16)
+        .map(|i| rtp_fwd(160 + i, 6_000 + i as u32 * 80))
+        .collect();
+    let large2: Vec<Packet> = (0..32u16)
+        .map(|i| rtp_fwd(170 + i, 7_000 + i as u32 * 80))
+        .collect();
+    let n_small =
+        count_allocs(|| pool.process_batch_into(&small2, SimTime::from_millis(60), &mut sink));
+    let n_large =
+        count_allocs(|| pool.process_batch_into(&large2, SimTime::from_millis(65), &mut sink));
+    eprintln!(
+        "pool batches with telemetry: 8 packets -> {n_small}, 32 packets -> {n_large} allocations"
+    );
+    assert_eq!(
+        n_small, n_large,
+        "telemetry made pool batch allocations batch-size-dependent \
          (8 packets: {n_small}, 32 packets: {n_large})"
     );
     assert!(

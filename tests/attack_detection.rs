@@ -223,7 +223,9 @@ fn rtp_flood_from_foreign_source_is_detected() {
     );
     tb.run_until(attack_at + secs(5));
     assert!(
-        labels_of(&tb).iter().any(|l| l == labels::RTP_FOREIGN_SOURCE),
+        labels_of(&tb)
+            .iter()
+            .any(|l| l == labels::RTP_FOREIGN_SOURCE),
         "alerts: {:?}",
         tb.vids_alerts()
     );
@@ -255,7 +257,9 @@ fn codec_change_flood_is_detected() {
     );
     tb.run_until(attack_at + secs(5));
     assert!(
-        labels_of(&tb).iter().any(|l| l == labels::RTP_CODEC_VIOLATION),
+        labels_of(&tb)
+            .iter()
+            .any(|l| l == labels::RTP_CODEC_VIOLATION),
         "alerts: {:?}",
         tb.vids_alerts()
     );
@@ -295,7 +299,10 @@ fn call_hijack_reinvite_is_detected() {
         .app_as::<vids::attacks::Attacker>()
         .stats()
         .packets_received;
-    assert!(hijacked > 0, "attacker received {hijacked} hijacked packets");
+    assert!(
+        hijacked > 0,
+        "attacker received {hijacked} hijacked packets"
+    );
 }
 
 #[test]
@@ -360,5 +367,9 @@ fn attack_alerts_carry_attack_kind_and_time() {
         .expect("flood alert");
     assert_eq!(alert.kind, AlertKind::Attack);
     // The flood started at t=5 s and the 11th INVITE lands ~55 ms later.
-    assert!(alert.time_ms >= 5_000 && alert.time_ms < 7_000, "t={}", alert.time_ms);
+    assert!(
+        alert.time_ms >= 5_000 && alert.time_ms < 7_000,
+        "t={}",
+        alert.time_ms
+    );
 }

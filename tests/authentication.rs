@@ -92,7 +92,9 @@ fn spoofed_bye_is_neutralized_by_auth_and_raises_no_false_alarm() {
     // And crucially: no rtp-after-bye false positive — the monitor saw the
     // 401 and re-opened the RTP machine.
     assert!(
-        !tb.vids_alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE),
+        !tb.vids_alerts()
+            .iter()
+            .any(|a| a.label == labels::RTP_AFTER_BYE),
         "alerts: {:?}",
         tb.vids_alerts()
     );
@@ -112,7 +114,9 @@ fn authenticated_but_misbehaving_ua_is_still_detected() {
     let authenticated: u64 = (0..2).map(|i| tb.ua_b(i).stats().authenticated_byes).sum();
     assert!(authenticated >= 1, "the fraudster authenticated its BYE");
     assert!(
-        tb.vids_alerts().iter().any(|a| a.label == labels::RTP_AFTER_BYE),
+        tb.vids_alerts()
+            .iter()
+            .any(|a| a.label == labels::RTP_AFTER_BYE),
         "cross-protocol detection must survive authentication: {:?}",
         tb.vids_alerts()
     );

@@ -64,9 +64,17 @@ fn finished_calls_are_evicted_keeping_memory_bounded() {
         stats.calls_evicted,
         stats.calls_created
     );
-    assert!(vids.monitored_calls() <= 2, "still monitoring {}", vids.monitored_calls());
+    assert!(
+        vids.monitored_calls() <= 2,
+        "still monitoring {}",
+        vids.monitored_calls()
+    );
     // §7.3: monitoring memory stays small once calls finish.
-    assert!(vids.memory_bytes() < 64 * 1024, "memory {}", vids.memory_bytes());
+    assert!(
+        vids.memory_bytes() < 64 * 1024,
+        "memory {}",
+        vids.memory_bytes()
+    );
 }
 
 #[test]
@@ -92,10 +100,7 @@ fn deterministic_replay_produces_identical_alert_logs() {
     let run = |seed: u64| {
         let mut tb = Testbed::build(&busy_config(seed, 2));
         tb.run_until(SimTime::from_secs(150));
-        (
-            tb.vids_alerts().to_vec(),
-            tb.vids().unwrap().packets_seen(),
-        )
+        (tb.vids_alerts().to_vec(), tb.vids().unwrap().packets_seen())
     };
     let (a1, p1) = run(7);
     let (a2, p2) = run(7);

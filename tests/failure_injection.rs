@@ -115,8 +115,13 @@ fn malformed_and_truncated_datagrams_do_not_crash_anything() {
     sim.node_as_mut::<Hub>(hub).add_port(gun_addr.ip, gd);
     sim.run_to_completion();
 
-    let ua_ref = sim.node_as::<Host>(ua_node).app_as::<vids::agents::UserAgent>();
-    assert!(ua_ref.stats().sip_malformed > 0, "garbage was seen and survived");
+    let ua_ref = sim
+        .node_as::<Host>(ua_node)
+        .app_as::<vids::agents::UserAgent>();
+    assert!(
+        ua_ref.stats().sip_malformed > 0,
+        "garbage was seen and survived"
+    );
     assert!(ua_ref.stats().rtp_stray > 0);
 }
 
@@ -143,7 +148,11 @@ fn monitor_survives_garbage_crossing_the_perimeter() {
             id: i as u64,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(&pkt, SimTime::from_millis(i as u64), &mut vids::core::NullSink);
+        vids.process_into(
+            &pkt,
+            SimTime::from_millis(i as u64),
+            &mut vids::core::NullSink,
+        );
     }
     let c = vids.counters();
     assert!(c.malformed > 0);

@@ -98,8 +98,14 @@ fn sync_events_outrank_data_events() {
         .for_machine("rtp")
         .map(|e| e.event.clone())
         .collect();
-    let update_pos = rtp_steps.iter().position(|e| e.contains("δ.update")).unwrap();
-    let packet_pos = rtp_steps.iter().position(|e| e.contains("RTP.Packet")).unwrap();
+    let update_pos = rtp_steps
+        .iter()
+        .position(|e| e.contains("δ.update"))
+        .unwrap();
+    let packet_pos = rtp_steps
+        .iter()
+        .position(|e| e.contains("RTP.Packet"))
+        .unwrap();
     assert!(
         update_pos < packet_pos,
         "δ must be drained before the data event: {rtp_steps:?}"
@@ -128,7 +134,9 @@ fn machines_stay_deterministic_through_a_busy_call() {
     drive(
         &mut net,
         sip,
-        Event::data("SIP.1xx").with_str("to_tag", "tt").with_str("cseq_method", "INVITE"),
+        Event::data("SIP.1xx")
+            .with_str("to_tag", "tt")
+            .with_str("cseq_method", "INVITE"),
     );
     drive(
         &mut net,
@@ -140,7 +148,13 @@ fn machines_stay_deterministic_through_a_busy_call() {
             .with_str("sdp_ip", "10.2.0.10")
             .with_uint("sdp_port", 30_000),
     );
-    drive(&mut net, sip, Event::data("SIP.ACK").with_str("from_tag", "ft").with_str("to_tag", "tt"));
+    drive(
+        &mut net,
+        sip,
+        Event::data("SIP.ACK")
+            .with_str("from_tag", "ft")
+            .with_str("to_tag", "tt"),
+    );
     for i in 0..50u64 {
         let (src, dst, port, ssrc) = if i % 2 == 0 {
             ("10.1.0.10", "10.2.0.10", 30_000u64, 7u64)
@@ -183,7 +197,11 @@ fn machines_stay_deterministic_through_a_busy_call() {
             .with_str("to_tag", "tt")
             .with_str("cseq_method", "BYE"),
     );
-    drive(&mut net, sip, Event::data("SIP.2xx").with_str("cseq_method", "BYE"));
+    drive(
+        &mut net,
+        sip,
+        Event::data("SIP.2xx").with_str("cseq_method", "BYE"),
+    );
     net.advance_time(t + 10_000);
 
     assert!(!nondet, "predicates must be mutually disjoint (Def. 1)");

@@ -51,15 +51,33 @@ fn clean_call(trace: &mut Vec<(Packet, SimTime)>, k: u8, t0: u64) {
     let inv = invite(&format!("det-clean-{k}"), &caller_ip, 20_000);
     trace.push(pkt(caller, callee, Payload::Sip(inv.to_string()), t0, 0));
     let ringing = inv.response(StatusCode::RINGING).with_to_tag("tt");
-    trace.push(pkt(callee, caller, Payload::Sip(ringing.to_string()), t0 + 30, 0));
+    trace.push(pkt(
+        callee,
+        caller,
+        Payload::Sip(ringing.to_string()),
+        t0 + 30,
+        0,
+    ));
     let answer = SessionDescription::audio_offer("bob", &callee_ip, 30_000, &[Codec::G729]);
     let ok = inv
         .response(StatusCode::OK)
         .with_to_tag("tt")
         .with_body(vids::sdp::MIME_TYPE, answer.to_string());
-    trace.push(pkt(callee, caller, Payload::Sip(ok.to_string()), t0 + 60, 0));
+    trace.push(pkt(
+        callee,
+        caller,
+        Payload::Sip(ok.to_string()),
+        t0 + 60,
+        0,
+    ));
     let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
-    trace.push(pkt(caller, callee, Payload::Sip(ack.to_string()), t0 + 90, 0));
+    trace.push(pkt(
+        caller,
+        callee,
+        Payload::Sip(ack.to_string()),
+        t0 + 90,
+        0,
+    ));
     for i in 0..10u16 {
         let fwd = RtpPacket::new(18, 100 + i, (i as u32) * 80, 7).with_payload(vec![0; 10]);
         trace.push(pkt(
@@ -79,9 +97,21 @@ fn clean_call(trace: &mut Vec<(Packet, SimTime)>, k: u8, t0: u64) {
         ));
     }
     let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("tt"));
-    trace.push(pkt(caller, callee, Payload::Sip(bye.to_string()), t0 + 260, 0));
+    trace.push(pkt(
+        caller,
+        callee,
+        Payload::Sip(bye.to_string()),
+        t0 + 260,
+        0,
+    ));
     let bye_ok = bye.response(StatusCode::OK);
-    trace.push(pkt(callee, caller, Payload::Sip(bye_ok.to_string()), t0 + 290, 0));
+    trace.push(pkt(
+        callee,
+        caller,
+        Payload::Sip(bye_ok.to_string()),
+        t0 + 290,
+        0,
+    ));
 }
 
 fn register_packet(src: Address, registrar: Address, contact_ip: &str, expires: u32) -> Payload {
@@ -93,9 +123,11 @@ fn register_packet(src: Address, registrar: Address, contact_ip: &str, expires: 
         .push(Header::From(NameAddr::new(aor.clone()).with_tag("rt")));
     req.headers.push(Header::To(NameAddr::new(aor)));
     req.headers.push(Header::CallId("det-reg".to_owned()));
-    req.headers.push(Header::CSeq(CSeq::new(1, Method::Register)));
     req.headers
-        .push(Header::Contact(NameAddr::new(SipUri::new("roamer", contact_ip))));
+        .push(Header::CSeq(CSeq::new(1, Method::Register)));
+    req.headers.push(Header::Contact(NameAddr::new(SipUri::new(
+        "roamer", contact_ip,
+    ))));
     req.headers.push(Header::Expires(expires));
     req.headers.push(Header::ContentLength(0));
     let _ = registrar;
@@ -269,13 +301,75 @@ fn shard_count_never_changes_the_alert_sequence() {
     );
     assert!(reference.iter().any(|a| a.label == labels::RTP_AFTER_BYE));
     assert!(reference.iter().any(|a| a.label == labels::RESPONSE_FLOOD));
-    assert!(reference.iter().any(|a| a.label == labels::REGISTRATION_HIJACK));
+    assert!(reference
+        .iter()
+        .any(|a| a.label == labels::REGISTRATION_HIJACK));
     assert!(reference.iter().any(|a| a.label == "unassociated-rtp"));
     assert!(reference.iter().any(|a| a.label.starts_with("malformed-")));
     for shards in [4usize, 8] {
         let (alerts, counters) = run_pool(shards, 25);
         assert_eq!(reference, alerts, "{shards} shards diverged from 1 shard");
         assert_eq!(ref_counters, counters);
+    }
+}
+
+/// Like [`run_pool`], but with telemetry enabled; returns the
+/// wall-clock-free merged snapshot and the alert log.
+fn run_pool_telemetry(
+    shards: usize,
+    batch_size: usize,
+) -> (vids::telemetry::SlabSnapshot, Vec<Alert>) {
+    let config = Config::builder().shards(shards).build().unwrap();
+    let mut pool = VidsPool::with_cost(config, CostModel::free());
+    pool.enable_telemetry(64);
+    let trace = mixed_trace();
+    for chunk in trace.chunks(batch_size) {
+        let now = chunk[0].1;
+        let packets: Vec<Packet> = chunk.iter().map(|(p, _)| p.clone()).collect();
+        pool.process_batch(&packets, now);
+    }
+    pool.tick(SimTime::from_secs(30));
+    pool.tick(SimTime::from_secs(40));
+    let snap = pool.telemetry_snapshot(SimTime::from_secs(40)).unwrap();
+    (snap.deterministic(), pool.alerts().to_vec())
+}
+
+#[test]
+fn telemetry_snapshot_is_shard_count_invariant() {
+    use vids::telemetry::Counter;
+
+    let (reference, ref_alerts) = run_pool_telemetry(1, 25);
+    assert!(reference.counter(Counter::Transitions) > 0);
+    assert!(reference.counter(Counter::SyncDeliveries) > 0);
+    assert!(reference.counter(Counter::AlertsAttack) > 0);
+    assert_eq!(
+        reference.counter(Counter::MergeNanos),
+        0,
+        "deterministic() must zero wall-clock slots"
+    );
+    // Machine-attributed alerts carry the offending scope's recent
+    // transitions; telemetry is on, so none of them may be empty.
+    let machine_labels = [
+        labels::INVITE_FLOOD,
+        labels::RTP_AFTER_BYE,
+        labels::RESPONSE_FLOOD,
+        labels::REGISTRATION_HIJACK,
+    ];
+    for label in machine_labels {
+        let alert = ref_alerts
+            .iter()
+            .find(|a| a.label == label)
+            .unwrap_or_else(|| panic!("{label} missing"));
+        assert!(!alert.trace.is_empty(), "{label} alert has no trace");
+    }
+    assert!(reference.gauge(vids::telemetry::Gauge::LiveCalls) > 0);
+    for shards in [4usize, 8] {
+        let (snap, alerts) = run_pool_telemetry(shards, 25);
+        assert_eq!(
+            reference, snap,
+            "{shards}-shard merged telemetry diverged from 1 shard"
+        );
+        assert_eq!(ref_alerts, alerts);
     }
 }
 

@@ -21,15 +21,13 @@ fn arb_host() -> impl Strategy<Value = String> {
 }
 
 fn arb_uri() -> impl Strategy<Value = SipUri> {
-    (arb_user(), arb_host(), proptest::option::of(1024u16..65535)).prop_map(
-        |(user, host, port)| {
-            let uri = SipUri::new(user, host);
-            match port {
-                Some(p) => uri.with_port(p),
-                None => uri,
-            }
-        },
-    )
+    (arb_user(), arb_host(), proptest::option::of(1024u16..65535)).prop_map(|(user, host, port)| {
+        let uri = SipUri::new(user, host);
+        match port {
+            Some(p) => uri.with_port(p),
+            None => uri,
+        }
+    })
 }
 
 proptest! {
@@ -255,7 +253,15 @@ mod valid_flows {
             any::<bool>(),
         )
             .prop_map(
-                |(invite_retrans, ringing_count, ok_retrans, media_packets, media_loss_stride, bye_retrans, drop_bye_ok)| FlowShape {
+                |(
+                    invite_retrans,
+                    ringing_count,
+                    ok_retrans,
+                    media_packets,
+                    media_loss_stride,
+                    bye_retrans,
+                    drop_bye_ok,
+                )| FlowShape {
                     invite_retrans,
                     ringing_count,
                     ok_retrans,
@@ -346,6 +352,83 @@ mod valid_flows {
         fn valid_flows_never_alert(shape in arb_flow()) {
             let alerts = run_flow(&shape);
             prop_assert!(alerts.is_empty(), "{shape:?} -> {alerts:?}");
+        }
+    }
+}
+
+/// Properties of the telemetry log₂ histogram: the bucket map is monotone,
+/// recording conserves the total count, and merging is associative and
+/// commutative (the pool merges shard histograms in arbitrary groupings, so
+/// the grouping must never show in a snapshot).
+mod telemetry_hist {
+    use proptest::prelude::*;
+    use vids::telemetry::{AtomicHistogram, HistSnapshot};
+
+    fn record_all(values: &[u64]) -> HistSnapshot {
+        let h = AtomicHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_of_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                vids::telemetry::bucket_of(lo) <= vids::telemetry::bucket_of(hi),
+                "bucket_of({lo}) > bucket_of({hi})"
+            );
+        }
+
+        #[test]
+        fn every_value_lands_at_or_above_its_bucket_lower_bound(v in any::<u64>()) {
+            let b = vids::telemetry::bucket_of(v);
+            prop_assert!(vids::telemetry::bucket_lower_bound(b) <= v);
+            if b + 1 < vids::telemetry::LOG2_BUCKETS {
+                prop_assert!(v < vids::telemetry::bucket_lower_bound(b + 1));
+            }
+        }
+
+        #[test]
+        fn recording_conserves_the_total(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let snap = record_all(&values);
+            prop_assert_eq!(snap.total(), values.len() as u64);
+            let nonzero_sum: u64 = snap.nonzero().iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(nonzero_sum, values.len() as u64);
+        }
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            xs in proptest::collection::vec(any::<u64>(), 0..60),
+            ys in proptest::collection::vec(any::<u64>(), 0..60),
+            zs in proptest::collection::vec(any::<u64>(), 0..60),
+        ) {
+            let (x, y, z) = (record_all(&xs), record_all(&ys), record_all(&zs));
+
+            // (x ∪ y) ∪ z == x ∪ (y ∪ z)
+            let mut left = x.clone();
+            left.merge(&y);
+            left.merge(&z);
+            let mut yz = y.clone();
+            yz.merge(&z);
+            let mut right = x.clone();
+            right.merge(&yz);
+            prop_assert_eq!(&left, &right);
+
+            // x ∪ y == y ∪ x
+            let mut xy = x.clone();
+            xy.merge(&y);
+            let mut yx = y.clone();
+            yx.merge(&x);
+            prop_assert_eq!(&xy, &yx);
+
+            // And both equal one histogram fed the concatenation.
+            let mut all = xs.clone();
+            all.extend(&ys);
+            all.extend(&zs);
+            prop_assert_eq!(left, record_all(&all));
         }
     }
 }

@@ -53,7 +53,11 @@ fn measure(config: &TestbedConfig) -> QosRun {
 fn vids_adds_about_100ms_to_call_setup() {
     let with = measure(&qos_config(55));
     let without = measure(&qos_config(55).without_vids());
-    assert!(with.setup.count() >= 3, "too few calls: {}", with.setup.count());
+    assert!(
+        with.setup.count() >= 3,
+        "too few calls: {}",
+        with.setup.count()
+    );
     assert_eq!(
         with.setup.count(),
         without.setup.count(),
@@ -102,7 +106,11 @@ fn one_way_delay_stays_within_voip_budget() {
         "mean one-way delay {:.4} s",
         with.rtp_delay.mean()
     );
-    assert!(with.rtp_delay.max() < 0.200, "max {:.4}", with.rtp_delay.max());
+    assert!(
+        with.rtp_delay.max() < 0.200,
+        "max {:.4}",
+        with.rtp_delay.max()
+    );
 }
 
 #[test]

@@ -57,8 +57,8 @@ fn background_contention_raises_jitter_but_not_alarms() {
         if load_fraction > 0.0 {
             // Bulk flow from an Internet host into site B, sharing the
             // cloud/DS1 path with the calls.
-            let sink = vids::netsim::topology::ua_addr(vids::netsim::topology::SITE_B, 1)
-                .with_port(9_999);
+            let sink =
+                vids::netsim::topology::ua_addr(vids::netsim::topology::SITE_B, 1).with_port(9_999);
             let spec = BackgroundSpec::ds1_fraction(sink, load_fraction, secs(1), secs(120));
             tb.ent
                 .add_internet_host(Box::new(BackgroundSource::new(spec)));
@@ -103,9 +103,7 @@ fn background_source_and_sink_wire_into_the_enterprise() {
         stop: secs(11),
     };
     let (src_node, _) = {
-        
-        tb
-            .ent
+        tb.ent
             .add_internet_host(Box::new(BackgroundSource::new(spec)))
     };
     tb.run_until(secs(12));

@@ -302,7 +302,8 @@ pub mod string {
                                 chars.next();
                                 chars.next();
                                 assert!(c <= hi, "string strategy: inverted class range");
-                                alphabet.extend((c..=hi).filter(|ch| ch.is_ascii() || c > '\u{7f}'));
+                                alphabet
+                                    .extend((c..=hi).filter(|ch| ch.is_ascii() || c > '\u{7f}'));
                             }
                         }
                     } else {
@@ -311,7 +312,10 @@ pub mod string {
                 }
             }
         }
-        assert!(!alphabet.is_empty(), "string strategy: empty character class");
+        assert!(
+            !alphabet.is_empty(),
+            "string strategy: empty character class"
+        );
         alphabet
     }
 
@@ -536,12 +540,12 @@ mod tests {
             let s = crate::string::generate_pattern("[a-z][a-z0-9]{0,8}", &mut rng);
             assert!((1..=9).contains(&s.len()), "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
 
-            let host = crate::string::generate_pattern(
-                "[a-z][a-z0-9]{0,6}(\\.[a-z]{2,5}){1,2}",
-                &mut rng,
-            );
+            let host =
+                crate::string::generate_pattern("[a-z][a-z0-9]{0,6}(\\.[a-z]{2,5}){1,2}", &mut rng);
             let labels: Vec<&str> = host.split('.').collect();
             assert!(labels.len() == 2 || labels.len() == 3, "{host:?}");
             assert!(labels.iter().all(|l| !l.is_empty()));
@@ -572,7 +576,9 @@ mod tests {
         for _ in 0..200 {
             let sub = strat.generate(&mut rng);
             assert!((1..=4).contains(&sub.len()));
-            let mut positions = sub.iter().map(|v| items.iter().position(|i| i == v).unwrap());
+            let mut positions = sub
+                .iter()
+                .map(|v| items.iter().position(|i| i == v).unwrap());
             let mut last = None;
             for p in &mut positions {
                 assert!(last.is_none_or(|l| p > l), "order not preserved");

@@ -59,6 +59,31 @@ fn bench(c: &mut Criterion) {
         b.iter(|| RtcpPacket::parse(std::hint::black_box(&rtcp)).unwrap())
     });
 
+    // Reject path: a flood of malformed datagrams must be cheap to refuse.
+    // Parse errors carry `&'static str` reasons, so a reject allocates
+    // nothing; this bench pins the claim with a number.
+    let malformed = [
+        "HELLO sip:bob@b.example.com SIP/2.0\r\n\r\n",
+        "INVITE not-a-uri SIP/2.0\r\n\r\n",
+        "SIP/2.0 9xx Nope\r\n\r\n",
+        "INVITE sip:bob@b.example.com SIP/2.0\r\nVia: bad\r\n\r\n",
+        "INVITE sip:bob@b.example.com SIP/2.0\r\nCSeq: one INVITE\r\n\r\n",
+        "INVITE sip:bob@b.example.com SIP/2.0\r\nContent-Length: many\r\n\r\n",
+        "INVITE sip:bob@b.example.com SIP/2.0\r\nheader without colon\r\n\r\n",
+        "garbage",
+    ];
+    assert!(malformed.iter().all(|t| parse_message(t).is_err()));
+    group.throughput(Throughput::Elements(malformed.len() as u64));
+    group.bench_function("sip_parse_reject_malformed", |b| {
+        b.iter(|| {
+            let mut rejected = 0usize;
+            for text in std::hint::black_box(&malformed) {
+                rejected += usize::from(parse_message(text).is_err());
+            }
+            std::hint::black_box(rejected)
+        })
+    });
+
     let digest_input = b"ua3:b.example.com:s3cret";
     group.throughput(Throughput::Bytes(digest_input.len() as u64));
     group.bench_function("md5_digest", |b| {

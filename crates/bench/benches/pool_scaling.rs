@@ -13,7 +13,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use vids::core::{Config, CostModel, VidsPool};
+use vids::core::{CollectSink, Config, CostModel, Vids, VidsPool};
+use vids::netsim::packet::Packet;
 use vids::netsim::time::SimTime;
 use vids_bench::{header, print_once, row, synth_call_batch};
 
@@ -25,6 +26,22 @@ const RTP_PER_CALL: usize = 40;
 fn pool(shards: usize) -> VidsPool {
     let config = Config::builder().shards(shards).build().unwrap();
     VidsPool::with_cost(config, CostModel::free())
+}
+
+/// The unsharded engine over the same stream, packet-at-a-time: the number
+/// the pool has to beat for sharding to pay for its routing and merge.
+fn plain_engine_pps(batch: &[Packet], passes: usize) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..passes {
+        let mut vids = Vids::with_cost(Config::default(), CostModel::free());
+        let mut sink = CollectSink::new();
+        let start = Instant::now();
+        for packet in batch {
+            vids.process_into(packet, packet.sent_at, &mut sink);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    batch.len() as f64 / best
 }
 
 fn print_figure() {
@@ -43,6 +60,15 @@ fn print_figure() {
     if hw == 1 {
         println!("  (single-core host: the pool runs shards sequentially, expect ~1.00x)");
     }
+    let plain_pps = plain_engine_pps(&batch, 5);
+    println!(
+        "{}",
+        row(
+            "plain engine (no pool)",
+            "-",
+            format!("{plain_pps:>9.0} pps   baseline")
+        )
+    );
     let mut base_pps = 0.0;
     for shards in [1usize, 2, 4, 8] {
         // Warm-up pass, then the timed passes on fresh pools.
@@ -62,7 +88,12 @@ fn print_figure() {
             row(
                 &format!("{shards} shard(s)"),
                 "-",
-                format!("{:>9.0} pps   {:>4.2}x", pps, pps / base_pps)
+                format!(
+                    "{:>9.0} pps   {:>4.2}x vs 1 shard   {:>4.2}x vs plain",
+                    pps,
+                    pps / base_pps,
+                    pps / plain_pps
+                )
             )
         );
     }
@@ -73,6 +104,16 @@ fn bench(c: &mut Criterion) {
     let batch = synth_call_batch(CALLS, RTP_PER_CALL);
     let mut group = c.benchmark_group("pool_scaling");
     group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("plain_engine", |b| {
+        b.iter(|| {
+            let mut vids = Vids::with_cost(Config::default(), CostModel::free());
+            let mut sink = CollectSink::new();
+            for packet in std::hint::black_box(&batch) {
+                vids.process_into(packet, packet.sent_at, &mut sink);
+            }
+            std::hint::black_box(sink.alerts().len())
+        })
+    });
     for shards in [1usize, 2, 4, 8] {
         group.bench_function(&format!("shards_{shards}"), |b| {
             b.iter(|| {

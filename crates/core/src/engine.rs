@@ -446,6 +446,9 @@ impl Vids {
             outcome.transitions += delivered.transitions;
             outcome.sync_deliveries += delivered.sync_deliveries;
             self.factbase.refresh_media_index(call_id);
+            // The delivery may have armed/fired timers or changed finality:
+            // re-file the call under its next wake deadline.
+            self.factbase.reindex_call(call_id);
             self.absorb(
                 outcome,
                 call_id.as_str(),
@@ -532,6 +535,10 @@ impl Vids {
                 outcome.nondeterministic |= delivered.nondeterministic;
                 outcome.transitions += delivered.transitions;
                 outcome.sync_deliveries += delivered.sync_deliveries;
+                // Warm RTP packets take the active→active self-loop, which
+                // re-arms nothing — this reindex is then a no-op compare,
+                // keeping the warm path allocation-free.
+                self.factbase.reindex_call(call_id);
                 self.absorb(
                     outcome,
                     call_id.as_str(),
@@ -600,13 +607,16 @@ impl Vids {
     }
 
     fn sweep_calls<S: AlertSink + ?Sized>(&mut self, now_ms: u64, sink: &mut S) {
-        // Sorted order keeps sweep output independent of hash-map iteration,
-        // so single-engine runs are comparable with sharded ones. Sort by
-        // text, not symbol id: ids depend on interning order, which varies
-        // with packet interleaving across shards.
-        let mut ids: Vec<Sym> = self.factbase.call_ids().collect();
-        ids.sort_unstable_by_key(|id| id.as_str());
-        for id in ids {
+        // Only calls whose wake deadline fell due are visited: an armed
+        // timer, a freshly-final network awaiting its eviction stamp, or a
+        // grace period running out. A call with none of those would take no
+        // transitions under `advance_time_observed` anyway, so skipping it
+        // is alert-identical to the old full scan — at O(expiring) instead
+        // of O(live calls · log). `due_calls` returns text order, keeping
+        // sweep output independent of interning/hash order so single-engine
+        // runs stay comparable with sharded ones.
+        let due = self.factbase.due_calls(now_ms);
+        for &id in &due {
             let mut obs = RingObserver {
                 tel: self.telemetry.as_mut(),
                 scope: id,
@@ -618,7 +628,7 @@ impl Vids {
                 }
             }
         }
-        let evicted = self.factbase.sweep(now_ms);
+        let evicted = self.factbase.sweep_due(&due, now_ms);
         self.tel_add(Counter::CallsEvicted, evicted.len() as u64);
     }
 

@@ -8,7 +8,7 @@
 //! after a grace period (§7.3), keeping memory proportional to *ongoing*
 //! calls only.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use vids_efsm::machine::MachineDef;
@@ -21,6 +21,14 @@ use crate::machines::register::registration_machine;
 use crate::machines::rtp::rtp_session_machine;
 use crate::machines::sip::sip_call_machine;
 
+/// Width of one expiry-wheel bucket. Matches the engine's sweep interval:
+/// a sweep pops every bucket at or before `now`, so a finer wheel would
+/// only split work the sweep drains together anyway.
+const WHEEL_BUCKET_MS: u64 = 100;
+
+/// Sentinel bucket for "not indexed in the wheel".
+const NO_BUCKET: u64 = u64::MAX;
+
 /// One monitored call: its EFSM network plus bookkeeping.
 pub struct CallRecord {
     /// The communicating SIP+RTP machine network.
@@ -29,6 +37,10 @@ pub struct CallRecord {
     pub created_ms: u64,
     /// Set once every machine reached a final state, for delayed eviction.
     pub final_since_ms: Option<u64>,
+    /// The expiry-wheel bucket this call is currently filed under
+    /// ([`NO_BUCKET`] when the call has no pending wake deadline). Entries
+    /// in other buckets are stale and skipped when popped.
+    wheel_bucket: u64,
 }
 
 /// Aggregate fact-base statistics.
@@ -59,6 +71,11 @@ pub struct FactBase {
     invite_flood: HashMap<u32, Network>,
     response_flood: HashMap<u32, Network>,
     registrations: HashMap<Sym, Network>,
+    /// Coarse time-wheel over call wake deadlines (armed timers, pending
+    /// eviction stamps, grace-period expiries): bucket → call ids filed
+    /// there. A sweep visits only the calls whose bucket fell due, so a
+    /// sweep over N idle calls costs O(expiring), not O(N log N).
+    wheel: BTreeMap<u64, Vec<Sym>>,
     stats: FactBaseStats,
 }
 
@@ -79,6 +96,7 @@ impl FactBase {
             invite_flood: HashMap::new(),
             response_flood: HashMap::new(),
             registrations: HashMap::new(),
+            wheel: BTreeMap::new(),
             stats: FactBaseStats::default(),
         }
     }
@@ -124,9 +142,20 @@ impl FactBase {
             network,
             created_ms: now_ms,
             final_since_ms: None,
+            wheel_bucket: NO_BUCKET,
         };
         self.calls.entry(call_id).or_insert(record);
         self.stats.peak_concurrent = self.stats.peak_concurrent.max(self.calls.len());
+        // File the call due-now: the next sweep visits it once, observes its
+        // real timers/finality, and re-files it under the proper bucket.
+        // Callers that drive the network directly (tests, examples) stay
+        // sweepable without an explicit reindex after every delivery.
+        let bucket = now_ms / WHEEL_BUCKET_MS;
+        let record = self.calls.get_mut(&call_id).unwrap();
+        if record.wheel_bucket != bucket {
+            record.wheel_bucket = bucket;
+            self.wheel.entry(bucket).or_default().push(call_id);
+        }
         self.calls.get_mut(&call_id).unwrap()
     }
 
@@ -187,30 +216,124 @@ impl FactBase {
         })
     }
 
-    /// Marks finished calls and evicts those final for longer than the
-    /// configured grace period. Returns the evicted call ids.
-    pub fn sweep(&mut self, now_ms: u64) -> Vec<Sym> {
+    /// Re-files a call under its next wake deadline: the earliest armed
+    /// EFSM timer, or the finality bookkeeping the sweep must perform
+    /// (stamping a freshly-final call, clearing a stale stamp, or the
+    /// grace-period expiry of a stamped call). A call with no deadline
+    /// leaves the wheel entirely — an idle mid-call network costs the
+    /// sweep nothing until an event or timer changes that.
+    ///
+    /// Call after any event delivery that may have changed the network's
+    /// timers or finality. Old wheel entries are not removed eagerly;
+    /// [`FactBase::due_calls`] skips entries whose bucket no longer
+    /// matches the record.
+    pub(crate) fn reindex_call(&mut self, call_id: Sym) {
         let delay = self.config.eviction_delay.as_millis();
-        let mut evicted = Vec::new();
-        for (id, record) in &mut self.calls {
-            if record.network.all_final() {
-                let since = *record.final_since_ms.get_or_insert(now_ms);
-                if now_ms.saturating_sub(since) >= delay {
-                    evicted.push(*id);
+        let Some(record) = self.calls.get_mut(&call_id) else {
+            return;
+        };
+        let timer = record.network.next_timer_deadline();
+        let finality = if record.network.all_final() {
+            Some(match record.final_since_ms {
+                // Not yet stamped: the next sweep must see the call to
+                // start its grace period.
+                None => 0,
+                Some(since) => since.saturating_add(delay),
+            })
+        } else if record.final_since_ms.is_some() {
+            // Stale stamp (the network reopened): clear it promptly.
+            Some(0)
+        } else {
+            None
+        };
+        let deadline = match (timer, finality) {
+            (Some(t), Some(f)) => Some(t.min(f)),
+            (Some(t), None) => Some(t),
+            (None, f) => f,
+        };
+        let bucket = match deadline {
+            Some(d) => d / WHEEL_BUCKET_MS,
+            None => NO_BUCKET,
+        };
+        if bucket == record.wheel_bucket {
+            return;
+        }
+        record.wheel_bucket = bucket;
+        if bucket != NO_BUCKET {
+            self.wheel.entry(bucket).or_default().push(call_id);
+        }
+    }
+
+    /// Pops every wheel bucket at or before `now_ms` and returns the live
+    /// call ids filed there, text-ordered. The returned calls are
+    /// unfiled: the caller must follow up with [`FactBase::sweep_due`]
+    /// (which re-files survivors) or re-filing is lost.
+    pub(crate) fn due_calls(&mut self, now_ms: u64) -> Vec<Sym> {
+        let mut due = Vec::new();
+        let horizon = now_ms / WHEEL_BUCKET_MS;
+        while let Some((&bucket, _)) = self.wheel.first_key_value() {
+            if bucket > horizon {
+                break;
+            }
+            let ids = self.wheel.remove(&bucket).unwrap_or_default();
+            for id in ids {
+                if let Some(record) = self.calls.get_mut(&id) {
+                    // Entries orphaned by reindexing are stale; the live
+                    // filing is the one the record points back at. This
+                    // also deduplicates a call re-filed into the same
+                    // bucket twice.
+                    if record.wheel_bucket == bucket {
+                        record.wheel_bucket = NO_BUCKET;
+                        due.push(id);
+                    }
                 }
-            } else {
-                record.final_since_ms = None;
             }
         }
         // Text order, not slot order: interner ids depend on arrival
         // interleaving, so only the string is deterministic across runs.
-        evicted.sort_unstable_by_key(|id| id.as_str());
+        due.sort_unstable_by_key(|id| id.as_str());
+        due
+    }
+
+    /// Marks the given (due) calls' finality and evicts those final for
+    /// longer than the configured grace period; survivors are re-filed in
+    /// the wheel. Returns the evicted call ids in the order given (the
+    /// text order of [`FactBase::due_calls`]).
+    pub(crate) fn sweep_due(&mut self, due: &[Sym], now_ms: u64) -> Vec<Sym> {
+        let delay = self.config.eviction_delay.as_millis();
+        let mut evicted = Vec::new();
+        for &id in due {
+            let Some(record) = self.calls.get_mut(&id) else {
+                continue;
+            };
+            if record.network.all_final() {
+                let since = *record.final_since_ms.get_or_insert(now_ms);
+                if now_ms.saturating_sub(since) >= delay {
+                    evicted.push(id);
+                    continue;
+                }
+            } else {
+                record.final_since_ms = None;
+            }
+            // Still monitored: re-file under the next wake deadline.
+            self.reindex_call(id);
+        }
         for id in &evicted {
             self.calls.remove(id);
             self.media_index.retain(|_, call| call != id);
             self.stats.calls_evicted += 1;
         }
         evicted
+    }
+
+    /// Marks finished calls and evicts those final for longer than the
+    /// configured grace period. Returns the evicted call ids.
+    ///
+    /// Only calls whose wake deadline fell due are visited (see the
+    /// `wheel` field): the cost is O(expiring), not O(live calls).
+    pub fn sweep(&mut self, now_ms: u64) -> Vec<Sym> {
+        let due = self.due_calls(now_ms);
+        self.sweep_due(&due, now_ms)
     }
 
     /// Total fact-base memory attributable to per-call state (E5): the

@@ -24,10 +24,28 @@
 //! including a 1-shard pool vs. a plain [`Vids`]. Idle-timer sweeps are
 //! amortized to at most one per batch instead of the single engine's
 //! per-packet interval check.
+//!
+//! Parallel phases run on a **persistent worker runtime** (one long-lived
+//! thread per shard, spawned at construction): a batch handoff publishes a
+//! job descriptor into the worker's mailbox cell and unparks it — no thread
+//! creation, no queue allocation, no channel. Workers write into
+//! preallocated per-shard buffers whose capacity is reused across batches,
+//! so the steady-state handoff path does not allocate. The pool thread
+//! works too (it drains the busiest shard while workers drain the rest),
+//! and blocks until every published job completes, which is what keeps the
+//! raw pointers inside a job valid and the output merge deterministic: by
+//! merge time all shard output is back on one thread, ordered by key. See
+//! DESIGN.md §7d for the mailbox protocol and panic/shutdown semantics.
 
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
-use std::thread;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, Thread};
 use std::time::Instant;
 
 use vids_efsm::{sym, Event, Sym};
@@ -57,13 +75,23 @@ const PARALLEL_CLASSIFY_THRESHOLD: usize = 256;
 /// emitted them: 0 = batch-start sweep (before any packet), 1 = the
 /// destination-pinned INVITE-flood part, 2 = the call/register/media part,
 /// 3 = the deferred DRDoS reflection count for an unassociated response.
-/// The scope string is only populated for sweep alerts (phase 0), where
-/// different calls' alerts share one key prefix and the single engine sweeps
-/// calls in sorted-Call-ID order.
-type MergeKey = (usize, u8, String, u32);
+/// The scope is only populated for sweep alerts (phase 0), where different
+/// calls' alerts share one key prefix and the single engine sweeps calls in
+/// sorted-Call-ID order. It is an interned symbol, not a `String`: tagging
+/// an alert never allocates, and the merge compares 4-byte ids' *text*
+/// (interner ids depend on arrival order, which varies with shard count).
+type MergeKey = (usize, u8, Sym, u32);
 
-/// One shard's drain output: tagged alerts plus deferred response misses.
-type ShardOut = (Vec<(MergeKey, Alert)>, Vec<Miss>);
+/// One shard-pinned routed part, stamped with packet index and clamped time.
+type Routed = (usize, u64, Part);
+
+/// Merge order: `(packet idx, phase, scope text, emission seq)`. The scope
+/// symbol must be compared by its string — see [`MergeKey`].
+fn merge_cmp(a: &(MergeKey, Alert), b: &(MergeKey, Alert)) -> Ordering {
+    let (ai, ap, a_scope, a_seq) = &a.0;
+    let (bi, bp, b_scope, b_seq) = &b.0;
+    (ai, ap, a_scope.as_str(), a_seq).cmp(&(bi, bp, b_scope.as_str(), b_seq))
+}
 
 /// FNV-1a: a fixed, platform-independent hash so call→shard placement is
 /// deterministic (std's `RandomState` would randomize it per process).
@@ -112,9 +140,15 @@ impl<'a> TaggedSink<'a> {
 impl AlertSink for TaggedSink<'_> {
     fn accept(&mut self, alert: Alert) {
         let scope = if self.scope_from_call {
-            alert.call_id.clone().unwrap_or_default()
+            // The Call-ID names a monitored call, so it is already interned
+            // and `lookup` never allocates (nor grows the interner).
+            alert
+                .call_id
+                .as_deref()
+                .and_then(Sym::lookup)
+                .unwrap_or(sym::EMPTY)
         } else {
-            String::new()
+            sym::EMPTY
         };
         self.out
             .push(((self.idx, self.phase, scope, self.seq), alert));
@@ -146,6 +180,257 @@ struct Miss {
     t: u64,
     dst_ip: u32,
     src_ip: Sym,
+}
+
+/// Mailbox states published through [`ShardCell::state`].
+const IDLE: u32 = 0;
+const HAS_WORK: u32 = 1;
+const SHUTDOWN: u32 = 2;
+const POISONED: u32 = 3;
+
+/// Spins before a worker parks, covering back-to-back phase handoffs of one
+/// batch without a syscall round-trip.
+const SPIN_LIMIT: u32 = 64;
+
+/// A unit of work published to one worker.
+///
+/// The raw pointers keep the handoff allocation-free; they are valid for
+/// the whole job because the pool thread blocks in [`WorkerRuntime::wait`]
+/// before the borrows they were derived from end, and no two concurrent
+/// jobs reference the same shard engine.
+enum Job {
+    Idle,
+    /// Drain the cell's routed `queue` through the shard engine.
+    Drain {
+        engine: *mut Vids,
+    },
+    /// `force_maintain` the shard engine at `now_ms`.
+    Sweep {
+        engine: *mut Vids,
+        now_ms: u64,
+    },
+    /// Classify `packets[offset..offset + len]` into the cell's buffer.
+    Classify {
+        base: *const Packet,
+        offset: usize,
+        len: usize,
+    },
+    /// Test hook: panic inside the job to exercise poisoning.
+    #[cfg(test)]
+    Panic,
+}
+
+/// One worker's mailbox: the pending job plus reusable input/output buffers
+/// whose capacity persists across batches.
+struct ShardData {
+    queue: Vec<Routed>,
+    tagged: Vec<(MergeKey, Alert)>,
+    misses: Vec<Miss>,
+    classified: Vec<Classified>,
+    job: Job,
+}
+
+struct ShardCell {
+    /// [`IDLE`] / [`HAS_WORK`] / [`SHUTDOWN`] / [`POISONED`].
+    state: AtomicU32,
+    data: UnsafeCell<ShardData>,
+    /// Payload of a job that panicked, re-thrown on the pool thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `data` is owned by exactly one thread at a time. The worker owns
+// it between observing HAS_WORK (Acquire) and publishing IDLE/POISONED
+// (Release); the pool thread owns it otherwise, and only touches it while
+// no job is pending. The raw pointers inside `Job` are dereferenced only
+// during that worker-owned window, while the pool thread is blocked (or
+// working a disjoint shard), keeping their referents alive and unaliased.
+unsafe impl Send for ShardCell {}
+unsafe impl Sync for ShardCell {}
+
+/// State shared between the pool thread and its workers.
+struct Shared {
+    cells: Vec<ShardCell>,
+    /// Jobs published but not yet completed in the current phase.
+    pending: AtomicUsize,
+    /// The pool thread blocked in `wait()`, unparked when `pending` drains.
+    coordinator: Mutex<Option<Thread>>,
+    /// Workers currently parked (exported as [`Gauge::WorkerParked`]).
+    parked: AtomicU64,
+    /// Workers that have finished thread startup and entered their loop.
+    /// `spawn` blocks on this so the one-time startup allocations the std
+    /// runtime makes on a new thread can never bleed into a caller's
+    /// steady-state window (the allocation budget counts every thread).
+    started: AtomicUsize,
+}
+
+/// The persistent worker threads plus their shared mailboxes. Spawned once
+/// at pool construction for multi-shard pools; dropped (joining every
+/// worker) with the pool.
+struct WorkerRuntime {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerRuntime {
+    fn spawn(n: usize) -> Self {
+        let shared = Arc::new(Shared {
+            cells: (0..n)
+                .map(|_| ShardCell {
+                    state: AtomicU32::new(IDLE),
+                    data: UnsafeCell::new(ShardData {
+                        queue: Vec::new(),
+                        tagged: Vec::new(),
+                        misses: Vec::new(),
+                        classified: Vec::new(),
+                        job: Job::Idle,
+                    }),
+                    panic: Mutex::new(None),
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+            coordinator: Mutex::new(None),
+            parked: AtomicU64::new(0),
+            started: AtomicUsize::new(0),
+        });
+        let handles = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("vids-shard-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        while shared.started.load(Acquire) < n {
+            thread::yield_now();
+        }
+        WorkerRuntime { shared, handles }
+    }
+
+    /// The cell's mailbox. Dereference only while the owning side holds the
+    /// cell (see the `ShardCell` safety note).
+    fn data_ptr(&self, i: usize) -> *mut ShardData {
+        self.shared.cells[i].data.get()
+    }
+
+    /// Registers the pool thread for wakeup and arms the pending count with
+    /// the number of jobs the phase will publish. Storing the full count
+    /// *before* the first publish means an instantly-finishing worker
+    /// cannot drive `pending` to zero early.
+    fn begin(&self, jobs: usize) {
+        *self.shared.coordinator.lock().unwrap() = Some(thread::current());
+        self.shared.pending.store(jobs, Release);
+    }
+
+    /// Hands the already-written job in cell `i` to its worker.
+    fn publish(&self, i: usize) {
+        self.shared.cells[i].state.store(HAS_WORK, Release);
+        self.handles[i].thread().unpark();
+    }
+
+    /// Blocks until every published job of the phase has completed. The
+    /// Acquire load pairs with each worker's Release decrement, so on
+    /// return all worker writes (engine state, output buffers) are visible.
+    fn wait(&self) {
+        while self.shared.pending.load(Acquire) != 0 {
+            thread::park();
+        }
+        *self.shared.coordinator.lock().unwrap() = None;
+    }
+
+    /// Re-throws a panic captured on a worker. The runtime stays poisoned:
+    /// later calls panic again instead of deadlocking on a dead shard.
+    fn check_poison(&self) {
+        for cell in &self.shared.cells {
+            if cell.state.load(Acquire) == POISONED {
+                match cell.panic.lock().unwrap().take() {
+                    Some(payload) => panic::resume_unwind(payload),
+                    None => panic!("shard worker previously panicked"),
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerRuntime {
+    fn drop(&mut self) {
+        for cell in &self.shared.cells {
+            cell.state.store(SHUTDOWN, Release);
+        }
+        for handle in &self.handles {
+            handle.thread().unpark();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked parked its payload in the cell and
+            // kept running its loop; never double-panic out of drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let cell = &shared.cells[index];
+    shared.started.fetch_add(1, Release);
+    loop {
+        let mut spins = 0u32;
+        loop {
+            match cell.state.load(Acquire) {
+                HAS_WORK => break,
+                SHUTDOWN => return,
+                _ => {}
+            }
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                shared.parked.fetch_add(1, Relaxed);
+                thread::park();
+                shared.parked.fetch_sub(1, Relaxed);
+            }
+        }
+        // SAFETY: observing HAS_WORK (Acquire) transferred the mailbox to
+        // this worker; it is handed back by the Release store below.
+        let data = unsafe { &mut *cell.data.get() };
+        match panic::catch_unwind(AssertUnwindSafe(|| run_job(data))) {
+            Ok(()) => cell.state.store(IDLE, Release),
+            Err(payload) => {
+                *cell.panic.lock().unwrap() = Some(payload);
+                cell.state.store(POISONED, Release);
+            }
+        }
+        if shared.pending.fetch_sub(1, AcqRel) == 1 {
+            // Last job of the phase: wake the pool thread.
+            if let Some(coordinator) = shared.coordinator.lock().unwrap().as_ref() {
+                coordinator.unpark();
+            }
+        }
+    }
+}
+
+fn run_job(data: &mut ShardData) {
+    match std::mem::replace(&mut data.job, Job::Idle) {
+        Job::Idle => {}
+        Job::Drain { engine } => {
+            // SAFETY: the pool thread keeps the engine alive and unaliased
+            // for the duration of the job (see `ShardCell`).
+            let engine = unsafe { &mut *engine };
+            drain_one(engine, &mut data.queue, &mut data.tagged, &mut data.misses);
+        }
+        Job::Sweep { engine, now_ms } => {
+            // SAFETY: as above.
+            let engine = unsafe { &mut *engine };
+            let mut sink = TaggedSink::sweep(&mut data.tagged);
+            engine.force_maintain(now_ms, &mut sink);
+        }
+        Job::Classify { base, offset, len } => {
+            // SAFETY: the batch slice outlives the phase (see `ShardCell`).
+            let packets = unsafe { std::slice::from_raw_parts(base.add(offset), len) };
+            data.classified.clear();
+            data.classified.extend(packets.iter().map(classify));
+        }
+        #[cfg(test)]
+        Job::Panic => panic!("injected shard worker panic"),
+    }
 }
 
 /// The sharded analysis engine. Construct with a [`Config`] whose `shards`
@@ -181,6 +466,20 @@ pub struct VidsPool {
     /// Telemetry registry when enabled: one slab per shard (wired into the
     /// shard engines) plus a pool-level slab for batch/merge metrics.
     telemetry: Option<Arc<Registry>>,
+    /// Reusable per-shard routing queues. Their capacity shuttles between
+    /// here and the worker mailboxes (a handoff swaps `Vec`s), so
+    /// steady-state routing allocates nothing.
+    queues: Vec<Vec<Routed>>,
+    /// Reusable classification output for the whole batch, in packet order.
+    classified: Vec<Classified>,
+    /// Reusable merge buffer of `(key, alert)` pairs for the current batch.
+    scratch_tagged: Vec<(MergeKey, Alert)>,
+    /// Reusable buffer of deferred DRDoS response misses.
+    scratch_misses: Vec<Miss>,
+    /// Persistent worker threads; `None` for single-shard pools, which
+    /// always drain inline. Workers hold no engine references while idle,
+    /// so drop order relative to `shards` is immaterial.
+    runtime: Option<WorkerRuntime>,
 }
 
 impl VidsPool {
@@ -207,6 +506,15 @@ impl VidsPool {
             last_packet_ms: 0,
             workers: thread::available_parallelism().map_or(1, |p| p.get()),
             telemetry: None,
+            queues: (0..n).map(|_| Vec::new()).collect(),
+            classified: Vec::new(),
+            scratch_tagged: Vec::new(),
+            scratch_misses: Vec::new(),
+            // Workers are spawned even on a single-core host (they just
+            // stay parked there): whether a batch is handed off or drained
+            // inline is a per-batch decision, and the panic/shutdown
+            // machinery behaves identically everywhere.
+            runtime: (n > 1).then(|| WorkerRuntime::spawn(n)),
         }
     }
 
@@ -241,6 +549,11 @@ impl VidsPool {
         registry
             .pool()
             .set_gauge(Gauge::MemoryBytes, index_bytes as u64);
+        if let Some(rt) = &self.runtime {
+            registry
+                .pool()
+                .set_gauge(Gauge::WorkerParked, rt.shared.parked.load(Relaxed));
+        }
         Some(registry.snapshot(now.as_millis()))
     }
 
@@ -342,8 +655,11 @@ impl VidsPool {
         now: SimTime,
         sink: &mut S,
     ) {
+        if let Some(rt) = &self.runtime {
+            rt.check_poison();
+        }
         let now_ms = now.as_millis();
-        let mut tagged: Vec<(MergeKey, Alert)> = Vec::new();
+        let mut tagged = std::mem::take(&mut self.scratch_tagged);
 
         if let Some(reg) = &self.telemetry {
             reg.pool().inc(Counter::BatchesIngested);
@@ -366,9 +682,9 @@ impl VidsPool {
             self.sweep_shards(now_ms, &mut tagged);
         }
 
-        // Phase 1: classify — pure per-packet work, fanned out for big
-        // batches.
-        let classified = self.classify_batch(packets);
+        // Phase 1: classify — pure per-packet work, fanned out to the
+        // workers for big batches — into the reusable `classified` buffer.
+        self.classify_batch(packets);
 
         // Phase 2: route. The only sequential pass over the batch: assigns
         // monotonic per-packet times, charges the cost model, publishes
@@ -376,11 +692,9 @@ impl VidsPool {
         // parts. Malformed/ignored traffic is consumed here — it has no
         // call, destination or media key to shard by.
         let n = self.shards.len();
-        // Pre-sized so steady-state routing costs one allocation per shard
-        // per batch, independent of how the batch distributes.
-        let mut queues: Vec<Vec<(usize, u64, Part)>> =
-            (0..n).map(|_| Vec::with_capacity(packets.len())).collect();
-        for (idx, (packet, c)) in packets.iter().zip(classified).enumerate() {
+        let mut queues = std::mem::take(&mut self.queues);
+        let mut classified = std::mem::take(&mut self.classified);
+        for (idx, (packet, c)) in packets.iter().zip(classified.drain(..)).enumerate() {
             self.cpu.charge(self.cost.cpu_for(packet));
             let t = now_ms
                 .max(packet.sent_at.as_millis())
@@ -471,9 +785,13 @@ impl VidsPool {
                 }
             }
         }
+        self.classified = classified;
 
-        // Phase 3: drain every shard's queue concurrently.
-        let mut misses = self.drain_shards(queues, &mut tagged);
+        // Phase 3: drain every shard's queue — on the persistent workers
+        // when the batch is big enough, inline otherwise.
+        let mut misses = std::mem::take(&mut self.scratch_misses);
+        self.drain_shards(&mut queues, &mut tagged, &mut misses);
+        self.queues = queues;
 
         // Phase 4: deferred DRDoS reflection counting. The call-owning shard
         // only *detects* the miss; the count belongs to the destination's
@@ -482,20 +800,22 @@ impl VidsPool {
         // touched in this phase and at routing-queue drain, both
         // time-monotonic.
         misses.sort_unstable_by_key(|m| m.idx);
-        for miss in misses {
+        for miss in misses.drain(..) {
             let shard = self.shard_of(&miss.dst_ip.to_le_bytes());
             let mut tsink = TaggedSink::packet(&mut tagged, miss.idx, 3);
             self.shards[shard].ingest_response_flood(miss.dst_ip, miss.src_ip, miss.t, &mut tsink);
         }
+        self.scratch_misses = misses;
 
         // Phase 5: merge. The key makes this order independent of shard
         // count and thread scheduling.
         let merge_started = self.telemetry.as_ref().map(|_| Instant::now());
-        tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        for (_key, alert) in tagged {
+        tagged.sort_unstable_by(merge_cmp);
+        for (_key, alert) in tagged.drain(..) {
             self.alerts.push(alert.clone());
             sink.accept(alert);
         }
+        self.scratch_tagged = tagged;
         if let (Some(reg), Some(started)) = (&self.telemetry, merge_started) {
             let nanos = started.elapsed().as_nanos() as u64;
             reg.pool().add(Counter::MergeNanos, nanos);
@@ -506,6 +826,9 @@ impl VidsPool {
     /// Advances idle timers and evicts finished calls on every shard,
     /// pushing timer-driven alerts into `sink` in deterministic order.
     pub fn tick_into<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+        if let Some(rt) = &self.runtime {
+            rt.check_poison();
+        }
         let now_ms = now.as_millis();
         if now_ms < SWEEP_INTERVAL_MS {
             return; // mirror Vids::tick_into's interval gate from time zero
@@ -514,13 +837,14 @@ impl VidsPool {
         if let Some(reg) = &self.telemetry {
             reg.pool().inc(Counter::TimerSweeps);
         }
-        let mut tagged: Vec<(MergeKey, Alert)> = Vec::new();
+        let mut tagged = std::mem::take(&mut self.scratch_tagged);
         self.sweep_shards(now_ms, &mut tagged);
-        tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        for (_key, alert) in tagged {
+        tagged.sort_unstable_by(merge_cmp);
+        for (_key, alert) in tagged.drain(..) {
             self.alerts.push(alert.clone());
             sink.accept(alert);
         }
+        self.scratch_tagged = tagged;
     }
 
     /// Advances idle timers and evicts finished calls; returns the alerts.
@@ -559,74 +883,166 @@ impl VidsPool {
             detail,
             trace: Vec::new(),
         };
-        tagged.push(((idx, 2, String::new(), 0), alert));
+        tagged.push(((idx, 2, sym::EMPTY, 0), alert));
     }
 
-    fn classify_batch(&self, packets: &[Packet]) -> Vec<Classified> {
+    /// Classifies the batch into `self.classified` (packet order). Big
+    /// batches are chunked across the workers; the pool thread classifies
+    /// chunk 0 itself while they run.
+    fn classify_batch(&mut self, packets: &[Packet]) {
+        self.classified.clear();
         let threads = self.shards.len().min(self.workers);
-        if threads <= 1 || packets.len() < PARALLEL_CLASSIFY_THRESHOLD {
-            return packets.iter().map(classify).collect();
+        let parallel =
+            self.runtime.is_some() && threads > 1 && packets.len() >= PARALLEL_CLASSIFY_THRESHOLD;
+        if !parallel {
+            self.classified.extend(packets.iter().map(classify));
+            return;
         }
+        let rt = self.runtime.as_ref().unwrap();
         let chunk = packets.len().div_ceil(threads);
-        thread::scope(|scope| {
-            let handles: Vec<_> = packets
-                .chunks(chunk)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(classify).collect::<Vec<_>>()))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("classifier thread panicked"))
-                .collect()
-        })
+        let base = packets.as_ptr();
+        let jobs = (1..threads).filter(|j| j * chunk < packets.len()).count();
+        rt.begin(jobs);
+        for j in 1..threads {
+            let offset = j * chunk;
+            if offset >= packets.len() {
+                break;
+            }
+            // SAFETY: workers are idle (no job pending), so the pool
+            // thread owns every mailbox.
+            let data = unsafe { &mut *rt.data_ptr(j) };
+            data.job = Job::Classify {
+                base,
+                offset,
+                len: chunk.min(packets.len() - offset),
+            };
+            rt.publish(j);
+        }
+        self.classified
+            .extend(packets[..chunk.min(packets.len())].iter().map(classify));
+        rt.wait();
+        rt.check_poison();
+        if let Some(reg) = &self.telemetry {
+            reg.pool().add(Counter::BatchHandoffs, jobs as u64);
+        }
+        for j in 1..threads {
+            if j * chunk >= packets.len() {
+                break;
+            }
+            // SAFETY: `wait` returned, so every mailbox is back with us.
+            let data = unsafe { &mut *rt.data_ptr(j) };
+            self.classified.append(&mut data.classified);
+        }
     }
 
+    /// Drains every shard's routed queue. Small batches run inline; big
+    /// ones are handed to the workers, with the busiest queue kept on the
+    /// pool thread (the coordinator works instead of idling, and it is one
+    /// fewer handoff).
     fn drain_shards(
         &mut self,
-        queues: Vec<Vec<(usize, u64, Part)>>,
+        queues: &mut [Vec<Routed>],
         tagged: &mut Vec<(MergeKey, Alert)>,
-    ) -> Vec<Miss> {
+        misses: &mut Vec<Miss>,
+    ) {
         let n = self.shards.len();
         let total: usize = queues.iter().map(Vec::len).sum();
-        let mut outs: Vec<ShardOut> = (0..n).map(|_| (Vec::new(), Vec::new())).collect();
-        if n == 1 || self.workers <= 1 || total < PARALLEL_DRAIN_THRESHOLD {
-            for ((shard, queue), out) in self.shards.iter_mut().zip(queues).zip(outs.iter_mut()) {
-                drain_one(shard, queue, &mut out.0, &mut out.1);
+        let parallel = self.runtime.is_some()
+            && self.workers > 1
+            && n > 1
+            && total >= PARALLEL_DRAIN_THRESHOLD;
+        if !parallel {
+            for (shard, queue) in self.shards.iter_mut().zip(queues.iter_mut()) {
+                drain_one(shard, queue, tagged, misses);
             }
-        } else {
-            thread::scope(|scope| {
-                for ((shard, queue), out) in self.shards.iter_mut().zip(queues).zip(outs.iter_mut())
-                {
-                    scope.spawn(move || drain_one(shard, queue, &mut out.0, &mut out.1));
-                }
-            });
+            return;
         }
-        let mut misses = Vec::new();
-        for (alerts, shard_misses) in outs {
-            tagged.extend(alerts);
-            misses.extend(shard_misses);
+        let rt = self.runtime.as_ref().unwrap();
+        let busiest = (0..n).max_by_key(|&i| queues[i].len()).unwrap_or(0);
+        let engines: *mut Vids = self.shards.as_mut_ptr();
+        let jobs = queues
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| *i != busiest && !q.is_empty())
+            .count();
+        rt.begin(jobs);
+        for (i, queue) in queues.iter_mut().enumerate() {
+            if i == busiest || queue.is_empty() {
+                continue;
+            }
+            // SAFETY: workers are idle, so the pool thread owns the
+            // mailbox; the engine pointer is disjoint per job and outlives
+            // the phase (we block in `wait` below).
+            let data = unsafe { &mut *rt.data_ptr(i) };
+            std::mem::swap(&mut data.queue, queue);
+            data.job = Job::Drain {
+                engine: unsafe { engines.add(i) },
+            };
+            rt.publish(i);
         }
-        misses
+        // SAFETY: `busiest` is published to no worker, so this &mut is the
+        // only reference to that engine.
+        let own = unsafe { &mut *engines.add(busiest) };
+        drain_one(own, &mut queues[busiest], tagged, misses);
+        rt.wait();
+        rt.check_poison();
+        if let Some(reg) = &self.telemetry {
+            reg.pool().add(Counter::BatchHandoffs, jobs as u64);
+        }
+        for (i, queue) in queues.iter_mut().enumerate() {
+            if i == busiest {
+                continue;
+            }
+            // SAFETY: `wait` returned; the mailboxes are back with us.
+            // Cells that got no job have empty buffers, so gathering from
+            // everyone is uniform and a no-op for them.
+            let data = unsafe { &mut *rt.data_ptr(i) };
+            tagged.append(&mut data.tagged);
+            misses.append(&mut data.misses);
+            // Swap the (drained) queue buffer back so the next batch's
+            // routing reuses its capacity.
+            std::mem::swap(&mut data.queue, queue);
+        }
     }
 
     fn sweep_shards(&mut self, now_ms: u64, tagged: &mut Vec<(MergeKey, Alert)>) {
         let n = self.shards.len();
-        if n == 1 || self.workers <= 1 {
+        let parallel = self.runtime.is_some() && self.workers > 1 && n > 1;
+        if !parallel {
             for shard in &mut self.shards {
                 let mut sink = TaggedSink::sweep(tagged);
                 shard.force_maintain(now_ms, &mut sink);
             }
         } else {
-            let mut outs: Vec<Vec<(MergeKey, Alert)>> = (0..n).map(|_| Vec::new()).collect();
-            thread::scope(|scope| {
-                for (shard, out) in self.shards.iter_mut().zip(outs.iter_mut()) {
-                    scope.spawn(move || {
-                        let mut sink = TaggedSink::sweep(out);
-                        shard.force_maintain(now_ms, &mut sink);
-                    });
-                }
-            });
-            for out in outs {
-                tagged.extend(out);
+            let rt = self.runtime.as_ref().unwrap();
+            let engines: *mut Vids = self.shards.as_mut_ptr();
+            rt.begin(n - 1);
+            for i in 1..n {
+                // SAFETY: as in `drain_shards` — idle workers, disjoint
+                // engine per job, pool thread blocks before the phase ends.
+                let data = unsafe { &mut *rt.data_ptr(i) };
+                data.job = Job::Sweep {
+                    engine: unsafe { engines.add(i) },
+                    now_ms,
+                };
+                rt.publish(i);
+            }
+            {
+                // Shard 0 sweeps on the pool thread meanwhile.
+                // SAFETY: published to no worker.
+                let own = unsafe { &mut *engines };
+                let mut sink = TaggedSink::sweep(tagged);
+                own.force_maintain(now_ms, &mut sink);
+            }
+            rt.wait();
+            rt.check_poison();
+            if let Some(reg) = &self.telemetry {
+                reg.pool().add(Counter::BatchHandoffs, (n - 1) as u64);
+            }
+            for i in 1..n {
+                // SAFETY: `wait` returned; the mailboxes are back with us.
+                let data = unsafe { &mut *rt.data_ptr(i) };
+                tagged.append(&mut data.tagged);
             }
         }
         // Drop routing entries for media the shards just evicted, keeping
@@ -636,16 +1052,39 @@ impl VidsPool {
             shards[*shard].factbase().media_lookup(*ip, *port).is_some()
         });
     }
+
+    /// Test hook: pretends the host has `workers` hardware threads so the
+    /// handoff paths are exercised even on a single-core CI box.
+    #[cfg(test)]
+    fn force_workers(&mut self, workers: usize) {
+        self.workers = workers;
+    }
+
+    /// Test hook: runs a panicking job on one worker to exercise poison
+    /// propagation end to end.
+    #[cfg(test)]
+    fn inject_worker_panic(&mut self, shard: usize) {
+        let rt = self.runtime.as_ref().expect("multi-shard pool has workers");
+        rt.check_poison();
+        // SAFETY: no job in flight; the pool thread owns the mailbox.
+        let data = unsafe { &mut *rt.data_ptr(shard) };
+        data.job = Job::Panic;
+        rt.begin(1);
+        rt.publish(shard);
+        rt.wait();
+        rt.check_poison();
+    }
 }
 
-/// Drains one shard's queue on (possibly) its own thread.
+/// Drains one shard's routed queue (leaving its capacity in place) through
+/// the shard engine, on the pool thread or a worker.
 fn drain_one(
     vids: &mut Vids,
-    queue: Vec<(usize, u64, Part)>,
+    queue: &mut Vec<Routed>,
     alerts: &mut Vec<(MergeKey, Alert)>,
     misses: &mut Vec<Miss>,
 ) {
-    for (idx, t, part) in queue {
+    for (idx, t, part) in queue.drain(..) {
         match part {
             Part::Register(event) => {
                 let mut sink = TaggedSink::packet(alerts, idx, 2);
@@ -867,5 +1306,65 @@ mod tests {
         assert_eq!(pool.shards(), 6);
         assert_eq!(pool.monitored_calls(), 0);
         assert!(Config::builder().shards(0).build().is_err());
+    }
+
+    /// A batch big enough to cross both handoff thresholds, with calls,
+    /// media, floods and strays spread across shards.
+    fn big_trace() -> Vec<Packet> {
+        let mut packets = Vec::new();
+        for i in 0..300u64 {
+            let inv = invite(&format!("big-{i:03}"));
+            let mut p = pkt(CALLER, CALLEE, Payload::Sip(inv.to_string()));
+            p.sent_at = SimTime::from_millis(i);
+            packets.push(p);
+        }
+        packets
+    }
+
+    #[test]
+    fn worker_handoff_matches_inline_drain() {
+        let packets = big_trace();
+        // Forced to hand off to the persistent workers (even on a 1-core
+        // host, where the default path would drain inline)...
+        let mut threaded = VidsPool::new(shards(4));
+        threaded.force_workers(4);
+        let mut threaded_out = threaded.process_batch(&packets, SimTime::ZERO);
+        threaded_out.extend(threaded.tick(SimTime::from_secs(30)));
+        // ...versus forced inline on the same shard count.
+        let mut inline = VidsPool::new(shards(4));
+        inline.force_workers(1);
+        let mut inline_out = inline.process_batch(&packets, SimTime::ZERO);
+        inline_out.extend(inline.tick(SimTime::from_secs(30)));
+        assert_eq!(threaded_out, inline_out);
+        assert_eq!(threaded.counters(), inline.counters());
+        assert_eq!(threaded.monitored_calls(), inline.monitored_calls());
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_drop_joins() {
+        // Silence the injected panic's default backtrace print; restore
+        // the hook afterwards.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut pool = VidsPool::new(shards(4));
+        let first = std::panic::catch_unwind(AssertUnwindSafe(|| pool.inject_worker_panic(2)));
+        assert!(first.is_err(), "worker panic must surface on the caller");
+        // The pool is poisoned: the next API call re-raises instead of
+        // deadlocking on the dead worker.
+        let second = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.process_batch(&[], SimTime::ZERO);
+        }));
+        assert!(second.is_err(), "poisoned pool must keep failing loudly");
+        std::panic::set_hook(prev);
+        // Dropping the poisoned pool must join every worker, not hang.
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers_after_traffic() {
+        let mut pool = VidsPool::new(shards(4));
+        pool.force_workers(4);
+        pool.process_batch(&big_trace(), SimTime::ZERO);
+        drop(pool); // joins 4 parked workers; must not hang or leak
     }
 }

@@ -14,18 +14,18 @@ use crate::status::StatusCode;
 use crate::uri::SipUri;
 
 /// Error returned by [`parse_message`].
+///
+/// The reason is a static string: building an error for the (frequent, on
+/// hostile traffic) malformed-packet path costs no allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseMessageError {
     line: usize,
-    reason: String,
+    reason: &'static str,
 }
 
 impl ParseMessageError {
-    fn new(line: usize, reason: impl Into<String>) -> Self {
-        ParseMessageError {
-            line,
-            reason: reason.into(),
-        }
+    fn new(line: usize, reason: &'static str) -> Self {
+        ParseMessageError { line, reason }
     }
 
     /// 1-based line number where parsing failed (0 for structural errors).
@@ -94,7 +94,8 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         let code: u16 = code_text
             .parse()
             .map_err(|_| ParseMessageError::new(1, "invalid status code"))?;
-        let status = StatusCode::new(code).map_err(|e| ParseMessageError::new(1, e.to_string()))?;
+        let status =
+            StatusCode::new(code).map_err(|_| ParseMessageError::new(1, "invalid status code"))?;
         let mut resp = Response::new(status);
         resp.headers = headers;
         resp.body = body;
@@ -116,12 +117,10 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         }
         let method: Method = method_tok
             .parse()
-            .map_err(|e: crate::method::ParseMethodError| {
-                ParseMessageError::new(1, e.to_string())
-            })?;
+            .map_err(|_| ParseMessageError::new(1, "invalid method"))?;
         let uri: SipUri = uri_tok
             .parse()
-            .map_err(|e: crate::uri::ParseUriError| ParseMessageError::new(1, e.to_string()))?;
+            .map_err(|_| ParseMessageError::new(1, "invalid request-URI"))?;
         let mut req = Request::new(method, uri);
         req.headers = headers;
         req.body = body;
@@ -139,32 +138,28 @@ fn split_head_body(text: &str) -> (&str, &str) {
     }
 }
 
-fn parse_header_line(line: &str) -> Result<Header, String> {
-    let (name, value) = line
-        .split_once(':')
-        .ok_or_else(|| format!("header line without ':': {line:?}"))?;
+/// Static error reasons keep the reject path allocation-free: a flood of
+/// malformed headers costs parsing time only, never heap churn. Ownership
+/// (`to_owned`) is taken only for the value a [`Header`] variant actually
+/// stores.
+fn parse_header_line(line: &str) -> Result<Header, &'static str> {
+    let (name, value) = line.split_once(':').ok_or("header line without ':'")?;
     let name = name.trim();
     let value = value.trim();
     let canonical = canonical_name(name);
     let header = match canonical {
-        "Via" => Header::Via(value.parse().map_err(|e| format!("{e}"))?),
-        "From" => Header::From(value.parse().map_err(|e| format!("{e}"))?),
-        "To" => Header::To(value.parse().map_err(|e| format!("{e}"))?),
-        "Contact" => Header::Contact(value.parse().map_err(|e| format!("{e}"))?),
+        "Via" => Header::Via(value.parse().map_err(|_| "invalid Via")?),
+        "From" => Header::From(value.parse().map_err(|_| "invalid From")?),
+        "To" => Header::To(value.parse().map_err(|_| "invalid To")?),
+        "Contact" => Header::Contact(value.parse().map_err(|_| "invalid Contact")?),
         "Call-ID" => Header::CallId(value.to_owned()),
-        "CSeq" => Header::CSeq(value.parse().map_err(|e| format!("{e}"))?),
-        "Max-Forwards" => Header::MaxForwards(
-            value
-                .parse()
-                .map_err(|_| "invalid Max-Forwards".to_owned())?,
-        ),
+        "CSeq" => Header::CSeq(value.parse().map_err(|_| "invalid CSeq")?),
+        "Max-Forwards" => Header::MaxForwards(value.parse().map_err(|_| "invalid Max-Forwards")?),
         "Content-Type" => Header::ContentType(value.to_owned()),
-        "Content-Length" => Header::ContentLength(
-            value
-                .parse()
-                .map_err(|_| "invalid Content-Length".to_owned())?,
-        ),
-        "Expires" => Header::Expires(value.parse().map_err(|_| "invalid Expires".to_owned())?),
+        "Content-Length" => {
+            Header::ContentLength(value.parse().map_err(|_| "invalid Content-Length")?)
+        }
+        "Expires" => Header::Expires(value.parse().map_err(|_| "invalid Expires")?),
         _ => Header::Other {
             name: name.to_owned(),
             value: value.to_owned(),

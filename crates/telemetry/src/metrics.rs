@@ -46,11 +46,14 @@ pub enum Counter {
     AlertsNondeterminism,
     /// Nanoseconds spent in the pool's deterministic merge (wall clock).
     MergeNanos,
+    /// Batch descriptors handed to persistent shard workers (one per worker
+    /// woken per batch; zero when the pool drains inline).
+    BatchHandoffs,
 }
 
 impl Counter {
     /// Number of counter slots; sizes the slab arrays.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     /// Every variant, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -72,6 +75,7 @@ impl Counter {
         Counter::AlertsDeviation,
         Counter::AlertsNondeterminism,
         Counter::MergeNanos,
+        Counter::BatchHandoffs,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -95,6 +99,7 @@ impl Counter {
             Counter::AlertsDeviation => "alerts_deviation",
             Counter::AlertsNondeterminism => "alerts_nondeterminism",
             Counter::MergeNanos => "merge_nanos",
+            Counter::BatchHandoffs => "batch_handoffs",
         }
     }
 
@@ -104,7 +109,10 @@ impl Counter {
     /// [`crate::Snapshot::deterministic`] zeroes the non-deterministic
     /// slots so snapshots can be compared for shard-count invariance.
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, Counter::MergeNanos)
+        // Handoffs depend on the host's hardware-thread count (a single-core
+        // box drains inline and never hands a batch to a worker), so the
+        // slot is zeroed alongside the wall-clock ones.
+        !matches!(self, Counter::MergeNanos | Counter::BatchHandoffs)
     }
 }
 
@@ -117,29 +125,34 @@ pub enum Gauge {
     /// Estimated resident bytes of the fact base (plus media index for the
     /// pool-level slab).
     MemoryBytes,
+    /// Persistent shard workers currently parked waiting for a batch.
+    WorkerParked,
 }
 
 impl Gauge {
     /// Number of gauge slots; sizes the slab arrays.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Every variant, in slot order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::LiveCalls, Gauge::MemoryBytes];
+    pub const ALL: [Gauge; Gauge::COUNT] =
+        [Gauge::LiveCalls, Gauge::MemoryBytes, Gauge::WorkerParked];
 
     /// Stable snake_case name used in JSON/CSV export.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::LiveCalls => "live_calls",
             Gauge::MemoryBytes => "memory_bytes",
+            Gauge::WorkerParked => "worker_parked",
         }
     }
 
     /// See [`Counter::is_deterministic`]. Memory is layout-dependent: when
     /// distinct calls publish identical media coordinates, each owning
     /// shard keeps its own media-index entry, so the merged byte count
-    /// varies with the shard count even though detection does not.
+    /// varies with the shard count even though detection does not. The
+    /// parked-worker gauge depends on the host's hardware threads.
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, Gauge::MemoryBytes)
+        !matches!(self, Gauge::MemoryBytes | Gauge::WorkerParked)
     }
 }
 
@@ -198,6 +211,8 @@ mod tests {
     #[test]
     fn wall_clock_slots_are_flagged() {
         assert!(!Counter::MergeNanos.is_deterministic());
+        assert!(!Counter::BatchHandoffs.is_deterministic());
+        assert!(!Gauge::WorkerParked.is_deterministic());
         assert!(Counter::Transitions.is_deterministic());
         assert!(!HistId::MergeNanos.is_deterministic());
         assert!(HistId::BatchSize.is_deterministic());

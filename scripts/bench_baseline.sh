@@ -33,6 +33,7 @@ mapping = {
     "vids_mixed_fig8_telemetry_elem_per_s": "hot_path/vids_mixed_fig8_telemetry",
     "pool_mixed_fig8_4_shards_elem_per_s": "hot_path/pool_mixed_fig8_4_shards",
     "pool_mixed_fig8_4_shards_telemetry_elem_per_s": "hot_path/pool_mixed_fig8_4_shards_telemetry",
+    "sip_parse_reject_malformed_elem_per_s": "parser/sip_parse_reject_malformed",
 }
 for key, bench_id in mapping.items():
     if bench_id in rates:

@@ -25,4 +25,39 @@ cargo clippy --offline -p vids-efsm -p vids-telemetry -p vids-core --all-targets
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string
 
+# Worker-runtime stress: one persistent pool, randomized batch sizes,
+# byte-compared against the plain engine at 1/4/8 shards.
+echo "==> pool determinism stress"
+cargo test --offline --test pool_determinism -q \
+    randomized_batch_sizes_match_the_plain_engine
+
+# On hosts with enough hardware threads the persistent workers must make
+# the 4-shard pool at least as fast as the unsharded engine; on smaller
+# hosts the pool degenerates to sequential draining and the ratio is noise.
+HW_THREADS="$(nproc 2>/dev/null || echo 1)"
+if [ "$HW_THREADS" -ge 4 ]; then
+    echo "==> pool-vs-plain throughput gate (${HW_THREADS} hardware threads)"
+    cargo bench --offline -p vids-bench --bench pool_scaling 2>/dev/null \
+        | tee /tmp/vids_pool_scaling.txt
+    python3 - <<'EOF'
+import re, sys
+
+text = open("/tmp/vids_pool_scaling.txt").read()
+def pps(label):
+    m = re.search(rf"^{re.escape(label)}\s.*?(\d+)\s+pps", text, re.M)
+    return float(m.group(1)) if m else None
+
+plain = pps("plain engine (no pool)")
+sharded = pps("4 shard(s)")
+if plain is None or sharded is None:
+    sys.exit("pool_scaling output missing the plain or 4-shard row")
+ratio = sharded / plain
+print(f"pool-vs-plain at 4 shards: {ratio:.2f}x")
+if ratio < 1.0:
+    sys.exit(f"4-shard pool is slower than the plain engine ({ratio:.2f}x < 1.00x)")
+EOF
+else
+    echo "==> pool-vs-plain throughput gate skipped (${HW_THREADS} hardware thread(s) < 4)"
+fi
+
 echo "OK"

@@ -9,8 +9,9 @@
 //!
 //! * a warm in-dialog SIP packet costs at most 4 allocations,
 //! * a warm in-profile RTP packet costs 0 allocations,
-//! * a `VidsPool` batch costs a constant number of allocations regardless
-//!   of batch size (the marginal packet is allocation-free).
+//! * a warm `VidsPool` batch costs 0 allocations: the persistent worker
+//!   runtime reuses the pool's queue/classify/merge buffers across
+//!   batches, so steady-state ingest never touches the allocator.
 //!
 //! Everything lives in a single `#[test]` because the counter is global:
 //! the default multi-threaded test runner would otherwise interleave
@@ -80,6 +81,12 @@ const CALLEE: Address = Address::new(10, 2, 0, 10, 5060);
 
 /// Documented per-packet budget for a warm in-dialog SIP message.
 const SIP_BUDGET: u64 = 4;
+
+/// Documented budget for a warm pool batch. The persistent worker runtime
+/// swaps pre-sized buffers between the pool and its shard mailboxes, so a
+/// steady-state batch allocates nothing (before the runtime this was a
+/// constant 7 per batch).
+const POOL_BATCH_BUDGET: u64 = 0;
 
 fn pkt(src: Address, dst: Address, payload: Payload) -> Packet {
     Packet {
@@ -213,6 +220,10 @@ fn warm_packets_meet_the_allocation_budget() {
         "pool batch allocations must be constant in batch size \
          (8 packets: {n_small}, 32 packets: {n_large})"
     );
+    assert_eq!(
+        n_small, POOL_BATCH_BUDGET,
+        "warm pool batch made {n_small} allocations (budget {POOL_BATCH_BUDGET})"
+    );
     assert!(
         sink.alerts().is_empty(),
         "budget traffic must be clean: {:?}",
@@ -288,6 +299,11 @@ fn warm_packets_meet_the_allocation_budget() {
         n_small, n_large,
         "telemetry made pool batch allocations batch-size-dependent \
          (8 packets: {n_small}, 32 packets: {n_large})"
+    );
+    assert_eq!(
+        n_small, POOL_BATCH_BUDGET,
+        "telemetry record path broke the pool batch budget: \
+         {n_small} allocations (budget {POOL_BATCH_BUDGET})"
     );
     assert!(
         sink.alerts().is_empty(),

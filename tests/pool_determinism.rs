@@ -412,3 +412,152 @@ fn pool_matches_the_plain_engine_packet_at_a_time() {
         .iter()
         .any(|a| a.kind == AlertKind::Attack && a.label == labels::RTP_AFTER_BYE));
 }
+
+/// The persistent worker runtime reuses queue/classify/merge buffers across
+/// batches. Reusing one pool for 50 consecutive batches must be
+/// byte-identical to the fresh-pool reference, and two independent pools
+/// replaying the same 50 batches must agree with each other exactly —
+/// i.e. no state leaks between batches through the recycled buffers and no
+/// thread-schedule dependence survives the merge.
+#[test]
+fn one_pool_reused_across_fifty_batches_is_byte_identical() {
+    let (reference, ref_counters) = run_pool(4, 25);
+    let trace = mixed_trace();
+    let batch = (trace.len() / 50).max(1);
+    assert!(
+        trace.chunks(batch).count() >= 50,
+        "trace too short to form 50 batches"
+    );
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let config = Config::builder().shards(4).build().unwrap();
+        let mut pool = VidsPool::with_cost(config, CostModel::free());
+        for chunk in trace.chunks(batch) {
+            let now = chunk[0].1;
+            let packets: Vec<Packet> = chunk.iter().map(|(p, _)| p.clone()).collect();
+            pool.process_batch(&packets, now);
+        }
+        pool.tick(SimTime::from_secs(30));
+        pool.tick(SimTime::from_secs(40));
+        runs.push((pool.alerts().to_vec(), pool.counters()));
+    }
+    assert_eq!(runs[0], runs[1], "two identical 50-batch replays diverged");
+    assert_eq!(
+        format!("{:?}", runs[0].0),
+        format!("{:?}", runs[1].0),
+        "alert renderings diverged between replays"
+    );
+    assert_eq!(
+        runs[0].0, reference,
+        "50-batch replay diverged from reference"
+    );
+    assert_eq!(runs[0].1, ref_counters);
+}
+
+/// Interleaves every ingestion API the pool offers — per-packet
+/// `Monitor::process`, `process_batch`, `process_batch_into`, and forced
+/// timer sweeps mid-stream — and requires the alert log and counters to be
+/// shard-count invariant anyway.
+fn run_interleaved(shards: usize) -> (Vec<Alert>, vids::core::VidsCounters) {
+    let config = Config::builder().shards(shards).build().unwrap();
+    let mut pool = VidsPool::with_cost(config, CostModel::free());
+    let mut sink = CollectSink::new();
+    let trace = mixed_trace();
+    for (i, chunk) in trace.chunks(13).enumerate() {
+        let now = chunk[0].1;
+        match i % 3 {
+            0 => {
+                for (packet, at) in chunk {
+                    Monitor::process(&mut pool, packet, *at, &mut sink);
+                }
+            }
+            1 => {
+                let packets: Vec<Packet> = chunk.iter().map(|(p, _)| p.clone()).collect();
+                pool.process_batch(&packets, now);
+            }
+            _ => {
+                let packets: Vec<Packet> = chunk.iter().map(|(p, _)| p.clone()).collect();
+                pool.process_batch_into(&packets, now, &mut sink);
+                // Force a sweep mid-stream at the batch's last timestamp.
+                pool.tick_into(chunk[chunk.len() - 1].1, &mut sink);
+            }
+        }
+    }
+    pool.tick(SimTime::from_secs(30));
+    pool.tick(SimTime::from_secs(40));
+    (pool.alerts().to_vec(), pool.counters())
+}
+
+#[test]
+fn interleaved_apis_are_shard_count_invariant() {
+    let (reference, ref_counters) = run_interleaved(1);
+    assert!(
+        reference.iter().any(|a| a.label == labels::INVITE_FLOOD),
+        "interleaved run lost the flood: {reference:?}"
+    );
+    assert!(reference.iter().any(|a| a.label == labels::RTP_AFTER_BYE));
+    for shards in [4usize, 8] {
+        let (alerts, counters) = run_interleaved(shards);
+        assert_eq!(
+            reference, alerts,
+            "interleaved APIs at {shards} shards diverged from 1 shard"
+        );
+        assert_eq!(ref_counters, counters);
+    }
+}
+
+/// Deterministic xorshift64 step; the stress test below must be replayable,
+/// so no ambient randomness.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Seeded stress: one persistent pool ingests the trace in random-size
+/// batches (1..=32 packets) with random forced sweeps, while a plain `Vids`
+/// consumes the identical stream packet-at-a-time. Both must emit the same
+/// alerts, in the same order, with the same counters.
+#[test]
+fn randomized_batch_sizes_match_the_plain_engine() {
+    let trace = mixed_trace();
+    for shards in [1usize, 4, 8] {
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut plain = Vids::with_cost(Config::default(), CostModel::free());
+        let config = Config::builder().shards(shards).build().unwrap();
+        let mut pool = VidsPool::with_cost(config, CostModel::free());
+        let mut plain_sink = CollectSink::new();
+        let mut pool_sink = CollectSink::new();
+        let mut i = 0;
+        while i < trace.len() {
+            let size = 1 + (xorshift(&mut rng) % 32) as usize;
+            let end = (i + size).min(trace.len());
+            let now = trace[i].1;
+            let packets: Vec<Packet> = trace[i..end].iter().map(|(p, _)| p.clone()).collect();
+            pool.process_batch_into(&packets, now, &mut pool_sink);
+            for (packet, at) in &trace[i..end] {
+                plain.process_into(packet, *at, &mut plain_sink);
+            }
+            if xorshift(&mut rng).is_multiple_of(5) {
+                let at = trace[end - 1].1;
+                plain.tick_into(at, &mut plain_sink);
+                pool.tick_into(at, &mut pool_sink);
+            }
+            i = end;
+        }
+        for flush in [30u64, 40] {
+            plain.tick_into(SimTime::from_secs(flush), &mut plain_sink);
+            pool.tick_into(SimTime::from_secs(flush), &mut pool_sink);
+        }
+        assert!(!plain_sink.is_empty());
+        assert_eq!(
+            plain_sink.alerts(),
+            pool_sink.alerts(),
+            "{shards}-shard pool diverged from the plain engine under random batching"
+        );
+        assert_eq!(plain.alerts(), pool.alerts());
+        assert_eq!(plain.counters(), pool.counters());
+        assert_eq!(plain.monitored_calls(), pool.monitored_calls());
+    }
+}

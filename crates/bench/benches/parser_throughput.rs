@@ -69,6 +69,7 @@ fn bench(c: &mut Criterion) {
         "INVITE sip:bob@b.example.com SIP/2.0\r\nVia: bad\r\n\r\n",
         "INVITE sip:bob@b.example.com SIP/2.0\r\nCSeq: one INVITE\r\n\r\n",
         "INVITE sip:bob@b.example.com SIP/2.0\r\nContent-Length: many\r\n\r\n",
+        "INVITE sip:bob@b.example.com SIP/2.0\r\nContent-Length: 9999\r\n\r\ntruncated",
         "INVITE sip:bob@b.example.com SIP/2.0\r\nheader without colon\r\n\r\n",
         "garbage",
     ];

@@ -182,11 +182,59 @@ struct Miss {
     src_ip: Sym,
 }
 
-/// Mailbox states published through [`ShardCell::state`].
-const IDLE: u32 = 0;
-const HAS_WORK: u32 = 1;
-const SHUTDOWN: u32 = 2;
-const POISONED: u32 = 3;
+/// The mailbox protocol's state word and transition functions, split out so
+/// the `vids-harness` exhaustive interleaving checker exercises *these*
+/// definitions, not a transcription that could drift from the code. The
+/// worker side of the protocol ([`worker_loop`]) calls
+/// [`mailbox::worker_observe`] / [`mailbox::worker_publish`] verbatim; the
+/// coordinator side's steps (arm pending → write job → publish → wait) are
+/// modeled against the constants here. Hidden: this is a verification seam,
+/// not API.
+#[doc(hidden)]
+pub mod mailbox {
+    /// Mailbox is empty; the pool thread owns the cell's buffers.
+    pub const IDLE: u32 = 0;
+    /// A job is published; the worker owns the cell's buffers.
+    pub const HAS_WORK: u32 = 1;
+    /// The runtime is being dropped; the worker must exit its loop.
+    pub const SHUTDOWN: u32 = 2;
+    /// A job panicked; its payload is parked in the cell.
+    pub const POISONED: u32 = 3;
+
+    /// What a worker does after observing the state word.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WorkerStep {
+        /// Take ownership of the mailbox and run the job.
+        Run,
+        /// Leave the worker loop (runtime shutdown).
+        Exit,
+        /// Nothing to do: spin, then park.
+        Wait,
+    }
+
+    /// The worker-side decision on an observed state word.
+    #[inline]
+    pub fn worker_observe(state: u32) -> WorkerStep {
+        match state {
+            HAS_WORK => WorkerStep::Run,
+            SHUTDOWN => WorkerStep::Exit,
+            _ => WorkerStep::Wait,
+        }
+    }
+
+    /// The state word a worker publishes after finishing a job, handing the
+    /// mailbox back to the pool thread.
+    #[inline]
+    pub fn worker_publish(panicked: bool) -> u32 {
+        if panicked {
+            POISONED
+        } else {
+            IDLE
+        }
+    }
+}
+
+use mailbox::{HAS_WORK, IDLE, POISONED, SHUTDOWN};
 
 /// Spins before a worker parks, covering back-to-back phase handoffs of one
 /// batch without a syscall round-trip.
@@ -374,10 +422,10 @@ fn worker_loop(shared: &Shared, index: usize) {
     loop {
         let mut spins = 0u32;
         loop {
-            match cell.state.load(Acquire) {
-                HAS_WORK => break,
-                SHUTDOWN => return,
-                _ => {}
+            match mailbox::worker_observe(cell.state.load(Acquire)) {
+                mailbox::WorkerStep::Run => break,
+                mailbox::WorkerStep::Exit => return,
+                mailbox::WorkerStep::Wait => {}
             }
             if spins < SPIN_LIMIT {
                 spins += 1;
@@ -391,13 +439,12 @@ fn worker_loop(shared: &Shared, index: usize) {
         // SAFETY: observing HAS_WORK (Acquire) transferred the mailbox to
         // this worker; it is handed back by the Release store below.
         let data = unsafe { &mut *cell.data.get() };
-        match panic::catch_unwind(AssertUnwindSafe(|| run_job(data))) {
-            Ok(()) => cell.state.store(IDLE, Release),
-            Err(payload) => {
-                *cell.panic.lock().unwrap() = Some(payload);
-                cell.state.store(POISONED, Release);
-            }
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| run_job(data)));
+        let panicked = outcome.is_err();
+        if let Err(payload) = outcome {
+            *cell.panic.lock().unwrap() = Some(payload);
         }
+        cell.state.store(mailbox::worker_publish(panicked), Release);
         if shared.pending.fetch_sub(1, AcqRel) == 1 {
             // Last job of the phase: wake the pool thread.
             if let Some(coordinator) = shared.coordinator.lock().unwrap().as_ref() {

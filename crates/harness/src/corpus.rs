@@ -1,0 +1,184 @@
+//! Well-formed seeds for the mutation fuzzers.
+//!
+//! Mutation fuzzing is only as good as its starting points: a mutator fed
+//! garbage explores the "reject immediately" subspace forever. These seeds
+//! are valid messages the repo's own builders emit — plus hand-written
+//! variants (compact headers, LF endings, addr-spec forms) the builders
+//! never produce — so single mutations land *near* the accept/reject
+//! boundary where parser bugs live. RTP/RTCP seeds pin sequence numbers and
+//! timestamps to the 16-/32-bit wrap points the satellite bugs lived at.
+
+use vids_rtp::packet::RtpPacket;
+use vids_rtp::rtcp_wire::{ReportBlock, RtcpPacket};
+use vids_sip::method::Method;
+use vids_sip::status::StatusCode;
+use vids_sip::uri::SipUri;
+use vids_sip::Request;
+
+/// Sequence numbers straddling the 16-bit wrap and the serial-comparison
+/// half-window boundary (RFC 1982 / RFC 3550 §A.1).
+pub const SEQ_EXTREMES: [u16; 8] = [0, 1, 2, 0x7FFF, 0x8000, 0x8001, 0xFFFE, 0xFFFF];
+
+/// Timestamps straddling the 32-bit wrap and the signed-difference
+/// boundary — the values the jitter estimator's unsigned-delta bug needed.
+pub const TS_EXTREMES: [u32; 8] = [
+    0,
+    1,
+    160,
+    0x7FFF_FFFF,
+    0x8000_0000,
+    0x8000_0001,
+    u32::MAX - 160,
+    u32::MAX,
+];
+
+/// Well-formed SIP message texts: everything the testbed's builders emit
+/// plus hand-written wire variants (compact names, LF-only endings,
+/// addr-spec `From`/`To`) that are legal but never generated.
+pub fn sip_seeds() -> Vec<String> {
+    let from = SipUri::new("alice", "a.example.com");
+    let to = SipUri::new("bob", "b.example.com");
+    let invite = Request::invite(&from, &to, "fuzz-call-1").with_body(
+        "application/sdp",
+        "v=0\r\no=alice 1 1 IN IP4 10.1.0.10\r\nm=audio 20000 RTP/AVP 18\r\n",
+    );
+    let mut seeds = vec![
+        invite.to_string(),
+        invite.response(StatusCode::TRYING).to_string(),
+        invite
+            .response(StatusCode::RINGING)
+            .with_to_tag("tag-b1")
+            .to_string(),
+        invite
+            .response(StatusCode::OK)
+            .with_to_tag("tag-b1")
+            .with_body("application/sdp", "v=0\r\nm=audio 20002 RTP/AVP 18\r\n")
+            .to_string(),
+        Request::in_dialog(Method::Ack, &invite, 1, Some("tag-b1")).to_string(),
+        Request::in_dialog(Method::Bye, &invite, 2, Some("tag-b1")).to_string(),
+        Request::new(Method::Register, SipUri::new("alice", "a.example.com")).to_string(),
+    ];
+    // Compact header names + LF-only line endings: legal per RFC 3261
+    // §7.3.3, never emitted by the builders above.
+    seeds.push(
+        "BYE sip:bob@b.example.com SIP/2.0\n\
+         v: SIP/2.0/UDP a.example.com:5060;branch=z9hG4bK-fz\n\
+         f: <sip:alice@a.example.com>;tag=fa\n\
+         t: <sip:bob@b.example.com>;tag=fb\n\
+         i: fuzz-call-2\n\
+         CSeq: 2 BYE\n\
+         l: 0\n\n"
+            .to_owned(),
+    );
+    // addr-spec (no angle brackets) name-addr forms with hoisted tags.
+    seeds.push(
+        "OPTIONS sip:b.example.com SIP/2.0\r\n\
+         Via: SIP/2.0/UDP a.example.com;branch=z9hG4bK-opt\r\n\
+         From: sip:alice@a.example.com;tag=oa\r\n\
+         To: sip:bob@b.example.com\r\n\
+         Call-ID: fuzz-call-3\r\n\
+         CSeq: 7 OPTIONS\r\n\
+         Content-Length: 4\r\n\r\nping"
+            .to_owned(),
+    );
+    seeds
+}
+
+/// Well-formed RTP wire packets at every seq/timestamp extreme pair, plus a
+/// few mid-stream shapes (marker bit, padding flag, empty payload).
+pub fn rtp_seeds() -> Vec<Vec<u8>> {
+    let mut seeds = Vec::new();
+    for (i, &seq) in SEQ_EXTREMES.iter().enumerate() {
+        let ts = TS_EXTREMES[i % TS_EXTREMES.len()];
+        seeds.push(
+            RtpPacket::new(18, seq, ts, 0xFACE_0001)
+                .with_payload(vec![0xAB; 10])
+                .to_bytes(),
+        );
+    }
+    seeds.push(
+        RtpPacket::new(0, 100, 16_000, 0xFACE_0002)
+            .with_marker()
+            .to_bytes(),
+    );
+    let mut padded = RtpPacket::new(96, 0xFFFF, u32::MAX, 0xFACE_0003)
+        .with_payload(vec![1, 2, 3])
+        .to_bytes();
+    padded[0] |= 0x20; // padding flag survives the parser
+    seeds.push(padded);
+    seeds.push(RtpPacket::new(127, 0, 0, 0).to_bytes());
+    seeds
+}
+
+/// Well-formed RTCP wire packets: SR and RR with 0/1/2 report blocks, with
+/// the block fields at wrap extremes.
+pub fn rtcp_seeds() -> Vec<Vec<u8>> {
+    let block = |ssrc: u32, seq: u32| ReportBlock {
+        ssrc,
+        fraction_lost: 255,
+        cumulative_lost: 0xFF_FFFF,
+        highest_seq: seq,
+        jitter: u32::MAX,
+        last_sr: 0,
+        delay_since_last_sr: 1,
+    };
+    vec![
+        RtcpPacket::SenderReport {
+            ssrc: 0xBEEF_0001,
+            ntp_timestamp: u64::MAX,
+            rtp_timestamp: u32::MAX,
+            packet_count: 0xFFFF,
+            octet_count: u32::MAX,
+            reports: vec![block(1, 0x0001_FFFF), block(2, 0)],
+        }
+        .to_bytes(),
+        RtcpPacket::SenderReport {
+            ssrc: 0,
+            ntp_timestamp: 0,
+            rtp_timestamp: 0,
+            packet_count: 0,
+            octet_count: 0,
+            reports: vec![],
+        }
+        .to_bytes(),
+        RtcpPacket::ReceiverReport {
+            ssrc: 0xBEEF_0002,
+            reports: vec![block(3, 0x8000_0000)],
+        }
+        .to_bytes(),
+        RtcpPacket::ReceiverReport {
+            ssrc: 7,
+            reports: vec![],
+        }
+        .to_bytes(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_sip::parse::parse_message;
+    use vids_sip::view::parse_view;
+
+    #[test]
+    fn every_sip_seed_is_accepted_by_both_parsers() {
+        for text in sip_seeds() {
+            assert!(parse_message(&text).is_ok(), "owned rejects seed: {text:?}");
+            assert!(parse_view(&text).is_ok(), "view rejects seed: {text:?}");
+        }
+    }
+
+    #[test]
+    fn every_rtp_seed_parses() {
+        for bytes in rtp_seeds() {
+            assert!(RtpPacket::parse(&bytes).is_ok());
+        }
+    }
+
+    #[test]
+    fn every_rtcp_seed_parses() {
+        for bytes in rtcp_seeds() {
+            assert!(RtcpPacket::parse(&bytes).is_ok());
+        }
+    }
+}

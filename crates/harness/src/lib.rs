@@ -1,0 +1,46 @@
+//! # vids-harness — the adversarial correctness harness
+//!
+//! The paper's detectors live or die on exact wire-level arithmetic (the
+//! media-spamming pattern compares RTP sequence/timestamp gaps, Fig. 6) and
+//! on the IDS never diverging from its specification machines — so this
+//! crate attacks the repo's own parsers, estimators and runtime the way
+//! hostile traffic would, instead of waiting for an attacker to do it:
+//!
+//! * [`mutate`] — **structure-aware mutation fuzzers** over SIP text and
+//!   RTP/RTCP wire bytes, driven by the seeded [`rng::XorShift64`] and the
+//!   [`corpus`] of well-formed seeds. Mutations are the damage classes real
+//!   wires produce: truncation, header duplication/reordering, compact-form
+//!   and case flips, LF-only endings, hostile `Content-Length`, and
+//!   sequence/timestamp extremes around the 16-/32-bit wrap points.
+//! * [`model`] — a **miniature exhaustive interleaving checker** over a
+//!   shrunken model of the `vids_core::pool` mailbox protocol
+//!   (`IDLE/HAS_WORK/SHUTDOWN/POISONED`), enumerating *every*
+//!   coordinator/worker step interleaving and asserting no lost wakeup, no
+//!   double ownership of a shard buffer, and that shutdown always joins.
+//!   The worker-side transition functions are imported from
+//!   `vids_core::pool::mailbox` — the model checks the shipped decision
+//!   logic, not a transcription.
+//! * the `tests/` directory holds the standing gates: wire fuzzing
+//!   (`fuzz_wire`), differential oracles (`differential` — parse→Display→
+//!   parse round-trips, plain-vs-pooled-engine equality at 1/4/8 shards,
+//!   telemetry-on/off detection equality), the model checker
+//!   (`mailbox_model`), and one regression per bug the harness was built to
+//!   catch (`regressions`).
+//!
+//! Budgets: every fuzz loop runs [`fuzz_iterations`] cases — 10 000 by
+//! default, overridable through the `VIDS_FUZZ_ITERS` environment variable
+//! for longer soaks (`VIDS_FUZZ_ITERS=1000000 cargo test -p vids-harness`).
+
+pub mod corpus;
+pub mod model;
+pub mod mutate;
+pub mod rng;
+
+/// Per-target fuzz iteration budget: `VIDS_FUZZ_ITERS` when set and
+/// parseable, 10 000 otherwise (the smoke budget `scripts/check.sh` pins).
+pub fn fuzz_iterations() -> u64 {
+    std::env::var("VIDS_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}

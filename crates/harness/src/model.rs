@@ -1,0 +1,659 @@
+//! Exhaustive interleaving checker for the pool's mailbox protocol.
+//!
+//! `vids_core::pool` hands batches to persistent shard workers through a
+//! lock-free mailbox: a per-cell `AtomicU32` state word
+//! (`IDLE`/`HAS_WORK`/`SHUTDOWN`/`POISONED`), a `pending` job counter, and
+//! park/unpark wakeups. Its correctness argument lives in comments; this
+//! module turns the argument into a checked artifact. The protocol is
+//! shrunk to a finite model — worker program counters, the coordinator's
+//! phase script (register → arm → write/publish per job → wait → gather →
+//! shutdown), park tokens, and an explicit buffer-ownership ledger — and
+//! **every** interleaving of coordinator and worker steps is enumerated by
+//! depth-first search with memoization.
+//!
+//! The worker's decision logic is not transcribed: each modeled worker step
+//! calls [`vids_core::pool::mailbox::worker_observe`] and
+//! [`vids_core::pool::mailbox::worker_publish`], the same functions
+//! `worker_loop` executes, so if those drift the model drifts with them.
+//!
+//! Checked invariants:
+//!
+//! * **no lost wakeup / no hang** — every reachable state either has an
+//!   enabled step or is the terminal "coordinator done, all workers
+//!   joined" state (deadlock detection subsumes lost-wakeup detection,
+//!   because a missed unpark strands a parked thread with no enabled step);
+//! * **single buffer ownership** — the coordinator only touches a cell's
+//!   buffers while it holds them (write-before-publish, gather-after-wait),
+//!   and a worker only between observing `HAS_WORK` and publishing back;
+//! * **no pending underflow** — a worker never decrements `pending` past
+//!   zero (the reason `begin` arms the count *before* the first publish);
+//! * **shutdown always joins** — including when a job panicked and left its
+//!   cell `POISONED`.
+//!
+//! The model assumes sequentially consistent interleavings; it checks the
+//! protocol logic, not the `Acquire`/`Release` fence placement. Injectable
+//! bugs ([`Bugs`]) exist so the test suite can prove the checker *fails*
+//! when the protocol is broken in each historically tempting way.
+
+use std::collections::HashMap;
+
+use vids_core::pool::mailbox::{self, WorkerStep, HAS_WORK, IDLE, POISONED, SHUTDOWN};
+
+/// Model configuration: the shrunken world the checker exhausts.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Worker threads (model cells). Keep ≤ 3: the state space is
+    /// exponential in this.
+    pub workers: usize,
+    /// Jobs published per phase, to cells `0..jobs`. Must be ≤ `workers`.
+    pub jobs: usize,
+    /// Batch phases the coordinator runs before dropping the runtime.
+    pub phases: usize,
+    /// Make this job index panic in phase 0, exercising the `POISONED`
+    /// path (publish-back, coordinator re-throw, shutdown over poison).
+    pub panic_job: Option<usize>,
+    /// Injected protocol bugs — all `false` for the real protocol.
+    pub bugs: Bugs,
+}
+
+/// Deliberate protocol mutations. Each one models a bug class the real
+/// implementation defends against; the checker must reject every one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bugs {
+    /// `unpark` wakes only a currently-parked thread instead of banking a
+    /// token. The real `Thread::unpark` banks; without it, an unpark that
+    /// races ahead of the park is lost.
+    pub drop_park_token: bool,
+    /// Publish `HAS_WORK` before writing the job into the cell.
+    pub publish_before_write: bool,
+    /// Arm `pending` after the publishes instead of before the first one:
+    /// an instantly-finishing worker then decrements from zero.
+    pub arm_after_publish: bool,
+    /// Store `SHUTDOWN` on drop but skip the unparks.
+    pub skip_shutdown_unpark: bool,
+}
+
+impl Config {
+    /// The real protocol at a given size.
+    pub fn correct(workers: usize, jobs: usize, phases: usize) -> Config {
+        Config {
+            workers,
+            jobs,
+            phases,
+            panic_job: None,
+            bugs: Bugs::default(),
+        }
+    }
+}
+
+/// Who may touch a cell's buffers right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Owner {
+    Coordinator,
+    Worker,
+}
+
+/// A worker's program counter, mirroring `worker_loop`'s structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WorkerPc {
+    /// Loading the state word and deciding via `mailbox::worker_observe`.
+    Check,
+    /// Observed nothing to do; about to call `park`. This is the
+    /// load-to-park window the park token must cover: an unpark landing
+    /// here must not be lost.
+    ParkDecided,
+    /// Parked; runnable only once its token is banked.
+    Parked,
+    /// Inside `run_job` (buffers must be worker-owned for the duration).
+    Running,
+    /// About to store `mailbox::worker_publish(..)` back to the cell.
+    Publish,
+    /// About to `fetch_sub` the pending counter.
+    Decrement,
+    /// Drained the counter to zero; about to unpark the coordinator.
+    Notify,
+    /// Left the loop (observed `SHUTDOWN`).
+    Exited,
+}
+
+/// The coordinator's program counter: the phase script of
+/// `classify_batch`/`drain_shards`, then `WorkerRuntime::drop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CoordPc {
+    /// `begin`: register for wakeup.
+    Register { phase: usize },
+    /// `begin`: arm `pending` with the job count.
+    Arm { phase: usize },
+    /// Write job `job` into its cell's buffers.
+    Write { phase: usize, job: usize },
+    /// Store `HAS_WORK` and unpark the worker.
+    Publish { phase: usize, job: usize },
+    /// `wait`: load `pending`, return or decide to park.
+    WaitCheck { phase: usize },
+    /// `wait`: saw `pending != 0`; about to call `park` (the load-to-park
+    /// window a racing final decrement must not slip through).
+    WaitPark { phase: usize },
+    /// `wait`: parked until a token is banked.
+    WaitParked { phase: usize },
+    /// `wait` epilogue: deregister.
+    Unregister { phase: usize },
+    /// `check_poison`: scan cells for `POISONED`.
+    CheckPoison { phase: usize },
+    /// Read job `job`'s outputs back out of the cell.
+    Gather { phase: usize, job: usize },
+    /// Drop: store `SHUTDOWN` into cell `cell`.
+    ShutdownStore { cell: usize },
+    /// Drop: unpark worker `cell`.
+    ShutdownUnpark { cell: usize },
+    /// Drop: join worker `cell` (enabled once it exited).
+    Join { cell: usize },
+    /// Runtime fully dropped.
+    Done,
+}
+
+/// One global state of the model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    cells: Vec<u32>,
+    owner: Vec<Owner>,
+    /// Whether the job written into each cell will panic when run.
+    job_panics: Vec<bool>,
+    pending: usize,
+    coord_registered: bool,
+    coord_token: bool,
+    worker_token: Vec<bool>,
+    workers: Vec<WorkerPc>,
+    coord: CoordPc,
+}
+
+/// A protocol violation, with the interleaving that reached it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What broke.
+    pub kind: ViolationKind,
+    /// The step labels from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+/// The invariant classes the checker enforces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two parties could touch one cell's buffers at once.
+    DoubleOwnership {
+        /// The offending cell.
+        cell: usize,
+        /// Which access collided.
+        access: &'static str,
+    },
+    /// A worker decremented `pending` when it was already zero.
+    PendingUnderflow,
+    /// A job was gathered without having run to completion.
+    IncompleteJob {
+        /// The offending cell.
+        cell: usize,
+    },
+    /// A non-terminal state with no enabled step: a lost wakeup or a
+    /// shutdown that never joins.
+    Deadlock {
+        /// Human-readable summary of the stuck state.
+        state: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "mailbox protocol violation: {:?}", self.kind)?;
+        writeln!(f, "interleaving ({} steps):", self.trace.len())?;
+        for step in &self.trace {
+            writeln!(f, "  {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustive-search statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken (including into already-visited states).
+    pub transitions: usize,
+}
+
+/// Enumerates every interleaving of `config` and checks all invariants.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found, with a step trace.
+///
+/// # Panics
+///
+/// Panics if `config.jobs > config.workers` (jobs address cells).
+pub fn explore(config: Config) -> Result<Stats, Violation> {
+    assert!(config.jobs <= config.workers, "jobs address worker cells");
+    let init = State {
+        cells: vec![IDLE; config.workers],
+        owner: vec![Owner::Coordinator; config.workers],
+        job_panics: vec![false; config.workers],
+        pending: 0,
+        coord_registered: false,
+        coord_token: false,
+        worker_token: vec![false; config.workers],
+        workers: vec![WorkerPc::Check; config.workers],
+        coord: CoordPc::Register { phase: 0 },
+    };
+
+    // Iterative DFS with a parent map so a violation can print the exact
+    // interleaving that produced it.
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut parents: Vec<(usize, String)> = Vec::new(); // (parent idx, step label)
+    let mut states: Vec<State> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    index.insert(init.clone(), 0);
+    states.push(init);
+    parents.push((usize::MAX, String::new()));
+    stack.push(0);
+    let mut transitions = 0usize;
+
+    while let Some(at) = stack.pop() {
+        let state = states[at].clone();
+        let steps = enabled_steps(&config, &state);
+        if steps.is_empty() && !is_terminal(&state) {
+            return Err(Violation {
+                kind: ViolationKind::Deadlock {
+                    state: format!("{state:?}"),
+                },
+                trace: trace_to(&parents, at),
+            });
+        }
+        for (label, outcome) in steps {
+            transitions += 1;
+            let next = match outcome {
+                Ok(next) => next,
+                Err(kind) => {
+                    let mut trace = trace_to(&parents, at);
+                    trace.push(label);
+                    return Err(Violation { kind, trace });
+                }
+            };
+            if !index.contains_key(&next) {
+                let id = states.len();
+                index.insert(next.clone(), id);
+                states.push(next);
+                parents.push((at, label));
+                stack.push(id);
+            }
+        }
+    }
+    Ok(Stats {
+        states: states.len(),
+        transitions,
+    })
+}
+
+fn is_terminal(s: &State) -> bool {
+    s.coord == CoordPc::Done && s.workers.iter().all(|&w| w == WorkerPc::Exited)
+}
+
+fn trace_to(parents: &[(usize, String)], mut at: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    while at != 0 {
+        let (parent, label) = &parents[at];
+        out.push(label.clone());
+        at = *parent;
+    }
+    out.reverse();
+    out
+}
+
+type StepOutcome = Result<State, ViolationKind>;
+
+/// All steps enabled in `s`, as `(label, outcome)` pairs.
+fn enabled_steps(config: &Config, s: &State) -> Vec<(String, StepOutcome)> {
+    let mut steps = Vec::new();
+    if let Some((label, outcome)) = coordinator_step(config, s) {
+        steps.push((label, outcome));
+    }
+    for i in 0..config.workers {
+        if let Some((label, outcome)) = worker_step(config, s, i) {
+            steps.push((label, outcome));
+        }
+    }
+    steps
+}
+
+/// Banks an unpark for worker `i`, honoring the `drop_park_token` bug.
+fn unpark_worker(config: &Config, s: &mut State, i: usize) {
+    if !config.bugs.drop_park_token || s.workers[i] == WorkerPc::Parked {
+        s.worker_token[i] = true;
+    }
+}
+
+/// Banks an unpark for the coordinator, honoring the `drop_park_token` bug.
+fn unpark_coordinator(config: &Config, s: &mut State) {
+    if !config.bugs.drop_park_token || matches!(s.coord, CoordPc::WaitParked { .. }) {
+        s.coord_token = true;
+    }
+}
+
+/// The coordinator script's next label after finishing job setup for
+/// `phase`: the next write/publish pair, or the arm/wait that follows.
+fn after_job_setup(config: &Config, phase: usize, next_job: usize) -> CoordPc {
+    if next_job < config.jobs {
+        if config.bugs.publish_before_write {
+            CoordPc::Publish {
+                phase,
+                job: next_job,
+            }
+        } else {
+            CoordPc::Write {
+                phase,
+                job: next_job,
+            }
+        }
+    } else if config.bugs.arm_after_publish {
+        CoordPc::Arm { phase }
+    } else {
+        CoordPc::WaitCheck { phase }
+    }
+}
+
+fn coordinator_step(config: &Config, s: &State) -> Option<(String, StepOutcome)> {
+    let mut n = s.clone();
+    let (label, outcome): (String, StepOutcome) = match s.coord {
+        CoordPc::Register { phase } => {
+            n.coord_registered = true;
+            n.coord = if config.bugs.arm_after_publish {
+                after_job_setup(config, phase, 0)
+            } else {
+                CoordPc::Arm { phase }
+            };
+            (format!("coord: register (phase {phase})"), Ok(n))
+        }
+        CoordPc::Arm { phase } => {
+            n.pending = config.jobs;
+            n.coord = if config.bugs.arm_after_publish {
+                CoordPc::WaitCheck { phase }
+            } else {
+                after_job_setup(config, phase, 0)
+            };
+            (format!("coord: arm pending={} ", config.jobs), Ok(n))
+        }
+        CoordPc::Write { phase, job } => {
+            let label = format!("coord: write job {job} (phase {phase})");
+            if s.owner[job] != Owner::Coordinator {
+                return Some((
+                    label,
+                    Err(ViolationKind::DoubleOwnership {
+                        cell: job,
+                        access: "coordinator wrote a cell it does not own",
+                    }),
+                ));
+            }
+            n.job_panics[job] = phase == 0 && config.panic_job == Some(job);
+            n.coord = if config.bugs.publish_before_write {
+                // Bug ordering: this write trails its publish.
+                after_job_setup(config, phase, job + 1)
+            } else {
+                CoordPc::Publish { phase, job }
+            };
+            (label, Ok(n))
+        }
+        CoordPc::Publish { phase, job } => {
+            n.cells[job] = HAS_WORK;
+            n.owner[job] = Owner::Worker;
+            unpark_worker(config, &mut n, job);
+            n.coord = if config.bugs.publish_before_write {
+                CoordPc::Write { phase, job }
+            } else {
+                after_job_setup(config, phase, job + 1)
+            };
+            (format!("coord: publish job {job} (phase {phase})"), Ok(n))
+        }
+        CoordPc::WaitCheck { phase } => {
+            if s.pending == 0 {
+                n.coord = CoordPc::Unregister { phase };
+                (format!("coord: wait sees pending=0 (phase {phase})"), Ok(n))
+            } else {
+                n.coord = CoordPc::WaitPark { phase };
+                (
+                    format!("coord: wait sees pending={} (phase {phase})", s.pending),
+                    Ok(n),
+                )
+            }
+        }
+        CoordPc::WaitPark { phase } => {
+            if s.coord_token {
+                n.coord_token = false;
+                n.coord = CoordPc::WaitCheck { phase };
+                (
+                    format!("coord: park consumes banked token (phase {phase})"),
+                    Ok(n),
+                )
+            } else {
+                n.coord = CoordPc::WaitParked { phase };
+                (format!("coord: parks (phase {phase})"), Ok(n))
+            }
+        }
+        CoordPc::WaitParked { phase } => {
+            if !s.coord_token {
+                return None; // blocked until a worker unparks us
+            }
+            n.coord_token = false;
+            n.coord = CoordPc::WaitCheck { phase };
+            (format!("coord: unparked (phase {phase})"), Ok(n))
+        }
+        CoordPc::Unregister { phase } => {
+            n.coord_registered = false;
+            n.coord = CoordPc::CheckPoison { phase };
+            (format!("coord: unregister (phase {phase})"), Ok(n))
+        }
+        CoordPc::CheckPoison { phase } => {
+            if s.cells.contains(&POISONED) {
+                // The re-thrown panic unwinds into WorkerRuntime::drop.
+                n.coord = CoordPc::ShutdownStore { cell: 0 };
+                (
+                    format!("coord: poison found, unwinding to drop (phase {phase})"),
+                    Ok(n),
+                )
+            } else {
+                n.coord = next_gather(config, phase, 0);
+                (format!("coord: no poison (phase {phase})"), Ok(n))
+            }
+        }
+        CoordPc::Gather { phase, job } => {
+            let label = format!("coord: gather job {job} (phase {phase})");
+            if s.owner[job] != Owner::Coordinator {
+                return Some((
+                    label,
+                    Err(ViolationKind::DoubleOwnership {
+                        cell: job,
+                        access: "coordinator gathered a cell it does not own",
+                    }),
+                ));
+            }
+            if s.cells[job] != IDLE {
+                return Some((label, Err(ViolationKind::IncompleteJob { cell: job })));
+            }
+            n.coord = next_gather(config, phase, job + 1);
+            (label, Ok(n))
+        }
+        CoordPc::ShutdownStore { cell } => {
+            n.cells[cell] = SHUTDOWN;
+            n.coord = if cell + 1 < config.workers {
+                CoordPc::ShutdownStore { cell: cell + 1 }
+            } else if config.bugs.skip_shutdown_unpark {
+                CoordPc::Join { cell: 0 }
+            } else {
+                CoordPc::ShutdownUnpark { cell: 0 }
+            };
+            (format!("coord: store SHUTDOWN to cell {cell}"), Ok(n))
+        }
+        CoordPc::ShutdownUnpark { cell } => {
+            unpark_worker(config, &mut n, cell);
+            n.coord = if cell + 1 < config.workers {
+                CoordPc::ShutdownUnpark { cell: cell + 1 }
+            } else {
+                CoordPc::Join { cell: 0 }
+            };
+            (format!("coord: shutdown-unpark worker {cell}"), Ok(n))
+        }
+        CoordPc::Join { cell } => {
+            if s.workers[cell] != WorkerPc::Exited {
+                return None; // join blocks until the worker exits
+            }
+            n.coord = if cell + 1 < config.workers {
+                CoordPc::Join { cell: cell + 1 }
+            } else {
+                CoordPc::Done
+            };
+            (format!("coord: joined worker {cell}"), Ok(n))
+        }
+        CoordPc::Done => return None,
+    };
+    Some((label, outcome))
+}
+
+/// After gathering `job` jobs of `phase`: the next gather, the next phase,
+/// or the drop sequence.
+fn next_gather(config: &Config, phase: usize, job: usize) -> CoordPc {
+    if job < config.jobs {
+        CoordPc::Gather { phase, job }
+    } else if phase + 1 < config.phases {
+        CoordPc::Register { phase: phase + 1 }
+    } else {
+        CoordPc::ShutdownStore { cell: 0 }
+    }
+}
+
+fn worker_step(config: &Config, s: &State, i: usize) -> Option<(String, StepOutcome)> {
+    let mut n = s.clone();
+    let (label, outcome): (String, StepOutcome) = match s.workers[i] {
+        WorkerPc::Check => {
+            // The real decision function, not a transcription of it.
+            match mailbox::worker_observe(s.cells[i]) {
+                WorkerStep::Run => {
+                    if s.owner[i] != Owner::Worker {
+                        return Some((
+                            format!("worker {i}: observed HAS_WORK"),
+                            Err(ViolationKind::DoubleOwnership {
+                                cell: i,
+                                access: "worker ran a job in a cell it does not own",
+                            }),
+                        ));
+                    }
+                    n.workers[i] = WorkerPc::Running;
+                    (format!("worker {i}: observed HAS_WORK, running"), Ok(n))
+                }
+                WorkerStep::Exit => {
+                    n.workers[i] = WorkerPc::Exited;
+                    (format!("worker {i}: observed SHUTDOWN, exiting"), Ok(n))
+                }
+                WorkerStep::Wait => {
+                    n.workers[i] = WorkerPc::ParkDecided;
+                    (format!("worker {i}: observed no work"), Ok(n))
+                }
+            }
+        }
+        WorkerPc::ParkDecided => {
+            if s.worker_token[i] {
+                n.worker_token[i] = false;
+                n.workers[i] = WorkerPc::Check;
+                (format!("worker {i}: park consumes banked token"), Ok(n))
+            } else {
+                n.workers[i] = WorkerPc::Parked;
+                (format!("worker {i}: parks"), Ok(n))
+            }
+        }
+        WorkerPc::Parked => {
+            if !s.worker_token[i] {
+                return None; // blocked until an unpark banks a token
+            }
+            n.worker_token[i] = false;
+            n.workers[i] = WorkerPc::Check;
+            (format!("worker {i}: unparked"), Ok(n))
+        }
+        WorkerPc::Running => {
+            if s.owner[i] != Owner::Worker {
+                return Some((
+                    format!("worker {i}: run_job"),
+                    Err(ViolationKind::DoubleOwnership {
+                        cell: i,
+                        access: "cell buffers changed hands mid-job",
+                    }),
+                ));
+            }
+            n.workers[i] = WorkerPc::Publish;
+            let verb = if s.job_panics[i] {
+                "panics"
+            } else {
+                "finishes"
+            };
+            (format!("worker {i}: run_job {verb}"), Ok(n))
+        }
+        WorkerPc::Publish => {
+            // The real publish function decides IDLE vs POISONED.
+            n.cells[i] = mailbox::worker_publish(s.job_panics[i]);
+            n.owner[i] = Owner::Coordinator;
+            n.workers[i] = WorkerPc::Decrement;
+            (format!("worker {i}: publishes {}", n.cells[i]), Ok(n))
+        }
+        WorkerPc::Decrement => {
+            if s.pending == 0 {
+                return Some((
+                    format!("worker {i}: fetch_sub pending"),
+                    Err(ViolationKind::PendingUnderflow),
+                ));
+            }
+            n.pending -= 1;
+            n.workers[i] = if n.pending == 0 {
+                WorkerPc::Notify
+            } else {
+                WorkerPc::Check
+            };
+            (
+                format!("worker {i}: pending {} -> {}", s.pending, n.pending),
+                Ok(n),
+            )
+        }
+        WorkerPc::Notify => {
+            if s.coord_registered {
+                unpark_coordinator(config, &mut n);
+            }
+            n.workers[i] = WorkerPc::Check;
+            (format!("worker {i}: unparks coordinator"), Ok(n))
+        }
+        WorkerPc::Exited => return None,
+    };
+    Some((label, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_world_passes() {
+        let stats = explore(Config::correct(1, 1, 1)).expect("1 worker, 1 job, 1 phase");
+        assert!(stats.states > 10);
+    }
+
+    #[test]
+    fn zero_jobs_passes() {
+        explore(Config::correct(2, 0, 1)).expect("empty phase still joins");
+    }
+
+    #[test]
+    fn dropped_park_token_is_a_lost_wakeup() {
+        let config = Config {
+            bugs: Bugs {
+                drop_park_token: true,
+                ..Bugs::default()
+            },
+            ..Config::correct(1, 1, 1)
+        };
+        let violation = explore(config).expect_err("unpark without token banking");
+        assert!(matches!(violation.kind, ViolationKind::Deadlock { .. }));
+        assert!(!violation.trace.is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Structure-aware mutations over SIP text and RTP/RTCP wire bytes.
+//!
+//! Each mutator applies *one* randomly chosen damage class per call; the
+//! fuzz loops stack 1–3 applications so most cases stay near the
+//! accept/reject boundary instead of degenerating into noise. The damage
+//! classes are the ones real wires and real attackers produce — the same
+//! classes the paper's testbed had to survive: datagram truncation,
+//! duplicated/reordered headers, compact-form and case flips, bare-LF line
+//! endings, hostile `Content-Length`, and field extremes around the 16- and
+//! 32-bit wrap points.
+
+use crate::corpus::{SEQ_EXTREMES, TS_EXTREMES};
+use crate::rng::XorShift64;
+
+/// Hostile `Content-Length` values: huge, overflowing, negative, non-numeric,
+/// and off-by-one shapes.
+const HOSTILE_CONTENT_LENGTHS: [&str; 8] = [
+    "9999",
+    "4294967295",
+    "18446744073709551616",
+    "-1",
+    "many",
+    "1e9",
+    "0x10",
+    " 12 34",
+];
+
+/// Canonical/compact header-name pairs (RFC 3261 §7.3.3).
+const COMPACT_PAIRS: [(&str, &str); 7] = [
+    ("Via", "v"),
+    ("From", "f"),
+    ("To", "t"),
+    ("Call-ID", "i"),
+    ("Contact", "m"),
+    ("Content-Type", "c"),
+    ("Content-Length", "l"),
+];
+
+/// Applies one random SIP damage class to `text`.
+pub fn mutate_sip(rng: &mut XorShift64, text: &str) -> String {
+    match rng.below(10) {
+        // Truncate mid-message: the datagram the wire actually delivered.
+        0 => {
+            if text.is_empty() {
+                return text.to_owned();
+            }
+            let cut = rng.below(text.len());
+            let mut cut = cut;
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_owned()
+        }
+        // Duplicate a random header line.
+        1 => edit_lines(rng, text, |rng, lines| {
+            if lines.len() > 1 {
+                let i = 1 + rng.below(lines.len() - 1);
+                let dup = lines[i].clone();
+                lines.insert(i, dup);
+            }
+        }),
+        // Swap two header lines (reordering must not change verdicts,
+        // except for Via where only the topmost counts).
+        2 => edit_lines(rng, text, |rng, lines| {
+            if lines.len() > 2 {
+                let i = 1 + rng.below(lines.len() - 1);
+                let j = 1 + rng.below(lines.len() - 1);
+                lines.swap(i, j);
+            }
+        }),
+        // Flip header-name casing: grammar is case-insensitive there.
+        3 => edit_lines(rng, text, |rng, lines| {
+            if lines.len() > 1 {
+                let i = 1 + rng.below(lines.len() - 1);
+                let line = &lines[i];
+                if let Some(colon) = line.find(':') {
+                    let flipped: String = line[..colon]
+                        .chars()
+                        .map(|c| {
+                            if c.is_ascii_lowercase() {
+                                c.to_ascii_uppercase()
+                            } else {
+                                c.to_ascii_lowercase()
+                            }
+                        })
+                        .collect();
+                    lines[i] = format!("{flipped}{}", &line[colon..]);
+                }
+            }
+        }),
+        // Swap a canonical header name for its compact form or back.
+        4 => edit_lines(rng, text, |rng, lines| {
+            let (canon, compact) = *rng.pick(&COMPACT_PAIRS);
+            for line in lines.iter_mut().skip(1) {
+                if let Some(rest) = strip_name(line, canon) {
+                    *line = format!("{compact}:{rest}");
+                    break;
+                }
+                if let Some(rest) = strip_name(line, compact) {
+                    *line = format!("{canon}:{rest}");
+                    break;
+                }
+            }
+        }),
+        // Bare-LF line endings (tolerated by both parsers).
+        5 => text.replace("\r\n", "\n"),
+        // Hostile Content-Length: replace or inject one.
+        6 => {
+            let value = *rng.pick(&HOSTILE_CONTENT_LENGTHS);
+            edit_lines(rng, text, |_, lines| {
+                if let Some(line) = lines.iter_mut().skip(1).find(|l| {
+                    strip_name(l, "Content-Length").is_some() || strip_name(l, "l").is_some()
+                }) {
+                    *line = format!("Content-Length: {value}");
+                } else if !lines.is_empty() {
+                    lines.push(format!("Content-Length: {value}"));
+                }
+            })
+        }
+        // Extreme CSeq number.
+        7 => edit_lines(rng, text, |rng, lines| {
+            let value = *rng.pick(&["4294967295", "4294967296", "0", "-7"]);
+            if let Some(line) = lines
+                .iter_mut()
+                .skip(1)
+                .find(|l| strip_name(l, "CSeq").is_some())
+            {
+                let method = line
+                    .rsplit(char::is_whitespace)
+                    .next()
+                    .unwrap_or("INVITE")
+                    .to_owned();
+                *line = format!("CSeq: {value} {method}");
+            }
+        }),
+        // Insert a random byte.
+        8 => {
+            let mut bytes = text.as_bytes().to_vec();
+            let pos = rng.below(bytes.len() + 1);
+            bytes.insert(pos, (rng.next_u64() & 0xFF) as u8);
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        // Delete a random byte.
+        _ => {
+            if text.is_empty() {
+                return text.to_owned();
+            }
+            let mut bytes = text.as_bytes().to_vec();
+            bytes.remove(rng.below(bytes.len()));
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+    }
+}
+
+fn strip_name<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let (n, rest) = line.split_once(':')?;
+    n.trim().eq_ignore_ascii_case(name).then_some(rest)
+}
+
+fn edit_lines(
+    rng: &mut XorShift64,
+    text: &str,
+    f: impl FnOnce(&mut XorShift64, &mut Vec<String>),
+) -> String {
+    // Preserve the head/body split: only header lines are edited.
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some((h, b)) => (h, Some(("\r\n\r\n", b))),
+        None => match text.split_once("\n\n") {
+            Some((h, b)) => (h, Some(("\n\n", b))),
+            None => (text, None),
+        },
+    };
+    let mut lines: Vec<String> = head.lines().map(str::to_owned).collect();
+    f(rng, &mut lines);
+    let mut out = lines.join("\r\n");
+    if let Some((sep, body)) = body {
+        out.push_str(sep);
+        out.push_str(body);
+    }
+    out
+}
+
+/// Applies one random wire damage class to an RTP/RTCP datagram.
+pub fn mutate_wire(rng: &mut XorShift64, bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.below(9) {
+        // Truncate — including below the fixed header.
+        0 => {
+            let keep = rng.below(out.len() + 1);
+            out.truncate(keep);
+        }
+        // Extend with random tail bytes.
+        1 => {
+            for _ in 0..=rng.below(24) {
+                out.push((rng.next_u64() & 0xFF) as u8);
+            }
+        }
+        // Flip one random bit anywhere.
+        2 => {
+            if !out.is_empty() {
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+        }
+        // Mangle the version / padding / extension / CSRC-count byte.
+        3 => {
+            if !out.is_empty() {
+                out[0] = (rng.next_u64() & 0xFF) as u8;
+            }
+        }
+        // Marker/payload-type byte (RTP) or packet-type byte (RTCP).
+        4 => {
+            if out.len() > 1 {
+                out[1] = (rng.next_u64() & 0xFF) as u8;
+            }
+        }
+        // Extreme sequence number (RTP offset 2) — wrap-point values.
+        5 => {
+            if out.len() >= 4 {
+                let seq = *rng.pick(&SEQ_EXTREMES);
+                out[2..4].copy_from_slice(&seq.to_be_bytes());
+            }
+        }
+        // Extreme timestamp (RTP offset 4) — wrap-point values.
+        6 => {
+            if out.len() >= 8 {
+                let ts = *rng.pick(&TS_EXTREMES);
+                out[4..8].copy_from_slice(&ts.to_be_bytes());
+            }
+        }
+        // Hostile RTCP length field (offset 2, 16-bit word count).
+        7 => {
+            if out.len() >= 4 {
+                let words: u16 = *rng.pick(&[0, 1, 6, 7, 0x7FFF, 0xFFFF]);
+                out[2..4].copy_from_slice(&words.to_be_bytes());
+            }
+        }
+        // Hostile RTCP report count (low 5 bits of byte 0).
+        _ => {
+            if !out.is_empty() {
+                out[0] = (out[0] & 0xE0) | (rng.next_u64() & 0x1F) as u8;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn sip_mutations_cover_every_class_without_panicking() {
+        let seeds = corpus::sip_seeds();
+        let mut rng = XorShift64::new(7);
+        for i in 0..2_000 {
+            let seed = &seeds[i % seeds.len()];
+            let _ = mutate_sip(&mut rng, seed);
+        }
+    }
+
+    #[test]
+    fn wire_mutations_cover_every_class_without_panicking() {
+        let mut seeds = corpus::rtp_seeds();
+        seeds.extend(corpus::rtcp_seeds());
+        let mut rng = XorShift64::new(9);
+        for i in 0..2_000 {
+            let seed = &seeds[i % seeds.len()];
+            let _ = mutate_wire(&mut rng, seed);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let text = "INVITE sip:bob@b.example.com SIP/2.0\r\nX: déjà vu\r\n\r\n";
+        let mut rng = XorShift64::new(3);
+        for _ in 0..500 {
+            let _ = mutate_sip(&mut rng, text);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! One pinned test per bug this harness exists to catch (ISSUE 5).
+//!
+//! Each test fails when its fix is reverted and passes with it applied —
+//! they are the executable record of the three satellite bugs, phrased at
+//! the harness level (against the public crate APIs the detectors use)
+//! rather than as module unit tests, so a refactor of the internals
+//! cannot silently retire them.
+
+use vids_rtp::jitter::JitterEstimator;
+use vids_rtp::seq::{seq_distance, ExtendedSeq};
+use vids_sip::parse::parse_message;
+
+/// Satellite (a): a late packet that *straddles* the wrap — raw value
+/// above the high-water mark but older in serial order — must extend into
+/// the previous cycle, not the current one.
+///
+/// Pre-fix, `seq = 65534` arriving after the stream wrapped to `last = 2`
+/// extended as `(1 << 16) | 65534` — *ahead* of the stream's highest —
+/// so the media-spamming detector saw a phantom ~64k-packet forward leap.
+#[test]
+fn late_packet_straddling_a_wrap_extends_into_the_previous_cycle() {
+    let mut ext = ExtendedSeq::new();
+    let mut highest = 0;
+    for seq in [65533u16, 65534, 65535, 0, 1, 2] {
+        highest = highest.max(ext.update(seq));
+    }
+    assert_eq!(highest, (1 << 16) | 2, "stream should be one cycle in");
+
+    // The straggler from before the wrap: sent in cycle 0, arriving late.
+    let late = ext.update(65534);
+    assert_eq!(late, 65534, "straddling late packet belongs to cycle 0");
+    assert!(
+        late < highest,
+        "a late packet must never extend past the high-water mark"
+    );
+    // And the serial-order distance the detectors reason with stays small.
+    assert_eq!(seq_distance(2, 65534), 4);
+    // The tracker itself was not disturbed: the next in-order packet
+    // continues cycle 1.
+    assert_eq!(ext.update(3), (1 << 16) | 3);
+}
+
+/// Satellite (b): the jitter estimator's timestamp delta is *signed*.
+///
+/// Pre-fix, a single reordered pair produced an unsigned `ts_delta` of
+/// ~2³² ticks — the filter absorbed minutes of phantom jitter and the
+/// QoS-degradation detector fired on a healthy stream. This drives the
+/// same swap directly across the 32-bit timestamp wrap, where the signed
+/// interpretation matters most.
+#[test]
+fn one_reordered_packet_across_the_timestamp_wrap_stays_small() {
+    let clock = 8_000u32; // narrowband audio, 160 ticks per 20 ms frame
+    let start = u32::MAX - 160 * 5; // the stream wraps mid-test
+    let mut j = JitterEstimator::new(clock);
+    for i in 0..12u32 {
+        // Swap packets 4 and 5: the pair lands right at the wrap.
+        let logical = match i {
+            4 => 5,
+            5 => 4,
+            _ => i,
+        };
+        j.on_packet(
+            i as f64 * 0.020,
+            start.wrapping_add(logical.wrapping_mul(160)),
+        );
+    }
+    // A swap is two one-frame deviations through the 1/16 filter — a few
+    // milliseconds at most. The unsigned bug yields ~2³²/8000 ≈ 149 hours.
+    assert!(
+        j.jitter_secs() < 0.020,
+        "jitter = {}s: reorder across the wrap blew up the estimate",
+        j.jitter_secs()
+    );
+}
+
+/// Satellite (c): a `Content-Length` larger than the available body is a
+/// parse error with a static reason — not a silent truncation to what
+/// arrived, and (worse) not a panic.
+///
+/// Pre-fix, `parse_message` sliced `body[..len]` unchecked: a hostile
+/// length either panicked the UA simulator or manufactured a body the
+/// peer never sent.
+#[test]
+fn content_length_beyond_available_body_is_rejected() {
+    let text = "BYE sip:bob@b.example.com SIP/2.0\r\n\
+                Via: SIP/2.0/UDP a.example.com;branch=z9hG4bK77\r\n\
+                From: <sip:alice@a.example.com>;tag=oa\r\n\
+                To: <sip:bob@b.example.com>;tag=ob\r\n\
+                Call-ID: reg-cl@a.example.com\r\n\
+                CSeq: 2 BYE\r\n\
+                Content-Length: 400\r\n\
+                \r\n\
+                short";
+    let err = parse_message(text).expect_err("oversized Content-Length must reject");
+    assert!(
+        err.to_string()
+            .contains("Content-Length exceeds available body"),
+        "wrong reason: {err}"
+    );
+
+    // The exact advertised length still parses, and the body is intact.
+    let ok = text.replace("Content-Length: 400", "Content-Length: 5");
+    let msg = parse_message(&ok).expect("exact Content-Length parses");
+    assert_eq!(msg.body(), "short");
+}

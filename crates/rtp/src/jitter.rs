@@ -36,8 +36,14 @@ impl JitterEstimator {
     pub fn on_packet(&mut self, arrival_secs: f64, rtp_timestamp: u32) -> f64 {
         let arrival_ticks = arrival_secs * self.clock_rate as f64;
         if self.initialized {
-            let transit_delta = (arrival_ticks - self.last_arrival_ticks)
-                - (rtp_timestamp.wrapping_sub(self.last_timestamp) as f64);
+            // The timestamp delta is interpreted as a *signed* 32-bit value:
+            // a reordered packet (older timestamp) must contribute a small
+            // negative delta, not the ~2³²-tick positive one the unsigned
+            // wrapping difference would give — which poisoned the estimate
+            // for dozens of samples after a single reorder. In-order wraps
+            // still come out small and positive.
+            let ts_delta = rtp_timestamp.wrapping_sub(self.last_timestamp) as i32;
+            let transit_delta = (arrival_ticks - self.last_arrival_ticks) - ts_delta as f64;
             let d = transit_delta.abs();
             self.jitter_ticks += (d - self.jitter_ticks) / 16.0;
         } else {
@@ -126,5 +132,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_clock_rate_panics() {
         let _ = JitterEstimator::new(0);
+    }
+
+    /// Regression (ISSUE 5): one reordered packet must not blow up the
+    /// estimate. Before the signed-delta fix, the swapped pair below put a
+    /// ~2³²-tick |D| into the filter — minutes of apparent jitter decaying
+    /// over dozens of samples. With it, a swap is just two small deviations.
+    #[test]
+    fn single_reorder_stays_small() {
+        let mut j = JitterEstimator::new(8_000);
+        for i in 0..200u32 {
+            // Swap packets 50 and 51: packet 51's (older) timestamp arrives
+            // after packet 50's, at the later wall-clock slot.
+            let logical = match i {
+                50 => 51,
+                51 => 50,
+                _ => i,
+            };
+            j.on_packet(i as f64 * 0.010, logical.wrapping_mul(80));
+        }
+        // Two deviations of one 10 ms interval each, then decay: well under
+        // 10 ms at all times, nowhere near the 2³²-tick spike.
+        assert!(j.jitter_secs() < 0.010, "jitter = {}", j.jitter_secs());
+    }
+
+    /// A reorder right on the timestamp wrap behaves like any other reorder.
+    #[test]
+    fn reorder_across_timestamp_wrap_stays_small() {
+        let mut j = JitterEstimator::new(8_000);
+        let base = u32::MAX - 400;
+        for i in 0..100u32 {
+            let logical = match i {
+                5 => 6,
+                6 => 5,
+                _ => i,
+            };
+            j.on_packet(
+                i as f64 * 0.010,
+                base.wrapping_add(logical.wrapping_mul(80)),
+            );
+        }
+        assert!(j.jitter_secs() < 0.010, "jitter = {}", j.jitter_secs());
     }
 }

@@ -38,20 +38,37 @@ impl ExtendedSeq {
 
     /// Feeds the next observed sequence number and returns its extended
     /// 32-bit value.
+    ///
+    /// Late (reordered) packets are mapped into the cycle they were *sent*
+    /// in, not the current one: when a packet straddles the most recent
+    /// wrap — raw value numerically above the high-water mark yet older in
+    /// serial-number order, e.g. `seq = 65534` arriving after the stream
+    /// wrapped to `last = 2` — its extension uses the previous cycle count
+    /// (RFC 3550 §A.1), so extended-sequence gaps stay small across a wrap.
     pub fn update(&mut self, seq: u16) -> u32 {
         if !self.initialized {
             self.initialized = true;
             self.last = seq;
             return seq as u32;
         }
-        if seq_greater(seq, self.last) && seq < self.last {
-            // Forward movement that wrapped through zero.
-            self.cycles = self.cycles.wrapping_add(1);
-        }
         if seq_greater(seq, self.last) {
+            if seq < self.last {
+                // Forward movement that wrapped through zero.
+                self.cycles = self.cycles.wrapping_add(1);
+            }
             self.last = seq;
+            (self.cycles << 16) | seq as u32
+        } else {
+            // Late or duplicate packet. A raw value above the high-water
+            // mark belongs to the cycle before the wrap the stream just
+            // crossed.
+            let cycle = if seq > self.last {
+                self.cycles.wrapping_sub(1)
+            } else {
+                self.cycles
+            };
+            (cycle << 16) | seq as u32
         }
-        ((self.cycles as u64) << 16 | seq as u64) as u32
     }
 
     /// The highest extended sequence number seen so far.
@@ -109,6 +126,34 @@ mod tests {
         // Late arrival of 101 must not move the high-water mark.
         ext.update(101);
         assert_eq!(ext.highest(), 102);
+    }
+
+    /// Regression (ISSUE 5): a late packet that straddles the wrap must be
+    /// extended with the *previous* cycle count. Before the fix,
+    /// `last = 2, cycles = 1` with a late `seq = 65534` returned `0x1FFFE`
+    /// (a forward gap of 131068 from the high-water mark) instead of
+    /// cycle-0's `0xFFFE` (a 4-packet reorder).
+    #[test]
+    fn extended_late_packet_straddling_a_wrap_uses_previous_cycle() {
+        let mut ext = ExtendedSeq::new();
+        ext.update(65_000);
+        ext.update(65_534);
+        ext.update(65_535);
+        assert_eq!(ext.update(2), 0x1_0002); // wraps into cycle 1
+                                             // 65534 retransmitted/reordered: still cycle 0.
+        assert_eq!(ext.update(65_534), 0xFFFE);
+        // The high-water mark is untouched by the straggler.
+        assert_eq!(ext.highest(), 0x1_0002);
+        // A late-but-same-cycle packet keeps the current cycle.
+        assert_eq!(ext.update(1), 0x1_0001);
+    }
+
+    #[test]
+    fn extended_duplicate_of_the_high_water_mark_keeps_its_cycle() {
+        let mut ext = ExtendedSeq::new();
+        ext.update(65_535);
+        assert_eq!(ext.update(0), 0x1_0000);
+        assert_eq!(ext.update(0), 0x1_0000); // duplicate, not previous cycle
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Property tests for the RTP serial-arithmetic and jitter primitives.
+//!
+//! These are the algebraic laws the detectors lean on (RFC 1982 serial
+//! comparison, RFC 3550 §A.1 extension, §6.4.1 jitter), checked over
+//! generated inputs rather than hand-picked examples — the wraparound
+//! bugs this PR fixes lived exactly in the corners examples miss.
+
+use proptest::prelude::*;
+use vids_rtp::jitter::JitterEstimator;
+use vids_rtp::seq::{seq_distance, seq_greater, ExtendedSeq};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `seq_greater` and `seq_distance` are two views of one ordering:
+    /// greater exactly when the signed distance is positive.
+    #[test]
+    fn greater_iff_positive_distance(a in any::<u16>(), b in any::<u16>()) {
+        prop_assert_eq!(seq_greater(a, b), seq_distance(a, b) > 0);
+        // And the ordering is irreflexive / asymmetric off the antipode.
+        prop_assert!(!seq_greater(a, a));
+        if a.wrapping_sub(b) != 0x8000 {
+            prop_assert!(!(seq_greater(a, b) && seq_greater(b, a)));
+        }
+    }
+
+    /// Distance is antisymmetric everywhere except the ambiguous antipode
+    /// (RFC 1982 leaves the half-range point undefined; ours reports the
+    /// most-negative distance from both sides, deterministically).
+    #[test]
+    fn distance_is_antisymmetric_off_the_antipode(a in any::<u16>(), b in any::<u16>()) {
+        if a.wrapping_sub(b) != 0x8000 {
+            prop_assert_eq!(seq_distance(a, b), -seq_distance(b, a));
+        } else {
+            prop_assert_eq!(seq_distance(a, b), -32768);
+            prop_assert_eq!(seq_distance(b, a), -32768);
+        }
+    }
+
+    /// Stepping forward by any 16-bit amount and measuring the distance
+    /// back recovers the step, reinterpreted as signed — the exact
+    /// identity the wraparound-safe comparisons exist to provide.
+    #[test]
+    fn distance_recovers_the_signed_step(a in any::<u16>(), d in any::<u16>()) {
+        prop_assert_eq!(seq_distance(a.wrapping_add(d), a), (d as i16) as i32);
+    }
+
+    /// `ExtendedSeq` against an oracle: walk a true 64-bit position
+    /// forward in sub-half-range steps, occasionally re-emitting a recent
+    /// (late) position. The extension must equal the true position
+    /// truncated to 32 bits — across wraps, and for stragglers that
+    /// straddle them — and `highest()` must track the running maximum.
+    #[test]
+    fn extension_matches_a_64_bit_oracle(
+        start in any::<u16>(),
+        moves in proptest::collection::vec((1u64..20_000, any::<bool>(), 0u64..100), 1..80),
+    ) {
+        let mut ext = ExtendedSeq::new();
+        let mut pos = start as u64;
+        prop_assert_eq!(ext.update(start), start as u32);
+        let mut high = pos;
+        for (advance, replay, back) in moves {
+            pos += advance;
+            let got = ext.update((pos & 0xFFFF) as u16);
+            prop_assert_eq!(got, pos as u32, "in-order packet at {}", pos);
+            high = high.max(pos);
+            prop_assert_eq!(ext.highest(), high as u32);
+            if replay && back < advance {
+                // A late duplicate of a position we already passed, within
+                // the reorder window the serial ordering can express.
+                let late = pos - back;
+                let got = ext.update((late & 0xFFFF) as u16);
+                prop_assert_eq!(got, late as u32, "late packet at {} (high {})", late, pos);
+                prop_assert_eq!(ext.highest(), high as u32, "late packet moved the high-water mark");
+            }
+        }
+    }
+
+    /// A perfectly periodic stream has (near-)zero jitter wherever its
+    /// timestamps start — including streams that wrap 2³² mid-call.
+    #[test]
+    fn periodic_streams_have_zero_jitter_even_across_the_wrap(
+        start in any::<u32>(),
+        frames in 16u32..96,
+        frame_ticks in 80u32..2000,
+    ) {
+        let clock = 8_000;
+        let mut j = JitterEstimator::new(clock);
+        let period = frame_ticks as f64 / clock as f64;
+        for i in 0..frames {
+            j.on_packet(i as f64 * period, start.wrapping_add(i.wrapping_mul(frame_ticks)));
+        }
+        prop_assert!(j.jitter_secs() < 1e-9, "jitter = {}", j.jitter_secs());
+    }
+
+    /// Jitter measures transit *variation*: shifting every arrival by one
+    /// constant delay changes nothing (§6.4.1's D(i,j) telescopes the
+    /// constant away). Checked on noisy arrivals with wrapping timestamps.
+    #[test]
+    fn jitter_is_invariant_under_a_constant_delay_shift(
+        start in any::<u32>(),
+        noise in proptest::collection::vec(0u32..80, 16..64),
+        shift_ms in 1u32..5_000,
+    ) {
+        let clock = 8_000;
+        let shift = shift_ms as f64 * 1e-3;
+        let run = |base: f64| {
+            let mut j = JitterEstimator::new(clock);
+            for (i, n) in noise.iter().enumerate() {
+                let arrival = base + i as f64 * 0.020 + *n as f64 / clock as f64;
+                j.on_packet(arrival, start.wrapping_add(i as u32 * 160));
+            }
+            j.jitter_secs()
+        };
+        let baseline = run(0.0);
+        let shifted = run(shift);
+        prop_assert!(
+            (baseline - shifted).abs() < 1e-9,
+            "constant delay changed jitter: {} vs {}", baseline, shifted
+        );
+    }
+}

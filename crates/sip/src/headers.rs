@@ -274,6 +274,14 @@ impl FromStr for NameAddr {
             // the header, not the URI (RFC 3261 §20.10) — but for the subset
             // this codebase generates, treating the whole string as a URI and
             // hoisting a trailing `tag` parameter is sufficient and lossless.
+            //
+            // Angle brackets inside an addr-spec are malformed, and accepting
+            // one breaks the parse→Display→parse round trip: the stray `>`
+            // would be folded into the URI and re-rendered inside a fresh
+            // `<...>` wrapper as `<...>>`, which no parser accepts.
+            if rest.contains('<') || rest.contains('>') {
+                return Err(ParseHeaderError::new("name-addr", "stray angle bracket"));
+            }
             let mut uri: SipUri = rest
                 .parse()
                 .map_err(|_| ParseHeaderError::new("name-addr", "invalid URI"))?;

@@ -32,6 +32,11 @@ impl ParseMessageError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// The static diagnosis, allocation-free by construction.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
 }
 
 impl fmt::Display for ParseMessageError {
@@ -46,14 +51,27 @@ impl fmt::Display for ParseMessageError {
 
 impl std::error::Error for ParseMessageError {}
 
+/// The validated start line, before headers are parsed.
+enum StartLine {
+    Request { method: Method, uri: SipUri },
+    Response { status: StatusCode },
+}
+
 /// Parses a complete SIP message (request or response) from text.
+///
+/// The start line is validated *before* any header: hostile floods
+/// overwhelmingly fail right there, and the reject stays cheap (no
+/// owned-header allocations for traffic that was never SIP).
 ///
 /// # Errors
 ///
 /// Returns [`ParseMessageError`] when the start line is not a valid request
-/// or status line, or when a known header fails its typed parse. Unknown
-/// headers never fail — they are kept raw so vids can still classify the
-/// packet and flag anomalies at a higher layer.
+/// or status line, when a known header fails its typed parse, or when a
+/// declared `Content-Length` exceeds the bytes actually present — a
+/// truncated datagram: an IDS must flag it rather than analyze a different
+/// message than the endpoint saw. Unknown headers never fail — they are
+/// kept raw so vids can still classify the packet and flag anomalies at a
+/// higher layer.
 ///
 /// ```
 /// let msg = vids_sip::parse::parse_message(
@@ -70,6 +88,8 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         .next()
         .ok_or_else(|| ParseMessageError::new(0, "empty message"))?;
 
+    let start = parse_start_line(start)?;
+
     let mut headers = Headers::new();
     for (idx, line) in lines {
         if line.is_empty() {
@@ -80,13 +100,45 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         headers.push(header);
     }
 
-    // Honor Content-Length when it is shorter than the available body; this
-    // matches how a datagram parser would trim padding.
+    // Honor Content-Length when it is no longer than the available body
+    // (trailing padding is trimmed, as a datagram parser would). A length
+    // *exceeding* the body means the datagram was truncated in flight:
+    // reject instead of silently keeping a body the declared message does
+    // not have.
     let body = match headers.content_length() {
-        Some(len) if len <= body.len() => body[..len].to_owned(),
-        _ => body.to_owned(),
+        Some(len) if len > body.len() => {
+            return Err(ParseMessageError::new(
+                0,
+                "Content-Length exceeds available body",
+            ))
+        }
+        Some(len) if !body.is_char_boundary(len) => {
+            return Err(ParseMessageError::new(
+                0,
+                "Content-Length splits a multi-byte character",
+            ))
+        }
+        Some(len) => body[..len].to_owned(),
+        None => body.to_owned(),
     };
 
+    match start {
+        StartLine::Response { status } => {
+            let mut resp = Response::new(status);
+            resp.headers = headers;
+            resp.body = body;
+            Ok(Message::Response(resp))
+        }
+        StartLine::Request { method, uri } => {
+            let mut req = Request::new(method, uri);
+            req.headers = headers;
+            req.body = body;
+            Ok(Message::Request(req))
+        }
+    }
+}
+
+fn parse_start_line(start: &str) -> Result<StartLine, ParseMessageError> {
     if let Some(rest) = start.strip_prefix("SIP/2.0 ") {
         // Status line: SIP/2.0 200 OK
         let mut parts = rest.splitn(2, ' ');
@@ -96,10 +148,7 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
             .map_err(|_| ParseMessageError::new(1, "invalid status code"))?;
         let status =
             StatusCode::new(code).map_err(|_| ParseMessageError::new(1, "invalid status code"))?;
-        let mut resp = Response::new(status);
-        resp.headers = headers;
-        resp.body = body;
-        Ok(Message::Response(resp))
+        Ok(StartLine::Response { status })
     } else {
         // Request line: METHOD uri SIP/2.0
         let mut parts = start.split_whitespace();
@@ -121,10 +170,7 @@ pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
         let uri: SipUri = uri_tok
             .parse()
             .map_err(|_| ParseMessageError::new(1, "invalid request-URI"))?;
-        let mut req = Request::new(method, uri);
-        req.headers = headers;
-        req.body = body;
-        Ok(Message::Request(req))
+        Ok(StartLine::Request { method, uri })
     }
 }
 
@@ -270,6 +316,29 @@ mod tests {
         let text = "INFO sip:b@h SIP/2.0\r\nContent-Length: 3\r\n\r\nabcdef";
         let msg = parse_message(text).unwrap();
         assert_eq!(msg.body(), "abc");
+    }
+
+    /// Regression (ISSUE 5): a Content-Length larger than the available
+    /// body is a truncated datagram — the endpoint saw a different message
+    /// than the monitor would reconstruct, so the parse must fail.
+    #[test]
+    fn content_length_beyond_body_is_rejected() {
+        let text = "INFO sip:b@h SIP/2.0\r\nContent-Length: 9999\r\n\r\nshort";
+        let err = parse_message(text).unwrap_err();
+        assert_eq!(err.reason(), "Content-Length exceeds available body");
+        // Exact length still parses; one byte over does not.
+        assert!(parse_message("INFO sip:b@h SIP/2.0\r\nContent-Length: 5\r\n\r\nshort").is_ok());
+        assert!(parse_message("INFO sip:b@h SIP/2.0\r\nContent-Length: 6\r\n\r\nshort").is_err());
+    }
+
+    /// Found by the vids-harness fuzzer: a Content-Length that lands inside
+    /// a multi-byte UTF-8 character must reject, not panic on the slice.
+    #[test]
+    fn content_length_inside_a_multibyte_character_is_rejected() {
+        let text = "INFO sip:b@h SIP/2.0\r\nContent-Length: 1\r\n\r\né";
+        let err = parse_message(text).unwrap_err();
+        assert_eq!(err.reason(), "Content-Length splits a multi-byte character");
+        assert!(parse_message("INFO sip:b@h SIP/2.0\r\nContent-Length: 2\r\n\r\né").is_ok());
     }
 
     #[test]

@@ -215,6 +215,13 @@ impl FromStr for SipUri {
         if addr.is_empty() {
             return Err(ParseUriError::new("empty host part"));
         }
+        // RFC 3261 userinfo and hostport contain no whitespace or control
+        // characters. Accepting them makes Display round trips lossy: a
+        // host that kept a trailing tab re-parses without it once the
+        // angle-bracket form is rendered.
+        if addr.chars().any(|c| c.is_whitespace() || c.is_control()) {
+            return Err(ParseUriError::new("whitespace in user/host part"));
+        }
 
         let (user, hostport) = match addr.rfind('@') {
             Some(i) => {
@@ -310,6 +317,20 @@ mod tests {
         assert!("sip:@host".parse::<SipUri>().is_err());
         assert!("sip:u@h:badport".parse::<SipUri>().is_err());
         assert!("sip:u@h;;x".parse::<SipUri>().is_err());
+    }
+
+    #[test]
+    fn rejects_whitespace_inside_user_or_host() {
+        // A tab kept inside the host would survive parse but not a
+        // Display round trip (found by the fuzz harness: the outer trim
+        // cannot see a tab that sits before the first ';').
+        assert!("sip:alice@a.example.com\t;tag=oa"
+            .parse::<SipUri>()
+            .is_err());
+        assert!("sip:al ice@a.example.com".parse::<SipUri>().is_err());
+        assert!("sip:alice@a.exam ple.com".parse::<SipUri>().is_err());
+        // Leading/trailing whitespace around the whole URI is still fine.
+        assert!(" sip:alice@a.example.com ".parse::<SipUri>().is_ok());
     }
 
     #[test]

@@ -143,8 +143,9 @@ impl<'a> SipView<'a> {
 ///
 /// Returns [`ViewError`] for the same classes of damage the owned parser
 /// rejects: a start line that is neither a valid request line nor a valid
-/// status line, a header line without `:`, or a known header whose typed
-/// value fails to parse.
+/// status line, a header line without `:`, a known header whose typed
+/// value fails to parse, or a `Content-Length` that exceeds the bytes
+/// actually present (a truncated datagram).
 pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
     let (head, body) = split_head_body(text);
     let mut lines = head.lines();
@@ -185,8 +186,16 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
         expires: None,
         body,
     };
+    let mut call_id_seen = false;
     let mut content_length: Option<usize> = None;
 
+    // Duplicate-header policy: every occurrence of a known header is still
+    // *validated* (a malformed second From rejects the message, exactly as
+    // the owned parser does), but the **first** occurrence wins. The owned
+    // accessors are all first-match; if the view kept the last value
+    // instead, a datagram carrying two Call-IDs would make the monitor
+    // track a different call than the endpoint parsed — the classic
+    // header-smuggling desynchronization an IDS must not have.
     for line in lines {
         if line.is_empty() {
             break;
@@ -198,25 +207,59 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
         match canonical(name) {
             Canonical::Via => {
                 // Only the topmost Via addresses the transaction.
+                let branch = via_branch(value)?;
                 if view.branch.is_none() {
-                    view.branch = via_branch(value)?;
+                    view.branch = branch;
                 }
             }
-            Canonical::From => view.from = Some(name_addr(value)?),
-            Canonical::To => view.to = Some(name_addr(value)?),
-            Canonical::Contact => view.contact = Some(name_addr(value)?),
-            Canonical::CallId => view.call_id = value,
-            Canonical::CSeq => view.cseq = Some(cseq(value)?),
-            Canonical::ContentType => view.content_type = Some(value),
+            Canonical::From => {
+                let from = name_addr(value)?;
+                if view.from.is_none() {
+                    view.from = Some(from);
+                }
+            }
+            Canonical::To => {
+                let to = name_addr(value)?;
+                if view.to.is_none() {
+                    view.to = Some(to);
+                }
+            }
+            Canonical::Contact => {
+                let contact = name_addr(value)?;
+                if view.contact.is_none() {
+                    view.contact = Some(contact);
+                }
+            }
+            Canonical::CallId => {
+                if !call_id_seen {
+                    view.call_id = value;
+                    call_id_seen = true;
+                }
+            }
+            Canonical::CSeq => {
+                let cseq = cseq(value)?;
+                if view.cseq.is_none() {
+                    view.cseq = Some(cseq);
+                }
+            }
+            Canonical::ContentType => {
+                if view.content_type.is_none() {
+                    view.content_type = Some(value);
+                }
+            }
             Canonical::ContentLength => {
-                content_length = Some(
-                    value
-                        .parse()
-                        .map_err(|_| ViewError("invalid Content-Length"))?,
-                );
+                let len = value
+                    .parse()
+                    .map_err(|_| ViewError("invalid Content-Length"))?;
+                if content_length.is_none() {
+                    content_length = Some(len);
+                }
             }
             Canonical::Expires => {
-                view.expires = Some(value.parse().map_err(|_| ViewError("invalid Expires"))?);
+                let expires = value.parse().map_err(|_| ViewError("invalid Expires"))?;
+                if view.expires.is_none() {
+                    view.expires = Some(expires);
+                }
             }
             Canonical::MaxForwards => {
                 let _: u32 = value
@@ -228,9 +271,16 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
     }
 
     if let Some(len) = content_length {
-        if len <= view.body.len() {
-            view.body = &view.body[..len];
+        // A declared length beyond the available bytes is a truncated
+        // datagram; flag it instead of analyzing a different message than
+        // the endpoint saw (mirrors the owned parser's reject).
+        if len > view.body.len() {
+            return Err(ViewError("Content-Length exceeds available body"));
         }
+        if !view.body.is_char_boundary(len) {
+            return Err(ViewError("Content-Length splits a multi-byte character"));
+        }
+        view.body = &view.body[..len];
     }
     Ok(view)
 }
@@ -341,7 +391,11 @@ fn name_addr(value: &str) -> Result<NameAddrView<'_>, ViewError> {
         Ok(NameAddrView { uri, tag })
     } else {
         // addr-spec form: a trailing `tag` parameter belongs to the header
-        // (RFC 3261 §20.10), mirroring the owned parser's hoisting.
+        // (RFC 3261 §20.10), mirroring the owned parser's hoisting — and
+        // its rejection of stray angle brackets.
+        if rest.contains('<') || rest.contains('>') {
+            return Err(ViewError("stray angle bracket in name-addr"));
+        }
         let (uri, tag) = match rest.find(';') {
             Some(i) => (&rest[..i], param(&rest[i..], "tag")),
             None => (rest, None),
@@ -480,6 +534,23 @@ mod tests {
     fn content_length_trims_body() {
         let view = parse_view("INFO sip:b@h SIP/2.0\r\nContent-Length: 3\r\n\r\nabcdef").unwrap();
         assert_eq!(view.body, "abc");
+    }
+
+    #[test]
+    fn content_length_beyond_body_is_rejected() {
+        let err =
+            parse_view("INFO sip:b@h SIP/2.0\r\nContent-Length: 9999\r\n\r\nshort").unwrap_err();
+        assert_eq!(err.reason(), "Content-Length exceeds available body");
+        assert!(parse_view("INFO sip:b@h SIP/2.0\r\nContent-Length: 5\r\n\r\nshort").is_ok());
+    }
+
+    /// Found by the vids-harness fuzzer: a Content-Length that lands inside
+    /// a multi-byte UTF-8 character must reject, not panic on the slice.
+    #[test]
+    fn content_length_inside_a_multibyte_character_is_rejected() {
+        let err = parse_view("INFO sip:b@h SIP/2.0\r\nContent-Length: 1\r\n\r\né").unwrap_err();
+        assert_eq!(err.reason(), "Content-Length splits a multi-byte character");
+        assert!(parse_view("INFO sip:b@h SIP/2.0\r\nContent-Length: 2\r\n\r\né").is_ok());
     }
 
     #[test]

@@ -86,9 +86,10 @@ fn content_length_edge_cases() {
     // Zero length with trailing junk: body trimmed to zero.
     let msg = parses("INFO sip:b@h SIP/2.0\r\nContent-Length: 0\r\n\r\ntrailing");
     assert_eq!(msg.body(), "");
-    // Declared longer than available: keep what is there (datagram truth).
-    let msg = parses("INFO sip:b@h SIP/2.0\r\nContent-Length: 9999\r\n\r\nshort");
-    assert_eq!(msg.body(), "short");
+    // Declared longer than available: the datagram was truncated in
+    // flight — reject rather than analyze a body the message doesn't have.
+    rejects("INFO sip:b@h SIP/2.0\r\nContent-Length: 9999\r\n\r\nshort");
+    rejects("INFO sip:b@h SIP/2.0\r\nContent-Length: 1\r\n\r\n");
     // Negative / garbage lengths are rejected.
     rejects("INFO sip:b@h SIP/2.0\r\nContent-Length: -1\r\n\r\n");
     rejects("INFO sip:b@h SIP/2.0\r\nContent-Length: ten\r\n\r\n");

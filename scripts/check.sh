@@ -25,6 +25,14 @@ cargo clippy --offline -p vids-efsm -p vids-telemetry -p vids-core --all-targets
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string
 
+# Adversarial correctness harness (crates/harness): structure-aware wire
+# fuzzing, differential oracles, the exhaustive mailbox interleaving
+# checker, and the pinned regression tests — at the 10k-iteration smoke
+# budget (VIDS_FUZZ_ITERS in the environment overrides it for deep runs).
+echo "==> correctness harness (fuzz + oracles + model checker)"
+VIDS_FUZZ_ITERS="${VIDS_FUZZ_ITERS:-10000}" \
+    cargo test --offline -p vids-harness -q
+
 # Worker-runtime stress: one persistent pool, randomized batch sizes,
 # byte-compared against the plain engine at 1/4/8 shards.
 echo "==> pool determinism stress"

@@ -47,7 +47,7 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
         id: 0,
         sent_at: SimTime::ZERO,
     };
-    vids.process_into(
+    vids.process(
         &a2b(Payload::Sip(inv.to_string()), 5060, 5060),
         SimTime::ZERO,
         &mut NullSink,
@@ -69,7 +69,7 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
         id: 0,
         sent_at: SimTime::ZERO,
     };
-    vids.process_into(&b2a, SimTime::from_millis(50), &mut NullSink);
+    vids.process(&b2a, SimTime::from_millis(50), &mut NullSink);
 
     // Media, BYE at 500 ms, media continues (the attack).
     let mut detected = false;
@@ -77,7 +77,7 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
     for t in (100..2_000u64).step_by(10) {
         if t == 500 {
             let bye = vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
-            vids.process_into(
+            vids.process(
                 &a2b(Payload::Sip(bye.to_string()), 5060, 5060),
                 SimTime::from_millis(t),
                 &mut NullSink,
@@ -86,7 +86,7 @@ fn bye_dos_detected(cross_protocol_sync: bool) -> bool {
         let rtp = RtpPacket::new(18, seq, seq as u32 * 80, 7).with_payload(vec![0; 10]);
         seq = seq.wrapping_add(1);
         let mut alerts = CollectSink::new();
-        vids.process_into(
+        vids.process(
             &a2b(Payload::Rtp(rtp.to_bytes()), 20_000, 30_000),
             SimTime::from_millis(t),
             &mut alerts,

@@ -67,11 +67,11 @@ fn print_figure() {
 
     // Measured wall-clock per-packet cost of the actual pipeline.
     let mut vids = Vids::new(Config::default());
-    vids.process_into(&sip_invite("cpu-1"), SimTime::ZERO, &mut NullSink);
+    vids.process(&sip_invite("cpu-1"), SimTime::ZERO, &mut NullSink);
     let n = 50_000u64;
     let start = Instant::now();
     for i in 0..n {
-        vids.process_into(&rtp_packet(i), SimTime::from_millis(i / 100), &mut NullSink);
+        vids.process(&rtp_packet(i), SimTime::from_millis(i / 100), &mut NullSink);
     }
     let per_rtp_ns = start.elapsed().as_nanos() as f64 / n as f64;
 
@@ -79,7 +79,7 @@ fn print_figure() {
     let m = 5_000u64;
     let start = Instant::now();
     for i in 0..m {
-        vids2.process_into(
+        vids2.process(
             &sip_invite(&format!("cpu-{i}")),
             SimTime::from_millis(i * 2_000),
             &mut NullSink,
@@ -93,7 +93,7 @@ fn print_figure() {
     let pool_config = Config::builder().shards(shards).build().unwrap();
     let mut pool = VidsPool::with_cost(pool_config, CostModel::free());
     let start = Instant::now();
-    pool.process_batch(&batch, SimTime::ZERO);
+    pool.process_batch(&batch, SimTime::ZERO, &mut NullSink);
     let per_pool_ns = start.elapsed().as_nanos() as f64 / batch.len() as f64;
 
     // At the paper's workload (~6000 RTP pps through the perimeter), the
@@ -147,7 +147,7 @@ fn bench(c: &mut Criterion) {
     print_once(&PRINTED, print_figure);
 
     let mut vids = Vids::new(Config::default());
-    vids.process_into(&sip_invite("bench-call"), SimTime::ZERO, &mut NullSink);
+    vids.process(&sip_invite("bench-call"), SimTime::ZERO, &mut NullSink);
     let pkt = rtp_packet(1);
     let mut i = 0u64;
     c.bench_function("cpu/vids_process_rtp_packet", |b| {
@@ -161,7 +161,7 @@ fn bench(c: &mut Criterion) {
                 let ts = (i as u32) * 80;
                 bytes[4..8].copy_from_slice(&ts.to_be_bytes());
             }
-            vids.process_into(&p, SimTime::from_millis(i / 100), &mut NullSink);
+            vids.process(&p, SimTime::from_millis(i / 100), &mut NullSink);
             std::hint::black_box(vids.alerts().len())
         })
     });
@@ -172,7 +172,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let pkt = sip_invite(&format!("bench-{i}"));
-            vids.process_into(&pkt, SimTime::from_millis(i * 2_000), &mut NullSink);
+            vids.process(&pkt, SimTime::from_millis(i * 2_000), &mut NullSink);
             std::hint::black_box(vids.alerts().len())
         })
     });
@@ -188,7 +188,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let config = Config::builder().shards(shards).build().unwrap();
             let mut pool = VidsPool::with_cost(config, CostModel::free());
-            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO, &mut NullSink);
             std::hint::black_box(pool.alerts().len())
         })
     });

@@ -295,7 +295,7 @@ fn bench(c: &mut Criterion) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(
+        vids.process(
             &pkt(Payload::Sip(inv.to_string())),
             SimTime::ZERO,
             &mut NullSink,
@@ -303,7 +303,7 @@ fn bench(c: &mut Criterion) {
         let bye = vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
         let bye_pkt = pkt(Payload::Sip(bye.to_string()));
         b.iter(|| {
-            vids.process_into(&bye_pkt, SimTime::from_millis(10), &mut NullSink);
+            vids.process(&bye_pkt, SimTime::from_millis(10), &mut NullSink);
             std::hint::black_box(vids.counters().sip_packets)
         })
     });

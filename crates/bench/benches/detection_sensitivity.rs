@@ -71,7 +71,7 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(
+        vids.process(
             &mk(Payload::Sip(inv.to_string()), 5060, 5060),
             SimTime::ZERO,
             &mut NullSink,
@@ -94,7 +94,7 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             id: 0,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(&ok_pkt, SimTime::from_millis(50), &mut NullSink);
+        vids.process(&ok_pkt, SimTime::from_millis(50), &mut NullSink);
         // Media, then BYE at 1000 ms, then packets until `packets_until_ms`.
         let mut alert_at: Option<u64> = None;
         let mut seq = 100u16;
@@ -103,7 +103,7 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
             if t == 1_000 {
                 let bye =
                     vids::sip::Request::in_dialog(vids::sip::Method::Bye, &inv, 2, Some("tt"));
-                vids.process_into(
+                vids.process(
                     &mk(Payload::Sip(bye.to_string()), 5060, 5060),
                     SimTime::from_millis(t),
                     &mut NullSink,
@@ -114,7 +114,7 @@ fn bye_dos_outcomes(t_ms: u64, rtt_ms: u64) -> (bool, Option<u64>) {
                 seq = seq.wrapping_add(1);
                 ts = ts.wrapping_add(80);
                 let mut alerts = CollectSink::new();
-                vids.process_into(
+                vids.process(
                     &mk(Payload::Rtp(rtp.to_bytes()), 20_000, 30_000),
                     SimTime::from_millis(t),
                     &mut alerts,

@@ -93,11 +93,11 @@ fn bench(c: &mut Criterion) {
     let shards = vids_bench::shards_knob();
     let batch = vids_bench::synth_call_batch(120, 30);
     c.bench_function(&format!("fig8/monitor_call_mix_{shards}_shards"), |b| {
-        use vids::core::{Config, CostModel, VidsPool};
+        use vids::core::{Config, CostModel, NullSink, VidsPool};
         b.iter(|| {
             let config = Config::builder().shards(shards).build().unwrap();
             let mut pool = VidsPool::with_cost(config, CostModel::free());
-            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO, &mut NullSink);
             std::hint::black_box(pool.monitored_calls())
         })
     });

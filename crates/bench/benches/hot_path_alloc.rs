@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
             let mut vids = Vids::with_cost(Config::default(), CostModel::free());
             let mut sink = NullSink;
             for p in &batch {
-                vids.process_into(std::hint::black_box(p), p.sent_at, &mut sink);
+                vids.process(std::hint::black_box(p), p.sent_at, &mut sink);
             }
             std::hint::black_box(vids.counters().rtp_packets)
         })
@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
             let _registry = vids.enable_telemetry(256);
             let mut sink = NullSink;
             for p in &batch {
-                vids.process_into(std::hint::black_box(p), p.sent_at, &mut sink);
+                vids.process(std::hint::black_box(p), p.sent_at, &mut sink);
             }
             std::hint::black_box(vids.counters().rtp_packets)
         })
@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let config = Config::builder().shards(shards).build().unwrap();
             let mut pool = VidsPool::with_cost(config, CostModel::free());
-            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO, &mut NullSink);
             std::hint::black_box(pool.counters().rtp_packets)
         })
     });
@@ -61,7 +61,7 @@ fn bench(c: &mut Criterion) {
             let config = Config::builder().shards(shards).build().unwrap();
             let mut pool = VidsPool::with_cost(config, CostModel::free());
             pool.enable_telemetry(256);
-            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO, &mut NullSink);
             std::hint::black_box(pool.counters().rtp_packets)
         })
     });

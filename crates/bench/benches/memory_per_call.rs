@@ -41,7 +41,7 @@ fn invite_packet(i: usize) -> Packet {
 fn monitor_with_calls(n: usize) -> Vids {
     let mut vids = Vids::new(Config::default());
     for i in 0..n {
-        vids.process_into(
+        vids.process(
             &invite_packet(i),
             SimTime::from_millis(i as u64),
             &mut NullSink,
@@ -94,7 +94,7 @@ fn bench(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
-            vids.process_into(
+            vids.process(
                 &invite_packet(i),
                 SimTime::from_millis(i as u64),
                 &mut NullSink,

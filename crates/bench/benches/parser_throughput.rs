@@ -99,12 +99,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("parser");
     group.throughput(criterion::Throughput::Elements(batch.len() as u64));
     group.bench_function(&format!("pool_ingest_batch_{shards}_shards"), |b| {
-        use vids::core::{Config, CostModel, VidsPool};
+        use vids::core::{Config, CostModel, NullSink, VidsPool};
         use vids::netsim::time::SimTime;
         b.iter(|| {
             let config = Config::builder().shards(shards).build().unwrap();
             let mut pool = VidsPool::with_cost(config, CostModel::free());
-            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+            pool.process_batch(std::hint::black_box(&batch), SimTime::ZERO, &mut NullSink);
             std::hint::black_box(pool.counters().sip_packets)
         })
     });

@@ -1,0 +1,120 @@
+//! Wire-tier replay throughput: classic pcap bytes → UDP frame decode →
+//! demux → classify → sharded engine, end to end.
+//!
+//! Not a paper figure — the 2006 prototype consumed a live libpcap feed —
+//! but the offline analogue of its deployment path: `vids replay` over a
+//! capture is how this engine audits recorded traffic, so the datagrams/s
+//! through the full decode path is the number that bounds capture-audit
+//! turnaround. Compare against `pool_scaling`'s in-process pps to read
+//! off what the wire decode itself costs.
+
+use std::sync::Once;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use vids::core::{Config, CostModel, NullSink, VidsPool};
+use vids::ingest::pcap::PcapWriter;
+use vids::ingest::replay::replay_pcap;
+use vids::netsim::packet::{Address, Packet, Payload};
+use vids_bench::{header, print_once, row, synth_call_batch};
+
+static PRINTED: Once = Once::new();
+
+const CALLS: usize = 150;
+const RTP_PER_CALL: usize = 40;
+const FLUSH_PACKETS: usize = 256;
+
+fn to_socket(addr: Address) -> std::net::SocketAddrV4 {
+    let [a, b, c, d] = addr.ip.to_be_bytes();
+    std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(a, b, c, d), addr.port)
+}
+
+/// Renders the synthetic batch to classic pcap capture bytes.
+fn to_pcap(batch: &[Packet]) -> Vec<u8> {
+    let mut w = PcapWriter::new();
+    for p in batch {
+        let payload: Vec<u8> = match &p.payload {
+            Payload::Sip(text) => text.clone().into_bytes(),
+            Payload::Rtp(bytes) | Payload::Raw(bytes) => bytes.clone(),
+        };
+        w.push_udp(p.sent_at, to_socket(p.src), to_socket(p.dst), &payload);
+    }
+    w.into_bytes()
+}
+
+fn pool(shards: usize) -> VidsPool {
+    let config = Config::builder().shards(shards).build().unwrap();
+    VidsPool::with_cost(config, CostModel::free())
+}
+
+fn replay_pps(capture: &[u8], datagrams: usize, shards: usize, passes: usize) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..passes {
+        let mut p = pool(shards);
+        let start = Instant::now();
+        let report =
+            replay_pcap(capture.to_vec(), &mut p, FLUSH_PACKETS, None, &mut NullSink).unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(report.datagrams as usize, datagrams);
+    }
+    datagrams as f64 / best
+}
+
+fn print_figure() {
+    let batch = synth_call_batch(CALLS, RTP_PER_CALL);
+    let capture = to_pcap(&batch);
+    println!("{}", header("Pcap replay: wire-decode + engine throughput"));
+    println!(
+        "{}",
+        row(
+            "capture",
+            "-",
+            format!(
+                "{} calls / {} datagrams / {} KiB",
+                CALLS,
+                batch.len(),
+                capture.len() / 1024
+            )
+        )
+    );
+    for shards in [1usize, 4] {
+        let pps = replay_pps(&capture, batch.len(), shards, 5);
+        println!(
+            "{}",
+            row(
+                &format!("replay, {shards} shard(s)"),
+                "-",
+                format!("{pps:>9.0} pps")
+            )
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINTED, print_figure);
+    let batch = synth_call_batch(CALLS, RTP_PER_CALL);
+    let capture = to_pcap(&batch);
+    let mut group = c.benchmark_group("pcap_replay");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for shards in [1usize, 4] {
+        group.bench_function(&format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let mut p = pool(shards);
+                let report = replay_pcap(
+                    std::hint::black_box(capture.clone()),
+                    &mut p,
+                    FLUSH_PACKETS,
+                    None,
+                    &mut NullSink,
+                )
+                .unwrap();
+                std::hint::black_box(report.datagrams)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

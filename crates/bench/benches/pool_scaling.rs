@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use vids::core::{CollectSink, Config, CostModel, Vids, VidsPool};
+use vids::core::{CollectSink, Config, CostModel, NullSink, Vids, VidsPool};
 use vids::netsim::packet::Packet;
 use vids::netsim::time::SimTime;
 use vids_bench::{header, print_once, row, synth_call_batch};
@@ -37,7 +37,7 @@ fn plain_engine_pps(batch: &[Packet], passes: usize) -> f64 {
         let mut sink = CollectSink::new();
         let start = Instant::now();
         for packet in batch {
-            vids.process_into(packet, packet.sent_at, &mut sink);
+            vids.process(packet, packet.sent_at, &mut sink);
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
@@ -76,7 +76,7 @@ fn print_figure() {
         for _ in 0..5 {
             let mut p = pool(shards);
             let start = Instant::now();
-            p.process_batch(&batch, SimTime::ZERO);
+            p.process_batch(&batch, SimTime::ZERO, &mut NullSink);
             best = best.min(start.elapsed().as_secs_f64());
         }
         let pps = batch.len() as f64 / best;
@@ -109,7 +109,7 @@ fn bench(c: &mut Criterion) {
             let mut vids = Vids::with_cost(Config::default(), CostModel::free());
             let mut sink = CollectSink::new();
             for packet in std::hint::black_box(&batch) {
-                vids.process_into(packet, packet.sent_at, &mut sink);
+                vids.process(packet, packet.sent_at, &mut sink);
             }
             std::hint::black_box(sink.alerts().len())
         })
@@ -118,7 +118,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(&format!("shards_{shards}"), |b| {
             b.iter(|| {
                 let mut p = pool(shards);
-                p.process_batch(std::hint::black_box(&batch), SimTime::ZERO);
+                p.process_batch(std::hint::black_box(&batch), SimTime::ZERO, &mut NullSink);
                 std::hint::black_box(p.alerts().len())
             })
         });

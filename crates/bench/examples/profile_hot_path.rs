@@ -15,7 +15,7 @@ fn main() {
         let mut vids = Vids::with_cost(Config::default(), CostModel::free());
         let mut sink = NullSink;
         for p in &batch {
-            vids.process_into(std::hint::black_box(p), p.sent_at, &mut sink);
+            vids.process(std::hint::black_box(p), p.sent_at, &mut sink);
         }
         total += vids.counters().rtp_packets;
     }

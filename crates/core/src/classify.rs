@@ -22,7 +22,7 @@ use std::sync::{OnceLock, RwLock};
 
 use vids_efsm::intern::sym;
 use vids_efsm::{Event, Sym};
-use vids_netsim::packet::{Packet, Payload};
+use vids_netsim::packet::{Address, Packet, Payload, UDP_IP_OVERHEAD};
 use vids_rtp::packet::{ParseRtpError, RtpHeader};
 use vids_sip::view::{parse_view, SipView, StartLine};
 use vids_sip::Method;
@@ -63,23 +63,62 @@ pub enum Classified {
 /// Classifies one packet into an EFSM event.
 pub fn classify(packet: &Packet) -> Classified {
     match &packet.payload {
-        Payload::Sip(text) => match parse_view(text) {
-            Ok(view) => sip_event(&view, packet),
-            Err(e) => Classified::Malformed {
-                protocol: "SIP",
-                reason: e.reason(),
-            },
-        },
-        Payload::Rtp(bytes) => match RtpHeader::parse(bytes) {
-            Ok(header) => Classified::Rtp {
-                event: rtp_event(&header, packet),
-            },
-            Err(e) => Classified::Malformed {
-                protocol: "RTP",
-                reason: rtp_reason(e),
-            },
-        },
+        Payload::Sip(text) => classify_sip_text(text, packet.src, packet.dst),
+        Payload::Rtp(bytes) => classify_rtp_bytes(bytes, packet.src, packet.dst),
         Payload::Raw(_) => Classified::Ignored,
+    }
+}
+
+/// The protocol the wire demultiplexer decided a datagram carries. The
+/// third demux outcome — traffic vids does not monitor — never reaches
+/// classification; the ingest layer maps it to [`Classified::Ignored`]
+/// directly, mirroring [`Payload::Raw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireProto {
+    /// Treat the payload as a SIP message (UTF-8 text).
+    Sip,
+    /// Treat the payload as an RTP packet (binary header).
+    Rtp,
+}
+
+/// Classifies one datagram payload straight off the wire, without
+/// materializing a [`Packet`]. Produces exactly what [`classify`] would
+/// for the equivalent `Payload::Sip`/`Payload::Rtp` packet — the replay
+/// differential tests depend on that equivalence byte for byte.
+pub fn classify_wire(proto: WireProto, payload: &[u8], src: Address, dst: Address) -> Classified {
+    match proto {
+        WireProto::Sip => match std::str::from_utf8(payload) {
+            Ok(text) => classify_sip_text(text, src, dst),
+            // `Payload::Sip` holds a `String`, so the in-process path can
+            // never see this reason; real sockets can.
+            Err(_) => Classified::Malformed {
+                protocol: "SIP",
+                reason: "SIP datagram is not valid UTF-8",
+            },
+        },
+        WireProto::Rtp => classify_rtp_bytes(payload, src, dst),
+    }
+}
+
+fn classify_sip_text(text: &str, src: Address, dst: Address) -> Classified {
+    match parse_view(text) {
+        Ok(view) => sip_event(&view, src, dst),
+        Err(e) => Classified::Malformed {
+            protocol: "SIP",
+            reason: e.reason(),
+        },
+    }
+}
+
+fn classify_rtp_bytes(bytes: &[u8], src: Address, dst: Address) -> Classified {
+    match RtpHeader::parse(bytes) {
+        Ok(header) => Classified::Rtp {
+            event: rtp_event(&header, src, dst, (bytes.len() + UDP_IP_OVERHEAD) as u64),
+        },
+        Err(e) => Classified::Malformed {
+            protocol: "RTP",
+            reason: rtp_reason(e),
+        },
     }
 }
 
@@ -126,7 +165,7 @@ fn rtp_reason(e: ParseRtpError) -> &'static str {
     }
 }
 
-fn sip_event(view: &SipView<'_>, packet: &Packet) -> Classified {
+fn sip_event(view: &SipView<'_>, src: Address, dst: Address) -> Classified {
     let call_id = Sym::intern(view.call_id);
     let name = match view.start {
         StartLine::Request { method, .. } => method_event_sym(method),
@@ -144,8 +183,8 @@ fn sip_event(view: &SipView<'_>, packet: &Packet) -> Classified {
     };
     let to_tag = view.to.and_then(|t| t.tag);
     let mut event = Event::data(name)
-        .with_sym(sym::SRC_IP, ip_sym(packet.src.ip))
-        .with_sym(sym::DST_IP, ip_sym(packet.dst.ip))
+        .with_sym(sym::SRC_IP, ip_sym(src.ip))
+        .with_sym(sym::DST_IP, ip_sym(dst.ip))
         .with_sym(sym::CALL_ID, call_id)
         .with_sym(
             sym::FROM_TAG,
@@ -194,7 +233,7 @@ fn sip_event(view: &SipView<'_>, packet: &Packet) -> Classified {
         event,
         is_initial_invite,
         is_request: view.is_request(),
-        dst_ip: packet.dst.ip,
+        dst_ip: dst.ip,
     }
 }
 
@@ -241,17 +280,17 @@ fn scan_sdp(body: &str) -> Option<SdpScan<'_>> {
     None
 }
 
-fn rtp_event(header: &RtpHeader, packet: &Packet) -> Event {
+fn rtp_event(header: &RtpHeader, src: Address, dst: Address, wire_bytes: u64) -> Event {
     Event::data(sym::RTP_PACKET)
-        .with_sym(sym::SRC_IP, ip_sym(packet.src.ip))
-        .with_uint(sym::SRC_PORT, packet.src.port as u64)
-        .with_sym(sym::DST_IP, ip_sym(packet.dst.ip))
-        .with_uint(sym::DST_PORT, packet.dst.port as u64)
+        .with_sym(sym::SRC_IP, ip_sym(src.ip))
+        .with_uint(sym::SRC_PORT, src.port as u64)
+        .with_sym(sym::DST_IP, ip_sym(dst.ip))
+        .with_uint(sym::DST_PORT, dst.port as u64)
         .with_uint(sym::SSRC, header.ssrc as u64)
         .with_uint(sym::SEQ, header.sequence_number as u64)
         .with_uint(sym::TS, header.timestamp as u64)
         .with_uint(sym::PT, header.payload_type as u64)
-        .with_uint(sym::SIZE, packet.wire_bytes() as u64)
+        .with_uint(sym::SIZE, wire_bytes)
 }
 
 #[cfg(test)]
@@ -432,6 +471,50 @@ mod tests {
     fn raw_traffic_is_ignored() {
         let pkt = packet(Payload::Raw(vec![1, 2, 3]));
         assert_eq!(classify(&pkt), Classified::Ignored);
+    }
+
+    #[test]
+    fn classify_wire_matches_in_process_classification() {
+        let src = Address::new(10, 1, 0, 10, 5060);
+        let dst = Address::new(10, 2, 0, 10, 5060);
+        let text = invite_with_sdp().to_string();
+        assert_eq!(
+            classify_wire(WireProto::Sip, text.as_bytes(), src, dst),
+            classify(&packet(Payload::Sip(text.clone())))
+        );
+
+        let rtp = RtpPacket::new(18, 42, 3360, 0xABCD)
+            .with_payload(vec![0; 10])
+            .to_bytes();
+        let mut pkt = packet(Payload::Rtp(rtp.clone()));
+        pkt.src = Address::new(10, 1, 0, 10, 20_000);
+        pkt.dst = Address::new(10, 2, 0, 10, 30_000);
+        assert_eq!(
+            classify_wire(WireProto::Rtp, &rtp, pkt.src, pkt.dst),
+            classify(&pkt)
+        );
+
+        assert_eq!(
+            classify_wire(WireProto::Sip, b"NOT SIP AT ALL", src, dst),
+            classify(&packet(Payload::Sip("NOT SIP AT ALL".to_owned())))
+        );
+        assert_eq!(
+            classify_wire(WireProto::Rtp, &[0x00, 0x01], src, dst),
+            classify(&packet(Payload::Rtp(vec![0x00, 0x01])))
+        );
+    }
+
+    #[test]
+    fn non_utf8_sip_datagram_is_malformed() {
+        let src = Address::new(10, 1, 0, 10, 5060);
+        let dst = Address::new(10, 2, 0, 10, 5060);
+        assert!(matches!(
+            classify_wire(WireProto::Sip, &[0xFF, 0xFE, 0x00], src, dst),
+            Classified::Malformed {
+                protocol: "SIP",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Detection thresholds and timers (§6 and §7.5).
+//! Detection thresholds and timers (§6 and §7.5), plus the live-ingestion
+//! knobs the `vids-ingest` receiver pool reads.
+
+use std::net::SocketAddr;
 
 use vids_netsim::time::SimTime;
 
@@ -60,6 +63,17 @@ pub struct Config {
     /// partitions monitored calls across. A plain [`crate::engine::Vids`]
     /// ignores this.
     pub shards: usize,
+    /// Address the live-ingestion receiver pool binds (`vids serve
+    /// --listen`). `None` outside of live capture; the in-process and
+    /// replay paths ignore it.
+    pub listen: Option<SocketAddr>,
+    /// Live ingestion: a receiver flushes its accumulated batch to the
+    /// pool once it holds this many datagrams, even if the flush interval
+    /// has not elapsed.
+    pub batch_flush_packets: usize,
+    /// Live ingestion: a receiver flushes its accumulated batch after
+    /// this long, even if it is smaller than `batch_flush_packets`.
+    pub batch_flush_interval: SimTime,
 }
 
 impl Default for Config {
@@ -78,6 +92,9 @@ impl Default for Config {
             eviction_delay: SimTime::from_secs(5),
             cross_protocol_sync: true,
             shards: 1,
+            listen: None,
+            batch_flush_packets: 256,
+            batch_flush_interval: SimTime::from_millis(10),
         }
     }
 }
@@ -215,6 +232,26 @@ impl ConfigBuilder {
         self
     }
 
+    /// Address the live-ingestion receiver pool binds (`vids serve`).
+    pub fn listen(mut self, addr: SocketAddr) -> Self {
+        self.config.listen = Some(addr);
+        self
+    }
+
+    /// Live ingestion: datagrams accumulated before a receiver flushes its
+    /// batch to the pool.
+    pub fn batch_flush_packets(mut self, packets: usize) -> Self {
+        self.config.batch_flush_packets = packets;
+        self
+    }
+
+    /// Live ingestion: longest a receiver holds a non-empty batch before
+    /// flushing it to the pool.
+    pub fn batch_flush_interval(mut self, interval: SimTime) -> Self {
+        self.config.batch_flush_interval = interval;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<Config, ConfigError> {
         let c = &self.config;
@@ -245,6 +282,12 @@ impl ConfigBuilder {
         if c.shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
+        if c.batch_flush_packets == 0 {
+            return Err(ConfigError::ZeroThreshold("batch_flush_packets"));
+        }
+        if c.batch_flush_interval.is_zero() {
+            return Err(ConfigError::ZeroWindow("batch_flush_interval"));
+        }
         Ok(self.config)
     }
 }
@@ -264,5 +307,32 @@ mod tests {
             "must exceed one G.729 second"
         );
         assert!(c.cross_protocol_sync);
+        assert!(c.listen.is_none());
+        assert!(c.batch_flush_packets > 0);
+        assert!(!c.batch_flush_interval.is_zero());
+    }
+
+    #[test]
+    fn ingestion_knobs_validate_like_shards() {
+        let built = Config::builder()
+            .listen("127.0.0.1:5060".parse().unwrap())
+            .batch_flush_packets(64)
+            .batch_flush_interval(SimTime::from_millis(5))
+            .build()
+            .unwrap();
+        assert_eq!(built.listen, Some("127.0.0.1:5060".parse().unwrap()));
+        assert_eq!(built.batch_flush_packets, 64);
+        assert_eq!(built.batch_flush_interval, SimTime::from_millis(5));
+
+        assert_eq!(
+            Config::builder().batch_flush_packets(0).build(),
+            Err(ConfigError::ZeroThreshold("batch_flush_packets"))
+        );
+        assert_eq!(
+            Config::builder()
+                .batch_flush_interval(SimTime::ZERO)
+                .build(),
+            Err(ConfigError::ZeroWindow("batch_flush_interval"))
+        );
     }
 }

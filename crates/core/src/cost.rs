@@ -18,6 +18,8 @@
 use vids_netsim::packet::{Packet, Payload};
 use vids_netsim::time::SimTime;
 
+use crate::classify::Classified;
+
 /// Per-packet cost parameters of the inline monitor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
@@ -71,6 +73,26 @@ impl CostModel {
             Payload::Sip(_) => self.sip_cpu,
             Payload::Rtp(_) => self.rtp_cpu,
             Payload::Raw(_) => SimTime::ZERO,
+        }
+    }
+
+    /// The CPU time a wire-classified datagram consumes. Matches
+    /// [`CostModel::cpu_for`] on the equivalent `Packet`: malformed
+    /// traffic is charged as the protocol it claimed to be, unmonitored
+    /// traffic is free — the replay differential tests depend on the two
+    /// accountings agreeing exactly.
+    pub fn cpu_for_classified(&self, c: &Classified) -> SimTime {
+        match c {
+            Classified::Sip { .. } => self.sip_cpu,
+            Classified::Rtp { .. } => self.rtp_cpu,
+            Classified::Malformed { protocol, .. } => {
+                if *protocol == "SIP" {
+                    self.sip_cpu
+                } else {
+                    self.rtp_cpu
+                }
+            }
+            Classified::Ignored => SimTime::ZERO,
         }
     }
 }

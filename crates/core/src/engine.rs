@@ -2,7 +2,7 @@
 //! machines, collects attack-state entries and specification deviations,
 //! and raises [`Alert`]s.
 //!
-//! Alerts flow through the push-based [`AlertSink`] API ([`Vids::process_into`]);
+//! Alerts flow through the push-based [`AlertSink`] API ([`Vids::process`]);
 //! the legacy collect-into-a-`Vec` entry point ([`Vids::process`]) remains as a
 //! deprecated shim. The packet path is decomposed into `ingest_*` parts so the
 //! sharded [`crate::pool::VidsPool`] can route each part of a packet (per-call
@@ -26,7 +26,7 @@ use crate::config::Config;
 use crate::cost::{CostModel, CpuAccount};
 use crate::factbase::{FactBase, FactBaseStats};
 use crate::monitor::Monitor;
-use crate::sink::{AlertSink, CollectSink};
+use crate::sink::AlertSink;
 
 /// Traffic counters the engine maintains alongside the alert log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -119,7 +119,7 @@ impl TransitionObserver for RingObserver<'_> {
 }
 
 /// The vids intrusion detection system. Feed it every packet crossing the
-/// monitoring point via [`Vids::process_into`]; read the persistent alert
+/// monitoring point via [`Vids::process`]; read the persistent alert
 /// log back with [`Vids::alerts`].
 pub struct Vids {
     config: Config,
@@ -280,43 +280,19 @@ impl Vids {
 
     /// Processes one packet at monitor time `now`, pushing any alerts it
     /// raises into `sink` (they are also appended to the persistent log).
-    pub fn process_into<S: AlertSink + ?Sized>(
-        &mut self,
-        packet: &Packet,
-        now: SimTime,
-        sink: &mut S,
-    ) {
+    pub fn process<S: AlertSink + ?Sized>(&mut self, packet: &Packet, now: SimTime, sink: &mut S) {
         let now_ms = now.as_millis();
         self.cpu.charge(self.cost.cpu_for(packet));
         self.maintain(now_ms, sink);
         self.dispatch(classify(packet), now_ms, sink);
     }
 
-    /// Processes one packet; returns the alerts it raised.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates a Vec per packet; use `process_into` with an `AlertSink` \
-                (`CollectSink` restores this behaviour)"
-    )]
-    pub fn process(&mut self, packet: &Packet, now: SimTime) -> Vec<Alert> {
-        let mut sink = CollectSink::new();
-        self.process_into(packet, now, &mut sink);
-        sink.into_alerts()
-    }
-
     /// Advances idle timers and evicts finished calls, pushing timer-driven
     /// alerts into `sink`. Called automatically from the packet path every
     /// `SWEEP_INTERVAL_MS`; call explicitly to flush at the end of a run.
-    pub fn tick_into<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+    pub fn tick<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         self.last_sweep_ms = 0; // force
         self.maintain(now.as_millis(), sink);
-    }
-
-    /// Advances idle timers and evicts finished calls; returns the alerts.
-    pub fn tick(&mut self, now: SimTime) -> Vec<Alert> {
-        let mut sink = CollectSink::new();
-        self.tick_into(now, &mut sink);
-        sink.into_alerts()
     }
 
     /// Routes one classified packet through the machinery. The pool calls
@@ -724,11 +700,11 @@ impl Vids {
 
 impl Monitor for Vids {
     fn process(&mut self, packet: &Packet, now: SimTime, sink: &mut dyn AlertSink) {
-        self.process_into(packet, now, sink);
+        self.process(packet, now, sink);
     }
 
     fn tick(&mut self, now: SimTime, sink: &mut dyn AlertSink) {
-        self.tick_into(now, sink);
+        self.tick(now, sink);
     }
 
     fn alerts(&self) -> &[Alert] {
@@ -749,6 +725,7 @@ impl Monitor for Vids {
 mod tests {
     use super::*;
     use crate::alert::labels;
+    use crate::sink::{CollectSink, NullSink};
     use vids_netsim::packet::{Address, Payload};
     use vids_rtp::packet::RtpPacket;
     use vids_sdp::{Codec, SessionDescription};
@@ -761,7 +738,7 @@ mod tests {
     /// Sink-API driver used throughout: collects what one packet raised.
     fn process(vids: &mut Vids, packet: &Packet, now: SimTime) -> Vec<Alert> {
         let mut sink = CollectSink::new();
-        vids.process_into(packet, now, &mut sink);
+        vids.process(packet, now, &mut sink);
         sink.into_alerts()
     }
 
@@ -860,8 +837,8 @@ mod tests {
         assert_eq!(vids.monitored_calls(), 1);
         // Flush timers: the first tick marks the call final, the second
         // (past the eviction grace period) removes it.
-        vids.tick(SimTime::from_secs(30));
-        vids.tick(SimTime::from_secs(40));
+        vids.tick(SimTime::from_secs(30), &mut NullSink);
+        vids.tick(SimTime::from_secs(40), &mut NullSink);
         assert_eq!(vids.monitored_calls(), 0);
         assert_eq!(vids.factbase_stats().calls_evicted, 1);
         let c = vids.counters();
@@ -1145,13 +1122,13 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_process_shim_still_collects() {
+    fn sink_receives_what_the_persistent_log_records() {
         let mut vids = Vids::new(Config::default());
         let junk = pkt(CALLER, CALLEE, Payload::Sip("garbage".to_owned()));
-        #[allow(deprecated)]
-        let alerts = vids.process(&junk, SimTime::ZERO);
+        let alerts = process(&mut vids, &junk, SimTime::ZERO);
         assert_eq!(alerts.len(), 1);
         assert_eq!(vids.alerts().len(), 1);
+        assert_eq!(alerts[0].label, vids.alerts()[0].label);
     }
 
     #[test]

@@ -55,7 +55,7 @@
 //!     sent_at: SimTime::ZERO,
 //! };
 //! let mut alerts = CollectSink::new();
-//! vids.process_into(&pkt, SimTime::ZERO, &mut alerts);
+//! vids.process(&pkt, SimTime::ZERO, &mut alerts);
 //! assert!(alerts.is_empty(), "a clean INVITE raises nothing");
 //! assert_eq!(vids.monitored_calls(), 1);
 //! ```
@@ -79,20 +79,22 @@ pub use vids_telemetry as telemetry;
 /// `use vids_core::prelude::*;`.
 pub mod prelude {
     pub use crate::alert::{Alert, AlertKind};
+    pub use crate::classify::{classify_wire, Classified, WireProto};
     pub use crate::config::{Config, ConfigBuilder, ConfigError};
     pub use crate::engine::{Vids, VidsCounters};
     pub use crate::monitor::Monitor;
-    pub use crate::pool::VidsPool;
+    pub use crate::pool::{VidsPool, WireEvent};
     pub use crate::sink::{AlertSink, CollectSink, NullSink};
     pub use crate::tap::VidsTap;
 }
 
 pub use alert::{Alert, AlertKind};
+pub use classify::{classify_wire, Classified, WireProto};
 pub use config::{Config, ConfigBuilder, ConfigError};
 pub use cost::CostModel;
 pub use engine::{Vids, VidsCounters};
 pub use monitor::Monitor;
-pub use pool::VidsPool;
+pub use pool::{VidsPool, WireEvent};
 pub use report::AlertReport;
 pub use sink::{AlertSink, CollectSink, FnSink, NullSink};
 pub use tap::VidsTap;

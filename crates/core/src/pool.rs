@@ -60,7 +60,7 @@ use crate::cost::{CostModel, CpuAccount};
 use crate::engine::{Vids, VidsCounters, SWEEP_INTERVAL_MS};
 use crate::factbase::FactBaseStats;
 use crate::monitor::Monitor;
-use crate::sink::{AlertSink, CollectSink};
+use crate::sink::AlertSink;
 
 /// Below this many routed parts a batch is drained on the calling thread;
 /// spawning scoped threads costs more than it saves.
@@ -154,6 +154,19 @@ impl AlertSink for TaggedSink<'_> {
             .push(((self.idx, self.phase, scope, self.seq), alert));
         self.seq += 1;
     }
+}
+
+/// One classified datagram plus its receive timestamp, produced by the
+/// wire-ingestion layer and consumed by [`VidsPool::process_wire_batch`].
+/// The receive timestamp plays the role `Packet::sent_at` plays on the
+/// in-process path: it feeds the monotonic per-packet clock that drives
+/// the timer sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEvent {
+    /// What the classifier made of the datagram.
+    pub classified: Classified,
+    /// When the datagram was received.
+    pub at: SimTime,
 }
 
 /// One shard-pinned part of a routed packet.
@@ -681,14 +694,6 @@ impl VidsPool {
         self.media_to_shard.get(&(ip, port)).copied()
     }
 
-    /// Processes a batch of packets observed at monitor time `now`; returns
-    /// the alerts the batch raised, in deterministic order.
-    pub fn process_batch(&mut self, packets: &[Packet], now: SimTime) -> Vec<Alert> {
-        let mut sink = CollectSink::new();
-        self.process_batch_into(packets, now, &mut sink);
-        sink.into_alerts()
-    }
-
     /// Processes a batch of packets, pushing alerts into `sink` (they are
     /// also appended to the persistent log readable via
     /// [`VidsPool::alerts`]).
@@ -696,7 +701,7 @@ impl VidsPool {
     /// Pipeline: one amortized idle-timer sweep per batch, parallel
     /// classification, sequential shard routing, parallel shard drains,
     /// deferred DRDoS counting, deterministic merge.
-    pub fn process_batch_into<S: AlertSink + ?Sized>(
+    pub fn process_batch<S: AlertSink + ?Sized>(
         &mut self,
         packets: &[Packet],
         now: SimTime,
@@ -738,7 +743,6 @@ impl VidsPool {
         // media coordinates to the routing index, and queues shard-pinned
         // parts. Malformed/ignored traffic is consumed here — it has no
         // call, destination or media key to shard by.
-        let n = self.shards.len();
         let mut queues = std::mem::take(&mut self.queues);
         let mut classified = std::mem::take(&mut self.classified);
         for (idx, (packet, c)) in packets.iter().zip(classified.drain(..)).enumerate() {
@@ -747,93 +751,175 @@ impl VidsPool {
                 .max(packet.sent_at.as_millis())
                 .max(self.last_packet_ms);
             self.last_packet_ms = t;
-            match c {
-                Classified::Sip {
-                    call_id,
-                    event,
-                    is_initial_invite,
-                    is_request,
-                    dst_ip,
-                } => {
-                    if event.name == sym::SIP_REGISTER {
-                        let aor = event.str_arg("aor").unwrap_or("");
-                        let shard = self.shard_of(aor.as_bytes());
-                        queues[shard].push((idx, t, Part::Register(event)));
-                        continue;
-                    }
-                    let shard = self.shard_of(call_id.as_str().as_bytes());
-                    if event.name == sym::SIP_INVITE {
-                        let flood_shard = self.shard_of(&dst_ip.to_le_bytes());
-                        queues[flood_shard].push((
-                            idx,
-                            t,
-                            Part::InviteFlood {
-                                event: event.clone(),
-                                dst_ip,
-                            },
-                        ));
-                    }
-                    if event.bool_arg("has_sdp") {
-                        if let (Some(ip), Some(port)) =
-                            (event.sym_arg(sym::SDP_IP), event.uint_arg(sym::SDP_PORT))
-                        {
-                            self.media_to_shard.insert((ip, port), shard);
-                        }
-                    }
-                    queues[shard].push((
+            self.route_one(idx, t, c, &mut queues, &mut tagged);
+        }
+        self.classified = classified;
+
+        // Phases 3–5: drain, deferred DRDoS counting, deterministic merge.
+        self.drain_and_merge(queues, tagged, sink);
+    }
+
+    /// Processes a batch of wire-classified datagrams, pushing alerts into
+    /// `sink`. This is the live-ingestion twin of [`VidsPool::process_batch`]:
+    /// the receiver threads already classified each datagram straight off
+    /// the socket buffer ([`crate::classify::classify_wire`]), so the pool
+    /// skips the classification fan-out and goes straight to routing. The
+    /// events are drained out of `events`, leaving its capacity to be
+    /// recycled by the caller.
+    ///
+    /// Given the same traffic, alerts and counters are byte-identical to
+    /// the in-process path — the replay differential tests enforce it.
+    pub fn process_wire_batch<S: AlertSink + ?Sized>(
+        &mut self,
+        events: &mut Vec<WireEvent>,
+        now: SimTime,
+        sink: &mut S,
+    ) {
+        if let Some(rt) = &self.runtime {
+            rt.check_poison();
+        }
+        let now_ms = now.as_millis();
+        let mut tagged = std::mem::take(&mut self.scratch_tagged);
+
+        if let Some(reg) = &self.telemetry {
+            reg.pool().inc(Counter::BatchesIngested);
+            reg.pool()
+                .add(Counter::PacketsIngested, events.len() as u64);
+            reg.pool().record(HistId::BatchSize, events.len() as u64);
+        }
+
+        // Phase 0: at most one sweep per batch, exactly as in
+        // `process_batch`.
+        if now_ms.saturating_sub(self.last_sweep_ms) >= SWEEP_INTERVAL_MS {
+            self.last_sweep_ms = now_ms;
+            if let Some(reg) = &self.telemetry {
+                reg.pool().inc(Counter::TimerSweeps);
+            }
+            self.sweep_shards(now_ms, &mut tagged);
+        }
+
+        // Phases 1+2 fused: classification already happened on the wire,
+        // so the only per-datagram work left is the sequential routing
+        // pass. The cost model charges by what the datagram claimed to be,
+        // matching `cpu_for` on the equivalent `Packet`.
+        let mut queues = std::mem::take(&mut self.queues);
+        for (idx, ev) in events.drain(..).enumerate() {
+            self.cpu
+                .charge(self.cost.cpu_for_classified(&ev.classified));
+            let t = now_ms.max(ev.at.as_millis()).max(self.last_packet_ms);
+            self.last_packet_ms = t;
+            self.route_one(idx, t, ev.classified, &mut queues, &mut tagged);
+        }
+
+        self.drain_and_merge(queues, tagged, sink);
+    }
+
+    /// Phase 2 body shared by the packet and wire batch paths: assigns one
+    /// routed part per protocol role, publishes media coordinates, and
+    /// consumes malformed/ignored traffic (it has no call, destination or
+    /// media key to shard by).
+    fn route_one(
+        &mut self,
+        idx: usize,
+        t: u64,
+        c: Classified,
+        queues: &mut [Vec<Routed>],
+        tagged: &mut Vec<(MergeKey, Alert)>,
+    ) {
+        let n = self.shards.len();
+        match c {
+            Classified::Sip {
+                call_id,
+                event,
+                is_initial_invite,
+                is_request,
+                dst_ip,
+            } => {
+                if event.name == sym::SIP_REGISTER {
+                    let aor = event.str_arg("aor").unwrap_or("");
+                    let shard = self.shard_of(aor.as_bytes());
+                    queues[shard].push((idx, t, Part::Register(event)));
+                    return;
+                }
+                let shard = self.shard_of(call_id.as_str().as_bytes());
+                if event.name == sym::SIP_INVITE {
+                    let flood_shard = self.shard_of(&dst_ip.to_le_bytes());
+                    queues[flood_shard].push((
                         idx,
                         t,
-                        Part::Call {
-                            call_id,
-                            event,
-                            is_initial_invite,
-                            is_request,
+                        Part::InviteFlood {
+                            event: event.clone(),
                             dst_ip,
                         },
                     ));
                 }
-                Classified::Rtp { event } => {
-                    let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
-                    let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
-                    let shard = self
-                        .media_to_shard
-                        .get(&(ip, port))
-                        .copied()
-                        .unwrap_or_else(|| {
-                            // No call negotiated these coordinates: route by
-                            // their hash so any shard count flags the same
-                            // packet as unassociated exactly once.
-                            let mut h = fnv1a(ip.as_str().as_bytes());
-                            for byte in port.to_le_bytes() {
-                                h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
-                            }
-                            (h % n as u64) as usize
-                        });
-                    queues[shard].push((idx, t, Part::Rtp(event)));
-                }
-                Classified::Malformed { protocol, reason } => {
-                    self.extra.malformed += 1;
-                    if let Some(reg) = &self.telemetry {
-                        reg.pool().inc(Counter::Malformed);
+                if event.bool_arg("has_sdp") {
+                    if let (Some(ip), Some(port)) =
+                        (event.sym_arg(sym::SDP_IP), event.uint_arg(sym::SDP_PORT))
+                    {
+                        self.media_to_shard.insert((ip, port), shard);
                     }
-                    self.pool_raise(
-                        &mut tagged,
-                        idx,
-                        t,
-                        format!("malformed-{}", protocol.to_ascii_lowercase()),
-                        reason.to_owned(),
-                    );
                 }
-                Classified::Ignored => {
-                    self.extra.ignored += 1;
-                    if let Some(reg) = &self.telemetry {
-                        reg.pool().inc(Counter::Ignored);
-                    }
+                queues[shard].push((
+                    idx,
+                    t,
+                    Part::Call {
+                        call_id,
+                        event,
+                        is_initial_invite,
+                        is_request,
+                        dst_ip,
+                    },
+                ));
+            }
+            Classified::Rtp { event } => {
+                let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
+                let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
+                let shard = self
+                    .media_to_shard
+                    .get(&(ip, port))
+                    .copied()
+                    .unwrap_or_else(|| {
+                        // No call negotiated these coordinates: route by
+                        // their hash so any shard count flags the same
+                        // packet as unassociated exactly once.
+                        let mut h = fnv1a(ip.as_str().as_bytes());
+                        for byte in port.to_le_bytes() {
+                            h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                        }
+                        (h % n as u64) as usize
+                    });
+                queues[shard].push((idx, t, Part::Rtp(event)));
+            }
+            Classified::Malformed { protocol, reason } => {
+                self.extra.malformed += 1;
+                if let Some(reg) = &self.telemetry {
+                    reg.pool().inc(Counter::Malformed);
+                }
+                self.pool_raise(
+                    tagged,
+                    idx,
+                    t,
+                    format!("malformed-{}", protocol.to_ascii_lowercase()),
+                    reason.to_owned(),
+                );
+            }
+            Classified::Ignored => {
+                self.extra.ignored += 1;
+                if let Some(reg) = &self.telemetry {
+                    reg.pool().inc(Counter::Ignored);
                 }
             }
         }
-        self.classified = classified;
+    }
 
+    /// Phases 3–5 shared by the packet and wire batch paths.
+    fn drain_and_merge<S: AlertSink + ?Sized>(
+        &mut self,
+        mut queues: Vec<Vec<Routed>>,
+        mut tagged: Vec<(MergeKey, Alert)>,
+        sink: &mut S,
+    ) {
         // Phase 3: drain every shard's queue — on the persistent workers
         // when the batch is big enough, inline otherwise.
         let mut misses = std::mem::take(&mut self.scratch_misses);
@@ -872,13 +958,13 @@ impl VidsPool {
 
     /// Advances idle timers and evicts finished calls on every shard,
     /// pushing timer-driven alerts into `sink` in deterministic order.
-    pub fn tick_into<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+    pub fn tick<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         if let Some(rt) = &self.runtime {
             rt.check_poison();
         }
         let now_ms = now.as_millis();
         if now_ms < SWEEP_INTERVAL_MS {
-            return; // mirror Vids::tick_into's interval gate from time zero
+            return; // mirror Vids::tick's interval gate from time zero
         }
         self.last_sweep_ms = now_ms;
         if let Some(reg) = &self.telemetry {
@@ -892,13 +978,6 @@ impl VidsPool {
             sink.accept(alert);
         }
         self.scratch_tagged = tagged;
-    }
-
-    /// Advances idle timers and evicts finished calls; returns the alerts.
-    pub fn tick(&mut self, now: SimTime) -> Vec<Alert> {
-        let mut sink = CollectSink::new();
-        self.tick_into(now, &mut sink);
-        sink.into_alerts()
     }
 
     fn shard_of(&self, bytes: &[u8]) -> usize {
@@ -1175,11 +1254,11 @@ fn drain_one(
 
 impl Monitor for VidsPool {
     fn process(&mut self, packet: &Packet, now: SimTime, sink: &mut dyn AlertSink) {
-        self.process_batch_into(std::slice::from_ref(packet), now, sink);
+        self.process_batch(std::slice::from_ref(packet), now, sink);
     }
 
     fn tick(&mut self, now: SimTime, sink: &mut dyn AlertSink) {
-        self.tick_into(now, sink);
+        self.tick(now, sink);
     }
 
     fn alerts(&self) -> &[Alert] {
@@ -1198,6 +1277,7 @@ impl Monitor for VidsPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{CollectSink, NullSink};
     use vids_netsim::packet::{Address, Payload};
     use vids_sdp::{Codec, SessionDescription};
     use vids_sip::message::Request;
@@ -1260,6 +1340,53 @@ mod tests {
         Config::builder().shards(n).build().unwrap()
     }
 
+    /// What the ingest layer does to a datagram, applied to a simulated
+    /// packet: classify the raw payload bytes off the "wire".
+    fn wire_events(packets: &[Packet]) -> Vec<WireEvent> {
+        use crate::classify::{classify_wire, WireProto};
+        packets
+            .iter()
+            .map(|p| WireEvent {
+                classified: match &p.payload {
+                    Payload::Sip(text) => {
+                        classify_wire(WireProto::Sip, text.as_bytes(), p.src, p.dst)
+                    }
+                    Payload::Rtp(bytes) => classify_wire(WireProto::Rtp, bytes, p.src, p.dst),
+                    Payload::Raw(_) => Classified::Ignored,
+                },
+                at: p.sent_at,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wire_batch_matches_packet_batch() {
+        let packets: Vec<Packet> = mixed_trace()
+            .into_iter()
+            .map(|(mut p, at)| {
+                p.sent_at = at;
+                p
+            })
+            .collect();
+
+        let mut by_packet = VidsPool::new(shards(4));
+        let mut packet_sink = CollectSink::new();
+        by_packet.process_batch(&packets, SimTime::ZERO, &mut packet_sink);
+        by_packet.tick(SimTime::from_secs(30), &mut packet_sink);
+
+        let mut events = wire_events(&packets);
+        let mut by_wire = VidsPool::new(shards(4));
+        let mut wire_sink = CollectSink::new();
+        by_wire.process_wire_batch(&mut events, SimTime::ZERO, &mut wire_sink);
+        by_wire.tick(SimTime::from_secs(30), &mut wire_sink);
+
+        assert!(!packet_sink.is_empty(), "trace should raise alerts");
+        assert_eq!(packet_sink.alerts(), wire_sink.alerts());
+        assert_eq!(by_packet.counters(), by_wire.counters());
+        assert_eq!(by_packet.cpu_busy(), by_wire.cpu_busy());
+        assert!(events.is_empty(), "wire batch drains the caller's buffer");
+    }
+
     #[test]
     fn pool_matches_plain_vids_packet_for_packet() {
         let mut plain = Vids::new(Config::default());
@@ -1267,11 +1394,11 @@ mod tests {
         let mut plain_sink = CollectSink::new();
         let mut pool_sink = CollectSink::new();
         for (packet, at) in mixed_trace() {
-            plain.process_into(&packet, at, &mut plain_sink);
+            plain.process(&packet, at, &mut plain_sink);
             Monitor::process(&mut pool, &packet, at, &mut pool_sink);
         }
-        plain.tick_into(SimTime::from_secs(30), &mut plain_sink);
-        pool.tick_into(SimTime::from_secs(30), &mut pool_sink);
+        plain.tick(SimTime::from_secs(30), &mut plain_sink);
+        pool.tick(SimTime::from_secs(30), &mut pool_sink);
         assert!(!plain_sink.is_empty(), "trace should raise alerts");
         assert_eq!(plain_sink.alerts(), pool_sink.alerts());
         assert_eq!(plain.alerts(), pool.alerts());
@@ -1292,8 +1419,10 @@ mod tests {
         let mut reference: Option<Vec<Alert>> = None;
         for n in [1usize, 4, 8] {
             let mut pool = VidsPool::new(shards(n));
-            let mut out = pool.process_batch(&packets, SimTime::ZERO);
-            out.extend(pool.tick(SimTime::from_secs(30)));
+            let mut sink = CollectSink::new();
+            pool.process_batch(&packets, SimTime::ZERO, &mut sink);
+            pool.tick(SimTime::from_secs(30), &mut sink);
+            let out = sink.into_alerts();
             match &reference {
                 None => reference = Some(out),
                 Some(expected) => assert_eq!(expected, &out, "{n} shards diverged"),
@@ -1315,7 +1444,7 @@ mod tests {
             pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
             pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
         ];
-        pool.process_batch(&batch, SimTime::ZERO);
+        pool.process_batch(&batch, SimTime::ZERO, &mut NullSink);
 
         // Both endpoints' negotiated coordinates point at the shard that owns
         // the call, whatever hash(ip:port) alone would have said.
@@ -1332,7 +1461,7 @@ mod tests {
             CALLEE.with_port(30_000),
             Payload::Rtp(media.to_bytes()),
         );
-        pool.process_batch(&[rtp], SimTime::from_millis(10));
+        pool.process_batch(&[rtp], SimTime::from_millis(10), &mut NullSink);
         assert_eq!(pool.counters().unassociated_rtp, 0);
         assert_eq!(pool.counters().rtp_packets, 1);
 
@@ -1342,7 +1471,9 @@ mod tests {
             Address::new(10, 9, 9, 9, 40_000),
             Payload::Rtp(media.to_bytes()),
         );
-        let alerts = pool.process_batch(&[stray], SimTime::from_millis(20));
+        let mut stray_sink = CollectSink::new();
+        pool.process_batch(&[stray], SimTime::from_millis(20), &mut stray_sink);
+        let alerts = stray_sink.into_alerts();
         assert_eq!(pool.counters().unassociated_rtp, 1);
         assert!(alerts.iter().any(|a| a.label == "unassociated-rtp"));
     }
@@ -1375,14 +1506,16 @@ mod tests {
         // host, where the default path would drain inline)...
         let mut threaded = VidsPool::new(shards(4));
         threaded.force_workers(4);
-        let mut threaded_out = threaded.process_batch(&packets, SimTime::ZERO);
-        threaded_out.extend(threaded.tick(SimTime::from_secs(30)));
+        let mut threaded_sink = CollectSink::new();
+        threaded.process_batch(&packets, SimTime::ZERO, &mut threaded_sink);
+        threaded.tick(SimTime::from_secs(30), &mut threaded_sink);
         // ...versus forced inline on the same shard count.
         let mut inline = VidsPool::new(shards(4));
         inline.force_workers(1);
-        let mut inline_out = inline.process_batch(&packets, SimTime::ZERO);
-        inline_out.extend(inline.tick(SimTime::from_secs(30)));
-        assert_eq!(threaded_out, inline_out);
+        let mut inline_sink = CollectSink::new();
+        inline.process_batch(&packets, SimTime::ZERO, &mut inline_sink);
+        inline.tick(SimTime::from_secs(30), &mut inline_sink);
+        assert_eq!(threaded_sink.alerts(), inline_sink.alerts());
         assert_eq!(threaded.counters(), inline.counters());
         assert_eq!(threaded.monitored_calls(), inline.monitored_calls());
     }
@@ -1399,7 +1532,7 @@ mod tests {
         // The pool is poisoned: the next API call re-raises instead of
         // deadlocking on the dead worker.
         let second = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.process_batch(&[], SimTime::ZERO);
+            pool.process_batch(&[], SimTime::ZERO, &mut NullSink);
         }));
         assert!(second.is_err(), "poisoned pool must keep failing loudly");
         std::panic::set_hook(prev);
@@ -1411,7 +1544,7 @@ mod tests {
     fn pool_drop_joins_workers_after_traffic() {
         let mut pool = VidsPool::new(shards(4));
         pool.force_workers(4);
-        pool.process_batch(&big_trace(), SimTime::ZERO);
+        pool.process_batch(&big_trace(), SimTime::ZERO, &mut NullSink);
         drop(pool); // joins 4 parked workers; must not hang or leak
     }
 }

@@ -102,14 +102,14 @@ impl Monitor for VidsTap {
         self.packets_seen += 1;
         self.started_at.get_or_insert(now);
         self.last_seen = now;
-        self.vids.process_into(packet, now, sink);
+        self.vids.process(packet, now, sink);
     }
 
     fn tick(&mut self, now: SimTime, sink: &mut dyn AlertSink) {
         // Flushes timer-driven detections; the observation window stays at
         // the last packet so cpu_overhead keeps §7.3's traffic-interval
         // denominator.
-        self.vids.tick_into(now, sink);
+        self.vids.tick(now, sink);
     }
 
     fn alerts(&self) -> &[Alert] {

@@ -165,10 +165,10 @@ fn pool_matches_plain_engine_on_fuzzed_traffic_at_every_shard_count() {
     let mut plain = Vids::with_cost(Config::default(), CostModel::free());
     let mut plain_sink = CollectSink::new();
     for (packet, at) in &trace {
-        plain.process_into(packet, *at, &mut plain_sink);
+        plain.process(packet, *at, &mut plain_sink);
     }
     for flush in [30u64, 40] {
-        plain.tick_into(SimTime::from_secs(flush), &mut plain_sink);
+        plain.tick(SimTime::from_secs(flush), &mut plain_sink);
     }
 
     for shards in [1usize, 4, 8] {
@@ -182,11 +182,11 @@ fn pool_matches_plain_engine_on_fuzzed_traffic_at_every_shard_count() {
             let end = (i + size).min(trace.len());
             let now = trace[i].1;
             let packets: Vec<Packet> = trace[i..end].iter().map(|(p, _)| p.clone()).collect();
-            pool.process_batch_into(&packets, now, &mut pool_sink);
+            pool.process_batch(&packets, now, &mut pool_sink);
             i = end;
         }
         for flush in [30u64, 40] {
-            pool.tick_into(SimTime::from_secs(flush), &mut pool_sink);
+            pool.tick(SimTime::from_secs(flush), &mut pool_sink);
         }
         assert_eq!(
             plain_sink.alerts(),
@@ -220,10 +220,10 @@ fn telemetry_recording_never_changes_detection() {
         }
         let mut sink = CollectSink::new();
         for (packet, at) in &trace {
-            vids.process_into(packet, *at, &mut sink);
+            vids.process(packet, *at, &mut sink);
         }
         for flush in [30u64, 40] {
-            vids.tick_into(SimTime::from_secs(flush), &mut sink);
+            vids.tick(SimTime::from_secs(flush), &mut sink);
         }
         // Telemetry's one deliberate output difference is attaching
         // transition traces to alerts; blank it before comparing.

@@ -1,0 +1,118 @@
+//! Per-shard batch accumulation.
+//!
+//! Receiver threads classify datagrams as they arrive and push the
+//! results into a [`Batcher`]; the batch is handed to the coordinator
+//! when it reaches `flush_packets` events or when `flush_interval` has
+//! elapsed since the oldest buffered event. The engine's batched merge
+//! is deterministic under any chunking (see `tests/pool_determinism.rs`
+//! in the root crate), so flush timing affects latency, never verdicts.
+
+use std::time::Instant;
+
+use vids_core::pool::WireEvent;
+
+/// Accumulates classified wire events until a size or age threshold.
+pub struct Batcher {
+    events: Vec<WireEvent>,
+    flush_packets: usize,
+    flush_interval_nanos: u64,
+    oldest: Option<Instant>,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given thresholds (from
+    /// `Config::batch_flush_packets` / `Config::batch_flush_interval`).
+    pub fn new(flush_packets: usize, flush_interval_nanos: u64) -> Self {
+        Batcher {
+            events: Vec::with_capacity(flush_packets),
+            flush_packets: flush_packets.max(1),
+            flush_interval_nanos,
+            oldest: None,
+        }
+    }
+
+    /// Buffers one event; returns `true` if the batch is now due.
+    pub fn push(&mut self, event: WireEvent) -> bool {
+        if self.events.is_empty() {
+            self.oldest = Some(Instant::now());
+        }
+        self.events.push(event);
+        self.events.len() >= self.flush_packets
+    }
+
+    /// Whether the oldest buffered event has waited past the interval.
+    pub fn overdue(&self, now: Instant) -> bool {
+        match self.oldest {
+            Some(oldest) => {
+                !self.events.is_empty()
+                    && now.duration_since(oldest).as_nanos() as u64 >= self.flush_interval_nanos
+            }
+            None => false,
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the buffered batch, swapping in `spare` so the allocation
+    /// keeps cycling between the receiver and the coordinator.
+    pub fn take(&mut self, mut spare: Vec<WireEvent>) -> Vec<WireEvent> {
+        spare.clear();
+        self.oldest = None;
+        std::mem::replace(&mut self.events, spare)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_core::classify::Classified;
+    use vids_netsim::time::SimTime;
+
+    fn ev() -> WireEvent {
+        WireEvent {
+            classified: Classified::Ignored,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn flushes_on_size() {
+        let mut b = Batcher::new(3, u64::MAX);
+        assert!(!b.push(ev()));
+        assert!(!b.push(ev()));
+        assert!(b.push(ev()));
+        let batch = b.take(Vec::new());
+        assert_eq!(batch.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn overdue_tracks_the_oldest_event() {
+        let mut b = Batcher::new(1_000, 0);
+        assert!(!b.overdue(Instant::now()));
+        b.push(ev());
+        // Zero interval: due the moment anything is buffered.
+        assert!(b.overdue(Instant::now()));
+        b.take(Vec::new());
+        assert!(!b.overdue(Instant::now()));
+    }
+
+    #[test]
+    fn take_recycles_the_spare_allocation() {
+        let mut b = Batcher::new(2, u64::MAX);
+        b.push(ev());
+        let spare = Vec::with_capacity(64);
+        let cap = spare.capacity();
+        let batch = b.take(spare);
+        assert_eq!(batch.len(), 1);
+        assert!(b.events.capacity() >= cap);
+    }
+}

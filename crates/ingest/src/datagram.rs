@@ -1,0 +1,72 @@
+//! The wire-level unit of ingestion.
+
+use std::net::SocketAddr;
+
+use vids_netsim::packet::Address;
+use vids_netsim::time::SimTime;
+
+/// A borrowed view of one UDP datagram as it came off the wire.
+///
+/// The payload borrows the source's receive buffer — a socket's `recv`
+/// scratch space or the mapped bytes of a pcap file — so classification
+/// runs with no copy. The view only lives for one delivery; anything the
+/// engine keeps (interned header fields, event arguments) is extracted by
+/// [`crate::demux::classify_datagram`] before the buffer is reused.
+#[derive(Debug, Clone, Copy)]
+pub struct Datagram<'a> {
+    /// Where the datagram came from.
+    pub src: SocketAddr,
+    /// Where it was addressed (the local socket address for live capture).
+    pub dst: SocketAddr,
+    /// When it was received, on the source's clock.
+    pub at: SimTime,
+    /// The UDP payload, borrowed from the receive buffer.
+    pub payload: &'a [u8],
+}
+
+impl Datagram<'_> {
+    /// The engine's IPv4 address pair, or `None` for traffic the engine
+    /// does not model (IPv6 without an IPv4-mapped form).
+    pub fn engine_addrs(&self) -> Option<(Address, Address)> {
+        Some((to_address(self.src)?, to_address(self.dst)?))
+    }
+}
+
+fn to_address(sa: SocketAddr) -> Option<Address> {
+    match sa {
+        SocketAddr::V4(v4) => {
+            let [a, b, c, d] = v4.ip().octets();
+            Some(Address::new(a, b, c, d, v4.port()))
+        }
+        SocketAddr::V6(v6) => v6.ip().to_ipv4_mapped().map(|ip| {
+            let [a, b, c, d] = ip.octets();
+            Address::new(a, b, c, d, v6.port())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_and_mapped_v6_addresses_convert() {
+        let d = Datagram {
+            src: "10.1.0.10:5060".parse().unwrap(),
+            dst: "[::ffff:10.2.0.10]:5060".parse().unwrap(),
+            at: SimTime::ZERO,
+            payload: b"",
+        };
+        let (src, dst) = d.engine_addrs().unwrap();
+        assert_eq!(src, Address::new(10, 1, 0, 10, 5060));
+        assert_eq!(dst, Address::new(10, 2, 0, 10, 5060));
+
+        let v6 = Datagram {
+            src: "[2001:db8::1]:5060".parse().unwrap(),
+            dst: "10.2.0.10:5060".parse().unwrap(),
+            at: SimTime::ZERO,
+            payload: b"",
+        };
+        assert!(v6.engine_addrs().is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Port + heuristic demultiplexing of SIP vs RTP/RTCP.
+//!
+//! The paper's monitor sits inline on the perimeter and sees every UDP
+//! datagram; the first decision is which protocol machine the bytes are
+//! for. Port 5060 on either side marks signaling; everything else is
+//! probed with the RTP version bits, with the RTCP packet-type range
+//! separating control from media.
+//!
+//! The decision is *total*: every payload maps to exactly one
+//! [`WireClass`], and classification never panics on arbitrary bytes (a
+//! proptest enforces both). Traffic that demuxes to `Rtcp` or `Unknown`
+//! is handed to the engine as [`Classified::Ignored`] — exactly how the
+//! in-process path treats `Payload::Raw` — so a replayed capture and the
+//! simulation produce identical counters.
+
+use vids_core::classify::{classify_wire, Classified, WireProto};
+
+use crate::datagram::Datagram;
+
+/// The well-known SIP signaling port.
+pub const SIP_PORT: u16 = 5060;
+
+/// What the demultiplexer decided a datagram carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireClass {
+    /// SIP signaling (port 5060 on either side).
+    Sip,
+    /// RTP media (version-2 header, non-RTCP payload type).
+    Rtp,
+    /// RTCP control (version-2 header, packet type 200–204). Monitored
+    /// implicitly through RTP; the engine ignores it.
+    Rtcp,
+    /// Anything else; the engine ignores it, the ingest tier counts it.
+    Unknown,
+}
+
+/// Decides the protocol of one UDP payload. Total and allocation-free.
+///
+/// Port 5060 claims the datagram for SIP outright; otherwise the RTP
+/// version bits are probed first (media vastly outnumbers signaling),
+/// then a SIP start-line prefix — so a daemon listening on a
+/// non-standard port still sees its signaling, matching the in-process
+/// classifier which keys on payload kind, never port.
+pub fn demux(src_port: u16, dst_port: u16, payload: &[u8]) -> WireClass {
+    if src_port == SIP_PORT || dst_port == SIP_PORT {
+        return WireClass::Sip;
+    }
+    // An RTP fixed header is 12 bytes and starts with version 2 in the
+    // top two bits. RTCP shares the version bits; its second byte is the
+    // packet type, 200 (SR) through 204 (APP) — outside RTP's 7-bit
+    // payload-type range unless the marker bit is set, which real codecs
+    // do not combine with payload types 72–76 (RFC 5761 §4).
+    if payload.len() >= 12 && payload[0] >> 6 == 2 {
+        if (200..=204).contains(&payload[1]) {
+            return WireClass::Rtcp;
+        }
+        return WireClass::Rtp;
+    }
+    if starts_like_sip(payload) {
+        return WireClass::Sip;
+    }
+    WireClass::Unknown
+}
+
+/// RFC 3261 start-line prefixes: a response status line or a request
+/// method followed by a space.
+fn starts_like_sip(payload: &[u8]) -> bool {
+    const STARTS: [&[u8]; 14] = [
+        b"SIP/2.0 ",
+        b"INVITE ",
+        b"ACK ",
+        b"BYE ",
+        b"CANCEL ",
+        b"OPTIONS ",
+        b"REGISTER ",
+        b"PRACK ",
+        b"UPDATE ",
+        b"INFO ",
+        b"SUBSCRIBE ",
+        b"NOTIFY ",
+        b"MESSAGE ",
+        b"REFER ",
+    ];
+    STARTS.iter().any(|s| payload.starts_with(s))
+}
+
+/// Demultiplexes and classifies one datagram straight off the receive
+/// buffer. Returns the demux decision (so callers can count
+/// `DemuxUnknown`) alongside what the engine should ingest.
+pub fn classify_datagram(d: &Datagram<'_>) -> (WireClass, Classified) {
+    let Some((src, dst)) = d.engine_addrs() else {
+        return (WireClass::Unknown, Classified::Ignored);
+    };
+    let class = demux(d.src.port(), d.dst.port(), d.payload);
+    let classified = match class {
+        WireClass::Sip => classify_wire(WireProto::Sip, d.payload, src, dst),
+        WireClass::Rtp => classify_wire(WireProto::Rtp, d.payload, src, dst),
+        WireClass::Rtcp | WireClass::Unknown => Classified::Ignored,
+    };
+    (class, classified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_netsim::time::SimTime;
+
+    fn dg<'a>(src: &str, dst: &str, payload: &'a [u8]) -> Datagram<'a> {
+        Datagram {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            at: SimTime::ZERO,
+            payload,
+        }
+    }
+
+    #[test]
+    fn port_5060_wins_over_payload_shape() {
+        let rtp_looking = [0x80u8; 12];
+        assert_eq!(demux(5060, 40_000, &rtp_looking), WireClass::Sip);
+        assert_eq!(demux(40_000, 5060, &rtp_looking), WireClass::Sip);
+        assert_eq!(demux(40_000, 40_001, &rtp_looking), WireClass::Rtp);
+    }
+
+    #[test]
+    fn rtcp_packet_types_split_from_rtp() {
+        let mut pkt = [0x80u8; 12];
+        for pt in 200..=204u8 {
+            pkt[1] = pt;
+            assert_eq!(demux(40_000, 40_001, &pkt), WireClass::Rtcp);
+        }
+        pkt[1] = 18; // G.729
+        assert_eq!(demux(40_000, 40_001, &pkt), WireClass::Rtp);
+        pkt[1] = 205; // RTCP XR et al. are past the heuristic's range
+        assert_eq!(demux(40_000, 40_001, &pkt), WireClass::Rtp);
+    }
+
+    #[test]
+    fn sip_start_lines_are_signaling_on_any_port() {
+        let invite = b"INVITE sip:bob@10.2.0.10 SIP/2.0\r\n\r\n";
+        assert_eq!(demux(44_000, 15_060, invite), WireClass::Sip);
+        let resp = b"SIP/2.0 200 OK\r\n\r\n";
+        assert_eq!(demux(15_060, 44_000, resp), WireClass::Sip);
+        // A bare method name without the trailing space is not a
+        // start line.
+        assert_eq!(demux(44_000, 15_060, b"INVITE"), WireClass::Unknown);
+    }
+
+    #[test]
+    fn short_or_versionless_payloads_are_unknown() {
+        assert_eq!(demux(40_000, 40_001, &[0x80; 11]), WireClass::Unknown);
+        assert_eq!(demux(40_000, 40_001, &[0x00; 12]), WireClass::Unknown);
+        assert_eq!(demux(40_000, 40_001, b""), WireClass::Unknown);
+    }
+
+    #[test]
+    fn unknown_and_rtcp_are_ignored_like_raw_payloads() {
+        let (class, c) = classify_datagram(&dg("10.0.0.1:9", "10.0.0.2:9", b"junk"));
+        assert_eq!(class, WireClass::Unknown);
+        assert_eq!(c, Classified::Ignored);
+
+        let mut rtcp = [0x80u8; 12];
+        rtcp[1] = 200;
+        let (class, c) = classify_datagram(&dg("10.0.0.1:40000", "10.0.0.2:40001", &rtcp));
+        assert_eq!(class, WireClass::Rtcp);
+        assert_eq!(c, Classified::Ignored);
+    }
+
+    #[test]
+    fn ipv6_traffic_is_ignored() {
+        let (class, c) = classify_datagram(&dg("[2001:db8::1]:5060", "[2001:db8::2]:5060", b"x"));
+        assert_eq!(class, WireClass::Unknown);
+        assert_eq!(c, Classified::Ignored);
+    }
+}

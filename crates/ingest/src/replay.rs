@@ -1,0 +1,147 @@
+//! Offline replay: run a capture through the engine at full speed.
+//!
+//! Replay drives the exact pipeline the live daemon uses — pcap record →
+//! UDP frame → demux → [`classify_datagram`] → `process_wire_batch` —
+//! with the capture's own timestamps standing in for the wall clock.
+//! Because the pool's batched merge is chunking-invariant, the alerts
+//! and counters from a replay are byte-identical to what an in-process
+//! run over the same traffic produces (`tests/replay_differential.rs`
+//! in the root crate holds this at 1, 4 and 8 shards).
+
+use vids_core::pool::{VidsPool, WireEvent};
+use vids_core::sink::AlertSink;
+use vids_core::telemetry::{Counter, Registry};
+use vids_netsim::time::SimTime;
+
+use crate::demux::{classify_datagram, WireClass};
+use crate::source::{IngestError, PcapSource, Polled, WireSource};
+
+/// How far past the last captured packet the final timer sweep runs, so
+/// hanging-call and media-silence timers near the end of a capture still
+/// fire.
+pub const REPLAY_GRACE: SimTime = SimTime::from_secs(30);
+
+/// What a replay processed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayReport {
+    /// UDP datagrams decoded from the capture.
+    pub datagrams: u64,
+    /// Datagrams that demultiplexed to [`WireClass::Unknown`].
+    pub demux_unknown: u64,
+    /// Batches handed to the engine.
+    pub batches: u64,
+    /// Timestamp of the last datagram (capture clock).
+    pub last_at: SimTime,
+}
+
+/// Replays any [`WireSource`] to exhaustion through `pool`, batching
+/// `flush_packets` events at a time.
+pub fn replay<W, S>(
+    source: &mut W,
+    pool: &mut VidsPool,
+    flush_packets: usize,
+    telemetry: Option<&Registry>,
+    sink: &mut S,
+) -> Result<ReplayReport, IngestError>
+where
+    W: WireSource,
+    S: AlertSink + ?Sized,
+{
+    let flush_packets = flush_packets.max(1);
+    let mut report = ReplayReport::default();
+    let mut events: Vec<WireEvent> = Vec::with_capacity(flush_packets);
+    loop {
+        match source.poll()? {
+            Polled::Datagram(d) => {
+                let (class, classified) = classify_datagram(&d);
+                report.datagrams += 1;
+                if class == WireClass::Unknown {
+                    report.demux_unknown += 1;
+                }
+                report.last_at = report.last_at.max(d.at);
+                events.push(WireEvent {
+                    classified,
+                    at: d.at,
+                });
+                if events.len() >= flush_packets {
+                    flush_batch(pool, &mut events, &mut report, sink);
+                }
+            }
+            // Replay sources are not expected to stall, but a source
+            // that does (a future live-file tail) is just polled again.
+            Polled::Empty => continue,
+            Polled::End => break,
+        }
+    }
+    if !events.is_empty() {
+        flush_batch(pool, &mut events, &mut report, sink);
+    }
+    pool.tick(report.last_at + REPLAY_GRACE, sink);
+    if let Some(reg) = telemetry {
+        let slab = reg.pool();
+        slab.add(Counter::DatagramsRx, report.datagrams);
+        slab.add(Counter::DemuxUnknown, report.demux_unknown);
+    }
+    Ok(report)
+}
+
+/// Hands one batch to the engine. The batch clock is the batch's
+/// *first* timestamp: the engine clamps each event's time up to at
+/// least the clock, so passing a later time would collapse the
+/// intra-batch timing the window and timer machines depend on.
+fn flush_batch<S: AlertSink + ?Sized>(
+    pool: &mut VidsPool,
+    events: &mut Vec<WireEvent>,
+    report: &mut ReplayReport,
+    sink: &mut S,
+) {
+    let now = events.first().map(|e| e.at).unwrap_or(report.last_at);
+    pool.process_wire_batch(events, now, sink);
+    report.batches += 1;
+}
+
+/// Replays classic pcap capture bytes (see [`crate::pcap::PcapReader`]
+/// for the supported formats).
+pub fn replay_pcap<S: AlertSink + ?Sized>(
+    capture: Vec<u8>,
+    pool: &mut VidsPool,
+    flush_packets: usize,
+    telemetry: Option<&Registry>,
+    sink: &mut S,
+) -> Result<ReplayReport, IngestError> {
+    let mut source = PcapSource::new(capture)?;
+    replay(&mut source, pool, flush_packets, telemetry, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::PcapWriter;
+    use vids_core::config::Config;
+    use vids_core::sink::CollectSink;
+
+    #[test]
+    fn replays_a_capture_and_reports_totals() {
+        let mut w = PcapWriter::new();
+        let src = "10.1.0.10:5060".parse().unwrap();
+        let dst = "10.2.0.10:5060".parse().unwrap();
+        w.push_udp(SimTime::from_millis(1), src, dst, b"not really sip");
+        w.push_udp(
+            SimTime::from_millis(2),
+            "10.1.0.10:9999".parse().unwrap(),
+            "10.2.0.10:9998".parse().unwrap(),
+            b"junk", // demuxes Unknown
+        );
+        let mut pool = VidsPool::new(Config::default());
+        let mut sink = CollectSink::new();
+        let report = replay_pcap(w.into_bytes(), &mut pool, 1, None, &mut sink).unwrap();
+        assert_eq!(report.datagrams, 2);
+        assert_eq!(report.demux_unknown, 1);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.last_at, SimTime::from_millis(2));
+        // The SIP-port garbage is a malformed-signaling alert.
+        assert_eq!(sink.alerts().len(), 1);
+        assert_eq!(pool.counters().malformed, 1);
+        assert_eq!(pool.counters().ignored, 1);
+    }
+}

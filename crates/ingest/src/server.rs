@@ -1,0 +1,350 @@
+//! The serve pipeline: receiver threads feeding one engine coordinator.
+//!
+//! Thread and ownership layout (one arrow = one crossbeam channel):
+//!
+//! ```text
+//!  socket 0 ── receiver thread 0 ──┐                 ┌── recycled Vecs
+//!  socket 1 ── receiver thread 1 ──┤  Vec<WireEvent> │
+//!      ⋮              ⋮            ├─────────────────▼──► coordinator
+//!  socket N ── receiver thread N ──┘    (batches)         (caller's thread)
+//!                                                         owns &mut VidsPool
+//!                                                         and the AlertSink
+//! ```
+//!
+//! Receiver threads own their socket and scratch buffer, classify each
+//! datagram in place (zero copy off the receive buffer — only what the
+//! engine keeps is extracted) and batch the results. The coordinator is
+//! the only thread that touches the engine or the sink, so alert order
+//! stays exactly the engine's deterministic merge order. Batch `Vec`s
+//! cycle back to the receivers through a recycle channel; steady state
+//! allocates nothing per datagram.
+//!
+//! Shutdown: set the stop flag (the CLI wires SIGINT to
+//! [`stop_flag_on_sigint`]). Receivers flush their partial batch and
+//! exit; the coordinator drains every in-flight batch, runs one final
+//! timer tick, and returns.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use vids_core::config::Config;
+use vids_core::pool::{VidsPool, WireEvent};
+use vids_core::sink::AlertSink;
+use vids_core::telemetry::{Counter, Gauge, Registry};
+use vids_netsim::time::SimTime;
+
+use crate::batch::Batcher;
+use crate::demux::{classify_datagram, WireClass};
+use crate::source::{IngestError, Polled, WireSource};
+use crate::udp::{PoolMode, UdpPool, UdpSource};
+
+/// How often an idle receiver refreshes its kernel-backlog reading.
+const BACKLOG_EVERY: u32 = 64;
+
+/// Tuning for one serve session, lifted from [`Config`]'s ingestion
+/// knobs plus wall-clock cadences the engine does not care about.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Receiver thread / socket count.
+    pub receivers: usize,
+    /// Flush a receiver's batch at this many events.
+    pub flush_packets: usize,
+    /// Flush a receiver's batch once its oldest event is this old.
+    pub flush_interval: Duration,
+    /// Upper bound on one blocking socket read (bounds shutdown latency).
+    pub read_timeout: Duration,
+    /// How often the coordinator runs the engine's timer sweep while
+    /// traffic is quiet.
+    pub tick_interval: Duration,
+}
+
+impl ServeOptions {
+    /// Derives serve tuning from the engine config: `shards` receiver
+    /// threads, the config's batch flush knobs, and cadences derived
+    /// from the flush interval.
+    pub fn from_config(config: &Config) -> Self {
+        let flush = Duration::from_nanos(config.batch_flush_interval.as_nanos());
+        ServeOptions {
+            receivers: config.shards,
+            flush_packets: config.batch_flush_packets,
+            flush_interval: flush,
+            read_timeout: flush.max(Duration::from_millis(1)),
+            tick_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What a serve session did, reported after shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeReport {
+    /// Datagrams received and classified.
+    pub datagrams_rx: u64,
+    /// Datagrams lost because a batch could not reach the coordinator.
+    pub datagrams_dropped: u64,
+    /// Datagrams that demultiplexed to [`WireClass::Unknown`].
+    pub demux_unknown: u64,
+    /// Batches handed to the engine.
+    pub batches: u64,
+    /// The wall-clock time of the final tick, on the session's epoch.
+    pub ended_at: SimTime,
+}
+
+/// Shared ingest-side counters, updated by receivers, read by the
+/// coordinator (and mirrored into telemetry when enabled).
+#[derive(Default)]
+struct IngestStats {
+    rx: AtomicU64,
+    dropped: AtomicU64,
+    unknown: AtomicU64,
+    backlog: Vec<AtomicU64>,
+}
+
+/// Binds `opts.receivers` sockets to `listen` and runs the serve loop
+/// until `stop` becomes true. Blocks the calling thread; alerts stream
+/// into `sink` in deterministic merge order.
+pub fn serve<S: AlertSink + ?Sized>(
+    pool: &mut VidsPool,
+    listen: std::net::SocketAddr,
+    opts: &ServeOptions,
+    telemetry: Option<&Registry>,
+    stop: &AtomicBool,
+    sink: &mut S,
+) -> Result<ServeReport, IngestError> {
+    let udp = UdpPool::bind(listen, opts.receivers)?;
+    serve_on(pool, udp, opts, telemetry, stop, sink)
+}
+
+/// [`serve`] over an already-bound socket pool — the entry point for
+/// tests that need the resolved port before traffic starts.
+pub fn serve_on<S: AlertSink + ?Sized>(
+    pool: &mut VidsPool,
+    udp: UdpPool,
+    opts: &ServeOptions,
+    telemetry: Option<&Registry>,
+    stop: &AtomicBool,
+    sink: &mut S,
+) -> Result<ServeReport, IngestError> {
+    let mode = udp.mode();
+    let epoch = Instant::now();
+    let sources = udp.into_sources(epoch, opts.read_timeout);
+    let single_receiver = mode == PoolMode::Single;
+    debug_assert!(!single_receiver || sources.len() == 1);
+
+    let stats = IngestStats {
+        backlog: (0..sources.len()).map(|_| AtomicU64::new(0)).collect(),
+        ..Default::default()
+    };
+    let (batch_tx, batch_rx) = channel::unbounded::<Vec<WireEvent>>();
+    let (recycle_tx, recycle_rx) = channel::unbounded::<Vec<WireEvent>>();
+    // The vendored channel's receiver is single-consumer; the recycle
+    // side is shared across receiver threads through a mutex (one lock
+    // per batch flush, not per datagram).
+    let recycle_rx = std::sync::Mutex::new(recycle_rx);
+
+    let report = std::thread::scope(|scope| {
+        for (i, source) in sources.into_iter().enumerate() {
+            let tx = batch_tx.clone();
+            let recycle = &recycle_rx;
+            let stats = &stats;
+            let opts = *opts;
+            scope.spawn(move || receiver_loop(source, i, tx, recycle, stats, &opts, stop));
+        }
+        // The receivers hold the only senders now; `Disconnected` on the
+        // batch channel therefore means every receiver has flushed and
+        // exited.
+        drop(batch_tx);
+
+        coordinator_loop(
+            pool,
+            &batch_rx,
+            &recycle_tx,
+            &stats,
+            opts,
+            telemetry,
+            epoch,
+            sink,
+        )
+    });
+    Ok(report)
+}
+
+fn receiver_loop(
+    mut source: UdpSource,
+    index: usize,
+    tx: channel::Sender<Vec<WireEvent>>,
+    recycle: &std::sync::Mutex<channel::Receiver<Vec<WireEvent>>>,
+    stats: &IngestStats,
+    opts: &ServeOptions,
+    stop: &AtomicBool,
+) {
+    let mut batcher = Batcher::new(opts.flush_packets, opts.flush_interval.as_nanos() as u64);
+    let mut polls: u32 = 0;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        polls = polls.wrapping_add(1);
+        if polls.is_multiple_of(BACKLOG_EVERY) {
+            if let Some(b) = source.backlog_bytes() {
+                stats.backlog[index].store(b, Ordering::Relaxed);
+            }
+        }
+        let due = match source.poll() {
+            Ok(Polled::Datagram(d)) => {
+                let (class, classified) = classify_datagram(&d);
+                stats.rx.fetch_add(1, Ordering::Relaxed);
+                if class == WireClass::Unknown {
+                    stats.unknown.fetch_add(1, Ordering::Relaxed);
+                }
+                batcher.push(WireEvent {
+                    classified,
+                    at: d.at,
+                })
+            }
+            Ok(Polled::Empty) => batcher.overdue(Instant::now()),
+            Ok(Polled::End) => break,
+            // A socket error on one receiver retires that receiver; the
+            // rest of the pool keeps serving.
+            Err(_) => break,
+        };
+        if due {
+            flush(&mut batcher, &tx, recycle, stats);
+        }
+    }
+    if !batcher.is_empty() {
+        flush(&mut batcher, &tx, recycle, stats);
+    }
+    stats.backlog[index].store(0, Ordering::Relaxed);
+}
+
+fn flush(
+    batcher: &mut Batcher,
+    tx: &channel::Sender<Vec<WireEvent>>,
+    recycle: &std::sync::Mutex<channel::Receiver<Vec<WireEvent>>>,
+    stats: &IngestStats,
+) {
+    let spare = recycle
+        .lock()
+        .map(|rx| rx.try_recv().unwrap_or_default())
+        .unwrap_or_default();
+    let batch = batcher.take(spare);
+    let len = batch.len() as u64;
+    if tx.send(batch).is_err() {
+        stats.dropped.fetch_add(len, Ordering::Relaxed);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn coordinator_loop<S: AlertSink + ?Sized>(
+    pool: &mut VidsPool,
+    batch_rx: &channel::Receiver<Vec<WireEvent>>,
+    recycle_tx: &channel::Sender<Vec<WireEvent>>,
+    stats: &IngestStats,
+    opts: &ServeOptions,
+    telemetry: Option<&Registry>,
+    epoch: Instant,
+    sink: &mut S,
+) -> ServeReport {
+    let mut batches = 0u64;
+    let mut published = ServeReport::default();
+    let mut last_tick = Instant::now();
+    loop {
+        match batch_rx.recv_timeout(opts.tick_interval) {
+            Ok(mut events) => {
+                // The batch clock is the batch's first receive time (not
+                // the current wall clock): the engine clamps events up to
+                // the clock, and a later clock would flatten the
+                // intra-batch timing the window machines count on.
+                let now = events.first().map(|e| e.at).unwrap_or_else(|| wall(epoch));
+                pool.process_wire_batch(&mut events, now, sink);
+                batches += 1;
+                let _ = recycle_tx.send(events);
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {}
+            Err(channel::RecvTimeoutError::Disconnected) => break,
+        }
+        let now = Instant::now();
+        if now.duration_since(last_tick) >= opts.tick_interval {
+            last_tick = now;
+            pool.tick(wall(epoch), sink);
+        }
+        publish(stats, telemetry, batches, &mut published);
+    }
+    // All receivers flushed and exited; every batch has been processed.
+    // One final sweep fires any timers that were still pending.
+    let ended_at = wall(epoch);
+    pool.tick(ended_at, sink);
+    publish(stats, telemetry, batches, &mut published);
+    ServeReport {
+        ended_at,
+        ..published
+    }
+}
+
+fn wall(epoch: Instant) -> SimTime {
+    SimTime::from_nanos(epoch.elapsed().as_nanos() as u64)
+}
+
+/// Mirrors the ingest-side counters into telemetry as deltas, so the
+/// pool slab's `datagrams_rx` / `demux_unknown` / `datagrams_dropped`
+/// counters and the `socket_backlog` gauge stay current.
+fn publish(
+    stats: &IngestStats,
+    telemetry: Option<&Registry>,
+    batches: u64,
+    published: &mut ServeReport,
+) {
+    let now = ServeReport {
+        datagrams_rx: stats.rx.load(Ordering::Relaxed),
+        datagrams_dropped: stats.dropped.load(Ordering::Relaxed),
+        demux_unknown: stats.unknown.load(Ordering::Relaxed),
+        batches,
+        ended_at: published.ended_at,
+    };
+    if let Some(reg) = telemetry {
+        let slab = reg.pool();
+        slab.add(
+            Counter::DatagramsRx,
+            now.datagrams_rx - published.datagrams_rx,
+        );
+        slab.add(
+            Counter::DatagramsDropped,
+            now.datagrams_dropped - published.datagrams_dropped,
+        );
+        slab.add(
+            Counter::DemuxUnknown,
+            now.demux_unknown - published.demux_unknown,
+        );
+        let backlog: u64 = stats
+            .backlog
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        slab.set_gauge(Gauge::SocketBacklog, backlog);
+    }
+    *published = now;
+}
+
+/// Installs a SIGINT handler that sets a process-wide stop flag, and
+/// returns the flag. Safe to call more than once. On non-Unix targets
+/// the flag is returned un-wired (Ctrl-C terminates the process).
+pub fn stop_flag_on_sigint() -> &'static AtomicBool {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_sig: i32) {
+            STOP.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(sig: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        // SAFETY: the handler only stores to a static atomic, which is
+        // async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+    &STOP
+}

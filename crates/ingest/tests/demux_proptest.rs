@@ -1,0 +1,51 @@
+//! Demultiplexing is total: any ports, any bytes — one of the four
+//! classes comes back, nothing panics, and the class is consistent with
+//! the port/heuristic contract. `classify_datagram` extends totality
+//! through the engine's wire classifier.
+
+use proptest::prelude::*;
+
+use vids_core::classify::Classified;
+use vids_ingest::demux::{classify_datagram, demux, WireClass, SIP_PORT};
+use vids_ingest::Datagram;
+use vids_netsim::time::SimTime;
+
+proptest! {
+    #[test]
+    fn demux_is_total_and_honours_the_port_contract(
+        src_port in 0u16..=65_535,
+        dst_port in 0u16..=65_535,
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let class = demux(src_port, dst_port, &payload);
+        if src_port == SIP_PORT || dst_port == SIP_PORT {
+            prop_assert_eq!(class, WireClass::Sip, "port 5060 always wins");
+        }
+        match class {
+            WireClass::Rtp | WireClass::Rtcp => {
+                prop_assert!(payload.len() >= 12, "media needs a full fixed header");
+                prop_assert_eq!(payload[0] >> 6, 2, "media needs version 2");
+            }
+            WireClass::Sip | WireClass::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn classify_datagram_never_panics(
+        src_port in 0u16..=65_535,
+        dst_port in 0u16..=65_535,
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let d = Datagram {
+            src: std::net::SocketAddr::from(([172, 16, 0, 9], src_port)),
+            dst: std::net::SocketAddr::from(([10, 2, 0, 2], dst_port)),
+            at: SimTime::from_millis(1),
+            payload: &payload,
+        };
+        let (class, classified) = classify_datagram(&d);
+        // Ignored demux classes must become Ignored for the engine.
+        if matches!(class, WireClass::Rtcp | WireClass::Unknown) {
+            prop_assert_eq!(classified, Classified::Ignored);
+        }
+    }
+}

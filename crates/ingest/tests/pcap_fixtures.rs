@@ -1,0 +1,243 @@
+//! Pcap parsing against hand-built fixture bytes.
+//!
+//! Every fixture is assembled byte-by-byte (no writer round-trip), so
+//! these tests pin the on-disk format itself: both magics, the 24-byte
+//! global header layout, the 16-byte record header layout, and the
+//! failure modes — truncated header, truncated record, snaplen shorter
+//! than the UDP datagram. A counting global allocator proves every
+//! reject is allocation-free: a hostile capture cannot balloon the
+//! monitor's memory on the parse path.
+//!
+//! Everything lives in a single `#[test]` because the counter is
+//! global: parallel tests would interleave counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use vids_ingest::pcap::{PcapReader, LINKTYPE_RAW};
+use vids_netsim::time::SimTime;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter armed; returns how many allocations it made.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let start = ALLOCS.load(Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let r = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCS.load(Ordering::SeqCst) - start, r)
+}
+
+/// The classic global header, field by field. `u32`/`u16` are emitted
+/// in the byte order the chosen magic implies.
+fn global_header(swapped: bool, linktype: u32) -> Vec<u8> {
+    let mut h = Vec::with_capacity(24);
+    let u32b = |v: u32| {
+        if swapped {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        }
+    };
+    let u16b = |v: u16| {
+        if swapped {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        }
+    };
+    h.extend_from_slice(&u32b(0xa1b2_c3d4)); // magic (reads back swapped when BE)
+    h.extend_from_slice(&u16b(2)); // version major
+    h.extend_from_slice(&u16b(4)); // version minor
+    h.extend_from_slice(&u32b(0)); // thiszone
+    h.extend_from_slice(&u32b(0)); // sigfigs
+    h.extend_from_slice(&u32b(65_535)); // snaplen
+    h.extend_from_slice(&u32b(linktype));
+    h
+}
+
+fn record_header(swapped: bool, ts_sec: u32, ts_usec: u32, incl: u32, orig: u32) -> Vec<u8> {
+    let u32b = |v: u32| {
+        if swapped {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        }
+    };
+    let mut h = Vec::with_capacity(16);
+    for v in [ts_sec, ts_usec, incl, orig] {
+        h.extend_from_slice(&u32b(v));
+    }
+    h
+}
+
+/// A hand-assembled raw-IPv4 + UDP frame: 10.1.0.10:5060 → 10.2.0.10:5060
+/// carrying `payload`.
+fn raw_udp_frame(payload: &[u8]) -> Vec<u8> {
+    let udp_len = 8 + payload.len();
+    let ip_len = 20 + udp_len;
+    let mut f = Vec::with_capacity(ip_len);
+    f.push(0x45); // version 4, ihl 5
+    f.push(0);
+    f.extend_from_slice(&(ip_len as u16).to_be_bytes());
+    f.extend_from_slice(&[0, 0, 0, 0]); // id, flags/frag
+    f.push(64); // ttl
+    f.push(17); // UDP
+    f.extend_from_slice(&[0, 0]); // checksum
+    f.extend_from_slice(&[10, 1, 0, 10]);
+    f.extend_from_slice(&[10, 2, 0, 10]);
+    f.extend_from_slice(&5060u16.to_be_bytes());
+    f.extend_from_slice(&5060u16.to_be_bytes());
+    f.extend_from_slice(&(udp_len as u16).to_be_bytes());
+    f.extend_from_slice(&[0, 0]); // UDP checksum
+    f.extend_from_slice(payload);
+    f
+}
+
+#[test]
+fn fixtures_parse_and_rejects_are_alloc_free() {
+    // --- Both magics: one OPTIONS datagram each, hand-assembled. ---
+    for swapped in [false, true] {
+        let payload = b"OPTIONS sip:b SIP/2.0\r\n\r\n";
+        let frame = raw_udp_frame(payload);
+        let mut capture = global_header(swapped, LINKTYPE_RAW);
+        capture.extend_from_slice(&record_header(
+            swapped,
+            1,
+            250,
+            frame.len() as u32,
+            frame.len() as u32,
+        ));
+        capture.extend_from_slice(&frame);
+
+        let mut r = PcapReader::new(&capture).unwrap();
+        assert_eq!(r.is_swapped(), swapped, "magic must set the byte order");
+        let d = r.next_datagram().unwrap().unwrap();
+        assert_eq!(d.at, SimTime::from_micros(1_000_250));
+        assert_eq!(d.payload, payload);
+        assert_eq!(d.src.port(), 5060);
+        assert!(r.next_datagram().unwrap().is_none());
+    }
+
+    // --- Truncated global header: 23 of 24 bytes. ---
+    let short = &global_header(false, LINKTYPE_RAW)[..23];
+    let (allocs, err) = count_allocs(|| PcapReader::new(short).err().unwrap());
+    assert_eq!(err.offset, 0);
+    assert!(err.reason.contains("global header"), "{}", err.reason);
+    assert_eq!(allocs, 0, "header reject must not allocate");
+
+    // --- Unrecognized magic. ---
+    let mut bad_magic = global_header(false, LINKTYPE_RAW);
+    bad_magic[0] = 0x0a; // pcapng block type prefix, not a classic magic
+    let (allocs, err) = count_allocs(|| PcapReader::new(&bad_magic).err().unwrap());
+    assert!(err.reason.contains("magic"), "{}", err.reason);
+    assert_eq!(allocs, 0, "magic reject must not allocate");
+
+    // --- Truncated record header: 10 of 16 bytes. ---
+    let mut trunc_rec = global_header(false, LINKTYPE_RAW);
+    trunc_rec.extend_from_slice(&record_header(false, 1, 0, 64, 64)[..10]);
+    let (allocs, err) = count_allocs(|| {
+        let mut r = PcapReader::new(&trunc_rec).unwrap();
+        r.next_record().unwrap_err()
+    });
+    assert_eq!(err.offset, 24);
+    assert!(err.reason.contains("record header"), "{}", err.reason);
+    assert_eq!(allocs, 0, "record-header reject must not allocate");
+
+    // --- Record body shorter than incl_len claims. ---
+    let frame = raw_udp_frame(b"hello");
+    let mut trunc_body = global_header(false, LINKTYPE_RAW);
+    trunc_body.extend_from_slice(&record_header(
+        false,
+        1,
+        0,
+        frame.len() as u32,
+        frame.len() as u32,
+    ));
+    trunc_body.extend_from_slice(&frame[..frame.len() - 4]);
+    let (allocs, err) = count_allocs(|| {
+        let mut r = PcapReader::new(&trunc_body).unwrap();
+        r.next_record().unwrap_err()
+    });
+    assert!(err.reason.contains("record body"), "{}", err.reason);
+    assert_eq!(allocs, 0, "record-body reject must not allocate");
+
+    // --- Snaplen shorter than the datagram: incl_len < orig_len cuts the
+    // UDP payload, which must be an error, not a silent short payload. ---
+    let full = raw_udp_frame(&[0x42; 400]);
+    let snapped = &full[..64];
+    let mut snap = global_header(false, LINKTYPE_RAW);
+    snap.extend_from_slice(&record_header(
+        false,
+        2,
+        0,
+        snapped.len() as u32,
+        full.len() as u32,
+    ));
+    snap.extend_from_slice(snapped);
+    let (allocs, err) = count_allocs(|| {
+        let mut r = PcapReader::new(&snap).unwrap();
+        r.next_datagram().unwrap_err()
+    });
+    assert!(err.reason.contains("snaplen"), "{}", err.reason);
+    assert_eq!(allocs, 0, "snaplen reject must not allocate");
+
+    // --- The success path over a borrowed buffer is also alloc-free. ---
+    let payload = b"INVITE sip:bob@b SIP/2.0\r\n\r\n";
+    let frame = raw_udp_frame(payload);
+    let mut ok = global_header(false, LINKTYPE_RAW);
+    for _ in 0..8 {
+        ok.extend_from_slice(&record_header(
+            false,
+            3,
+            0,
+            frame.len() as u32,
+            frame.len() as u32,
+        ));
+        ok.extend_from_slice(&frame);
+    }
+    let (allocs, n) = count_allocs(|| {
+        let mut r = PcapReader::new(&ok).unwrap();
+        let mut n = 0;
+        while let Some(d) = r.next_datagram().unwrap() {
+            assert_eq!(d.payload, payload);
+            n += 1;
+        }
+        n
+    });
+    assert_eq!(n, 8);
+    assert_eq!(allocs, 0, "reading borrowed records must not allocate");
+}

@@ -49,11 +49,18 @@ pub enum Counter {
     /// Batch descriptors handed to persistent shard workers (one per worker
     /// woken per batch; zero when the pool drains inline).
     BatchHandoffs,
+    /// Datagrams received from a wire source (socket or pcap replay).
+    DatagramsRx,
+    /// Datagrams the ingestion tier dropped before classification (socket
+    /// errors, oversized payloads, receiver backpressure).
+    DatagramsDropped,
+    /// Datagrams the demultiplexer declined to map to SIP or RTP/RTCP.
+    DemuxUnknown,
 }
 
 impl Counter {
     /// Number of counter slots; sizes the slab arrays.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// Every variant, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -76,6 +83,9 @@ impl Counter {
         Counter::AlertsNondeterminism,
         Counter::MergeNanos,
         Counter::BatchHandoffs,
+        Counter::DatagramsRx,
+        Counter::DatagramsDropped,
+        Counter::DemuxUnknown,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -100,6 +110,9 @@ impl Counter {
             Counter::AlertsNondeterminism => "alerts_nondeterminism",
             Counter::MergeNanos => "merge_nanos",
             Counter::BatchHandoffs => "batch_handoffs",
+            Counter::DatagramsRx => "datagrams_rx",
+            Counter::DatagramsDropped => "datagrams_dropped",
+            Counter::DemuxUnknown => "demux_unknown",
         }
     }
 
@@ -111,8 +124,12 @@ impl Counter {
     pub fn is_deterministic(self) -> bool {
         // Handoffs depend on the host's hardware-thread count (a single-core
         // box drains inline and never hands a batch to a worker), so the
-        // slot is zeroed alongside the wall-clock ones.
-        !matches!(self, Counter::MergeNanos | Counter::BatchHandoffs)
+        // slot is zeroed alongside the wall-clock ones. Ingestion drops
+        // depend on socket buffering and OS scheduling.
+        !matches!(
+            self,
+            Counter::MergeNanos | Counter::BatchHandoffs | Counter::DatagramsDropped
+        )
     }
 }
 
@@ -127,15 +144,22 @@ pub enum Gauge {
     MemoryBytes,
     /// Persistent shard workers currently parked waiting for a batch.
     WorkerParked,
+    /// Bytes queued in the live receive sockets at snapshot time (0 when
+    /// not serving or when the platform cannot report it).
+    SocketBacklog,
 }
 
 impl Gauge {
     /// Number of gauge slots; sizes the slab arrays.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every variant, in slot order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
-        [Gauge::LiveCalls, Gauge::MemoryBytes, Gauge::WorkerParked];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::LiveCalls,
+        Gauge::MemoryBytes,
+        Gauge::WorkerParked,
+        Gauge::SocketBacklog,
+    ];
 
     /// Stable snake_case name used in JSON/CSV export.
     pub fn name(self) -> &'static str {
@@ -143,6 +167,7 @@ impl Gauge {
             Gauge::LiveCalls => "live_calls",
             Gauge::MemoryBytes => "memory_bytes",
             Gauge::WorkerParked => "worker_parked",
+            Gauge::SocketBacklog => "socket_backlog",
         }
     }
 
@@ -150,9 +175,13 @@ impl Gauge {
     /// distinct calls publish identical media coordinates, each owning
     /// shard keeps its own media-index entry, so the merged byte count
     /// varies with the shard count even though detection does not. The
-    /// parked-worker gauge depends on the host's hardware threads.
+    /// parked-worker gauge depends on the host's hardware threads; the
+    /// socket backlog on OS buffering.
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, Gauge::MemoryBytes | Gauge::WorkerParked)
+        !matches!(
+            self,
+            Gauge::MemoryBytes | Gauge::WorkerParked | Gauge::SocketBacklog
+        )
     }
 }
 
@@ -212,11 +241,15 @@ mod tests {
     fn wall_clock_slots_are_flagged() {
         assert!(!Counter::MergeNanos.is_deterministic());
         assert!(!Counter::BatchHandoffs.is_deterministic());
+        assert!(!Counter::DatagramsDropped.is_deterministic());
         assert!(!Gauge::WorkerParked.is_deterministic());
         assert!(Counter::Transitions.is_deterministic());
+        assert!(Counter::DatagramsRx.is_deterministic());
+        assert!(Counter::DemuxUnknown.is_deterministic());
         assert!(!HistId::MergeNanos.is_deterministic());
         assert!(HistId::BatchSize.is_deterministic());
         assert!(!Gauge::MemoryBytes.is_deterministic());
+        assert!(!Gauge::SocketBacklog.is_deterministic());
         assert!(Gauge::LiveCalls.is_deterministic());
     }
 }

@@ -10,7 +10,7 @@
 use vids::attacks::craft::{self, Target};
 use vids::attacks::AttackKind;
 use vids::core::report::AlertReport;
-use vids::core::{Config, VidsPool};
+use vids::core::{Config, NullSink, VidsPool};
 use vids::netsim::node::TapNode;
 use vids::netsim::time::SimTime;
 use vids::netsim::trace::{CaptureFilter, TraceTap};
@@ -103,8 +103,11 @@ fn main() {
             p
         })
         .collect();
-    offline.process_batch(&batch, SimTime::ZERO);
-    offline.tick(tap.captured().last().map(|c| c.at).unwrap_or(SimTime::ZERO) + secs(30));
+    offline.process_batch(&batch, SimTime::ZERO, &mut NullSink);
+    offline.tick(
+        tap.captured().last().map(|c| c.at).unwrap_or(SimTime::ZERO) + secs(30),
+        &mut NullSink,
+    );
 
     println!(
         "\noffline analysis of the capture ({} shards):",

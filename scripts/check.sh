@@ -14,13 +14,19 @@ cargo test --offline -p vids-core -q
 echo "==> cargo test -p vids-telemetry"
 cargo test --offline -p vids-telemetry -q
 
+# Wire tier: pcap fixtures, demux proptests, and the loopback serve
+# smoke (the serve test skips itself with a notice when the sandbox
+# cannot bind 127.0.0.1).
+echo "==> cargo test -p vids-ingest (wire tier + loopback smoke)"
+cargo test --offline -p vids-ingest -q
+
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Hot-path crates additionally reject silent per-packet allocations that
 # plain `-D warnings` lets through (see tests/alloc_budget.rs).
 echo "==> cargo clippy (hot-path crates, allocation lints)"
-cargo clippy --offline -p vids-efsm -p vids-telemetry -p vids-core --all-targets -- \
+cargo clippy --offline -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest --all-targets -- \
     -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string
@@ -38,6 +44,11 @@ VIDS_FUZZ_ITERS="${VIDS_FUZZ_ITERS:-10000}" \
 echo "==> pool determinism stress"
 cargo test --offline --test pool_determinism -q \
     randomized_batch_sizes_match_the_plain_engine
+
+# Wire-tier oracle: pcap replay byte-compared against the in-process
+# engine (alerts, log, counters) at 1/4/8 shards.
+echo "==> replay differential"
+cargo test --offline --test replay_differential -q
 
 # On hosts with enough hardware threads the persistent workers must make
 # the 4-shard pool at least as fast as the unsharded engine; on smaller

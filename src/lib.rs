@@ -19,6 +19,9 @@
 //! * [`attacks`] — injectors for every §3 threat.
 //! * [`core`] — **vids itself**: classifier, fact base, protocol machines,
 //!   attack patterns, analysis engine, inline tap.
+//! * [`ingest`] — the live wire tier: UDP receiver pools, classic pcap
+//!   reading, SIP/RTP demultiplexing, the `vids serve` / `vids replay`
+//!   pipelines.
 //! * [`telemetry`] — runtime observability: per-shard atomic counters,
 //!   gauges and log-bucketed histograms merged into deterministic
 //!   snapshots, plus the per-call transition rings behind alert traces.
@@ -44,6 +47,7 @@ pub use vids_agents as agents;
 pub use vids_attacks as attacks;
 pub use vids_core as core;
 pub use vids_efsm as efsm;
+pub use vids_ingest as ingest;
 pub use vids_netsim as netsim;
 pub use vids_rtp as rtp;
 pub use vids_sdp as sdp;

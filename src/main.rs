@@ -4,12 +4,19 @@
 //! ```text
 //! vids simulate [--minutes N] [--seed S] [--uas N] [--no-vids] [--auth] [--csv FILE]
 //!               [--telemetry FILE] [--telemetry-interval SECS]
+//! vids serve --listen ADDR [--shards N] [--telemetry FILE]
+//! vids replay FILE.pcap [--shards N] [--telemetry FILE]
 //! vids top [--shards N] [--seconds S] [--seed S]
 //! vids machines [--dot DIR]
 //! vids sensitivity
 //! ```
+//!
+//! Every mode parses its arguments strictly: unknown flags, missing
+//! values and unparseable numbers are errors, not silence.
 
 use std::io::Write as _;
+use std::net::SocketAddr;
+use std::str::FromStr;
 
 use vids::core::alert::AlertKind;
 use vids::core::report::AlertReport;
@@ -22,10 +29,12 @@ use vids::scenario::{Testbed, TestbedConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("simulate") => simulate(&args[1..]),
-        Some("top") => top(&args[1..]),
-        Some("machines") => machines(&args[1..]),
-        Some("sensitivity") => sensitivity(),
+        Some("simulate") => run(simulate, &args[1..]),
+        Some("serve") => run(serve, &args[1..]),
+        Some("replay") => run(replay, &args[1..]),
+        Some("top") => run(top, &args[1..]),
+        Some("machines") => run(machines, &args[1..]),
+        Some("sensitivity") => run(sensitivity, &args[1..]),
         Some("help") | Some("--help") | None => {
             usage();
             0
@@ -39,6 +48,18 @@ fn main() {
     std::process::exit(code);
 }
 
+fn run(cmd: fn(&mut Flags) -> Result<i32, String>, args: &[String]) -> i32 {
+    let mut flags = Flags::new(args);
+    match cmd(&mut flags).and_then(|code| flags.finish().map(|()| code)) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("run `vids help` for usage");
+            2
+        }
+    }
+}
+
 fn usage() {
     println!(
         "vids — VoIP intrusion detection through interacting protocol state machines\n\
@@ -50,6 +71,13 @@ fn usage() {
          \x20     run the Fig. 7 enterprise testbed and print the evaluation summary;\n\
          \x20     --telemetry samples monitor metrics every SECS (default 10) of sim\n\
          \x20     time into FILE (JSON lines, or CSV when FILE ends in .csv)\n\
+         \x20 vids serve --listen ADDR [--shards N] [--telemetry FILE]\n\
+         \x20     monitor live SIP/RTP traffic on UDP socket ADDR (e.g. 0.0.0.0:5060)\n\
+         \x20     with N receiver shards; alerts stream to stdout; Ctrl-C drains,\n\
+         \x20     runs a final timer sweep and writes the telemetry snapshot to FILE\n\
+         \x20 vids replay FILE.pcap [--shards N] [--telemetry FILE]\n\
+         \x20     replay a classic pcap capture through the identical wire pipeline\n\
+         \x20     at full speed and print the alert report and throughput\n\
          \x20 vids top [--shards N] [--seconds S] [--seed S]\n\
          \x20     capture a short workload, replay it through a telemetry-enabled\n\
          \x20     N-shard pool and print the per-shard metric table\n\
@@ -61,34 +89,105 @@ fn usage() {
     );
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Strict argument parsing: a mode pulls out the flags it understands,
+/// then [`Flags::finish`] rejects whatever is left — unknown flags no
+/// longer ride along silently.
+struct Flags {
+    args: Vec<String>,
+    used: Vec<bool>,
 }
 
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
+impl Flags {
+    fn new(args: &[String]) -> Self {
+        Flags {
+            args: args.to_vec(),
+            used: vec![false; args.len()],
+        }
+    }
+
+    /// Consumes a boolean flag; true if present.
+    fn flag(&mut self, name: &str) -> bool {
+        match self.args.iter().position(|a| a == name) {
+            Some(i) => {
+                self.used[i] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes `name VALUE`; errors if the value is missing.
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        let Some(i) = self.args.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        self.used[i] = true;
+        match self.args.get(i + 1) {
+            Some(v) if !self.used[i + 1] => {
+                self.used[i + 1] = true;
+                Ok(Some(v.clone()))
+            }
+            _ => Err(format!("{name} needs a value")),
+        }
+    }
+
+    /// Consumes `name VALUE` and parses it; errors on a bad value.
+    fn parsed<T: FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {name}: {v}")),
+        }
+    }
+
+    /// Consumes the next bare (non-`--`) argument.
+    fn positional(&mut self) -> Option<String> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && !a.starts_with("--") {
+                self.used[i] = true;
+                return Some(a.clone());
+            }
+        }
+        None
+    }
+
+    /// Errors on the first argument nothing consumed.
+    fn finish(&self) -> Result<(), String> {
+        match (0..self.args.len()).find(|&i| !self.used[i]) {
+            Some(i) => Err(format!("unexpected argument: {}", self.args[i])),
+            None => Ok(()),
+        }
+    }
 }
 
-fn simulate(args: &[String]) -> i32 {
-    let minutes: u64 = flag_value(args, "--minutes")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
-    let seed: u64 = flag_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    let uas: usize = flag_value(args, "--uas")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
+/// Writes a telemetry series to `path` — CSV when the name says so,
+/// JSON lines otherwise.
+fn write_telemetry(path: &str, series: &[Snapshot]) -> Result<(), String> {
+    let mut out = String::new();
+    if path.ends_with(".csv") {
+        out.push_str(&Snapshot::csv_header());
+        out.push('\n');
+        for snap in series {
+            out.push_str(&snap.to_csv_row());
+            out.push('\n');
+        }
+    } else {
+        for snap in series {
+            out.push_str(&snap.to_jsonl());
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
 
-    let interarrival: f64 = flag_value(args, "--interarrival")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(180.0);
-    let duration: f64 = flag_value(args, "--duration")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(120.0);
+fn simulate(flags: &mut Flags) -> Result<i32, String> {
+    let minutes: u64 = flags.parsed("--minutes")?.unwrap_or(5);
+    let seed: u64 = flags.parsed("--seed")?.unwrap_or(1);
+    let uas: usize = flags.parsed("--uas")?.unwrap_or(20);
+    let interarrival: f64 = flags.parsed("--interarrival")?.unwrap_or(180.0);
+    let duration: f64 = flags.parsed("--duration")?.unwrap_or(120.0);
     let mut config = TestbedConfig::paper(seed);
     config.uas_per_site = uas;
     config.workload.callers = uas;
@@ -96,24 +195,24 @@ fn simulate(args: &[String]) -> i32 {
     config.workload.mean_interarrival_secs = interarrival;
     config.workload.mean_duration_secs = duration;
     config.workload.horizon = SimTime::from_secs(minutes * 60);
-    config.bye_auth = has_flag(args, "--auth");
-    if has_flag(args, "--no-vids") {
+    config.bye_auth = flags.flag("--auth");
+    if flags.flag("--no-vids") {
         config = config.without_vids();
     }
 
-    let telemetry_path = flag_value(args, "--telemetry");
-    let telemetry_interval: u64 = flag_value(args, "--telemetry-interval")
-        .and_then(|v| v.parse().ok())
+    let telemetry_path = flags.value("--telemetry")?;
+    let telemetry_interval: u64 = flags
+        .parsed("--telemetry-interval")?
         .filter(|&s| s > 0)
         .unwrap_or(10);
+    let csv_path = flags.value("--csv")?;
 
     eprintln!("simulating {uas} UAs/site for {minutes} min (seed {seed})...");
     let mut tb = Testbed::build(&config);
     let end = SimTime::from_secs(minutes * 60 + 60);
     let series = if telemetry_path.is_some() {
         if tb.enable_telemetry(256).is_none() {
-            eprintln!("--telemetry requires the inline monitor (drop --no-vids)");
-            return 2;
+            return Err("--telemetry requires the inline monitor (drop --no-vids)".to_owned());
         }
         tb.run_sampled(end, SimTime::from_secs(telemetry_interval))
     } else {
@@ -150,14 +249,14 @@ fn simulate(args: &[String]) -> i32 {
         if report.count_kind(AlertKind::Attack) == 0 {
             println!("verdict: clean run, zero false positives");
         }
-        if let Some(path) = flag_value(args, "--csv") {
-            match std::fs::File::create(path)
+        if let Some(path) = csv_path {
+            match std::fs::File::create(&path)
                 .and_then(|mut f| f.write_all(report.to_csv().as_bytes()))
             {
                 Ok(()) => println!("alert CSV written to {path}"),
                 Err(e) => {
                     eprintln!("cannot write {path}: {e}");
-                    return 1;
+                    return Ok(1);
                 }
             }
         }
@@ -165,54 +264,166 @@ fn simulate(args: &[String]) -> i32 {
         println!("monitor:      none (baseline run)");
     }
     if let Some(path) = telemetry_path {
-        let mut out = String::new();
-        if path.ends_with(".csv") {
-            out.push_str(&Snapshot::csv_header());
-            out.push('\n');
-            for (_, snap) in &series {
-                out.push_str(&snap.to_csv_row());
-                out.push('\n');
-            }
-        } else {
-            for (_, snap) in &series {
-                out.push_str(&snap.to_jsonl());
-                out.push('\n');
-            }
-        }
-        match std::fs::write(path, out) {
+        let snaps: Vec<Snapshot> = series.iter().map(|(_, s)| s.clone()).collect();
+        match write_telemetry(&path, &snaps) {
             Ok(()) => println!(
                 "telemetry:    {} samples (every {telemetry_interval} s) written to {path}",
                 series.len()
             ),
             Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                return 1;
+                eprintln!("{e}");
+                return Ok(1);
             }
         }
     }
-    0
+    Ok(0)
+}
+
+/// `vids serve`: the live daemon — bind UDP receiver sockets, demux
+/// SIP/RTP off the wire, and stream the engine's alerts to stdout until
+/// SIGINT drains the pipeline.
+fn serve(flags: &mut Flags) -> Result<i32, String> {
+    use vids::core::{Config, CostModel, FnSink, VidsPool};
+    use vids::ingest::server::{serve_on, stop_flag_on_sigint, ServeOptions};
+    use vids::ingest::udp::{PoolMode, UdpPool};
+
+    let listen: SocketAddr = flags
+        .parsed("--listen")?
+        .ok_or("serve needs --listen ADDR (e.g. --listen 0.0.0.0:5060)")?;
+    let shards: usize = flags.parsed("--shards")?.unwrap_or(4);
+    let telemetry_path = flags.value("--telemetry")?;
+    flags.finish()?;
+
+    let cfg = Config::builder()
+        .shards(shards)
+        .listen(listen)
+        .build()
+        .map_err(|e| format!("bad --shards {shards}: {e}"))?;
+    // Live serving measures real wall-clock cost; the simulated per-packet
+    // CPU model would only skew the meter.
+    let mut pool = VidsPool::with_cost(cfg, CostModel::free());
+    let registry = pool.enable_telemetry(256);
+    let opts = ServeOptions::from_config(&cfg);
+    let stop = stop_flag_on_sigint();
+
+    let udp =
+        UdpPool::bind(listen, opts.receivers).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let mode = match udp.mode() {
+        PoolMode::ReusePort => format!("{} SO_REUSEPORT sockets", opts.receivers),
+        PoolMode::Single => "1 socket (reuseport unavailable)".to_owned(),
+    };
+    eprintln!(
+        "listening on {} with {mode}; Ctrl-C to stop",
+        udp.local_addr()
+    );
+
+    let mut sink = FnSink(|a: vids::core::Alert| {
+        println!(
+            "[{:>10} ms] {:?} {} — {}{}",
+            a.time_ms,
+            a.kind,
+            a.machine,
+            a.label,
+            if a.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", a.detail)
+            }
+        );
+    });
+    let report = serve_on(&mut pool, udp, &opts, Some(&registry), stop, &mut sink)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "drained: {} datagrams ({} unknown, {} dropped) in {} batches over {:.1} s",
+        report.datagrams_rx,
+        report.demux_unknown,
+        report.datagrams_dropped,
+        report.batches,
+        report.ended_at.as_secs_f64()
+    );
+    eprintln!("counters: {:?}", pool.counters());
+    if let Some(path) = telemetry_path {
+        let snap = pool
+            .telemetry_snapshot(report.ended_at)
+            .expect("telemetry enabled above");
+        write_telemetry(&path, std::slice::from_ref(&snap))?;
+        eprintln!("telemetry snapshot written to {path}");
+    }
+    Ok(0)
+}
+
+/// `vids replay`: run a pcap capture through the same wire pipeline the
+/// daemon uses, at full speed, on the capture's own clock.
+fn replay(flags: &mut Flags) -> Result<i32, String> {
+    use vids::core::{CollectSink, Config, VidsPool};
+    use vids::ingest::replay::replay_pcap;
+
+    let file = flags
+        .positional()
+        .ok_or("replay needs a capture file: vids replay FILE.pcap")?;
+    let shards: usize = flags.parsed("--shards")?.unwrap_or(4);
+    let telemetry_path = flags.value("--telemetry")?;
+    flags.finish()?;
+
+    let cfg = Config::builder()
+        .shards(shards)
+        .build()
+        .map_err(|e| format!("bad --shards {shards}: {e}"))?;
+    let capture = std::fs::read(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+
+    let mut pool = VidsPool::new(cfg);
+    let registry = pool.enable_telemetry(256);
+    let mut sink = CollectSink::new();
+    let wall_start = std::time::Instant::now();
+    let report = replay_pcap(
+        capture,
+        &mut pool,
+        cfg.batch_flush_packets,
+        Some(&registry),
+        &mut sink,
+    )
+    .map_err(|e| e.to_string())?;
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    println!(
+        "replayed {} datagrams ({} unknown) in {} batches; capture spans {:.3} s",
+        report.datagrams,
+        report.demux_unknown,
+        report.batches,
+        report.last_at.as_secs_f64()
+    );
+    if wall > 0.0 {
+        println!(
+            "throughput: {:.0} pps over {wall:.3} s of wall clock",
+            report.datagrams as f64 / wall
+        );
+    }
+    println!("counters: {:?}", pool.counters());
+    print!("{}", AlertReport::from_alerts(sink.alerts()));
+    if let Some(path) = telemetry_path {
+        let snap = pool
+            .telemetry_snapshot(report.last_at)
+            .expect("telemetry enabled above");
+        write_telemetry(&path, std::slice::from_ref(&snap))?;
+        println!("telemetry snapshot written to {path}");
+    }
+    Ok(0)
 }
 
 /// `vids top`: a one-shot metric table in the spirit of `top(1)` — capture
 /// a short workload at the perimeter, replay it through a telemetry-enabled
 /// sharded pool, and print where the packets, transitions and memory went.
-fn top(args: &[String]) -> i32 {
+fn top(flags: &mut Flags) -> Result<i32, String> {
     use vids::core::telemetry::{Counter, Gauge, HistId};
-    use vids::core::{Config, CostModel, VidsPool};
+    use vids::core::{Config, CostModel, NullSink, VidsPool};
     use vids::netsim::node::TapNode;
     use vids::netsim::trace::{CaptureFilter, TraceTap};
 
-    let shards: usize = flag_value(args, "--shards")
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(4);
-    let seconds: u64 = flag_value(args, "--seconds")
-        .and_then(|v| v.parse().ok())
-        .filter(|&s| s > 0)
-        .unwrap_or(60);
-    let seed: u64 = flag_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let shards: usize = flags.parsed("--shards")?.filter(|&n| n > 0).unwrap_or(4);
+    let seconds: u64 = flags.parsed("--seconds")?.filter(|&s| s > 0).unwrap_or(60);
+    let seed: u64 = flags.parsed("--seed")?.unwrap_or(1);
+    flags.finish()?;
 
     // Phase 1: record `seconds` of the small-testbed workload at the tap.
     let mut config = TestbedConfig::small(seed);
@@ -245,22 +456,19 @@ fn top(args: &[String]) -> i32 {
 
     // Phase 2: replay through a telemetry-enabled pool, 100 packets per
     // batch (timestamps ride along in `sent_at`).
-    let cfg = match Config::builder().shards(shards).build() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("bad --shards {shards}: {e}");
-            return 2;
-        }
-    };
+    let cfg = Config::builder()
+        .shards(shards)
+        .build()
+        .map_err(|e| format!("bad --shards {shards}: {e}"))?;
     let mut pool = VidsPool::with_cost(cfg, CostModel::free());
     pool.enable_telemetry(256);
     let mut end = SimTime::ZERO;
     for chunk in batch.chunks(100) {
         end = chunk.last().map(|p| p.sent_at).unwrap_or(end);
-        pool.process_batch(chunk, end);
+        pool.process_batch(chunk, end, &mut NullSink);
     }
     end += SimTime::from_secs(30);
-    pool.tick(end);
+    pool.tick(end, &mut NullSink);
     let snap = pool
         .telemetry_snapshot(end)
         .expect("telemetry enabled above");
@@ -329,10 +537,11 @@ fn top(args: &[String]) -> i32 {
         snap.pool.counter(Counter::MergeNanos),
         snap.pool.hist(HistId::MergeNanos).total(),
     );
-    0
+    Ok(0)
 }
 
-fn machines(args: &[String]) -> i32 {
+fn machines(flags: &mut Flags) -> Result<i32, String> {
+    let dot_dir = flags.value("--dot")?;
     let cfg = vids::core::Config::default();
     let defs = [
         vids::core::machines::sip::sip_call_machine(&cfg),
@@ -352,24 +561,24 @@ fn machines(args: &[String]) -> i32 {
             println!("{p}");
         }
     }
-    if let Some(dir) = flag_value(args, "--dot") {
-        if let Err(e) = std::fs::create_dir_all(dir) {
+    if let Some(dir) = dot_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("cannot create {dir}: {e}");
-            return 1;
+            return Ok(1);
         }
         for def in &defs {
             let path = format!("{dir}/{}.dot", def.name());
             if let Err(e) = std::fs::write(&path, to_dot(def)) {
                 eprintln!("cannot write {path}: {e}");
-                return 1;
+                return Ok(1);
             }
             println!("wrote {path}");
         }
     }
-    0
+    Ok(0)
 }
 
-fn sensitivity() -> i32 {
+fn sensitivity(_flags: &mut Flags) -> Result<i32, String> {
     use std::sync::Arc;
     use vids::core::machines::flood::window_counter_machine;
     use vids::efsm::network::Network;
@@ -414,5 +623,5 @@ fn sensitivity() -> i32 {
     println!(
         "\n(see `cargo bench -p vids-bench --bench detection_sensitivity` for the full E7 tables)"
     );
-    0
+    Ok(0)
 }

@@ -154,18 +154,18 @@ fn warm_packets_meet_the_allocation_budget() {
     let mut vids = Vids::new(Config::default());
     let mut sink = CollectSink::new();
     for (packet, t) in establish("budget-1") {
-        vids.process_into(&packet, SimTime::from_millis(t), &mut sink);
+        vids.process(&packet, SimTime::from_millis(t), &mut sink);
     }
     // Warm every lazily-touched path once before measuring.
-    vids.process_into(
+    vids.process(
         &stale_ringing("budget-1"),
         SimTime::from_millis(30),
         &mut sink,
     );
-    vids.process_into(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
+    vids.process(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
 
     let sip = stale_ringing("budget-1");
-    let n = count_allocs(|| vids.process_into(&sip, SimTime::from_millis(40), &mut sink));
+    let n = count_allocs(|| vids.process(&sip, SimTime::from_millis(40), &mut sink));
     eprintln!("warm SIP packet: {n} allocations");
     assert!(
         n <= SIP_BUDGET,
@@ -173,7 +173,7 @@ fn warm_packets_meet_the_allocation_budget() {
     );
 
     let rtp = rtp_fwd(105, 1_200);
-    let n = count_allocs(|| vids.process_into(&rtp, SimTime::from_millis(41), &mut sink));
+    let n = count_allocs(|| vids.process(&rtp, SimTime::from_millis(41), &mut sink));
     eprintln!("warm RTP packet: {n} allocations");
     assert_eq!(n, 0, "warm RTP packet must not allocate, made {n}");
     assert!(
@@ -187,7 +187,7 @@ fn warm_packets_meet_the_allocation_budget() {
     let mut pool = VidsPool::new(config);
     let mut sink = CollectSink::new();
     for (packet, t) in establish("budget-pool") {
-        pool.process_batch_into(
+        pool.process_batch(
             std::slice::from_ref(&packet),
             SimTime::from_millis(t),
             &mut sink,
@@ -201,8 +201,8 @@ fn warm_packets_meet_the_allocation_budget() {
     let large: Vec<Packet> = (0..32u16)
         .map(|i| rtp_fwd(120 + i, 3_000 + i as u32 * 80))
         .collect();
-    pool.process_batch_into(&small, SimTime::from_millis(50), &mut sink);
-    pool.process_batch_into(&large, SimTime::from_millis(55), &mut sink);
+    pool.process_batch(&small, SimTime::from_millis(50), &mut sink);
+    pool.process_batch(&large, SimTime::from_millis(55), &mut sink);
 
     let small2: Vec<Packet> = (0..8u16)
         .map(|i| rtp_fwd(160 + i, 6_000 + i as u32 * 80))
@@ -210,10 +210,8 @@ fn warm_packets_meet_the_allocation_budget() {
     let large2: Vec<Packet> = (0..32u16)
         .map(|i| rtp_fwd(170 + i, 7_000 + i as u32 * 80))
         .collect();
-    let n_small =
-        count_allocs(|| pool.process_batch_into(&small2, SimTime::from_millis(60), &mut sink));
-    let n_large =
-        count_allocs(|| pool.process_batch_into(&large2, SimTime::from_millis(65), &mut sink));
+    let n_small = count_allocs(|| pool.process_batch(&small2, SimTime::from_millis(60), &mut sink));
+    let n_large = count_allocs(|| pool.process_batch(&large2, SimTime::from_millis(65), &mut sink));
     eprintln!("pool batches: 8 packets -> {n_small}, 32 packets -> {n_large} allocations");
     assert_eq!(
         n_small, n_large,
@@ -237,17 +235,17 @@ fn warm_packets_meet_the_allocation_budget() {
     let _registry = vids.enable_telemetry(64);
     let mut sink = CollectSink::new();
     for (packet, t) in establish("budget-tel") {
-        vids.process_into(&packet, SimTime::from_millis(t), &mut sink);
+        vids.process(&packet, SimTime::from_millis(t), &mut sink);
     }
-    vids.process_into(
+    vids.process(
         &stale_ringing("budget-tel"),
         SimTime::from_millis(30),
         &mut sink,
     );
-    vids.process_into(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
+    vids.process(&rtp_fwd(104, 1_120), SimTime::from_millis(31), &mut sink);
 
     let sip = stale_ringing("budget-tel");
-    let n = count_allocs(|| vids.process_into(&sip, SimTime::from_millis(40), &mut sink));
+    let n = count_allocs(|| vids.process(&sip, SimTime::from_millis(40), &mut sink));
     eprintln!("warm SIP packet with telemetry: {n} allocations");
     assert!(
         n <= SIP_BUDGET,
@@ -255,7 +253,7 @@ fn warm_packets_meet_the_allocation_budget() {
     );
 
     let rtp = rtp_fwd(105, 1_200);
-    let n = count_allocs(|| vids.process_into(&rtp, SimTime::from_millis(41), &mut sink));
+    let n = count_allocs(|| vids.process(&rtp, SimTime::from_millis(41), &mut sink));
     eprintln!("warm RTP packet with telemetry: {n} allocations");
     assert_eq!(
         n, 0,
@@ -267,7 +265,7 @@ fn warm_packets_meet_the_allocation_budget() {
     pool.enable_telemetry(64);
     let mut sink = CollectSink::new();
     for (packet, t) in establish("budget-pool-tel") {
-        pool.process_batch_into(
+        pool.process_batch(
             std::slice::from_ref(&packet),
             SimTime::from_millis(t),
             &mut sink,
@@ -279,8 +277,8 @@ fn warm_packets_meet_the_allocation_budget() {
     let large: Vec<Packet> = (0..32u16)
         .map(|i| rtp_fwd(120 + i, 3_000 + i as u32 * 80))
         .collect();
-    pool.process_batch_into(&small, SimTime::from_millis(50), &mut sink);
-    pool.process_batch_into(&large, SimTime::from_millis(55), &mut sink);
+    pool.process_batch(&small, SimTime::from_millis(50), &mut sink);
+    pool.process_batch(&large, SimTime::from_millis(55), &mut sink);
 
     let small2: Vec<Packet> = (0..8u16)
         .map(|i| rtp_fwd(160 + i, 6_000 + i as u32 * 80))
@@ -288,10 +286,8 @@ fn warm_packets_meet_the_allocation_budget() {
     let large2: Vec<Packet> = (0..32u16)
         .map(|i| rtp_fwd(170 + i, 7_000 + i as u32 * 80))
         .collect();
-    let n_small =
-        count_allocs(|| pool.process_batch_into(&small2, SimTime::from_millis(60), &mut sink));
-    let n_large =
-        count_allocs(|| pool.process_batch_into(&large2, SimTime::from_millis(65), &mut sink));
+    let n_small = count_allocs(|| pool.process_batch(&small2, SimTime::from_millis(60), &mut sink));
+    let n_large = count_allocs(|| pool.process_batch(&large2, SimTime::from_millis(65), &mut sink));
     eprintln!(
         "pool batches with telemetry: 8 packets -> {n_small}, 32 packets -> {n_large} allocations"
     );

@@ -1,0 +1,301 @@
+//! Shared traffic builders for the integration suites.
+//!
+//! [`mixed_trace`] is the canonical adversarial packet stream: clean
+//! calls, an INVITE flood, a BYE-DoS, a DRDoS reflection, strays,
+//! malformed datagrams and a registration hijack — every alert path in
+//! one trace. `tests/pool_determinism.rs` replays it through every
+//! ingestion API; `tests/replay_differential.rs` renders it to pcap and
+//! replays the capture through the wire tier.
+
+#![allow(dead_code)]
+
+use vids::attacks::craft::{self, Target};
+use vids::netsim::packet::{Address, Packet, Payload};
+use vids::netsim::time::SimTime;
+use vids::rtp::packet::RtpPacket;
+use vids::sdp::{Codec, SessionDescription};
+use vids::sip::headers::{CSeq, Header, NameAddr, Via};
+use vids::sip::{Method, Request, SipUri, StatusCode};
+
+pub fn pkt(src: Address, dst: Address, payload: Payload, at_ms: u64, id: u64) -> (Packet, SimTime) {
+    let at = SimTime::from_millis(at_ms);
+    (
+        Packet {
+            src,
+            dst,
+            payload,
+            id,
+            sent_at: at,
+        },
+        at,
+    )
+}
+
+pub fn invite(call_id: &str, caller_ip: &str, media_port: u16) -> Request {
+    let sdp = SessionDescription::audio_offer("alice", caller_ip, media_port, &[Codec::G729]);
+    Request::invite(
+        &SipUri::new("alice", "a.example.com"),
+        &SipUri::new("bob", "b.example.com"),
+        call_id,
+    )
+    .with_body(vids::sdp::MIME_TYPE, sdp.to_string())
+}
+
+/// A full clean call `k` starting at `t0`, with distinct endpoints and media
+/// coordinates per call so calls land on different shards.
+pub fn clean_call(trace: &mut Vec<(Packet, SimTime)>, k: u8, t0: u64) {
+    let caller = Address::new(10, 1, 0, k, 5060);
+    let callee = Address::new(10, 2, 0, k, 5060);
+    let caller_ip = format!("10.1.0.{k}");
+    let callee_ip = format!("10.2.0.{k}");
+    let inv = invite(&format!("det-clean-{k}"), &caller_ip, 20_000);
+    trace.push(pkt(caller, callee, Payload::Sip(inv.to_string()), t0, 0));
+    let ringing = inv.response(StatusCode::RINGING).with_to_tag("tt");
+    trace.push(pkt(
+        callee,
+        caller,
+        Payload::Sip(ringing.to_string()),
+        t0 + 30,
+        0,
+    ));
+    let answer = SessionDescription::audio_offer("bob", &callee_ip, 30_000, &[Codec::G729]);
+    let ok = inv
+        .response(StatusCode::OK)
+        .with_to_tag("tt")
+        .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+    trace.push(pkt(
+        callee,
+        caller,
+        Payload::Sip(ok.to_string()),
+        t0 + 60,
+        0,
+    ));
+    let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
+    trace.push(pkt(
+        caller,
+        callee,
+        Payload::Sip(ack.to_string()),
+        t0 + 90,
+        0,
+    ));
+    for i in 0..10u16 {
+        let fwd = RtpPacket::new(18, 100 + i, (i as u32) * 80, 7).with_payload(vec![0; 10]);
+        trace.push(pkt(
+            caller.with_port(20_000),
+            callee.with_port(30_000),
+            Payload::Rtp(fwd.to_bytes()),
+            t0 + 100 + i as u64 * 10,
+            0,
+        ));
+        let rev = RtpPacket::new(18, 500 + i, (i as u32) * 80, 9).with_payload(vec![0; 10]);
+        trace.push(pkt(
+            callee.with_port(30_000),
+            caller.with_port(20_000),
+            Payload::Rtp(rev.to_bytes()),
+            t0 + 105 + i as u64 * 10,
+            0,
+        ));
+    }
+    let bye = Request::in_dialog(Method::Bye, &inv, 2, Some("tt"));
+    trace.push(pkt(
+        caller,
+        callee,
+        Payload::Sip(bye.to_string()),
+        t0 + 260,
+        0,
+    ));
+    let bye_ok = bye.response(StatusCode::OK);
+    trace.push(pkt(
+        callee,
+        caller,
+        Payload::Sip(bye_ok.to_string()),
+        t0 + 290,
+        0,
+    ));
+}
+
+pub fn register_packet(
+    src: Address,
+    registrar: Address,
+    contact_ip: &str,
+    expires: u32,
+) -> Payload {
+    let aor = SipUri::new("roamer", "b.example.com");
+    let mut req = Request::new(Method::Register, SipUri::host_only("b.example.com"));
+    req.headers
+        .push(Header::Via(Via::udp(src.ip_string(), 5060, "z9hG4bK-r1")));
+    req.headers
+        .push(Header::From(NameAddr::new(aor.clone()).with_tag("rt")));
+    req.headers.push(Header::To(NameAddr::new(aor)));
+    req.headers.push(Header::CallId("det-reg".to_owned()));
+    req.headers
+        .push(Header::CSeq(CSeq::new(1, Method::Register)));
+    req.headers.push(Header::Contact(NameAddr::new(SipUri::new(
+        "roamer", contact_ip,
+    ))));
+    req.headers.push(Header::Expires(expires));
+    req.headers.push(Header::ContentLength(0));
+    let _ = registrar;
+    Payload::Sip(req.to_string())
+}
+
+/// The full mixed trace, times strictly non-decreasing.
+pub fn mixed_trace() -> Vec<(Packet, SimTime)> {
+    let mut trace = Vec::new();
+
+    // Clean calls, staggered.
+    for k in 1..=3u8 {
+        clean_call(&mut trace, k, (k as u64 - 1) * 40);
+    }
+
+    // INVITE flood against one phone (paper Fig. 4), via the attack crafts.
+    let attacker = Address::new(172, 16, 0, 66, 5060);
+    let victim_phone = Address::new(10, 2, 0, 9, 5060);
+    let target = SipUri::new("bob9", "b.example.com");
+    for i in 0..15u64 {
+        let text = craft::flood_invite(&target, attacker, "flooder", &format!("det-flood-{i}"));
+        trace.push(pkt(
+            attacker,
+            victim_phone,
+            Payload::Sip(text),
+            2_000 + i * 10,
+            0,
+        ));
+    }
+
+    // BYE DoS (paper §3.1 / Fig. 5): establish a call, forge its BYE from a
+    // sniffed dialog snapshot, keep the media flowing past timer T.
+    let caller = Address::new(10, 1, 0, 7, 5060);
+    let callee = Address::new(10, 2, 0, 7, 5060);
+    let inv = invite("det-victim", "10.1.0.7", 22_000);
+    trace.push(pkt(caller, callee, Payload::Sip(inv.to_string()), 3_000, 0));
+    let answer = SessionDescription::audio_offer("bob", "10.2.0.7", 32_000, &[Codec::G729]);
+    let ok = inv
+        .response(StatusCode::OK)
+        .with_to_tag("tt")
+        .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+    trace.push(pkt(callee, caller, Payload::Sip(ok.to_string()), 3_050, 0));
+    let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
+    trace.push(pkt(caller, callee, Payload::Sip(ack.to_string()), 3_100, 0));
+    let snap = craft::DialogSnapshot {
+        call_id: "det-victim".to_owned(),
+        caller_from: NameAddr::new(SipUri::new("alice", "a.example.com")).with_tag("tag-alice"),
+        callee_to: NameAddr::new(SipUri::new("bob", "b.example.com")).with_tag("tt"),
+        caller_addr: caller,
+        callee_addr: callee,
+        callee_media: Some(callee.with_port(32_000)),
+        caller_media: Some(caller.with_port(22_000)),
+        caller_ssrc: Some(7),
+        caller_rtp_cursor: Some((40, 3_200)),
+        invite_branch: "z9hG4bK-det-victim".to_owned(),
+    };
+    let (victim, spoof) = snap.endpoints(Target::Callee);
+    let bye = craft::spoofed_bye(&snap, Target::Callee);
+    trace.push(pkt(
+        spoof.with_port(5060),
+        victim,
+        Payload::Sip(bye),
+        3_500,
+        0,
+    ));
+    // The oblivious caller keeps streaming well past T = 200 ms.
+    for i in 0..30u16 {
+        let media = RtpPacket::new(18, 40 + i, (40 + i as u32) * 80, 7).with_payload(vec![0; 10]);
+        trace.push(pkt(
+            caller.with_port(22_000),
+            callee.with_port(32_000),
+            Payload::Rtp(media.to_bytes()),
+            3_520 + i as u64 * 40,
+            0,
+        ));
+    }
+
+    // DRDoS reflection: responses to a call nobody monitored.
+    let ghost = invite("det-ghost", "10.9.9.9", 24_000);
+    let ghost_ok = ghost.response(StatusCode::OK);
+    for i in 0..12u64 {
+        trace.push(pkt(
+            Address::new(172, 16, 0, 80, 5060),
+            Address::new(10, 2, 0, 5, 5060),
+            Payload::Sip(ghost_ok.to_string()),
+            5_000 + i * 5,
+            0,
+        ));
+    }
+
+    // Strays: unassociated RTP, malformed SIP and RTP, raw background noise.
+    let stray = RtpPacket::new(18, 1, 0, 3).with_payload(vec![0; 10]);
+    trace.push(pkt(
+        Address::new(172, 16, 0, 90, 40_000),
+        Address::new(10, 2, 0, 2, 41_000),
+        Payload::Rtp(stray.to_bytes()),
+        5_200,
+        0,
+    ));
+    trace.push(pkt(
+        Address::new(172, 16, 0, 90, 5060),
+        Address::new(10, 2, 0, 2, 5060),
+        Payload::Sip("garbage".to_owned()),
+        5_210,
+        0,
+    ));
+    trace.push(pkt(
+        Address::new(172, 16, 0, 90, 40_000),
+        Address::new(10, 2, 0, 2, 41_000),
+        Payload::Rtp(vec![0x80; 3]),
+        5_220,
+        0,
+    ));
+    trace.push(pkt(
+        Address::new(172, 16, 0, 90, 1_000),
+        Address::new(10, 2, 0, 2, 1_000),
+        Payload::Raw(vec![1, 2, 3]),
+        5_230,
+        0,
+    ));
+
+    // Registration, then a hijack attempt from a foreign source.
+    let owner = Address::new(10, 0, 0, 20, 5060);
+    let registrar = Address::new(10, 2, 0, 1, 5060);
+    trace.push(pkt(
+        owner,
+        registrar,
+        register_packet(owner, registrar, "10.0.0.20", 3_600),
+        5_400,
+        0,
+    ));
+    let hijacker = Address::new(172, 16, 0, 66, 5060);
+    trace.push(pkt(
+        hijacker,
+        registrar,
+        register_packet(hijacker, registrar, "172.16.0.66", 3_600),
+        5_500,
+        0,
+    ));
+
+    // Stable order with unique packet ids.
+    trace.sort_by_key(|(p, at)| (*at, p.id));
+    for (i, (p, _)) in trace.iter_mut().enumerate() {
+        p.id = i as u64;
+    }
+    trace
+}
+
+/// [`mixed_trace`] restricted to packets whose wire rendering classifies
+/// identically to the in-process path.
+///
+/// Exactly one trace element is excluded: the 3-byte `Payload::Rtp`
+/// stray. In process it arrives *tagged* as RTP and is rejected as
+/// malformed RTP; on the wire there is no tag — 3 bytes without an RTP
+/// version field demux to `Unknown` and are ignored. Every other packet
+/// (including the SIP garbage, which rides port 5060 both ways) maps
+/// identically.
+pub fn wire_safe_trace() -> Vec<(Packet, SimTime)> {
+    mixed_trace()
+        .into_iter()
+        .filter(|(p, _)| match &p.payload {
+            Payload::Rtp(bytes) => bytes.len() >= 12 && bytes[0] >> 6 == 2,
+            Payload::Sip(_) | Payload::Raw(_) => true,
+        })
+        .collect()
+}

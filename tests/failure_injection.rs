@@ -149,7 +149,7 @@ fn monitor_survives_garbage_crossing_the_perimeter() {
             id: i as u64,
             sent_at: SimTime::ZERO,
         };
-        vids.process_into(
+        vids.process(
             &pkt,
             SimTime::from_millis(i as u64),
             &mut vids::core::NullSink,

@@ -211,7 +211,7 @@ proptest! {
                 id: i as u64,
                 sent_at: SimTime::ZERO,
             };
-            vids.process_into(&pkt, SimTime::from_millis(i as u64 * 10), &mut vids::core::NullSink);
+            vids.process(&pkt, SimTime::from_millis(i as u64 * 10), &mut vids::core::NullSink);
         }
     }
 }
@@ -279,7 +279,7 @@ mod valid_flows {
         let mut step = |vids: &mut Vids, src: Address, dst: Address, payload: Payload| {
             t += 20;
             let mut sink = vids::core::CollectSink::new();
-            vids.process_into(
+            vids.process(
                 &Packet {
                     src,
                     dst,
@@ -341,8 +341,8 @@ mod valid_flows {
             step(&mut vids, CALLEE, CALLER, Payload::Sip(bye_ok.to_string()));
         }
         // Flush timers far past every linger.
-        vids.tick(SimTime::from_secs(60));
-        vids.tick(SimTime::from_secs(120));
+        vids.tick(SimTime::from_secs(60), &mut vids::core::NullSink);
+        vids.tick(SimTime::from_secs(120), &mut vids::core::NullSink);
         vids.alerts().to_vec()
     }
 

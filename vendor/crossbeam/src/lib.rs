@@ -10,7 +10,7 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half of an unbounded channel.
     pub struct Sender<T>(mpsc::Sender<T>);
@@ -40,6 +40,12 @@ pub mod channel {
         /// Fetches a value if one is ready.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks until a value arrives, the timeout elapses, or all
+        /// senders are gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Iterates over received values, blocking between them.

@@ -27,6 +27,49 @@ fn bench(c: &mut Criterion) {
         b.iter(|| parse_message(std::hint::black_box(&invite)).unwrap())
     });
 
+    // Borrowed-view parse in isolation: this is the classifier's front
+    // line (every datagram, before any owned allocation), so the SWAR
+    // rewrite's win must be visible here, not just end-to-end.
+    group.bench_function("sip_parse_view_invite_with_sdp", |b| {
+        b.iter(|| vids::sip::view::parse_view(std::hint::black_box(&invite)).unwrap())
+    });
+
+    // Header-scan-only series: the raw SWAR walk every parse does before
+    // anything protocol-shaped happens — blank-line split, line
+    // iteration, colon split, case-insensitive name probes — measured on
+    // the scan primitives directly so scanning bandwidth is isolated
+    // from token/URI work.
+    let head_len = vids::scan::find_seq(invite.as_bytes(), b"\r\n\r\n").unwrap();
+    group.throughput(Throughput::Bytes(head_len as u64));
+    group.bench_function("sip_header_scan_only", |b| {
+        b.iter(|| {
+            let bytes = &std::hint::black_box(&invite).as_bytes()[..head_len];
+            let mut rest = bytes;
+            let mut hits = 0usize;
+            while !rest.is_empty() {
+                let line = match vids::scan::find_byte(rest, b'\n') {
+                    Some(i) => {
+                        let l = &rest[..i];
+                        rest = &rest[i + 1..];
+                        l.strip_suffix(b"\r").unwrap_or(l)
+                    }
+                    None => std::mem::take(&mut rest),
+                };
+                if let Some(colon) = vids::scan::find_byte(line, b':') {
+                    let name = &line[..colon];
+                    hits += usize::from(
+                        vids::scan::eq_ignore_case(name, b"call-id")
+                            || vids::scan::eq_ignore_case(name, b"via")
+                            || vids::scan::eq_ignore_case(name, b"cseq")
+                            || vids::scan::eq_ignore_case(name, b"content-length"),
+                    );
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.throughput(Throughput::Bytes(invite.len() as u64));
+
     let sdp_text = sdp.to_string();
     group.throughput(Throughput::Bytes(sdp_text.len() as u64));
     group.bench_function("sdp_parse_offer", |b| {
@@ -43,6 +86,14 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(rtp.len() as u64));
     group.bench_function("rtp_parse", |b| {
         b.iter(|| RtpPacket::parse(std::hint::black_box(&rtp)).unwrap())
+    });
+
+    // Header-only decode: what the ingest demux probe runs per media
+    // datagram (no payload copy), so the branchless fixed-header path is
+    // measured in isolation.
+    group.bench_function("rtp_decode_header", |b| {
+        use vids::rtp::packet::RtpHeader;
+        b.iter(|| RtpHeader::parse(std::hint::black_box(&rtp)).unwrap())
     });
 
     let rtcp = vids::rtp::RtcpPacket::SenderReport {

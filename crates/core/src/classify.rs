@@ -17,13 +17,13 @@
 //! steady-state packet whose strings have been seen before allocates
 //! nothing here.
 
-use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock};
+use std::cell::RefCell;
 
 use vids_efsm::intern::sym;
 use vids_efsm::{Event, Sym};
 use vids_netsim::packet::{Address, Packet, Payload, UDP_IP_OVERHEAD};
 use vids_rtp::packet::{ParseRtpError, RtpHeader};
+use vids_scan::fxhash::FxHashMap;
 use vids_sip::view::{parse_view, SipView, StartLine};
 use vids_sip::Method;
 
@@ -122,19 +122,24 @@ fn classify_rtp_bytes(bytes: &[u8], src: Address, dst: Address) -> Classified {
     }
 }
 
-/// Interns the dotted-quad text of a numeric ip, with a cache keyed on the
-/// `u32` so the steady-state path neither formats nor locks the interner's
-/// write side.
+/// Interns the dotted-quad text of a numeric ip, with a thread-local cache
+/// keyed on the `u32` so the steady-state path neither formats, hashes a
+/// string, nor takes any lock. The interner dedups across threads, so each
+/// worker's cache converges on the same `Sym` for the same address.
 pub fn ip_sym(ip: u32) -> Sym {
-    static CACHE: OnceLock<RwLock<HashMap<u32, Sym>>> = OnceLock::new();
-    let lock = CACHE.get_or_init(|| RwLock::new(HashMap::with_capacity(64)));
-    if let Some(&s) = lock.read().unwrap().get(&ip) {
-        return s;
+    thread_local! {
+        static CACHE: RefCell<FxHashMap<u32, Sym>> =
+            RefCell::new(FxHashMap::with_capacity_and_hasher(64, Default::default()));
     }
-    let [a, b, c, d] = ip.to_be_bytes();
-    let s = Sym::intern(&format!("{a}.{b}.{c}.{d}"));
-    lock.write().unwrap().insert(ip, s);
-    s
+    CACHE.with(|cache| {
+        if let Some(&s) = cache.borrow().get(&ip) {
+            return s;
+        }
+        let [a, b, c, d] = ip.to_be_bytes();
+        let s = Sym::intern(&format!("{a}.{b}.{c}.{d}"));
+        cache.borrow_mut().insert(ip, s);
+        s
+    })
 }
 
 /// The pre-seeded EFSM event name for a request method: `SIP.<METHOD>`.
@@ -281,10 +286,12 @@ fn scan_sdp(body: &str) -> Option<SdpScan<'_>> {
 }
 
 fn rtp_event(header: &RtpHeader, src: Address, dst: Address, wire_bytes: u64) -> Event {
+    // Arguments in ascending pre-seeded symbol-id order, so every sorted
+    // VarMap insert is an append rather than a probe-and-shift.
     Event::data(sym::RTP_PACKET)
         .with_sym(sym::SRC_IP, ip_sym(src.ip))
-        .with_uint(sym::SRC_PORT, src.port as u64)
         .with_sym(sym::DST_IP, ip_sym(dst.ip))
+        .with_uint(sym::SRC_PORT, src.port as u64)
         .with_uint(sym::DST_PORT, dst.port as u64)
         .with_uint(sym::SSRC, header.ssrc as u64)
         .with_uint(sym::SEQ, header.sequence_number as u64)

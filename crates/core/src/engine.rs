@@ -10,6 +10,7 @@
 //! exactly this engine's semantics.
 
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::Arc;
 
 use vids_efsm::network::NetworkOutcome;
@@ -68,6 +69,29 @@ pub(crate) const SWEEP_INTERVAL_MS: u64 = 100;
 pub(crate) struct ResponseMiss {
     /// The responder (reflection source).
     pub src_ip: Sym,
+}
+
+/// An alert scope that renders only on the suspicious (cold) path. The
+/// clean warm path carries this enum by value — never the `format!` the
+/// flood/registration scopes used to pay per packet.
+#[derive(Clone, Copy)]
+enum Scope<'a> {
+    /// A call-scoped delivery: the Call-ID text.
+    Call(&'a str),
+    /// A registration delivery, rendered `aor:<aor>`.
+    Aor(Sym),
+    /// A destination-pinned flood delivery, rendered `dst:<ip-word>`.
+    Dst(u32),
+}
+
+impl fmt::Display for Scope<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Call(id) => f.write_str(id),
+            Scope::Aor(aor) => write!(f, "aor:{aor}"),
+            Scope::Dst(ip) => write!(f, "dst:{ip}"),
+        }
+    }
 }
 
 /// The engine's telemetry attachment: one shard slab plus a transition
@@ -356,11 +380,11 @@ impl Vids {
             tel: self.telemetry.as_mut(),
             scope: aor,
         };
+        let target = self.factbase.solo_machine();
         let net = self.factbase.registration_mut(aor);
         net.advance_time_observed(now_ms, &mut obs);
-        let target = net.machine_by_name("register").unwrap();
         let outcome = net.deliver_observed(target, event, now_ms, &mut obs);
-        self.absorb(outcome, &format!("aor:{aor}"), aor, now_ms, None, sink);
+        self.absorb(outcome, Scope::Aor(aor), aor, now_ms, None, sink);
     }
 
     /// Fig. 4: every INVITE also feeds the per-destination flooding
@@ -378,11 +402,11 @@ impl Vids {
             tel: self.telemetry.as_mut(),
             scope,
         };
+        let target = self.factbase.solo_machine();
         let net = self.factbase.invite_flood_mut(dst_ip);
         net.advance_time_observed(now_ms, &mut obs);
-        let target = net.machine_by_name("flood").unwrap();
         let outcome = net.deliver_observed(target, event, now_ms, &mut obs);
-        self.absorb(outcome, &format!("dst:{dst_ip}"), scope, now_ms, None, sink);
+        self.absorb(outcome, Scope::Dst(dst_ip), scope, now_ms, None, sink);
     }
 
     /// The call-pinned part of a non-REGISTER SIP packet: delivery to the
@@ -400,19 +424,28 @@ impl Vids {
     ) -> Option<ResponseMiss> {
         self.counters.sip_packets += 1;
         self.tel_inc(Counter::SipPackets);
-        let known = self.factbase.call_mut(call_id).is_some();
-        if known || is_initial_invite {
-            if !known {
-                self.factbase.create_call(call_id, now_ms);
-                self.tel_inc(Counter::CallsCreated);
-            }
+        let known = self.factbase.call_idx(call_id);
+        if known.is_some() || is_initial_invite {
+            let idx = match known {
+                Some(idx) => idx,
+                None => {
+                    self.tel_inc(Counter::CallsCreated);
+                    self.factbase.create_call_idx(call_id, now_ms)
+                }
+            };
+            let sip = self.factbase.sip_machine();
             let mut obs = RingObserver {
                 tel: self.telemetry.as_mut(),
                 scope: call_id,
             };
-            let record = self.factbase.call_mut(call_id).unwrap();
-            let mut outcome = record.network.advance_time_observed(now_ms, &mut obs);
-            let sip = record.network.machine_by_name("sip").unwrap();
+            let record = self.factbase.record_mut(idx);
+            // Cached deadline: scan the timer maps only when something is
+            // actually due, not on every packet.
+            let mut outcome = if record.next_timer_ms <= now_ms {
+                record.network.advance_time_observed(now_ms, &mut obs)
+            } else {
+                NetworkOutcome::default()
+            };
             let delivered = record
                 .network
                 .deliver_observed(sip, event, now_ms, &mut obs);
@@ -421,13 +454,13 @@ impl Vids {
             outcome.nondeterministic |= delivered.nondeterministic;
             outcome.transitions += delivered.transitions;
             outcome.sync_deliveries += delivered.sync_deliveries;
-            self.factbase.refresh_media_index(call_id);
+            self.factbase.refresh_media_index_idx(idx);
             // The delivery may have armed/fired timers or changed finality:
             // re-file the call under its next wake deadline.
-            self.factbase.reindex_call(call_id);
+            self.factbase.reindex_idx(idx);
             self.absorb(
                 outcome,
-                call_id.as_str(),
+                Scope::Call(call_id.as_str()),
                 call_id,
                 now_ms,
                 Some(call_id.as_str()),
@@ -474,12 +507,12 @@ impl Vids {
             tel: self.telemetry.as_mut(),
             scope,
         };
+        let target = self.factbase.solo_machine();
         let net = self.factbase.response_flood_mut(dst_ip);
         net.advance_time_observed(now_ms, &mut obs);
-        let target = net.machine_by_name("response-flood").unwrap();
         let synthetic = Event::data(sym::SIP_RESPONSE_UNASSOCIATED).with_sym(sym::SRC_IP, src_ip);
         let outcome = net.deliver_observed(target, synthetic, now_ms, &mut obs);
-        self.absorb(outcome, &format!("dst:{dst_ip}"), scope, now_ms, None, sink);
+        self.absorb(outcome, Scope::Dst(dst_ip), scope, now_ms, None, sink);
     }
 
     /// An RTP packet: grouped with its call via the media index published
@@ -494,15 +527,22 @@ impl Vids {
         self.tel_inc(Counter::RtpPackets);
         let dst_ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
         let dst_port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
-        match self.factbase.media_lookup(dst_ip, dst_port) {
-            Some(call_id) => {
+        match self.factbase.media_lookup_idx(dst_ip, dst_port) {
+            Some(idx) => {
+                let call_id = self.factbase.id_of(idx);
+                let rtp = self.factbase.rtp_machine();
                 let mut obs = RingObserver {
                     tel: self.telemetry.as_mut(),
                     scope: call_id,
                 };
-                let record = self.factbase.call_mut(call_id).unwrap();
-                let mut outcome = record.network.advance_time_observed(now_ms, &mut obs);
-                let rtp = record.network.machine_by_name("rtp").unwrap();
+                let record = self.factbase.record_mut(idx);
+                // Cached deadline: scan the timer maps only when something
+                // is actually due, not on every packet.
+                let mut outcome = if record.next_timer_ms <= now_ms {
+                    record.network.advance_time_observed(now_ms, &mut obs)
+                } else {
+                    NetworkOutcome::default()
+                };
                 let delivered = record
                     .network
                     .deliver_observed(rtp, event, now_ms, &mut obs);
@@ -514,10 +554,10 @@ impl Vids {
                 // Warm RTP packets take the active→active self-loop, which
                 // re-arms nothing — this reindex is then a no-op compare,
                 // keeping the warm path allocation-free.
-                self.factbase.reindex_call(call_id);
+                self.factbase.reindex_idx(idx);
                 self.absorb(
                     outcome,
-                    call_id.as_str(),
+                    Scope::Call(call_id.as_str()),
                     call_id,
                     now_ms,
                     Some(call_id.as_str()),
@@ -592,16 +632,23 @@ impl Vids {
         // sweep output independent of interning/hash order so single-engine
         // runs stay comparable with sharded ones.
         let due = self.factbase.due_calls(now_ms);
-        for &id in &due {
+        for &idx in &due {
+            let id = self.factbase.id_of(idx);
             let mut obs = RingObserver {
                 tel: self.telemetry.as_mut(),
                 scope: id,
             };
-            if let Some(record) = self.factbase.call_mut(id) {
-                let outcome = record.network.advance_time_observed(now_ms, &mut obs);
-                if outcome.transitions > 0 || outcome.is_suspicious() {
-                    self.absorb(outcome, id.as_str(), id, now_ms, Some(id.as_str()), sink);
-                }
+            let record = self.factbase.record_mut(idx);
+            let outcome = record.network.advance_time_observed(now_ms, &mut obs);
+            if outcome.transitions > 0 || outcome.is_suspicious() {
+                self.absorb(
+                    outcome,
+                    Scope::Call(id.as_str()),
+                    id,
+                    now_ms,
+                    Some(id.as_str()),
+                    sink,
+                );
             }
         }
         let evicted = self.factbase.sweep_due(&due, now_ms);
@@ -610,11 +657,13 @@ impl Vids {
 
     /// Converts a network outcome into deduplicated alerts. `scope_sym` is
     /// the interned form of the scope, used to pull the scope's transition
-    /// history out of the telemetry ring for alert forensics.
+    /// history out of the telemetry ring for alert forensics. `scope` is
+    /// rendered only past the clean-path early return, so the per-packet
+    /// call sites never pay its formatting.
     fn absorb<S: AlertSink + ?Sized>(
         &mut self,
         outcome: NetworkOutcome,
-        scope: &str,
+        scope: Scope<'_>,
         scope_sym: Sym,
         now_ms: u64,
         call_id: Option<&str>,

@@ -8,12 +8,13 @@
 //! after a grace period (§7.3), keeping memory proportional to *ongoing*
 //! calls only.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use vids_efsm::machine::MachineDef;
-use vids_efsm::network::Network;
-use vids_efsm::{Sym, SymKey};
+use vids_efsm::network::{MachineId, Network};
+use vids_efsm::{sym, Sym, SymKey};
+use vids_scan::fxhash::FxHashMap;
 
 use crate::config::Config;
 use crate::machines::flood::{invite_flood_machine, response_flood_machine};
@@ -29,6 +30,29 @@ const WHEEL_BUCKET_MS: u64 = 100;
 /// Sentinel bucket for "not indexed in the wheel".
 const NO_BUCKET: u64 = u64::MAX;
 
+/// Dense slab index naming one monitored call. The engine's hot paths
+/// resolve a Call-ID (or media coordinates) to a `CallIdx` once and then
+/// touch the call's slot by direct indexing — no further hashing. An index
+/// is valid until the call it names is evicted; freed indices are reused
+/// for later calls, which is safe because every side table that stores a
+/// `CallIdx` (media index, expiry wheel) is scrubbed or stamp-checked at
+/// eviction/pop time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CallIdx(u32);
+
+impl CallIdx {
+    #[inline]
+    fn i(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One occupied slab slot: the call's id plus its record.
+struct Slot {
+    id: Sym,
+    record: CallRecord,
+}
+
 /// One monitored call: its EFSM network plus bookkeeping.
 pub struct CallRecord {
     /// The communicating SIP+RTP machine network.
@@ -41,6 +65,17 @@ pub struct CallRecord {
     /// ([`NO_BUCKET`] when the call has no pending wake deadline). Entries
     /// in other buckets are stale and skipped when popped.
     wheel_bucket: u64,
+    /// The network's earliest armed timer deadline (`u64::MAX` when none),
+    /// cached by [`FactBase::reindex_idx`] so per-packet ingest can skip
+    /// `advance_time` without scanning the timer maps. Engine paths that
+    /// deliver events reindex afterwards, keeping this coherent; code that
+    /// drives `record.network` directly must not rely on it.
+    pub(crate) next_timer_ms: u64,
+    /// The media-index keys this call has published (at most one per
+    /// endpoint in practice). Eviction removes exactly these entries —
+    /// after checking they still point at this slot — instead of scanning
+    /// the whole index.
+    media_keys: Vec<(Sym, u64)>,
 }
 
 /// Aggregate fact-base statistics.
@@ -63,19 +98,37 @@ pub struct FactBase {
     invite_flood_def: Arc<MachineDef>,
     response_flood_def: Arc<MachineDef>,
     registration_def: Arc<MachineDef>,
-    calls: HashMap<Sym, CallRecord>,
-    /// `(media ip, media port) -> call id`, rebuilt from the call-global
+    /// Call-ID → slab index. Fx-hashed: the keys are interned symbols (a
+    /// `u32` each), not attacker-chosen strings — HashDoS pressure lands on
+    /// the interner's own SipHash table, never here.
+    calls: FxHashMap<Sym, CallIdx>,
+    /// The call slots themselves. Dense and index-stable: a call keeps its
+    /// slot for its whole life, so the hot paths re-touch the same cache
+    /// lines instead of re-probing a hash table per packet.
+    slab: Vec<Option<Slot>>,
+    /// Vacated slab indices awaiting reuse.
+    free: Vec<CallIdx>,
+    /// `(media ip, media port) -> call slot`, rebuilt from the call-global
     /// variables the SIP machine publishes. Interned keys: probing on the
-    /// RTP hot path is a `u32` hash, never a string allocation.
-    media_index: HashMap<(Sym, u64), Sym>,
-    invite_flood: HashMap<u32, Network>,
-    response_flood: HashMap<u32, Network>,
-    registrations: HashMap<Sym, Network>,
+    /// RTP hot path is a couple of word hashes, never a string allocation.
+    media_index: FxHashMap<(Sym, u64), CallIdx>,
+    invite_flood: FxHashMap<u32, Network>,
+    response_flood: FxHashMap<u32, Network>,
+    registrations: FxHashMap<Sym, Network>,
     /// Coarse time-wheel over call wake deadlines (armed timers, pending
-    /// eviction stamps, grace-period expiries): bucket → call ids filed
+    /// eviction stamps, grace-period expiries): bucket → call slots filed
     /// there. A sweep visits only the calls whose bucket fell due, so a
     /// sweep over N idle calls costs O(expiring), not O(N log N).
-    wheel: BTreeMap<u64, Vec<Sym>>,
+    wheel: BTreeMap<u64, Vec<CallIdx>>,
+    /// The SIP machine's id inside every per-call network (machine ids are
+    /// positional and every call network is built the same way, so one
+    /// capture at construction serves them all).
+    sip_machine: MachineId,
+    /// The RTP machine's id inside every per-call network.
+    rtp_machine: MachineId,
+    /// The sole machine's id inside every single-machine network (flood,
+    /// response-flood, registration).
+    solo_machine: MachineId,
     stats: FactBaseStats,
 }
 
@@ -84,21 +137,52 @@ impl FactBase {
     /// shared by every call (this sharing is what keeps per-call memory at
     /// the tens-of-bytes level of §7.3).
     pub fn new(config: Config) -> Self {
+        let sip_def = Arc::new(sip_call_machine(&config));
+        let rtp_def = Arc::new(rtp_session_machine(&config));
+        let invite_flood_def = Arc::new(invite_flood_machine(&config));
+        // Machine ids are positional: capture them from throwaway networks
+        // built exactly like the real ones, so the engine never resolves a
+        // machine by name on the per-packet path.
+        let mut proto = Network::new();
+        let sip_machine = proto.add_machine(Arc::clone(&sip_def));
+        let rtp_machine = proto.add_machine(Arc::clone(&rtp_def));
+        let mut solo_proto = Network::new();
+        let solo_machine = solo_proto.add_machine(Arc::clone(&invite_flood_def));
         FactBase {
-            sip_def: Arc::new(sip_call_machine(&config)),
-            rtp_def: Arc::new(rtp_session_machine(&config)),
-            invite_flood_def: Arc::new(invite_flood_machine(&config)),
+            sip_def,
+            rtp_def,
+            invite_flood_def,
             response_flood_def: Arc::new(response_flood_machine(&config)),
             registration_def: Arc::new(registration_machine()),
             config,
-            calls: HashMap::new(),
-            media_index: HashMap::new(),
-            invite_flood: HashMap::new(),
-            response_flood: HashMap::new(),
-            registrations: HashMap::new(),
+            calls: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            media_index: FxHashMap::default(),
+            invite_flood: FxHashMap::default(),
+            response_flood: FxHashMap::default(),
+            registrations: FxHashMap::default(),
             wheel: BTreeMap::new(),
+            sip_machine,
+            rtp_machine,
+            solo_machine,
             stats: FactBaseStats::default(),
         }
+    }
+
+    /// The SIP machine's id in every per-call network.
+    pub(crate) fn sip_machine(&self) -> MachineId {
+        self.sip_machine
+    }
+
+    /// The RTP machine's id in every per-call network.
+    pub(crate) fn rtp_machine(&self) -> MachineId {
+        self.rtp_machine
+    }
+
+    /// The sole machine's id in every flood / registration network.
+    pub(crate) fn solo_machine(&self) -> MachineId {
+        self.solo_machine
     }
 
     /// The number of currently monitored calls.
@@ -111,16 +195,37 @@ impl FactBase {
         self.stats
     }
 
+    /// The slab index of a monitored call, for the engine's idx-based hot
+    /// path.
+    #[inline]
+    pub(crate) fn call_idx(&self, call_id: Sym) -> Option<CallIdx> {
+        self.calls.get(&call_id).copied()
+    }
+
+    /// The Call-ID filed in a live slot.
+    #[inline]
+    pub(crate) fn id_of(&self, idx: CallIdx) -> Sym {
+        self.slab[idx.i()].as_ref().expect("live call slot").id
+    }
+
+    /// Direct record access by slab index.
+    #[inline]
+    pub(crate) fn record_mut(&mut self, idx: CallIdx) -> &mut CallRecord {
+        &mut self.slab[idx.i()].as_mut().expect("live call slot").record
+    }
+
     /// Access a monitored call. Accepts a `Sym` or a raw `&str`; a string
     /// nobody ever interned cannot name a monitored call, so the miss path
     /// neither allocates nor grows the interner.
     pub fn call_mut(&mut self, call_id: impl SymKey) -> Option<&mut CallRecord> {
-        self.calls.get_mut(&call_id.find_sym()?)
+        let idx = self.call_idx(call_id.find_sym()?)?;
+        Some(self.record_mut(idx))
     }
 
     /// Shared access (introspection in tests and examples).
     pub fn call(&self, call_id: impl SymKey) -> Option<&CallRecord> {
-        self.calls.get(&call_id.find_sym()?)
+        let idx = self.call_idx(call_id.find_sym()?)?;
+        Some(&self.slab[idx.i()].as_ref()?.record)
     }
 
     /// Call-IDs currently monitored (unordered).
@@ -128,52 +233,98 @@ impl FactBase {
         self.calls.keys().copied()
     }
 
-    /// Instantiates the per-call machine network for a new call.
-    pub fn create_call(&mut self, call_id: impl SymKey, now_ms: u64) -> &mut CallRecord {
+    /// Instantiates the per-call machine network for a new call, returning
+    /// its slab index.
+    pub(crate) fn create_call_idx(&mut self, call_id: impl SymKey, now_ms: u64) -> CallIdx {
         let call_id = call_id.to_sym();
         self.stats.calls_created += 1;
-        let mut network = Network::new();
-        network.add_machine(Arc::clone(&self.sip_def));
-        network.add_machine(Arc::clone(&self.rtp_def));
-        if !self.config.cross_protocol_sync {
-            network.disable_sync();
-        }
-        let record = CallRecord {
-            network,
-            created_ms: now_ms,
-            final_since_ms: None,
-            wheel_bucket: NO_BUCKET,
+        let idx = match self.calls.get(&call_id) {
+            Some(&idx) => idx,
+            None => {
+                let mut network = Network::new();
+                network.add_machine(Arc::clone(&self.sip_def));
+                network.add_machine(Arc::clone(&self.rtp_def));
+                if !self.config.cross_protocol_sync {
+                    network.disable_sync();
+                }
+                let slot = Slot {
+                    id: call_id,
+                    record: CallRecord {
+                        network,
+                        created_ms: now_ms,
+                        final_since_ms: None,
+                        wheel_bucket: NO_BUCKET,
+                        next_timer_ms: u64::MAX,
+                        media_keys: Vec::new(),
+                    },
+                };
+                let idx = match self.free.pop() {
+                    Some(idx) => {
+                        self.slab[idx.i()] = Some(slot);
+                        idx
+                    }
+                    None => {
+                        self.slab.push(Some(slot));
+                        CallIdx((self.slab.len() - 1) as u32)
+                    }
+                };
+                self.calls.insert(call_id, idx);
+                idx
+            }
         };
-        self.calls.entry(call_id).or_insert(record);
         self.stats.peak_concurrent = self.stats.peak_concurrent.max(self.calls.len());
         // File the call due-now: the next sweep visits it once, observes its
         // real timers/finality, and re-files it under the proper bucket.
         // Callers that drive the network directly (tests, examples) stay
         // sweepable without an explicit reindex after every delivery.
         let bucket = now_ms / WHEEL_BUCKET_MS;
-        let record = self.calls.get_mut(&call_id).unwrap();
+        let record = self.record_mut(idx);
         if record.wheel_bucket != bucket {
             record.wheel_bucket = bucket;
-            self.wheel.entry(bucket).or_default().push(call_id);
+            self.wheel.entry(bucket).or_default().push(idx);
         }
-        self.calls.get_mut(&call_id).unwrap()
+        idx
+    }
+
+    /// Instantiates the per-call machine network for a new call.
+    pub fn create_call(&mut self, call_id: impl SymKey, now_ms: u64) -> &mut CallRecord {
+        let idx = self.create_call_idx(call_id, now_ms);
+        self.record_mut(idx)
     }
 
     /// Re-reads a call's global variables and refreshes the media index so
     /// RTP packets can be grouped with the call. Call after every SIP event
     /// delivered to the call.
     pub fn refresh_media_index(&mut self, call_id: Sym) {
-        let Some(record) = self.calls.get(&call_id) else {
-            return;
-        };
-        let globals = record.network.globals();
-        for (ip_var, port_var) in [
-            ("g_caller_media_ip", "g_caller_media_port"),
-            ("g_callee_media_ip", "g_callee_media_port"),
-        ] {
-            if let (Some(ip), Some(port)) = (globals.sym(ip_var), globals.uint(port_var)) {
-                if ip != vids_efsm::sym::EMPTY && port != 0 {
-                    self.media_index.insert((ip, port), call_id);
+        if let Some(idx) = self.call_idx(call_id) {
+            self.refresh_media_index_idx(idx);
+        }
+    }
+
+    /// [`FactBase::refresh_media_index`] by slab index. The global-variable
+    /// reads are keyed by pre-seeded symbols, so the warm no-change case is
+    /// four inline `VarMap` probes and two equality checks.
+    pub(crate) fn refresh_media_index_idx(&mut self, idx: CallIdx) {
+        let slot = self.slab[idx.i()].as_mut().expect("live call slot");
+        let globals = slot.record.network.globals();
+        let published = [
+            (
+                globals.sym(sym::G_CALLER_MEDIA_IP),
+                globals.uint(sym::G_CALLER_MEDIA_PORT),
+            ),
+            (
+                globals.sym(sym::G_CALLEE_MEDIA_IP),
+                globals.uint(sym::G_CALLEE_MEDIA_PORT),
+            ),
+        ];
+        for (ip, port) in published {
+            if let (Some(ip), Some(port)) = (ip, port) {
+                if ip != sym::EMPTY && port != 0 {
+                    let key = (ip, port);
+                    if !slot.record.media_keys.contains(&key) {
+                        slot.record.media_keys.push(key);
+                    }
+                    self.media_index.insert(key, idx);
                 }
             }
         }
@@ -181,7 +332,14 @@ impl FactBase {
 
     /// Looks up the call owning a media endpoint.
     pub fn media_lookup(&self, ip: impl SymKey, port: u64) -> Option<Sym> {
-        self.media_index.get(&(ip.find_sym()?, port)).copied()
+        Some(self.id_of(self.media_lookup_idx(ip.find_sym()?, port)?))
+    }
+
+    /// [`FactBase::media_lookup`] returning the slab index, for the RTP hot
+    /// path.
+    #[inline]
+    pub(crate) fn media_lookup_idx(&self, ip: Sym, port: u64) -> Option<CallIdx> {
+        self.media_index.get(&(ip, port)).copied()
     }
 
     /// The per-destination INVITE-flood machine (Fig. 4), created on first
@@ -227,12 +385,11 @@ impl FactBase {
     /// timers or finality. Old wheel entries are not removed eagerly;
     /// [`FactBase::due_calls`] skips entries whose bucket no longer
     /// matches the record.
-    pub(crate) fn reindex_call(&mut self, call_id: Sym) {
+    pub(crate) fn reindex_idx(&mut self, idx: CallIdx) {
         let delay = self.config.eviction_delay.as_millis();
-        let Some(record) = self.calls.get_mut(&call_id) else {
-            return;
-        };
+        let record = &mut self.slab[idx.i()].as_mut().expect("live call slot").record;
         let timer = record.network.next_timer_deadline();
+        record.next_timer_ms = timer.unwrap_or(u64::MAX);
         let finality = if record.network.all_final() {
             Some(match record.final_since_ms {
                 // Not yet stamped: the next sweep must see the call to
@@ -260,38 +417,40 @@ impl FactBase {
         }
         record.wheel_bucket = bucket;
         if bucket != NO_BUCKET {
-            self.wheel.entry(bucket).or_default().push(call_id);
+            self.wheel.entry(bucket).or_default().push(idx);
         }
     }
 
     /// Pops every wheel bucket at or before `now_ms` and returns the live
-    /// call ids filed there, text-ordered. The returned calls are
-    /// unfiled: the caller must follow up with [`FactBase::sweep_due`]
+    /// call slots filed there, in Call-ID text order. The returned calls
+    /// are unfiled: the caller must follow up with [`FactBase::sweep_due`]
     /// (which re-files survivors) or re-filing is lost.
-    pub(crate) fn due_calls(&mut self, now_ms: u64) -> Vec<Sym> {
+    pub(crate) fn due_calls(&mut self, now_ms: u64) -> Vec<CallIdx> {
         let mut due = Vec::new();
         let horizon = now_ms / WHEEL_BUCKET_MS;
         while let Some((&bucket, _)) = self.wheel.first_key_value() {
             if bucket > horizon {
                 break;
             }
-            let ids = self.wheel.remove(&bucket).unwrap_or_default();
-            for id in ids {
-                if let Some(record) = self.calls.get_mut(&id) {
-                    // Entries orphaned by reindexing are stale; the live
-                    // filing is the one the record points back at. This
-                    // also deduplicates a call re-filed into the same
+            let idxs = self.wheel.remove(&bucket).unwrap_or_default();
+            for idx in idxs {
+                if let Some(slot) = self.slab[idx.i()].as_mut() {
+                    // Entries orphaned by reindexing (or left behind by an
+                    // evicted call whose slot was reused) are stale; the
+                    // live filing is the one the record points back at.
+                    // This also deduplicates a call re-filed into the same
                     // bucket twice.
-                    if record.wheel_bucket == bucket {
-                        record.wheel_bucket = NO_BUCKET;
-                        due.push(id);
+                    if slot.record.wheel_bucket == bucket {
+                        slot.record.wheel_bucket = NO_BUCKET;
+                        due.push(idx);
                     }
                 }
             }
         }
-        // Text order, not slot order: interner ids depend on arrival
-        // interleaving, so only the string is deterministic across runs.
-        due.sort_unstable_by_key(|id| id.as_str());
+        // Text order, not slot order: slot and interner ids depend on
+        // arrival interleaving, so only the string is deterministic across
+        // runs.
+        due.sort_unstable_by_key(|&idx| self.id_of(idx).as_str());
         due
     }
 
@@ -299,29 +458,40 @@ impl FactBase {
     /// longer than the configured grace period; survivors are re-filed in
     /// the wheel. Returns the evicted call ids in the order given (the
     /// text order of [`FactBase::due_calls`]).
-    pub(crate) fn sweep_due(&mut self, due: &[Sym], now_ms: u64) -> Vec<Sym> {
+    pub(crate) fn sweep_due(&mut self, due: &[CallIdx], now_ms: u64) -> Vec<Sym> {
         let delay = self.config.eviction_delay.as_millis();
-        let mut evicted = Vec::new();
-        for &id in due {
-            let Some(record) = self.calls.get_mut(&id) else {
+        let mut expired = Vec::new();
+        for &idx in due {
+            let Some(slot) = self.slab[idx.i()].as_mut() else {
                 continue;
             };
+            let record = &mut slot.record;
             if record.network.all_final() {
                 let since = *record.final_since_ms.get_or_insert(now_ms);
                 if now_ms.saturating_sub(since) >= delay {
-                    evicted.push(id);
+                    expired.push(idx);
                     continue;
                 }
             } else {
                 record.final_since_ms = None;
             }
             // Still monitored: re-file under the next wake deadline.
-            self.reindex_call(id);
+            self.reindex_idx(idx);
         }
-        for id in &evicted {
-            self.calls.remove(id);
-            self.media_index.retain(|_, call| call != id);
+        let mut evicted = Vec::with_capacity(expired.len());
+        for idx in expired {
+            let slot = self.slab[idx.i()].take().expect("live call slot");
+            self.calls.remove(&slot.id);
+            for key in &slot.record.media_keys {
+                // A later call may have republished the same coordinates;
+                // only entries still pointing at this slot are ours to drop.
+                if self.media_index.get(key) == Some(&idx) {
+                    self.media_index.remove(key);
+                }
+            }
+            self.free.push(idx);
             self.stats.calls_evicted += 1;
+            evicted.push(slot.id);
         }
         evicted
     }
@@ -342,14 +512,15 @@ impl FactBase {
     /// shared and excluded, exactly as the paper argues in §7.3.
     pub fn memory_bytes(&self) -> usize {
         let calls: usize = self
-            .calls
+            .slab
             .iter()
-            .map(|(id, r)| id.as_str().len() + r.network.memory_bytes() + 32)
+            .flatten()
+            .map(|slot| slot.id.as_str().len() + slot.record.network.memory_bytes() + 32)
             .sum();
         let index: usize = self
             .media_index
             .iter()
-            .map(|((ip, _), call)| ip.as_str().len() + 8 + call.as_str().len())
+            .map(|((ip, _), &idx)| ip.as_str().len() + 8 + self.id_of(idx).as_str().len())
             .sum();
         let floods: usize = self
             .invite_flood

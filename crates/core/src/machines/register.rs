@@ -76,6 +76,9 @@ pub fn registration_machine() -> MachineDef {
 
     def.add_transition(hijack, "*", hijack);
 
+    // Predicates partition on (same_owner, is_deregister); verified by the
+    // busy-call determinism test and the debug-build exhaustive scan.
+    def.declare_deterministic();
     def.build()
         .expect("registration machine definition is valid")
 }

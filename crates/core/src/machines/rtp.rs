@@ -313,6 +313,10 @@ pub fn rtp_session_machine(config: &Config) -> MachineDef {
         def.add_transition(s, "*", s);
     }
 
+    // Predicates partition on `PacketClass` (an exhaustive enum match per
+    // transition) and the flood budget; verified by the busy-call
+    // determinism test and the debug-build exhaustive scan.
+    def.declare_deterministic();
     def.build().expect("rtp machine definition is valid")
 }
 

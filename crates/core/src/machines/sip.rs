@@ -312,6 +312,10 @@ pub fn sip_call_machine(config: &Config) -> MachineDef {
     def.add_transition(spoofed_cancel, "*", spoofed_cancel);
 
     let _ = linger_ms; // linger currently fixed at 8 s in the actions above
+
+    // Predicates partition on dialog/CSeq ownership per state; verified by
+    // the busy-call determinism test and the debug-build exhaustive scan.
+    def.declare_deterministic();
     def.build().expect("sip machine definition is valid")
 }
 

@@ -40,7 +40,7 @@
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
@@ -51,6 +51,7 @@ use std::time::Instant;
 use vids_efsm::{sym, Event, Sym};
 use vids_netsim::packet::Packet;
 use vids_netsim::time::SimTime;
+use vids_scan::fxhash::FxHashMap;
 use vids_telemetry::{Counter, Gauge, HistId, Registry, Snapshot};
 
 use crate::alert::{Alert, AlertKind};
@@ -503,8 +504,9 @@ pub struct VidsPool {
     /// Read-mostly mirror of every shard's media index: negotiated media
     /// coordinates → owning shard. Written only during sequential routing;
     /// probed per RTP packet, so the key is an interned symbol and the probe
-    /// never allocates.
-    media_to_shard: HashMap<(Sym, u64), usize>,
+    /// never allocates. Not maintained for single-shard pools, which route
+    /// everything to shard 0 without hashing.
+    media_to_shard: FxHashMap<(Sym, u64), usize>,
     config: Config,
     cost: CostModel,
     cpu: CpuAccount,
@@ -555,7 +557,7 @@ impl VidsPool {
         let n = config.shards.max(1);
         VidsPool {
             shards: (0..n).map(|_| Vids::with_cost(config, cost)).collect(),
-            media_to_shard: HashMap::new(),
+            media_to_shard: FxHashMap::default(),
             config,
             cost,
             cpu: CpuAccount::new(),
@@ -745,18 +747,20 @@ impl VidsPool {
         // call, destination or media key to shard by.
         let mut queues = std::mem::take(&mut self.queues);
         let mut classified = std::mem::take(&mut self.classified);
+        let mut misses = std::mem::take(&mut self.scratch_misses);
+        let direct = self.direct_dispatch(packets.len());
         for (idx, (packet, c)) in packets.iter().zip(classified.drain(..)).enumerate() {
             self.cpu.charge(self.cost.cpu_for(packet));
             let t = now_ms
                 .max(packet.sent_at.as_millis())
                 .max(self.last_packet_ms);
             self.last_packet_ms = t;
-            self.route_one(idx, t, c, &mut queues, &mut tagged);
+            self.route_one(idx, t, c, direct, &mut queues, &mut tagged, &mut misses);
         }
         self.classified = classified;
 
         // Phases 3–5: drain, deferred DRDoS counting, deterministic merge.
-        self.drain_and_merge(queues, tagged, sink);
+        self.drain_and_merge(queues, tagged, misses, sink);
     }
 
     /// Processes a batch of wire-classified datagrams, pushing alerts into
@@ -803,28 +807,60 @@ impl VidsPool {
         // pass. The cost model charges by what the datagram claimed to be,
         // matching `cpu_for` on the equivalent `Packet`.
         let mut queues = std::mem::take(&mut self.queues);
+        let mut misses = std::mem::take(&mut self.scratch_misses);
+        let direct = self.direct_dispatch(events.len());
         for (idx, ev) in events.drain(..).enumerate() {
             self.cpu
                 .charge(self.cost.cpu_for_classified(&ev.classified));
             let t = now_ms.max(ev.at.as_millis()).max(self.last_packet_ms);
             self.last_packet_ms = t;
-            self.route_one(idx, t, ev.classified, &mut queues, &mut tagged);
+            self.route_one(
+                idx,
+                t,
+                ev.classified,
+                direct,
+                &mut queues,
+                &mut tagged,
+                &mut misses,
+            );
         }
 
-        self.drain_and_merge(queues, tagged, sink);
+        self.drain_and_merge(queues, tagged, misses, sink);
+    }
+
+    /// Whether this batch should bypass the shard queues and ingest parts
+    /// during the routing pass. True whenever the drain phase would run on
+    /// the calling thread anyway: no worker runtime, a single hardware
+    /// thread, a single shard, or a batch too small to amortize a handoff.
+    fn direct_dispatch(&self, batch_len: usize) -> bool {
+        self.runtime.is_none()
+            || self.workers == 1
+            || self.shards.len() == 1
+            || batch_len < PARALLEL_DRAIN_THRESHOLD
     }
 
     /// Phase 2 body shared by the packet and wire batch paths: assigns one
     /// routed part per protocol role, publishes media coordinates, and
     /// consumes malformed/ignored traffic (it has no call, destination or
     /// media key to shard by).
+    ///
+    /// With `direct` set the part skips the shard queue and is ingested
+    /// right here: the batch was going to drain on this thread anyway
+    /// (single worker, single shard, or below the parallel threshold), so
+    /// queueing would only add two ~500-byte `Event` moves per packet.
+    /// Per-shard event order is identical either way — routing is the
+    /// sequential packet-order pass — and the merge keys make the final
+    /// alert order independent of the choice.
+    #[allow(clippy::too_many_arguments)]
     fn route_one(
         &mut self,
         idx: usize,
         t: u64,
         c: Classified,
+        direct: bool,
         queues: &mut [Vec<Routed>],
         tagged: &mut Vec<(MergeKey, Alert)>,
+        misses: &mut Vec<Miss>,
     ) {
         let n = self.shards.len();
         match c {
@@ -838,58 +874,79 @@ impl VidsPool {
                 if event.name == sym::SIP_REGISTER {
                     let aor = event.str_arg("aor").unwrap_or("");
                     let shard = self.shard_of(aor.as_bytes());
-                    queues[shard].push((idx, t, Part::Register(event)));
+                    let part = Part::Register(event);
+                    if direct {
+                        ingest_part(&mut self.shards[shard], idx, t, part, tagged, misses);
+                    } else {
+                        queues[shard].push((idx, t, part));
+                    }
                     return;
                 }
                 let shard = self.shard_of(call_id.as_str().as_bytes());
                 if event.name == sym::SIP_INVITE {
                     let flood_shard = self.shard_of(&dst_ip.to_le_bytes());
-                    queues[flood_shard].push((
-                        idx,
-                        t,
-                        Part::InviteFlood {
-                            event: event.clone(),
-                            dst_ip,
-                        },
-                    ));
+                    let part = Part::InviteFlood {
+                        event: event.clone(),
+                        dst_ip,
+                    };
+                    if direct {
+                        ingest_part(&mut self.shards[flood_shard], idx, t, part, tagged, misses);
+                    } else {
+                        queues[flood_shard].push((idx, t, part));
+                    }
                 }
-                if event.bool_arg("has_sdp") {
+                if n > 1 && event.bool_arg("has_sdp") {
                     if let (Some(ip), Some(port)) =
                         (event.sym_arg(sym::SDP_IP), event.uint_arg(sym::SDP_PORT))
                     {
                         self.media_to_shard.insert((ip, port), shard);
                     }
                 }
-                queues[shard].push((
-                    idx,
-                    t,
-                    Part::Call {
-                        call_id,
-                        event,
-                        is_initial_invite,
-                        is_request,
-                        dst_ip,
-                    },
-                ));
+                let part = Part::Call {
+                    call_id,
+                    event,
+                    is_initial_invite,
+                    is_request,
+                    dst_ip,
+                };
+                if direct {
+                    ingest_part(&mut self.shards[shard], idx, t, part, tagged, misses);
+                } else {
+                    queues[shard].push((idx, t, part));
+                }
             }
             Classified::Rtp { event } => {
-                let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
-                let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
-                let shard = self
-                    .media_to_shard
-                    .get(&(ip, port))
-                    .copied()
-                    .unwrap_or_else(|| {
-                        // No call negotiated these coordinates: route by
-                        // their hash so any shard count flags the same
-                        // packet as unassociated exactly once.
-                        let mut h = fnv1a(ip.as_str().as_bytes());
-                        for byte in port.to_le_bytes() {
-                            h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
-                        }
-                        (h % n as u64) as usize
-                    });
-                queues[shard].push((idx, t, Part::Rtp(event)));
+                let shard = if n == 1 {
+                    0
+                } else {
+                    let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
+                    let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
+                    self.media_to_shard
+                        .get(&(ip, port))
+                        .copied()
+                        .unwrap_or_else(|| {
+                            // No call negotiated these coordinates: route by
+                            // their hash so any shard count flags the same
+                            // packet as unassociated exactly once.
+                            let mut h = fnv1a(ip.as_str().as_bytes());
+                            for byte in port.to_le_bytes() {
+                                h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                            }
+                            (h % n as u64) as usize
+                        })
+                };
+                if direct {
+                    ingest_part(
+                        &mut self.shards[shard],
+                        idx,
+                        t,
+                        Part::Rtp(event),
+                        tagged,
+                        misses,
+                    );
+                } else {
+                    queues[shard].push((idx, t, Part::Rtp(event)));
+                }
             }
             Classified::Malformed { protocol, reason } => {
                 self.extra.malformed += 1;
@@ -918,11 +975,12 @@ impl VidsPool {
         &mut self,
         mut queues: Vec<Vec<Routed>>,
         mut tagged: Vec<(MergeKey, Alert)>,
+        mut misses: Vec<Miss>,
         sink: &mut S,
     ) {
         // Phase 3: drain every shard's queue — on the persistent workers
-        // when the batch is big enough, inline otherwise.
-        let mut misses = std::mem::take(&mut self.scratch_misses);
+        // when the batch is big enough, inline otherwise. Direct-dispatch
+        // batches arrive with empty queues and this pass is a no-op.
         self.drain_shards(&mut queues, &mut tagged, &mut misses);
         self.queues = queues;
 
@@ -981,6 +1039,9 @@ impl VidsPool {
     }
 
     fn shard_of(&self, bytes: &[u8]) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
         (fnv1a(bytes) % self.shards.len() as u64) as usize
     }
 
@@ -1173,10 +1234,14 @@ impl VidsPool {
         }
         // Drop routing entries for media the shards just evicted, keeping
         // the pool index in lock-step with the per-shard media indexes.
-        let shards = &self.shards;
-        self.media_to_shard.retain(|(ip, port), shard| {
-            shards[*shard].factbase().media_lookup(*ip, *port).is_some()
-        });
+        // Single-shard pools never populate the index, so there is nothing
+        // to keep in step.
+        if self.shards.len() > 1 {
+            let shards = &self.shards;
+            self.media_to_shard.retain(|(ip, port), shard| {
+                shards[*shard].factbase().media_lookup(*ip, *port).is_some()
+            });
+        }
     }
 
     /// Test hook: pretends the host has `workers` hardware threads so the
@@ -1211,43 +1276,53 @@ fn drain_one(
     misses: &mut Vec<Miss>,
 ) {
     for (idx, t, part) in queue.drain(..) {
-        match part {
-            Part::Register(event) => {
-                let mut sink = TaggedSink::packet(alerts, idx, 2);
-                vids.ingest_register(event, t, &mut sink);
-            }
-            Part::InviteFlood { event, dst_ip } => {
-                let mut sink = TaggedSink::packet(alerts, idx, 1);
-                vids.ingest_invite_flood(event, dst_ip, t, &mut sink);
-            }
-            Part::Call {
-                call_id,
-                event,
-                is_initial_invite,
-                is_request,
-                dst_ip,
-            } => {
-                let mut sink = TaggedSink::packet(alerts, idx, 2);
-                if let Some(miss) = vids.ingest_call_event(
-                    call_id,
-                    event,
-                    is_initial_invite,
-                    is_request,
+        ingest_part(vids, idx, t, part, alerts, misses);
+    }
+}
+
+/// Delivers one routed part to its shard engine, tagging every alert with
+/// its merge key. Shared by the queued drain path and the direct-dispatch
+/// routing pass; per-shard order is the same under both because routing is
+/// the sequential packet-order pass.
+fn ingest_part(
+    vids: &mut Vids,
+    idx: usize,
+    t: u64,
+    part: Part,
+    alerts: &mut Vec<(MergeKey, Alert)>,
+    misses: &mut Vec<Miss>,
+) {
+    match part {
+        Part::Register(event) => {
+            let mut sink = TaggedSink::packet(alerts, idx, 2);
+            vids.ingest_register(event, t, &mut sink);
+        }
+        Part::InviteFlood { event, dst_ip } => {
+            let mut sink = TaggedSink::packet(alerts, idx, 1);
+            vids.ingest_invite_flood(event, dst_ip, t, &mut sink);
+        }
+        Part::Call {
+            call_id,
+            event,
+            is_initial_invite,
+            is_request,
+            dst_ip,
+        } => {
+            let mut sink = TaggedSink::packet(alerts, idx, 2);
+            if let Some(miss) =
+                vids.ingest_call_event(call_id, event, is_initial_invite, is_request, t, &mut sink)
+            {
+                misses.push(Miss {
+                    idx,
                     t,
-                    &mut sink,
-                ) {
-                    misses.push(Miss {
-                        idx,
-                        t,
-                        dst_ip,
-                        src_ip: miss.src_ip,
-                    });
-                }
+                    dst_ip,
+                    src_ip: miss.src_ip,
+                });
             }
-            Part::Rtp(event) => {
-                let mut sink = TaggedSink::packet(alerts, idx, 2);
-                vids.ingest_rtp(event, t, &mut sink);
-            }
+        }
+        Part::Rtp(event) => {
+            let mut sink = TaggedSink::packet(alerts, idx, 2);
+            vids.ingest_rtp(event, t, &mut sink);
         }
     }
 }

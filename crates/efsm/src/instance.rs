@@ -128,6 +128,12 @@ impl MachineInstance {
                 globals,
                 now_ms,
             };
+            // A machine that declared disjoint predicates stops at the
+            // first enabled transition in release builds; otherwise every
+            // sibling is evaluated so overlap surfaces as
+            // `nondeterministic` (predicates are read-only, so the skipped
+            // evaluations have no other observable effect).
+            let short_circuit = def.short_circuits();
             for (idx, t) in def.transitions_from(self.state) {
                 if t.event_name != sym::WILDCARD && t.event_name != event.name {
                     continue;
@@ -139,6 +145,9 @@ impl MachineInstance {
                 if enabled {
                     if chosen.is_none() {
                         chosen = Some(idx);
+                        if short_circuit {
+                            break;
+                        }
                     } else {
                         outcome.nondeterministic = true;
                     }

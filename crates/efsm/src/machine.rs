@@ -135,8 +135,13 @@ pub struct MachineDef {
     /// observer hook can report transitions without allocating.
     state_syms: Vec<Sym>,
     transitions: Vec<Transition>,
+    /// Per-state index into `transitions`, maintained as transitions are
+    /// added: the step function reads only a state's own out-edges instead
+    /// of scanning the whole transition list per event.
+    outgoing: Vec<Vec<u32>>,
     initial: StateId,
     unmatched_policy: UnmatchedPolicy,
+    declared_deterministic: bool,
     built: bool,
 }
 
@@ -188,8 +193,10 @@ impl MachineDef {
             states: Vec::new(),
             state_syms: Vec::new(),
             transitions: Vec::new(),
+            outgoing: Vec::new(),
             initial: StateId(0),
             unmatched_policy: UnmatchedPolicy::default(),
+            declared_deterministic: false,
             built: false,
         }
     }
@@ -211,6 +218,7 @@ impl MachineDef {
             is_final: false,
             attack_label: None,
         });
+        self.outgoing.push(Vec::new());
         StateId(self.states.len() - 1)
     }
 
@@ -231,6 +239,28 @@ impl MachineDef {
         self.unmatched_policy = policy;
     }
 
+    /// Declares that this machine's predicates are mutually disjoint
+    /// (Definition 1's determinism requirement), letting release builds
+    /// stop predicate evaluation at the first enabled transition instead
+    /// of evaluating every sibling to detect overlap.
+    ///
+    /// The declaration is an assertion, not a proof: debug builds keep the
+    /// exhaustive scan and still set
+    /// [`crate::instance::StepOutcome::nondeterministic`] on a violation,
+    /// so test suites and fuzz harnesses (which run unoptimized) catch a
+    /// machine whose declaration is wrong before a release binary silently
+    /// takes first-in-definition-order.
+    pub fn declare_deterministic(&mut self) {
+        self.declared_deterministic = true;
+    }
+
+    /// Whether the step function may stop at the first enabled transition
+    /// in this build: the builder declared disjoint predicates and this is
+    /// a release build (debug builds always verify the declaration).
+    pub(crate) fn short_circuits(&self) -> bool {
+        self.declared_deterministic && !cfg!(debug_assertions)
+    }
+
     /// Adds a transition on `event_name` from `from` to `to`, returning a
     /// builder for its predicate/action/label. `event_name` `"*"` matches
     /// any event.
@@ -248,6 +278,11 @@ impl MachineDef {
             action: None,
             label: None,
         });
+        // A `from` belonging to another machine has no slot here; leave it
+        // unindexed so `build` can reject it as a dangling transition.
+        if let Some(out) = self.outgoing.get_mut(from.0) {
+            out.push((self.transitions.len() - 1) as u32);
+        }
         TransitionBuilder {
             transition: self.transitions.last_mut().unwrap(),
         }
@@ -326,11 +361,13 @@ impl MachineDef {
     pub(crate) fn transitions_from(
         &self,
         state: StateId,
-    ) -> impl Iterator<Item = (usize, &Transition)> {
-        self.transitions
+    ) -> impl Iterator<Item = (usize, &Transition)> + '_ {
+        self.outgoing
+            .get(state.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
             .iter()
-            .enumerate()
-            .filter(move |(_, t)| t.from == state)
+            .map(move |&i| (i as usize, &self.transitions[i as usize]))
     }
 
     pub(crate) fn transition(&self, index: usize) -> &Transition {

@@ -363,8 +363,19 @@ impl Network {
         now_ms: u64,
         obs: &mut dyn TransitionObserver,
     ) -> NetworkOutcome {
-        let def = Arc::clone(&self.defs[target.0]);
-        let step = self.instances[target.0].step_at(&def, event, &mut self.globals, now_ms);
+        // Split borrows: the definition is read-only while the instance and
+        // globals mutate, so no per-step `Arc` refcount traffic is needed.
+        let Network {
+            defs,
+            instances,
+            globals,
+            sync_queues,
+            timers,
+            trace,
+            sync_enabled,
+        } = self;
+        let def = &defs[target.0];
+        let step = instances[target.0].step_at(def, event, globals, now_ms);
 
         let mut outcome = NetworkOutcome {
             nondeterministic: step.nondeterministic,
@@ -380,7 +391,7 @@ impl Network {
                 def.state_sym(to),
                 label,
             );
-            if let Some(trace) = &mut self.trace {
+            if let Some(trace) = trace {
                 trace.push(TraceEntry {
                     time_ms: now_ms,
                     machine: def.name().to_owned(),
@@ -408,15 +419,15 @@ impl Network {
 
         // Apply requested effects.
         for (timer, delay) in step.effects.timers_set {
-            self.timers[target.0].insert(timer, now_ms + delay);
+            timers[target.0].insert(timer, now_ms + delay);
         }
         for timer in step.effects.timers_cancelled {
-            self.timers[target.0].remove(&timer);
+            timers[target.0].remove(&timer);
         }
-        if self.sync_enabled {
+        if *sync_enabled {
             for (dest_name, sync_event) in step.effects.sync_out {
-                if let Some(dest) = self.machine_by_sym(dest_name) {
-                    self.sync_queues[dest.0].push_back(sync_event);
+                if let Some(dest) = defs.iter().position(|d| d.name_sym() == dest_name) {
+                    sync_queues[dest].push_back(sync_event);
                 }
                 // Unknown destination: dropped. The builder of the protocol
                 // machines controls both sides, so this only happens in the

@@ -103,3 +103,67 @@ fn content_length_beyond_available_body_is_rejected() {
     let msg = parse_message(&ok).expect("exact Content-Length parses");
     assert_eq!(msg.body(), "short");
 }
+
+// ---- ISSUE 7: SWAR scan tail/alignment edge cases ------------------------
+//
+// The scan primitives never take an unsafe 8-byte tail load — the word
+// loop runs on `chunks_exact(8)` and the remainder is scanned byte-wise,
+// so an out-of-bounds read is impossible by construction (this is the
+// Miri satellite resolved by design). These pins are the cases where a
+// "round up and mask" tail-load implementation, or the classic inexact
+// zero-lane trick, silently goes wrong: if anyone rewrites the loop that
+// way, these fail before the fuzzer has to find it.
+
+/// The classic `(x - LO) & HI` has-zero approximation false-positives on
+/// a lane that differs from the needle only in the high bit (0x80 vs
+/// 0x00, 0xFF vs 0x7F). The exact form `(x - LO) & !x & HI` must not.
+#[test]
+fn swar_finder_rejects_high_bit_neighbors_of_the_needle() {
+    for len in 1..=17usize {
+        assert_eq!(vids_scan::find_byte(&vec![0x80u8; len], 0x00), None);
+        assert_eq!(vids_scan::find_byte(&vec![0xFFu8; len], 0x7F), None);
+        assert_eq!(vids_scan::find_byte2(&vec![0x80u8; len], 0x00, 0x01), None);
+    }
+}
+
+/// A needle in the byte-wise remainder after the last full 8-byte word:
+/// every tail length 1..=7, with the match in the very last byte — the
+/// position an over-reading tail load is most tempted to mishandle.
+#[test]
+fn swar_finder_hits_in_every_remainder_tail_position() {
+    for tail in 1..=7usize {
+        let len = 8 + tail;
+        let mut hay = vec![b'x'; len];
+        hay[len - 1] = b'\n';
+        assert_eq!(
+            vids_scan::find_byte(&hay, b'\n'),
+            Some(len - 1),
+            "tail {tail}"
+        );
+        assert_eq!(vids_scan::find_byte2(&hay, b'\r', b'\n'), Some(len - 1));
+    }
+}
+
+/// A sequence candidate whose continuation would run past the end of the
+/// buffer must be rejected without reading past it: the head/body split
+/// sees exactly this on a truncated datagram ending in a partial CRLFCRLF.
+#[test]
+fn swar_seq_scan_rejects_partial_match_at_buffer_end() {
+    assert_eq!(
+        vids_scan::find_seq(b"INVITE sip:x\r\n\r", b"\r\n\r\n"),
+        None
+    );
+    assert_eq!(vids_scan::find_seq(b"\r\n\r", b"\r\n\r\n"), None);
+    assert_eq!(vids_scan::find_seq(b"\r\n\r\r\n\r\n", b"\r\n\r\n"), Some(3));
+}
+
+/// Word-at-a-time case folding must fold letters only: `x | 0x20` would
+/// also equate `@` with backtick and `[` with `{`, and SIP header names
+/// are matched case-insensitively on exactly this path.
+#[test]
+fn swar_case_fold_folds_letters_only() {
+    assert!(vids_scan::eq_ignore_case(b"Call-ID", b"CALL-id"));
+    assert!(!vids_scan::eq_ignore_case(b"@", b"`"));
+    assert!(!vids_scan::eq_ignore_case(b"[", b"{"));
+    assert!(!vids_scan::eq_ignore_case(b"Call\x1dID", b"Call=ID"));
+}

@@ -1,0 +1,83 @@
+//! SWAR-vs-scalar equivalence under the wire fuzzer.
+//!
+//! The proptests in `vids-scan` cover uniform random bytes; this target
+//! feeds the scan primitives the same *structure-aware* mutated SIP text
+//! and binary datagrams the parser fuzzer uses, so the inputs concentrate
+//! on the byte patterns the hot path actually scans — CRLF runs, header
+//! colons, folded whitespace, truncated words — where an alignment or
+//! tail-handling bug in the 8-byte loop would bite. Budget follows
+//! `VIDS_FUZZ_ITERS` like every other fuzz target.
+
+use vids_harness::corpus;
+use vids_harness::mutate::{mutate_sip, mutate_wire};
+use vids_harness::rng::XorShift64;
+use vids_scan::{
+    eq_ignore_case, eq_ignore_case_scalar, find_byte, find_byte2, find_byte2_scalar,
+    find_byte_scalar, find_seq, find_seq_scalar,
+};
+
+/// Asserts every finder agrees with its scalar twin on `bytes`, probing
+/// with the delimiters the SIP/RTP scanners use plus a fuzzed needle.
+fn assert_equivalent(bytes: &[u8], rng: &mut XorShift64) {
+    for needle in [
+        b'\r',
+        b'\n',
+        b':',
+        b' ',
+        b'\0',
+        (rng.next_u64() & 0xFF) as u8,
+    ] {
+        assert_eq!(
+            find_byte(bytes, needle),
+            find_byte_scalar(bytes, needle),
+            "find_byte({needle:#x}) diverged on {bytes:?}"
+        );
+    }
+    assert_eq!(
+        find_byte2(bytes, b'\r', b'\n'),
+        find_byte2_scalar(bytes, b'\r', b'\n'),
+        "find_byte2 diverged on {bytes:?}"
+    );
+    for seq in [&b"\r\n"[..], b"\r\n\r\n", b"SIP/2.0"] {
+        assert_eq!(
+            find_seq(bytes, seq),
+            find_seq_scalar(bytes, seq),
+            "find_seq({seq:?}) diverged on {bytes:?}"
+        );
+    }
+    // Case-insensitive comparison of two fuzz-chosen windows of the same
+    // buffer (header-name matching compares short overlapping slices).
+    if !bytes.is_empty() {
+        let a_start = rng.below(bytes.len());
+        let b_start = rng.below(bytes.len());
+        let len = rng.below(bytes.len() - a_start.max(b_start) + 1);
+        let a = &bytes[a_start..a_start + len];
+        let b = &bytes[b_start..b_start + len];
+        assert_eq!(
+            eq_ignore_case(a, b),
+            eq_ignore_case_scalar(a, b),
+            "eq_ignore_case diverged on {a:?} vs {b:?}"
+        );
+    }
+}
+
+#[test]
+fn swar_finders_agree_with_scalar_twins_on_fuzzed_wire() {
+    let iters = vids_harness::fuzz_iterations();
+    let sip_seeds = corpus::sip_seeds();
+    let mut wire_seeds = corpus::rtp_seeds();
+    wire_seeds.extend(corpus::rtcp_seeds());
+    let mut rng = XorShift64::new(0x5CA2_D1FF);
+
+    for i in 0..iters {
+        if i % 2 == 0 {
+            let seed = rng.pick(&sip_seeds).clone();
+            let mutated = mutate_sip(&mut rng, &seed);
+            assert_equivalent(mutated.as_bytes(), &mut rng);
+        } else {
+            let seed = rng.pick(&wire_seeds).clone();
+            let mutated = mutate_wire(&mut rng, &seed);
+            assert_equivalent(&mutated, &mut rng);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! simulation produce identical counters.
 
 use vids_core::classify::{classify_wire, Classified, WireProto};
+use vids_sip::Method;
 
 use crate::datagram::Datagram;
 
@@ -64,24 +65,26 @@ pub fn demux(src_port: u16, dst_port: u16, payload: &[u8]) -> WireClass {
 
 /// RFC 3261 start-line prefixes: a response status line or a request
 /// method followed by a space.
+///
+/// Instead of fourteen prefix compares this does one 8-byte magic compare
+/// for the status line, then scans the leading token run (clamped to the
+/// longest method plus one, so hostile all-token payloads cost O(1)) and
+/// resolves it with [`Method::from_token`]'s length dispatch. A token
+/// that isn't followed by exactly one space, or that isn't a known
+/// method, is not a start line — same decisions as the prefix table.
 fn starts_like_sip(payload: &[u8]) -> bool {
-    const STARTS: [&[u8]; 14] = [
-        b"SIP/2.0 ",
-        b"INVITE ",
-        b"ACK ",
-        b"BYE ",
-        b"CANCEL ",
-        b"OPTIONS ",
-        b"REGISTER ",
-        b"PRACK ",
-        b"UPDATE ",
-        b"INFO ",
-        b"SUBSCRIBE ",
-        b"NOTIFY ",
-        b"MESSAGE ",
-        b"REFER ",
-    ];
-    STARTS.iter().any(|s| payload.starts_with(s))
+    const STATUS_MAGIC: &[u8; 8] = b"SIP/2.0 ";
+    if payload.len() >= 8 && &payload[..8] == STATUS_MAGIC {
+        return true;
+    }
+    // No known method is longer than SUBSCRIBE (9 bytes); a 10-byte run
+    // can't resolve, so nothing past byte 9 needs scanning.
+    let head = &payload[..payload.len().min(10)];
+    let run = vids_scan::token_run(head);
+    if run == 0 || run >= payload.len() || payload[run] != b' ' {
+        return false;
+    }
+    Method::from_token(&payload[..run]).is_some()
 }
 
 /// Demultiplexes and classifies one datagram straight off the receive

@@ -130,28 +130,42 @@ impl RtpHeader {
     /// Returns [`ParseRtpError`] on short input, a wrong version field, or a
     /// CSRC count / extension flag this model does not support.
     pub fn parse(bytes: &[u8]) -> Result<RtpHeader, ParseRtpError> {
+        // Hot path: one length test plus one masked compare on byte 0
+        // accepts exactly the header shape this model supports — version 2
+        // (top bits 10), extension bit clear, CSRC count 0. Padding (0x20)
+        // and all of byte 1 are don't-cares. Everything else takes the
+        // cold path, which re-derives the failure in the original check
+        // order so error precedence is unchanged.
+        if bytes.len() >= HEADER_LEN && bytes[0] & 0b1101_1111 == 0b1000_0000 {
+            return Ok(RtpHeader {
+                padding: bytes[0] & 0x20 != 0,
+                marker: bytes[1] & 0x80 != 0,
+                payload_type: bytes[1] & 0x7f,
+                sequence_number: u16::from_be_bytes([bytes[2], bytes[3]]),
+                timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+                ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            });
+        }
+        Err(Self::reject(bytes))
+    }
+
+    #[cold]
+    fn reject(bytes: &[u8]) -> ParseRtpError {
         if bytes.len() < HEADER_LEN {
-            return Err(ParseRtpError::TooShort { len: bytes.len() });
+            return ParseRtpError::TooShort { len: bytes.len() };
         }
         let version = bytes[0] >> 6;
         if version != RTP_VERSION {
-            return Err(ParseRtpError::BadVersion { version });
+            return ParseRtpError::BadVersion { version };
         }
         let csrc_count = bytes[0] & 0x0f;
         if csrc_count != 0 {
-            return Err(ParseRtpError::UnsupportedCsrc { count: csrc_count });
+            return ParseRtpError::UnsupportedCsrc { count: csrc_count };
         }
-        if bytes[0] & 0x10 != 0 {
-            return Err(ParseRtpError::UnsupportedExtension);
-        }
-        Ok(RtpHeader {
-            padding: bytes[0] & 0x20 != 0,
-            marker: bytes[1] & 0x80 != 0,
-            payload_type: bytes[1] & 0x7f,
-            sequence_number: u16::from_be_bytes([bytes[2], bytes[3]]),
-            timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
-            ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
-        })
+        // The fast-path mask admits every other byte-0 shape, so the
+        // extension bit must be the remaining offender.
+        debug_assert!(bytes[0] & 0x10 != 0);
+        ParseRtpError::UnsupportedExtension
     }
 }
 

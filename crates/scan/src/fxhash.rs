@@ -1,0 +1,124 @@
+//! Fixed multiply hasher for the fact-base maps (FxHash-style).
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3: keyed, flood
+//! resistant, and ~10× slower than a multiply for the 4-byte `Sym` and
+//! small-tuple keys the fact base uses. Flood resistance buys nothing
+//! here — the keys are interner indices and shard-local coordinates, not
+//! attacker-chosen strings (attacker text is interned first, and the
+//! interner's own table keeps SipHash) — so the hot maps trade it away.
+//!
+//! The algorithm is the rustc-hash / FxHash one: for each machine word
+//! of input, `state = (state rotl 5 ^ word) * K` with a fixed odd
+//! 64-bit constant. Vendored rather than depended on (offline build,
+//! see the workspace manifest); ~20 lines is below the vendoring
+//! threshold for a `vendor/` stub crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-based word-at-a-time hasher. Not flood resistant — use only
+/// where keys are not attacker-controlled (see module docs).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_ne!(hash_of(&42u32), hash_of(&43u32));
+        assert_ne!(hash_of(&(1u32, 2u64)), hash_of(&(2u32, 1u64)));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        // Tail handling: differing bytes past the last full word count.
+        assert_ne!(hash_of(&[1u8; 9]), {
+            let mut v = [1u8; 9];
+            v[8] = 2;
+            hash_of(&v)
+        });
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&"v"));
+        let mut s: FxHashSet<(u32, u16)> = FxHashSet::default();
+        s.insert((7, 20000));
+        assert!(s.contains(&(7, 20000)));
+    }
+}

@@ -1,0 +1,352 @@
+//! SWAR byte-scanning primitives for the vids wire hot path.
+//!
+//! The monitor's per-packet budget is dominated by two things: scanning
+//! SIP text (line ends, colons, header names) and hashing small keys into
+//! the fact base. This crate provides both, in 100% safe Rust:
+//!
+//! * `memchr`-style **byte finders** that examine eight bytes per step
+//!   (SWAR — SIMD Within A Register — over `u64` words built with
+//!   [`u64::from_le_bytes`] on [`slice::chunks_exact`] chunks, so there
+//!   is no unsafe tail load to get wrong: the remainder is scanned
+//!   byte-wise and out-of-bounds reads are impossible by construction);
+//! * word-at-a-time **ASCII case folding** for case-insensitive header
+//!   name matching;
+//! * the RFC 3261 **token charset** as a 256-entry table;
+//! * a vendored **FxHash-style multiply hasher** ([`fxhash`]) for the
+//!   fact-base maps, whose keys are 4-byte interned symbols that do not
+//!   need SipHash's flood resistance (see the module docs).
+//!
+//! Every SWAR finder has a naive scalar twin (`*_scalar`) exported for
+//! the equivalence oracles in `vids-harness`: proptests assert the two
+//! agree on arbitrary bytes, and exhaustive unit tests cover every
+//! buffer length 0..=64 so each alignment/remainder case is pinned.
+//!
+//! `std::simd` would express the same scans more directly but is
+//! nightly-only; explicit `u64` SWAR is what stable Rust offers, and it
+//! compiles to the same handful of ALU ops. See DESIGN.md §7g.
+
+pub mod fxhash;
+
+/// Bytes per SWAR word.
+const WORD: usize = 8;
+
+/// Low bit of every byte lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+
+/// High bit of every byte lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn load(chunk: &[u8]) -> u64 {
+    // chunks_exact(8) guarantees the length; the compiler folds this
+    // into a single unaligned 8-byte load.
+    u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+}
+
+/// A mask with 0x80 set in every lane of `x` that is zero. Exact (the
+/// `& !x` term removes the 0x80-lane false positives of the classic
+/// approximation).
+#[inline]
+fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Index of the first 0x80-marked lane (little-endian: lowest address).
+#[inline]
+fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// Finds the first occurrence of `needle`, eight bytes at a time.
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    let pat = LO * needle as u64;
+    let mut chunks = hay.chunks_exact(WORD);
+    let mut offset = 0;
+    for chunk in chunks.by_ref() {
+        let hit = zero_lanes(load(chunk) ^ pat);
+        if hit != 0 {
+            return Some(offset + first_lane(hit));
+        }
+        offset += WORD;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| offset + i)
+}
+
+/// Naive twin of [`find_byte`] for differential testing.
+#[inline]
+pub fn find_byte_scalar(hay: &[u8], needle: u8) -> Option<usize> {
+    hay.iter().position(|&b| b == needle)
+}
+
+/// Finds the first occurrence of either needle, eight bytes at a time.
+#[inline]
+pub fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    let pat_a = LO * a as u64;
+    let pat_b = LO * b as u64;
+    let mut chunks = hay.chunks_exact(WORD);
+    let mut offset = 0;
+    for chunk in chunks.by_ref() {
+        let x = load(chunk);
+        let hit = zero_lanes(x ^ pat_a) | zero_lanes(x ^ pat_b);
+        if hit != 0 {
+            return Some(offset + first_lane(hit));
+        }
+        offset += WORD;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&c| c == a || c == b)
+        .map(|i| offset + i)
+}
+
+/// Naive twin of [`find_byte2`] for differential testing.
+#[inline]
+pub fn find_byte2_scalar(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    hay.iter().position(|&c| c == a || c == b)
+}
+
+/// Finds the first occurrence of the byte sequence `needle`: SWAR scan
+/// for the first byte, then a direct comparison of the remainder. Empty
+/// needles match at 0, needles longer than `hay` never match.
+#[inline]
+pub fn find_seq(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    let (&first, rest) = needle.split_first()?;
+    if needle.len() > hay.len() {
+        return None;
+    }
+    let last = hay.len() - needle.len();
+    let mut from = 0;
+    while from <= last {
+        let i = from + find_byte(&hay[from..], first)?;
+        if i > last {
+            return None;
+        }
+        if &hay[i + 1..i + needle.len()] == rest {
+            return Some(i);
+        }
+        from = i + 1;
+    }
+    None
+}
+
+/// Naive twin of [`find_seq`] for differential testing.
+#[inline]
+pub fn find_seq_scalar(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return None;
+    }
+    if needle.len() > hay.len() {
+        return None;
+    }
+    (0..=hay.len() - needle.len()).find(|&i| &hay[i..i + needle.len()] == needle)
+}
+
+/// Lowercases the ASCII uppercase lanes of a SWAR word, touching nothing
+/// else (unlike `x | 0x20`, which would also fold `@` into backtick and
+/// `\r` into `-` — wrong for header-name comparison).
+#[inline]
+pub fn to_lower_word(x: u64) -> u64 {
+    // 0x80 in every ASCII lane ≥ 'A' (forcing the high bit prevents
+    // inter-lane borrows, and non-ASCII lanes are masked out below).
+    let ge_a = (x | HI).wrapping_sub(LO * b'A' as u64) & HI;
+    // 0x80 in every ASCII lane > 'Z'.
+    let gt_z = (x | HI).wrapping_sub(LO * (b'Z' as u64 + 1)) & HI;
+    let upper = ge_a & !gt_z & !(x & HI);
+    x | (upper >> 2) // 0x80 >> 2 == 0x20, the case bit
+}
+
+/// ASCII case-insensitive equality, eight bytes at a time.
+#[inline]
+pub fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut ca = a.chunks_exact(WORD);
+    let mut cb = b.chunks_exact(WORD);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        if to_lower_word(load(xa)) != to_lower_word(load(xb)) {
+            return false;
+        }
+    }
+    ca.remainder()
+        .iter()
+        .zip(cb.remainder())
+        .all(|(&x, &y)| x.eq_ignore_ascii_case(&y))
+}
+
+/// Naive twin of [`eq_ignore_case`] for differential testing.
+#[inline]
+pub fn eq_ignore_case_scalar(a: &[u8], b: &[u8]) -> bool {
+    a.eq_ignore_ascii_case(b)
+}
+
+/// RFC 3261 §25.1 `token` charset: alphanumeric plus `-.!%*_+`'~`.
+/// Header names, methods and parameter names are tokens.
+const fn build_token_table() -> [bool; 256] {
+    let mut t = [false; 256];
+    let mut b: usize = 0;
+    while b < 256 {
+        let c = b as u8;
+        t[b] = c.is_ascii_alphanumeric()
+            || matches!(
+                c,
+                b'-' | b'.' | b'!' | b'%' | b'*' | b'_' | b'+' | b'`' | b'\'' | b'~'
+            );
+        b += 1;
+    }
+    t
+}
+
+/// Token-charset classification table (see [`is_token_byte`]).
+pub static TOKEN_TABLE: [bool; 256] = build_token_table();
+
+/// Whether `b` belongs to the RFC 3261 `token` charset.
+#[inline]
+pub fn is_token_byte(b: u8) -> bool {
+    TOKEN_TABLE[b as usize]
+}
+
+/// Length of the leading token run (the first index that is *not* a
+/// token byte, or `hay.len()`).
+#[inline]
+pub fn token_run(hay: &[u8]) -> usize {
+    hay.iter()
+        .position(|&b| !is_token_byte(b))
+        .unwrap_or(hay.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every buffer length 0..=64, needle at every position: each SWAR
+    /// word/remainder split is exercised, with the needle in every lane.
+    #[test]
+    fn find_byte_every_length_and_position() {
+        for len in 0..=64usize {
+            let hay = vec![b'x'; len];
+            assert_eq!(find_byte(&hay, b'q'), None, "len {len}, absent");
+            for pos in 0..len {
+                let mut hay = vec![b'x'; len];
+                hay[pos] = b'q';
+                assert_eq!(find_byte(&hay, b'q'), Some(pos), "len {len}, pos {pos}");
+                // First match wins even with a duplicate later.
+                if pos + 1 < len {
+                    hay[pos + 1] = b'q';
+                    assert_eq!(find_byte(&hay, b'q'), Some(pos));
+                }
+            }
+        }
+    }
+
+    /// The lane distinguished from the needle only by the high bit must
+    /// not false-positive (the classic has-zero approximation would).
+    #[test]
+    fn find_byte_high_bit_neighbors() {
+        for len in 1..=64usize {
+            let hay = vec![0x80u8; len];
+            assert_eq!(find_byte(&hay, 0x00), None, "len {len}");
+            let hay = vec![0xFFu8; len];
+            assert_eq!(find_byte(&hay, 0x7F), None, "len {len}");
+        }
+    }
+
+    #[test]
+    fn find_byte2_every_length_and_position() {
+        for len in 0..=64usize {
+            for pos in 0..len {
+                let mut hay = vec![b'x'; len];
+                hay[pos] = b'\r';
+                assert_eq!(find_byte2(&hay, b'\r', b'\n'), Some(pos));
+                hay[pos] = b'\n';
+                assert_eq!(find_byte2(&hay, b'\r', b'\n'), Some(pos));
+            }
+            assert_eq!(find_byte2(&vec![b'x'; len], b'\r', b'\n'), None);
+        }
+    }
+
+    #[test]
+    fn find_seq_every_length_and_position() {
+        for len in 0..=64usize {
+            for pos in 0..len.saturating_sub(3) {
+                let mut hay = vec![b'x'; len];
+                hay[pos..pos + 4].copy_from_slice(b"\r\n\r\n");
+                assert_eq!(
+                    find_seq(&hay, b"\r\n\r\n"),
+                    Some(pos),
+                    "len {len} pos {pos}"
+                );
+            }
+            assert_eq!(find_seq(&vec![b'x'; len], b"\r\n\r\n"), None);
+            // Degenerate needles.
+            assert_eq!(find_seq(&vec![b'x'; len], b""), None);
+            assert_eq!(find_seq_scalar(&vec![b'x'; len], b""), None);
+        }
+    }
+
+    /// Overlapping candidates: the first-byte scan must resume and still
+    /// find a later real match.
+    #[test]
+    fn find_seq_overlapping_candidates() {
+        assert_eq!(find_seq(b"\r\r\n\r\r\n\r\n", b"\r\n\r\n"), Some(4));
+        assert_eq!(find_seq(b"aaab", b"aab"), Some(1));
+        assert_eq!(find_seq(b"aaab", b"ab"), Some(2));
+    }
+
+    /// `to_lower_word` agrees with `to_ascii_lowercase` on every byte
+    /// value, in every lane.
+    #[test]
+    fn to_lower_word_exhaustive_per_byte() {
+        for b in 0..=255u8 {
+            for lane in 0..8 {
+                let x = (b as u64) << (8 * lane);
+                let want = (b.to_ascii_lowercase() as u64) << (8 * lane);
+                assert_eq!(to_lower_word(x), want, "byte {b:#x} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_ignore_case_every_length() {
+        for len in 0..=64usize {
+            let upper: Vec<u8> = (0..len).map(|i| b"HEADER-NAME"[i % 11]).collect();
+            let lower: Vec<u8> = upper.iter().map(|b| b.to_ascii_lowercase()).collect();
+            assert!(eq_ignore_case(&upper, &lower), "len {len}");
+            if len > 0 {
+                let mut other = lower.clone();
+                other[len / 2] = b'@';
+                assert_eq!(
+                    eq_ignore_case(&upper, &other),
+                    eq_ignore_case_scalar(&upper, &other),
+                    "len {len}"
+                );
+            }
+        }
+        assert!(!eq_ignore_case(b"abc", b"abcd"));
+        // The `| 0x20` shortcut would get these wrong.
+        assert!(!eq_ignore_case(b"@", b"`"));
+        assert!(!eq_ignore_case(b"\r", b"-"));
+        assert!(!eq_ignore_case(b"[", b"{"));
+    }
+
+    #[test]
+    fn token_table_matches_rfc_charset() {
+        assert!(is_token_byte(b'a') && is_token_byte(b'Z') && is_token_byte(b'0'));
+        for b in [b'-', b'.', b'!', b'%', b'*', b'_', b'+', b'`', b'\'', b'~'] {
+            assert!(is_token_byte(b), "{b:#x}");
+        }
+        for b in [b' ', b':', b';', b'/', b'@', b'\r', b'\n', 0x00, 0xFF] {
+            assert!(!is_token_byte(b), "{b:#x}");
+        }
+        assert_eq!(token_run(b"INVITE sip:x"), 6);
+        assert_eq!(token_run(b"SIP/2.0 200"), 3);
+        assert_eq!(token_run(b""), 0);
+        assert_eq!(token_run(b"abc"), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based equivalence oracle: every SWAR primitive agrees with its
+//! naive scalar twin on arbitrary bytes.
+//!
+//! The exhaustive unit tests in `src/lib.rs` pin every buffer length
+//! 0..=64 (each word/remainder split); these proptests cover the rest of
+//! the input space — long buffers, arbitrary needle bytes, high-bit
+//! neighbors — where a masking mistake in the zero-lane trick would hide.
+
+use proptest::prelude::*;
+
+use vids_scan::{
+    eq_ignore_case, eq_ignore_case_scalar, find_byte, find_byte2, find_byte2_scalar,
+    find_byte_scalar, find_seq, find_seq_scalar, is_token_byte, to_lower_word, token_run,
+};
+
+proptest! {
+    #[test]
+    fn find_byte_matches_scalar(hay in proptest::collection::vec(any::<u8>(), 0..200), needle in any::<u8>()) {
+        prop_assert_eq!(find_byte(&hay, needle), find_byte_scalar(&hay, needle));
+    }
+
+    #[test]
+    fn find_byte2_matches_scalar(hay in proptest::collection::vec(any::<u8>(), 0..200), a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(find_byte2(&hay, a, b), find_byte2_scalar(&hay, a, b));
+    }
+
+    #[test]
+    fn find_seq_matches_scalar(
+        hay in proptest::collection::vec(any::<u8>(), 0..200),
+        needle in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        prop_assert_eq!(find_seq(&hay, &needle), find_seq_scalar(&hay, &needle));
+    }
+
+    /// Bias the haystack toward CRLF-dense SIP-like text so sequence
+    /// candidates actually overlap (uniform random bytes almost never
+    /// produce a partial `\r\n\r\n` prefix).
+    #[test]
+    fn find_crlfcrlf_matches_scalar(picks in proptest::collection::vec(0usize..5, 0..200)) {
+        const ALPHABET: [u8; 5] = [b'\r', b'\n', b'a', b':', b' '];
+        let hay: Vec<u8> = picks.iter().map(|&i| ALPHABET[i]).collect();
+        prop_assert_eq!(find_seq(&hay, b"\r\n\r\n"), find_seq_scalar(&hay, b"\r\n\r\n"));
+        prop_assert_eq!(find_byte2(&hay, b'\r', b'\n'), find_byte2_scalar(&hay, b'\r', b'\n'));
+    }
+
+    #[test]
+    fn eq_ignore_case_matches_scalar(
+        a in proptest::collection::vec(any::<u8>(), 0..100),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        prop_assert_eq!(eq_ignore_case(&a, &b), eq_ignore_case_scalar(&a, &b));
+    }
+
+    /// Same-length pairs differing only in ASCII case must always compare
+    /// equal (the generator above rarely produces equal pairs).
+    #[test]
+    fn eq_ignore_case_accepts_case_flips(a in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let flipped: Vec<u8> = a.iter().map(|b| {
+            if b.is_ascii_alphabetic() { b ^ 0x20 } else { *b }
+        }).collect();
+        prop_assert!(eq_ignore_case(&a, &flipped));
+    }
+
+    #[test]
+    fn to_lower_word_matches_per_byte(x in any::<u64>()) {
+        let want = u64::from_le_bytes(x.to_le_bytes().map(|b| b.to_ascii_lowercase()));
+        prop_assert_eq!(to_lower_word(x), want);
+    }
+
+    #[test]
+    fn token_run_matches_table(hay in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let want = hay.iter().position(|&b| !is_token_byte(b)).unwrap_or(hay.len());
+        prop_assert_eq!(token_run(&hay), want);
+    }
+}

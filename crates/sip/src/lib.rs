@@ -41,6 +41,7 @@ pub mod md5;
 pub mod message;
 pub mod method;
 pub mod parse;
+pub(crate) mod scan;
 pub mod status;
 pub mod transaction;
 pub mod uri;

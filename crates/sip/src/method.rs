@@ -76,6 +76,13 @@ impl Method {
         }
     }
 
+    /// Resolves a wire method token without allocating (unlike the
+    /// [`FromStr`] impl, whose error owns the offending token). Length
+    /// dispatch plus word compares; case-sensitive per RFC 3261.
+    pub fn from_token(token: &[u8]) -> Option<Method> {
+        crate::scan::method_from_token(token)
+    }
+
     /// Whether this method creates an INVITE transaction (the only request
     /// that takes noticeable time to complete and thus can be CANCELed).
     pub fn is_invite(&self) -> bool {
@@ -120,13 +127,9 @@ impl FromStr for Method {
     type Err = ParseMethodError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Method::ALL
-            .iter()
-            .find(|m| m.as_str() == s)
-            .copied()
-            .ok_or_else(|| ParseMethodError {
-                token: s.to_owned(),
-            })
+        Method::from_token(s.as_bytes()).ok_or_else(|| ParseMethodError {
+            token: s.to_owned(),
+        })
     }
 }
 

@@ -10,6 +10,7 @@ use std::fmt;
 use crate::headers::{Header, Headers};
 use crate::message::{Message, Request, Response};
 use crate::method::Method;
+use crate::scan;
 use crate::status::StatusCode;
 use crate::uri::SipUri;
 
@@ -82,8 +83,8 @@ enum StartLine {
 /// ```
 pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
     // Split head (start line + headers) from body at the first blank line.
-    let (head, body) = split_head_body(text);
-    let mut lines = head.lines().enumerate();
+    let (head, body) = scan::split_head_body(text);
+    let mut lines = scan::lines(head).enumerate();
     let (_, start) = lines
         .next()
         .ok_or_else(|| ParseMessageError::new(0, "empty message"))?;
@@ -174,25 +175,13 @@ fn parse_start_line(start: &str) -> Result<StartLine, ParseMessageError> {
     }
 }
 
-fn split_head_body(text: &str) -> (&str, &str) {
-    if let Some(i) = text.find("\r\n\r\n") {
-        (&text[..i], &text[i + 4..])
-    } else if let Some(i) = text.find("\n\n") {
-        (&text[..i], &text[i + 2..])
-    } else {
-        (text, "")
-    }
-}
-
 /// Static error reasons keep the reject path allocation-free: a flood of
 /// malformed headers costs parsing time only, never heap churn. Ownership
 /// (`to_owned`) is taken only for the value a [`Header`] variant actually
 /// stores.
 fn parse_header_line(line: &str) -> Result<Header, &'static str> {
-    let (name, value) = line.split_once(':').ok_or("header line without ':'")?;
-    let name = name.trim();
-    let value = value.trim();
-    let canonical = canonical_name(name);
+    let (name, value) = scan::split_header_line(line).ok_or("header line without ':'")?;
+    let canonical = scan::header_id(name).canonical();
     let header = match canonical {
         "Via" => Header::Via(value.parse().map_err(|_| "invalid Via")?),
         "From" => Header::From(value.parse().map_err(|_| "invalid From")?),
@@ -212,40 +201,6 @@ fn parse_header_line(line: &str) -> Result<Header, &'static str> {
         },
     };
     Ok(header)
-}
-
-/// Maps arbitrary-case and compact header names to their canonical form.
-fn canonical_name(name: &str) -> &'static str {
-    // Compact forms per RFC 3261 §7.3.3 are single letters.
-    if name.len() == 1 {
-        return match name.chars().next().unwrap().to_ascii_lowercase() {
-            'v' => "Via",
-            'f' => "From",
-            't' => "To",
-            'i' => "Call-ID",
-            'm' => "Contact",
-            'c' => "Content-Type",
-            'l' => "Content-Length",
-            _ => "",
-        };
-    }
-    const CANONICAL: [&str; 10] = [
-        "Via",
-        "From",
-        "To",
-        "Contact",
-        "Call-ID",
-        "CSeq",
-        "Max-Forwards",
-        "Content-Type",
-        "Content-Length",
-        "Expires",
-    ];
-    CANONICAL
-        .iter()
-        .find(|c| c.eq_ignore_ascii_case(name))
-        .copied()
-        .unwrap_or("")
 }
 
 #[cfg(test)]

@@ -1,0 +1,248 @@
+//! SIP-specific scanning built on the `vids-scan` SWAR primitives.
+//!
+//! Both parsers ([`crate::parse`] and [`crate::view`]) walk the same wire
+//! shape — head/body split at the first blank line, one header per line,
+//! `name: value` at the first colon — so the walking lives here once and
+//! the two stay in lock-step (the harness' view-vs-owned differential
+//! oracle depends on that). The scanners here are the hot ones: on the
+//! monitor path every SIP datagram runs `split_head_body` + one
+//! [`header_id`] per header line before anything protocol-shaped happens.
+
+use vids_scan::{eq_ignore_case, find_byte, find_seq};
+
+use crate::method::Method;
+
+/// Splits a message at the first blank line: CRLF CRLF preferred, bare
+/// LF LF accepted, no blank line means "all head, empty body".
+#[inline]
+pub(crate) fn split_head_body(text: &str) -> (&str, &str) {
+    let bytes = text.as_bytes();
+    if let Some(i) = find_seq(bytes, b"\r\n\r\n") {
+        (&text[..i], &text[i + 4..])
+    } else if let Some(i) = find_seq(bytes, b"\n\n") {
+        (&text[..i], &text[i + 2..])
+    } else {
+        (text, "")
+    }
+}
+
+/// [`str::lines`] semantics (split at `\n`, strip one trailing `\r`,
+/// optional final terminator) with a SWAR newline scan.
+#[derive(Clone)]
+pub(crate) struct Lines<'a> {
+    rest: &'a str,
+}
+
+#[inline]
+pub(crate) fn lines(head: &str) -> Lines<'_> {
+    Lines { rest: head }
+}
+
+impl<'a> Iterator for Lines<'a> {
+    type Item = &'a str;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a str> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let line = match find_byte(self.rest.as_bytes(), b'\n') {
+            Some(i) => {
+                let line = &self.rest[..i];
+                self.rest = &self.rest[i + 1..];
+                line.strip_suffix('\r').unwrap_or(line)
+            }
+            None => {
+                // Final unterminated segment: `str::lines` keeps a lone
+                // trailing `\r` here, so we do too.
+                let line = self.rest;
+                self.rest = "";
+                line
+            }
+        };
+        Some(line)
+    }
+}
+
+/// Splits `name: value` at the first colon, both sides trimmed.
+#[inline]
+pub(crate) fn split_header_line(line: &str) -> Option<(&str, &str)> {
+    let i = find_byte(line.as_bytes(), b':')?;
+    Some((line[..i].trim(), line[i + 1..].trim()))
+}
+
+/// The header names both parsers give special treatment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HeaderId {
+    Via,
+    From,
+    To,
+    Contact,
+    CallId,
+    CSeq,
+    ContentType,
+    ContentLength,
+    Expires,
+    MaxForwards,
+    Other,
+}
+
+impl HeaderId {
+    /// Canonical wire spelling (`""` for [`HeaderId::Other`]).
+    pub(crate) fn canonical(self) -> &'static str {
+        match self {
+            HeaderId::Via => "Via",
+            HeaderId::From => "From",
+            HeaderId::To => "To",
+            HeaderId::Contact => "Contact",
+            HeaderId::CallId => "Call-ID",
+            HeaderId::CSeq => "CSeq",
+            HeaderId::ContentType => "Content-Type",
+            HeaderId::ContentLength => "Content-Length",
+            HeaderId::Expires => "Expires",
+            HeaderId::MaxForwards => "Max-Forwards",
+            HeaderId::Other => "",
+        }
+    }
+}
+
+/// Classifies a header name: compact single letters per RFC 3261 §7.3.3,
+/// otherwise dispatch on length so each name is checked against at most
+/// three candidates with word-at-a-time case-insensitive compares
+/// (instead of a linear `eq_ignore_ascii_case` scan over all ten).
+#[inline]
+pub(crate) fn header_id(name: &str) -> HeaderId {
+    let b = name.as_bytes();
+    match b.len() {
+        1 => match b[0].to_ascii_lowercase() {
+            b'v' => HeaderId::Via,
+            b'f' => HeaderId::From,
+            b't' => HeaderId::To,
+            b'i' => HeaderId::CallId,
+            b'm' => HeaderId::Contact,
+            b'c' => HeaderId::ContentType,
+            b'l' => HeaderId::ContentLength,
+            _ => HeaderId::Other,
+        },
+        2 if eq_ignore_case(b, b"to") => HeaderId::To,
+        3 if eq_ignore_case(b, b"via") => HeaderId::Via,
+        4 if eq_ignore_case(b, b"from") => HeaderId::From,
+        4 if eq_ignore_case(b, b"cseq") => HeaderId::CSeq,
+        7 if eq_ignore_case(b, b"call-id") => HeaderId::CallId,
+        7 if eq_ignore_case(b, b"contact") => HeaderId::Contact,
+        7 if eq_ignore_case(b, b"expires") => HeaderId::Expires,
+        12 if eq_ignore_case(b, b"content-type") => HeaderId::ContentType,
+        12 if eq_ignore_case(b, b"max-forwards") => HeaderId::MaxForwards,
+        14 if eq_ignore_case(b, b"content-length") => HeaderId::ContentLength,
+        _ => HeaderId::Other,
+    }
+}
+
+/// Resolves a method token by length dispatch — the equal-length byte
+/// compares below compile to one or two word compares each, replacing the
+/// linear scan over [`Method::ALL`]. Case-sensitive, per RFC 3261.
+#[inline]
+pub(crate) fn method_from_token(b: &[u8]) -> Option<Method> {
+    match b.len() {
+        3 if b == b"ACK" => Some(Method::Ack),
+        3 if b == b"BYE" => Some(Method::Bye),
+        4 if b == b"INFO" => Some(Method::Info),
+        5 if b == b"PRACK" => Some(Method::Prack),
+        5 if b == b"REFER" => Some(Method::Refer),
+        6 if b == b"INVITE" => Some(Method::Invite),
+        6 if b == b"CANCEL" => Some(Method::Cancel),
+        6 if b == b"UPDATE" => Some(Method::Update),
+        6 if b == b"NOTIFY" => Some(Method::Notify),
+        7 if b == b"OPTIONS" => Some(Method::Options),
+        7 if b == b"MESSAGE" => Some(Method::MessageMethod),
+        8 if b == b"REGISTER" => Some(Method::Register),
+        9 if b == b"SUBSCRIBE" => Some(Method::Subscribe),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_matches_std() {
+        for text in [
+            "",
+            "\n",
+            "\r\n",
+            "a",
+            "a\n",
+            "a\r\n",
+            "a\r",
+            "a\nb",
+            "a\r\nb\r\n",
+            "a\rb\nc",
+            "INVITE sip:x SIP/2.0\r\nVia: v\r\n\r\n",
+            "one\n\nthree\r\n",
+        ] {
+            let ours: Vec<&str> = lines(text).collect();
+            let std: Vec<&str> = text.lines().collect();
+            assert_eq!(ours, std, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn split_head_body_prefers_crlf_and_tolerates_lf() {
+        assert_eq!(split_head_body("h\r\n\r\nb"), ("h", "b"));
+        assert_eq!(split_head_body("h\n\nb"), ("h", "b"));
+        assert_eq!(split_head_body("h"), ("h", ""));
+        // A CRLF blank line wins even when a bare-LF one occurs earlier
+        // (the historical `find`-then-`find` order, preserved).
+        assert_eq!(split_head_body("a\n\nb\r\n\r\nc"), ("a\n\nb", "c"));
+    }
+
+    #[test]
+    fn header_id_all_spellings() {
+        for (name, id) in [
+            ("Via", HeaderId::Via),
+            ("VIA", HeaderId::Via),
+            ("v", HeaderId::Via),
+            ("from", HeaderId::From),
+            ("f", HeaderId::From),
+            ("To", HeaderId::To),
+            ("t", HeaderId::To),
+            ("Contact", HeaderId::Contact),
+            ("m", HeaderId::Contact),
+            ("CALL-id", HeaderId::CallId),
+            ("i", HeaderId::CallId),
+            ("cSeQ", HeaderId::CSeq),
+            ("content-TYPE", HeaderId::ContentType),
+            ("c", HeaderId::ContentType),
+            ("Content-Length", HeaderId::ContentLength),
+            ("l", HeaderId::ContentLength),
+            ("expires", HeaderId::Expires),
+            ("Max-Forwards", HeaderId::MaxForwards),
+            ("X-Custom", HeaderId::Other),
+            ("", HeaderId::Other),
+            ("Call_ID", HeaderId::Other),
+        ] {
+            assert_eq!(header_id(name), id, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn method_token_agrees_with_all_table() {
+        for m in Method::ALL {
+            assert_eq!(method_from_token(m.as_str().as_bytes()), Some(m));
+        }
+        assert_eq!(method_from_token(b"invite"), None);
+        assert_eq!(method_from_token(b"FROBNICATE"), None);
+        assert_eq!(method_from_token(b""), None);
+    }
+
+    #[test]
+    fn split_header_line_first_colon_and_trims() {
+        assert_eq!(
+            split_header_line("Via: SIP/2.0/UDP h:5060"),
+            Some(("Via", "SIP/2.0/UDP h:5060"))
+        );
+        assert_eq!(split_header_line("  i :  x  "), Some(("i", "x")));
+        assert_eq!(split_header_line("NoColonHere"), None);
+    }
+}

@@ -451,7 +451,7 @@ mod tests {
         let inv = invite();
         let mut ack = Request::in_dialog(Method::Ack, &inv, 1, Some("bt"));
         // Give the ACK the same branch as the INVITE, as for non-2xx ACKs.
-        ack.headers = inv.headers.clone();
+        ack.headers = inv.headers;
         let key = TransactionKey::for_request(&ack).unwrap();
         assert_eq!(key.method, Method::Invite);
     }

@@ -13,6 +13,7 @@
 //! lines and known-header values, so classification verdicts agree.
 
 use crate::method::Method;
+use crate::scan::{self, HeaderId};
 use crate::status::StatusCode;
 
 /// Error returned by [`parse_view`]. The reason is a static string so
@@ -147,8 +148,8 @@ impl<'a> SipView<'a> {
 /// value fails to parse, or a `Content-Length` that exceeds the bytes
 /// actually present (a truncated datagram).
 pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
-    let (head, body) = split_head_body(text);
-    let mut lines = head.lines();
+    let (head, body) = scan::split_head_body(text);
+    let mut lines = scan::lines(head);
     let start_line = lines.next().ok_or(ViewError("empty message"))?;
 
     let start = if let Some(rest) = start_line.strip_prefix("SIP/2.0 ") {
@@ -166,11 +167,8 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
         if version != "SIP/2.0" {
             return Err(ViewError("unsupported SIP version"));
         }
-        let method = Method::ALL
-            .iter()
-            .find(|m| m.as_str() == method_tok)
-            .copied()
-            .ok_or(ViewError("unknown SIP method"))?;
+        let method =
+            Method::from_token(method_tok.as_bytes()).ok_or(ViewError("unknown SIP method"))?;
         StartLine::Request { method, uri }
     };
 
@@ -200,54 +198,52 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
         if line.is_empty() {
             break;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(ViewError("header line without ':'"))?;
-        let (name, value) = (name.trim(), value.trim());
-        match canonical(name) {
-            Canonical::Via => {
+        let (name, value) =
+            scan::split_header_line(line).ok_or(ViewError("header line without ':'"))?;
+        match scan::header_id(name) {
+            HeaderId::Via => {
                 // Only the topmost Via addresses the transaction.
                 let branch = via_branch(value)?;
                 if view.branch.is_none() {
                     view.branch = branch;
                 }
             }
-            Canonical::From => {
+            HeaderId::From => {
                 let from = name_addr(value)?;
                 if view.from.is_none() {
                     view.from = Some(from);
                 }
             }
-            Canonical::To => {
+            HeaderId::To => {
                 let to = name_addr(value)?;
                 if view.to.is_none() {
                     view.to = Some(to);
                 }
             }
-            Canonical::Contact => {
+            HeaderId::Contact => {
                 let contact = name_addr(value)?;
                 if view.contact.is_none() {
                     view.contact = Some(contact);
                 }
             }
-            Canonical::CallId => {
+            HeaderId::CallId => {
                 if !call_id_seen {
                     view.call_id = value;
                     call_id_seen = true;
                 }
             }
-            Canonical::CSeq => {
+            HeaderId::CSeq => {
                 let cseq = cseq(value)?;
                 if view.cseq.is_none() {
                     view.cseq = Some(cseq);
                 }
             }
-            Canonical::ContentType => {
+            HeaderId::ContentType => {
                 if view.content_type.is_none() {
                     view.content_type = Some(value);
                 }
             }
-            Canonical::ContentLength => {
+            HeaderId::ContentLength => {
                 let len = value
                     .parse()
                     .map_err(|_| ViewError("invalid Content-Length"))?;
@@ -255,18 +251,18 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
                     content_length = Some(len);
                 }
             }
-            Canonical::Expires => {
+            HeaderId::Expires => {
                 let expires = value.parse().map_err(|_| ViewError("invalid Expires"))?;
                 if view.expires.is_none() {
                     view.expires = Some(expires);
                 }
             }
-            Canonical::MaxForwards => {
+            HeaderId::MaxForwards => {
                 let _: u32 = value
                     .parse()
                     .map_err(|_| ViewError("invalid Max-Forwards"))?;
             }
-            Canonical::Other => {}
+            HeaderId::Other => {}
         }
     }
 
@@ -283,69 +279,6 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
         view.body = &view.body[..len];
     }
     Ok(view)
-}
-
-fn split_head_body(text: &str) -> (&str, &str) {
-    if let Some(i) = text.find("\r\n\r\n") {
-        (&text[..i], &text[i + 4..])
-    } else if let Some(i) = text.find("\n\n") {
-        (&text[..i], &text[i + 2..])
-    } else {
-        (text, "")
-    }
-}
-
-enum Canonical {
-    Via,
-    From,
-    To,
-    Contact,
-    CallId,
-    CSeq,
-    ContentType,
-    ContentLength,
-    Expires,
-    MaxForwards,
-    Other,
-}
-
-fn canonical(name: &str) -> Canonical {
-    // Compact forms per RFC 3261 §7.3.3 are single letters.
-    if name.len() == 1 {
-        return match name.as_bytes()[0].to_ascii_lowercase() {
-            b'v' => Canonical::Via,
-            b'f' => Canonical::From,
-            b't' => Canonical::To,
-            b'i' => Canonical::CallId,
-            b'm' => Canonical::Contact,
-            b'c' => Canonical::ContentType,
-            b'l' => Canonical::ContentLength,
-            _ => Canonical::Other,
-        };
-    }
-    if name.eq_ignore_ascii_case("Via") {
-        Canonical::Via
-    } else if name.eq_ignore_ascii_case("From") {
-        Canonical::From
-    } else if name.eq_ignore_ascii_case("To") {
-        Canonical::To
-    } else if name.eq_ignore_ascii_case("Contact") {
-        Canonical::Contact
-    } else if name.eq_ignore_ascii_case("Call-ID") {
-        Canonical::CallId
-    } else if name.eq_ignore_ascii_case("CSeq") {
-        Canonical::CSeq
-    } else if name.eq_ignore_ascii_case("Content-Type") {
-        Canonical::ContentType
-    } else if name.eq_ignore_ascii_case("Content-Length") {
-        Canonical::ContentLength
-    } else if name.eq_ignore_ascii_case("Expires") {
-        Canonical::Expires
-    } else if name.eq_ignore_ascii_case("Max-Forwards") {
-        Canonical::MaxForwards
-    } else {
-        Canonical::Other
-    }
 }
 
 fn via_branch(value: &str) -> Result<Option<&str>, ViewError> {
@@ -365,12 +298,8 @@ fn cseq(value: &str) -> Result<(u32, Method), ViewError> {
     let seq: u32 = seq
         .parse()
         .map_err(|_| ViewError("invalid CSeq sequence number"))?;
-    let method_tok = method_tok.trim();
-    let method = Method::ALL
-        .iter()
-        .find(|m| m.as_str() == method_tok)
-        .copied()
-        .ok_or(ViewError("unknown CSeq method"))?;
+    let method =
+        Method::from_token(method_tok.trim().as_bytes()).ok_or(ViewError("unknown CSeq method"))?;
     Ok((seq, method))
 }
 

@@ -1,0 +1,251 @@
+//! Crude phase-by-phase timing of the pcap replay path (dev aid).
+
+use std::time::Instant;
+
+use vids::core::classify::{classify_wire, WireProto};
+use vids::core::{Config, CostModel, NullSink, VidsPool};
+use vids::ingest::demux::{classify_datagram, demux};
+use vids::ingest::pcap::{PcapReader, PcapWriter};
+use vids::netsim::packet::Address;
+use vids::netsim::packet::{Packet, Payload};
+use vids::netsim::time::SimTime;
+use vids::sip::view::parse_view;
+
+/// Local clone of `vids_bench::synth_call_batch` (vids doesn't depend on
+/// the bench crate).
+fn synth_call_batch(calls: usize, rtp_per_call: usize) -> Vec<Packet> {
+    use vids::rtp::packet::RtpPacket;
+    use vids::sdp::{Codec, SessionDescription};
+    use vids::sip::{Method, Request, SipUri, StatusCode};
+
+    let mut timed: Vec<(u64, Address, Address, Payload)> = Vec::new();
+    for i in 0..calls {
+        let a = (i / 250) as u8;
+        let b = (i % 250 + 1) as u8;
+        let caller = Address::new(10, 1, a, b, 5060);
+        let callee = Address::new(10, 2, a, b, 5060);
+        let caller_ip = format!("10.1.{a}.{b}");
+        let callee_ip = format!("10.2.{a}.{b}");
+        let t0 = (i as u64) * 3;
+
+        let offer = SessionDescription::audio_offer("alice", &caller_ip, 20_000, &[Codec::G729]);
+        let invite = Request::invite(
+            &SipUri::new("alice", "a.example.com"),
+            &SipUri::new("bob", "b.example.com"),
+            &format!("fig8-{i}"),
+        )
+        .with_body(vids::sdp::MIME_TYPE, offer.to_string());
+        timed.push((t0, caller, callee, Payload::Sip(invite.to_string())));
+
+        let answer = SessionDescription::audio_offer("bob", &callee_ip, 30_000, &[Codec::G729]);
+        let ok = invite
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+        timed.push((t0 + 20, callee, caller, Payload::Sip(ok.to_string())));
+        let ack = Request::in_dialog(Method::Ack, &invite, 1, Some("tt"));
+        timed.push((t0 + 40, caller, callee, Payload::Sip(ack.to_string())));
+
+        for j in 0..rtp_per_call {
+            let fwd = j % 2 == 0;
+            let k = (j / 2) as u64;
+            let rtp = RtpPacket::new(
+                18,
+                (100 + k) as u16,
+                (k * 80) as u32,
+                if fwd { 7 } else { 9 },
+            )
+            .with_payload(vec![0; 10]);
+            let (src, dst) = if fwd {
+                (caller.with_port(20_000), callee.with_port(30_000))
+            } else {
+                (callee.with_port(30_000), caller.with_port(20_000))
+            };
+            timed.push((t0 + 50 + k * 20, src, dst, Payload::Rtp(rtp.to_bytes())));
+        }
+
+        let t_bye = t0 + 60 + (rtp_per_call as u64 / 2) * 20;
+        let bye = Request::in_dialog(Method::Bye, &invite, 2, Some("tt"));
+        timed.push((t_bye, caller, callee, Payload::Sip(bye.to_string())));
+        let bye_ok = bye.response(StatusCode::OK);
+        timed.push((t_bye + 20, callee, caller, Payload::Sip(bye_ok.to_string())));
+    }
+    timed.sort_by_key(|(t, ..)| *t);
+    timed
+        .into_iter()
+        .enumerate()
+        .map(|(id, (t, src, dst, payload))| Packet {
+            src,
+            dst,
+            payload,
+            id: id as u64,
+            sent_at: SimTime::from_millis(t),
+        })
+        .collect()
+}
+
+fn to_socket(addr: vids::netsim::packet::Address) -> std::net::SocketAddrV4 {
+    let [a, b, c, d] = addr.ip.to_be_bytes();
+    std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(a, b, c, d), addr.port)
+}
+
+fn main() {
+    let batch = synth_call_batch(150, 40);
+    let mut w = PcapWriter::new();
+    for p in &batch {
+        let payload: Vec<u8> = match &p.payload {
+            Payload::Sip(text) => text.clone().into_bytes(),
+            Payload::Rtp(bytes) | Payload::Raw(bytes) => bytes.clone(),
+        };
+        w.push_udp(p.sent_at, to_socket(p.src), to_socket(p.dst), &payload);
+    }
+    let capture = w.into_bytes();
+    let n = batch.len();
+    let reps = 20usize;
+
+    // Phase A: pcap decode only.
+    let start = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..reps {
+        let mut r = PcapReader::new(&capture).unwrap();
+        while let Some(d) = r.next_datagram().unwrap() {
+            count += d.payload.len();
+        }
+    }
+    let a = start.elapsed();
+    eprintln!(
+        "pcap decode only:      {:>9.0} pps (checksum {count})",
+        (n * reps) as f64 / a.as_secs_f64()
+    );
+
+    // Phase B: decode + demux.
+    let start = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..reps {
+        let mut r = PcapReader::new(&capture).unwrap();
+        while let Some(d) = r.next_datagram().unwrap() {
+            count += demux(d.src.port(), d.dst.port(), d.payload) as usize;
+        }
+    }
+    let b = start.elapsed();
+    eprintln!(
+        "decode + demux:        {:>9.0} pps ({count})",
+        (n * reps) as f64 / b.as_secs_f64()
+    );
+
+    // Phase C: decode + demux + classify (full wire classify incl. events).
+    let start = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..reps {
+        let mut r = PcapReader::new(&capture).unwrap();
+        while let Some(d) = r.next_datagram().unwrap() {
+            let (_, c) = classify_datagram(&d);
+            count += matches!(c, vids::core::classify::Classified::Sip { .. }) as usize;
+        }
+    }
+    let c = start.elapsed();
+    eprintln!(
+        "decode+demux+classify: {:>9.0} pps ({count})",
+        (n * reps) as f64 / c.as_secs_f64()
+    );
+
+    // Phase C2: parse_view only over the SIP texts.
+    let sip_texts: Vec<&str> = batch
+        .iter()
+        .filter_map(|p| match &p.payload {
+            Payload::Sip(t) => Some(t.as_str()),
+            _ => None,
+        })
+        .collect();
+    let start = Instant::now();
+    let mut ok = 0usize;
+    for _ in 0..reps * 10 {
+        for t in &sip_texts {
+            ok += parse_view(std::hint::black_box(t)).is_ok() as usize;
+        }
+    }
+    let c2 = start.elapsed();
+    eprintln!(
+        "parse_view only:       {:>9.0} views/s over {} SIP msgs ({ok})",
+        (sip_texts.len() * reps * 10) as f64 / c2.as_secs_f64(),
+        sip_texts.len()
+    );
+
+    // Phase C3: classify_wire only (classify incl. event building).
+    let wires: Vec<(WireProto, &[u8], _, _)> = batch
+        .iter()
+        .filter_map(|p| match &p.payload {
+            Payload::Sip(t) => Some((WireProto::Sip, t.as_bytes(), p.src, p.dst)),
+            Payload::Rtp(b) => Some((WireProto::Rtp, b.as_slice(), p.src, p.dst)),
+            _ => None,
+        })
+        .collect();
+    let start = Instant::now();
+    let mut ok = 0usize;
+    for _ in 0..reps {
+        for (proto, payload, src, dst) in &wires {
+            let c = classify_wire(*proto, payload, *src, *dst);
+            ok += matches!(c, vids::core::classify::Classified::Ignored) as usize;
+        }
+    }
+    let c3 = start.elapsed();
+    eprintln!(
+        "classify_wire only:    {:>9.0} pps ({ok})",
+        (wires.len() * reps) as f64 / c3.as_secs_f64()
+    );
+
+    // Phase D: full replay via pool.
+    let start = Instant::now();
+    let mut total = 0u64;
+    for _ in 0..reps {
+        let config = Config::builder().shards(1).build().unwrap();
+        let mut pool = VidsPool::with_cost(config, CostModel::free());
+        let report =
+            vids::ingest::replay::replay_pcap(capture.clone(), &mut pool, 256, None, &mut NullSink)
+                .unwrap();
+        total += report.datagrams;
+    }
+    let d = start.elapsed();
+    eprintln!(
+        "full replay (1 shard): {:>9.0} pps ({total})",
+        (n * reps) as f64 / d.as_secs_f64()
+    );
+
+    // Phase E: engine only — pre-classified wire events fed to the pool.
+    let events: Vec<vids::core::pool::WireEvent> = {
+        let mut r = PcapReader::new(&capture).unwrap();
+        let mut v = Vec::new();
+        while let Some(dg) = r.next_datagram().unwrap() {
+            let (_, c) = classify_datagram(&dg);
+            v.push(vids::core::pool::WireEvent {
+                classified: c,
+                at: dg.at,
+            });
+        }
+        v
+    };
+    let start = Instant::now();
+    for _ in 0..reps {
+        let config = Config::builder().shards(1).build().unwrap();
+        let mut pool = VidsPool::with_cost(config, CostModel::free());
+        for chunk in events.chunks(256) {
+            let mut batch: Vec<_> = chunk.to_vec();
+            let at = batch.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+            pool.process_wire_batch(&mut batch, at, &mut NullSink);
+        }
+        pool.tick(SimTime::from_secs(120), &mut NullSink);
+    }
+    let e = start.elapsed();
+    eprintln!(
+        "engine only (preclassified, incl clone): {:>9.0} pps",
+        (n * reps) as f64 / e.as_secs_f64()
+    );
+
+    let _ = Packet {
+        src: batch[0].src,
+        dst: batch[0].dst,
+        payload: Payload::Raw(vec![]),
+        id: 0,
+        sent_at: SimTime::ZERO,
+    };
+}

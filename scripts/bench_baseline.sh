@@ -10,20 +10,30 @@ cd "$(dirname "$0")/.."
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-for bench in parser_throughput pool_scaling hot_path_alloc; do
+for bench in parser_throughput pool_scaling hot_path_alloc pcap_replay; do
     echo "==> cargo bench --bench $bench"
     cargo bench --offline -p vids-bench --bench "$bench" | tee -a "$out"
 done
 
-# `bench <id> <ns>/iter <elem/s> elem/s` lines from the criterion stub.
+# `bench <id> <ns>/iter <rate> elem/s|MiB/s` lines from the criterion
+# stub, plus the `replay, N shard(s) ... pps` rows the pcap bench prints.
 python3 - "$out" <<'PY'
 import json, re, sys
 
 rates = {}
+replay = {}
 for line in open(sys.argv[1]):
     m = re.match(r"bench\s+(\S+)\s+[\d.]+\s+ns/iter\s+(\d+)\s+elem/s", line)
     if m:
         rates[m.group(1)] = int(m.group(2))
+        continue
+    m = re.match(r"bench\s+(\S+)\s+[\d.]+\s+ns/iter\s+([\d.]+)\s+MiB/s", line)
+    if m:
+        rates[m.group(1)] = float(m.group(2))
+        continue
+    m = re.match(r"replay,\s+(\d+)\s+shard\(s\)\s+-\s+(\d+)\s+pps", line)
+    if m:
+        replay[int(m.group(1))] = int(m.group(2))
 
 path = "BENCH_hotpath.json"
 doc = json.load(open(path))
@@ -34,10 +44,16 @@ mapping = {
     "pool_mixed_fig8_4_shards_elem_per_s": "hot_path/pool_mixed_fig8_4_shards",
     "pool_mixed_fig8_4_shards_telemetry_elem_per_s": "hot_path/pool_mixed_fig8_4_shards_telemetry",
     "sip_parse_reject_malformed_elem_per_s": "parser/sip_parse_reject_malformed",
+    "sip_parse_view_mib_per_s": "parser/sip_parse_view_invite_with_sdp",
+    "sip_header_scan_mib_per_s": "parser/sip_header_scan_only",
+    "rtp_decode_header_mib_per_s": "parser/rtp_decode_header",
 }
 for key, bench_id in mapping.items():
     if bench_id in rates:
         cur[key] = rates[bench_id]
+for shards, pps in replay.items():
+    suffix = "shard" if shards == 1 else "shards"
+    cur[f"pcap_replay_{shards}_{suffix}_pps"] = pps
 json.dump(doc, open(path, "w"), indent=2)
 open(path, "a").write("\n")
 print(f"updated {path}: {cur}")

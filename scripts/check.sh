@@ -20,16 +20,30 @@ cargo test --offline -p vids-telemetry -q
 echo "==> cargo test -p vids-ingest (wire tier + loopback smoke)"
 cargo test --offline -p vids-ingest -q
 
+# Scanning substrate: exhaustive 0..=64 alignment/tail unit tests plus
+# the proptest oracle asserting every SWAR finder agrees with its naive
+# scalar twin on arbitrary bytes.
+echo "==> cargo test -p vids-scan (SWAR equivalence oracle)"
+cargo test --offline -p vids-scan -q
+
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Hot-path crates additionally reject silent per-packet allocations that
-# plain `-D warnings` lets through (see tests/alloc_budget.rs).
+# plain `-D warnings` lets through (see tests/alloc_budget.rs). The scan
+# substrate and the SIP parsers it feeds are in this set: they run on
+# every hostile datagram.
 echo "==> cargo clippy (hot-path crates, allocation lints)"
-cargo clippy --offline -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest --all-targets -- \
+cargo clippy --offline -p vids-scan -p vids-sip -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest --all-targets -- \
     -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string
+
+# Allocation budget: the slab'd fact base (dense CallIdx slots, FxHash
+# maps) must keep the warm per-packet path at zero allocations with
+# telemetry recording enabled.
+echo "==> alloc budget (slab warm path, telemetry on)"
+cargo test --offline --test alloc_budget -q
 
 # Adversarial correctness harness (crates/harness): structure-aware wire
 # fuzzing, differential oracles, the exhaustive mailbox interleaving

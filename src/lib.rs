@@ -50,6 +50,7 @@ pub use vids_efsm as efsm;
 pub use vids_ingest as ingest;
 pub use vids_netsim as netsim;
 pub use vids_rtp as rtp;
+pub use vids_scan as scan;
 pub use vids_sdp as sdp;
 pub use vids_sip as sip;
 pub use vids_telemetry as telemetry;

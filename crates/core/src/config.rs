@@ -74,6 +74,11 @@ pub struct Config {
     /// Live ingestion: a receiver flushes its accumulated batch after
     /// this long, even if it is smaller than `batch_flush_packets`.
     pub batch_flush_interval: SimTime,
+    /// Offline replay: how far past the last captured packet the final
+    /// timer sweep runs, so hanging-call and media-silence timers near the
+    /// end of a capture still fire. The historical hard-coded value (30 s)
+    /// is the default.
+    pub replay_grace: SimTime,
 }
 
 impl Default for Config {
@@ -95,6 +100,7 @@ impl Default for Config {
             listen: None,
             batch_flush_packets: 256,
             batch_flush_interval: SimTime::from_millis(10),
+            replay_grace: SimTime::from_secs(30),
         }
     }
 }
@@ -252,6 +258,13 @@ impl ConfigBuilder {
         self
     }
 
+    /// Offline replay: grace period the final timer sweep runs past the
+    /// last captured packet.
+    pub fn replay_grace(mut self, grace: SimTime) -> Self {
+        self.config.replay_grace = grace;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<Config, ConfigError> {
         let c = &self.config;
@@ -288,6 +301,9 @@ impl ConfigBuilder {
         if c.batch_flush_interval.is_zero() {
             return Err(ConfigError::ZeroWindow("batch_flush_interval"));
         }
+        if c.replay_grace.is_zero() {
+            return Err(ConfigError::ZeroWindow("replay_grace"));
+        }
         Ok(self.config)
     }
 }
@@ -310,6 +326,7 @@ mod tests {
         assert!(c.listen.is_none());
         assert!(c.batch_flush_packets > 0);
         assert!(!c.batch_flush_interval.is_zero());
+        assert_eq!(c.replay_grace, SimTime::from_secs(30));
     }
 
     #[test]
@@ -333,6 +350,18 @@ mod tests {
                 .batch_flush_interval(SimTime::ZERO)
                 .build(),
             Err(ConfigError::ZeroWindow("batch_flush_interval"))
+        );
+        assert_eq!(
+            Config::builder()
+                .replay_grace(SimTime::from_secs(5))
+                .build()
+                .unwrap()
+                .replay_grace,
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            Config::builder().replay_grace(SimTime::ZERO).build(),
+            Err(ConfigError::ZeroWindow("replay_grace"))
         );
     }
 }

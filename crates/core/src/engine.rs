@@ -292,6 +292,17 @@ impl Vids {
         &self.factbase
     }
 
+    /// Freezes the EFSM state of one monitored call — per-machine states,
+    /// locals and call globals — for forensic dumps. `None` when the call
+    /// is not (or no longer) monitored.
+    pub fn call_snapshot(&self, call_id: &str) -> Option<crate::snapshot::CallSnapshot> {
+        let record = self.factbase.call(call_id)?;
+        Some(crate::snapshot::CallSnapshot::of_network(
+            call_id,
+            &record.network,
+        ))
+    }
+
     /// CPU busy time accumulated by the cost model.
     pub fn cpu_busy(&self) -> SimTime {
         self.cpu.busy()

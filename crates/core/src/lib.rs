@@ -71,6 +71,7 @@ pub mod monitor;
 pub mod pool;
 pub mod report;
 pub mod sink;
+pub mod snapshot;
 pub mod tap;
 
 pub use vids_telemetry as telemetry;
@@ -97,4 +98,5 @@ pub use monitor::Monitor;
 pub use pool::{VidsPool, WireEvent};
 pub use report::AlertReport;
 pub use sink::{AlertSink, CollectSink, FnSink, NullSink};
+pub use snapshot::{CallSnapshot, MachineSnapshot};
 pub use tap::VidsTap;

@@ -634,6 +634,12 @@ impl VidsPool {
         &self.shards[index]
     }
 
+    /// Freezes the EFSM state of one monitored call, whichever shard owns
+    /// it. See [`Vids::call_snapshot`].
+    pub fn call_snapshot(&self, call_id: &str) -> Option<crate::snapshot::CallSnapshot> {
+        self.shards.iter().find_map(|s| s.call_snapshot(call_id))
+    }
+
     /// Every alert raised so far, in deterministic merge order.
     pub fn alerts(&self) -> &[Alert] {
         &self.alerts

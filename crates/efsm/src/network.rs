@@ -233,6 +233,15 @@ impl Network {
         &self.defs[id.0]
     }
 
+    /// Every machine of the network with its definition, in the order the
+    /// machines were added (forensic snapshots walk this).
+    pub fn machines(&self) -> impl Iterator<Item = (&MachineDef, &MachineInstance)> {
+        self.defs
+            .iter()
+            .map(|d| d.as_ref())
+            .zip(self.instances.iter())
+    }
+
     /// Call-global shared variables.
     pub fn globals(&self) -> &VarMap {
         &self.globals

@@ -20,6 +20,10 @@
 //!   The worker-side transition functions are imported from
 //!   `vids_core::pool::mailbox` — the model checks the shipped decision
 //!   logic, not a transcription.
+//! * [`record_bridge`] — loads flight-recorder `.vdump` forensic dumps
+//!   as fuzz corpus seeds (real wire bytes that provably drove the
+//!   engine to an alert) and re-exports the drop-one-packet minimizer
+//!   that keeps committed regression dumps small.
 //! * the `tests/` directory holds the standing gates: wire fuzzing
 //!   (`fuzz_wire`), differential oracles (`differential` — parse→Display→
 //!   parse round-trips, plain-vs-pooled-engine equality at 1/4/8 shards,
@@ -34,6 +38,7 @@
 pub mod corpus;
 pub mod model;
 pub mod mutate;
+pub mod record_bridge;
 pub mod rng;
 
 /// Per-target fuzz iteration budget: `VIDS_FUZZ_ITERS` when set and

@@ -24,6 +24,7 @@ pub mod batch;
 pub mod datagram;
 pub mod demux;
 pub mod pcap;
+pub mod record_tap;
 pub mod replay;
 pub mod server;
 pub mod source;
@@ -36,6 +37,7 @@ pub mod prelude {
     pub use crate::datagram::Datagram;
     pub use crate::demux::{classify_datagram, demux, WireClass, SIP_PORT};
     pub use crate::pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
+    pub use crate::record_tap::{recorded_class, RecordTap, ServeRecorder};
     pub use crate::replay::{replay, replay_pcap, ReplayReport};
     pub use crate::server::{serve, serve_on, ServeOptions, ServeReport};
     pub use crate::source::{IngestError, PcapSource, Polled, WireSource};
@@ -46,6 +48,7 @@ pub use batch::Batcher;
 pub use datagram::Datagram;
 pub use demux::{classify_datagram, demux, WireClass, SIP_PORT};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
+pub use record_tap::{recorded_class, RecordTap, ServeRecorder};
 pub use replay::{replay, replay_pcap, ReplayReport};
 pub use server::{serve, serve_on, stop_flag_on_sigint, ServeOptions, ServeReport};
 pub use source::{IngestError, PcapSource, Polled, WireSource};

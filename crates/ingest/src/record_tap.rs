@@ -1,0 +1,90 @@
+//! Bridges the ingest pipeline to the `vids-record` flight recorder.
+//!
+//! Both ingest paths (offline [`crate::replay::replay`] and the live
+//! [`crate::server`]) accept an optional tap. When present, every
+//! datagram is mirrored into the recorder's rings *before* it reaches
+//! the engine (allocation-free), batch boundaries are marked as the
+//! engine sees them, and any alert a batch raises triggers a `.vdump`
+//! of the surrounding window.
+
+use std::path::{Path, PathBuf};
+
+use vids_record::{RecordedClass, Recorder};
+
+use crate::demux::WireClass;
+
+/// Maps the live demux verdict onto the dump's frozen class byte.
+pub fn recorded_class(class: WireClass) -> RecordedClass {
+    match class {
+        WireClass::Sip => RecordedClass::Sip,
+        WireClass::Rtp => RecordedClass::Rtp,
+        WireClass::Rtcp => RecordedClass::Rtcp,
+        WireClass::Unknown => RecordedClass::Unknown,
+    }
+}
+
+/// A flight-recorder tap for the single-lane offline replay path.
+///
+/// `dump_dir = None` keeps the rings hot (stats, overhead measurement)
+/// without ever writing dumps; alerts then pass through untouched.
+pub struct RecordTap<'a> {
+    /// The recorder holding the rings.
+    pub recorder: &'a mut Recorder,
+    /// Where alert-triggered dumps go; `None` disables dumping.
+    pub dump_dir: Option<&'a Path>,
+    /// Dump files written during this run, in order.
+    pub written: Vec<PathBuf>,
+}
+
+impl<'a> RecordTap<'a> {
+    /// Taps `recorder`, dumping alerts into `dump_dir` when given.
+    pub fn new(recorder: &'a mut Recorder, dump_dir: Option<&'a Path>) -> Self {
+        RecordTap {
+            recorder,
+            dump_dir,
+            written: Vec::new(),
+        }
+    }
+}
+
+/// A flight-recorder tap for the multi-threaded serve path.
+///
+/// Receiver threads record into the rings through the mutex (one short
+/// lock per datagram); the coordinator thread locks it per batch to
+/// mark the boundary and write dumps. The lock is never held across
+/// engine work.
+pub struct ServeRecorder<'a> {
+    /// The shared recorder.
+    pub recorder: &'a std::sync::Mutex<Recorder>,
+    /// Where alert-triggered dumps go; `None` disables dumping.
+    pub dump_dir: Option<&'a Path>,
+    /// Dump files written during the session, in order.
+    pub written: Vec<PathBuf>,
+    /// Dump writes that failed (the session keeps serving).
+    pub io_errors: u64,
+}
+
+impl<'a> ServeRecorder<'a> {
+    /// Taps `recorder`, dumping alerts into `dump_dir` when given.
+    pub fn new(recorder: &'a std::sync::Mutex<Recorder>, dump_dir: Option<&'a Path>) -> Self {
+        ServeRecorder {
+            recorder,
+            dump_dir,
+            written: Vec::new(),
+            io_errors: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demux_classes_map_one_to_one() {
+        assert_eq!(recorded_class(WireClass::Sip), RecordedClass::Sip);
+        assert_eq!(recorded_class(WireClass::Rtp), RecordedClass::Rtp);
+        assert_eq!(recorded_class(WireClass::Rtcp), RecordedClass::Rtcp);
+        assert_eq!(recorded_class(WireClass::Unknown), RecordedClass::Unknown);
+    }
+}

@@ -7,18 +7,24 @@
 //! and counters from a replay are byte-identical to what an in-process
 //! run over the same traffic produces (`tests/replay_differential.rs`
 //! in the root crate holds this at 1, 4 and 8 shards).
+//!
+//! An optional [`RecordTap`] mirrors every datagram into the flight
+//! recorder before the engine sees it and dumps the captured window
+//! whenever a batch (or the final timer sweep) raises an alert.
 
 use vids_core::pool::{VidsPool, WireEvent};
 use vids_core::sink::AlertSink;
 use vids_core::telemetry::{Counter, Registry};
 use vids_netsim::time::SimTime;
+use vids_record::TeeSink;
 
 use crate::demux::{classify_datagram, WireClass};
+use crate::record_tap::{recorded_class, RecordTap};
 use crate::source::{IngestError, PcapSource, Polled, WireSource};
 
-/// How far past the last captured packet the final timer sweep runs, so
-/// hanging-call and media-silence timers near the end of a capture still
-/// fire.
+/// The historical hard-coded grace period. The pipeline now reads
+/// [`vids_core::config::Config::replay_grace`] (same default); this
+/// constant remains for callers that need the value without a config.
 pub const REPLAY_GRACE: SimTime = SimTime::from_secs(30);
 
 /// What a replay processed.
@@ -35,12 +41,15 @@ pub struct ReplayReport {
 }
 
 /// Replays any [`WireSource`] to exhaustion through `pool`, batching
-/// `flush_packets` events at a time.
+/// `flush_packets` events at a time. With a [`RecordTap`], every
+/// datagram also lands in the flight recorder and alert batches dump
+/// their window (paths accumulate in [`RecordTap::written`]).
 pub fn replay<W, S>(
     source: &mut W,
     pool: &mut VidsPool,
     flush_packets: usize,
     telemetry: Option<&Registry>,
+    mut tap: Option<&mut RecordTap<'_>>,
     sink: &mut S,
 ) -> Result<ReplayReport, IngestError>
 where
@@ -54,6 +63,10 @@ where
         match source.poll()? {
             Polled::Datagram(d) => {
                 let (class, classified) = classify_datagram(&d);
+                if let Some(t) = tap.as_deref_mut() {
+                    t.recorder
+                        .record(0, d.at, d.src, d.dst, recorded_class(class), d.payload);
+                }
                 report.datagrams += 1;
                 if class == WireClass::Unknown {
                     report.demux_unknown += 1;
@@ -64,7 +77,7 @@ where
                     at: d.at,
                 });
                 if events.len() >= flush_packets {
-                    flush_batch(pool, &mut events, &mut report, sink);
+                    flush_batch(pool, &mut events, &mut report, tap.as_deref_mut(), sink)?;
                 }
             }
             // Replay sources are not expected to stall, but a source
@@ -74,9 +87,20 @@ where
         }
     }
     if !events.is_empty() {
-        flush_batch(pool, &mut events, &mut report, sink);
+        flush_batch(pool, &mut events, &mut report, tap.as_deref_mut(), sink)?;
     }
-    pool.tick(report.last_at + REPLAY_GRACE, sink);
+    let sweep_at = report.last_at + pool.config().replay_grace;
+    match tap {
+        Some(t) => {
+            let mut seen = Vec::new();
+            {
+                let mut tee = TeeSink::new(sink, &mut seen);
+                pool.tick(sweep_at, &mut tee);
+            }
+            dump_batch_alerts(pool, t, &seen)?;
+        }
+        None => pool.tick(sweep_at, sink),
+    }
     if let Some(reg) = telemetry {
         let slab = reg.pool();
         slab.add(Counter::DatagramsRx, report.datagrams);
@@ -93,11 +117,48 @@ fn flush_batch<S: AlertSink + ?Sized>(
     pool: &mut VidsPool,
     events: &mut Vec<WireEvent>,
     report: &mut ReplayReport,
+    tap: Option<&mut RecordTap<'_>>,
     sink: &mut S,
-) {
+) -> Result<(), IngestError> {
     let now = events.first().map(|e| e.at).unwrap_or(report.last_at);
-    pool.process_wire_batch(events, now, sink);
+    match tap {
+        Some(t) => {
+            // The tee buffer starts empty and only grows on an alert, so
+            // the steady (alert-free) path stays allocation-free.
+            let mut seen = Vec::new();
+            {
+                let mut tee = TeeSink::new(sink, &mut seen);
+                pool.process_wire_batch(events, now, &mut tee);
+            }
+            t.recorder.mark_batch();
+            dump_batch_alerts(pool, t, &seen)?;
+        }
+        None => pool.process_wire_batch(events, now, sink),
+    }
     report.batches += 1;
+    Ok(())
+}
+
+/// Queues a batch's alerts on the recorder and writes their dumps.
+fn dump_batch_alerts(
+    pool: &VidsPool,
+    tap: &mut RecordTap<'_>,
+    seen: &[vids_core::alert::Alert],
+) -> Result<(), IngestError> {
+    if seen.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = tap.dump_dir {
+        for a in seen {
+            tap.recorder.note_alert(a);
+        }
+        let written = tap
+            .recorder
+            .dump_pending(pool, dir)
+            .map_err(IngestError::Io)?;
+        tap.written.extend(written);
+    }
+    Ok(())
 }
 
 /// Replays classic pcap capture bytes (see [`crate::pcap::PcapReader`]
@@ -107,10 +168,11 @@ pub fn replay_pcap<S: AlertSink + ?Sized>(
     pool: &mut VidsPool,
     flush_packets: usize,
     telemetry: Option<&Registry>,
+    tap: Option<&mut RecordTap<'_>>,
     sink: &mut S,
 ) -> Result<ReplayReport, IngestError> {
     let mut source = PcapSource::new(capture)?;
-    replay(&mut source, pool, flush_packets, telemetry, sink)
+    replay(&mut source, pool, flush_packets, telemetry, tap, sink)
 }
 
 #[cfg(test)]
@@ -119,6 +181,7 @@ mod tests {
     use crate::pcap::PcapWriter;
     use vids_core::config::Config;
     use vids_core::sink::CollectSink;
+    use vids_record::Recorder;
 
     #[test]
     fn replays_a_capture_and_reports_totals() {
@@ -134,7 +197,7 @@ mod tests {
         );
         let mut pool = VidsPool::new(Config::default());
         let mut sink = CollectSink::new();
-        let report = replay_pcap(w.into_bytes(), &mut pool, 1, None, &mut sink).unwrap();
+        let report = replay_pcap(w.into_bytes(), &mut pool, 1, None, None, &mut sink).unwrap();
         assert_eq!(report.datagrams, 2);
         assert_eq!(report.demux_unknown, 1);
         assert_eq!(report.batches, 2);
@@ -143,5 +206,39 @@ mod tests {
         assert_eq!(sink.alerts().len(), 1);
         assert_eq!(pool.counters().malformed, 1);
         assert_eq!(pool.counters().ignored, 1);
+    }
+
+    #[test]
+    fn tapped_replay_records_the_window_and_dumps_on_alert() {
+        let mut w = PcapWriter::new();
+        let src = "10.1.0.10:5060".parse().unwrap();
+        let dst = "10.2.0.10:5060".parse().unwrap();
+        // Garbage on the SIP port raises a malformed-signaling alert.
+        w.push_udp(SimTime::from_millis(1), src, dst, b"not really sip");
+        let mut pool = VidsPool::new(Config::default());
+        let mut sink = CollectSink::new();
+        let mut recorder = Recorder::with_defaults(1);
+        let dir = std::env::temp_dir().join("vids-ingest-tap-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut tap = RecordTap::new(&mut recorder, Some(&dir));
+        let report = replay_pcap(
+            w.into_bytes(),
+            &mut pool,
+            1,
+            None,
+            Some(&mut tap),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(report.datagrams, 1);
+        // The sink still sees the alert (tee, not redirect)...
+        assert_eq!(sink.alerts().len(), 1);
+        // ...and the tap wrote one dump for it.
+        assert_eq!(tap.written.len(), 1);
+        let dump = vids_record::Vdump::read_from(&tap.written[0]).unwrap();
+        assert_eq!(dump.packets.len(), 1);
+        assert_eq!(dump.packets[0].payload, b"not really sip");
+        assert_eq!(recorder.stats().dumps_written, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

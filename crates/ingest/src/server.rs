@@ -23,19 +23,30 @@
 //! [`stop_flag_on_sigint`]). Receivers flush their partial batch and
 //! exit; the coordinator drains every in-flight batch, runs one final
 //! timer tick, and returns.
+//!
+//! An optional [`ServeRecorder`] taps the pipeline for the flight
+//! recorder: receivers mirror each datagram into a shared ring set (one
+//! short mutex lock per datagram, never held across engine work) and
+//! the coordinator dumps the captured window whenever a batch raises an
+//! alert.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
+use vids_core::alert::Alert;
 use vids_core::config::Config;
 use vids_core::pool::{VidsPool, WireEvent};
 use vids_core::sink::AlertSink;
 use vids_core::telemetry::{Counter, Gauge, Registry};
 use vids_netsim::time::SimTime;
+use vids_record::{Recorder, TeeSink};
 
 use crate::batch::Batcher;
 use crate::demux::{classify_datagram, WireClass};
+use crate::record_tap::{recorded_class, ServeRecorder};
 use crate::source::{IngestError, Polled, WireSource};
 use crate::udp::{PoolMode, UdpPool, UdpSource};
 
@@ -109,10 +120,11 @@ pub fn serve<S: AlertSink + ?Sized>(
     opts: &ServeOptions,
     telemetry: Option<&Registry>,
     stop: &AtomicBool,
+    recorder: Option<&mut ServeRecorder<'_>>,
     sink: &mut S,
 ) -> Result<ServeReport, IngestError> {
     let udp = UdpPool::bind(listen, opts.receivers)?;
-    serve_on(pool, udp, opts, telemetry, stop, sink)
+    serve_on(pool, udp, opts, telemetry, stop, recorder, sink)
 }
 
 /// [`serve`] over an already-bound socket pool — the entry point for
@@ -123,6 +135,7 @@ pub fn serve_on<S: AlertSink + ?Sized>(
     opts: &ServeOptions,
     telemetry: Option<&Registry>,
     stop: &AtomicBool,
+    recorder: Option<&mut ServeRecorder<'_>>,
     sink: &mut S,
 ) -> Result<ServeReport, IngestError> {
     let mode = udp.mode();
@@ -142,13 +155,22 @@ pub fn serve_on<S: AlertSink + ?Sized>(
     // per batch flush, not per datagram).
     let recycle_rx = std::sync::Mutex::new(recycle_rx);
 
+    // Split the recorder: receivers share the mutex, the coordinator
+    // additionally knows the dump directory; written paths and write
+    // failures are folded back after the scope ends.
+    let rec_mutex: Option<&Mutex<Recorder>> = recorder.as_ref().map(|r| r.recorder);
+    let dump_dir: Option<&Path> = recorder.as_ref().and_then(|r| r.dump_dir);
+    let mut dump_log = DumpLog::default();
+
     let report = std::thread::scope(|scope| {
         for (i, source) in sources.into_iter().enumerate() {
             let tx = batch_tx.clone();
             let recycle = &recycle_rx;
             let stats = &stats;
             let opts = *opts;
-            scope.spawn(move || receiver_loop(source, i, tx, recycle, stats, &opts, stop));
+            scope.spawn(move || {
+                receiver_loop(source, i, tx, recycle, stats, &opts, stop, rec_mutex)
+            });
         }
         // The receivers hold the only senders now; `Disconnected` on the
         // batch channel therefore means every receiver has flushed and
@@ -163,12 +185,26 @@ pub fn serve_on<S: AlertSink + ?Sized>(
             opts,
             telemetry,
             epoch,
+            rec_mutex.map(|m| (m, dump_dir)),
+            &mut dump_log,
             sink,
         )
     });
+    if let Some(r) = recorder {
+        r.written.extend(dump_log.written);
+        r.io_errors += dump_log.io_errors;
+    }
     Ok(report)
 }
 
+/// Dump outcomes the coordinator accumulates during a session.
+#[derive(Default)]
+struct DumpLog {
+    written: Vec<PathBuf>,
+    io_errors: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn receiver_loop(
     mut source: UdpSource,
     index: usize,
@@ -177,6 +213,7 @@ fn receiver_loop(
     stats: &IngestStats,
     opts: &ServeOptions,
     stop: &AtomicBool,
+    recorder: Option<&Mutex<Recorder>>,
 ) {
     let mut batcher = Batcher::new(opts.flush_packets, opts.flush_interval.as_nanos() as u64);
     let mut polls: u32 = 0;
@@ -193,6 +230,11 @@ fn receiver_loop(
         let due = match source.poll() {
             Ok(Polled::Datagram(d)) => {
                 let (class, classified) = classify_datagram(&d);
+                if let Some(m) = recorder {
+                    if let Ok(mut rec) = m.lock() {
+                        rec.record(index, d.at, d.src, d.dst, recorded_class(class), d.payload);
+                    }
+                }
                 stats.rx.fetch_add(1, Ordering::Relaxed);
                 if class == WireClass::Unknown {
                     stats.unknown.fetch_add(1, Ordering::Relaxed);
@@ -244,11 +286,16 @@ fn coordinator_loop<S: AlertSink + ?Sized>(
     opts: &ServeOptions,
     telemetry: Option<&Registry>,
     epoch: Instant,
+    recorder: Option<(&Mutex<Recorder>, Option<&Path>)>,
+    dump_log: &mut DumpLog,
     sink: &mut S,
 ) -> ServeReport {
     let mut batches = 0u64;
     let mut published = ServeReport::default();
     let mut last_tick = Instant::now();
+    // Reused across batches; empty (and allocation-free) unless a batch
+    // raises alerts.
+    let mut seen: Vec<Alert> = Vec::new();
     loop {
         match batch_rx.recv_timeout(opts.tick_interval) {
             Ok(mut events) => {
@@ -257,7 +304,16 @@ fn coordinator_loop<S: AlertSink + ?Sized>(
                 // the clock, and a later clock would flatten the
                 // intra-batch timing the window machines count on.
                 let now = events.first().map(|e| e.at).unwrap_or_else(|| wall(epoch));
-                pool.process_wire_batch(&mut events, now, sink);
+                match recorder {
+                    Some((m, dir)) => {
+                        {
+                            let mut tee = TeeSink::new(sink, &mut seen);
+                            pool.process_wire_batch(&mut events, now, &mut tee);
+                        }
+                        finish_recorded_batch(pool, m, dir, &mut seen, dump_log);
+                    }
+                    None => pool.process_wire_batch(&mut events, now, sink),
+                }
                 batches += 1;
                 let _ = recycle_tx.send(events);
             }
@@ -267,18 +323,68 @@ fn coordinator_loop<S: AlertSink + ?Sized>(
         let now = Instant::now();
         if now.duration_since(last_tick) >= opts.tick_interval {
             last_tick = now;
-            pool.tick(wall(epoch), sink);
+            tick_maybe_recorded(pool, wall(epoch), recorder, &mut seen, dump_log, sink);
         }
         publish(stats, telemetry, batches, &mut published);
     }
     // All receivers flushed and exited; every batch has been processed.
     // One final sweep fires any timers that were still pending.
     let ended_at = wall(epoch);
-    pool.tick(ended_at, sink);
+    tick_maybe_recorded(pool, ended_at, recorder, &mut seen, dump_log, sink);
     publish(stats, telemetry, batches, &mut published);
     ServeReport {
         ended_at,
         ..published
+    }
+}
+
+/// Marks the batch boundary in the recorder and dumps any alerts the
+/// batch raised. A failed dump write is counted, not fatal.
+fn finish_recorded_batch(
+    pool: &VidsPool,
+    recorder: &Mutex<Recorder>,
+    dump_dir: Option<&Path>,
+    seen: &mut Vec<Alert>,
+    dump_log: &mut DumpLog,
+) {
+    let Ok(mut rec) = recorder.lock() else {
+        seen.clear();
+        return;
+    };
+    rec.mark_batch();
+    if let Some(dir) = dump_dir {
+        for a in seen.iter() {
+            rec.note_alert(a);
+        }
+        match rec.dump_pending(pool, dir) {
+            Ok(paths) => dump_log.written.extend(paths),
+            Err(_) => dump_log.io_errors += 1,
+        }
+    }
+    seen.clear();
+}
+
+/// A timer sweep, teed through the recorder when one is attached so
+/// timer-raised alerts also dump their window.
+fn tick_maybe_recorded<S: AlertSink + ?Sized>(
+    pool: &mut VidsPool,
+    now: SimTime,
+    recorder: Option<(&Mutex<Recorder>, Option<&Path>)>,
+    seen: &mut Vec<Alert>,
+    dump_log: &mut DumpLog,
+    sink: &mut S,
+) {
+    match recorder {
+        Some((m, dir)) => {
+            {
+                let mut tee = TeeSink::new(sink, seen);
+                pool.tick(now, &mut tee);
+            }
+            if !seen.is_empty() {
+                finish_recorded_batch(pool, m, dir, seen, dump_log);
+            }
+        }
+        None => pool.tick(now, sink),
     }
 }
 

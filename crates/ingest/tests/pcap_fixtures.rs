@@ -14,7 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use vids_ingest::pcap::{PcapReader, LINKTYPE_RAW};
+use vids_ingest::pcap::{PcapReader, PcapWriter, LINKTYPE_ETHERNET, LINKTYPE_RAW};
 use vids_netsim::time::SimTime;
 
 struct CountingAlloc;
@@ -240,4 +240,68 @@ fn fixtures_parse_and_rejects_are_alloc_free() {
     });
     assert_eq!(n, 8);
     assert_eq!(allocs, 0, "reading borrowed records must not allocate");
+}
+
+/// Write→read round-trip as a property, across both byte orders and
+/// both link types: whatever `PcapWriter` emits, `PcapReader` must hand
+/// back verbatim — addresses, ports, payload bytes and microsecond
+/// timestamps — for arbitrary datagram sequences.
+mod round_trip {
+    use super::*;
+    use proptest::prelude::*;
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    /// One arbitrary datagram: (micros, src ip+port, dst ip+port, payload).
+    /// Timestamps stay under the u32-seconds ceiling the classic format
+    /// can represent; payloads cover empty through past-MTU sizes.
+    type Dg = (u64, (u8, u8, u8, u8), u16, (u8, u8, u8, u8), u16, Vec<u8>);
+
+    fn datagram() -> impl Strategy<Value = Dg> {
+        (
+            0u64..4_000_000_000_000_000u64,
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1u16..=u16::MAX,
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1u16..=u16::MAX,
+            proptest::collection::vec(any::<u8>(), 0..1600),
+        )
+    }
+
+    fn sock(ip: (u8, u8, u8, u8), port: u16) -> SocketAddrV4 {
+        SocketAddrV4::new(Ipv4Addr::new(ip.0, ip.1, ip.2, ip.3), port)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn writer_reader_round_trip_both_orders_and_linktypes(
+            datagrams in proptest::collection::vec(datagram(), 0..24),
+            swapped in any::<bool>(),
+            ethernet in any::<bool>(),
+        ) {
+            let linktype = if ethernet { LINKTYPE_ETHERNET } else { LINKTYPE_RAW };
+            let mut w = PcapWriter::with_format(swapped, linktype);
+            for (us, sip, sport, dip, dport, payload) in &datagrams {
+                w.push_udp(
+                    SimTime::from_micros(*us),
+                    sock(*sip, *sport),
+                    sock(*dip, *dport),
+                    payload,
+                );
+            }
+            let capture = w.into_bytes();
+
+            let mut r = PcapReader::new(&capture).unwrap();
+            prop_assert_eq!(r.is_swapped(), swapped);
+            for (us, sip, sport, dip, dport, payload) in &datagrams {
+                let d = r.next_datagram().unwrap().expect("fewer datagrams than written");
+                prop_assert_eq!(d.at, SimTime::from_micros(*us));
+                prop_assert_eq!(d.src, std::net::SocketAddr::V4(sock(*sip, *sport)));
+                prop_assert_eq!(d.dst, std::net::SocketAddr::V4(sock(*dip, *dport)));
+                prop_assert_eq!(d.payload, &payload[..]);
+            }
+            prop_assert!(r.next_datagram().unwrap().is_none(), "extra trailing datagram");
+        }
+    }
 }

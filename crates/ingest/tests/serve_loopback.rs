@@ -14,8 +14,10 @@ use vids_core::config::Config;
 use vids_core::cost::CostModel;
 use vids_core::pool::VidsPool;
 use vids_core::sink::CollectSink;
+use vids_ingest::record_tap::ServeRecorder;
 use vids_ingest::server::{serve_on, ServeOptions};
 use vids_ingest::udp::UdpPool;
+use vids_record::{Recorder, Vdump};
 use vids_sip::{Request, SipUri};
 
 /// Sandboxes without network namespaces cannot bind loopback; skip
@@ -47,6 +49,13 @@ fn serve_detects_an_invite_flood_over_real_udp() {
     let mut sink = CollectSink::new();
     let stop = AtomicBool::new(false);
 
+    // Flight recorder riding along: one ring per receiver, dumps into a
+    // scratch directory.
+    let dump_dir = std::env::temp_dir().join("vids-serve-loopback-dumps");
+    std::fs::remove_dir_all(&dump_dir).ok();
+    let recorder = std::sync::Mutex::new(Recorder::with_defaults(2));
+    let mut serve_rec = ServeRecorder::new(&recorder, Some(&dump_dir));
+
     let report = std::thread::scope(|scope| {
         scope.spawn(|| {
             let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
@@ -67,7 +76,16 @@ fn serve_detects_an_invite_flood_over_real_udp() {
             std::thread::sleep(Duration::from_millis(600));
             stop.store(true, Ordering::Relaxed);
         });
-        serve_on(&mut pool, udp, &opts, None, &stop, &mut sink).unwrap()
+        serve_on(
+            &mut pool,
+            udp,
+            &opts,
+            None,
+            &stop,
+            Some(&mut serve_rec),
+            &mut sink,
+        )
+        .unwrap()
     });
 
     assert_eq!(
@@ -84,4 +102,19 @@ fn serve_detects_an_invite_flood_over_real_udp() {
         "no invite-flood alert; got {:?}",
         sink.alerts()
     );
+
+    // The recorder saw every datagram and the alert produced a readable
+    // dump of the surrounding window.
+    let rec = recorder.lock().unwrap();
+    assert_eq!(rec.stats().rings.recorded, FLOOD as u64);
+    assert_eq!(serve_rec.io_errors, 0);
+    assert!(
+        !serve_rec.written.is_empty(),
+        "the flood alert must trigger a dump"
+    );
+    let dump = Vdump::read_from(&serve_rec.written[0]).unwrap();
+    assert!(dump.packets.len() as u64 <= FLOOD as u64);
+    assert!(!dump.packets.is_empty());
+    assert_eq!(dump.alert.label, labels::INVITE_FLOOD);
+    std::fs::remove_dir_all(&dump_dir).ok();
 }

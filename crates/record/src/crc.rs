@@ -1,0 +1,49 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven, no dependencies.
+//!
+//! Every `.vdump` section carries a CRC over its payload so a truncated
+//! or bit-rotted dump is rejected with an offset instead of replaying
+//! garbage through the engine.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (the common zlib/IEEE parameterization).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = (c >> 8) ^ TABLE[((c ^ b as u32) & 0xff) as usize];
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for this parameterization.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

@@ -1,0 +1,446 @@
+//! The flight recorder proper: rings + alert-triggered dump writing.
+//!
+//! A [`Recorder`] owns one [`DatagramRing`] per ingest lane (replay uses
+//! one; `vids serve` uses one per receiver thread). The ingest tap calls
+//! [`Recorder::record`] for every datagram *before* it reaches the engine
+//! — that call is allocation-free — and [`Recorder::mark_batch`] at every
+//! batch flush so the dump can reconstruct the engine's batch clocks.
+//!
+//! When a batch raises alerts (observed through [`TeeSink`]), the driver
+//! hands them to [`Recorder::note_alert`] and then calls
+//! [`Recorder::dump_pending`], which freezes the ring window, the
+//! triggering call's machine/variable snapshot and the engine counters
+//! into one `.vdump` file per alert.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vids_core::alert::Alert;
+use vids_core::pool::VidsPool;
+use vids_core::sink::AlertSink;
+use vids_netsim::time::SimTime;
+use vids_telemetry::metrics::{Counter, Gauge};
+use vids_telemetry::slab::ShardSlab;
+
+use crate::ring::{DatagramRing, RecordedClass, RingStats, SlotMeta};
+use crate::vdump::{DumpCounters, RecordedPacket, Vdump};
+
+/// Default slot capacity per ring.
+pub const DEFAULT_SLOTS: usize = 4096;
+/// Default payload-arena capacity per ring (4 MiB).
+pub const DEFAULT_BYTES: usize = 4 << 20;
+/// Default cap on dumps written over a recorder's lifetime, so a
+/// pathological alert storm cannot fill the disk.
+pub const DEFAULT_MAX_DUMPS: u64 = 64;
+
+/// Aggregate statistics across every ring, plus dump accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Sum of the per-ring stats.
+    pub rings: RingStats,
+    /// `.vdump` files written so far.
+    pub dumps_written: u64,
+    /// Alerts noted but not yet dumped.
+    pub pending: usize,
+}
+
+/// The always-on flight recorder. See the module docs for the protocol.
+pub struct Recorder {
+    rings: Vec<DatagramRing>,
+    /// Next global arrival sequence number.
+    seq: u64,
+    /// Current ingest batch id (starts at 1; [`Recorder::mark_batch`]
+    /// advances it).
+    batch: u64,
+    pending: Vec<Alert>,
+    dumps_written: u64,
+    max_dumps: u64,
+    telemetry: Option<Arc<ShardSlab>>,
+    telemetry_ring: u32,
+}
+
+impl Recorder {
+    /// A recorder with `rings` rings of explicit capacity.
+    pub fn new(rings: usize, slots_per_ring: usize, bytes_per_ring: usize) -> Self {
+        Recorder {
+            rings: (0..rings.max(1))
+                .map(|_| DatagramRing::new(slots_per_ring, bytes_per_ring))
+                .collect(),
+            seq: 0,
+            batch: 1,
+            pending: Vec::new(),
+            dumps_written: 0,
+            max_dumps: DEFAULT_MAX_DUMPS,
+            telemetry: None,
+            telemetry_ring: 0,
+        }
+    }
+
+    /// A recorder with the default ring sizing.
+    pub fn with_defaults(rings: usize) -> Self {
+        Recorder::new(rings, DEFAULT_SLOTS, DEFAULT_BYTES)
+    }
+
+    /// Caps lifetime dump output (disk-fill guard).
+    pub fn max_dumps(mut self, max: u64) -> Self {
+        self.max_dumps = max;
+        self
+    }
+
+    /// Mirrors ring occupancy and dump counts into a telemetry slab
+    /// ([`Counter::RingOverwrites`], [`Gauge::RingBytes`],
+    /// [`Counter::DumpsWritten`]).
+    pub fn attach_telemetry(&mut self, slab: Arc<ShardSlab>) {
+        self.telemetry = Some(slab);
+    }
+
+    /// Records the transition-ring capacity the engine's telemetry was
+    /// enabled with (0 = off). Stored in every dump so replay can enable
+    /// telemetry identically and reproduce alert traces byte-for-byte.
+    pub fn set_telemetry_ring(&mut self, capacity: u32) {
+        self.telemetry_ring = capacity;
+    }
+
+    /// Records one datagram into ring `ring` (clamped). Allocation-free:
+    /// the payload is copied into the ring's preallocated arena and
+    /// telemetry updates are relaxed atomics.
+    pub fn record(
+        &mut self,
+        ring: usize,
+        at: SimTime,
+        src: SocketAddr,
+        dst: SocketAddr,
+        class: RecordedClass,
+        payload: &[u8],
+    ) {
+        let (class, src_ip, src_port, dst_ip, dst_port) = match (v4_parts(&src), v4_parts(&dst)) {
+            (Some((si, sp)), Some((di, dp))) => (class, si, sp, di, dp),
+            // Traffic the engine cannot address is recorded for the
+            // window but replays as ignored, like the live path.
+            _ => (RecordedClass::NonIp, 0, 0, 0, 0),
+        };
+        let meta = SlotMeta {
+            seq: self.seq,
+            at_ns: at.as_nanos(),
+            batch: self.batch,
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            class,
+        };
+        self.seq += 1;
+        let idx = ring % self.rings.len();
+        let evicted = self.rings[idx].push(meta, payload);
+        if let Some(slab) = &self.telemetry {
+            slab.add(Counter::RingOverwrites, evicted);
+            let live: usize = self.rings.iter().map(|r| r.stats().bytes_live).sum();
+            slab.set_gauge(Gauge::RingBytes, live as u64);
+        }
+    }
+
+    /// Advances the batch id. The ingest paths call this once per flushed
+    /// batch, right after `process_wire_batch` returns.
+    pub fn mark_batch(&mut self) {
+        self.batch += 1;
+    }
+
+    /// Queues an alert for dumping (called once per alert a batch raised).
+    pub fn note_alert(&mut self, alert: &Alert) {
+        self.pending.push(alert.clone());
+    }
+
+    /// Removes and returns the queued alerts without dumping them.
+    pub fn take_pending(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The current capture window across all rings, oldest → newest by
+    /// global arrival order.
+    pub fn window(&self) -> Vec<RecordedPacket> {
+        let mut out: Vec<RecordedPacket> = self
+            .rings
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|(meta, payload)| RecordedPacket {
+                meta: *meta,
+                payload: payload.to_vec(),
+            })
+            .collect();
+        out.sort_unstable_by_key(|p| p.meta.seq);
+        out
+    }
+
+    /// Writes one `.vdump` per queued alert into `dir`, freezing the
+    /// current window, the triggering call's snapshot and the pool's
+    /// counters. Returns the paths written (empty when nothing was
+    /// pending or the dump cap is reached).
+    pub fn dump_pending(&mut self, pool: &VidsPool, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let alerts = std::mem::take(&mut self.pending);
+        let window = self.window();
+        let mut written = Vec::new();
+        for alert in alerts {
+            if self.dumps_written >= self.max_dumps {
+                break;
+            }
+            let snapshot = alert
+                .call_id
+                .as_deref()
+                .and_then(|id| pool.call_snapshot(id));
+            let dump = Vdump {
+                config: *pool.config(),
+                telemetry_ring: self.telemetry_ring,
+                packets: window.clone(),
+                alert: alert.clone(),
+                snapshot,
+                counters: DumpCounters {
+                    counters: pool.counters(),
+                    alerts_total: pool.alerts().len() as u64,
+                },
+            };
+            let path = dir.join(format!(
+                "{:06}-{}.vdump",
+                self.dumps_written,
+                sanitize(&alert.label)
+            ));
+            dump.write_to(&path)?;
+            self.dumps_written += 1;
+            if let Some(slab) = &self.telemetry {
+                slab.inc(Counter::DumpsWritten);
+            }
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> RecorderStats {
+        let mut rings = RingStats::default();
+        for r in &self.rings {
+            let s = r.stats();
+            rings.recorded += s.recorded;
+            rings.overwritten += s.overwritten;
+            rings.oversize += s.oversize;
+            rings.bytes_live += s.bytes_live;
+            rings.slots_live += s.slots_live;
+        }
+        RecorderStats {
+            rings,
+            dumps_written: self.dumps_written,
+            pending: self.pending.len(),
+        }
+    }
+}
+
+fn v4_parts(addr: &SocketAddr) -> Option<(u32, u16)> {
+    match addr {
+        SocketAddr::V4(v4) => Some((u32::from_be_bytes(v4.ip().octets()), v4.port())),
+        SocketAddr::V6(v6) => v6
+            .ip()
+            .to_ipv4_mapped()
+            .map(|ip| (u32::from_be_bytes(ip.octets()), v6.port())),
+    }
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .take(48)
+        .collect()
+}
+
+/// An [`AlertSink`] adapter that forwards every alert to the wrapped sink
+/// while also cloning it into a side buffer, so the ingest driver can see
+/// which alerts a batch raised without disturbing the user's sink.
+pub struct TeeSink<'a, S: ?Sized> {
+    inner: &'a mut S,
+    seen: &'a mut Vec<Alert>,
+}
+
+impl<'a, S: AlertSink + ?Sized> TeeSink<'a, S> {
+    /// Wraps `inner`, copying alerts into `seen`.
+    pub fn new(inner: &'a mut S, seen: &'a mut Vec<Alert>) -> Self {
+        TeeSink { inner, seen }
+    }
+}
+
+impl<S: AlertSink + ?Sized> AlertSink for TeeSink<'_, S> {
+    fn accept(&mut self, alert: Alert) {
+        self.seen.push(alert.clone());
+        self.inner.accept(alert);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_core::alert::AlertKind;
+    use vids_core::sink::CollectSink;
+
+    fn addr(last: u8, port: u16) -> SocketAddr {
+        SocketAddr::from(([10, 0, 0, last], port))
+    }
+
+    fn alert(label: &str) -> Alert {
+        Alert {
+            time_ms: 5,
+            kind: AlertKind::Attack,
+            label: label.to_owned(),
+            call_id: None,
+            machine: "flood".to_owned(),
+            detail: String::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn record_assigns_global_sequence_and_batches() {
+        let mut r = Recorder::with_defaults(2);
+        r.record(
+            0,
+            SimTime::from_millis(1),
+            addr(1, 5060),
+            addr(2, 5060),
+            RecordedClass::Sip,
+            b"a",
+        );
+        r.mark_batch();
+        r.record(
+            1,
+            SimTime::from_millis(2),
+            addr(1, 4000),
+            addr(2, 4000),
+            RecordedClass::Rtp,
+            b"bb",
+        );
+        let w = r.window();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].meta.seq, 0);
+        assert_eq!(w[0].meta.batch, 1);
+        assert_eq!(w[1].meta.seq, 1);
+        assert_eq!(w[1].meta.batch, 2);
+        assert_eq!(w[0].meta.src_ip, u32::from_be_bytes([10, 0, 0, 1]));
+        assert_eq!(w[1].payload, b"bb");
+    }
+
+    #[test]
+    fn non_v4_traffic_is_downgraded_to_non_ip() {
+        let mut r = Recorder::with_defaults(1);
+        let v6: SocketAddr = "[2001:db8::1]:5060".parse().unwrap();
+        r.record(
+            0,
+            SimTime::ZERO,
+            v6,
+            addr(2, 5060),
+            RecordedClass::Sip,
+            b"x",
+        );
+        let w = r.window();
+        assert_eq!(w[0].meta.class, RecordedClass::NonIp);
+        assert_eq!(w[0].meta.src_ip, 0);
+    }
+
+    #[test]
+    fn v4_mapped_v6_keeps_its_address() {
+        let mut r = Recorder::with_defaults(1);
+        let mapped: SocketAddr = "[::ffff:10.0.0.9]:5060".parse().unwrap();
+        r.record(
+            0,
+            SimTime::ZERO,
+            mapped,
+            addr(2, 5060),
+            RecordedClass::Sip,
+            b"x",
+        );
+        let w = r.window();
+        assert_eq!(w[0].meta.class, RecordedClass::Sip);
+        assert_eq!(w[0].meta.src_ip, u32::from_be_bytes([10, 0, 0, 9]));
+    }
+
+    #[test]
+    fn dump_pending_writes_one_file_per_alert_and_respects_the_cap() {
+        use vids_core::prelude::*;
+        let mut r = Recorder::with_defaults(1).max_dumps(2);
+        r.record(
+            0,
+            SimTime::ZERO,
+            addr(1, 5060),
+            addr(2, 5060),
+            RecordedClass::Sip,
+            b"INVITE",
+        );
+        r.note_alert(&alert("one"));
+        r.note_alert(&alert("two"));
+        r.note_alert(&alert("three"));
+        let mut pool = VidsPool::new(Config::default());
+        // Exercise the pool so counters are non-trivial.
+        let mut sink = NullSink;
+        pool.tick(SimTime::from_secs(1), &mut sink);
+        let dir = std::env::temp_dir().join("vids-recorder-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let written = r.dump_pending(&pool, &dir).unwrap();
+        assert_eq!(written.len(), 2, "third alert hits the cap");
+        assert!(written[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("one"));
+        for p in &written {
+            let d = Vdump::read_from(p).unwrap();
+            assert_eq!(d.packets.len(), 1);
+            assert_eq!(d.config, Config::default());
+        }
+        assert_eq!(r.stats().dumps_written, 2);
+        assert_eq!(r.stats().pending, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tee_sink_forwards_and_copies() {
+        let mut inner = CollectSink::new();
+        let mut seen = Vec::new();
+        {
+            let mut tee = TeeSink::new(&mut inner, &mut seen);
+            tee.accept(alert("x"));
+        }
+        assert_eq!(inner.len(), 1);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].label, "x");
+    }
+
+    #[test]
+    fn telemetry_mirrors_ring_occupancy() {
+        let mut r = Recorder::new(1, 4, 64);
+        let slab = Arc::new(ShardSlab::new());
+        r.attach_telemetry(Arc::clone(&slab));
+        for i in 0..6u8 {
+            r.record(
+                0,
+                SimTime::from_millis(i as u64),
+                addr(1, 5060),
+                addr(2, 5060),
+                RecordedClass::Sip,
+                &[i; 20],
+            );
+        }
+        // 64-byte arena, 20-byte payloads: at most 3 live, so overwrites
+        // must have happened and the gauge tracks live bytes.
+        assert!(slab.get(Counter::RingOverwrites) > 0);
+        assert_eq!(
+            slab.gauge(Gauge::RingBytes) as usize,
+            r.stats().rings.bytes_live
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! The bounded datagram ring: a preallocated circular byte arena plus a
+//! slot table, overwriting oldest-first.
+//!
+//! Every ingested datagram's raw wire bytes land here with its timestamp,
+//! addresses, demux verdict and batch number. All storage is allocated at
+//! construction; [`DatagramRing::push`] copies the payload into the arena
+//! and touches nothing on the heap, so the record tap stays on the
+//! engine's zero-allocation steady-state path (held by
+//! `tests/record_alloc.rs` in the root crate).
+//!
+//! Arena discipline: payloads are stored contiguously. The write cursor
+//! advances through the arena; when the tail cannot hold the next payload
+//! contiguously the cursor wraps to offset 0. Either way, the slots whose
+//! bytes the new payload would overwrite are exactly the *oldest* live
+//! slots (slot age follows arena position cyclically from the write
+//! cursor), so eviction always pops from the front of the slot ring.
+
+/// What the demultiplexer decided about a recorded datagram, frozen into
+/// the dump so replay can rebuild the identical [`Classified`] without
+/// re-running the port heuristics.
+///
+/// [`Classified`]: vids_core::classify::Classified
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RecordedClass {
+    /// SIP signaling.
+    Sip = 0,
+    /// RTP media.
+    Rtp = 1,
+    /// RTCP control (engine ignores it).
+    Rtcp = 2,
+    /// Unclassifiable UDP (engine ignores it).
+    Unknown = 3,
+    /// Non-IPv4 traffic the engine does not model (ignored, and the
+    /// recorded addresses are zeroed).
+    NonIp = 4,
+}
+
+impl RecordedClass {
+    /// Decodes the wire byte.
+    pub fn from_u8(b: u8) -> Option<RecordedClass> {
+        Some(match b {
+            0 => RecordedClass::Sip,
+            1 => RecordedClass::Rtp,
+            2 => RecordedClass::Rtcp,
+            3 => RecordedClass::Unknown,
+            4 => RecordedClass::NonIp,
+            _ => return None,
+        })
+    }
+}
+
+/// Metadata of one recorded datagram (the payload lives in the arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotMeta {
+    /// Global arrival sequence number (monotonic across rings).
+    pub seq: u64,
+    /// Capture timestamp, nanoseconds on the source's clock.
+    pub at_ns: u64,
+    /// Ingest batch this datagram was flushed in.
+    pub batch: u64,
+    /// Source IPv4 address (big-endian octets as one `u32`).
+    pub src_ip: u32,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Destination UDP port.
+    pub dst_port: u16,
+    /// Demux verdict.
+    pub class: RecordedClass,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    meta: SlotMeta,
+    off: usize,
+    len: usize,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    meta: SlotMeta {
+        seq: 0,
+        at_ns: 0,
+        batch: 0,
+        src_ip: 0,
+        src_port: 0,
+        dst_ip: 0,
+        dst_port: 0,
+        class: RecordedClass::Unknown,
+    },
+    off: 0,
+    len: 0,
+};
+
+/// Lifetime statistics of one ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Datagrams ever pushed.
+    pub recorded: u64,
+    /// Slots overwritten before a dump claimed them.
+    pub overwritten: u64,
+    /// Payloads larger than the whole arena, dropped outright.
+    pub oversize: u64,
+    /// Payload bytes currently live.
+    pub bytes_live: usize,
+    /// Slots currently live.
+    pub slots_live: usize,
+}
+
+/// One bounded, overwriting datagram ring. See the module docs for the
+/// arena discipline.
+pub struct DatagramRing {
+    arena: Box<[u8]>,
+    slots: Box<[Slot]>,
+    /// Next slot index to write.
+    head: usize,
+    /// Live slot count.
+    live: usize,
+    /// Next arena byte offset to write.
+    write: usize,
+    bytes_live: usize,
+    recorded: u64,
+    overwritten: u64,
+    oversize: u64,
+}
+
+impl DatagramRing {
+    /// A ring holding at most `slots` datagrams and `bytes` payload bytes.
+    /// Both are allocated here, up front.
+    pub fn new(slots: usize, bytes: usize) -> Self {
+        DatagramRing {
+            arena: vec![0u8; bytes.max(1)].into_boxed_slice(),
+            slots: vec![EMPTY_SLOT; slots.max(1)].into_boxed_slice(),
+            head: 0,
+            live: 0,
+            write: 0,
+            bytes_live: 0,
+            recorded: 0,
+            overwritten: 0,
+            oversize: 0,
+        }
+    }
+
+    /// Records one datagram, evicting the oldest entries as needed.
+    /// Returns how many live slots were overwritten to make room.
+    /// Allocation-free.
+    pub fn push(&mut self, meta: SlotMeta, payload: &[u8]) -> u64 {
+        if payload.len() > self.arena.len() {
+            self.oversize += 1;
+            return 0;
+        }
+        let mut evicted = 0u64;
+        if self.write + payload.len() > self.arena.len() {
+            // The arena tail cannot hold the payload contiguously: retire
+            // whatever still lives there and wrap the cursor.
+            evicted += self.evict_overlapping(self.write, self.arena.len());
+            self.write = 0;
+        }
+        let off = self.write;
+        evicted += self.evict_overlapping(off, off + payload.len());
+        if self.live == self.slots.len() {
+            self.evict_oldest();
+            evicted += 1;
+        }
+        self.arena[off..off + payload.len()].copy_from_slice(payload);
+        self.slots[self.head] = Slot {
+            meta,
+            off,
+            len: payload.len(),
+        };
+        self.head = (self.head + 1) % self.slots.len();
+        self.live += 1;
+        self.write = off + payload.len();
+        self.bytes_live += payload.len();
+        self.recorded += 1;
+        self.overwritten += evicted;
+        evicted
+    }
+
+    /// Evicts oldest slots while they overlap the byte range `[lo, hi)`.
+    fn evict_overlapping(&mut self, lo: usize, hi: usize) -> u64 {
+        let mut n = 0;
+        while self.live > 0 {
+            let s = &self.slots[self.oldest_index()];
+            let overlaps = s.off < hi && s.off + s.len > lo;
+            if !overlaps {
+                break;
+            }
+            self.evict_oldest();
+            n += 1;
+        }
+        n
+    }
+
+    fn oldest_index(&self) -> usize {
+        (self.head + self.slots.len() - self.live) % self.slots.len()
+    }
+
+    fn evict_oldest(&mut self) {
+        debug_assert!(self.live > 0);
+        let idx = self.oldest_index();
+        self.bytes_live -= self.slots[idx].len;
+        self.live -= 1;
+    }
+
+    /// Iterates the live window oldest → newest as `(meta, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&SlotMeta, &[u8])> {
+        let cap = self.slots.len();
+        let start = self.oldest_index();
+        (0..self.live).map(move |i| {
+            let s = &self.slots[(start + i) % cap];
+            (&s.meta, &self.arena[s.off..s.off + s.len])
+        })
+    }
+
+    /// Drops the live window (counts nothing as overwritten).
+    pub fn clear(&mut self) {
+        self.live = 0;
+        self.bytes_live = 0;
+        self.write = 0;
+        self.head = 0;
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            recorded: self.recorded,
+            overwritten: self.overwritten,
+            oversize: self.oversize,
+            bytes_live: self.bytes_live,
+            slots_live: self.live,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(seq: u64) -> SlotMeta {
+        SlotMeta {
+            seq,
+            at_ns: seq * 1_000_000,
+            batch: 0,
+            src_ip: 0x0a01_000a,
+            src_port: 5060,
+            dst_ip: 0x0a02_000a,
+            dst_port: 5060,
+            class: RecordedClass::Sip,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_until_full() {
+        let mut r = DatagramRing::new(8, 1024);
+        for i in 0..5u64 {
+            r.push(meta(i), &[i as u8; 16]);
+        }
+        let seqs: Vec<u64> = r.iter().map(|(m, _)| m.seq).collect();
+        assert_eq!(seqs, [0, 1, 2, 3, 4]);
+        assert_eq!(r.stats().bytes_live, 80);
+        assert_eq!(r.stats().overwritten, 0);
+        for (m, p) in r.iter() {
+            assert!(p.iter().all(|&b| b == m.seq as u8));
+        }
+    }
+
+    #[test]
+    fn slot_exhaustion_evicts_oldest() {
+        let mut r = DatagramRing::new(4, 4096);
+        for i in 0..6u64 {
+            r.push(meta(i), &[i as u8; 8]);
+        }
+        let seqs: Vec<u64> = r.iter().map(|(m, _)| m.seq).collect();
+        assert_eq!(seqs, [2, 3, 4, 5]);
+        assert_eq!(r.stats().overwritten, 2);
+    }
+
+    #[test]
+    fn arena_exhaustion_evicts_oldest_and_payloads_stay_intact() {
+        let mut r = DatagramRing::new(64, 100);
+        for i in 0..10u64 {
+            r.push(meta(i), &[i as u8; 30]);
+        }
+        // 100/30 = at most 3 live payloads at a time.
+        assert!(r.stats().slots_live <= 3);
+        let entries: Vec<(u64, Vec<u8>)> = r.iter().map(|(m, p)| (m.seq, p.to_vec())).collect();
+        // Newest survives, window is a contiguous suffix, bytes intact.
+        assert_eq!(entries.last().unwrap().0, 9);
+        for w in entries.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+        for (seq, p) in &entries {
+            assert_eq!(p.len(), 30);
+            assert!(p.iter().all(|&b| b == *seq as u8));
+        }
+    }
+
+    #[test]
+    fn oversize_payloads_are_dropped_not_recorded() {
+        let mut r = DatagramRing::new(4, 64);
+        r.push(meta(0), &[0; 16]);
+        r.push(meta(1), &[1; 65]);
+        assert_eq!(r.stats().oversize, 1);
+        assert_eq!(r.stats().slots_live, 1);
+        assert_eq!(r.iter().next().unwrap().0.seq, 0);
+    }
+
+    #[test]
+    fn zero_length_payloads_round_trip() {
+        let mut r = DatagramRing::new(4, 64);
+        r.push(meta(0), b"");
+        r.push(meta(1), b"x");
+        let got: Vec<(u64, usize)> = r.iter().map(|(m, p)| (m.seq, p.len())).collect();
+        assert_eq!(got, [(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn clear_resets_the_window_but_not_lifetime_stats() {
+        let mut r = DatagramRing::new(4, 64);
+        r.push(meta(0), &[0; 8]);
+        r.clear();
+        assert_eq!(r.stats().slots_live, 0);
+        assert_eq!(r.stats().bytes_live, 0);
+        assert_eq!(r.stats().recorded, 1);
+        assert_eq!(r.iter().count(), 0);
+    }
+}

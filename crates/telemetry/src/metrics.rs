@@ -56,11 +56,16 @@ pub enum Counter {
     DatagramsDropped,
     /// Datagrams the demultiplexer declined to map to SIP or RTP/RTCP.
     DemuxUnknown,
+    /// Forensic `.vdump` files written by the flight recorder.
+    DumpsWritten,
+    /// Flight-recorder ring slots overwritten before an alert claimed them
+    /// (the window was shorter than the traffic burst).
+    RingOverwrites,
 }
 
 impl Counter {
     /// Number of counter slots; sizes the slab arrays.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 24;
 
     /// Every variant, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -86,6 +91,8 @@ impl Counter {
         Counter::DatagramsRx,
         Counter::DatagramsDropped,
         Counter::DemuxUnknown,
+        Counter::DumpsWritten,
+        Counter::RingOverwrites,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -113,6 +120,8 @@ impl Counter {
             Counter::DatagramsRx => "datagrams_rx",
             Counter::DatagramsDropped => "datagrams_dropped",
             Counter::DemuxUnknown => "demux_unknown",
+            Counter::DumpsWritten => "dumps_written",
+            Counter::RingOverwrites => "ring_overwrites",
         }
     }
 
@@ -125,10 +134,16 @@ impl Counter {
         // Handoffs depend on the host's hardware-thread count (a single-core
         // box drains inline and never hands a batch to a worker), so the
         // slot is zeroed alongside the wall-clock ones. Ingestion drops
-        // depend on socket buffering and OS scheduling.
+        // depend on socket buffering and OS scheduling. Recorder slots
+        // depend on ring sizing and how traffic interleaves across
+        // receiver threads, not on the trace alone.
         !matches!(
             self,
-            Counter::MergeNanos | Counter::BatchHandoffs | Counter::DatagramsDropped
+            Counter::MergeNanos
+                | Counter::BatchHandoffs
+                | Counter::DatagramsDropped
+                | Counter::DumpsWritten
+                | Counter::RingOverwrites
         )
     }
 }
@@ -147,11 +162,14 @@ pub enum Gauge {
     /// Bytes queued in the live receive sockets at snapshot time (0 when
     /// not serving or when the platform cannot report it).
     SocketBacklog,
+    /// Payload bytes currently held live in the flight recorder's datagram
+    /// rings (0 when recording is off).
+    RingBytes,
 }
 
 impl Gauge {
     /// Number of gauge slots; sizes the slab arrays.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every variant, in slot order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -159,6 +177,7 @@ impl Gauge {
         Gauge::MemoryBytes,
         Gauge::WorkerParked,
         Gauge::SocketBacklog,
+        Gauge::RingBytes,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -168,6 +187,7 @@ impl Gauge {
             Gauge::MemoryBytes => "memory_bytes",
             Gauge::WorkerParked => "worker_parked",
             Gauge::SocketBacklog => "socket_backlog",
+            Gauge::RingBytes => "ring_bytes",
         }
     }
 
@@ -176,11 +196,12 @@ impl Gauge {
     /// shard keeps its own media-index entry, so the merged byte count
     /// varies with the shard count even though detection does not. The
     /// parked-worker gauge depends on the host's hardware threads; the
-    /// socket backlog on OS buffering.
+    /// socket backlog on OS buffering; the recorder's live byte count on
+    /// ring sizing and receiver interleaving.
     pub fn is_deterministic(self) -> bool {
         !matches!(
             self,
-            Gauge::MemoryBytes | Gauge::WorkerParked | Gauge::SocketBacklog
+            Gauge::MemoryBytes | Gauge::WorkerParked | Gauge::SocketBacklog | Gauge::RingBytes
         )
     }
 }
@@ -242,7 +263,10 @@ mod tests {
         assert!(!Counter::MergeNanos.is_deterministic());
         assert!(!Counter::BatchHandoffs.is_deterministic());
         assert!(!Counter::DatagramsDropped.is_deterministic());
+        assert!(!Counter::DumpsWritten.is_deterministic());
+        assert!(!Counter::RingOverwrites.is_deterministic());
         assert!(!Gauge::WorkerParked.is_deterministic());
+        assert!(!Gauge::RingBytes.is_deterministic());
         assert!(Counter::Transitions.is_deterministic());
         assert!(Counter::DatagramsRx.is_deterministic());
         assert!(Counter::DemuxUnknown.is_deterministic());

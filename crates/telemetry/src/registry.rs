@@ -50,6 +50,12 @@ impl Registry {
         &self.pool
     }
 
+    /// Clone the pool-level slab handle, for components that record
+    /// pool-wide metrics off-thread (e.g. the flight recorder).
+    pub fn pool_slab(&self) -> Arc<ShardSlab> {
+        Arc::clone(&self.pool)
+    }
+
     /// Copy every slab into an owned, serializable snapshot stamped with
     /// the caller's clock.
     pub fn snapshot(&self, time_ms: u64) -> Snapshot {

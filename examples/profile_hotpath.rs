@@ -200,9 +200,15 @@ fn main() {
     for _ in 0..reps {
         let config = Config::builder().shards(1).build().unwrap();
         let mut pool = VidsPool::with_cost(config, CostModel::free());
-        let report =
-            vids::ingest::replay::replay_pcap(capture.clone(), &mut pool, 256, None, &mut NullSink)
-                .unwrap();
+        let report = vids::ingest::replay::replay_pcap(
+            capture.clone(),
+            &mut pool,
+            256,
+            None,
+            None,
+            &mut NullSink,
+        )
+        .unwrap();
         total += report.datagrams;
     }
     let d = start.elapsed();

@@ -16,12 +16,14 @@ for bench in parser_throughput pool_scaling hot_path_alloc pcap_replay; do
 done
 
 # `bench <id> <ns>/iter <rate> elem/s|MiB/s` lines from the criterion
-# stub, plus the `replay, N shard(s) ... pps` rows the pcap bench prints.
+# stub, plus the `replay, N shard(s) ... pps` and `replay+record, N
+# shard(s) ... pps` rows the pcap bench prints.
 python3 - "$out" <<'PY'
-import json, re, sys
+import json, os, re, socket, sys
 
 rates = {}
 replay = {}
+recorded = {}
 for line in open(sys.argv[1]):
     m = re.match(r"bench\s+(\S+)\s+[\d.]+\s+ns/iter\s+(\d+)\s+elem/s", line)
     if m:
@@ -34,10 +36,18 @@ for line in open(sys.argv[1]):
     m = re.match(r"replay,\s+(\d+)\s+shard\(s\)\s+-\s+(\d+)\s+pps", line)
     if m:
         replay[int(m.group(1))] = int(m.group(2))
+        continue
+    m = re.match(r"replay\+record,\s+(\d+)\s+shard\(s\)\s+-\s+(\d+)\s+pps", line)
+    if m:
+        recorded[int(m.group(1))] = int(m.group(2))
 
 path = "BENCH_hotpath.json"
 doc = json.load(open(path))
 cur = doc["current"]
+# Pin the measurement environment so numbers from different hosts are
+# never compared as like-for-like.
+cur["hostname"] = socket.gethostname()
+cur["available_parallelism"] = os.cpu_count()
 mapping = {
     "vids_mixed_fig8_elem_per_s": "hot_path/vids_mixed_fig8",
     "vids_mixed_fig8_telemetry_elem_per_s": "hot_path/vids_mixed_fig8_telemetry",
@@ -54,6 +64,13 @@ for key, bench_id in mapping.items():
 for shards, pps in replay.items():
     suffix = "shard" if shards == 1 else "shards"
     cur[f"pcap_replay_{shards}_{suffix}_pps"] = pps
+for shards, pps in recorded.items():
+    suffix = "shard" if shards == 1 else "shards"
+    cur[f"pcap_replay_record_{shards}_{suffix}_pps"] = pps
+# The flight recorder's ring tap budget: ≤3% pps overhead at 1 shard.
+if 1 in replay and 1 in recorded:
+    overhead = 1.0 - recorded[1] / replay[1]
+    print(f"record tap overhead at 1 shard: {overhead * 100:.1f}%")
 json.dump(doc, open(path, "w"), indent=2)
 open(path, "a").write("\n")
 print(f"updated {path}: {cur}")

@@ -26,6 +26,11 @@ cargo test --offline -p vids-ingest -q
 echo "==> cargo test -p vids-scan (SWAR equivalence oracle)"
 cargo test --offline -p vids-scan -q
 
+# Flight recorder: ring arena discipline, .vdump encode/decode/corruption
+# offsets, deterministic dump replay, and the drop-one-packet minimizer.
+echo "==> cargo test -p vids-record (flight recorder)"
+cargo test --offline -p vids-record -q
+
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -34,7 +39,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # substrate and the SIP parsers it feeds are in this set: they run on
 # every hostile datagram.
 echo "==> cargo clippy (hot-path crates, allocation lints)"
-cargo clippy --offline -p vids-scan -p vids-sip -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest --all-targets -- \
+cargo clippy --offline -p vids-scan -p vids-sip -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest -p vids-record --all-targets -- \
     -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string
@@ -44,6 +49,17 @@ cargo clippy --offline -p vids-scan -p vids-sip -p vids-efsm -p vids-telemetry -
 # telemetry recording enabled.
 echo "==> alloc budget (slab warm path, telemetry on)"
 cargo test --offline --test alloc_budget -q
+
+# Flight-recorder budget: the ring tap on the ingest hot path must be
+# allocation-free at steady state — including ring wrap/eviction — with
+# telemetry both off and on.
+echo "==> alloc budget (record tap steady state, telemetry off and on)"
+cargo test --offline --test record_alloc -q
+
+# Forensic determinism: a ≥100-packet recorded flood's .vdump must
+# replay byte-identically (alert, counters, snapshot) on a fresh engine.
+echo "==> record roundtrip (dump -> fresh-engine replay, byte-identical)"
+cargo test --offline --test record_roundtrip -q
 
 # Adversarial correctness harness (crates/harness): structure-aware wire
 # fuzzing, differential oracles, the exhaustive mailbox interleaving

@@ -25,6 +25,11 @@
 //! * [`telemetry`] — runtime observability: per-shard atomic counters,
 //!   gauges and log-bucketed histograms merged into deterministic
 //!   snapshots, plus the per-call transition rings behind alert traces.
+//! * [`record`] — the flight recorder: always-on per-shard datagram
+//!   rings, alert-triggered `.vdump` forensic dumps, deterministic
+//!   dump replay and a drop-one-packet minimizer (DESIGN.md §7h).
+//! * [`run_report`] — shared end-of-run reporting for the `vids serve`
+//!   and `vids replay` pipelines.
 //! * [`scenario`] — a one-call harness wiring all of the above: build the
 //!   enterprise testbed with or without vids inline, run workloads, launch
 //!   attacks, read back alerts and QoS measurements.
@@ -49,10 +54,12 @@ pub use vids_core as core;
 pub use vids_efsm as efsm;
 pub use vids_ingest as ingest;
 pub use vids_netsim as netsim;
+pub use vids_record as record;
 pub use vids_rtp as rtp;
 pub use vids_scan as scan;
 pub use vids_sdp as sdp;
 pub use vids_sip as sip;
 pub use vids_telemetry as telemetry;
 
+pub mod run_report;
 pub mod scenario;

@@ -4,8 +4,10 @@
 //! ```text
 //! vids simulate [--minutes N] [--seed S] [--uas N] [--no-vids] [--auth] [--csv FILE]
 //!               [--telemetry FILE] [--telemetry-interval SECS]
-//! vids serve --listen ADDR [--shards N] [--telemetry FILE]
-//! vids replay FILE.pcap [--shards N] [--telemetry FILE]
+//! vids serve --listen ADDR [--shards N] [--telemetry FILE] [--record DIR]
+//! vids replay FILE.pcap [--shards N] [--telemetry FILE] [--record DIR]
+//! vids replay FILE.vdump
+//! vids inspect FILE.vdump
 //! vids top [--shards N] [--seconds S] [--seed S]
 //! vids machines [--dot DIR]
 //! vids sensitivity
@@ -24,6 +26,7 @@ use vids::core::telemetry::Snapshot;
 use vids::efsm::analysis::{attack_paths, to_dot};
 use vids::netsim::stats::Summary;
 use vids::netsim::time::SimTime;
+use vids::run_report::{self, write_telemetry, RunSummary};
 use vids::scenario::{Testbed, TestbedConfig};
 
 fn main() {
@@ -32,6 +35,7 @@ fn main() {
         Some("simulate") => run(simulate, &args[1..]),
         Some("serve") => run(serve, &args[1..]),
         Some("replay") => run(replay, &args[1..]),
+        Some("inspect") => run(inspect, &args[1..]),
         Some("top") => run(top, &args[1..]),
         Some("machines") => run(machines, &args[1..]),
         Some("sensitivity") => run(sensitivity, &args[1..]),
@@ -71,13 +75,21 @@ fn usage() {
          \x20     run the Fig. 7 enterprise testbed and print the evaluation summary;\n\
          \x20     --telemetry samples monitor metrics every SECS (default 10) of sim\n\
          \x20     time into FILE (JSON lines, or CSV when FILE ends in .csv)\n\
-         \x20 vids serve --listen ADDR [--shards N] [--telemetry FILE]\n\
+         \x20 vids serve --listen ADDR [--shards N] [--telemetry FILE] [--record DIR]\n\
          \x20     monitor live SIP/RTP traffic on UDP socket ADDR (e.g. 0.0.0.0:5060)\n\
          \x20     with N receiver shards; alerts stream to stdout; Ctrl-C drains,\n\
-         \x20     runs a final timer sweep and writes the telemetry snapshot to FILE\n\
-         \x20 vids replay FILE.pcap [--shards N] [--telemetry FILE]\n\
+         \x20     runs a final timer sweep and writes the telemetry snapshot to FILE;\n\
+         \x20     --record keeps a bounded ring of raw datagrams and dumps the\n\
+         \x20     window around every alert into DIR as .vdump forensic captures\n\
+         \x20 vids replay FILE.pcap [--shards N] [--telemetry FILE] [--record DIR]\n\
          \x20     replay a classic pcap capture through the identical wire pipeline\n\
          \x20     at full speed and print the alert report and throughput\n\
+         \x20 vids replay FILE.vdump\n\
+         \x20     deterministically re-run a forensic dump through a fresh engine\n\
+         \x20     and verify the recorded alert reproduces byte-identically\n\
+         \x20     (exit 1 on divergence)\n\
+         \x20 vids inspect FILE.vdump\n\
+         \x20     print a forensic dump's header, packet window, alert and counters\n\
          \x20 vids top [--shards N] [--seconds S] [--seed S]\n\
          \x20     capture a short workload, replay it through a telemetry-enabled\n\
          \x20     N-shard pool and print the per-shard metric table\n\
@@ -160,26 +172,6 @@ impl Flags {
             None => Ok(()),
         }
     }
-}
-
-/// Writes a telemetry series to `path` — CSV when the name says so,
-/// JSON lines otherwise.
-fn write_telemetry(path: &str, series: &[Snapshot]) -> Result<(), String> {
-    let mut out = String::new();
-    if path.ends_with(".csv") {
-        out.push_str(&Snapshot::csv_header());
-        out.push('\n');
-        for snap in series {
-            out.push_str(&snap.to_csv_row());
-            out.push('\n');
-        }
-    } else {
-        for snap in series {
-            out.push_str(&snap.to_jsonl());
-            out.push('\n');
-        }
-    }
-    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn simulate(flags: &mut Flags) -> Result<i32, String> {
@@ -283,15 +275,19 @@ fn simulate(flags: &mut Flags) -> Result<i32, String> {
 /// SIP/RTP off the wire, and stream the engine's alerts to stdout until
 /// SIGINT drains the pipeline.
 fn serve(flags: &mut Flags) -> Result<i32, String> {
+    use std::sync::Mutex;
     use vids::core::{Config, CostModel, FnSink, VidsPool};
+    use vids::ingest::record_tap::ServeRecorder;
     use vids::ingest::server::{serve_on, stop_flag_on_sigint, ServeOptions};
     use vids::ingest::udp::{PoolMode, UdpPool};
+    use vids::record::Recorder;
 
     let listen: SocketAddr = flags
         .parsed("--listen")?
         .ok_or("serve needs --listen ADDR (e.g. --listen 0.0.0.0:5060)")?;
     let shards: usize = flags.parsed("--shards")?.unwrap_or(4);
     let telemetry_path = flags.value("--telemetry")?;
+    let record_dir = flags.value("--record")?;
     flags.finish()?;
 
     let cfg = Config::builder()
@@ -331,18 +327,38 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
             }
         );
     });
-    let report = serve_on(&mut pool, udp, &opts, Some(&registry), stop, &mut sink)
-        .map_err(|e| e.to_string())?;
+    // The flight recorder rides along when asked: one datagram ring per
+    // receiver, dumps written into --record DIR as alerts fire.
+    let recorder = record_dir.as_ref().map(|_| {
+        let mut rec = Recorder::with_defaults(opts.receivers);
+        rec.attach_telemetry(registry.pool_slab());
+        rec.set_telemetry_ring(256);
+        Mutex::new(rec)
+    });
+    let mut serve_rec = recorder
+        .as_ref()
+        .map(|m| ServeRecorder::new(m, record_dir.as_deref().map(std::path::Path::new)));
 
-    eprintln!(
-        "drained: {} datagrams ({} unknown, {} dropped) in {} batches over {:.1} s",
-        report.datagrams_rx,
-        report.demux_unknown,
-        report.datagrams_dropped,
-        report.batches,
-        report.ended_at.as_secs_f64()
-    );
-    eprintln!("counters: {:?}", pool.counters());
+    let report = serve_on(
+        &mut pool,
+        udp,
+        &opts,
+        Some(&registry),
+        stop,
+        serve_rec.as_mut(),
+        &mut sink,
+    )
+    .map_err(|e| e.to_string())?;
+
+    eprintln!("{}", RunSummary::from_serve(&report).render());
+    eprintln!("{}", run_report::counters_line(&pool.counters()));
+    if let (Some(rec), Some(mutex)) = (serve_rec.as_ref(), recorder.as_ref()) {
+        let stats = mutex.lock().expect("receiver threads joined").stats();
+        eprintln!(
+            "{}",
+            run_report::recorder_summary(&stats, &rec.written, rec.io_errors)
+        );
+    }
     if let Some(path) = telemetry_path {
         let snap = pool
             .telemetry_snapshot(report.ended_at)
@@ -354,16 +370,24 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
 }
 
 /// `vids replay`: run a pcap capture through the same wire pipeline the
-/// daemon uses, at full speed, on the capture's own clock.
+/// daemon uses, at full speed, on the capture's own clock — or, given a
+/// `.vdump` forensic dump, deterministically verify its recorded alert.
 fn replay(flags: &mut Flags) -> Result<i32, String> {
     use vids::core::{CollectSink, Config, VidsPool};
+    use vids::ingest::record_tap::RecordTap;
     use vids::ingest::replay::replay_pcap;
+    use vids::record::Recorder;
 
     let file = flags
         .positional()
-        .ok_or("replay needs a capture file: vids replay FILE.pcap")?;
+        .ok_or("replay needs a capture file: vids replay FILE.pcap|FILE.vdump")?;
+    if file.ends_with(".vdump") {
+        flags.finish()?;
+        return replay_dump(&file);
+    }
     let shards: usize = flags.parsed("--shards")?.unwrap_or(4);
     let telemetry_path = flags.value("--telemetry")?;
+    let record_dir = flags.value("--record")?;
     flags.finish()?;
 
     let cfg = Config::builder()
@@ -374,6 +398,15 @@ fn replay(flags: &mut Flags) -> Result<i32, String> {
 
     let mut pool = VidsPool::new(cfg);
     let registry = pool.enable_telemetry(256);
+    let mut recorder = record_dir.as_ref().map(|_| {
+        let mut rec = Recorder::with_defaults(1);
+        rec.attach_telemetry(registry.pool_slab());
+        rec.set_telemetry_ring(256);
+        rec
+    });
+    let mut tap = recorder
+        .as_mut()
+        .map(|rec| RecordTap::new(rec, record_dir.as_deref().map(std::path::Path::new)));
     let mut sink = CollectSink::new();
     let wall_start = std::time::Instant::now();
     let report = replay_pcap(
@@ -381,26 +414,21 @@ fn replay(flags: &mut Flags) -> Result<i32, String> {
         &mut pool,
         cfg.batch_flush_packets,
         Some(&registry),
+        tap.as_mut(),
         &mut sink,
     )
     .map_err(|e| e.to_string())?;
     let wall = wall_start.elapsed().as_secs_f64();
 
-    println!(
-        "replayed {} datagrams ({} unknown) in {} batches; capture spans {:.3} s",
-        report.datagrams,
-        report.demux_unknown,
-        report.batches,
-        report.last_at.as_secs_f64()
-    );
-    if wall > 0.0 {
+    println!("{}", RunSummary::from_replay(&report, wall).render());
+    println!("{}", run_report::counters_line(&pool.counters()));
+    print!("{}", run_report::alert_report(sink.alerts()));
+    if let Some(t) = tap.as_ref() {
         println!(
-            "throughput: {:.0} pps over {wall:.3} s of wall clock",
-            report.datagrams as f64 / wall
+            "{}",
+            run_report::recorder_summary(&t.recorder.stats(), &t.written, 0)
         );
     }
-    println!("counters: {:?}", pool.counters());
-    print!("{}", AlertReport::from_alerts(sink.alerts()));
     if let Some(path) = telemetry_path {
         let snap = pool
             .telemetry_snapshot(report.last_at)
@@ -408,6 +436,50 @@ fn replay(flags: &mut Flags) -> Result<i32, String> {
         write_telemetry(&path, std::slice::from_ref(&snap))?;
         println!("telemetry snapshot written to {path}");
     }
+    Ok(0)
+}
+
+/// The `.vdump` arm of `vids replay`: re-run the captured window through
+/// a fresh engine under the recorded configuration and batch clocks, and
+/// check the alert reproduces byte-for-byte.
+fn replay_dump(file: &str) -> Result<i32, String> {
+    use vids::record::{replay_vdump, Vdump};
+
+    let dump = Vdump::read_from(std::path::Path::new(file))
+        .map_err(|e| format!("cannot load {file}: {e}"))?;
+    print!("{}", dump.describe());
+    let verdict = replay_vdump(&dump);
+    println!(
+        "replay: {} batches, {} packets, {} alert(s) raised",
+        verdict.outcome.batches,
+        verdict.outcome.packets,
+        verdict.outcome.alerts.len()
+    );
+    println!(
+        "alert byte-identical: {}; counters identical: {}; snapshot identical: {}",
+        verdict.alert_identical, verdict.counters_identical, verdict.snapshot_identical
+    );
+    if verdict.identical() {
+        println!("verdict: deterministic — the recorded alert reproduces exactly");
+        Ok(0)
+    } else {
+        println!("verdict: DIVERGED — the dump does not reproduce on this build");
+        Ok(1)
+    }
+}
+
+/// `vids inspect`: decode a `.vdump` forensic dump and print its
+/// self-description without replaying anything.
+fn inspect(flags: &mut Flags) -> Result<i32, String> {
+    use vids::record::Vdump;
+
+    let file = flags
+        .positional()
+        .ok_or("inspect needs a dump file: vids inspect FILE.vdump")?;
+    flags.finish()?;
+    let dump = Vdump::read_from(std::path::Path::new(&file))
+        .map_err(|e| format!("cannot load {file}: {e}"))?;
+    print!("{}", dump.describe());
     Ok(0)
 }
 

@@ -65,7 +65,7 @@ fn wire_run(
     let config = Config::builder().shards(shards).build().unwrap();
     let mut pool = VidsPool::new(config);
     let mut sink = CollectSink::new();
-    let report = replay_pcap(capture, &mut pool, flush_packets, None, &mut sink).unwrap();
+    let report = replay_pcap(capture, &mut pool, flush_packets, None, None, &mut sink).unwrap();
     assert_eq!(report.datagrams as usize, trace.len());
     assert_eq!(report.demux_unknown, 1, "only the Raw stray is unknown");
     assert_eq!(report.last_at, trace.last().unwrap().1);

@@ -16,7 +16,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vids::core::{Config, CostModel, NullSink, VidsPool};
 use vids::ingest::pcap::PcapWriter;
 use vids::ingest::record_tap::RecordTap;
-use vids::ingest::replay::replay_pcap;
+use vids::ingest::replay::{replay_pcap, replay_pcap_parallel};
 use vids::netsim::packet::{Address, Packet, Payload};
 use vids::record::Recorder;
 use vids_bench::{header, print_once, row, synth_call_batch};
@@ -75,6 +75,35 @@ fn replay_pps(capture: &[u8], datagrams: usize, shards: usize, passes: usize, re
     datagrams as f64 / best
 }
 
+/// Throughput of the parallel driver: `threads` classifier threads plus
+/// the engine's epoch-ring shard workers.
+fn parallel_pps(
+    capture: &[u8],
+    datagrams: usize,
+    shards: usize,
+    threads: usize,
+    passes: usize,
+) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..passes {
+        let mut p = pool(shards);
+        let start = Instant::now();
+        let report = replay_pcap_parallel(
+            capture.to_vec(),
+            &mut p,
+            FLUSH_PACKETS,
+            threads,
+            None,
+            None,
+            &mut NullSink,
+        )
+        .unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(report.datagrams as usize, datagrams);
+    }
+    datagrams as f64 / best
+}
+
 fn print_figure() {
     let batch = synth_call_batch(CALLS, RTP_PER_CALL);
     let capture = to_pcap(&batch);
@@ -115,6 +144,26 @@ fn print_figure() {
                 format!("{pps:>9.0} pps")
             )
         );
+    }
+    // The multi-core scaling grid: parallel classification feeding the
+    // epoch-ring pipeline. On a 1-core host the extra threads only add
+    // handoff cost; read the grid next to `available_parallelism`.
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{}", row("hw threads", "-", format!("{hw}")));
+    for threads in [1usize, 2, 4] {
+        for shards in [1usize, 4] {
+            let pps = parallel_pps(&capture, batch.len(), shards, threads, 5);
+            println!(
+                "{}",
+                row(
+                    &format!("replay, {threads} thread(s) x {shards} shard(s)"),
+                    "-",
+                    format!("{pps:>9.0} pps")
+                )
+            );
+        }
     }
 }
 

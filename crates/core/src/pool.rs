@@ -36,17 +36,30 @@
 //! raw pointers inside a job valid and the output merge deterministic: by
 //! merge time all shard output is back on one thread, ordered by key. See
 //! DESIGN.md §7d for the mailbox protocol and panic/shutdown semantics.
+//!
+//! For live ingestion there is a second, pipelined runtime: receiver
+//! threads pre-compute each datagram's routing hashes ([`route_hint`],
+//! carried by [`PreRouted`]) and a [`VidsPool::with_pipeline`] session
+//! publishes whole batches as *epochs* into per-shard bounded rings drained
+//! by persistent shard workers — the coordinator overlaps routing batch
+//! `k+1` with the shards draining batch `k`, instead of blocking at a
+//! barrier inside every batch. Alerts still merge in epoch order on the
+//! same deterministic key, so the output is byte-identical to calling
+//! [`VidsPool::process_wire_batch`] with the same batches. See DESIGN.md
+//! §7i for the epoch-ring protocol and why the *residual* routing pass
+//! (media index, monotonic clamp, dedup) stays sequential on the
+//! coordinator.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::cmp::Ordering;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, Thread};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vids_efsm::{sym, Event, Sym};
 use vids_netsim::packet::Packet;
@@ -103,6 +116,17 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Shard placement for a pre-computed key hash. `hash % 1 == 0`, so this
+/// agrees with `VidsPool::shard_of`'s single-shard short-circuit too.
+#[inline]
+fn shard_from_hash(hash: u64, shards: usize) -> usize {
+    if shards == 1 {
+        0
+    } else {
+        (hash % shards as u64) as usize
+    }
 }
 
 /// A sink that tags every alert with the merge key of the part being drained.
@@ -170,6 +194,88 @@ pub struct WireEvent {
     pub at: SimTime,
 }
 
+/// The shard-routing hashes of one classified datagram, pre-computed on a
+/// receiver thread so the pipeline coordinator's sequential pass does no
+/// hashing. Pure FNV-1a over the same key bytes `route_one` would hash, so
+/// `hash % shards` lands on exactly the shard `shard_of` would pick for any
+/// shard count. Constructed only by [`route_hint`], keeping the two in
+/// lock-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteHint {
+    /// Hash of the call-pinned key: the address-of-record for REGISTER, the
+    /// Call-ID for other SIP, the media-coordinate fallback for RTP.
+    call: u64,
+    /// Hash of the destination IP, for the per-destination flood machines.
+    /// Zero (unused) for everything but non-REGISTER SIP.
+    flood: u64,
+}
+
+/// One classified datagram with its receiver-side routing hashes, the unit
+/// of work receivers hand to a [`PipelineIngress`] session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreRouted {
+    /// What the classifier made of the datagram.
+    pub classified: Classified,
+    /// When the datagram was received.
+    pub at: SimTime,
+    hint: RouteHint,
+}
+
+impl PreRouted {
+    /// Stamps a classified datagram with its routing hashes. Allocation-free
+    /// once the classifier has interned the datagram's symbols.
+    pub fn new(classified: Classified, at: SimTime) -> Self {
+        let hint = route_hint(&classified);
+        PreRouted {
+            classified,
+            at,
+            hint,
+        }
+    }
+}
+
+/// Computes the shard-routing hashes for one classified datagram — the
+/// receiver-side half of routing. Everything that needs *global* state
+/// (media-index probes and inserts, the monotonic clamp, the malformed
+/// dedup) stays on the coordinator; the hint carries only pure per-packet
+/// hashes.
+pub fn route_hint(c: &Classified) -> RouteHint {
+    match c {
+        Classified::Sip {
+            call_id,
+            event,
+            dst_ip,
+            ..
+        } => {
+            if event.name == sym::SIP_REGISTER {
+                let aor = event.str_arg("aor").unwrap_or("");
+                RouteHint {
+                    call: fnv1a(aor.as_bytes()),
+                    flood: 0,
+                }
+            } else {
+                RouteHint {
+                    call: fnv1a(call_id.as_str().as_bytes()),
+                    flood: fnv1a(&dst_ip.to_le_bytes()),
+                }
+            }
+        }
+        Classified::Rtp { event } => {
+            // The media-coordinate fallback hash (see `route_one`): used
+            // only when no call negotiated these coordinates, which the
+            // coordinator decides at its media-index probe.
+            let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
+            let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
+            let mut h = fnv1a(ip.as_str().as_bytes());
+            for byte in port.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            RouteHint { call: h, flood: 0 }
+        }
+        Classified::Malformed { .. } | Classified::Ignored => RouteHint::default(),
+    }
+}
+
 /// One shard-pinned part of a routed packet.
 enum Part {
     Register(Event),
@@ -189,6 +295,7 @@ enum Part {
 
 /// An unassociated SIP response detected on the call-owning shard, to be
 /// counted on the destination-owning shard after the parallel drain.
+#[derive(Clone, Copy)]
 struct Miss {
     idx: usize,
     t: u64,
@@ -761,7 +868,16 @@ impl VidsPool {
                 .max(packet.sent_at.as_millis())
                 .max(self.last_packet_ms);
             self.last_packet_ms = t;
-            self.route_one(idx, t, c, direct, &mut queues, &mut tagged, &mut misses);
+            self.route_one(
+                idx,
+                t,
+                c,
+                None,
+                direct,
+                &mut queues,
+                &mut tagged,
+                &mut misses,
+            );
         }
         self.classified = classified;
 
@@ -824,6 +940,7 @@ impl VidsPool {
                 idx,
                 t,
                 ev.classified,
+                None,
                 direct,
                 &mut queues,
                 &mut tagged,
@@ -845,10 +962,10 @@ impl VidsPool {
             || batch_len < PARALLEL_DRAIN_THRESHOLD
     }
 
-    /// Phase 2 body shared by the packet and wire batch paths: assigns one
-    /// routed part per protocol role, publishes media coordinates, and
-    /// consumes malformed/ignored traffic (it has no call, destination or
-    /// media key to shard by).
+    /// Phase 2 body shared by the packet, wire batch and pipeline paths:
+    /// assigns one routed part per protocol role, publishes media
+    /// coordinates, and consumes malformed/ignored traffic (it has no call,
+    /// destination or media key to shard by).
     ///
     /// With `direct` set the part skips the shard queue and is ingested
     /// right here: the batch was going to drain on this thread anyway
@@ -857,12 +974,18 @@ impl VidsPool {
     /// Per-shard event order is identical either way — routing is the
     /// sequential packet-order pass — and the merge keys make the final
     /// alert order independent of the choice.
+    ///
+    /// A `hint` carries the FNV-1a key hashes pre-computed on a receiver
+    /// thread ([`route_hint`]); without one the hashes are computed here,
+    /// lazily, exactly as before. Both spellings place every part on the
+    /// same shard.
     #[allow(clippy::too_many_arguments)]
     fn route_one(
         &mut self,
         idx: usize,
         t: u64,
         c: Classified,
+        hint: Option<RouteHint>,
         direct: bool,
         queues: &mut [Vec<Routed>],
         tagged: &mut Vec<(MergeKey, Alert)>,
@@ -878,8 +1001,13 @@ impl VidsPool {
                 dst_ip,
             } => {
                 if event.name == sym::SIP_REGISTER {
-                    let aor = event.str_arg("aor").unwrap_or("");
-                    let shard = self.shard_of(aor.as_bytes());
+                    let shard = match hint {
+                        Some(h) => shard_from_hash(h.call, n),
+                        None => {
+                            let aor = event.str_arg("aor").unwrap_or("");
+                            self.shard_of(aor.as_bytes())
+                        }
+                    };
                     let part = Part::Register(event);
                     if direct {
                         ingest_part(&mut self.shards[shard], idx, t, part, tagged, misses);
@@ -888,9 +1016,15 @@ impl VidsPool {
                     }
                     return;
                 }
-                let shard = self.shard_of(call_id.as_str().as_bytes());
+                let shard = match hint {
+                    Some(h) => shard_from_hash(h.call, n),
+                    None => self.shard_of(call_id.as_str().as_bytes()),
+                };
                 if event.name == sym::SIP_INVITE {
-                    let flood_shard = self.shard_of(&dst_ip.to_le_bytes());
+                    let flood_shard = match hint {
+                        Some(h) => shard_from_hash(h.flood, n),
+                        None => self.shard_of(&dst_ip.to_le_bytes()),
+                    };
                     let part = Part::InviteFlood {
                         event: event.clone(),
                         dst_ip,
@@ -934,6 +1068,9 @@ impl VidsPool {
                             // No call negotiated these coordinates: route by
                             // their hash so any shard count flags the same
                             // packet as unassociated exactly once.
+                            if let Some(h) = hint {
+                                return shard_from_hash(h.call, n);
+                            }
                             let mut h = fnv1a(ip.as_str().as_bytes());
                             for byte in port.to_le_bytes() {
                                 h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
@@ -1046,9 +1183,9 @@ impl VidsPool {
 
     fn shard_of(&self, bytes: &[u8]) -> usize {
         if self.shards.len() == 1 {
-            return 0;
+            return 0; // don't hash what can only land on shard 0
         }
-        (fnv1a(bytes) % self.shards.len() as u64) as usize
+        shard_from_hash(fnv1a(bytes), self.shards.len())
     }
 
     /// Pool-level alert with the single engine's dedup semantics for
@@ -1250,6 +1387,63 @@ impl VidsPool {
         }
     }
 
+    /// Runs `f` with a pipelined ingest session: one dedicated worker
+    /// thread per shard, fed through per-shard bounded epoch rings. Inside
+    /// the closure, [`PipelineIngress::submit`] publishes pre-routed
+    /// batches without waiting for the shards to drain them — the
+    /// coordinator's sequential routing pass for batch `k+1` overlaps the
+    /// shard drains of batch `k`, up to [`EPOCH_RING_DEPTH`] batches deep.
+    ///
+    /// Output is byte-identical to feeding the same batches through
+    /// [`VidsPool::process_wire_batch`]: alerts merge per epoch on the same
+    /// deterministic key, cross-shard DRDoS misses apply in packet order,
+    /// and sweeps run on the same batch-clock rule. Workers join when the
+    /// closure returns (or unwinds); anything left unflushed is merged into
+    /// the pool's alert log on the way out.
+    pub fn with_pipeline<R>(&mut self, f: impl FnOnce(&mut PipelineIngress<'_, '_>) -> R) -> R {
+        if let Some(rt) = &self.runtime {
+            rt.check_poison();
+        }
+        let n = self.shards.len();
+        let shared = PipelineShared {
+            lanes: (0..n).map(|_| Lane::new()).collect(),
+            engines: AtomicUsize::new(self.shards.as_mut_ptr() as usize),
+            stop: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            #[cfg(test)]
+            panic_epoch: AtomicU64::new(u64::MAX),
+        };
+        thread::scope(|scope| {
+            for i in 0..n {
+                let shared = &shared;
+                thread::Builder::new()
+                    .name(format!("vids-pipe-{i}"))
+                    .spawn_scoped(scope, move || pipeline_worker(shared, i))
+                    .expect("spawn pipeline worker");
+            }
+            // Workers exit once `stop` is set and every published epoch is
+            // processed. The guard sets it even when `f` unwinds, so the
+            // scope's implicit join cannot deadlock.
+            let _stop = StopGuard(&shared);
+            let mut ingress = PipelineIngress {
+                pool: self,
+                shared: &shared,
+                next_epoch: 0,
+                harvested: 0,
+                coord: VecDeque::new(),
+                spare: Vec::new(),
+                refresh_engines: false,
+            };
+            let result = f(&mut ingress);
+            // Merge whatever the caller left in flight so the engines and
+            // the pool's alert log end consistent. Drivers flush (tick)
+            // before returning, so their sink missed nothing.
+            ingress.flush(&mut crate::sink::NullSink);
+            result
+        })
+    }
+
     /// Test hook: pretends the host has `workers` hardware threads so the
     /// handoff paths are exercised even on a single-core CI box.
     #[cfg(test)]
@@ -1330,6 +1524,433 @@ fn ingest_part(
             let mut sink = TaggedSink::packet(alerts, idx, 2);
             vids.ingest_rtp(event, t, &mut sink);
         }
+    }
+}
+
+/// How many epochs (published batches) a pipeline lane can hold before the
+/// coordinator must wait for the shard workers. Power of two; deep enough
+/// to ride out one slow shard, shallow enough that a stalled worker
+/// backpressures receivers instead of buffering unbounded work.
+const EPOCH_RING_DEPTH: u64 = 4;
+
+/// Backoff for the pipeline's wait loops: spin briefly (covering the
+/// epoch-to-epoch handoff), then sleep-poll. Nobody unparks anybody — a
+/// bounded timed park cannot miss a wakeup, and the added worst-case
+/// latency is invisible next to a batch of traffic.
+const PIPELINE_PARK: Duration = Duration::from_micros(100);
+
+#[inline]
+fn pipeline_backoff(spins: &mut u32) {
+    if *spins < SPIN_LIMIT {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        thread::park_timeout(PIPELINE_PARK);
+    }
+}
+
+/// One epoch's routed work and outputs for one shard lane.
+#[derive(Default)]
+struct EpochSlot {
+    /// Routed parts for this shard, in packet order. Written by the
+    /// coordinator, drained (emptied) by the lane's worker.
+    queue: Vec<Routed>,
+    /// Key-tagged alerts the drain produced; collected at harvest.
+    tagged: Vec<(MergeKey, Alert)>,
+    /// Cross-shard DRDoS misses this shard *detected*; frozen after the
+    /// drain so every worker can read every lane's list, cleared at
+    /// harvest.
+    misses: Vec<Miss>,
+}
+
+/// One shard's bounded epoch ring. The three counters are monotone epoch
+/// counts, so slot `e % EPOCH_RING_DEPTH` has a single owner at every
+/// instant: the coordinator before `tail` passes `e` and after harvest,
+/// the worker in between (with the `misses` field read-shared between
+/// `drained` and harvest).
+struct Lane {
+    slots: [UnsafeCell<EpochSlot>; EPOCH_RING_DEPTH as usize],
+    /// Epochs published to this lane's worker.
+    tail: AtomicU64,
+    /// Epochs whose queue this worker has fully drained (misses frozen).
+    drained: AtomicU64,
+    /// Epochs fully finished (drain + cross-shard miss application).
+    applied: AtomicU64,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            slots: std::array::from_fn(|_| UnsafeCell::new(EpochSlot::default())),
+            tail: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+        }
+    }
+}
+
+// SAFETY: slot ownership follows the lane counters as documented on
+// `Lane`; every handoff is a Release store observed by an Acquire load.
+unsafe impl Send for Lane {}
+unsafe impl Sync for Lane {}
+
+/// State shared between a pipeline session's coordinator and its workers.
+struct PipelineShared {
+    lanes: Vec<Lane>,
+    /// Base pointer to the shard engines (`*mut Vids` as `usize`). The
+    /// coordinator re-derives and re-publishes it after any quiesced
+    /// direct use of `VidsPool::shards` (sweeps, snapshots), so a worker
+    /// always dereferences a freshly derived pointer.
+    engines: AtomicUsize,
+    /// Session shutdown; workers exit once no published epoch is pending.
+    stop: AtomicBool,
+    /// A worker panicked; everyone winds down and the coordinator rethrows.
+    poisoned: AtomicBool,
+    /// First captured panic payload, rethrown on the coordinator.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Test hook: worker 0 panics when it reaches this epoch.
+    #[cfg(test)]
+    panic_epoch: AtomicU64,
+}
+
+/// Sets `stop` on drop, so scoped workers exit (and the scope's implicit
+/// join returns) even when the coordinator unwinds.
+struct StopGuard<'a>(&'a PipelineShared);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.stop.store(true, Release);
+    }
+}
+
+/// One pipeline worker: drain own lane's epoch, barrier with peers, apply
+/// this shard's share of the cross-shard misses, publish completion —
+/// epoch by epoch until shutdown.
+fn pipeline_worker(shared: &PipelineShared, index: usize) {
+    let lane = &shared.lanes[index];
+    let n = shared.lanes.len();
+    let mut scratch: Vec<Miss> = Vec::new();
+    let mut epoch = 0u64;
+    loop {
+        // Wait for the coordinator to publish this epoch. `stop` is only
+        // honored here: a published epoch is always completed, so the
+        // coordinator can flush deterministically before shutting down.
+        let mut spins = 0u32;
+        loop {
+            if shared.poisoned.load(Acquire) {
+                return;
+            }
+            if lane.tail.load(Acquire) > epoch {
+                break;
+            }
+            if shared.stop.load(Acquire) {
+                return;
+            }
+            pipeline_backoff(&mut spins);
+        }
+        let slot = (epoch % EPOCH_RING_DEPTH) as usize;
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(test)]
+            if index == 0 && shared.panic_epoch.load(Relaxed) == epoch {
+                panic!("injected pipeline worker panic");
+            }
+            // SAFETY: observing `tail > epoch` (Acquire) transferred this
+            // slot to the worker; the `applied` store below hands it back.
+            let data = unsafe { &mut *lane.slots[slot].get() };
+            // SAFETY: engine `index` is touched by this worker only, and
+            // by the coordinator only while the pipeline is quiesced; the
+            // pointer is (re-)derived by the coordinator and published
+            // before the epochs that use it.
+            let engine = unsafe { &mut *(shared.engines.load(Acquire) as *mut Vids).add(index) };
+            drain_one(engine, &mut data.queue, &mut data.tagged, &mut data.misses);
+            lane.drained.store(epoch + 1, Release);
+            // Barrier: wait for every lane to finish draining this epoch.
+            // From each peer's `drained` store to the coordinator's
+            // harvest, the epoch's miss lists are frozen and readable by
+            // all.
+            for peer in &shared.lanes {
+                let mut spins = 0u32;
+                while peer.drained.load(Acquire) <= epoch {
+                    if shared.poisoned.load(Acquire) || shared.stop.load(Acquire) {
+                        // A peer died or the coordinator abandoned the
+                        // session mid-epoch; neither happens on the normal
+                        // flush-then-stop path.
+                        panic!("pipeline torn down during epoch barrier");
+                    }
+                    pipeline_backoff(&mut spins);
+                }
+            }
+            // Phase 4, shard-local: this destination shard's share of the
+            // deferred DRDoS counts, in packet order. Sorting the global
+            // miss list by idx and filtering to one shard (the sequential
+            // path) yields the same per-engine sequence as filtering then
+            // sorting here.
+            scratch.clear();
+            for (j, peer) in shared.lanes.iter().enumerate() {
+                let misses: &[Miss] = if j == index {
+                    &data.misses
+                } else {
+                    // SAFETY: frozen read-only window, see the barrier
+                    // comment above.
+                    unsafe { &(*peer.slots[slot].get()).misses }
+                };
+                for m in misses {
+                    if shard_from_hash(fnv1a(&m.dst_ip.to_le_bytes()), n) == index {
+                        scratch.push(*m);
+                    }
+                }
+            }
+            scratch.sort_unstable_by_key(|m| m.idx);
+            for m in &scratch {
+                let mut tsink = TaggedSink::packet(&mut data.tagged, m.idx, 3);
+                engine.ingest_response_flood(m.dst_ip, m.src_ip, m.t, &mut tsink);
+            }
+        }));
+        match outcome {
+            Ok(()) => {
+                lane.applied.store(epoch + 1, Release);
+                epoch += 1;
+            }
+            Err(payload) => {
+                let mut first = shared.panic.lock().unwrap();
+                if first.is_none() {
+                    *first = Some(payload);
+                }
+                drop(first);
+                shared.poisoned.store(true, Release);
+                return;
+            }
+        }
+    }
+}
+
+/// A live pipelined-ingest session over a [`VidsPool`], handed to the
+/// closure of [`VidsPool::with_pipeline`]. Exclusively borrows the pool:
+/// while the session lives, all traffic flows through [`submit`] and all
+/// timer work through [`tick`].
+///
+/// [`submit`]: PipelineIngress::submit
+/// [`tick`]: PipelineIngress::tick
+pub struct PipelineIngress<'pool, 'sh> {
+    pool: &'pool mut VidsPool,
+    shared: &'sh PipelineShared,
+    /// Epochs published so far.
+    next_epoch: u64,
+    /// Epochs harvested (merged and emitted) so far.
+    harvested: u64,
+    /// Coordinator-side tagged alerts (sweeps, malformed) per published
+    /// but unharvested epoch; front = oldest.
+    coord: VecDeque<Vec<(MergeKey, Alert)>>,
+    /// Recycled coordinator alert buffers.
+    spare: Vec<Vec<(MergeKey, Alert)>>,
+    /// `pool.shards` was used directly while quiesced; re-derive the
+    /// engines pointer before publishing the next epoch.
+    refresh_engines: bool,
+}
+
+impl PipelineIngress<'_, '_> {
+    /// Epochs published but not yet merged.
+    pub fn in_flight(&self) -> u64 {
+        self.next_epoch - self.harvested
+    }
+
+    /// Rethrows a worker panic on the coordinator. The session is torn
+    /// down by the unwind: the stop guard releases the workers and the
+    /// scope joins them.
+    fn check_poison(&self) {
+        if self.shared.poisoned.load(Acquire) {
+            match self.shared.panic.lock().unwrap().take() {
+                Some(payload) => panic::resume_unwind(payload),
+                None => panic!("pipeline worker previously panicked"),
+            }
+        }
+    }
+
+    /// Publishes one batch of pre-routed events as an epoch. Runs the
+    /// residual sequential routing pass (cost charge, monotonic clamp,
+    /// media index, malformed dedup) and hands the per-shard queues to the
+    /// workers; returns without waiting for the drains unless the rings
+    /// are full. Same batch-clock semantics as
+    /// [`VidsPool::process_wire_batch`]: `now` should be the batch's first
+    /// receive timestamp.
+    pub fn submit<S: AlertSink + ?Sized>(
+        &mut self,
+        events: &mut Vec<PreRouted>,
+        now: SimTime,
+        sink: &mut S,
+    ) {
+        self.check_poison();
+        let now_ms = now.as_millis();
+        if let Some(reg) = &self.pool.telemetry {
+            reg.pool().inc(Counter::BatchesIngested);
+            reg.pool()
+                .add(Counter::PacketsIngested, events.len() as u64);
+            reg.pool().record(HistId::BatchSize, events.len() as u64);
+        }
+
+        let mut coord_tagged = self.spare.pop().unwrap_or_default();
+
+        // Phase 0: at most one sweep per batch, on the same clock rule as
+        // the synchronous paths. Sweeps read and mutate every shard, so
+        // the pipeline quiesces first — they are interval-gated, so this
+        // barrier is rare by construction.
+        if now_ms.saturating_sub(self.pool.last_sweep_ms) >= SWEEP_INTERVAL_MS {
+            self.flush(sink);
+            self.pool.last_sweep_ms = now_ms;
+            if let Some(reg) = &self.pool.telemetry {
+                reg.pool().inc(Counter::TimerSweeps);
+            }
+            self.pool.sweep_shards(now_ms, &mut coord_tagged);
+            self.refresh_engines = true;
+        }
+        if self.refresh_engines {
+            debug_assert_eq!(
+                self.next_epoch, self.harvested,
+                "refresh requires quiescence"
+            );
+            self.shared
+                .engines
+                .store(self.pool.shards.as_mut_ptr() as usize, Release);
+            self.refresh_engines = false;
+        }
+
+        // Phase 2: the residual sequential routing pass, using the
+        // receiver-computed hashes. Always queued (never direct): the
+        // engines belong to the workers while epochs are in flight.
+        let mut queues = std::mem::take(&mut self.pool.queues);
+        let mut misses = std::mem::take(&mut self.pool.scratch_misses);
+        for (idx, ev) in events.drain(..).enumerate() {
+            self.pool
+                .cpu
+                .charge(self.pool.cost.cpu_for_classified(&ev.classified));
+            let t = now_ms.max(ev.at.as_millis()).max(self.pool.last_packet_ms);
+            self.pool.last_packet_ms = t;
+            self.pool.route_one(
+                idx,
+                t,
+                ev.classified,
+                Some(ev.hint),
+                false,
+                &mut queues,
+                &mut coord_tagged,
+                &mut misses,
+            );
+        }
+        debug_assert!(misses.is_empty(), "queued routing produces no misses");
+        self.pool.scratch_misses = misses;
+
+        // Backpressure: when the rings are full, merge the oldest epoch
+        // (blocking on its workers) before publishing this one.
+        while self.in_flight() >= EPOCH_RING_DEPTH {
+            if let Some(reg) = &self.pool.telemetry {
+                reg.pool().inc(Counter::PipelineStalls);
+            }
+            self.harvest_one(sink);
+        }
+
+        // Publish epoch `next_epoch` to every lane — uniformly, including
+        // empty queues, so the lane counters advance in lock-step and the
+        // workers' cross-lane barrier lines up.
+        let e = self.next_epoch;
+        let slot = (e % EPOCH_RING_DEPTH) as usize;
+        for (lane, queue) in self.shared.lanes.iter().zip(queues.iter_mut()) {
+            // SAFETY: epoch `e - EPOCH_RING_DEPTH` is harvested (enforced
+            // above), so the coordinator owns this slot; the Release store
+            // below hands it to the worker.
+            let data = unsafe { &mut *lane.slots[slot].get() };
+            debug_assert!(data.queue.is_empty());
+            std::mem::swap(&mut data.queue, queue);
+            lane.tail.store(e + 1, Release);
+        }
+        self.pool.queues = queues;
+        self.coord.push_back(coord_tagged);
+        self.next_epoch = e + 1;
+        if let Some(reg) = &self.pool.telemetry {
+            reg.pool().set_gauge(Gauge::PipelineDepth, self.in_flight());
+        }
+    }
+
+    /// Merges the oldest in-flight epoch: waits for every worker to finish
+    /// it, gathers the tagged alerts from all lanes plus the coordinator's
+    /// own, sorts on the merge key, and emits — exactly the phase-5 merge
+    /// of the synchronous paths, per epoch.
+    fn harvest_one<S: AlertSink + ?Sized>(&mut self, sink: &mut S) {
+        debug_assert!(self.harvested < self.next_epoch);
+        let e = self.harvested;
+        for lane in &self.shared.lanes {
+            let mut spins = 0u32;
+            while lane.applied.load(Acquire) <= e {
+                self.check_poison();
+                pipeline_backoff(&mut spins);
+            }
+        }
+        let merge_started = self.pool.telemetry.as_ref().map(|_| Instant::now());
+        let mut tagged = self.coord.pop_front().unwrap_or_default();
+        let slot = (e % EPOCH_RING_DEPTH) as usize;
+        for lane in &self.shared.lanes {
+            // SAFETY: every lane's `applied` passed `e` (Acquire above),
+            // handing the epoch's slots back to the coordinator.
+            let data = unsafe { &mut *lane.slots[slot].get() };
+            debug_assert!(data.queue.is_empty());
+            tagged.append(&mut data.tagged);
+            data.misses.clear();
+        }
+        tagged.sort_unstable_by(merge_cmp);
+        for (_key, alert) in tagged.drain(..) {
+            self.pool.alerts.push(alert.clone());
+            sink.accept(alert);
+        }
+        self.spare.push(tagged);
+        self.harvested = e + 1;
+        if let (Some(reg), Some(started)) = (&self.pool.telemetry, merge_started) {
+            let nanos = started.elapsed().as_nanos() as u64;
+            reg.pool().add(Counter::MergeNanos, nanos);
+            reg.pool().record(HistId::MergeNanos, nanos);
+        }
+    }
+
+    /// Merges every in-flight epoch, emitting alerts into `sink`. On
+    /// return the pipeline is quiescent: workers are idle and every alert
+    /// submitted so far has been emitted.
+    pub fn flush<S: AlertSink + ?Sized>(&mut self, sink: &mut S) {
+        self.check_poison();
+        while self.harvested < self.next_epoch {
+            self.harvest_one(sink);
+        }
+        if let Some(reg) = &self.pool.telemetry {
+            reg.pool().set_gauge(Gauge::PipelineDepth, 0);
+        }
+    }
+
+    /// Flushes, then advances idle timers on every shard — the session's
+    /// version of [`VidsPool::tick`], with identical output.
+    pub fn tick<S: AlertSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+        self.flush(sink);
+        self.pool.tick(now, sink);
+        self.refresh_engines = true;
+    }
+
+    /// Read access to the underlying pool while quiescent (for snapshots
+    /// and forensic dumps). Call [`flush`] or [`tick`] first; panics if
+    /// epochs are still in flight, because the workers would be mutating
+    /// the shards being read.
+    ///
+    /// [`flush`]: PipelineIngress::flush
+    /// [`tick`]: PipelineIngress::tick
+    pub fn pool(&mut self) -> &VidsPool {
+        assert_eq!(
+            self.next_epoch, self.harvested,
+            "flush the pipeline before inspecting the pool"
+        );
+        self.refresh_engines = true;
+        &*self.pool
+    }
+
+    /// Test hook: makes pipeline worker 0 panic when it reaches the next
+    /// epoch to be published.
+    #[cfg(test)]
+    fn inject_panic_next_epoch(&self) {
+        self.shared.panic_epoch.store(self.next_epoch, Relaxed);
     }
 }
 
@@ -1627,5 +2248,251 @@ mod tests {
         pool.force_workers(4);
         pool.process_batch(&big_trace(), SimTime::ZERO, &mut NullSink);
         drop(pool); // joins 4 parked workers; must not hang or leak
+    }
+
+    /// A wire trace with calls, negotiated media, in-call and stray RTP, a
+    /// REGISTER, floods, ghosts and junk — timestamps crossing several
+    /// sweep intervals so multi-batch runs exercise the batch-clock sweep
+    /// rule.
+    fn pipeline_trace() -> Vec<WireEvent> {
+        use vids_sip::headers::{CSeq as SipCSeq, Header, NameAddr, Via};
+
+        let mut packets: Vec<Packet> = mixed_trace()
+            .into_iter()
+            .map(|(mut p, at)| {
+                p.sent_at = at;
+                p
+            })
+            .collect();
+        let mut push = |src, dst, payload, ms| {
+            let mut p = pkt(src, dst, payload);
+            p.sent_at = SimTime::from_millis(ms);
+            packets.push(p);
+        };
+
+        // A REGISTER, pinned by address-of-record.
+        let aor = SipUri::new("roamer", "b.example.com");
+        let mut reg = vids_sip::Request::new(Method::Register, SipUri::host_only("b.example.com"));
+        reg.headers.push(Header::Via(Via::udp(
+            "10.1.0.10".to_owned(),
+            5060,
+            "z9hG4bK-r1",
+        )));
+        reg.headers
+            .push(Header::From(NameAddr::new(aor.clone()).with_tag("rt")));
+        reg.headers.push(Header::To(NameAddr::new(aor)));
+        reg.headers.push(Header::CallId("reg-roamer".to_owned()));
+        reg.headers
+            .push(Header::CSeq(SipCSeq::new(1, Method::Register)));
+        reg.headers.push(Header::Contact(NameAddr::new(SipUri::new(
+            "roamer",
+            "10.1.0.10",
+        ))));
+        reg.headers.push(Header::Expires(3600));
+        reg.headers.push(Header::ContentLength(0));
+        push(CALLER, CALLEE, Payload::Sip(reg.to_string()), 98);
+
+        // A full call with negotiated media and in-call RTP.
+        let inv = invite("pipe-media");
+        let answer = SessionDescription::audio_offer("bob", "10.2.0.10", 30_000, &[Codec::G729]);
+        let ok = inv
+            .response(StatusCode::OK)
+            .with_to_tag("tt")
+            .with_body(vids_sdp::MIME_TYPE, answer.to_string());
+        let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
+        push(CALLER, CALLEE, Payload::Sip(inv.to_string()), 100);
+        push(CALLEE, CALLER, Payload::Sip(ok.to_string()), 120);
+        push(CALLER, CALLEE, Payload::Sip(ack.to_string()), 140);
+        let media = vids_rtp::packet::RtpPacket::new(18, 100, 800, 7).with_payload(vec![0; 10]);
+        for i in 0..4u64 {
+            push(
+                CALLER.with_port(20_000),
+                CALLEE.with_port(30_000),
+                Payload::Rtp(media.to_bytes()),
+                160 + i * 20,
+            );
+        }
+        // Stray RTP: routed by the media-coordinate fallback hash.
+        push(
+            CALLER.with_port(20_000),
+            Address::new(10, 9, 9, 9, 40_000),
+            Payload::Rtp(media.to_bytes()),
+            250,
+        );
+
+        // A later ghost-response wave (unassociated responses = deferred
+        // cross-shard DRDoS misses) after more sweep windows elapsed.
+        let ghost = invite("pipe-ghost");
+        let ghost_ok = ghost.response(StatusCode::OK);
+        for i in 0..12u64 {
+            push(CALLEE, CALLER, Payload::Sip(ghost_ok.to_string()), 480 + i);
+        }
+
+        wire_events(&packets)
+    }
+
+    /// Feeds `events` through `process_wire_batch` in fixed-size chunks,
+    /// clocked by each batch's first timestamp, then ticks.
+    fn run_wire_batches(pool: &mut VidsPool, events: &[WireEvent], chunk: usize) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        for chunk_events in events.chunks(chunk) {
+            let mut batch: Vec<WireEvent> = chunk_events.to_vec();
+            let now = chunk_events.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+            pool.process_wire_batch(&mut batch, now, &mut sink);
+        }
+        pool.tick(SimTime::from_secs(30), &mut sink);
+        sink.into_alerts()
+    }
+
+    /// The same batches through a pipelined session.
+    fn run_pipeline_batches(pool: &mut VidsPool, events: &[WireEvent], chunk: usize) -> Vec<Alert> {
+        let mut sink = CollectSink::new();
+        pool.with_pipeline(|p| {
+            let mut batch: Vec<PreRouted> = Vec::new();
+            for chunk_events in events.chunks(chunk) {
+                batch.extend(
+                    chunk_events
+                        .iter()
+                        .map(|e| PreRouted::new(e.classified.clone(), e.at)),
+                );
+                let now = chunk_events.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+                p.submit(&mut batch, now, &mut sink);
+            }
+            p.tick(SimTime::from_secs(30), &mut sink);
+        });
+        sink.into_alerts()
+    }
+
+    #[test]
+    fn pipeline_matches_wire_batches_across_shard_counts() {
+        let events = pipeline_trace();
+        // Chunk 3 pushes well past EPOCH_RING_DEPTH epochs (backpressure
+        // path); chunk 64 covers few-epoch sessions.
+        for n in [1usize, 4, 8] {
+            for chunk in [3usize, 7, 64] {
+                let mut by_wire = VidsPool::new(shards(n));
+                let wire = run_wire_batches(&mut by_wire, &events, chunk);
+                let mut by_pipe = VidsPool::new(shards(n));
+                let pipe = run_pipeline_batches(&mut by_pipe, &events, chunk);
+                assert!(!wire.is_empty(), "trace should raise alerts");
+                assert_eq!(wire, pipe, "{n} shards, chunk {chunk} diverged");
+                assert_eq!(by_wire.alerts(), by_pipe.alerts());
+                assert_eq!(by_wire.counters(), by_pipe.counters());
+                assert_eq!(by_wire.cpu_busy(), by_pipe.cpu_busy());
+                assert_eq!(by_wire.monitored_calls(), by_pipe.monitored_calls());
+            }
+        }
+    }
+
+    #[test]
+    fn route_hint_hashes_agree_with_shard_of() {
+        let events = pipeline_trace();
+        let pool = VidsPool::new(shards(8));
+        let mut sip = 0usize;
+        let mut rtp = 0usize;
+        for ev in &events {
+            let hint = route_hint(&ev.classified);
+            match &ev.classified {
+                Classified::Sip {
+                    call_id,
+                    event,
+                    dst_ip,
+                    ..
+                } => {
+                    sip += 1;
+                    if event.name == sym::SIP_REGISTER {
+                        let aor = event.str_arg("aor").unwrap_or("");
+                        assert_eq!(shard_from_hash(hint.call, 8), pool.shard_of(aor.as_bytes()));
+                    } else {
+                        assert_eq!(
+                            shard_from_hash(hint.call, 8),
+                            pool.shard_of(call_id.as_str().as_bytes())
+                        );
+                        assert_eq!(
+                            shard_from_hash(hint.flood, 8),
+                            pool.shard_of(&dst_ip.to_le_bytes())
+                        );
+                    }
+                }
+                Classified::Rtp { event } => {
+                    rtp += 1;
+                    let ip = event.sym_arg(sym::DST_IP).unwrap_or_default();
+                    let port = event.uint_arg(sym::DST_PORT).unwrap_or(0);
+                    let mut h = fnv1a(ip.as_str().as_bytes());
+                    for byte in port.to_le_bytes() {
+                        h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                    assert_eq!(hint.call, h, "RTP fallback hash diverged");
+                }
+                _ => assert_eq!(hint, RouteHint::default()),
+            }
+        }
+        assert!(sip > 0 && rtp > 0, "trace must cover both protocols");
+    }
+
+    #[test]
+    fn pipeline_survives_quiesced_inspection() {
+        let events = pipeline_trace();
+        let split = 10usize;
+
+        let mut reference = VidsPool::new(shards(4));
+        let mut ref_sink = CollectSink::new();
+        for part in [&events[..split], &events[split..]] {
+            let mut batch: Vec<WireEvent> = part.to_vec();
+            let now = part.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+            reference.process_wire_batch(&mut batch, now, &mut ref_sink);
+        }
+        reference.tick(SimTime::from_secs(30), &mut ref_sink);
+
+        let mut pool = VidsPool::new(shards(4));
+        let mut sink = CollectSink::new();
+        pool.with_pipeline(|p| {
+            let mut batch: Vec<PreRouted> = events[..split]
+                .iter()
+                .map(|e| PreRouted::new(e.classified.clone(), e.at))
+                .collect();
+            p.submit(&mut batch, events[0].at, &mut sink);
+            p.flush(&mut sink);
+            // Mid-session, quiesced: reading the pool (as the serve tier
+            // does for forensic dumps) must not disturb the epochs that
+            // follow.
+            assert!(p.pool().monitored_calls() > 0);
+            assert_eq!(p.in_flight(), 0);
+            batch.extend(
+                events[split..]
+                    .iter()
+                    .map(|e| PreRouted::new(e.classified.clone(), e.at)),
+            );
+            p.submit(&mut batch, events[split].at, &mut sink);
+            p.tick(SimTime::from_secs(30), &mut sink);
+        });
+
+        assert_eq!(ref_sink.alerts(), sink.alerts());
+        assert_eq!(reference.counters(), pool.counters());
+    }
+
+    #[test]
+    fn pipeline_worker_panic_propagates_and_joins() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let events = pipeline_trace();
+        let mut pool = VidsPool::new(shards(4));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.with_pipeline(|p| {
+                p.inject_panic_next_epoch();
+                let mut batch: Vec<PreRouted> = events
+                    .iter()
+                    .map(|e| PreRouted::new(e.classified.clone(), e.at))
+                    .collect();
+                p.submit(&mut batch, SimTime::ZERO, &mut NullSink);
+                p.flush(&mut NullSink);
+            });
+        }));
+        std::panic::set_hook(prev);
+        assert!(outcome.is_err(), "worker panic must surface on the caller");
+        // The scoped session joined its workers on the way out; the pool
+        // (and its mailbox runtime) is still usable and droppable.
+        pool.process_batch(&[], SimTime::ZERO, &mut NullSink);
+        drop(pool);
     }
 }

@@ -6,20 +6,23 @@
 //! elapsed since the oldest buffered event. The engine's batched merge
 //! is deterministic under any chunking (see `tests/pool_determinism.rs`
 //! in the root crate), so flush timing affects latency, never verdicts.
+//!
+//! The batcher is generic over the event type: the classic serve path
+//! batched [`vids_core::pool::WireEvent`]s; the pipelined path batches
+//! [`vids_core::pool::PreRouted`] events that already carry their
+//! receiver-computed shard-routing hashes.
 
 use std::time::Instant;
 
-use vids_core::pool::WireEvent;
-
 /// Accumulates classified wire events until a size or age threshold.
-pub struct Batcher {
-    events: Vec<WireEvent>,
+pub struct Batcher<T> {
+    events: Vec<T>,
     flush_packets: usize,
     flush_interval_nanos: u64,
     oldest: Option<Instant>,
 }
 
-impl Batcher {
+impl<T> Batcher<T> {
     /// Creates a batcher with the given thresholds (from
     /// `Config::batch_flush_packets` / `Config::batch_flush_interval`).
     pub fn new(flush_packets: usize, flush_interval_nanos: u64) -> Self {
@@ -32,7 +35,7 @@ impl Batcher {
     }
 
     /// Buffers one event; returns `true` if the batch is now due.
-    pub fn push(&mut self, event: WireEvent) -> bool {
+    pub fn push(&mut self, event: T) -> bool {
         if self.events.is_empty() {
             self.oldest = Some(Instant::now());
         }
@@ -63,7 +66,7 @@ impl Batcher {
 
     /// Takes the buffered batch, swapping in `spare` so the allocation
     /// keeps cycling between the receiver and the coordinator.
-    pub fn take(&mut self, mut spare: Vec<WireEvent>) -> Vec<WireEvent> {
+    pub fn take(&mut self, mut spare: Vec<T>) -> Vec<T> {
         spare.clear();
         self.oldest = None;
         std::mem::replace(&mut self.events, spare)
@@ -74,6 +77,7 @@ impl Batcher {
 mod tests {
     use super::*;
     use vids_core::classify::Classified;
+    use vids_core::pool::WireEvent;
     use vids_netsim::time::SimTime;
 
     fn ev() -> WireEvent {

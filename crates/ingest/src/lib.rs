@@ -15,10 +15,14 @@
 //! * [`demux`] — port + heuristic SIP vs RTP/RTCP demultiplexing.
 //! * [`batch`] — per-receiver batch accumulation with size and age
 //!   flush thresholds.
-//! * [`server`] — the `vids serve` pipeline: receiver threads → batch
-//!   channels → one engine coordinator, with graceful shutdown.
+//! * [`server`] — the `vids serve` pipeline: receiver threads classify
+//!   and shard-route datagrams, the coordinator drives the engine's
+//!   epoch-ring pipeline, with graceful shutdown and on-demand
+//!   `SIGUSR1` ring snapshots.
 //! * [`replay`] — `vids replay`: run a capture through the identical
-//!   pipeline at full speed, deterministically.
+//!   pipeline at full speed, deterministically; `replay_pcap_parallel`
+//!   classifies on N threads and re-sequences batches so the output
+//!   stays byte-identical to the single-thread run.
 
 pub mod batch;
 pub mod datagram;
@@ -38,7 +42,7 @@ pub mod prelude {
     pub use crate::demux::{classify_datagram, demux, WireClass, SIP_PORT};
     pub use crate::pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
     pub use crate::record_tap::{recorded_class, RecordTap, ServeRecorder};
-    pub use crate::replay::{replay, replay_pcap, ReplayReport};
+    pub use crate::replay::{replay, replay_pcap, replay_pcap_parallel, ReplayReport};
     pub use crate::server::{serve, serve_on, ServeOptions, ServeReport};
     pub use crate::source::{IngestError, PcapSource, Polled, WireSource};
     pub use crate::udp::{PoolMode, UdpPool, UdpSource};
@@ -49,7 +53,9 @@ pub use datagram::Datagram;
 pub use demux::{classify_datagram, demux, WireClass, SIP_PORT};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use record_tap::{recorded_class, RecordTap, ServeRecorder};
-pub use replay::{replay, replay_pcap, ReplayReport};
-pub use server::{serve, serve_on, stop_flag_on_sigint, ServeOptions, ServeReport};
+pub use replay::{replay, replay_pcap, replay_pcap_parallel, ReplayReport};
+pub use server::{
+    dump_flag_on_sigusr1, serve, serve_on, stop_flag_on_sigint, ServeOptions, ServeReport,
+};
 pub use source::{IngestError, PcapSource, Polled, WireSource};
 pub use udp::{PoolMode, UdpPool, UdpSource};

@@ -49,13 +49,13 @@ impl<'a> RecordTap<'a> {
 
 /// A flight-recorder tap for the multi-threaded serve path.
 ///
-/// Receiver threads record into the rings through the mutex (one short
-/// lock per datagram); the coordinator thread locks it per batch to
-/// mark the boundary and write dumps. The lock is never held across
-/// engine work.
+/// Each receiver thread records into its own [`vids_record::LaneRecorder`]
+/// lane (per-lane locks — no cross-receiver contention, unlike the
+/// `Mutex<Recorder>` this replaced); the coordinator marks batch
+/// boundaries and writes dumps at pipeline quiesce points.
 pub struct ServeRecorder<'a> {
-    /// The shared recorder.
-    pub recorder: &'a std::sync::Mutex<Recorder>,
+    /// The shared per-lane recorder.
+    pub recorder: &'a vids_record::LaneRecorder,
     /// Where alert-triggered dumps go; `None` disables dumping.
     pub dump_dir: Option<&'a Path>,
     /// Dump files written during the session, in order.
@@ -66,7 +66,7 @@ pub struct ServeRecorder<'a> {
 
 impl<'a> ServeRecorder<'a> {
     /// Taps `recorder`, dumping alerts into `dump_dir` when given.
-    pub fn new(recorder: &'a std::sync::Mutex<Recorder>, dump_dir: Option<&'a Path>) -> Self {
+    pub fn new(recorder: &'a vids_record::LaneRecorder, dump_dir: Option<&'a Path>) -> Self {
         ServeRecorder {
             recorder,
             dump_dir,

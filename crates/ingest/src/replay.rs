@@ -175,6 +175,209 @@ pub fn replay_pcap<S: AlertSink + ?Sized>(
     replay(&mut source, pool, flush_packets, telemetry, tap, sink)
 }
 
+/// Multi-threaded [`replay_pcap`]: `threads` classifier threads demux,
+/// parse and shard-hash the capture's datagrams in parallel while the
+/// calling thread decodes pcap records and drives the engine's pipelined
+/// ingest ([`vids_core::pool::VidsPool::with_pipeline`]), so shard
+/// workers overlap with classification of later batches.
+///
+/// Batches are `flush_packets` datagrams in capture order; completed
+/// batches are re-sequenced and submitted strictly in order, so the
+/// alerts, counters and report are **byte-identical** to a single-thread
+/// replay of the same capture at the same `flush_packets` — the
+/// differential gate in `tests/replay_differential.rs` holds this across
+/// thread and shard counts. `threads <= 1` delegates to the sequential
+/// path.
+///
+/// With a [`RecordTap`], datagrams are recorded on the driving thread at
+/// submit time (preserving the sequential recorder layout: same global
+/// sequence, same batch ids). When dumps are armed (a tap with a dump
+/// directory), the driver additionally drains the pipeline after every
+/// chunk so each dump's window and counters freeze at the alert's own
+/// batch, exactly like the sequential tap — classifier fan-out stays
+/// parallel; only the engine-side overlap is serialized — and the
+/// resulting `.vdump` replays deterministically.
+pub fn replay_pcap_parallel<S: AlertSink + ?Sized>(
+    capture: Vec<u8>,
+    pool: &mut VidsPool,
+    flush_packets: usize,
+    threads: usize,
+    telemetry: Option<&Registry>,
+    mut tap: Option<&mut RecordTap<'_>>,
+    sink: &mut S,
+) -> Result<ReplayReport, IngestError> {
+    use std::collections::{BTreeMap, VecDeque};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
+
+    use vids_core::pool::PreRouted;
+
+    use crate::datagram::Datagram;
+    use crate::demux::demux;
+    use crate::pcap::PcapReader;
+
+    if threads <= 1 {
+        return replay_pcap(capture, pool, flush_packets, telemetry, tap, sink);
+    }
+    let flush_packets = flush_packets.max(1);
+    let grace = pool.config().replay_grace;
+    let mut report = ReplayReport::default();
+    let demux_unknown = AtomicU64::new(0);
+
+    let result: Result<(), IngestError> = std::thread::scope(|scope| {
+        // One bounded work queue per classifier keeps dispatch
+        // round-robin (chunk k → thread k mod N) and bounds in-flight
+        // chunks; the done channel is unbounded so classifiers never
+        // block on the coordinator.
+        let mut work_txs: Vec<mpsc::SyncSender<(u64, Vec<Datagram<'_>>)>> =
+            Vec::with_capacity(threads);
+        let (done_tx, done_rx) = mpsc::channel::<(u64, Vec<PreRouted>)>();
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::sync_channel::<(u64, Vec<Datagram<'_>>)>(2);
+            let done = done_tx.clone();
+            let unknown = &demux_unknown;
+            scope.spawn(move || {
+                for (chunk_id, chunk) in rx {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for d in &chunk {
+                        let (class, classified) = classify_datagram(d);
+                        if class == WireClass::Unknown {
+                            unknown.fetch_add(1, Ordering::Relaxed);
+                        }
+                        out.push(PreRouted::new(classified, d.at));
+                    }
+                    if done.send((chunk_id, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+            work_txs.push(tx);
+        }
+        drop(done_tx);
+
+        pool.with_pipeline(|p| -> Result<(), IngestError> {
+            let mut reader = PcapReader::new(&capture)?;
+            let mut next_dispatch: u64 = 0;
+            let mut next_submit: u64 = 0;
+            let mut ready: BTreeMap<u64, Vec<PreRouted>> = BTreeMap::new();
+            // Raw datagram views retained (only when recording) so the
+            // tap can record each chunk at submit time, in order.
+            let mut raw: VecDeque<Vec<Datagram<'_>>> = VecDeque::new();
+            let mut chunk: Vec<Datagram<'_>> = Vec::with_capacity(flush_packets);
+            // Alerts teed off the sink; a non-empty buffer after a
+            // submit or the final tick triggers a dump at quiescence.
+            let mut seen: Vec<vids_core::alert::Alert> = Vec::new();
+            let dumping = tap.as_ref().is_some_and(|t| t.dump_dir.is_some());
+            let mut exhausted = false;
+            let in_flight_cap = 2 * threads as u64;
+
+            while !exhausted || next_submit < next_dispatch {
+                // Decode and dispatch up to the in-flight cap.
+                while !exhausted && next_dispatch - next_submit < in_flight_cap {
+                    match reader.next_datagram()? {
+                        Some(d) => {
+                            report.datagrams += 1;
+                            report.last_at = report.last_at.max(d.at);
+                            chunk.push(d);
+                            if chunk.len() < flush_packets {
+                                continue;
+                            }
+                        }
+                        None => {
+                            exhausted = true;
+                            if chunk.is_empty() {
+                                // Dropping the senders retires the
+                                // classifiers once their queues drain.
+                                work_txs.clear();
+                                break;
+                            }
+                        }
+                    }
+                    let send = std::mem::replace(&mut chunk, Vec::with_capacity(flush_packets));
+                    if tap.is_some() {
+                        raw.push_back(send.clone());
+                    }
+                    work_txs[(next_dispatch % threads as u64) as usize]
+                        .send((next_dispatch, send))
+                        .expect("classifier thread exited early");
+                    next_dispatch += 1;
+                    if exhausted {
+                        work_txs.clear();
+                    }
+                }
+                // Re-sequence: block for the oldest outstanding chunk,
+                // then submit every consecutive completion.
+                while next_submit < next_dispatch {
+                    while !ready.contains_key(&next_submit) {
+                        let (id, out) = done_rx.recv().expect("classifier thread exited early");
+                        ready.insert(id, out);
+                    }
+                    let mut out = ready.remove(&next_submit).unwrap();
+                    if let Some(t) = tap.as_deref_mut() {
+                        let datagrams = raw.pop_front().expect("raw chunk retained");
+                        for d in &datagrams {
+                            let class = demux(d.src.port(), d.dst.port(), d.payload);
+                            t.recorder.record(
+                                0,
+                                d.at,
+                                d.src,
+                                d.dst,
+                                recorded_class(class),
+                                d.payload,
+                            );
+                        }
+                    }
+                    let now = out.first().map(|e| e.at).unwrap_or(report.last_at);
+                    {
+                        let mut tee = TeeSink::new(&mut *sink, &mut seen);
+                        p.submit(&mut out, now, &mut tee);
+                        if dumping {
+                            // Forensic dumps must freeze window and
+                            // counters at the alert's own batch — the
+                            // same invariant the sequential tap keeps
+                            // and the vdump replay checks — so drain
+                            // the pipeline before the next chunk is
+                            // recorded.
+                            p.flush(&mut tee);
+                        }
+                    }
+                    if let Some(t) = tap.as_deref_mut() {
+                        t.recorder.mark_batch();
+                        if dumping && !seen.is_empty() {
+                            dump_batch_alerts(p.pool(), t, &seen)?;
+                        }
+                    }
+                    seen.clear();
+                    report.batches += 1;
+                    next_submit += 1;
+                    if !exhausted {
+                        // Keep decoding as soon as a slot frees up.
+                        break;
+                    }
+                }
+            }
+
+            {
+                let mut tee = TeeSink::new(&mut *sink, &mut seen);
+                p.tick(report.last_at + grace, &mut tee);
+            }
+            if let Some(t) = tap {
+                dump_batch_alerts(p.pool(), t, &seen)?;
+            }
+            Ok(())
+        })
+    });
+    result?;
+
+    report.demux_unknown = demux_unknown.load(std::sync::atomic::Ordering::Relaxed);
+    if let Some(reg) = telemetry {
+        let slab = reg.pool();
+        slab.add(Counter::DatagramsRx, report.datagrams);
+        slab.add(Counter::DemuxUnknown, report.demux_unknown);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,53 +1,58 @@
-//! The serve pipeline: receiver threads feeding one engine coordinator.
+//! The serve pipeline: receiver threads feeding the pipelined engine.
 //!
 //! Thread and ownership layout (one arrow = one crossbeam channel):
 //!
 //! ```text
-//!  socket 0 ── receiver thread 0 ──┐                 ┌── recycled Vecs
-//!  socket 1 ── receiver thread 1 ──┤  Vec<WireEvent> │
-//!      ⋮              ⋮            ├─────────────────▼──► coordinator
-//!  socket N ── receiver thread N ──┘    (batches)         (caller's thread)
-//!                                                         owns &mut VidsPool
-//!                                                         and the AlertSink
+//!  socket 0 ── receiver thread 0 ──┐                  ┌── recycled Vecs
+//!  socket 1 ── receiver thread 1 ──┤  Vec<PreRouted>  │
+//!      ⋮              ⋮            ├──────────────────▼──► coordinator ──► shard
+//!  socket N ── receiver thread N ──┘    (batches)         (caller's        workers
+//!                                                          thread)        (epoch
+//!                                                                          rings)
 //! ```
 //!
-//! Receiver threads own their socket and scratch buffer, classify each
-//! datagram in place (zero copy off the receive buffer — only what the
-//! engine keeps is extracted) and batch the results. The coordinator is
-//! the only thread that touches the engine or the sink, so alert order
-//! stays exactly the engine's deterministic merge order. Batch `Vec`s
-//! cycle back to the receivers through a recycle channel; steady state
-//! allocates nothing per datagram.
+//! Receiver threads own their socket and scratch buffers, drain them with
+//! batched reads ([`UdpSource::poll_batch`]), classify each datagram in
+//! place and — the receiver-side routing step — compute its shard-routing
+//! hashes ([`vids_core::pool::PreRouted::new`]) before batching. The
+//! coordinator therefore never touches payload bytes: it runs only the
+//! residual sequential pass (cost charge, clamp, media index) and
+//! publishes each batch as an epoch on the pool's per-shard rings
+//! ([`vids_core::pool::VidsPool::with_pipeline`]), where persistent shard
+//! workers drain it concurrently with the next batch's arrival. Alerts
+//! still reach the sink in the engine's deterministic merge order,
+//! epoch by epoch. Batch `Vec`s cycle back to the receivers through a
+//! recycle channel; steady state allocates nothing per datagram.
 //!
 //! Shutdown: set the stop flag (the CLI wires SIGINT to
 //! [`stop_flag_on_sigint`]). Receivers flush their partial batch and
-//! exit; the coordinator drains every in-flight batch, runs one final
-//! timer tick, and returns.
+//! exit; the coordinator drains every in-flight batch and epoch, runs one
+//! final timer tick, and returns.
 //!
 //! An optional [`ServeRecorder`] taps the pipeline for the flight
-//! recorder: receivers mirror each datagram into a shared ring set (one
-//! short mutex lock per datagram, never held across engine work) and
-//! the coordinator dumps the captured window whenever a batch raises an
-//! alert.
+//! recorder: receivers mirror each datagram into their own recorder lane
+//! ([`vids_record::LaneRecorder`] — per-lane locks, no cross-receiver
+//! contention) and the coordinator dumps the captured window at tick
+//! boundaries for any alerts raised since the previous tick. With
+//! [`dump_flag_on_sigusr1`] wired into [`ServeOptions::snapshot_flag`],
+//! `SIGUSR1` requests an on-demand `.vdump` of the live rings.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
-use vids_core::alert::Alert;
 use vids_core::config::Config;
-use vids_core::pool::{VidsPool, WireEvent};
+use vids_core::pool::{PipelineIngress, PreRouted, VidsPool};
 use vids_core::sink::AlertSink;
 use vids_core::telemetry::{Counter, Gauge, Registry};
 use vids_netsim::time::SimTime;
-use vids_record::{Recorder, TeeSink};
+use vids_record::LaneRecorder;
 
 use crate::batch::Batcher;
 use crate::demux::{classify_datagram, WireClass};
 use crate::record_tap::{recorded_class, ServeRecorder};
-use crate::source::{IngestError, Polled, WireSource};
+use crate::source::IngestError;
 use crate::udp::{PoolMode, UdpPool, UdpSource};
 
 /// How often an idle receiver refreshes its kernel-backlog reading.
@@ -68,6 +73,10 @@ pub struct ServeOptions {
     /// How often the coordinator runs the engine's timer sweep while
     /// traffic is quiet.
     pub tick_interval: Duration,
+    /// When set, a true value requests one on-demand snapshot dump of the
+    /// recorder rings (then resets). Wire [`dump_flag_on_sigusr1`] here to
+    /// trigger it with `kill -USR1`; ignored when no recorder is attached.
+    pub snapshot_flag: Option<&'static AtomicBool>,
 }
 
 impl ServeOptions {
@@ -82,6 +91,7 @@ impl ServeOptions {
             flush_interval: flush,
             read_timeout: flush.max(Duration::from_millis(1)),
             tick_interval: Duration::from_millis(100),
+            snapshot_flag: None,
         }
     }
 }
@@ -148,17 +158,18 @@ pub fn serve_on<S: AlertSink + ?Sized>(
         backlog: (0..sources.len()).map(|_| AtomicU64::new(0)).collect(),
         ..Default::default()
     };
-    let (batch_tx, batch_rx) = channel::unbounded::<Vec<WireEvent>>();
-    let (recycle_tx, recycle_rx) = channel::unbounded::<Vec<WireEvent>>();
+    let (batch_tx, batch_rx) = channel::unbounded::<Vec<PreRouted>>();
+    let (recycle_tx, recycle_rx) = channel::unbounded::<Vec<PreRouted>>();
     // The vendored channel's receiver is single-consumer; the recycle
     // side is shared across receiver threads through a mutex (one lock
     // per batch flush, not per datagram).
     let recycle_rx = std::sync::Mutex::new(recycle_rx);
 
-    // Split the recorder: receivers share the mutex, the coordinator
-    // additionally knows the dump directory; written paths and write
-    // failures are folded back after the scope ends.
-    let rec_mutex: Option<&Mutex<Recorder>> = recorder.as_ref().map(|r| r.recorder);
+    // Split the recorder: receivers record into their own lane through
+    // the shared reference, the coordinator additionally knows the dump
+    // directory; written paths and write failures are folded back after
+    // the scope ends.
+    let lane_rec: Option<&LaneRecorder> = recorder.as_ref().map(|r| r.recorder);
     let dump_dir: Option<&Path> = recorder.as_ref().and_then(|r| r.dump_dir);
     let mut dump_log = DumpLog::default();
 
@@ -168,27 +179,28 @@ pub fn serve_on<S: AlertSink + ?Sized>(
             let recycle = &recycle_rx;
             let stats = &stats;
             let opts = *opts;
-            scope.spawn(move || {
-                receiver_loop(source, i, tx, recycle, stats, &opts, stop, rec_mutex)
-            });
+            scope
+                .spawn(move || receiver_loop(source, i, tx, recycle, stats, &opts, stop, lane_rec));
         }
         // The receivers hold the only senders now; `Disconnected` on the
         // batch channel therefore means every receiver has flushed and
         // exited.
         drop(batch_tx);
 
-        coordinator_loop(
-            pool,
-            &batch_rx,
-            &recycle_tx,
-            &stats,
-            opts,
-            telemetry,
-            epoch,
-            rec_mutex.map(|m| (m, dump_dir)),
-            &mut dump_log,
-            sink,
-        )
+        pool.with_pipeline(|p| {
+            coordinator_loop(
+                p,
+                &batch_rx,
+                &recycle_tx,
+                &stats,
+                opts,
+                telemetry,
+                epoch,
+                lane_rec.map(|rec| (rec, dump_dir)),
+                &mut dump_log,
+                sink,
+            )
+        })
     });
     if let Some(r) = recorder {
         r.written.extend(dump_log.written);
@@ -208,12 +220,12 @@ struct DumpLog {
 fn receiver_loop(
     mut source: UdpSource,
     index: usize,
-    tx: channel::Sender<Vec<WireEvent>>,
-    recycle: &std::sync::Mutex<channel::Receiver<Vec<WireEvent>>>,
+    tx: channel::Sender<Vec<PreRouted>>,
+    recycle: &std::sync::Mutex<channel::Receiver<Vec<PreRouted>>>,
     stats: &IngestStats,
     opts: &ServeOptions,
     stop: &AtomicBool,
-    recorder: Option<&Mutex<Recorder>>,
+    recorder: Option<&LaneRecorder>,
 ) {
     let mut batcher = Batcher::new(opts.flush_packets, opts.flush_interval.as_nanos() as u64);
     let mut polls: u32 = 0;
@@ -227,29 +239,28 @@ fn receiver_loop(
                 stats.backlog[index].store(b, Ordering::Relaxed);
             }
         }
-        let due = match source.poll() {
-            Ok(Polled::Datagram(d)) => {
-                let (class, classified) = classify_datagram(&d);
-                if let Some(m) = recorder {
-                    if let Ok(mut rec) = m.lock() {
-                        rec.record(index, d.at, d.src, d.dst, recorded_class(class), d.payload);
-                    }
-                }
-                stats.rx.fetch_add(1, Ordering::Relaxed);
-                if class == WireClass::Unknown {
-                    stats.unknown.fetch_add(1, Ordering::Relaxed);
-                }
-                batcher.push(WireEvent {
-                    classified,
-                    at: d.at,
-                })
+        let mut due = false;
+        let polled = source.poll_batch(&mut |d| {
+            // The receiver-side hot path: demux + classify + route-hash,
+            // all allocation-free for media traffic, then one push into
+            // the preallocated batch.
+            let (class, classified) = classify_datagram(&d);
+            if let Some(rec) = recorder {
+                rec.record(index, d.at, d.src, d.dst, recorded_class(class), d.payload);
             }
-            Ok(Polled::Empty) => batcher.overdue(Instant::now()),
-            Ok(Polled::End) => break,
+            stats.rx.fetch_add(1, Ordering::Relaxed);
+            if class == WireClass::Unknown {
+                stats.unknown.fetch_add(1, Ordering::Relaxed);
+            }
+            due |= batcher.push(PreRouted::new(classified, d.at));
+        });
+        match polled {
+            Ok(0) => due = batcher.overdue(Instant::now()),
+            Ok(_) => {}
             // A socket error on one receiver retires that receiver; the
             // rest of the pool keeps serving.
             Err(_) => break,
-        };
+        }
         if due {
             flush(&mut batcher, &tx, recycle, stats);
         }
@@ -261,9 +272,9 @@ fn receiver_loop(
 }
 
 fn flush(
-    batcher: &mut Batcher,
-    tx: &channel::Sender<Vec<WireEvent>>,
-    recycle: &std::sync::Mutex<channel::Receiver<Vec<WireEvent>>>,
+    batcher: &mut Batcher<PreRouted>,
+    tx: &channel::Sender<Vec<PreRouted>>,
+    recycle: &std::sync::Mutex<channel::Receiver<Vec<PreRouted>>>,
     stats: &IngestStats,
 ) {
     let spare = recycle
@@ -279,23 +290,22 @@ fn flush(
 
 #[allow(clippy::too_many_arguments)]
 fn coordinator_loop<S: AlertSink + ?Sized>(
-    pool: &mut VidsPool,
-    batch_rx: &channel::Receiver<Vec<WireEvent>>,
-    recycle_tx: &channel::Sender<Vec<WireEvent>>,
+    p: &mut PipelineIngress<'_, '_>,
+    batch_rx: &channel::Receiver<Vec<PreRouted>>,
+    recycle_tx: &channel::Sender<Vec<PreRouted>>,
     stats: &IngestStats,
     opts: &ServeOptions,
     telemetry: Option<&Registry>,
     epoch: Instant,
-    recorder: Option<(&Mutex<Recorder>, Option<&Path>)>,
+    recorder: Option<(&LaneRecorder, Option<&Path>)>,
     dump_log: &mut DumpLog,
     sink: &mut S,
 ) -> ServeReport {
     let mut batches = 0u64;
     let mut published = ServeReport::default();
     let mut last_tick = Instant::now();
-    // Reused across batches; empty (and allocation-free) unless a batch
-    // raises alerts.
-    let mut seen: Vec<Alert> = Vec::new();
+    // Alerts already considered for dumping (index into `pool.alerts()`).
+    let mut alerts_dumped = 0usize;
     loop {
         match batch_rx.recv_timeout(opts.tick_interval) {
             Ok(mut events) => {
@@ -304,15 +314,9 @@ fn coordinator_loop<S: AlertSink + ?Sized>(
                 // the clock, and a later clock would flatten the
                 // intra-batch timing the window machines count on.
                 let now = events.first().map(|e| e.at).unwrap_or_else(|| wall(epoch));
-                match recorder {
-                    Some((m, dir)) => {
-                        {
-                            let mut tee = TeeSink::new(sink, &mut seen);
-                            pool.process_wire_batch(&mut events, now, &mut tee);
-                        }
-                        finish_recorded_batch(pool, m, dir, &mut seen, dump_log);
-                    }
-                    None => pool.process_wire_batch(&mut events, now, sink),
+                p.submit(&mut events, now, sink);
+                if let Some((rec, _)) = recorder {
+                    rec.mark_batch();
                 }
                 batches += 1;
                 let _ = recycle_tx.send(events);
@@ -323,37 +327,57 @@ fn coordinator_loop<S: AlertSink + ?Sized>(
         let now = Instant::now();
         if now.duration_since(last_tick) >= opts.tick_interval {
             last_tick = now;
-            tick_maybe_recorded(pool, wall(epoch), recorder, &mut seen, dump_log, sink);
+            // The tick flushes every in-flight epoch, so the pool is
+            // quiescent right after — the only point where dumps can
+            // read shard state without racing the workers.
+            p.tick(wall(epoch), sink);
+            dump_new_alerts(p, recorder, &mut alerts_dumped, dump_log);
         }
-        publish(stats, telemetry, batches, &mut published);
+        if let Some(flag) = opts.snapshot_flag {
+            // Swap-and-clear even with no recorder, so a stale request
+            // does not fire the first dump of a later session.
+            if flag.swap(false, Ordering::Relaxed) {
+                if let Some((rec, Some(dir))) = recorder {
+                    p.flush(sink);
+                    match rec.dump_snapshot(p.pool(), dir, wall(epoch)) {
+                        Ok(Some(path)) => dump_log.written.push(path),
+                        Ok(None) => {} // dump cap reached
+                        Err(_) => dump_log.io_errors += 1,
+                    }
+                }
+            }
+        }
+        publish(stats, telemetry, batches, &mut published, p.in_flight());
     }
-    // All receivers flushed and exited; every batch has been processed.
-    // One final sweep fires any timers that were still pending.
+    // All receivers flushed and exited; every batch has been submitted.
+    // One final tick drains the rings and fires any pending timers.
     let ended_at = wall(epoch);
-    tick_maybe_recorded(pool, ended_at, recorder, &mut seen, dump_log, sink);
-    publish(stats, telemetry, batches, &mut published);
+    p.tick(ended_at, sink);
+    dump_new_alerts(p, recorder, &mut alerts_dumped, dump_log);
+    publish(stats, telemetry, batches, &mut published, 0);
     ServeReport {
         ended_at,
         ..published
     }
 }
 
-/// Marks the batch boundary in the recorder and dumps any alerts the
-/// batch raised. A failed dump write is counted, not fatal.
-fn finish_recorded_batch(
-    pool: &VidsPool,
-    recorder: &Mutex<Recorder>,
-    dump_dir: Option<&Path>,
-    seen: &mut Vec<Alert>,
+/// Dumps the window for any alerts raised since the last quiesce point.
+/// Must be called with the pipeline flushed (right after a tick). A
+/// failed dump write is counted, not fatal.
+fn dump_new_alerts(
+    p: &mut PipelineIngress<'_, '_>,
+    recorder: Option<(&LaneRecorder, Option<&Path>)>,
+    alerts_dumped: &mut usize,
     dump_log: &mut DumpLog,
 ) {
-    let Ok(mut rec) = recorder.lock() else {
-        seen.clear();
+    let Some((rec, dir)) = recorder else { return };
+    let pool = p.pool();
+    let alerts = pool.alerts();
+    if alerts.len() <= *alerts_dumped {
         return;
-    };
-    rec.mark_batch();
-    if let Some(dir) = dump_dir {
-        for a in seen.iter() {
+    }
+    if let Some(dir) = dir {
+        for a in &alerts[*alerts_dumped..] {
             rec.note_alert(a);
         }
         match rec.dump_pending(pool, dir) {
@@ -361,31 +385,7 @@ fn finish_recorded_batch(
             Err(_) => dump_log.io_errors += 1,
         }
     }
-    seen.clear();
-}
-
-/// A timer sweep, teed through the recorder when one is attached so
-/// timer-raised alerts also dump their window.
-fn tick_maybe_recorded<S: AlertSink + ?Sized>(
-    pool: &mut VidsPool,
-    now: SimTime,
-    recorder: Option<(&Mutex<Recorder>, Option<&Path>)>,
-    seen: &mut Vec<Alert>,
-    dump_log: &mut DumpLog,
-    sink: &mut S,
-) {
-    match recorder {
-        Some((m, dir)) => {
-            {
-                let mut tee = TeeSink::new(sink, seen);
-                pool.tick(now, &mut tee);
-            }
-            if !seen.is_empty() {
-                finish_recorded_batch(pool, m, dir, seen, dump_log);
-            }
-        }
-        None => pool.tick(now, sink),
-    }
+    *alerts_dumped = alerts.len();
 }
 
 fn wall(epoch: Instant) -> SimTime {
@@ -400,6 +400,7 @@ fn publish(
     telemetry: Option<&Registry>,
     batches: u64,
     published: &mut ServeReport,
+    in_flight: u64,
 ) {
     let now = ServeReport {
         datagrams_rx: stats.rx.load(Ordering::Relaxed),
@@ -428,6 +429,7 @@ fn publish(
             .map(|b| b.load(Ordering::Relaxed))
             .sum();
         slab.set_gauge(Gauge::SocketBacklog, backlog);
+        slab.set_gauge(Gauge::PipelineDepth, in_flight);
     }
     *published = now;
 }
@@ -453,4 +455,29 @@ pub fn stop_flag_on_sigint() -> &'static AtomicBool {
         }
     }
     &STOP
+}
+
+/// Installs a SIGUSR1 handler that sets a process-wide snapshot-request
+/// flag, and returns the flag; wire it into
+/// [`ServeOptions::snapshot_flag`] so `kill -USR1 $(pidof vids)` dumps
+/// the live recorder rings as a `.vdump`. Safe to call more than once.
+/// On non-Unix targets the flag is returned un-wired.
+pub fn dump_flag_on_sigusr1() -> &'static AtomicBool {
+    static DUMP: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigusr1(_sig: i32) {
+            DUMP.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(sig: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGUSR1: i32 = 10;
+        // SAFETY: the handler only stores to a static atomic, which is
+        // async-signal-safe.
+        unsafe {
+            signal(SIGUSR1, on_sigusr1);
+        }
+    }
+    &DUMP
 }

@@ -17,7 +17,7 @@ use vids_core::sink::CollectSink;
 use vids_ingest::record_tap::ServeRecorder;
 use vids_ingest::server::{serve_on, ServeOptions};
 use vids_ingest::udp::UdpPool;
-use vids_record::{Recorder, Vdump};
+use vids_record::{LaneRecorder, Vdump};
 use vids_sip::{Request, SipUri};
 
 /// Sandboxes without network namespaces cannot bind loopback; skip
@@ -43,6 +43,7 @@ fn serve_detects_an_invite_flood_over_real_udp() {
         flush_interval: Duration::from_millis(20),
         read_timeout: Duration::from_millis(5),
         tick_interval: Duration::from_millis(50),
+        snapshot_flag: None,
     };
     let config = Config::builder().shards(2).build().unwrap();
     let mut pool = VidsPool::with_cost(config, CostModel::free());
@@ -53,7 +54,7 @@ fn serve_detects_an_invite_flood_over_real_udp() {
     // scratch directory.
     let dump_dir = std::env::temp_dir().join("vids-serve-loopback-dumps");
     std::fs::remove_dir_all(&dump_dir).ok();
-    let recorder = std::sync::Mutex::new(Recorder::with_defaults(2));
+    let recorder = LaneRecorder::with_defaults(2);
     let mut serve_rec = ServeRecorder::new(&recorder, Some(&dump_dir));
 
     let report = std::thread::scope(|scope| {
@@ -105,8 +106,7 @@ fn serve_detects_an_invite_flood_over_real_udp() {
 
     // The recorder saw every datagram and the alert produced a readable
     // dump of the surrounding window.
-    let rec = recorder.lock().unwrap();
-    assert_eq!(rec.stats().rings.recorded, FLOOD as u64);
+    assert_eq!(recorder.stats().rings.recorded, FLOOD as u64);
     assert_eq!(serve_rec.io_errors, 0);
     assert!(
         !serve_rec.written.is_empty(),

@@ -1,0 +1,375 @@
+//! Shared-reference recorder for multi-receiver ingest.
+//!
+//! The single-lane [`crate::Recorder`] needs `&mut self` for every call,
+//! which forced `vids serve` to funnel all receiver threads through one
+//! `Mutex<Recorder>` — one global lock acquisition per datagram, exactly
+//! on the receive hot path. [`LaneRecorder`] is the sharded replacement:
+//! every method takes `&self`, each ingest lane owns its own ring behind
+//! its own mutex (uncontended when one receiver thread feeds one lane),
+//! and the cross-lane bookkeeping (global arrival sequence, batch id,
+//! pending alerts, dump budget) lives in atomics touched with relaxed
+//! ordering. Receivers record concurrently; the coordinator marks batch
+//! boundaries and writes dumps at pipeline quiesce points.
+//!
+//! The dump format and window semantics are identical to the single-lane
+//! recorder: dumps interleave all lanes by the global sequence number, so
+//! a `.vdump` from a parallel session replays exactly like one from a
+//! sequential session over the same arrival order.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use vids_core::alert::{Alert, AlertKind};
+use vids_core::pool::VidsPool;
+use vids_netsim::time::SimTime;
+use vids_telemetry::metrics::{Counter, Gauge};
+use vids_telemetry::slab::ShardSlab;
+
+use crate::recorder::{sanitize, RecorderStats, DEFAULT_BYTES, DEFAULT_MAX_DUMPS, DEFAULT_SLOTS};
+use crate::ring::{DatagramRing, RecordedClass, RingStats, SlotMeta};
+use crate::vdump::{DumpCounters, RecordedPacket, Vdump};
+
+/// One ingest lane: a ring behind its own lock plus a mirror of the
+/// ring's live byte count, readable without the lock.
+struct Lane {
+    ring: Mutex<DatagramRing>,
+    bytes_live: AtomicU64,
+}
+
+/// A flight recorder shared by reference across receiver threads. See
+/// the module docs for the locking discipline.
+pub struct LaneRecorder {
+    lanes: Vec<Lane>,
+    /// Next global arrival sequence number.
+    seq: AtomicU64,
+    /// Current ingest batch id (starts at 1; [`LaneRecorder::mark_batch`]
+    /// advances it).
+    batch: AtomicU64,
+    pending: Mutex<Vec<Alert>>,
+    dumps_written: AtomicU64,
+    max_dumps: u64,
+    telemetry: Option<Arc<ShardSlab>>,
+    telemetry_ring: u32,
+}
+
+impl LaneRecorder {
+    /// A recorder with `lanes` rings of explicit capacity.
+    pub fn new(lanes: usize, slots_per_lane: usize, bytes_per_lane: usize) -> Self {
+        LaneRecorder {
+            lanes: (0..lanes.max(1))
+                .map(|_| Lane {
+                    ring: Mutex::new(DatagramRing::new(slots_per_lane, bytes_per_lane)),
+                    bytes_live: AtomicU64::new(0),
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+            batch: AtomicU64::new(1),
+            pending: Mutex::new(Vec::new()),
+            dumps_written: AtomicU64::new(0),
+            max_dumps: DEFAULT_MAX_DUMPS,
+            telemetry: None,
+            telemetry_ring: 0,
+        }
+    }
+
+    /// A recorder with the default ring sizing.
+    pub fn with_defaults(lanes: usize) -> Self {
+        LaneRecorder::new(lanes, DEFAULT_SLOTS, DEFAULT_BYTES)
+    }
+
+    /// Caps lifetime dump output (disk-fill guard).
+    pub fn max_dumps(mut self, max: u64) -> Self {
+        self.max_dumps = max;
+        self
+    }
+
+    /// Mirrors ring occupancy and dump counts into a telemetry slab
+    /// ([`Counter::RingOverwrites`], [`Gauge::RingBytes`],
+    /// [`Counter::DumpsWritten`]).
+    pub fn attach_telemetry(&mut self, slab: Arc<ShardSlab>) {
+        self.telemetry = Some(slab);
+    }
+
+    /// Records the transition-ring capacity the engine's telemetry was
+    /// enabled with (0 = off); stored in every dump.
+    pub fn set_telemetry_ring(&mut self, capacity: u32) {
+        self.telemetry_ring = capacity;
+    }
+
+    /// Records one datagram into lane `lane` (clamped). Allocation-free;
+    /// the only lock taken is the lane's own ring mutex, which is
+    /// uncontended while one receiver thread owns one lane.
+    pub fn record(
+        &self,
+        lane: usize,
+        at: SimTime,
+        src: SocketAddr,
+        dst: SocketAddr,
+        class: RecordedClass,
+        payload: &[u8],
+    ) {
+        let (class, src_ip, src_port, dst_ip, dst_port) = match (v4_parts(&src), v4_parts(&dst)) {
+            (Some((si, sp)), Some((di, dp))) => (class, si, sp, di, dp),
+            // Traffic the engine cannot address is recorded for the
+            // window but replays as ignored, like the live path.
+            _ => (RecordedClass::NonIp, 0, 0, 0, 0),
+        };
+        let meta = SlotMeta {
+            seq: self.seq.fetch_add(1, Relaxed),
+            at_ns: at.as_nanos(),
+            batch: self.batch.load(Relaxed),
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            class,
+        };
+        let lane = &self.lanes[lane % self.lanes.len()];
+        let (evicted, live) = {
+            let mut ring = lane.ring.lock().expect("lane ring poisoned");
+            let evicted = ring.push(meta, payload);
+            (evicted, ring.stats().bytes_live as u64)
+        };
+        lane.bytes_live.store(live, Relaxed);
+        if let Some(slab) = &self.telemetry {
+            slab.add(Counter::RingOverwrites, evicted);
+            let total: u64 = self.lanes.iter().map(|l| l.bytes_live.load(Relaxed)).sum();
+            slab.set_gauge(Gauge::RingBytes, total);
+        }
+    }
+
+    /// Advances the batch id; the coordinator calls this once per batch
+    /// handed to the engine.
+    pub fn mark_batch(&self) {
+        self.batch.fetch_add(1, Relaxed);
+    }
+
+    /// Queues an alert for dumping.
+    pub fn note_alert(&self, alert: &Alert) {
+        self.pending
+            .lock()
+            .expect("pending alerts poisoned")
+            .push(alert.clone());
+    }
+
+    /// The current capture window across all lanes, oldest → newest by
+    /// global arrival order.
+    pub fn window(&self) -> Vec<RecordedPacket> {
+        let mut out: Vec<RecordedPacket> = Vec::new();
+        for lane in &self.lanes {
+            let ring = lane.ring.lock().expect("lane ring poisoned");
+            out.extend(ring.iter().map(|(meta, payload)| RecordedPacket {
+                meta: *meta,
+                payload: payload.to_vec(),
+            }));
+        }
+        out.sort_unstable_by_key(|p| p.meta.seq);
+        out
+    }
+
+    /// Writes one `.vdump` per queued alert into `dir`. The caller must
+    /// present a quiescent pool (the serve coordinator calls this at
+    /// pipeline flush points). Returns the paths written.
+    pub fn dump_pending(&self, pool: &VidsPool, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let alerts = {
+            let mut pending = self.pending.lock().expect("pending alerts poisoned");
+            if pending.is_empty() {
+                return Ok(Vec::new());
+            }
+            std::mem::take(&mut *pending)
+        };
+        let window = self.window();
+        let mut written = Vec::new();
+        for alert in alerts {
+            match self.write_one(pool, dir, &alert, &window)? {
+                Some(path) => written.push(path),
+                None => break, // dump cap reached
+            }
+        }
+        Ok(written)
+    }
+
+    /// Writes one operator-requested `.vdump` of the current window (the
+    /// `SIGUSR1` snapshot), under a synthetic alert labeled
+    /// `operator-snapshot`. Returns `None` when the dump cap is reached.
+    pub fn dump_snapshot(
+        &self,
+        pool: &VidsPool,
+        dir: &Path,
+        at: SimTime,
+    ) -> std::io::Result<Option<PathBuf>> {
+        let alert = Alert {
+            time_ms: at.as_millis(),
+            kind: AlertKind::Deviation,
+            label: "operator-snapshot".to_owned(),
+            call_id: None,
+            machine: "operator".to_owned(),
+            detail: "on-demand ring snapshot (SIGUSR1)".to_owned(),
+            trace: Vec::new(),
+        };
+        let window = self.window();
+        self.write_one(pool, dir, &alert, &window)
+    }
+
+    fn write_one(
+        &self,
+        pool: &VidsPool,
+        dir: &Path,
+        alert: &Alert,
+        window: &[RecordedPacket],
+    ) -> std::io::Result<Option<PathBuf>> {
+        let index = self.dumps_written.load(Relaxed);
+        if index >= self.max_dumps {
+            return Ok(None);
+        }
+        let snapshot = alert
+            .call_id
+            .as_deref()
+            .and_then(|id| pool.call_snapshot(id));
+        let dump = Vdump {
+            config: *pool.config(),
+            telemetry_ring: self.telemetry_ring,
+            packets: window.to_vec(),
+            alert: alert.clone(),
+            snapshot,
+            counters: DumpCounters {
+                counters: pool.counters(),
+                alerts_total: pool.alerts().len() as u64,
+            },
+        };
+        let path = dir.join(format!("{:06}-{}.vdump", index, sanitize(&alert.label)));
+        dump.write_to(&path)?;
+        self.dumps_written.store(index + 1, Relaxed);
+        if let Some(slab) = &self.telemetry {
+            slab.inc(Counter::DumpsWritten);
+        }
+        Ok(Some(path))
+    }
+
+    /// Aggregate statistics across every lane.
+    pub fn stats(&self) -> RecorderStats {
+        let mut rings = RingStats::default();
+        for lane in &self.lanes {
+            let s = lane.ring.lock().expect("lane ring poisoned").stats();
+            rings.recorded += s.recorded;
+            rings.overwritten += s.overwritten;
+            rings.oversize += s.oversize;
+            rings.bytes_live += s.bytes_live;
+            rings.slots_live += s.slots_live;
+        }
+        RecorderStats {
+            rings,
+            dumps_written: self.dumps_written.load(Relaxed),
+            pending: self.pending.lock().expect("pending alerts poisoned").len(),
+        }
+    }
+}
+
+fn v4_parts(addr: &SocketAddr) -> Option<(u32, u16)> {
+    match addr {
+        SocketAddr::V4(v4) => Some((u32::from_be_bytes(v4.ip().octets()), v4.port())),
+        SocketAddr::V6(v6) => v6
+            .ip()
+            .to_ipv4_mapped()
+            .map(|ip| (u32::from_be_bytes(ip.octets()), v6.port())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vids_core::config::Config;
+    use vids_core::sink::NullSink;
+
+    fn addr(last: u8, port: u16) -> SocketAddr {
+        SocketAddr::from(([10, 0, 0, last], port))
+    }
+
+    #[test]
+    fn lanes_share_one_global_sequence() {
+        let r = LaneRecorder::with_defaults(3);
+        r.record(
+            0,
+            SimTime::from_millis(1),
+            addr(1, 5060),
+            addr(2, 5060),
+            RecordedClass::Sip,
+            b"a",
+        );
+        r.mark_batch();
+        r.record(
+            2,
+            SimTime::from_millis(2),
+            addr(1, 4000),
+            addr(2, 4000),
+            RecordedClass::Rtp,
+            b"bb",
+        );
+        let w = r.window();
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].meta.seq, w[0].meta.batch), (0, 1));
+        assert_eq!((w[1].meta.seq, w[1].meta.batch), (1, 2));
+        assert_eq!(w[1].payload, b"bb");
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let r = LaneRecorder::with_defaults(4);
+        std::thread::scope(|scope| {
+            for lane in 0..4usize {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        r.record(
+                            lane,
+                            SimTime::from_millis(i),
+                            addr(lane as u8 + 1, 5060),
+                            addr(9, 5060),
+                            RecordedClass::Sip,
+                            b"x",
+                        );
+                    }
+                });
+            }
+        });
+        let w = r.window();
+        assert_eq!(w.len(), 800);
+        // The global sequence is dense: every number 0..800 exactly once.
+        let mut seqs: Vec<u64> = w.iter().map(|p| p.meta.seq).collect();
+        seqs.sort_unstable();
+        assert!(seqs.iter().enumerate().all(|(i, s)| i as u64 == *s));
+    }
+
+    #[test]
+    fn snapshot_dump_writes_and_respects_the_cap() {
+        let r = LaneRecorder::with_defaults(1).max_dumps(1);
+        r.record(
+            0,
+            SimTime::ZERO,
+            addr(1, 5060),
+            addr(2, 5060),
+            RecordedClass::Sip,
+            b"INVITE",
+        );
+        let mut pool = VidsPool::new(Config::default());
+        pool.tick(SimTime::from_secs(1), &mut NullSink);
+        let dir = std::env::temp_dir().join("vids-lane-recorder-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = r
+            .dump_snapshot(&pool, &dir, SimTime::from_secs(1))
+            .unwrap()
+            .expect("under the cap");
+        let dump = Vdump::read_from(&path).unwrap();
+        assert_eq!(dump.alert.label, "operator-snapshot");
+        assert_eq!(dump.packets.len(), 1);
+        // Cap of one: the second snapshot is declined, not an error.
+        assert!(r
+            .dump_snapshot(&pool, &dir, SimTime::from_secs(2))
+            .unwrap()
+            .is_none());
+        assert_eq!(r.stats().dumps_written, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`recorder`] — the [`recorder::Recorder`]: rings + batch marking +
 //!   alert-triggered dump writing; [`recorder::TeeSink`] lets ingest
 //!   drivers observe a batch's alerts without disturbing the user sink.
+//! * [`lane`] — [`lane::LaneRecorder`]: the shared-reference variant for
+//!   multi-receiver ingest; per-lane ring locks instead of one global
+//!   recorder mutex, plus operator-requested snapshot dumps.
 //! * [`vdump`] — the self-describing, CRC-checked `.vdump` format
 //!   ([`vdump::Vdump`]), hand-rolled framing in the pcap-reader style.
 //! * [`replay`] — [`replay::replay_vdump`]: re-runs a captured window
@@ -40,12 +43,14 @@
 //! ```
 
 pub mod crc;
+pub mod lane;
 pub mod minimize;
 pub mod recorder;
 pub mod replay;
 pub mod ring;
 pub mod vdump;
 
+pub use lane::LaneRecorder;
 pub use minimize::{minimize, MinimizeReport};
 pub use recorder::{Recorder, RecorderStats, TeeSink};
 pub use replay::{

@@ -246,7 +246,7 @@ fn v4_parts(addr: &SocketAddr) -> Option<(u32, u16)> {
     }
 }
 
-fn sanitize(label: &str) -> String {
+pub(crate) fn sanitize(label: &str) -> String {
     label
         .chars()
         .map(|c| {

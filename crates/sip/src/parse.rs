@@ -82,14 +82,15 @@ enum StartLine {
 /// # Ok::<(), vids_sip::ParseMessageError>(())
 /// ```
 pub fn parse_message(text: &str) -> Result<Message, ParseMessageError> {
+    // Validate the start line before the whole-message head/body scan:
+    // traffic that was never SIP rejects without walking the payload.
+    let start = scan::start_line(text).ok_or_else(|| ParseMessageError::new(0, "empty message"))?;
+    let start = parse_start_line(start)?;
+
     // Split head (start line + headers) from body at the first blank line.
     let (head, body) = scan::split_head_body(text);
     let mut lines = scan::lines(head).enumerate();
-    let (_, start) = lines
-        .next()
-        .ok_or_else(|| ParseMessageError::new(0, "empty message"))?;
-
-    let start = parse_start_line(start)?;
+    lines.next(); // the start line, already validated above
 
     let mut headers = Headers::new();
     for (idx, line) in lines {

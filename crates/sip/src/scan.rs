@@ -26,6 +26,27 @@ pub(crate) fn split_head_body(text: &str) -> (&str, &str) {
     }
 }
 
+/// The start line alone, without scanning past the first newline.
+///
+/// Both parsers validate the start line before anything else; on hostile
+/// floods most rejects happen right there, so the reject path must not
+/// pay the whole-message [`split_head_body`] walk first (PR 7 regressed
+/// `sip_parse_reject_malformed` by exactly that reorder). `None` means
+/// the head is empty — `""`, or a blank line at offset zero — which both
+/// parsers report as "empty message".
+#[inline]
+pub(crate) fn start_line(text: &str) -> Option<&str> {
+    let bytes = text.as_bytes();
+    if bytes.is_empty() || bytes.starts_with(b"\n\n") || bytes.starts_with(b"\r\n\r\n") {
+        return None;
+    }
+    let line = match find_byte(bytes, b'\n') {
+        Some(i) => &text[..i],
+        None => text,
+    };
+    Some(line.strip_suffix('\r').unwrap_or(line))
+}
+
 /// [`str::lines`] semantics (split at `\n`, strip one trailing `\r`,
 /// optional final terminator) with a SWAR newline scan.
 #[derive(Clone)]

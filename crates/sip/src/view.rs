@@ -148,9 +148,9 @@ impl<'a> SipView<'a> {
 /// value fails to parse, or a `Content-Length` that exceeds the bytes
 /// actually present (a truncated datagram).
 pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
-    let (head, body) = scan::split_head_body(text);
-    let mut lines = scan::lines(head);
-    let start_line = lines.next().ok_or(ViewError("empty message"))?;
+    // Start line first, before the whole-message head/body scan — the
+    // reject path on hostile floods must stay O(first line).
+    let start_line = scan::start_line(text).ok_or(ViewError("empty message"))?;
 
     let start = if let Some(rest) = start_line.strip_prefix("SIP/2.0 ") {
         let code_text = rest.split(' ').next().unwrap_or("");
@@ -171,6 +171,10 @@ pub fn parse_view(text: &str) -> Result<SipView<'_>, ViewError> {
             Method::from_token(method_tok.as_bytes()).ok_or(ViewError("unknown SIP method"))?;
         StartLine::Request { method, uri }
     };
+
+    let (head, body) = scan::split_head_body(text);
+    let mut lines = scan::lines(head);
+    lines.next(); // the start line, already validated above
 
     let mut view = SipView {
         start,

@@ -61,11 +61,15 @@ pub enum Counter {
     /// Flight-recorder ring slots overwritten before an alert claimed them
     /// (the window was shorter than the traffic burst).
     RingOverwrites,
+    /// Times the pipeline coordinator found every per-shard epoch ring
+    /// full and had to wait for the shard workers before publishing the
+    /// next batch (receiver-side backpressure).
+    PipelineStalls,
 }
 
 impl Counter {
     /// Number of counter slots; sizes the slab arrays.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 25;
 
     /// Every variant, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -93,6 +97,7 @@ impl Counter {
         Counter::DemuxUnknown,
         Counter::DumpsWritten,
         Counter::RingOverwrites,
+        Counter::PipelineStalls,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -122,6 +127,7 @@ impl Counter {
             Counter::DemuxUnknown => "demux_unknown",
             Counter::DumpsWritten => "dumps_written",
             Counter::RingOverwrites => "ring_overwrites",
+            Counter::PipelineStalls => "pipeline_stalls",
         }
     }
 
@@ -136,7 +142,9 @@ impl Counter {
         // slot is zeroed alongside the wall-clock ones. Ingestion drops
         // depend on socket buffering and OS scheduling. Recorder slots
         // depend on ring sizing and how traffic interleaves across
-        // receiver threads, not on the trace alone.
+        // receiver threads, not on the trace alone. Pipeline stalls depend
+        // on how fast the shard workers drain relative to the coordinator,
+        // i.e. on host scheduling.
         !matches!(
             self,
             Counter::MergeNanos
@@ -144,6 +152,7 @@ impl Counter {
                 | Counter::DatagramsDropped
                 | Counter::DumpsWritten
                 | Counter::RingOverwrites
+                | Counter::PipelineStalls
         )
     }
 }
@@ -165,11 +174,14 @@ pub enum Gauge {
     /// Payload bytes currently held live in the flight recorder's datagram
     /// rings (0 when recording is off).
     RingBytes,
+    /// Batches published to the per-shard epoch rings but not yet merged
+    /// (pipeline in-flight depth; 0 when ingesting synchronously).
+    PipelineDepth,
 }
 
 impl Gauge {
     /// Number of gauge slots; sizes the slab arrays.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every variant, in slot order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -178,6 +190,7 @@ impl Gauge {
         Gauge::WorkerParked,
         Gauge::SocketBacklog,
         Gauge::RingBytes,
+        Gauge::PipelineDepth,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -188,6 +201,7 @@ impl Gauge {
             Gauge::WorkerParked => "worker_parked",
             Gauge::SocketBacklog => "socket_backlog",
             Gauge::RingBytes => "ring_bytes",
+            Gauge::PipelineDepth => "pipeline_depth",
         }
     }
 
@@ -197,11 +211,16 @@ impl Gauge {
     /// varies with the shard count even though detection does not. The
     /// parked-worker gauge depends on the host's hardware threads; the
     /// socket backlog on OS buffering; the recorder's live byte count on
-    /// ring sizing and receiver interleaving.
+    /// ring sizing and receiver interleaving; the pipeline depth on how
+    /// far the shard workers lag the coordinator at sample time.
     pub fn is_deterministic(self) -> bool {
         !matches!(
             self,
-            Gauge::MemoryBytes | Gauge::WorkerParked | Gauge::SocketBacklog | Gauge::RingBytes
+            Gauge::MemoryBytes
+                | Gauge::WorkerParked
+                | Gauge::SocketBacklog
+                | Gauge::RingBytes
+                | Gauge::PipelineDepth
         )
     }
 }
@@ -265,8 +284,10 @@ mod tests {
         assert!(!Counter::DatagramsDropped.is_deterministic());
         assert!(!Counter::DumpsWritten.is_deterministic());
         assert!(!Counter::RingOverwrites.is_deterministic());
+        assert!(!Counter::PipelineStalls.is_deterministic());
         assert!(!Gauge::WorkerParked.is_deterministic());
         assert!(!Gauge::RingBytes.is_deterministic());
+        assert!(!Gauge::PipelineDepth.is_deterministic());
         assert!(Counter::Transitions.is_deterministic());
         assert!(Counter::DatagramsRx.is_deterministic());
         assert!(Counter::DemuxUnknown.is_deterministic());

@@ -171,6 +171,29 @@ fn main() {
         sip_texts.len()
     );
 
+    // Phase C2b: reject path — malformed floods must fail on the start
+    // line without paying the whole-message header walk (the PR 7
+    // `sip_parse_reject_malformed` regression was exactly that).
+    let malformed: &[&str] = &[
+        "HELLO sip:bob@example.com SIP/2.0\r\nCall-ID: x\r\n\r\n",
+        "INVITE not-a-uri SIP/2.0\r\n\r\n",
+        "SIP/2.0 9xx Nope\r\n\r\n",
+        "garbage",
+    ];
+    let start = Instant::now();
+    let mut rejected = 0usize;
+    for _ in 0..reps * 1000 {
+        for t in malformed {
+            rejected += vids::sip::parse::parse_message(std::hint::black_box(t)).is_err() as usize;
+            rejected += parse_view(std::hint::black_box(t)).is_err() as usize;
+        }
+    }
+    let c2b = start.elapsed();
+    eprintln!(
+        "reject path (owned+view): {:>9.0} rejects/s ({rejected})",
+        (malformed.len() * reps * 1000 * 2) as f64 / c2b.as_secs_f64()
+    );
+
     // Phase C3: classify_wire only (classify incl. event building).
     let wires: Vec<(WireProto, &[u8], _, _)> = batch
         .iter()

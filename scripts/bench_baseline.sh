@@ -16,14 +16,16 @@ for bench in parser_throughput pool_scaling hot_path_alloc pcap_replay; do
 done
 
 # `bench <id> <ns>/iter <rate> elem/s|MiB/s` lines from the criterion
-# stub, plus the `replay, N shard(s) ... pps` and `replay+record, N
-# shard(s) ... pps` rows the pcap bench prints.
+# stub, plus the `replay, N shard(s) ... pps`, `replay+record, N
+# shard(s) ... pps` and `replay, T thread(s) x N shard(s) ... pps`
+# rows the pcap bench prints.
 python3 - "$out" <<'PY'
 import json, os, re, socket, sys
 
 rates = {}
 replay = {}
 recorded = {}
+scaling = {}
 for line in open(sys.argv[1]):
     m = re.match(r"bench\s+(\S+)\s+[\d.]+\s+ns/iter\s+(\d+)\s+elem/s", line)
     if m:
@@ -40,6 +42,12 @@ for line in open(sys.argv[1]):
     m = re.match(r"replay\+record,\s+(\d+)\s+shard\(s\)\s+-\s+(\d+)\s+pps", line)
     if m:
         recorded[int(m.group(1))] = int(m.group(2))
+        continue
+    m = re.match(
+        r"replay,\s+(\d+)\s+thread\(s\)\s+x\s+(\d+)\s+shard\(s\)\s+-\s+(\d+)\s+pps", line
+    )
+    if m:
+        scaling[(int(m.group(1)), int(m.group(2)))] = int(m.group(3))
 
 path = "BENCH_hotpath.json"
 doc = json.load(open(path))
@@ -67,6 +75,14 @@ for shards, pps in replay.items():
 for shards, pps in recorded.items():
     suffix = "shard" if shards == 1 else "shards"
     cur[f"pcap_replay_record_{shards}_{suffix}_pps"] = pps
+# The multi-core scaling grid (parallel classification + epoch-ring
+# pipeline), keyed by the host's parallelism: single-core numbers only
+# measure handoff overhead and must never be read as scaling.
+if scaling:
+    grid = {"hw_threads": os.cpu_count()}
+    for (threads, shards), pps in sorted(scaling.items()):
+        grid[f"{threads}t_x_{shards}s_pps"] = pps
+    cur["pcap_replay_scaling"] = grid
 # The flight recorder's ring tap budget: ≤3% pps overhead at 1 shard.
 if 1 in replay and 1 in recorded:
     overhead = 1.0 - recorded[1] / replay[1]

@@ -76,8 +76,10 @@ cargo test --offline --test pool_determinism -q \
     randomized_batch_sizes_match_the_plain_engine
 
 # Wire-tier oracle: pcap replay byte-compared against the in-process
-# engine (alerts, log, counters) at 1/4/8 shards.
-echo "==> replay differential"
+# engine (alerts, log, counters) at 1/4/8 shards, plus the parallel
+# driver byte-compared against the sequential one at 1/2/4 classifier
+# threads x 1/4/8 shards (including recorder ring layout).
+echo "==> replay differential (sequential + parallel drivers)"
 cargo test --offline --test replay_differential -q
 
 # On hosts with enough hardware threads the persistent workers must make
@@ -107,6 +109,37 @@ if ratio < 1.0:
 EOF
 else
     echo "==> pool-vs-plain throughput gate skipped (${HW_THREADS} hardware thread(s) < 4)"
+fi
+
+# Parallel-replay scaling gate: with >=4 hardware threads the 4-thread
+# classifier sweep must beat single-threaded replay by >=1.5x at 4
+# shards. On smaller hosts every "thread" shares one core and the grid
+# only measures handoff overhead, so the gate skips.
+if [ "$HW_THREADS" -ge 4 ]; then
+    echo "==> parallel replay scaling gate (${HW_THREADS} hardware threads)"
+    cargo bench --offline -p vids-bench --bench pcap_replay 2>/dev/null \
+        | tee /tmp/vids_pcap_replay.txt
+    python3 - <<'EOF'
+import re, sys
+
+text = open("/tmp/vids_pcap_replay.txt").read()
+def pps(threads, shards):
+    m = re.search(
+        rf"^replay,\s+{threads}\s+thread\(s\)\s+x\s+{shards}\s+shard\(s\)\s+-\s+(\d+)\s+pps",
+        text, re.M)
+    return float(m.group(1)) if m else None
+
+one = pps(1, 4)
+four = pps(4, 4)
+if one is None or four is None:
+    sys.exit("pcap_replay output missing the 1-thread or 4-thread scaling row")
+ratio = four / one
+print(f"parallel replay at 4 threads x 4 shards: {ratio:.2f}x over 1 thread")
+if ratio < 1.5:
+    sys.exit(f"4-thread replay is not scaling ({ratio:.2f}x < 1.50x)")
+EOF
+else
+    echo "==> parallel replay scaling gate skipped (${HW_THREADS} hardware thread(s) < 4)"
 fi
 
 echo "OK"

@@ -5,7 +5,7 @@
 //! vids simulate [--minutes N] [--seed S] [--uas N] [--no-vids] [--auth] [--csv FILE]
 //!               [--telemetry FILE] [--telemetry-interval SECS]
 //! vids serve --listen ADDR [--shards N] [--telemetry FILE] [--record DIR]
-//! vids replay FILE.pcap [--shards N] [--telemetry FILE] [--record DIR]
+//! vids replay FILE.pcap [--shards N] [--threads N] [--telemetry FILE] [--record DIR]
 //! vids replay FILE.vdump
 //! vids inspect FILE.vdump
 //! vids top [--shards N] [--seconds S] [--seed S]
@@ -79,11 +79,16 @@ fn usage() {
          \x20     monitor live SIP/RTP traffic on UDP socket ADDR (e.g. 0.0.0.0:5060)\n\
          \x20     with N receiver shards; alerts stream to stdout; Ctrl-C drains,\n\
          \x20     runs a final timer sweep and writes the telemetry snapshot to FILE;\n\
-         \x20     --record keeps a bounded ring of raw datagrams and dumps the\n\
-         \x20     window around every alert into DIR as .vdump forensic captures\n\
-         \x20 vids replay FILE.pcap [--shards N] [--telemetry FILE] [--record DIR]\n\
+         \x20     --record keeps a bounded ring of raw datagrams per receiver and\n\
+         \x20     dumps the window around every alert into DIR as .vdump forensic\n\
+         \x20     captures; with --record, SIGUSR1 snapshots the live rings into\n\
+         \x20     DIR on demand without stopping the daemon\n\
+         \x20 vids replay FILE.pcap [--shards N] [--threads N] [--telemetry FILE] [--record DIR]\n\
          \x20     replay a classic pcap capture through the identical wire pipeline\n\
-         \x20     at full speed and print the alert report and throughput\n\
+         \x20     at full speed and print the alert report and throughput;\n\
+         \x20     --threads N classifies datagrams on N parallel threads while the\n\
+         \x20     engine's shard workers run concurrently (output stays\n\
+         \x20     byte-identical to --threads 1)\n\
          \x20 vids replay FILE.vdump\n\
          \x20     deterministically re-run a forensic dump through a fresh engine\n\
          \x20     and verify the recorded alert reproduces byte-identically\n\
@@ -275,12 +280,11 @@ fn simulate(flags: &mut Flags) -> Result<i32, String> {
 /// SIP/RTP off the wire, and stream the engine's alerts to stdout until
 /// SIGINT drains the pipeline.
 fn serve(flags: &mut Flags) -> Result<i32, String> {
-    use std::sync::Mutex;
     use vids::core::{Config, CostModel, FnSink, VidsPool};
     use vids::ingest::record_tap::ServeRecorder;
-    use vids::ingest::server::{serve_on, stop_flag_on_sigint, ServeOptions};
+    use vids::ingest::server::{dump_flag_on_sigusr1, serve_on, stop_flag_on_sigint, ServeOptions};
     use vids::ingest::udp::{PoolMode, UdpPool};
-    use vids::record::Recorder;
+    use vids::record::LaneRecorder;
 
     let listen: SocketAddr = flags
         .parsed("--listen")?
@@ -299,8 +303,12 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
     // CPU model would only skew the meter.
     let mut pool = VidsPool::with_cost(cfg, CostModel::free());
     let registry = pool.enable_telemetry(256);
-    let opts = ServeOptions::from_config(&cfg);
+    let mut opts = ServeOptions::from_config(&cfg);
     let stop = stop_flag_on_sigint();
+    if record_dir.is_some() {
+        // SIGUSR1 asks the coordinator for an on-demand ring snapshot.
+        opts.snapshot_flag = Some(dump_flag_on_sigusr1());
+    }
 
     let udp =
         UdpPool::bind(listen, opts.receivers).map_err(|e| format!("cannot bind {listen}: {e}"))?;
@@ -328,16 +336,17 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
         );
     });
     // The flight recorder rides along when asked: one datagram ring per
-    // receiver, dumps written into --record DIR as alerts fire.
+    // receiver lane (each receiver locks only its own ring), dumps
+    // written into --record DIR as alerts fire or SIGUSR1 arrives.
     let recorder = record_dir.as_ref().map(|_| {
-        let mut rec = Recorder::with_defaults(opts.receivers);
+        let mut rec = LaneRecorder::with_defaults(opts.receivers);
         rec.attach_telemetry(registry.pool_slab());
         rec.set_telemetry_ring(256);
-        Mutex::new(rec)
+        rec
     });
     let mut serve_rec = recorder
         .as_ref()
-        .map(|m| ServeRecorder::new(m, record_dir.as_deref().map(std::path::Path::new)));
+        .map(|r| ServeRecorder::new(r, record_dir.as_deref().map(std::path::Path::new)));
 
     let report = serve_on(
         &mut pool,
@@ -352,11 +361,10 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
 
     eprintln!("{}", RunSummary::from_serve(&report).render());
     eprintln!("{}", run_report::counters_line(&pool.counters()));
-    if let (Some(rec), Some(mutex)) = (serve_rec.as_ref(), recorder.as_ref()) {
-        let stats = mutex.lock().expect("receiver threads joined").stats();
+    if let (Some(rec), Some(lane)) = (serve_rec.as_ref(), recorder.as_ref()) {
         eprintln!(
             "{}",
-            run_report::recorder_summary(&stats, &rec.written, rec.io_errors)
+            run_report::recorder_summary(&lane.stats(), &rec.written, rec.io_errors)
         );
     }
     if let Some(path) = telemetry_path {
@@ -375,7 +383,7 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
 fn replay(flags: &mut Flags) -> Result<i32, String> {
     use vids::core::{CollectSink, Config, VidsPool};
     use vids::ingest::record_tap::RecordTap;
-    use vids::ingest::replay::replay_pcap;
+    use vids::ingest::replay::replay_pcap_parallel;
     use vids::record::Recorder;
 
     let file = flags
@@ -386,6 +394,7 @@ fn replay(flags: &mut Flags) -> Result<i32, String> {
         return replay_dump(&file);
     }
     let shards: usize = flags.parsed("--shards")?.unwrap_or(4);
+    let threads: usize = flags.parsed("--threads")?.filter(|&n| n > 0).unwrap_or(1);
     let telemetry_path = flags.value("--telemetry")?;
     let record_dir = flags.value("--record")?;
     flags.finish()?;
@@ -409,10 +418,11 @@ fn replay(flags: &mut Flags) -> Result<i32, String> {
         .map(|rec| RecordTap::new(rec, record_dir.as_deref().map(std::path::Path::new)));
     let mut sink = CollectSink::new();
     let wall_start = std::time::Instant::now();
-    let report = replay_pcap(
+    let report = replay_pcap_parallel(
         capture,
         &mut pool,
         cfg.batch_flush_packets,
+        threads,
         Some(&registry),
         tap.as_mut(),
         &mut sink,

@@ -306,4 +306,58 @@ fn warm_packets_meet_the_allocation_budget() {
         "budget traffic must be clean: {:?}",
         sink.alerts()
     );
+
+    // ---- receiver route path: classify + shard-hash off the wire --------
+    // The parallel ingest receivers run demux → classify → route-hint per
+    // datagram and push into a pre-sized batch. Once the datagram's
+    // symbols are interned, that whole path must not touch the allocator:
+    // it runs on every packet on every receiver thread.
+    {
+        use vids::core::pool::PreRouted;
+        use vids::ingest::demux::classify_datagram;
+        use vids::ingest::Datagram;
+
+        let rtp_bytes = RtpPacket::new(18, 300, 9_000, 7)
+            .with_payload(vec![0; 10])
+            .to_bytes();
+        let rtp_dg = Datagram {
+            src: "10.1.0.10:20000".parse().unwrap(),
+            dst: "10.2.0.10:30000".parse().unwrap(),
+            at: SimTime::from_millis(70),
+            payload: &rtp_bytes,
+        };
+        let sip_text = stale_ringing("budget-1").payload;
+        let sip_text = match &sip_text {
+            Payload::Sip(text) => text.clone(),
+            _ => unreachable!(),
+        };
+        let sip_dg = Datagram {
+            src: "10.2.0.10:5060".parse().unwrap(),
+            dst: "10.1.0.10:5060".parse().unwrap(),
+            at: SimTime::from_millis(70),
+            payload: sip_text.as_bytes(),
+        };
+
+        let mut batch: Vec<PreRouted> = Vec::with_capacity(16);
+        // Warm: intern every symbol the datagrams carry.
+        for d in [&rtp_dg, &sip_dg] {
+            let (_, classified) = classify_datagram(d);
+            batch.push(PreRouted::new(classified, d.at));
+        }
+        batch.clear();
+
+        let n = count_allocs(|| {
+            let (_, classified) = classify_datagram(&rtp_dg);
+            batch.push(PreRouted::new(classified, rtp_dg.at));
+        });
+        eprintln!("warm RTP receiver route path: {n} allocations");
+        assert_eq!(n, 0, "warm RTP classify+route made {n} allocations");
+
+        let n = count_allocs(|| {
+            let (_, classified) = classify_datagram(&sip_dg);
+            batch.push(PreRouted::new(classified, sip_dg.at));
+        });
+        eprintln!("warm SIP receiver route path: {n} allocations");
+        assert_eq!(n, 0, "warm SIP classify+route made {n} allocations");
+    }
 }

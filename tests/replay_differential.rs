@@ -16,9 +16,11 @@ use common::wire_safe_trace;
 use vids::core::alert::{labels, Alert};
 use vids::core::{CollectSink, Config, VidsCounters, VidsPool};
 use vids::ingest::pcap::{PcapWriter, LINKTYPE_ETHERNET, LINKTYPE_RAW};
-use vids::ingest::replay::{replay_pcap, REPLAY_GRACE};
+use vids::ingest::record_tap::RecordTap;
+use vids::ingest::replay::{replay_pcap, replay_pcap_parallel, REPLAY_GRACE};
 use vids::netsim::packet::{Address, Packet, Payload};
 use vids::netsim::time::SimTime;
+use vids::record::Recorder;
 
 fn to_socket(addr: Address) -> std::net::SocketAddrV4 {
     let [a, b, c, d] = addr.ip.to_be_bytes();
@@ -72,6 +74,34 @@ fn wire_run(
     (sink.into_alerts(), pool.alerts().to_vec(), pool.counters())
 }
 
+/// The parallel wire run: same capture, `threads` classifier threads
+/// feeding the engine's epoch-ring pipeline.
+fn parallel_run(
+    shards: usize,
+    flush_packets: usize,
+    threads: usize,
+) -> (Vec<Alert>, Vec<Alert>, VidsCounters) {
+    let trace = wire_safe_trace();
+    let capture = to_pcap(&trace, false, LINKTYPE_RAW);
+    let config = Config::builder().shards(shards).build().unwrap();
+    let mut pool = VidsPool::new(config);
+    let mut sink = CollectSink::new();
+    let report = replay_pcap_parallel(
+        capture,
+        &mut pool,
+        flush_packets,
+        threads,
+        None,
+        None,
+        &mut sink,
+    )
+    .unwrap();
+    assert_eq!(report.datagrams as usize, trace.len());
+    assert_eq!(report.demux_unknown, 1, "only the Raw stray is unknown");
+    assert_eq!(report.last_at, trace.last().unwrap().1);
+    (sink.into_alerts(), pool.alerts().to_vec(), pool.counters())
+}
+
 #[test]
 fn replay_is_byte_identical_to_in_process_at_1_4_8_shards() {
     for shards in [1usize, 4, 8] {
@@ -118,4 +148,81 @@ fn replay_batch_size_never_changes_the_verdict() {
         assert_eq!(ref_log, log);
         assert_eq!(ref_counters, counters);
     }
+}
+
+/// ISSUE 9's acceptance gate: the parallel driver must be byte-identical
+/// to the sequential one at every thread count × shard count combination
+/// — the re-sequencing coordinator hides the classifier parallelism
+/// completely. Small `flush_packets` (7) forces many epochs so dispatch,
+/// completion reordering and the in-flight cap all actually cycle.
+#[test]
+fn parallel_replay_is_byte_identical_across_thread_and_shard_counts() {
+    for shards in [1usize, 4, 8] {
+        let (ref_sink, ref_log, ref_counters) = wire_run(shards, 7, false, LINKTYPE_RAW);
+        assert!(
+            ref_sink.iter().any(|a| a.label == labels::INVITE_FLOOD),
+            "sequential reference lost the flood at {shards} shards"
+        );
+        for threads in [1usize, 2, 4] {
+            let (sink, log, counters) = parallel_run(shards, 7, threads);
+            assert_eq!(
+                ref_sink, sink,
+                "sink alerts diverged at {threads} threads x {shards} shards"
+            );
+            assert_eq!(
+                ref_log, log,
+                "alert log diverged at {threads} threads x {shards} shards"
+            );
+            assert_eq!(
+                ref_counters, counters,
+                "counters diverged at {threads} threads x {shards} shards"
+            );
+            assert_eq!(format!("{ref_sink:?}"), format!("{sink:?}"));
+        }
+    }
+}
+
+/// The parallel driver records datagrams at submit time on the driving
+/// thread, so a tap sees the identical ring layout — same packets, same
+/// global sequence numbers, same batch ids — as the sequential replay.
+#[test]
+fn parallel_replay_preserves_the_recorder_layout() {
+    let trace = wire_safe_trace();
+    let capture = to_pcap(&trace, false, LINKTYPE_RAW);
+    let config = Config::builder().shards(4).build().unwrap();
+
+    let mut seq_pool = VidsPool::new(config);
+    let mut seq_rec = Recorder::with_defaults(1);
+    let mut seq_tap = RecordTap::new(&mut seq_rec, None);
+    let mut seq_sink = CollectSink::new();
+    replay_pcap(
+        capture.clone(),
+        &mut seq_pool,
+        7,
+        None,
+        Some(&mut seq_tap),
+        &mut seq_sink,
+    )
+    .unwrap();
+
+    let mut par_pool = VidsPool::new(config);
+    let mut par_rec = Recorder::with_defaults(1);
+    let mut par_tap = RecordTap::new(&mut par_rec, None);
+    let mut par_sink = CollectSink::new();
+    replay_pcap_parallel(
+        capture,
+        &mut par_pool,
+        7,
+        4,
+        None,
+        Some(&mut par_tap),
+        &mut par_sink,
+    )
+    .unwrap();
+
+    assert_eq!(seq_sink.into_alerts(), par_sink.into_alerts());
+    assert_eq!(seq_rec.stats(), par_rec.stats());
+    let seq_window = seq_rec.window();
+    assert!(!seq_window.is_empty());
+    assert_eq!(seq_window, par_rec.window(), "ring contents diverged");
 }

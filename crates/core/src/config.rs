@@ -79,6 +79,12 @@ pub struct Config {
     /// end of a capture still fire. The historical hard-coded value (30 s)
     /// is the default.
     pub replay_grace: SimTime,
+    /// Ceiling on concurrently tracked calls per engine. `0` (the default)
+    /// keeps the historical unbounded behaviour. When the ceiling is hit,
+    /// new call creation is refused (counted as
+    /// `Counter::CallQuotaDrops`); existing calls keep progressing. Used
+    /// by the cluster layer to give each tenant a bounded state budget.
+    pub max_tracked_calls: usize,
 }
 
 impl Default for Config {
@@ -101,6 +107,7 @@ impl Default for Config {
             batch_flush_packets: 256,
             batch_flush_interval: SimTime::from_millis(10),
             replay_grace: SimTime::from_secs(30),
+            max_tracked_calls: 0,
         }
     }
 }
@@ -262,6 +269,12 @@ impl ConfigBuilder {
     /// last captured packet.
     pub fn replay_grace(mut self, grace: SimTime) -> Self {
         self.config.replay_grace = grace;
+        self
+    }
+
+    /// Ceiling on concurrently tracked calls per engine (`0` = unbounded).
+    pub fn max_tracked_calls(mut self, max: usize) -> Self {
+        self.config.max_tracked_calls = max;
         self
     }
 

@@ -61,7 +61,9 @@ impl std::ops::AddAssign for VidsCounters {
 }
 
 /// How often idle call networks are advanced and finished calls evicted.
-pub(crate) const SWEEP_INTERVAL_MS: u64 = 100;
+/// Public so a cluster gateway can mirror the pool's sweep-interval gate
+/// when accounting batch-level telemetry exactly once for a global batch.
+pub const SWEEP_INTERVAL_MS: u64 = 100;
 
 /// A SIP response that matched no monitored call. The pool detects the miss
 /// on the call-owning shard and counts it on the destination-owning shard's
@@ -436,6 +438,18 @@ impl Vids {
         self.counters.sip_packets += 1;
         self.tel_inc(Counter::SipPackets);
         let known = self.factbase.call_idx(call_id);
+        // Per-engine state budget: at quota, new dialogs are refused (and
+        // counted) while packets for already-tracked calls keep flowing.
+        // The INVITE still feeds the destination's flood detector, which
+        // runs before this call-pinned part.
+        if known.is_none()
+            && is_initial_invite
+            && self.config.max_tracked_calls > 0
+            && self.factbase.call_count() >= self.config.max_tracked_calls
+        {
+            self.tel_inc(Counter::CallQuotaDrops);
+            return None;
+        }
         if known.is_some() || is_initial_invite {
             let idx = match known {
                 Some(idx) => idx,
@@ -925,6 +939,37 @@ mod tests {
             raised.iter().any(|a| a.label == labels::INVITE_FLOOD),
             "alerts: {raised:?}"
         );
+    }
+
+    #[test]
+    fn call_quota_refuses_new_dialogs_but_keeps_tracked_ones() {
+        let mut cfg = Config::default();
+        cfg.max_tracked_calls = 2;
+        let mut vids = Vids::new(cfg);
+        vids.enable_telemetry(16);
+        let invites: Vec<_> = (0..4).map(|i| invite(&format!("quota-{i}"))).collect();
+        for (i, inv) in invites.iter().enumerate() {
+            process(
+                &mut vids,
+                &pkt(CALLER, CALLEE, Payload::Sip(inv.to_string())),
+                SimTime::from_millis(i as u64 * 2_000),
+            );
+        }
+        assert_eq!(vids.monitored_calls(), 2, "quota caps tracked calls");
+        // Packets for an already-tracked call still progress it: the 200 OK
+        // answers call 0, which remains monitored.
+        let ok = invites[0].response(StatusCode::OK).with_to_tag("tt");
+        process(
+            &mut vids,
+            &pkt(CALLEE, CALLER, Payload::Sip(ok.to_string())),
+            SimTime::from_millis(9_000),
+        );
+        assert_eq!(vids.monitored_calls(), 2);
+        let snap = vids
+            .telemetry_snapshot(SimTime::from_secs(10))
+            .expect("telemetry enabled above");
+        assert_eq!(snap.merged().counter(Counter::CallQuotaDrops), 2);
+        assert_eq!(snap.merged().counter(Counter::CallsCreated), 2);
     }
 
     #[test]

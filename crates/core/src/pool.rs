@@ -276,6 +276,121 @@ pub fn route_hint(c: &Classified) -> RouteHint {
     }
 }
 
+impl RouteHint {
+    /// The call-pinned key hash: address-of-record for REGISTER, Call-ID
+    /// for other SIP, the media-coordinate fallback for RTP. A cluster
+    /// gateway uses the same hash the pool shards by to pick the owning
+    /// *node* (rendezvous over this value), so moving between one pool and
+    /// a federation never re-keys anything.
+    pub fn call_hash(&self) -> u64 {
+        self.call
+    }
+
+    /// The destination-IP hash feeding the per-destination flood machines;
+    /// zero (unused) for everything but non-REGISTER SIP.
+    pub fn flood_hash(&self) -> u64 {
+        self.flood
+    }
+}
+
+/// The pool's key hash (FNV-1a), public for layers that must agree with
+/// shard/node placement — e.g. a cluster gateway hashing a DRDoS miss's
+/// destination IP exactly as [`route_hint`] would have.
+pub fn key_hash(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
+/// Which protocol-role parts of one classified datagram a federation
+/// member ingests. A single SIP INVITE has a call-pinned part (the per-call
+/// machine) and a destination-pinned part (the INVITE-flood machine); a
+/// cluster gateway may place those on different nodes, sending the same
+/// event to both with complementary masks. The union of masks across nodes
+/// is exactly one full ingest, so a federation reproduces the single
+/// pool's work with nothing counted twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartMask {
+    /// Ingest the call/register/media part (also malformed/ignored
+    /// accounting — the gateway routes those to exactly one node).
+    pub call: bool,
+    /// Ingest the destination-pinned INVITE-flood part.
+    pub flood: bool,
+}
+
+impl PartMask {
+    /// Both parts — what every non-federated path does.
+    pub const ALL: PartMask = PartMask {
+        call: true,
+        flood: true,
+    };
+}
+
+/// One classified datagram as a federation member receives it from the
+/// gateway: pre-clamped time, *global* packet index, and the part mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedEvent {
+    /// What the classifier made of the datagram.
+    pub classified: Classified,
+    /// The packet clock, already clamped monotonic by the gateway across
+    /// the global batch order — so every node's view of packet time agrees
+    /// with the single pool's sequential routing pass.
+    pub t_ms: u64,
+    /// The datagram's index in the gateway's global batch. Merge keys are
+    /// built on this, which is what makes alerts from different nodes
+    /// interleave exactly as one pool would have emitted them.
+    pub idx: usize,
+    /// Which parts of the event this pool owns.
+    pub mask: PartMask,
+}
+
+/// A key-tagged alert exported by a federated batch. The key is the same
+/// deterministic merge key the pool uses internally, built on the *global*
+/// packet index, so the gateway can sort alerts from every node with
+/// [`FedAlert::merge_order`] and obtain the single pool's byte-identical
+/// alert sequence.
+#[derive(Debug, Clone)]
+pub struct FedAlert {
+    key: MergeKey,
+    /// The alert itself.
+    pub alert: Alert,
+}
+
+impl FedAlert {
+    /// The deterministic merge order — `(packet idx, phase, scope text,
+    /// emission seq)`, comparing the scope symbol by its string exactly as
+    /// the in-pool merge does.
+    pub fn merge_order(a: &FedAlert, b: &FedAlert) -> Ordering {
+        let (ai, ap, a_scope, a_seq) = &a.key;
+        let (bi, bp, b_scope, b_seq) = &b.key;
+        (ai, ap, a_scope.as_str(), a_seq).cmp(&(bi, bp, b_scope.as_str(), b_seq))
+    }
+}
+
+/// An unassociated SIP response detected by one federation member, to be
+/// counted by whichever member owns the destination IP — the cross-node
+/// generalization of the pool's deferred DRDoS phase. The gateway sorts
+/// all nodes' misses by `idx` and feeds each to
+/// [`VidsPool::apply_federated_misses`] on the owning node.
+#[derive(Debug, Clone, Copy)]
+pub struct FedMiss {
+    /// Global packet index of the response.
+    pub idx: usize,
+    /// Its clamped packet time.
+    pub t_ms: u64,
+    /// Destination IP the miss counts against; hash with [`key_hash`] over
+    /// `dst_ip.to_le_bytes()` to pick the owning node.
+    pub dst_ip: u32,
+    src_ip: Sym,
+}
+
+/// What one federation member produced for one global batch.
+#[derive(Debug, Default)]
+pub struct FedOutput {
+    /// Key-tagged alerts, unsorted; the gateway merges across nodes.
+    pub alerts: Vec<FedAlert>,
+    /// DRDoS misses for the gateway to route to their destination owners.
+    pub misses: Vec<FedMiss>,
+}
+
 /// One shard-pinned part of a routed packet.
 enum Part {
     Register(Event),
@@ -873,6 +988,7 @@ impl VidsPool {
                 t,
                 c,
                 None,
+                PartMask::ALL,
                 direct,
                 &mut queues,
                 &mut tagged,
@@ -941,6 +1057,7 @@ impl VidsPool {
                 t,
                 ev.classified,
                 None,
+                PartMask::ALL,
                 direct,
                 &mut queues,
                 &mut tagged,
@@ -949,6 +1066,157 @@ impl VidsPool {
         }
 
         self.drain_and_merge(queues, tagged, misses, sink);
+    }
+
+    /// Processes this member's share of one *global* batch in a cluster
+    /// federation. The cluster gateway splits each classified datagram
+    /// into its protocol-role parts, routes each part to the owning node
+    /// ([`PartMask`]), pre-clamps timestamps across the global batch order,
+    /// and calls this on every node with the same `now` — empty shares
+    /// included, so the sweep-interval clock stays in lock-step and sweeps
+    /// fire on every node at the same instant, exactly as one pool's
+    /// single sweep would have covered all calls.
+    ///
+    /// Differences from [`VidsPool::process_wire_batch`], all of them the
+    /// gateway's job instead:
+    ///
+    /// * batch-level telemetry (`BatchesIngested`, `PacketsIngested`,
+    ///   `BatchSize`, `TimerSweeps`, merge timing) is *not* recorded here —
+    ///   the gateway records it exactly once per global batch, so the
+    ///   merged cluster snapshot equals the single pool's;
+    /// * alerts are returned key-tagged ([`FedAlert`]) instead of sunk and
+    ///   logged — the gateway merges across nodes with
+    ///   [`FedAlert::merge_order`] and keeps the cluster-wide log;
+    /// * DRDoS misses are exported ([`FedMiss`]) instead of self-applied —
+    ///   the destination-owning pool may be another node.
+    pub fn process_federated_batch(
+        &mut self,
+        events: &mut Vec<FedEvent>,
+        now: SimTime,
+    ) -> FedOutput {
+        if let Some(rt) = &self.runtime {
+            rt.check_poison();
+        }
+        let now_ms = now.as_millis();
+        let mut tagged = std::mem::take(&mut self.scratch_tagged);
+
+        // Phase 0: the same once-per-batch sweep rule as every other path.
+        if now_ms.saturating_sub(self.last_sweep_ms) >= SWEEP_INTERVAL_MS {
+            self.last_sweep_ms = now_ms;
+            self.sweep_shards(now_ms, &mut tagged);
+        }
+
+        let mut queues = std::mem::take(&mut self.queues);
+        let mut misses = std::mem::take(&mut self.scratch_misses);
+        let direct = self.direct_dispatch(events.len());
+        for ev in events.drain(..) {
+            // CPU is charged on the call-owning node only, so a SIP INVITE
+            // split across two nodes costs the federation what it costs a
+            // single pool.
+            if ev.mask.call {
+                self.cpu
+                    .charge(self.cost.cpu_for_classified(&ev.classified));
+            }
+            // `t_ms` is already clamped against the global batch order;
+            // track the local high-water mark only for `tick` consistency.
+            self.last_packet_ms = self.last_packet_ms.max(ev.t_ms);
+            self.route_one(
+                ev.idx,
+                ev.t_ms,
+                ev.classified,
+                None,
+                ev.mask,
+                direct,
+                &mut queues,
+                &mut tagged,
+                &mut misses,
+            );
+        }
+
+        self.drain_shards(&mut queues, &mut tagged, &mut misses);
+        self.queues = queues;
+
+        let fed_misses = misses
+            .drain(..)
+            .map(|m| FedMiss {
+                idx: m.idx,
+                t_ms: m.t,
+                dst_ip: m.dst_ip,
+                src_ip: m.src_ip,
+            })
+            .collect();
+        self.scratch_misses = misses;
+
+        let alerts = tagged
+            .drain(..)
+            .map(|(key, alert)| FedAlert { key, alert })
+            .collect();
+        self.scratch_tagged = tagged;
+        FedOutput {
+            alerts,
+            misses: fed_misses,
+        }
+    }
+
+    /// Applies DRDoS misses this pool's destinations own — the federated
+    /// spelling of the deferred phase 4 in [`VidsPool::process_batch`].
+    /// The gateway must pass misses in ascending global `idx` order,
+    /// merged across every node that exported some.
+    pub fn apply_federated_misses(&mut self, misses: &[FedMiss]) -> Vec<FedAlert> {
+        let mut tagged = std::mem::take(&mut self.scratch_tagged);
+        for miss in misses {
+            let shard = self.shard_of(&miss.dst_ip.to_le_bytes());
+            let mut tsink = TaggedSink::packet(&mut tagged, miss.idx, 3);
+            self.shards[shard].ingest_response_flood(
+                miss.dst_ip,
+                miss.src_ip,
+                miss.t_ms,
+                &mut tsink,
+            );
+        }
+        let out = tagged
+            .drain(..)
+            .map(|(key, alert)| FedAlert { key, alert })
+            .collect();
+        self.scratch_tagged = tagged;
+        out
+    }
+
+    /// The federated spelling of [`VidsPool::tick`]: advances idle timers
+    /// and evicts finished calls, returning key-tagged alerts for the
+    /// gateway's cluster-wide merge instead of sinking and logging them.
+    /// The gateway calls this on every node with the same `now` and counts
+    /// the sweep once.
+    pub fn federated_tick(&mut self, now: SimTime) -> Vec<FedAlert> {
+        if let Some(rt) = &self.runtime {
+            rt.check_poison();
+        }
+        let now_ms = now.as_millis();
+        if now_ms < SWEEP_INTERVAL_MS {
+            return Vec::new(); // mirror Vids::tick's interval gate from time zero
+        }
+        self.last_sweep_ms = now_ms;
+        let mut tagged = std::mem::take(&mut self.scratch_tagged);
+        self.sweep_shards(now_ms, &mut tagged);
+        let out = tagged
+            .drain(..)
+            .map(|(key, alert)| FedAlert { key, alert })
+            .collect();
+        self.scratch_tagged = tagged;
+        out
+    }
+
+    /// Whether any call on any shard currently has these media coordinates
+    /// negotiated. A cluster gateway uses this to expire entries of its
+    /// node-level media routing index, exactly as the pool expires its own
+    /// shard-level index after each sweep.
+    pub fn media_negotiated(&self, ip: &str, port: u64) -> bool {
+        let Some(ip) = Sym::lookup(ip) else {
+            return false;
+        };
+        self.shards
+            .iter()
+            .any(|s| s.factbase().media_lookup(ip, port).is_some())
     }
 
     /// Whether this batch should bypass the shard queues and ingest parts
@@ -979,6 +1247,10 @@ impl VidsPool {
     /// thread ([`route_hint`]); without one the hashes are computed here,
     /// lazily, exactly as before. Both spellings place every part on the
     /// same shard.
+    ///
+    /// `mask` selects which protocol-role parts to ingest — always
+    /// [`PartMask::ALL`] except on the federated path, where the gateway
+    /// may have placed a packet's call and flood parts on different nodes.
     #[allow(clippy::too_many_arguments)]
     fn route_one(
         &mut self,
@@ -986,6 +1258,7 @@ impl VidsPool {
         t: u64,
         c: Classified,
         hint: Option<RouteHint>,
+        mask: PartMask,
         direct: bool,
         queues: &mut [Vec<Routed>],
         tagged: &mut Vec<(MergeKey, Alert)>,
@@ -1001,6 +1274,9 @@ impl VidsPool {
                 dst_ip,
             } => {
                 if event.name == sym::SIP_REGISTER {
+                    if !mask.call {
+                        return;
+                    }
                     let shard = match hint {
                         Some(h) => shard_from_hash(h.call, n),
                         None => {
@@ -1016,11 +1292,7 @@ impl VidsPool {
                     }
                     return;
                 }
-                let shard = match hint {
-                    Some(h) => shard_from_hash(h.call, n),
-                    None => self.shard_of(call_id.as_str().as_bytes()),
-                };
-                if event.name == sym::SIP_INVITE {
+                if mask.flood && event.name == sym::SIP_INVITE {
                     let flood_shard = match hint {
                         Some(h) => shard_from_hash(h.flood, n),
                         None => self.shard_of(&dst_ip.to_le_bytes()),
@@ -1035,6 +1307,13 @@ impl VidsPool {
                         queues[flood_shard].push((idx, t, part));
                     }
                 }
+                if !mask.call {
+                    return;
+                }
+                let shard = match hint {
+                    Some(h) => shard_from_hash(h.call, n),
+                    None => self.shard_of(call_id.as_str().as_bytes()),
+                };
                 if n > 1 && event.bool_arg("has_sdp") {
                     if let (Some(ip), Some(port)) =
                         (event.sym_arg(sym::SDP_IP), event.uint_arg(sym::SDP_PORT))
@@ -1055,7 +1334,7 @@ impl VidsPool {
                     queues[shard].push((idx, t, part));
                 }
             }
-            Classified::Rtp { event } => {
+            Classified::Rtp { event } if mask.call => {
                 let shard = if n == 1 {
                     0
                 } else {
@@ -1091,7 +1370,7 @@ impl VidsPool {
                     queues[shard].push((idx, t, Part::Rtp(event)));
                 }
             }
-            Classified::Malformed { protocol, reason } => {
+            Classified::Malformed { protocol, reason } if mask.call => {
                 self.extra.malformed += 1;
                 if let Some(reg) = &self.telemetry {
                     reg.pool().inc(Counter::Malformed);
@@ -1104,12 +1383,14 @@ impl VidsPool {
                     reason.to_owned(),
                 );
             }
-            Classified::Ignored => {
+            Classified::Ignored if mask.call => {
                 self.extra.ignored += 1;
                 if let Some(reg) = &self.telemetry {
                     reg.pool().inc(Counter::Ignored);
                 }
             }
+            // Parts this pool does not own (federated mask excludes them).
+            Classified::Rtp { .. } | Classified::Malformed { .. } | Classified::Ignored => {}
         }
     }
 
@@ -1830,6 +2111,7 @@ impl PipelineIngress<'_, '_> {
                 t,
                 ev.classified,
                 Some(ev.hint),
+                PartMask::ALL,
                 false,
                 &mut queues,
                 &mut coord_tagged,

@@ -73,6 +73,18 @@ pub fn corpus_sip_seeds() -> Vec<String> {
         .collect()
 }
 
+/// The committed corpus flattened into extra byte-fuzzer seeds: every RTP
+/// payload from every dump under [`corpus_dir`]. Empty while the checked-in
+/// dumps record signaling-only attacks; a media-window dump feeds in
+/// automatically once committed.
+pub fn corpus_rtp_seeds() -> Vec<Vec<u8>> {
+    load_dumps(&corpus_dir())
+        .unwrap_or_default()
+        .iter()
+        .flat_map(|(_, d)| rtp_seeds_from_dump(d))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,9 +16,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use vids_harness::corpus;
 use vids_harness::mutate::{mutate_sip, mutate_wire};
 use vids_harness::rng::XorShift64;
+use vids_harness::{corpus, record_bridge};
 use vids_rtp::packet::{RtpHeader, RtpPacket};
 use vids_rtp::rtcp_wire::RtcpPacket;
 use vids_sip::parse::parse_message;
@@ -91,7 +91,18 @@ fn fuzzed_wire_never_panics_and_rejects_are_alloc_free() {
     let iters = vids_harness::fuzz_iterations();
 
     // ---- SIP text ------------------------------------------------------
-    let seeds = corpus::sip_seeds();
+    // Builder seeds plus every SIP payload recorded in the committed
+    // `.vdump` corpus: dumps are real wire bytes that drove the engine to
+    // an alert, so mutating them explores the paths the recorder proved
+    // reachable — not just what the message builders emit.
+    let mut seeds = corpus::sip_seeds();
+    let dump_seeds = record_bridge::corpus_sip_seeds();
+    assert!(
+        !dump_seeds.is_empty(),
+        "committed corpus dumps contributed no SIP seeds — \
+         is crates/harness/corpus/ missing or unreadable?"
+    );
+    seeds.extend(dump_seeds);
     let mut rng = XorShift64::new(0x051B_F022);
     let mut accepted = 0u64;
     for i in 0..iters {
@@ -131,7 +142,10 @@ fn fuzzed_wire_never_panics_and_rejects_are_alloc_free() {
     );
 
     // ---- RTP wire ------------------------------------------------------
-    let seeds = corpus::rtp_seeds();
+    // Dump-recorded RTP windows ride along the builder seeds the same way
+    // (today's committed dumps are signaling-only, so this may add none).
+    let mut seeds = corpus::rtp_seeds();
+    seeds.extend(record_bridge::corpus_rtp_seeds());
     let mut rng = XorShift64::new(0x0052_D15C);
     let mut accepted = 0u64;
     for i in 0..iters {

@@ -28,9 +28,15 @@ pub enum WireClass {
     Sip,
     /// RTP media (version-2 header, non-RTCP payload type).
     Rtp,
-    /// RTCP control (version-2 header, packet type 200–204). Monitored
-    /// implicitly through RTP; the engine ignores it.
+    /// RTCP control (version-2 header, packet type in RFC 5761's reserved
+    /// 192–223 range). Monitored implicitly through RTP; the engine
+    /// ignores it.
     Rtcp,
+    /// An address family the engine does not model: plain IPv6 without an
+    /// IPv4-mapped form. Never produced by [`demux`] (which sees only the
+    /// payload); only [`classify_datagram`] returns it, so the ingest tier
+    /// can count v6 drops separately from payload junk.
+    Ipv6,
     /// Anything else; the engine ignores it, the ingest tier counts it.
     Unknown,
 }
@@ -48,11 +54,14 @@ pub fn demux(src_port: u16, dst_port: u16, payload: &[u8]) -> WireClass {
     }
     // An RTP fixed header is 12 bytes and starts with version 2 in the
     // top two bits. RTCP shares the version bits; its second byte is the
-    // packet type, 200 (SR) through 204 (APP) — outside RTP's 7-bit
-    // payload-type range unless the marker bit is set, which real codecs
-    // do not combine with payload types 72–76 (RFC 5761 §4).
+    // packet type, and RFC 5761 §4 reserves the whole 192–223 range for
+    // RTCP when multiplexed with RTP (192–195 legacy FIR/NACK/SMPTETC/IJ,
+    // 200–204 SR through APP, 205–207 RTPFB/PSFB/XR, the rest unassigned
+    // but reserved). Those values collide with RTP payload types 64–95
+    // only when the marker bit is set, which real codecs do not combine
+    // with payload types in that band.
     if payload.len() >= 12 && payload[0] >> 6 == 2 {
-        if (200..=204).contains(&payload[1]) {
+        if (192..=223).contains(&payload[1]) {
             return WireClass::Rtcp;
         }
         return WireClass::Rtp;
@@ -92,13 +101,16 @@ fn starts_like_sip(payload: &[u8]) -> bool {
 /// `DemuxUnknown`) alongside what the engine should ingest.
 pub fn classify_datagram(d: &Datagram<'_>) -> (WireClass, Classified) {
     let Some((src, dst)) = d.engine_addrs() else {
-        return (WireClass::Unknown, Classified::Ignored);
+        // Plain IPv6: the engine models IPv4 addresses only. Returned as
+        // its own class (not `Unknown`) so operators serving v6 traffic
+        // see the drop in `datagrams_ipv6` instead of silence.
+        return (WireClass::Ipv6, Classified::Ignored);
     };
     let class = demux(d.src.port(), d.dst.port(), d.payload);
     let classified = match class {
         WireClass::Sip => classify_wire(WireProto::Sip, d.payload, src, dst),
         WireClass::Rtp => classify_wire(WireProto::Rtp, d.payload, src, dst),
-        WireClass::Rtcp | WireClass::Unknown => Classified::Ignored,
+        WireClass::Rtcp | WireClass::Ipv6 | WireClass::Unknown => Classified::Ignored,
     };
     (class, classified)
 }
@@ -128,14 +140,35 @@ mod tests {
     #[test]
     fn rtcp_packet_types_split_from_rtp() {
         let mut pkt = [0x80u8; 12];
-        for pt in 200..=204u8 {
+        for pt in 192..=223u8 {
             pkt[1] = pt;
-            assert_eq!(demux(40_000, 40_001, &pkt), WireClass::Rtcp);
+            assert_eq!(
+                demux(40_000, 40_001, &pkt),
+                WireClass::Rtcp,
+                "packet type {pt} is in RFC 5761's reserved RTCP range"
+            );
         }
         pkt[1] = 18; // G.729
         assert_eq!(demux(40_000, 40_001, &pkt), WireClass::Rtp);
-        pkt[1] = 205; // RTCP XR et al. are past the heuristic's range
-        assert_eq!(demux(40_000, 40_001, &pkt), WireClass::Rtp);
+    }
+
+    /// Regression pins for the 200–204 → 192–223 widening: the boundary
+    /// values on both sides, plus the RTPFB/PSFB types (205/206) that used
+    /// to reach the RTP machine as a phantom media stream.
+    #[test]
+    fn rtcp_range_boundaries_pin_rfc_5761() {
+        let mut pkt = [0x80u8; 12];
+        for (pt, want) in [
+            (191u8, WireClass::Rtp), // marker + PT 63: below the range
+            (192, WireClass::Rtcp),  // legacy FIR (RFC 2032)
+            (205, WireClass::Rtcp),  // RTPFB (RFC 4585)
+            (206, WireClass::Rtcp),  // PSFB (RFC 4585)
+            (223, WireClass::Rtcp),  // top of the reserved range
+            (224, WireClass::Rtp),   // marker + PT 96: dynamic payload
+        ] {
+            pkt[1] = pt;
+            assert_eq!(demux(40_000, 40_001, &pkt), want, "packet type {pt}");
+        }
     }
 
     #[test]
@@ -170,9 +203,16 @@ mod tests {
     }
 
     #[test]
-    fn ipv6_traffic_is_ignored() {
+    fn ipv6_traffic_is_counted_not_silently_unknown() {
         let (class, c) = classify_datagram(&dg("[2001:db8::1]:5060", "[2001:db8::2]:5060", b"x"));
-        assert_eq!(class, WireClass::Unknown);
+        assert_eq!(class, WireClass::Ipv6);
         assert_eq!(c, Classified::Ignored);
+        // An IPv4-mapped v6 address is engine-visible IPv4, not a drop.
+        let (class, _) = classify_datagram(&dg(
+            "[::ffff:10.1.0.10]:5060",
+            "[::ffff:10.2.0.10]:5060",
+            b"x",
+        ));
+        assert_eq!(class, WireClass::Sip);
     }
 }

@@ -19,12 +19,16 @@
 //!   and shard-route datagrams, the coordinator drives the engine's
 //!   epoch-ring pipeline, with graceful shutdown and on-demand
 //!   `SIGUSR1` ring snapshots.
+//! * [`cluster_serve`] — the federated variant: the same receiver layout
+//!   feeding a `vids-cluster` gateway (`vids serve --nodes N
+//!   --tenants FILE`).
 //! * [`replay`] — `vids replay`: run a capture through the identical
 //!   pipeline at full speed, deterministically; `replay_pcap_parallel`
 //!   classifies on N threads and re-sequences batches so the output
 //!   stays byte-identical to the single-thread run.
 
 pub mod batch;
+pub mod cluster_serve;
 pub mod datagram;
 pub mod demux;
 pub mod pcap;
@@ -49,6 +53,7 @@ pub mod prelude {
 }
 
 pub use batch::Batcher;
+pub use cluster_serve::serve_cluster_on;
 pub use datagram::Datagram;
 pub use demux::{classify_datagram, demux, WireClass, SIP_PORT};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};

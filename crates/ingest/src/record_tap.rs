@@ -19,7 +19,9 @@ pub fn recorded_class(class: WireClass) -> RecordedClass {
         WireClass::Sip => RecordedClass::Sip,
         WireClass::Rtp => RecordedClass::Rtp,
         WireClass::Rtcp => RecordedClass::Rtcp,
-        WireClass::Unknown => RecordedClass::Unknown,
+        // The dump format has no v6 class byte; v6 drops freeze as Unknown
+        // (both are engine-ignored, so replay verdicts are unaffected).
+        WireClass::Ipv6 | WireClass::Unknown => RecordedClass::Unknown,
     }
 }
 
@@ -86,5 +88,6 @@ mod tests {
         assert_eq!(recorded_class(WireClass::Rtp), RecordedClass::Rtp);
         assert_eq!(recorded_class(WireClass::Rtcp), RecordedClass::Rtcp);
         assert_eq!(recorded_class(WireClass::Unknown), RecordedClass::Unknown);
+        assert_eq!(recorded_class(WireClass::Ipv6), RecordedClass::Unknown);
     }
 }

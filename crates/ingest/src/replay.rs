@@ -34,6 +34,8 @@ pub struct ReplayReport {
     pub datagrams: u64,
     /// Datagrams that demultiplexed to [`WireClass::Unknown`].
     pub demux_unknown: u64,
+    /// Plain-IPv6 datagrams dropped because the engine models IPv4 only.
+    pub datagrams_ipv6: u64,
     /// Batches handed to the engine.
     pub batches: u64,
     /// Timestamp of the last datagram (capture clock).
@@ -70,6 +72,8 @@ where
                 report.datagrams += 1;
                 if class == WireClass::Unknown {
                     report.demux_unknown += 1;
+                } else if class == WireClass::Ipv6 {
+                    report.datagrams_ipv6 += 1;
                 }
                 report.last_at = report.last_at.max(d.at);
                 events.push(WireEvent {
@@ -105,6 +109,7 @@ where
         let slab = reg.pool();
         slab.add(Counter::DatagramsRx, report.datagrams);
         slab.add(Counter::DemuxUnknown, report.demux_unknown);
+        slab.add(Counter::DatagramsIpv6, report.datagrams_ipv6);
     }
     Ok(report)
 }
@@ -223,6 +228,7 @@ pub fn replay_pcap_parallel<S: AlertSink + ?Sized>(
     let grace = pool.config().replay_grace;
     let mut report = ReplayReport::default();
     let demux_unknown = AtomicU64::new(0);
+    let demux_ipv6 = AtomicU64::new(0);
 
     let result: Result<(), IngestError> = std::thread::scope(|scope| {
         // One bounded work queue per classifier keeps dispatch
@@ -236,6 +242,7 @@ pub fn replay_pcap_parallel<S: AlertSink + ?Sized>(
             let (tx, rx) = mpsc::sync_channel::<(u64, Vec<Datagram<'_>>)>(2);
             let done = done_tx.clone();
             let unknown = &demux_unknown;
+            let ipv6 = &demux_ipv6;
             scope.spawn(move || {
                 for (chunk_id, chunk) in rx {
                     let mut out = Vec::with_capacity(chunk.len());
@@ -243,6 +250,8 @@ pub fn replay_pcap_parallel<S: AlertSink + ?Sized>(
                         let (class, classified) = classify_datagram(d);
                         if class == WireClass::Unknown {
                             unknown.fetch_add(1, Ordering::Relaxed);
+                        } else if class == WireClass::Ipv6 {
+                            ipv6.fetch_add(1, Ordering::Relaxed);
                         }
                         out.push(PreRouted::new(classified, d.at));
                     }
@@ -370,10 +379,12 @@ pub fn replay_pcap_parallel<S: AlertSink + ?Sized>(
     result?;
 
     report.demux_unknown = demux_unknown.load(std::sync::atomic::Ordering::Relaxed);
+    report.datagrams_ipv6 = demux_ipv6.load(std::sync::atomic::Ordering::Relaxed);
     if let Some(reg) = telemetry {
         let slab = reg.pool();
         slab.add(Counter::DatagramsRx, report.datagrams);
         slab.add(Counter::DemuxUnknown, report.demux_unknown);
+        slab.add(Counter::DatagramsIpv6, report.datagrams_ipv6);
     }
     Ok(report)
 }

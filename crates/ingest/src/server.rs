@@ -105,6 +105,8 @@ pub struct ServeReport {
     pub datagrams_dropped: u64,
     /// Datagrams that demultiplexed to [`WireClass::Unknown`].
     pub demux_unknown: u64,
+    /// Plain-IPv6 datagrams dropped because the engine models IPv4 only.
+    pub datagrams_ipv6: u64,
     /// Batches handed to the engine.
     pub batches: u64,
     /// The wall-clock time of the final tick, on the session's epoch.
@@ -118,6 +120,7 @@ struct IngestStats {
     rx: AtomicU64,
     dropped: AtomicU64,
     unknown: AtomicU64,
+    ipv6: AtomicU64,
     backlog: Vec<AtomicU64>,
 }
 
@@ -251,6 +254,8 @@ fn receiver_loop(
             stats.rx.fetch_add(1, Ordering::Relaxed);
             if class == WireClass::Unknown {
                 stats.unknown.fetch_add(1, Ordering::Relaxed);
+            } else if class == WireClass::Ipv6 {
+                stats.ipv6.fetch_add(1, Ordering::Relaxed);
             }
             due |= batcher.push(PreRouted::new(classified, d.at));
         });
@@ -406,6 +411,7 @@ fn publish(
         datagrams_rx: stats.rx.load(Ordering::Relaxed),
         datagrams_dropped: stats.dropped.load(Ordering::Relaxed),
         demux_unknown: stats.unknown.load(Ordering::Relaxed),
+        datagrams_ipv6: stats.ipv6.load(Ordering::Relaxed),
         batches,
         ended_at: published.ended_at,
     };
@@ -422,6 +428,10 @@ fn publish(
         slab.add(
             Counter::DemuxUnknown,
             now.demux_unknown - published.demux_unknown,
+        );
+        slab.add(
+            Counter::DatagramsIpv6,
+            now.datagrams_ipv6 - published.datagrams_ipv6,
         );
         let backlog: u64 = stats
             .backlog

@@ -26,6 +26,7 @@ proptest! {
                 prop_assert!(payload.len() >= 12, "media needs a full fixed header");
                 prop_assert_eq!(payload[0] >> 6, 2, "media needs version 2");
             }
+            WireClass::Ipv6 => prop_assert!(false, "demux never sees addresses"),
             WireClass::Sip | WireClass::Unknown => {}
         }
     }
@@ -44,7 +45,7 @@ proptest! {
         };
         let (class, classified) = classify_datagram(&d);
         // Ignored demux classes must become Ignored for the engine.
-        if matches!(class, WireClass::Rtcp | WireClass::Unknown) {
+        if matches!(class, WireClass::Rtcp | WireClass::Ipv6 | WireClass::Unknown) {
             prop_assert_eq!(classified, Classified::Ignored);
         }
     }

@@ -65,11 +65,17 @@ pub enum Counter {
     /// full and had to wait for the shard workers before publishing the
     /// next batch (receiver-side backpressure).
     PipelineStalls,
+    /// Plain-IPv6 datagrams the ingest tier dropped because the engine
+    /// models IPv4 addresses only (no IPv4-mapped form).
+    DatagramsIpv6,
+    /// INVITEs refused a new call-table entry because the fact base was at
+    /// its configured `max_tracked_calls` quota.
+    CallQuotaDrops,
 }
 
 impl Counter {
     /// Number of counter slots; sizes the slab arrays.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 27;
 
     /// Every variant, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -98,6 +104,8 @@ impl Counter {
         Counter::DumpsWritten,
         Counter::RingOverwrites,
         Counter::PipelineStalls,
+        Counter::DatagramsIpv6,
+        Counter::CallQuotaDrops,
     ];
 
     /// Stable snake_case name used in JSON/CSV export.
@@ -128,6 +136,8 @@ impl Counter {
             Counter::DumpsWritten => "dumps_written",
             Counter::RingOverwrites => "ring_overwrites",
             Counter::PipelineStalls => "pipeline_stalls",
+            Counter::DatagramsIpv6 => "datagrams_ipv6",
+            Counter::CallQuotaDrops => "call_quota_drops",
         }
     }
 
@@ -291,6 +301,8 @@ mod tests {
         assert!(Counter::Transitions.is_deterministic());
         assert!(Counter::DatagramsRx.is_deterministic());
         assert!(Counter::DemuxUnknown.is_deterministic());
+        assert!(Counter::DatagramsIpv6.is_deterministic());
+        assert!(Counter::CallQuotaDrops.is_deterministic());
         assert!(!HistId::MergeNanos.is_deterministic());
         assert!(HistId::BatchSize.is_deterministic());
         assert!(!Gauge::MemoryBytes.is_deterministic());

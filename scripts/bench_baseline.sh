@@ -10,15 +10,15 @@ cd "$(dirname "$0")/.."
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-for bench in parser_throughput pool_scaling hot_path_alloc pcap_replay; do
+for bench in parser_throughput pool_scaling hot_path_alloc pcap_replay cluster_gateway; do
     echo "==> cargo bench --bench $bench"
     cargo bench --offline -p vids-bench --bench "$bench" | tee -a "$out"
 done
 
 # `bench <id> <ns>/iter <rate> elem/s|MiB/s` lines from the criterion
 # stub, plus the `replay, N shard(s) ... pps`, `replay+record, N
-# shard(s) ... pps` and `replay, T thread(s) x N shard(s) ... pps`
-# rows the pcap bench prints.
+# shard(s) ... pps`, `replay, T thread(s) x N shard(s) ... pps` and
+# `gateway, ... pps` rows the pcap/cluster benches print.
 python3 - "$out" <<'PY'
 import json, os, re, socket, sys
 
@@ -26,6 +26,7 @@ rates = {}
 replay = {}
 recorded = {}
 scaling = {}
+gateway = {}
 for line in open(sys.argv[1]):
     m = re.match(r"bench\s+(\S+)\s+[\d.]+\s+ns/iter\s+(\d+)\s+elem/s", line)
     if m:
@@ -48,6 +49,14 @@ for line in open(sys.argv[1]):
     )
     if m:
         scaling[(int(m.group(1)), int(m.group(2)))] = int(m.group(3))
+        continue
+    m = re.match(r"gateway,\s+direct pool\s+-\s+(\d+)\s+pps", line)
+    if m:
+        gateway["direct"] = int(m.group(1))
+        continue
+    m = re.match(r"gateway,\s+(\d+)\s+node\(s\)\s+-\s+(\d+)\s+pps", line)
+    if m:
+        gateway[int(m.group(1))] = int(m.group(2))
 
 path = "BENCH_hotpath.json"
 doc = json.load(open(path))
@@ -87,6 +96,16 @@ if scaling:
 if 1 in replay and 1 in recorded:
     overhead = 1.0 - recorded[1] / replay[1]
     print(f"record tap overhead at 1 shard: {overhead * 100:.1f}%")
+# The cluster gateway's budget: a 1-node/1-tenant federation ingests at
+# most 5% under the direct pool (DESIGN.md §7j).
+if "direct" in gateway:
+    cur["cluster_gateway_direct_pps"] = gateway["direct"]
+    for nodes in sorted(k for k in gateway if k != "direct"):
+        cur[f"cluster_gateway_{nodes}_nodes_pps"] = gateway[nodes]
+    if 1 in gateway:
+        overhead = 1.0 - gateway[1] / gateway["direct"]
+        cur["cluster_gateway_overhead_pct"] = round(overhead * 100, 1)
+        print(f"cluster gateway overhead at 1 node: {overhead * 100:.1f}% (budget <= 5%)")
 json.dump(doc, open(path, "w"), indent=2)
 open(path, "a").write("\n")
 print(f"updated {path}: {cur}")

@@ -20,6 +20,18 @@ cargo test --offline -p vids-telemetry -q
 echo "==> cargo test -p vids-ingest (wire tier + loopback smoke)"
 cargo test --offline -p vids-ingest -q
 
+# Federation layer: tenant map parsing, rendezvous placement, and the
+# end-to-end federated loopback smoke (skips itself where the sandbox
+# cannot bind 127.0.0.1 — the vids-ingest run above covers that notice).
+echo "==> cargo test -p vids-cluster (federation + tenancy)"
+cargo test --offline -p vids-cluster -q
+
+# Cluster differential: cluster(1 node) == plain pool and node-count
+# invariance, byte-compared on alerts, counters and merged telemetry,
+# plus the tenant threshold/quota isolation gates and rebalance checks.
+echo "==> cluster determinism (gateway vs pool, tenant isolation)"
+cargo test --offline --test cluster_determinism -q
+
 # Scanning substrate: exhaustive 0..=64 alignment/tail unit tests plus
 # the proptest oracle asserting every SWAR finder agrees with its naive
 # scalar twin on arbitrary bytes.
@@ -39,7 +51,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # substrate and the SIP parsers it feeds are in this set: they run on
 # every hostile datagram.
 echo "==> cargo clippy (hot-path crates, allocation lints)"
-cargo clippy --offline -p vids-scan -p vids-sip -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest -p vids-record --all-targets -- \
+cargo clippy --offline -p vids-scan -p vids-sip -p vids-efsm -p vids-telemetry -p vids-core -p vids-ingest -p vids-record -p vids-cluster --all-targets -- \
     -D warnings \
     -D clippy::redundant_clone \
     -D clippy::inefficient_to_string

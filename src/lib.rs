@@ -19,6 +19,10 @@
 //! * [`attacks`] — injectors for every §3 threat.
 //! * [`core`] — **vids itself**: classifier, fact base, protocol machines,
 //!   attack patterns, analysis engine, inline tap.
+//! * [`cluster`] — multi-tenant federation: N in-process pool nodes behind
+//!   a rendezvous-hash gateway with a deterministic cross-node alert
+//!   merge, plus per-tenant thresholds and call-table quotas
+//!   (DESIGN.md §7j).
 //! * [`ingest`] — the live wire tier: UDP receiver pools, classic pcap
 //!   reading, SIP/RTP demultiplexing, the `vids serve` / `vids replay`
 //!   pipelines.
@@ -50,6 +54,7 @@
 
 pub use vids_agents as agents;
 pub use vids_attacks as attacks;
+pub use vids_cluster as cluster;
 pub use vids_core as core;
 pub use vids_efsm as efsm;
 pub use vids_ingest as ingest;

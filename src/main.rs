@@ -4,7 +4,8 @@
 //! ```text
 //! vids simulate [--minutes N] [--seed S] [--uas N] [--no-vids] [--auth] [--csv FILE]
 //!               [--telemetry FILE] [--telemetry-interval SECS]
-//! vids serve --listen ADDR [--shards N] [--telemetry FILE] [--record DIR]
+//! vids serve --listen ADDR [--shards N] [--nodes N] [--tenants FILE]
+//!            [--telemetry FILE] [--record DIR]
 //! vids replay FILE.pcap [--shards N] [--threads N] [--telemetry FILE] [--record DIR]
 //! vids replay FILE.vdump
 //! vids inspect FILE.vdump
@@ -75,14 +76,19 @@ fn usage() {
          \x20     run the Fig. 7 enterprise testbed and print the evaluation summary;\n\
          \x20     --telemetry samples monitor metrics every SECS (default 10) of sim\n\
          \x20     time into FILE (JSON lines, or CSV when FILE ends in .csv)\n\
-         \x20 vids serve --listen ADDR [--shards N] [--telemetry FILE] [--record DIR]\n\
+         \x20 vids serve --listen ADDR [--shards N] [--nodes N] [--tenants FILE]\n\
+         \x20            [--telemetry FILE] [--record DIR]\n\
          \x20     monitor live SIP/RTP traffic on UDP socket ADDR (e.g. 0.0.0.0:5060)\n\
          \x20     with N receiver shards; alerts stream to stdout; Ctrl-C drains,\n\
          \x20     runs a final timer sweep and writes the telemetry snapshot to FILE;\n\
          \x20     --record keeps a bounded ring of raw datagrams per receiver and\n\
          \x20     dumps the window around every alert into DIR as .vdump forensic\n\
          \x20     captures; with --record, SIGUSR1 snapshots the live rings into\n\
-         \x20     DIR on demand without stopping the daemon\n\
+         \x20     DIR on demand without stopping the daemon;\n\
+         \x20     --nodes N federates the engine across N in-process cluster nodes\n\
+         \x20     (byte-identical alerts, rendezvous-routed), and --tenants FILE\n\
+         \x20     maps source prefixes to per-tenant thresholds and call quotas\n\
+         \x20     (lines: tenant NAME A.B.C.D/LEN [invite_flood_n=.. max_calls=..])\n\
          \x20 vids replay FILE.pcap [--shards N] [--threads N] [--telemetry FILE] [--record DIR]\n\
          \x20     replay a classic pcap capture through the identical wire pipeline\n\
          \x20     at full speed and print the alert report and throughput;\n\
@@ -290,9 +296,21 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
         .parsed("--listen")?
         .ok_or("serve needs --listen ADDR (e.g. --listen 0.0.0.0:5060)")?;
     let shards: usize = flags.parsed("--shards")?.unwrap_or(4);
+    let nodes: usize = flags.parsed("--nodes")?.filter(|&n| n > 0).unwrap_or(1);
+    let tenants_path = flags.value("--tenants")?;
     let telemetry_path = flags.value("--telemetry")?;
     let record_dir = flags.value("--record")?;
     flags.finish()?;
+
+    if nodes > 1 || tenants_path.is_some() {
+        if record_dir.is_some() {
+            return Err(
+                "--record works with the single-pool daemon only (drop --nodes/--tenants)"
+                    .to_owned(),
+            );
+        }
+        return serve_cluster(listen, shards, nodes, tenants_path, telemetry_path);
+    }
 
     let cfg = Config::builder()
         .shards(shards)
@@ -369,6 +387,97 @@ fn serve(flags: &mut Flags) -> Result<i32, String> {
     }
     if let Some(path) = telemetry_path {
         let snap = pool
+            .telemetry_snapshot(report.ended_at)
+            .expect("telemetry enabled above");
+        write_telemetry(&path, std::slice::from_ref(&snap))?;
+        eprintln!("telemetry snapshot written to {path}");
+    }
+    Ok(0)
+}
+
+/// The federated arm of `vids serve`: `--nodes N` and/or `--tenants FILE`
+/// route classified datagrams through a `vids-cluster` gateway — N
+/// in-process pool nodes per tenant behind rendezvous hashing, with the
+/// deterministic cross-node alert merge — instead of one pool.
+fn serve_cluster(
+    listen: SocketAddr,
+    shards: usize,
+    nodes: usize,
+    tenants_path: Option<String>,
+    telemetry_path: Option<String>,
+) -> Result<i32, String> {
+    use vids::cluster::{Cluster, TenantMap};
+    use vids::core::{Config, CostModel, FnSink};
+    use vids::ingest::cluster_serve::serve_cluster_on;
+    use vids::ingest::server::{stop_flag_on_sigint, ServeOptions};
+    use vids::ingest::udp::{PoolMode, UdpPool};
+
+    let cfg = Config::builder()
+        .shards(shards)
+        .listen(listen)
+        .build()
+        .map_err(|e| format!("bad --shards {shards}: {e}"))?;
+    let tenants = match &tenants_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            TenantMap::parse(&text, cfg).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => TenantMap::single(cfg),
+    };
+    let mut cluster = Cluster::with_cost(tenants, nodes, CostModel::free());
+    cluster.enable_telemetry(256);
+    let opts = ServeOptions::from_config(&cfg);
+    let stop = stop_flag_on_sigint();
+
+    let udp =
+        UdpPool::bind(listen, opts.receivers).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let mode = match udp.mode() {
+        PoolMode::ReusePort => format!("{} SO_REUSEPORT sockets", opts.receivers),
+        PoolMode::Single => "1 socket (reuseport unavailable)".to_owned(),
+    };
+    eprintln!(
+        "listening on {} with {mode}, {nodes} node(s), {} tenant(s); Ctrl-C to stop",
+        udp.local_addr(),
+        cluster.tenants().len(),
+    );
+
+    let mut sink = FnSink(|a: vids::core::Alert| {
+        println!(
+            "[{:>10} ms] {:?} {} — {}{}",
+            a.time_ms,
+            a.kind,
+            a.machine,
+            a.label,
+            if a.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", a.detail)
+            }
+        );
+    });
+    let report =
+        serve_cluster_on(&mut cluster, udp, &opts, stop, &mut sink).map_err(|e| e.to_string())?;
+
+    eprintln!("{}", RunSummary::from_serve(&report).render());
+    eprintln!("{}", run_report::counters_line(&cluster.counters()));
+    for (id, tenant) in cluster.tenants().iter().enumerate() {
+        let alerts = cluster
+            .alerts()
+            .iter()
+            .filter(|a| usize::from(a.tenant) == id)
+            .count();
+        let counters = cluster.tenant_counters(id as u16);
+        eprintln!(
+            "tenant {id} ({}): {alerts} alert(s), {} sip, {} rtp, {} tracked call(s)",
+            tenant.name,
+            counters.sip_packets,
+            counters.rtp_packets,
+            cluster.tenant_monitored_calls(id as u16),
+        );
+    }
+    if let Some(path) = telemetry_path {
+        let snap = cluster
             .telemetry_snapshot(report.ended_at)
             .expect("telemetry enabled above");
         write_telemetry(&path, std::slice::from_ref(&snap))?;
@@ -601,12 +710,14 @@ fn top(flags: &mut Flags) -> Result<i32, String> {
         merged.gauge(Gauge::MemoryBytes)
     );
     println!(
-        "\npool:  {} batches, {} packets, {} sweeps, {} malformed, {} ignored",
+        "\npool:  {} batches, {} packets, {} sweeps, {} malformed, {} ignored, {} ipv6, {} quota drops",
         snap.pool.counter(Counter::BatchesIngested),
         snap.pool.counter(Counter::PacketsIngested),
         snap.pool.counter(Counter::TimerSweeps),
         snap.pool.counter(Counter::Malformed),
         snap.pool.counter(Counter::Ignored),
+        snap.pool.counter(Counter::DatagramsIpv6),
+        snap.pool.counter(Counter::CallQuotaDrops),
     );
     let sizes = snap.pool.hist(HistId::BatchSize);
     print!("batch sizes:");

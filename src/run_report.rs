@@ -31,6 +31,8 @@ pub struct RunSummary {
     pub kind: RunKind,
     pub datagrams: u64,
     pub demux_unknown: u64,
+    /// Plain-IPv6 datagrams the v4-only engine dropped at classify time.
+    pub datagrams_ipv6: u64,
     /// Kernel-reported receive drops; only the live path has them.
     pub dropped: Option<u64>,
     pub batches: u64,
@@ -46,6 +48,7 @@ impl RunSummary {
             kind: RunKind::Serve,
             datagrams: report.datagrams_rx,
             demux_unknown: report.demux_unknown,
+            datagrams_ipv6: report.datagrams_ipv6,
             dropped: Some(report.datagrams_dropped),
             batches: report.batches,
             span: report.ended_at,
@@ -58,6 +61,7 @@ impl RunSummary {
             kind: RunKind::Replay,
             datagrams: report.datagrams,
             demux_unknown: report.demux_unknown,
+            datagrams_ipv6: report.datagrams_ipv6,
             dropped: None,
             batches: report.batches,
             span: report.last_at,
@@ -67,9 +71,17 @@ impl RunSummary {
 
     /// The drain line, plus a throughput line when wall time was measured.
     pub fn render(&self) -> String {
+        // The engine is IPv4-only; v6 traffic is dropped at classify time
+        // but must never vanish silently, so the drain line calls it out
+        // whenever any arrived.
+        let ipv6 = if self.datagrams_ipv6 > 0 {
+            format!(", {} ipv6", self.datagrams_ipv6)
+        } else {
+            String::new()
+        };
         let mut out = match self.kind {
             RunKind::Serve => format!(
-                "drained: {} datagrams ({} unknown, {} dropped) in {} batches over {:.1} s",
+                "drained: {} datagrams ({} unknown{ipv6}, {} dropped) in {} batches over {:.1} s",
                 self.datagrams,
                 self.demux_unknown,
                 self.dropped.unwrap_or(0),
@@ -77,7 +89,7 @@ impl RunSummary {
                 self.span.as_secs_f64()
             ),
             RunKind::Replay => format!(
-                "replayed {} datagrams ({} unknown) in {} batches; capture spans {:.3} s",
+                "replayed {} datagrams ({} unknown{ipv6}) in {} batches; capture spans {:.3} s",
                 self.datagrams,
                 self.demux_unknown,
                 self.batches,
@@ -156,6 +168,7 @@ mod tests {
             kind: RunKind::Serve,
             datagrams: 30,
             demux_unknown: 1,
+            datagrams_ipv6: 0,
             dropped: Some(2),
             batches: 4,
             span: SimTime::from_millis(2_500),
@@ -168,11 +181,38 @@ mod tests {
     }
 
     #[test]
+    fn ipv6_drops_surface_in_the_drain_line() {
+        let s = RunSummary {
+            kind: RunKind::Serve,
+            datagrams: 30,
+            demux_unknown: 1,
+            datagrams_ipv6: 5,
+            dropped: Some(2),
+            batches: 4,
+            span: SimTime::from_millis(2_500),
+            wall_secs: None,
+        };
+        assert_eq!(
+            s.render(),
+            "drained: 30 datagrams (1 unknown, 5 ipv6, 2 dropped) in 4 batches over 2.5 s"
+        );
+        let r = RunSummary {
+            kind: RunKind::Replay,
+            dropped: None,
+            ..s
+        };
+        assert!(r
+            .render()
+            .starts_with("replayed 30 datagrams (1 unknown, 5 ipv6) in 4 batches"));
+    }
+
+    #[test]
     fn replay_summary_appends_throughput_when_wall_time_is_real() {
         let s = RunSummary {
             kind: RunKind::Replay,
             datagrams: 1000,
             demux_unknown: 0,
+            datagrams_ipv6: 0,
             dropped: None,
             batches: 8,
             span: SimTime::from_millis(1_500),

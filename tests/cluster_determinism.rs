@@ -1,0 +1,393 @@
+//! Determinism of the federated cluster: whatever the node count (and the
+//! shard count inside each node), a `Cluster` must produce byte-identical
+//! alert sequences, counters and telemetry — and at one node, one tenant
+//! it must match the plain `VidsPool` exactly. Plus the tenancy gates:
+//! per-tenant thresholds and quotas isolate tenants from each other, and
+//! a rendezvous rebalance keeps verdicts for calls whose keys don't move.
+
+mod common;
+
+use common::{invite, mixed_trace, pkt};
+use vids::cluster::{rendezvous, Cluster, TenantMap};
+use vids::core::alert::{labels, Alert};
+use vids::core::classify::classify;
+use vids::core::pool::route_hint;
+use vids::core::{CollectSink, Config, CostModel, NullSink, VidsPool};
+use vids::netsim::packet::{Address, Packet, Payload};
+use vids::netsim::time::SimTime;
+use vids::sdp::{Codec, SessionDescription};
+use vids::sip::{Method, Request, StatusCode};
+use vids::telemetry::{Counter, SlabSnapshot};
+
+/// Replays the mixed trace through a single-tenant cluster in batches of
+/// 25, flushes, and returns (alerts, sink alerts, counters, telemetry).
+fn run_cluster(
+    nodes: usize,
+    shards: usize,
+) -> (
+    Vec<Alert>,
+    Vec<Alert>,
+    vids::core::VidsCounters,
+    SlabSnapshot,
+) {
+    let config = Config::builder().shards(shards).build().unwrap();
+    let mut cluster = Cluster::with_cost(TenantMap::single(config), nodes, CostModel::free());
+    cluster.enable_telemetry(64);
+    let mut sink = CollectSink::new();
+    let trace = mixed_trace();
+    for chunk in trace.chunks(25) {
+        let now = chunk[0].1;
+        let packets: Vec<Packet> = chunk.iter().map(|(p, _)| p.clone()).collect();
+        cluster.process_packets(&packets, now, &mut sink);
+    }
+    cluster.tick(SimTime::from_secs(30), &mut sink);
+    cluster.tick(SimTime::from_secs(40), &mut sink);
+    let snap = cluster
+        .telemetry_snapshot(SimTime::from_secs(40))
+        .unwrap()
+        .deterministic();
+    let alerts = cluster.alerts().iter().map(|a| a.alert.clone()).collect();
+    (alerts, sink.alerts().to_vec(), cluster.counters(), snap)
+}
+
+/// The single-pool reference, batched identically.
+fn run_pool(
+    shards: usize,
+) -> (
+    Vec<Alert>,
+    Vec<Alert>,
+    vids::core::VidsCounters,
+    SlabSnapshot,
+) {
+    let config = Config::builder().shards(shards).build().unwrap();
+    let mut pool = VidsPool::with_cost(config, CostModel::free());
+    pool.enable_telemetry(64);
+    let mut sink = CollectSink::new();
+    let trace = mixed_trace();
+    for chunk in trace.chunks(25) {
+        let now = chunk[0].1;
+        let packets: Vec<Packet> = chunk.iter().map(|(p, _)| p.clone()).collect();
+        pool.process_batch(&packets, now, &mut sink);
+    }
+    pool.tick(SimTime::from_secs(30), &mut sink);
+    pool.tick(SimTime::from_secs(40), &mut sink);
+    let snap = pool
+        .telemetry_snapshot(SimTime::from_secs(40))
+        .unwrap()
+        .deterministic();
+    (
+        pool.alerts().to_vec(),
+        sink.alerts().to_vec(),
+        pool.counters(),
+        snap,
+    )
+}
+
+#[test]
+fn one_node_cluster_matches_the_plain_pool() {
+    for shards in [1usize, 4] {
+        let (pool_log, pool_sink, pool_counters, pool_snap) = run_pool(shards);
+        let (log, sink, counters, snap) = run_cluster(1, shards);
+        assert!(
+            pool_log.iter().any(|a| a.label == labels::INVITE_FLOOD),
+            "reference lost the flood: {pool_log:?}"
+        );
+        assert_eq!(pool_log, log, "{shards}-shard cluster(1) log diverged");
+        assert_eq!(pool_sink, sink, "{shards}-shard cluster(1) sink diverged");
+        assert_eq!(pool_counters, counters);
+        assert_eq!(pool_snap, snap, "{shards}-shard telemetry diverged");
+    }
+}
+
+#[test]
+fn node_count_never_changes_the_alert_sequence() {
+    for shards in [1usize, 4] {
+        let (reference, ref_sink, ref_counters, ref_snap) = run_cluster(1, shards);
+        assert!(reference.iter().any(|a| a.label == labels::INVITE_FLOOD));
+        assert!(reference.iter().any(|a| a.label == labels::RTP_AFTER_BYE));
+        assert!(reference.iter().any(|a| a.label == labels::RESPONSE_FLOOD));
+        assert!(reference
+            .iter()
+            .any(|a| a.label == labels::REGISTRATION_HIJACK));
+        assert!(reference.iter().any(|a| a.label == "unassociated-rtp"));
+        assert!(reference.iter().any(|a| a.label.starts_with("malformed-")));
+        for nodes in [2usize, 4] {
+            let (alerts, sink, counters, snap) = run_cluster(nodes, shards);
+            assert_eq!(
+                reference, alerts,
+                "{nodes} nodes x {shards} shards diverged from 1 node"
+            );
+            assert_eq!(ref_sink, sink);
+            assert_eq!(ref_counters, counters);
+            assert_eq!(
+                ref_snap, snap,
+                "{nodes}-node merged telemetry diverged from 1 node"
+            );
+        }
+    }
+}
+
+/// Eight INVITEs in one second against each of two victims, one flood per
+/// tenant. The strict tenant alerts at >5; the default tenant's threshold
+/// (>10) keeps it silent — same traffic shape, different verdicts, and
+/// every alert carries the right tenant tag.
+#[test]
+fn tenant_thresholds_are_isolated() {
+    let tenants = TenantMap::parse(
+        "tenant strict 172.16.0.0/16 invite_flood_n=5",
+        Config::default(),
+    )
+    .unwrap();
+    for nodes in [1usize, 3] {
+        let mut cluster = Cluster::with_cost(tenants.clone(), nodes, CostModel::free());
+        let mut trace = Vec::new();
+        let victim_a = Address::new(10, 2, 0, 9, 5060);
+        let victim_b = Address::new(10, 2, 0, 10, 5060);
+        let strict_attacker = Address::new(172, 16, 0, 66, 5060);
+        let lax_attacker = Address::new(192, 168, 0, 66, 5060);
+        for i in 0..8u64 {
+            let a = vids::attacks::craft::flood_invite(
+                &vids::sip::SipUri::new("bob9", "b.example.com"),
+                strict_attacker,
+                "flooder",
+                &format!("iso-a-{i}"),
+            );
+            trace.push(pkt(strict_attacker, victim_a, Payload::Sip(a), i * 10, 0));
+            let b = vids::attacks::craft::flood_invite(
+                &vids::sip::SipUri::new("bob10", "b.example.com"),
+                lax_attacker,
+                "flooder",
+                &format!("iso-b-{i}"),
+            );
+            trace.push(pkt(lax_attacker, victim_b, Payload::Sip(b), i * 10 + 5, 0));
+        }
+        let packets: Vec<Packet> = trace.iter().map(|(p, _)| p.clone()).collect();
+        cluster.process_packets(&packets, SimTime::from_millis(1), &mut NullSink);
+
+        let flood_alerts: Vec<_> = cluster
+            .alerts()
+            .iter()
+            .filter(|a| a.alert.label == labels::INVITE_FLOOD)
+            .collect();
+        assert!(
+            !flood_alerts.is_empty(),
+            "{nodes} nodes: strict tenant flood missing"
+        );
+        assert!(
+            flood_alerts.iter().all(|a| a.tenant == 1),
+            "{nodes} nodes: flood alert escaped the strict tenant: {flood_alerts:?}"
+        );
+        // The lax tenant saw the same 8 INVITEs and stayed under threshold.
+        assert_eq!(cluster.tenant_counters(0).sip_packets, 8);
+        assert_eq!(cluster.tenant_counters(1).sip_packets, 8);
+    }
+}
+
+/// A tenant with `max_calls=2` can fill only its own call table: later
+/// dialogs are refused for it while the unbounded default tenant keeps
+/// tracking everything — one tenant's flood cannot evict another's state.
+/// (The quota is enforced per analysis engine, so one node, one shard
+/// makes the arithmetic exact; separate per-tenant pools give the eviction
+/// isolation at any scale.)
+#[test]
+fn tenant_call_quotas_are_isolated() {
+    let tenants =
+        TenantMap::parse("tenant capped 172.16.0.0/16 max_calls=2", Config::default()).unwrap();
+    let mut cluster = Cluster::with_cost(tenants, 1, CostModel::free());
+    cluster.enable_telemetry(16);
+    let mut trace = Vec::new();
+    for i in 0..5u8 {
+        let src = Address::new(172, 16, 0, i + 1, 5060);
+        let inv = invite(
+            &format!("quota-capped-{i}"),
+            &format!("172.16.0.{}", i + 1),
+            20_000,
+        );
+        trace.push(pkt(
+            src,
+            Address::new(10, 2, 0, 1, 5060),
+            Payload::Sip(inv.to_string()),
+            10 + i as u64,
+            0,
+        ));
+    }
+    for i in 0..3u8 {
+        let src = Address::new(10, 1, 0, i + 1, 5060);
+        let inv = invite(
+            &format!("quota-free-{i}"),
+            &format!("10.1.0.{}", i + 1),
+            21_000,
+        );
+        trace.push(pkt(
+            src,
+            Address::new(10, 2, 0, 1, 5060),
+            Payload::Sip(inv.to_string()),
+            20 + i as u64,
+            0,
+        ));
+    }
+    let packets: Vec<Packet> = trace.iter().map(|(p, _)| p.clone()).collect();
+    cluster.process_packets(&packets, SimTime::from_millis(1), &mut NullSink);
+
+    assert_eq!(
+        cluster.tenant_monitored_calls(1),
+        2,
+        "capped tenant exceeded its quota"
+    );
+    assert_eq!(
+        cluster.tenant_monitored_calls(0),
+        3,
+        "default tenant lost calls to a foreign quota"
+    );
+    // The refusals are visible in the capped tenant's telemetry — and only
+    // there.
+    let mut capped = SlabSnapshot::zeroed();
+    let mut free = SlabSnapshot::zeroed();
+    for node in 0..cluster.nodes() {
+        for (tenant, total) in [(1u16, &mut capped), (0u16, &mut free)] {
+            let snap = cluster
+                .pool(tenant, node)
+                .telemetry_snapshot(SimTime::from_millis(1))
+                .unwrap();
+            total.merge(&snap.merged());
+        }
+    }
+    assert_eq!(capped.counter(Counter::CallQuotaDrops), 3);
+    assert_eq!(free.counter(Counter::CallQuotaDrops), 0);
+}
+
+/// Growing the cluster only moves keys whose rendezvous choice changes. A
+/// BYE-DoS in flight on an *unmoved* call must still convict after the
+/// rebalance: the spoofed BYE and the post-BYE media reach the node that
+/// has been tracking the call all along.
+#[test]
+fn rebalance_keeps_verdicts_for_unmoved_calls() {
+    // Find a call-id whose call key owns the same node at 2 and at 3
+    // nodes, using the real classifier + routing hint.
+    let caller = Address::new(10, 1, 0, 7, 5060);
+    let callee = Address::new(10, 2, 0, 7, 5060);
+    let call_id = (0..64u32)
+        .map(|i| format!("rebalance-{i}"))
+        .find(|id| {
+            let inv = invite(id, "10.1.0.7", 22_000);
+            let (packet, _) = pkt(caller, callee, Payload::Sip(inv.to_string()), 0, 0);
+            let hint = route_hint(&classify(&packet));
+            rendezvous(hint.call_hash(), 2) == rendezvous(hint.call_hash(), 3)
+        })
+        .expect("no stable call-id in 64 candidates");
+
+    let mut cluster =
+        Cluster::with_cost(TenantMap::single(Config::default()), 2, CostModel::free());
+    let mut sink = CollectSink::new();
+
+    // Establish the call on the 2-node cluster.
+    let inv = invite(&call_id, "10.1.0.7", 22_000);
+    let answer = SessionDescription::audio_offer("bob", "10.2.0.7", 32_000, &[Codec::G729]);
+    let ok = inv
+        .response(StatusCode::OK)
+        .with_to_tag("tt")
+        .with_body(vids::sdp::MIME_TYPE, answer.to_string());
+    let ack = Request::in_dialog(Method::Ack, &inv, 1, Some("tt"));
+    let setup = vec![
+        pkt(caller, callee, Payload::Sip(inv.to_string()), 100, 0).0,
+        pkt(callee, caller, Payload::Sip(ok.to_string()), 150, 0).0,
+        pkt(caller, callee, Payload::Sip(ack.to_string()), 200, 0).0,
+    ];
+    cluster.process_packets(&setup, SimTime::from_millis(100), &mut sink);
+    assert_eq!(cluster.monitored_calls(), 1);
+
+    // Rebalance 2 -> 3 nodes. The call's key does not move.
+    cluster.set_nodes(3);
+    assert_eq!(cluster.monitored_calls(), 1, "unmoved call lost its state");
+
+    // Attack after the rebalance: spoofed BYE, then media keeps flowing
+    // past timer T on the negotiated coordinates.
+    let snap = vids::attacks::craft::DialogSnapshot {
+        call_id: call_id.clone(),
+        caller_from: vids::sip::headers::NameAddr::new(vids::sip::SipUri::new(
+            "alice",
+            "a.example.com",
+        ))
+        .with_tag("tag-alice"),
+        callee_to: vids::sip::headers::NameAddr::new(vids::sip::SipUri::new(
+            "bob",
+            "b.example.com",
+        ))
+        .with_tag("tt"),
+        caller_addr: caller,
+        callee_addr: callee,
+        callee_media: Some(callee.with_port(32_000)),
+        caller_media: Some(caller.with_port(22_000)),
+        caller_ssrc: Some(7),
+        caller_rtp_cursor: Some((40, 3_200)),
+        invite_branch: format!("z9hG4bK-{call_id}"),
+    };
+    let (victim, spoof) = snap.endpoints(vids::attacks::craft::Target::Callee);
+    let bye = vids::attacks::craft::spoofed_bye(&snap, vids::attacks::craft::Target::Callee);
+    let mut attack = vec![pkt(spoof.with_port(5060), victim, Payload::Sip(bye), 500, 0).0];
+    for i in 0..30u16 {
+        let media = vids::rtp::packet::RtpPacket::new(18, 40 + i, (40 + i as u32) * 80, 7)
+            .with_payload(vec![0; 10]);
+        attack.push(
+            pkt(
+                caller.with_port(22_000),
+                callee.with_port(32_000),
+                Payload::Rtp(media.to_bytes()),
+                520 + i as u64 * 40,
+                0,
+            )
+            .0,
+        );
+    }
+    cluster.process_packets(&attack, SimTime::from_millis(500), &mut sink);
+    cluster.tick(SimTime::from_secs(30), &mut sink);
+
+    assert!(
+        cluster
+            .alerts()
+            .iter()
+            .any(|a| a.alert.label == labels::RTP_AFTER_BYE),
+        "BYE-DoS verdict lost across the rebalance: {:?}",
+        cluster.alerts()
+    );
+}
+
+/// Shrinking is routing-only too: keys that stay on surviving nodes keep
+/// their state, keys on removed nodes restart — and the cluster never
+/// mixes them up (no panics, no cross-wired verdicts).
+#[test]
+fn shrink_drops_only_the_removed_nodes_state() {
+    let mut cluster =
+        Cluster::with_cost(TenantMap::single(Config::default()), 3, CostModel::free());
+    let caller = Address::new(10, 1, 0, 7, 5060);
+    let callee = Address::new(10, 2, 0, 7, 5060);
+    // Spread 12 half-open calls over the 3 nodes.
+    let mut setup = Vec::new();
+    let mut survivors = 0usize;
+    for i in 0..12u32 {
+        let id = format!("shrink-{i}");
+        let inv = invite(&id, "10.1.0.7", 22_000);
+        let (packet, _) = pkt(
+            caller,
+            callee,
+            Payload::Sip(inv.to_string()),
+            100 + i as u64,
+            0,
+        );
+        let hint = route_hint(&classify(&packet));
+        if rendezvous(hint.call_hash(), 3) < 2 {
+            survivors += 1;
+        }
+        setup.push(packet);
+    }
+    cluster.process_packets(&setup, SimTime::from_millis(100), &mut NullSink);
+    assert_eq!(cluster.monitored_calls(), 12);
+    assert!(survivors < 12, "trace never landed on the removed node");
+
+    cluster.set_nodes(2);
+    assert_eq!(
+        cluster.monitored_calls(),
+        survivors,
+        "shrink kept the wrong calls"
+    );
+}
